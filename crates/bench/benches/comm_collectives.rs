@@ -1,0 +1,61 @@
+//! Criterion benchmark of the in-process ring collectives across message
+//! sizes — the measured counterpart of Fig. 7 (Eq. 14 / Eq. 27).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spdkfac_collectives::LocalGroup;
+use std::hint::black_box;
+use std::thread;
+use std::time::Duration;
+
+fn run_allreduce(world: usize, elems: usize) {
+    let endpoints = LocalGroup::new(world).into_endpoints();
+    thread::scope(|s| {
+        for comm in &endpoints {
+            s.spawn(move || {
+                let mut buf = vec![1.0f64; elems];
+                comm.allreduce_sum(&mut buf);
+                black_box(buf);
+            });
+        }
+    });
+}
+
+fn run_broadcast(world: usize, elems: usize) {
+    let endpoints = LocalGroup::new(world).into_endpoints();
+    thread::scope(|s| {
+        for comm in &endpoints {
+            s.spawn(move || {
+                let mut buf = vec![1.0f64; elems];
+                comm.broadcast(&mut buf, 0);
+                black_box(buf);
+            });
+        }
+    });
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_collectives_p4");
+    for elems in [10_000usize, 100_000, 1_000_000] {
+        group.bench_with_input(
+            BenchmarkId::new("allreduce", elems),
+            &elems,
+            |b, &elems| b.iter(|| run_allreduce(4, elems)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("broadcast", elems),
+            &elems,
+            |b, &elems| b.iter(|| run_broadcast(4, elems)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_collectives
+}
+criterion_main!(benches);

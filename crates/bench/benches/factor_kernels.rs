@@ -1,0 +1,50 @@
+//! Criterion benchmark of the Kronecker-factor construction kernels
+//! (Eq. 7/8): Gramian accumulation and gradient preconditioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spdkfac_tensor::kron::precondition_gradient;
+use spdkfac_tensor::rng::MatrixRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_gramian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factor_gramian");
+    let mut rng = MatrixRng::new(1);
+    for (rows, d) in [(128usize, 64usize), (128, 256), (512, 128)] {
+        let x = rng.gaussian_matrix(rows, d);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{d}")),
+            &x,
+            |b, x| b.iter(|| black_box(x.gramian_scaled(x.rows() as f64))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_precondition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precondition_gradient");
+    let mut rng = MatrixRng::new(2);
+    for (dout, din) in [(64usize, 64usize), (128, 256), (256, 512)] {
+        let a_inv = rng.spd_matrix(din, 0.5);
+        let g_inv = rng.spd_matrix(dout, 0.5);
+        let grad = rng.gaussian_matrix(dout, din);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dout}x{din}")),
+            &(a_inv, g_inv, grad),
+            |b, (a_inv, g_inv, grad)| {
+                b.iter(|| black_box(precondition_gradient(grad, a_inv, g_inv)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_gramian, bench_precondition
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benchmark of the planners: LBP (Algorithm 1 — the paper notes
+//! it "only needs to be executed once" at O(N)) and the fusion planner, plus
+//! a full simulated iteration per algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spdkfac_core::fusion::{self, FactorPipeline, FusionStrategy};
+use spdkfac_core::placement::{lbp, LbpWeight};
+use spdkfac_models::{paper_models, resnet50};
+use spdkfac_sim::{simulate_iteration, Algo, HardwareProfile, SimConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_lbp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lbp_placement");
+    let hw = HardwareProfile::rtx2080ti_ib100();
+    for m in paper_models() {
+        let dims = m.all_factor_dims();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(m.name().to_string()),
+            &dims,
+            |b, dims| {
+                b.iter(|| {
+                    black_box(lbp(
+                        black_box(dims),
+                        64,
+                        &hw.inverse,
+                        &hw.bcast,
+                        LbpWeight::DimSquared,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fusion_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion_plan");
+    let hw = HardwareProfile::rtx2080ti_ib100();
+    let m = resnet50();
+    let batch = m.batch_size();
+    let mut ready = Vec::new();
+    let mut cursor = 0.0;
+    for l in m.layers() {
+        cursor += hw.factor_a_time(l, batch);
+        ready.push(cursor);
+        cursor += hw.ff_time(l, batch);
+    }
+    let sizes: Vec<usize> = m.layers().iter().map(|l| l.packed_a()).collect();
+    let pipeline = FactorPipeline::new(ready, sizes).expect("pipeline");
+    for (name, strategy) in [
+        ("layerwise", FusionStrategy::LayerWise),
+        ("optimal", FusionStrategy::Optimal),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &pipeline,
+            |b, pipeline| b.iter(|| black_box(fusion::plan(pipeline, &hw.allreduce, strategy))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_simulated_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_iteration_resnet50");
+    let cfg = SimConfig::paper_testbed(64);
+    let m = resnet50();
+    for (name, algo) in [
+        ("dkfac", Algo::DKfac),
+        ("mpd", Algo::MpdKfac),
+        ("spd", Algo::SpdKfac),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &algo, |b, &algo| {
+            b.iter(|| black_box(simulate_iteration(&m, &cfg, algo)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_lbp, bench_fusion_plan, bench_simulated_iteration
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Extension: exports a simulated iteration as a Chrome-trace JSON file
+//! (open in `chrome://tracing` or <https://ui.perfetto.dev>) — the Fig. 1 /
+//! Fig. 4 timeline, but interactive.
+//!
+//! ```text
+//! cargo run --release -p spdkfac-bench --bin export_trace -- spd 8 /tmp/spd.json
+//! ```
+
+use spdkfac_models::resnet50;
+use spdkfac_sim::{simulate_iteration, to_chrome_trace, Algo, SimConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let algo = match args.next().as_deref() {
+        Some("ssgd") => Algo::SSgd,
+        Some("dkfac") => Algo::DKfac,
+        Some("mpd") => Algo::MpdKfac,
+        None | Some("spd") => Algo::SpdKfac,
+        Some(other) => panic!("unknown algorithm {other}; use ssgd|dkfac|mpd|spd"),
+    };
+    let world: usize = args
+        .next()
+        .map(|s| s.parse().expect("world must be an integer"))
+        .unwrap_or(8);
+    let path = args.next().unwrap_or_else(|| "trace.json".into());
+
+    let cfg = SimConfig::paper_testbed(world);
+    let report = simulate_iteration(&resnet50(), &cfg, algo);
+    let json = to_chrome_trace(&report, world);
+    std::fs::write(&path, &json).expect("failed to write trace file");
+    println!(
+        "wrote {} events ({} bytes) for {algo:?} on {world} GPUs to {path}",
+        report.spans.len(),
+        json.len()
+    );
+    println!("open chrome://tracing or https://ui.perfetto.dev and load the file.");
+}

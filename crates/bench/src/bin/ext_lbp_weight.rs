@@ -1,0 +1,33 @@
+//! Extension: Algorithm 1's workload-weight ambiguity — the pseudocode adds
+//! `d_i` to the load bucket (lines 10/13) while Eq. 25 balances `d_i²`.
+//! This ablation quantifies the difference (plus a modelled-time weight).
+
+use spdkfac_bench::{header, note};
+use spdkfac_core::placement::{LbpWeight, PlacementStrategy};
+use spdkfac_models::paper_models;
+use spdkfac_sim::{simulate_inverse_phase, SimConfig};
+
+fn main() {
+    header("Extension: LBP bucket-weight variants, inverse phase time (s), 64 GPUs");
+    let cfg = SimConfig::paper_testbed(64);
+    println!(
+        "{:<14} {:>10} {:>10} {:>12}",
+        "Model", "Dim (lit.)", "Dim² (Eq.25)", "ModeledTime"
+    );
+    for m in paper_models() {
+        let dims = m.all_factor_dims();
+        let run = |weight: LbpWeight| {
+            simulate_inverse_phase(&dims, &cfg, PlacementStrategy::Lbp { weight }).total
+        };
+        println!(
+            "{:<14} {:>10.4} {:>10.4} {:>12.4}",
+            m.name(),
+            run(LbpWeight::Dim),
+            run(LbpWeight::DimSquared),
+            run(LbpWeight::ModeledTime)
+        );
+    }
+    note("the d² weight (the stated Eq. 25 objective, our default) and the");
+    note("modelled-time weight track each other; the pseudocode-literal d");
+    note("weight underweights large tensors and can lose balance.");
+}

@@ -1,0 +1,35 @@
+//! Extension: MG-WFBP (the paper's reference \[23\], same authors) applied to
+//! the gradient aggregation of S-SGD and SPD-KFAC — Eq. 15's merging rule is
+//! the same machinery in both places.
+
+use spdkfac_bench::{header, note};
+use spdkfac_models::paper_models;
+use spdkfac_sim::{simulate_iteration, Algo, GradFusionMode, SimConfig};
+
+fn main() {
+    header("Extension: WFBP (64MB threshold) vs MG-WFBP (Eq. 15) gradient fusion");
+    let thr = SimConfig::paper_testbed(64);
+    let mut opt = thr.clone();
+    opt.grad_fusion = GradFusionMode::Optimal;
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "Model", "S-SGD thr", "S-SGD MG", "SPD thr", "SPD MG"
+    );
+    for m in paper_models() {
+        let s_thr = simulate_iteration(&m, &thr, Algo::SSgd).total;
+        let s_opt = simulate_iteration(&m, &opt, Algo::SSgd).total;
+        let k_thr = simulate_iteration(&m, &thr, Algo::SpdKfac).total;
+        let k_opt = simulate_iteration(&m, &opt, Algo::SpdKfac).total;
+        println!(
+            "{:<14} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            m.name(),
+            s_thr,
+            s_opt,
+            k_thr,
+            k_opt
+        );
+    }
+    note("gradient traffic is small next to factor traffic (§III-A), so the");
+    note("gains are modest — which is exactly why the paper applies the");
+    note("MG-WFBP idea to the Kronecker factors instead.");
+}

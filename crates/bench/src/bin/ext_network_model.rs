@@ -1,0 +1,59 @@
+//! Extension: robustness of the Fig. 12 conclusions to the network model.
+//!
+//! The paper's Eq. 21 objective implicitly lets broadcasts from different
+//! roots overlap; Horovod's implementation serializes them. This experiment
+//! re-runs the inverse-placement comparison under both models: if the
+//! orderings (LBP best; Seq-Dist pathological on DenseNet-201) hold under
+//! both, the paper's conclusion does not hinge on the modelling choice.
+
+use spdkfac_bench::{header, note};
+use spdkfac_core::placement::PlacementStrategy;
+use spdkfac_models::paper_models;
+use spdkfac_sim::{simulate_inverse_phase, NetworkModel, SimConfig};
+
+fn main() {
+    header("Extension: inverse phase under serialized vs per-root-parallel networks");
+    println!(
+        "{:<14} {:>24} {:>24}",
+        "", "serialized (Horovod)", "per-root parallel (Eq. 21)"
+    );
+    println!(
+        "{:<14} {:>8}{:>8}{:>8} {:>8}{:>8}{:>8}",
+        "Model", "NonDist", "SeqDist", "LBP", "NonDist", "SeqDist", "LBP"
+    );
+    for m in paper_models() {
+        let dims = m.all_factor_dims();
+        let run = |network: NetworkModel, strategy: PlacementStrategy| {
+            let mut cfg = SimConfig::paper_testbed(64);
+            cfg.network = network;
+            simulate_inverse_phase(&dims, &cfg, strategy).total
+        };
+        let row = |network: NetworkModel| {
+            (
+                run(network, PlacementStrategy::NonDist),
+                run(network, PlacementStrategy::SeqDist),
+                run(network, PlacementStrategy::default()),
+            )
+        };
+        let (sn, ss, sl) = row(NetworkModel::Serialized);
+        let (pn, ps, pl) = row(NetworkModel::PerRootParallel);
+        println!(
+            "{:<14} {:>8.4}{:>8.4}{:>8.4} {:>8.4}{:>8.4}{:>8.4}",
+            m.name(),
+            sn,
+            ss,
+            sl,
+            pn,
+            ps,
+            pl
+        );
+        assert!(sl <= ss.min(sn) * 1.001, "{}: LBP not best (serialized)", m.name());
+    }
+    note("finding: under the serialized (Horovod) network LBP is always best,");
+    note("matching the paper's measurements. Under a hypothetical per-root-");
+    note("parallel network, broadcast startups overlap and Seq-Dist can beat");
+    note("LBP (e.g. ResNet-50): the NCT rule's t_comp < t_comm comparison is");
+    note("only meaningful when broadcasts contend for a shared resource —");
+    note("i.e. the paper's gains are a property of the real Horovod stack,");
+    note("not of the idealised Eq. 21 objective.");
+}

@@ -1,0 +1,36 @@
+//! Extension: GPU-count scaling study — how the Table III speedups evolve
+//! with cluster size (the paper reports 64 GPUs only).
+
+use spdkfac_bench::{header, note};
+use spdkfac_models::paper_models;
+use spdkfac_sim::{simulate_iteration, Algo, SimConfig};
+
+fn main() {
+    header("Extension: SPD-KFAC speedup vs cluster size");
+    println!(
+        "{:<14} {:>6} {:>8} {:>8} {:>8} {:>6} {:>6}",
+        "Model", "GPUs", "D-KFAC", "MPD", "SPD", "SP1", "SP2"
+    );
+    for m in paper_models() {
+        for world in [4usize, 8, 16, 32, 64, 128] {
+            let cfg = SimConfig::paper_testbed(world);
+            let d = simulate_iteration(&m, &cfg, Algo::DKfac).total;
+            let mpd = simulate_iteration(&m, &cfg, Algo::MpdKfac).total;
+            let spd = simulate_iteration(&m, &cfg, Algo::SpdKfac).total;
+            println!(
+                "{:<14} {:>6} {:>8.4} {:>8.4} {:>8.4} {:>6.2} {:>6.2}",
+                m.name(),
+                world,
+                d,
+                mpd,
+                spd,
+                d / spd,
+                mpd / spd
+            );
+        }
+        println!();
+    }
+    note("the comm-side optimizations matter more as the cluster grows; at");
+    note("small scale the three algorithms converge (inversion is cheap to");
+    note("replicate and factor communication is minor).");
+}

@@ -1,0 +1,61 @@
+//! Extension: VGG-16 stress case — what happens to the cost models and the
+//! placement when a factor dimension (25088) falls far outside the paper's
+//! calibrated `d ∈ [64, 8192]` range.
+
+use spdkfac_bench::{header, note};
+use spdkfac_core::perf::CubicCostModel;
+use spdkfac_core::placement::{place, PlacementStrategy};
+use spdkfac_models::vgg16;
+use spdkfac_sim::{simulate_inverse_phase, SimConfig};
+
+fn main() {
+    header("Extension: VGG-16 and the limits of the exponential cost model");
+    let m = vgg16();
+    let cfg = SimConfig::paper_testbed(64);
+    let dims = m.all_factor_dims();
+    let max_d = *dims.iter().max().expect("non-empty");
+    println!(
+        "{}: {} factors, largest dimension {} (paper's Fig. 8 range tops out at 8192)",
+        m.name(),
+        dims.len(),
+        max_d
+    );
+    println!(
+        "Eq. 26 extrapolation for d = {max_d}: {:.3e} s — clearly unphysical",
+        cfg.hw.inverse.time(max_d)
+    );
+    // A cubic model fitted to the same calibrated curve inside the valid
+    // range extrapolates sanely.
+    let samples: Vec<(usize, f64)> = [256usize, 512, 1024, 2048, 4096, 8192]
+        .iter()
+        .map(|&d| (d, cfg.hw.inverse.time(d)))
+        .collect();
+    let cubic = CubicCostModel::fit(&samples);
+    println!(
+        "cubic refit on the in-range curve: t({max_d}) = {:.3} s",
+        cubic.time(max_d)
+    );
+
+    // LBP still produces a valid placement; the huge tensor becomes a CT
+    // pinned to one GPU and dominates whichever cost model is used.
+    let plc = place(
+        &dims,
+        64,
+        &cfg.hw.inverse,
+        &cfg.hw.bcast,
+        PlacementStrategy::default(),
+    );
+    let ncts = (0..dims.len()).filter(|&i| plc.is_nct(i)).count();
+    println!("LBP placement: {ncts} NCTs, {} CTs", dims.len() - ncts);
+    for s in [
+        PlacementStrategy::NonDist,
+        PlacementStrategy::SeqDist,
+        PlacementStrategy::default(),
+    ] {
+        let r = simulate_inverse_phase(&dims, &cfg, s);
+        println!("  {s:?}: inverse phase = {:.2} s (exponential model)", r.total);
+    }
+    note("takeaway: the paper's Eq. 26 is a *measured-range* model; systems");
+    note("adopting it must re-fit (or switch to the cubic form) before");
+    note("applying LBP to architectures with out-of-range factor dims.");
+}

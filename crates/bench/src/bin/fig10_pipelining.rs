@@ -1,0 +1,49 @@
+//! Fig. 10 — pipelining strategies for Kronecker-factor communication:
+//! Naive / layer-wise without fusion / layer-wise with threshold fusion /
+//! smart parallel with optimal tensor fusion, on all four CNNs.
+
+use spdkfac_bench::{header, note};
+use spdkfac_core::fusion::FusionStrategy;
+use spdkfac_models::paper_models;
+use spdkfac_sim::{simulate_iteration, Algo, FactorCommMode, SimConfig};
+
+fn main() {
+    header("Fig. 10: factor computation + non-overlapped factor communication (s)");
+    let base = SimConfig::paper_testbed(64);
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "Model", "FactorComp", "Naive", "LW w/o TF", "LW w/ TTF", "SP w/ OTF"
+    );
+    for m in paper_models() {
+        let run = |mode: FactorCommMode| {
+            let mut c = base.clone();
+            c.factor_mode = Some(mode);
+            simulate_iteration(&m, &c, Algo::SpdKfac)
+        };
+        let naive = run(FactorCommMode::Naive);
+        let lw = run(FactorCommMode::Pipelined(FusionStrategy::LayerWise));
+        let ttf = run(FactorCommMode::Pipelined(FusionStrategy::Threshold {
+            elems: 16 * 1024 * 1024,
+            cycle_s: 0.005,
+        }));
+        let otf = run(FactorCommMode::Pipelined(FusionStrategy::Optimal));
+        println!(
+            "{:<14} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            m.name(),
+            otf.breakdown.factor_comp,
+            naive.breakdown.factor_comm,
+            lw.breakdown.factor_comm,
+            ttf.breakdown.factor_comm,
+            otf.breakdown.factor_comm,
+        );
+        let hidden = 1.0 - otf.breakdown.factor_comm / naive.breakdown.factor_comm.max(1e-12);
+        note(&format!(
+            "{}: OTF hides {:.0}% more factor communication than the Naive overlap",
+            m.name(),
+            hidden * 100.0
+        ));
+    }
+    note("paper finding: 50–84% more hidden than the overlapping solutions of");
+    note("Ueno et al. / Pauloski et al.; LW w/o TF can lose to Naive on deep");
+    note("models (startup-bound); OTF gives the fastest iterations overall.");
+}

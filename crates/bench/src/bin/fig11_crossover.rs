@@ -1,0 +1,31 @@
+//! Fig. 11 — comparison of the computation (Eq. 26) and communication
+//! (Eq. 27) models: where the NCT/CT crossover falls on the 64-GPU cluster.
+
+use spdkfac_bench::{header, note};
+use spdkfac_sim::HardwareProfile;
+
+fn main() {
+    header("Fig. 11: inversion time vs broadcast time per tensor dimension");
+    let hw = HardwareProfile::rtx2080ti_ib100();
+    println!("{:>8} {:>14} {:>14} {:>8}", "dim", "t_comp (ms)", "t_comm (ms)", "type");
+    for &d in &[
+        64usize, 128, 256, 384, 512, 640, 768, 896, 1024, 1536, 2048, 3072, 4096, 6144, 8192,
+    ] {
+        let tc = hw.inverse_time(d);
+        let tm = hw.bcast.time_packed(d);
+        println!(
+            "{d:>8} {:>14.3} {:>14.3} {:>8}",
+            tc * 1e3,
+            tm * 1e3,
+            if tc < tm { "NCT" } else { "CT" }
+        );
+    }
+    match hw.inverse.nct_threshold(&hw.bcast, 8192) {
+        Some(thr) => note(&format!(
+            "NCT threshold: tensors with d ≤ {thr} are cheaper to invert everywhere than to broadcast"
+        )),
+        None => note("no NCT region under these models"),
+    }
+    note("paper finding: below a dimension threshold it is better to make the");
+    note("tensor an NCT (computed locally on every GPU).");
+}

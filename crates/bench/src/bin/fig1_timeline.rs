@@ -1,0 +1,28 @@
+//! Fig. 1 — the computation/communication timelines of S-SGD and D-KFAC,
+//! rendered as ASCII from actual simulated schedules (2 GPUs, as in the
+//! paper's figure).
+//!
+//! Legend: `F` FF&BP · `g` gradient all-reduce · `C` factor computation ·
+//! `c` factor all-reduce · `I` matrix inversion · `i` inverse broadcast ·
+//! `U` update · `.` idle.
+
+use spdkfac_bench::{header, note};
+use spdkfac_models::resnet50;
+use spdkfac_sim::trace::ascii_timeline;
+use spdkfac_sim::{simulate_iteration, Algo, SimConfig};
+
+fn main() {
+    let cfg = SimConfig::paper_testbed(2);
+    let m = resnet50();
+    for (title, algo) in [
+        ("Fig. 1(a): S-SGD — gradient comm overlaps backward (WFBP)", Algo::SSgd),
+        ("Fig. 1(b): MPD-KFAC — factor comm + distributed inverses", Algo::MpdKfac),
+        ("SPD-KFAC — pipelined factor comm + LBP", Algo::SpdKfac),
+    ] {
+        header(title);
+        let r = simulate_iteration(&m, &cfg, algo);
+        print!("{}", ascii_timeline(&r, 2, 100));
+    }
+    note("legend: F=FF&BP g=GradComm C=FactorComp c=FactorComm I=InverseComp");
+    note("        i=InverseComm U=update .=idle  (2 simulated GPUs, ResNet-50)");
+}

@@ -1,0 +1,92 @@
+//! Fig. 7 — communication models of all-reduce and broadcast.
+//!
+//! Two parts:
+//! 1. the simulated cluster's α-β models (the Eq. 14 / Eq. 27 parameters the
+//!    experiments run with), sampled over the paper's 1–512 MB message range;
+//! 2. a *real measurement* on this machine: the in-process ring collectives
+//!    of `spdkfac-collectives` timed across message sizes and fitted with the
+//!    same least-squares methodology the paper uses.
+
+use spdkfac_bench::{header, note};
+use spdkfac_collectives::LocalGroup;
+use spdkfac_core::perf::AlphaBetaModel;
+use spdkfac_sim::HardwareProfile;
+use std::thread;
+use std::time::Instant;
+
+fn measure_ring(world: usize, elems: usize, op: &str, reps: usize) -> f64 {
+    let endpoints = LocalGroup::new(world).into_endpoints();
+    let mut total = vec![0.0f64; world];
+    thread::scope(|s| {
+        let mut handles = Vec::new();
+        for comm in &endpoints {
+            let op = op.to_string();
+            handles.push(s.spawn(move || {
+                let mut buf = vec![1.0f64; elems];
+                // Warmup.
+                comm.allreduce_sum(&mut buf);
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    match op.as_str() {
+                        "allreduce" => comm.allreduce_sum(&mut buf),
+                        _ => comm.broadcast(&mut buf, 0),
+                    }
+                }
+                t0.elapsed().as_secs_f64() / reps as f64
+            }));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            total[i] = h.join().expect("worker");
+        }
+    });
+    total.iter().cloned().fold(0.0, f64::max)
+}
+
+fn main() {
+    header("Fig. 7(a)+(b): cluster communication models (Eq. 14 / Eq. 27)");
+    let hw = HardwareProfile::rtx2080ti_ib100();
+    println!(
+        "all-reduce: t(m) = {:.3e} + {:.3e}·m   broadcast: t(m) = {:.3e} + {:.3e}·m",
+        hw.allreduce.alpha, hw.allreduce.beta, hw.bcast.alpha, hw.bcast.beta
+    );
+    println!("{:>10} {:>14} {:>14}", "MB (fp32)", "allreduce (ms)", "broadcast (ms)");
+    let mut mb = 1usize;
+    while mb <= 512 {
+        let elems = mb * 1024 * 1024 / 4;
+        println!(
+            "{:>10} {:>14.2} {:>14.2}",
+            mb,
+            hw.allreduce.time(elems) * 1e3,
+            hw.bcast.time(elems) * 1e3
+        );
+        mb *= 2;
+    }
+
+    header("Fig. 7 (real measurement): in-process ring collectives, P = 4 threads");
+    let world = 4;
+    let mut ar_samples = Vec::new();
+    let mut bc_samples = Vec::new();
+    println!("{:>10} {:>14} {:>14}", "elements", "allreduce (ms)", "broadcast (ms)");
+    for &elems in &[1_000usize, 4_000, 16_000, 64_000, 256_000, 1_000_000] {
+        let t_ar = measure_ring(world, elems, "allreduce", 5);
+        let t_bc = measure_ring(world, elems, "broadcast", 5);
+        ar_samples.push((elems, t_ar));
+        bc_samples.push((elems, t_bc));
+        println!("{:>10} {:>14.3} {:>14.3}", elems, t_ar * 1e3, t_bc * 1e3);
+    }
+    let ar_fit = AlphaBetaModel::fit(&ar_samples);
+    let bc_fit = AlphaBetaModel::fit(&bc_samples);
+    note(&format!(
+        "fitted all-reduce: α = {:.3e}s, β = {:.3e}s/elem (R² = {:.3})",
+        ar_fit.alpha,
+        ar_fit.beta,
+        ar_fit.r_squared(&ar_samples)
+    ));
+    note(&format!(
+        "fitted broadcast:  α = {:.3e}s, β = {:.3e}s/elem (R² = {:.3})",
+        bc_fit.alpha,
+        bc_fit.beta,
+        bc_fit.r_squared(&bc_samples)
+    ));
+    note("paper finding: the linear α-β model fits both collectives well.");
+}

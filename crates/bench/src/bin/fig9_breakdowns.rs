@@ -1,0 +1,25 @@
+//! Fig. 9 — per-algorithm time breakdowns (D-KFAC / MPD-KFAC / SPD-KFAC)
+//! for all four evaluation CNNs.
+
+use spdkfac_bench::{breakdown_line, header, note};
+use spdkfac_models::paper_models;
+use spdkfac_sim::{simulate_iteration, Algo, SimConfig};
+
+fn main() {
+    header("Fig. 9: time breakdowns of different algorithms (64 GPUs)");
+    let cfg = SimConfig::paper_testbed(64);
+    for m in paper_models() {
+        println!("\n{}:", m.name());
+        for (name, algo) in [
+            ("D-KFAC", Algo::DKfac),
+            ("MPD-KFAC", Algo::MpdKfac),
+            ("SPD-KFAC", Algo::SpdKfac),
+        ] {
+            let r = simulate_iteration(&m, &cfg, algo);
+            println!("  {name:<10} {}", breakdown_line(&r));
+        }
+    }
+    note("expected shape: FF&BP / GradComm / FactorComp identical across");
+    note("algorithms; SPD hides most FactorComm; SPD trades a little");
+    note("InverseComp (NCT replication) for much less InverseComm than MPD.");
+}

@@ -1,0 +1,115 @@
+//! Runs every simulated experiment and writes the results as CSV files.
+//!
+//! ```text
+//! cargo run --release -p spdkfac-bench --bin run_all -- /tmp/spdkfac-results
+//! ```
+
+use spdkfac_bench::experiments::{fig10, fig12, fig13, table2, table3, to_csv};
+use spdkfac_sim::SimConfig;
+use std::path::PathBuf;
+
+fn main() {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".into())
+        .into();
+    std::fs::create_dir_all(&dir).expect("failed to create results directory");
+    let cfg = SimConfig::paper_testbed(64);
+
+    let t2 = table2();
+    let csv = to_csv(
+        &["model", "params", "layers", "batch", "a_elems", "g_elems"],
+        &t2.iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    r.params.to_string(),
+                    r.layers.to_string(),
+                    r.batch.to_string(),
+                    r.a_elems.to_string(),
+                    r.g_elems.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    std::fs::write(dir.join("table2.csv"), csv).expect("write table2");
+
+    let t3 = table3(&cfg);
+    let csv = to_csv(
+        &["model", "dkfac_s", "mpd_s", "spd_s", "sp1", "sp2"],
+        &t3.iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    format!("{:.4}", r.dkfac),
+                    format!("{:.4}", r.mpd),
+                    format!("{:.4}", r.spd),
+                    format!("{:.3}", r.sp1()),
+                    format!("{:.3}", r.sp2()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    std::fs::write(dir.join("table3.csv"), csv).expect("write table3");
+
+    let f10 = fig10(&cfg);
+    let csv = to_csv(
+        &["model", "factor_comp_s", "naive_s", "layerwise_s", "threshold_s", "optimal_s"],
+        &f10.iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    format!("{:.4}", r.factor_comp),
+                    format!("{:.4}", r.naive),
+                    format!("{:.4}", r.layerwise),
+                    format!("{:.4}", r.threshold),
+                    format!("{:.4}", r.optimal),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    std::fs::write(dir.join("fig10.csv"), csv).expect("write fig10");
+
+    let f12 = fig12(&cfg);
+    let csv = to_csv(
+        &["model", "non_dist_s", "seq_dist_s", "lbp_s"],
+        &f12.iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    format!("{:.4}", r.non_dist),
+                    format!("{:.4}", r.seq_dist),
+                    format!("{:.4}", r.lbp),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    std::fs::write(dir.join("fig12.csv"), csv).expect("write fig12");
+
+    let f13 = fig13(&cfg);
+    let csv = to_csv(
+        &["model", "base_s", "pipe_s", "lbp_s", "both_s"],
+        &f13.iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    format!("{:.4}", r.base),
+                    format!("{:.4}", r.pipe),
+                    format!("{:.4}", r.lbp),
+                    format!("{:.4}", r.both),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    std::fs::write(dir.join("fig13.csv"), csv).expect("write fig13");
+
+    println!("wrote table2/table3/fig10/fig12/fig13 CSVs to {}", dir.display());
+    for r in &t3 {
+        println!(
+            "{:<14} SP1 = {:.2}, SP2 = {:.2}",
+            r.model,
+            r.sp1(),
+            r.sp2()
+        );
+    }
+}

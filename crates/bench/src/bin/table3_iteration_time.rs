@@ -1,0 +1,38 @@
+//! Table III — average iteration wall-clock time of D-KFAC, MPD-KFAC and
+//! SPD-KFAC on the four evaluation CNNs (64 simulated GPUs), with the
+//! speedups SP₁ = D/SPD and SP₂ = MPD/SPD.
+
+use spdkfac_bench::{header, note, PAPER_TABLE3};
+use spdkfac_models::paper_models;
+use spdkfac_sim::{simulate_iteration, Algo, SimConfig};
+
+fn main() {
+    header("Table III: iteration time (s) and speedups, 64 GPUs");
+    let cfg = SimConfig::paper_testbed(64);
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>6} {:>6}   paper: D / MPD / SPD (SP1, SP2)",
+        "Model", "D-KFAC", "MPD", "SPD", "SP1", "SP2"
+    );
+    for (m, (pname, pd, pmpd, pspd)) in paper_models().iter().zip(PAPER_TABLE3) {
+        assert_eq!(m.name(), pname);
+        let d = simulate_iteration(m, &cfg, Algo::DKfac).total;
+        let mpd = simulate_iteration(m, &cfg, Algo::MpdKfac).total;
+        let spd = simulate_iteration(m, &cfg, Algo::SpdKfac).total;
+        println!(
+            "{:<14} {:>8.4} {:>8.4} {:>8.4} {:>6.2} {:>6.2}   {:.4}/{:.4}/{:.4} ({:.2}, {:.2})",
+            m.name(),
+            d,
+            mpd,
+            spd,
+            d / spd,
+            mpd / spd,
+            pd,
+            pmpd,
+            pspd,
+            pd / pspd,
+            pmpd / pspd
+        );
+    }
+    note("shape criteria: SPD fastest everywhere; MPD slower than D-KFAC on");
+    note("DenseNet-201; SP1 within the paper's 10–35% band direction.");
+}

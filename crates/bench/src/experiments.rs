@@ -1,0 +1,282 @@
+//! Structured experiment drivers: each paper table/figure as a function
+//! returning typed rows, consumed by the figure binaries, the `run_all`
+//! CSV exporter, and the test-suite.
+
+use spdkfac_core::fusion::FusionStrategy;
+use spdkfac_core::placement::PlacementStrategy;
+use spdkfac_models::{paper_models, ModelProfile};
+use spdkfac_sim::{
+    simulate_inverse_phase, simulate_iteration, Algo, FactorCommMode, SimConfig,
+};
+
+/// One Table II row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Model name.
+    pub model: String,
+    /// Trainable parameters.
+    pub params: usize,
+    /// Preconditionable layer count.
+    pub layers: usize,
+    /// Per-GPU batch size.
+    pub batch: usize,
+    /// Σ packed `A` elements.
+    pub a_elems: usize,
+    /// Σ packed `G` elements.
+    pub g_elems: usize,
+}
+
+/// Regenerates Table II.
+pub fn table2() -> Vec<Table2Row> {
+    paper_models()
+        .iter()
+        .map(|m| Table2Row {
+            model: m.name().to_string(),
+            params: m.total_params(),
+            layers: m.num_kfac_layers(),
+            batch: m.batch_size(),
+            a_elems: m.total_packed_a(),
+            g_elems: m.total_packed_g(),
+        })
+        .collect()
+}
+
+/// One Table III row (seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Model name.
+    pub model: String,
+    /// D-KFAC iteration time.
+    pub dkfac: f64,
+    /// MPD-KFAC iteration time.
+    pub mpd: f64,
+    /// SPD-KFAC iteration time.
+    pub spd: f64,
+}
+
+impl Table3Row {
+    /// Speedup of SPD-KFAC over D-KFAC.
+    pub fn sp1(&self) -> f64 {
+        self.dkfac / self.spd
+    }
+
+    /// Speedup of SPD-KFAC over MPD-KFAC.
+    pub fn sp2(&self) -> f64 {
+        self.mpd / self.spd
+    }
+}
+
+/// Regenerates Table III under `cfg`.
+pub fn table3(cfg: &SimConfig) -> Vec<Table3Row> {
+    paper_models()
+        .iter()
+        .map(|m| Table3Row {
+            model: m.name().to_string(),
+            dkfac: simulate_iteration(m, cfg, Algo::DKfac).total,
+            mpd: simulate_iteration(m, cfg, Algo::MpdKfac).total,
+            spd: simulate_iteration(m, cfg, Algo::SpdKfac).total,
+        })
+        .collect()
+}
+
+/// One Fig. 10 row: non-overlapped factor-communication seconds per
+/// pipelining strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Row {
+    /// Model name.
+    pub model: String,
+    /// Factor computation time (strategy-independent).
+    pub factor_comp: f64,
+    /// "Naive" overlap.
+    pub naive: f64,
+    /// Layer-wise without fusion.
+    pub layerwise: f64,
+    /// Layer-wise with Horovod threshold fusion.
+    pub threshold: f64,
+    /// Smart parallel with optimal tensor fusion.
+    pub optimal: f64,
+}
+
+/// Regenerates Fig. 10 under `cfg`.
+pub fn fig10(cfg: &SimConfig) -> Vec<Fig10Row> {
+    let run = |m: &ModelProfile, mode: FactorCommMode| {
+        let mut c = cfg.clone();
+        c.factor_mode = Some(mode);
+        simulate_iteration(m, &c, Algo::SpdKfac)
+    };
+    paper_models()
+        .iter()
+        .map(|m| {
+            let otf = run(m, FactorCommMode::Pipelined(FusionStrategy::Optimal));
+            Fig10Row {
+                model: m.name().to_string(),
+                factor_comp: otf.breakdown.factor_comp,
+                naive: run(m, FactorCommMode::Naive).breakdown.factor_comm,
+                layerwise: run(m, FactorCommMode::Pipelined(FusionStrategy::LayerWise))
+                    .breakdown
+                    .factor_comm,
+                threshold: run(
+                    m,
+                    FactorCommMode::Pipelined(FusionStrategy::Threshold {
+                        elems: 16 * 1024 * 1024,
+                        cycle_s: 0.005,
+                    }),
+                )
+                .breakdown
+                .factor_comm,
+                optimal: otf.breakdown.factor_comm,
+            }
+        })
+        .collect()
+}
+
+/// One Fig. 12 row: inverse-phase seconds per placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Row {
+    /// Model name.
+    pub model: String,
+    /// All inversions on every GPU.
+    pub non_dist: f64,
+    /// Round-robin, all broadcast.
+    pub seq_dist: f64,
+    /// Load-balancing placement.
+    pub lbp: f64,
+}
+
+/// Regenerates Fig. 12 under `cfg`.
+pub fn fig12(cfg: &SimConfig) -> Vec<Fig12Row> {
+    paper_models()
+        .iter()
+        .map(|m| {
+            let dims = m.all_factor_dims();
+            Fig12Row {
+                model: m.name().to_string(),
+                non_dist: simulate_inverse_phase(&dims, cfg, PlacementStrategy::NonDist).total,
+                seq_dist: simulate_inverse_phase(&dims, cfg, PlacementStrategy::SeqDist).total,
+                lbp: simulate_inverse_phase(&dims, cfg, PlacementStrategy::default()).total,
+            }
+        })
+        .collect()
+}
+
+/// One Fig. 13 row: iteration seconds per ablation cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13Row {
+    /// Model name.
+    pub model: String,
+    /// Neither optimization (= D-KFAC).
+    pub base: f64,
+    /// Pipelining only.
+    pub pipe: f64,
+    /// LBP only.
+    pub lbp: f64,
+    /// Both (= SPD-KFAC).
+    pub both: f64,
+}
+
+/// Regenerates Fig. 13 under `cfg`.
+pub fn fig13(cfg: &SimConfig) -> Vec<Fig13Row> {
+    let run = |m: &ModelProfile, pipe: bool, lbp: bool| {
+        let mut c = cfg.clone();
+        c.factor_mode = Some(if pipe {
+            FactorCommMode::Pipelined(FusionStrategy::Optimal)
+        } else {
+            FactorCommMode::Bulk
+        });
+        c.placement = Some(if lbp {
+            PlacementStrategy::default()
+        } else {
+            PlacementStrategy::NonDist
+        });
+        simulate_iteration(m, &c, Algo::SpdKfac).total
+    };
+    paper_models()
+        .iter()
+        .map(|m| Fig13Row {
+            model: m.name().to_string(),
+            base: run(m, false, false),
+            pipe: run(m, true, false),
+            lbp: run(m, false, true),
+            both: run(m, true, true),
+        })
+        .collect()
+}
+
+/// Serialises rows of `(header, values)` into an RFC-4180-ish CSV string.
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_rows_cover_all_models_in_order() {
+        let rows = table3(&SimConfig::paper_testbed(64));
+        let names: Vec<&str> = rows.iter().map(|r| r.model.as_str()).collect();
+        assert_eq!(
+            names,
+            ["ResNet-50", "ResNet-152", "DenseNet-201", "Inception-v4"]
+        );
+        for r in &rows {
+            assert!(r.sp1() > 1.0 && r.sp2() > 1.0, "{}", r.model);
+        }
+    }
+
+    #[test]
+    fn fig13_base_matches_dkfac() {
+        let cfg = SimConfig::paper_testbed(64);
+        let t3 = table3(&cfg);
+        let f13 = fig13(&cfg);
+        for (a, b) in t3.iter().zip(f13.iter()) {
+            assert!((a.dkfac - b.base).abs() < 1e-9, "{}", a.model);
+            assert!((a.spd - b.both).abs() < 1e-9, "{}", a.model);
+        }
+    }
+
+    #[test]
+    fn fig10_optimal_beats_naive_and_layerwise() {
+        let rows = fig10(&SimConfig::paper_testbed(64));
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.optimal <= r.naive + 1e-9, "{}", r.model);
+            assert!(r.optimal <= r.layerwise + 1e-9, "{}", r.model);
+            assert!(r.factor_comp > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig12_lbp_is_best_and_densenet_crosses() {
+        let rows = fig12(&SimConfig::paper_testbed(64));
+        for r in &rows {
+            assert!(r.lbp <= r.non_dist.min(r.seq_dist) * 1.001, "{}", r.model);
+        }
+        let dn = rows.iter().find(|r| r.model == "DenseNet-201").unwrap();
+        assert!(dn.seq_dist > dn.non_dist, "DenseNet crossover missing");
+    }
+
+    #[test]
+    fn table2_matches_models_crate() {
+        let rows = table2();
+        assert_eq!(rows[0].layers, 54);
+        assert_eq!(rows[3].batch, 16);
+        assert!(rows[1].a_elems > rows[0].a_elems);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = to_csv(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert_eq!(csv, "a,b\n1,2\n3,4\n");
+    }
+}

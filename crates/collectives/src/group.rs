@@ -1,0 +1,634 @@
+//! Worker endpoints and the Horovod-style asynchronous operation queue.
+//!
+//! Each rank's [`WorkerComm`] owns a background communication thread that
+//! executes collectives in strict submission order over the ring. Submitting
+//! returns a [`PendingOp`] handle immediately, so the worker thread can keep
+//! computing while the collective runs — exactly the mechanism SPD-KFAC's
+//! pipelining (§IV-A) relies on with `hvd.allreduce_async_`.
+
+use crate::ring::RingEndpoint;
+use crate::stats::TrafficStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Result of a completed collective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpResult {
+    /// Offset of `data` within the logical buffer (non-zero only for
+    /// reduce-scatter shards).
+    pub offset: usize,
+    /// The produced elements.
+    pub data: Vec<f64>,
+}
+
+/// Handle to an in-flight asynchronous collective.
+///
+/// Dropping the handle without calling [`PendingOp::wait`] detaches the
+/// operation; it still completes on the communication thread (all ranks must
+/// run it for the group to stay in lock-step).
+#[derive(Debug)]
+pub struct PendingOp {
+    reply: Receiver<OpResult>,
+}
+
+impl PendingOp {
+    /// Blocks until the collective finishes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the communication thread died (a bug, not a recoverable
+    /// condition — the group is broken at that point).
+    pub fn wait(self) -> OpResult {
+        self.reply
+            .recv()
+            .expect("communication thread terminated before op completed")
+    }
+
+    /// Non-blocking completion check; returns the result when ready.
+    pub fn try_wait(self) -> Result<OpResult, PendingOp> {
+        match self.reply.try_recv() {
+            Ok(r) => Ok(r),
+            Err(crossbeam::channel::TryRecvError::Empty) => Err(self),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                panic!("communication thread terminated before op completed")
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Request {
+    AllReduceSum {
+        data: Vec<f64>,
+        reply: Sender<OpResult>,
+    },
+    AllReduceAvg {
+        data: Vec<f64>,
+        reply: Sender<OpResult>,
+    },
+    Broadcast {
+        data: Vec<f64>,
+        root: usize,
+        reply: Sender<OpResult>,
+    },
+    ReduceScatterAvg {
+        data: Vec<f64>,
+        reply: Sender<OpResult>,
+    },
+    AllGather {
+        data: Vec<f64>,
+        reply: Sender<OpResult>,
+    },
+    ReduceSum {
+        data: Vec<f64>,
+        root: usize,
+        reply: Sender<OpResult>,
+    },
+    Gather {
+        data: Vec<f64>,
+        root: usize,
+        reply: Sender<OpResult>,
+    },
+    Quit,
+}
+
+/// One rank's communicator endpoint.
+///
+/// Owned by exactly one worker thread. All collective methods must be called
+/// by every rank of the group in the same order (SPMD contract).
+#[derive(Debug)]
+pub struct WorkerComm {
+    rank: usize,
+    world: usize,
+    req_tx: Sender<Request>,
+    stats: Arc<TrafficStats>,
+    comm_thread: Option<JoinHandle<()>>,
+}
+
+impl WorkerComm {
+    /// This rank's index in `0..world_size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// Shared traffic counters for the whole group.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    fn submit(&self, req: Request, reply: Receiver<OpResult>) -> PendingOp {
+        self.req_tx
+            .send(req)
+            .expect("communication thread terminated");
+        PendingOp { reply }
+    }
+
+    /// Asynchronous averaging all-reduce; consumes the buffer and returns a
+    /// handle producing the averaged buffer.
+    pub fn allreduce_avg_async(&self, data: Vec<f64>) -> PendingOp {
+        let (tx, rx) = unbounded();
+        self.submit(Request::AllReduceAvg { data, reply: tx }, rx)
+    }
+
+    /// Asynchronous summing all-reduce.
+    pub fn allreduce_sum_async(&self, data: Vec<f64>) -> PendingOp {
+        let (tx, rx) = unbounded();
+        self.submit(Request::AllReduceSum { data, reply: tx }, rx)
+    }
+
+    /// Asynchronous broadcast from `root`; non-root payloads are replaced by
+    /// the root's data (they must still be sized correctly).
+    pub fn broadcast_async(&self, data: Vec<f64>, root: usize) -> PendingOp {
+        let (tx, rx) = unbounded();
+        self.submit(Request::Broadcast { data, root, reply: tx }, rx)
+    }
+
+    /// Asynchronous averaging reduce-scatter; the result's `offset` gives the
+    /// shard position.
+    pub fn reduce_scatter_avg_async(&self, data: Vec<f64>) -> PendingOp {
+        let (tx, rx) = unbounded();
+        self.submit(Request::ReduceScatterAvg { data, reply: tx }, rx)
+    }
+
+    /// Asynchronous all-gather of a (possibly rank-dependent-length) shard.
+    pub fn allgather_async(&self, data: Vec<f64>) -> PendingOp {
+        let (tx, rx) = unbounded();
+        self.submit(Request::AllGather { data, reply: tx }, rx)
+    }
+
+    /// Asynchronous summing reduce to `root`; non-root results are empty.
+    pub fn reduce_sum_async(&self, data: Vec<f64>, root: usize) -> PendingOp {
+        let (tx, rx) = unbounded();
+        self.submit(Request::ReduceSum { data, root, reply: tx }, rx)
+    }
+
+    /// Asynchronous gather to `root`; non-root results are empty.
+    pub fn gather_async(&self, data: Vec<f64>, root: usize) -> PendingOp {
+        let (tx, rx) = unbounded();
+        self.submit(Request::Gather { data, root, reply: tx }, rx)
+    }
+
+    /// Synchronous averaging all-reduce, in place.
+    pub fn allreduce_avg(&self, buf: &mut [f64]) {
+        let out = self.allreduce_avg_async(buf.to_vec()).wait();
+        buf.copy_from_slice(&out.data);
+    }
+
+    /// Synchronous summing all-reduce, in place.
+    pub fn allreduce_sum(&self, buf: &mut [f64]) {
+        let out = self.allreduce_sum_async(buf.to_vec()).wait();
+        buf.copy_from_slice(&out.data);
+    }
+
+    /// Synchronous broadcast from `root`, in place.
+    pub fn broadcast(&self, buf: &mut [f64], root: usize) {
+        let out = self.broadcast_async(buf.to_vec(), root).wait();
+        buf.copy_from_slice(&out.data);
+    }
+
+    /// Synchronous averaging reduce-scatter: returns `(offset, shard)`.
+    pub fn reduce_scatter_avg(&self, buf: &[f64]) -> (usize, Vec<f64>) {
+        let out = self.reduce_scatter_avg_async(buf.to_vec()).wait();
+        (out.offset, out.data)
+    }
+
+    /// Synchronous all-gather: returns all shards concatenated in rank order.
+    pub fn allgather(&self, shard: &[f64]) -> Vec<f64> {
+        self.allgather_async(shard.to_vec()).wait().data
+    }
+
+    /// Synchronous summing reduce: on `root` the buffer receives the sum;
+    /// other ranks' buffers are left unchanged.
+    pub fn reduce_sum(&self, buf: &mut [f64], root: usize) {
+        let out = self.reduce_sum_async(buf.to_vec(), root).wait();
+        if self.rank == root {
+            buf.copy_from_slice(&out.data);
+        }
+    }
+
+    /// Synchronous gather: `Some(all shards in rank order)` on `root`,
+    /// `None` elsewhere.
+    pub fn gather(&self, shard: &[f64], root: usize) -> Option<Vec<f64>> {
+        let out = self.gather_async(shard.to_vec(), root).wait();
+        (self.rank == root).then_some(out.data)
+    }
+
+    /// Blocks until every rank has reached the barrier.
+    pub fn barrier(&self) {
+        let mut one = [0.0f64];
+        self.allreduce_sum(&mut one);
+    }
+}
+
+impl Drop for WorkerComm {
+    fn drop(&mut self) {
+        // Ask the communication thread to exit after draining queued ops.
+        let _ = self.req_tx.send(Request::Quit);
+        if let Some(h) = self.comm_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A group of `P` in-process ranks connected in a ring.
+///
+/// See the [crate docs](crate) for the execution model and an example.
+#[derive(Debug)]
+pub struct LocalGroup {
+    endpoints: Vec<WorkerComm>,
+}
+
+impl LocalGroup {
+    /// Creates a group of `world` ranks (≥ 1), spawning one communication
+    /// thread per rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    pub fn new(world: usize) -> Self {
+        assert!(world > 0, "LocalGroup requires at least one rank");
+        let stats = Arc::new(TrafficStats::new());
+        // Ring channels: edge i connects rank i -> rank (i+1) % world.
+        let mut edge_tx = Vec::with_capacity(world);
+        let mut edge_rx = Vec::with_capacity(world);
+        for _ in 0..world {
+            let (tx, rx) = unbounded();
+            edge_tx.push(Some(tx));
+            edge_rx.push(Some(rx));
+        }
+        let mut endpoints = Vec::with_capacity(world);
+        for rank in 0..world {
+            let tx_right = edge_tx[rank].take().expect("edge reused");
+            let left_edge = (rank + world - 1) % world;
+            let rx_left = edge_rx[left_edge].take().expect("edge reused");
+            let ring = RingEndpoint {
+                rank,
+                world,
+                tx_right,
+                rx_left,
+                stats: Arc::clone(&stats),
+            };
+            let (req_tx, req_rx) = unbounded::<Request>();
+            let comm_thread = std::thread::Builder::new()
+                .name(format!("spdkfac-comm-{rank}"))
+                .spawn(move || comm_thread_main(ring, req_rx))
+                .expect("failed to spawn communication thread");
+            endpoints.push(WorkerComm {
+                rank,
+                world,
+                req_tx,
+                stats: Arc::clone(&stats),
+                comm_thread: Some(comm_thread),
+            });
+        }
+        LocalGroup { endpoints }
+    }
+
+    /// Number of ranks.
+    pub fn world_size(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Consumes the group, yielding one endpoint per rank (in rank order) to
+    /// move into worker threads.
+    pub fn into_endpoints(self) -> Vec<WorkerComm> {
+        self.endpoints
+    }
+}
+
+fn comm_thread_main(ring: RingEndpoint, req_rx: Receiver<Request>) {
+    while let Ok(req) = req_rx.recv() {
+        match req {
+            Request::AllReduceSum { mut data, reply } => {
+                ring.allreduce_sum(&mut data);
+                let _ = reply.send(OpResult { offset: 0, data });
+            }
+            Request::AllReduceAvg { mut data, reply } => {
+                ring.allreduce_avg(&mut data);
+                let _ = reply.send(OpResult { offset: 0, data });
+            }
+            Request::Broadcast { mut data, root, reply } => {
+                ring.broadcast(&mut data, root);
+                let _ = reply.send(OpResult { offset: 0, data });
+            }
+            Request::ReduceScatterAvg { data, reply } => {
+                let (offset, shard) = ring.reduce_scatter_avg(&data);
+                let _ = reply.send(OpResult { offset, data: shard });
+            }
+            Request::AllGather { data, reply } => {
+                let gathered = ring.allgather(&data);
+                let _ = reply.send(OpResult {
+                    offset: 0,
+                    data: gathered,
+                });
+            }
+            Request::ReduceSum { mut data, root, reply } => {
+                ring.reduce_sum(&mut data, root);
+                let out = if ring.rank == root { data } else { Vec::new() };
+                let _ = reply.send(OpResult { offset: 0, data: out });
+            }
+            Request::Gather { data, root, reply } => {
+                let gathered = ring.gather(&data, root).unwrap_or_default();
+                let _ = reply.send(OpResult {
+                    offset: 0,
+                    data: gathered,
+                });
+            }
+            Request::Quit => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    /// Runs `f(comm)` on every rank of a fresh `world`-rank group and
+    /// collects the per-rank return values in rank order.
+    fn run_spmd<T: Send>(world: usize, f: impl Fn(&WorkerComm) -> T + Sync) -> Vec<T> {
+        let endpoints = LocalGroup::new(world).into_endpoints();
+        let mut out: Vec<Option<T>> = (0..world).map(|_| None).collect();
+        thread::scope(|s| {
+            let mut handles = Vec::new();
+            for comm in &endpoints {
+                let f = &f;
+                handles.push(s.spawn(move || f(comm)));
+            }
+            for (i, h) in handles.into_iter().enumerate() {
+                out[i] = Some(h.join().expect("worker panicked"));
+            }
+        });
+        out.into_iter().map(|v| v.unwrap()).collect()
+    }
+
+    #[test]
+    fn allreduce_sum_small_worlds() {
+        for world in [1usize, 2, 3, 4, 7] {
+            let results = run_spmd(world, |comm| {
+                let mut buf: Vec<f64> =
+                    (0..10).map(|i| (comm.rank() * 10 + i) as f64).collect();
+                comm.allreduce_sum(&mut buf);
+                buf
+            });
+            let expected: Vec<f64> = (0..10)
+                .map(|i| (0..world).map(|r| (r * 10 + i) as f64).sum())
+                .collect();
+            for r in &results {
+                assert_eq!(r, &expected, "world={world}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_avg_matches_mean() {
+        let results = run_spmd(4, |comm| {
+            let mut buf = vec![comm.rank() as f64; 5];
+            comm.allreduce_avg(&mut buf);
+            buf
+        });
+        for r in results {
+            for v in r {
+                assert!((v - 1.5).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_handles_short_and_empty_buffers() {
+        for len in [0usize, 1, 2, 3] {
+            let results = run_spmd(4, move |comm| {
+                let mut buf = vec![1.0 + comm.rank() as f64; len];
+                comm.allreduce_sum(&mut buf);
+                buf
+            });
+            for r in results {
+                assert_eq!(r.len(), len);
+                for v in r {
+                    assert!((v - 10.0).abs() < 1e-12); // 1+2+3+4
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for root in 0..4 {
+            let results = run_spmd(4, move |comm| {
+                let mut buf = if comm.rank() == root {
+                    vec![42.0, 7.0, root as f64]
+                } else {
+                    vec![0.0; 3]
+                };
+                comm.broadcast(&mut buf, root);
+                buf
+            });
+            for r in results {
+                assert_eq!(r, vec![42.0, 7.0, root as f64], "root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_shards_tile_the_buffer() {
+        let world = 4;
+        let len = 10;
+        let results = run_spmd(world, move |comm| {
+            let buf: Vec<f64> = (0..len).map(|i| (i + comm.rank()) as f64).collect();
+            comm.reduce_scatter_avg(&buf)
+        });
+        // Expected average at index i: i + mean(rank) = i + 1.5.
+        let mut covered = vec![false; len];
+        for (offset, shard) in results {
+            for (k, v) in shard.iter().enumerate() {
+                let idx = offset + k;
+                assert!(!covered[idx], "overlapping shards at {idx}");
+                covered[idx] = true;
+                assert!((v - (idx as f64 + 1.5)).abs() < 1e-12);
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "shards did not tile buffer");
+    }
+
+    #[test]
+    fn allgather_variable_lengths() {
+        let results = run_spmd(3, |comm| {
+            let shard = vec![comm.rank() as f64; comm.rank() + 1];
+            comm.allgather(&shard)
+        });
+        let expected = vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0];
+        for r in results {
+            assert_eq!(r, expected);
+        }
+    }
+
+    #[test]
+    fn async_ops_overlap_and_preserve_order() {
+        let results = run_spmd(4, |comm| {
+            // Queue three collectives back-to-back, then wait out of band.
+            let h1 = comm.allreduce_sum_async(vec![1.0; 4]);
+            let h2 = comm.allreduce_sum_async(vec![2.0; 4]);
+            let h3 = comm.broadcast_async(
+                if comm.rank() == 2 { vec![9.0] } else { vec![0.0] },
+                2,
+            );
+            (h1.wait().data, h2.wait().data, h3.wait().data)
+        });
+        for (a, b, c) in results {
+            assert_eq!(a, vec![4.0; 4]);
+            assert_eq!(b, vec![8.0; 4]);
+            assert_eq!(c, vec![9.0]);
+        }
+    }
+
+    #[test]
+    fn barrier_completes() {
+        run_spmd(5, |comm| comm.barrier());
+    }
+
+    #[test]
+    fn reduce_sum_lands_only_on_root() {
+        for root in 0..4 {
+            let results = run_spmd(4, move |comm| {
+                let mut buf = vec![(comm.rank() + 1) as f64; 3];
+                comm.reduce_sum(&mut buf, root);
+                buf
+            });
+            for (rank, r) in results.into_iter().enumerate() {
+                if rank == root {
+                    assert_eq!(r, vec![10.0; 3], "root={root}");
+                } else {
+                    assert_eq!(r, vec![(rank + 1) as f64; 3], "non-root untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        for root in 0..3 {
+            let results = run_spmd(3, move |comm| {
+                let shard = vec![comm.rank() as f64; comm.rank() + 1];
+                comm.gather(&shard, root)
+            });
+            for (rank, r) in results.into_iter().enumerate() {
+                if rank == root {
+                    assert_eq!(
+                        r,
+                        Some(vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0]),
+                        "root={root}"
+                    );
+                } else {
+                    assert_eq!(r, None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_and_gather_on_single_rank() {
+        let results = run_spmd(1, |comm| {
+            let mut buf = vec![5.0];
+            comm.reduce_sum(&mut buf, 0);
+            (buf, comm.gather(&[7.0], 0))
+        });
+        assert_eq!(results[0].0, vec![5.0]);
+        assert_eq!(results[0].1, Some(vec![7.0]));
+    }
+
+    #[test]
+    fn traffic_matches_ring_cost() {
+        let world = 4;
+        let len = 1000usize;
+        let endpoints = LocalGroup::new(world).into_endpoints();
+        let stats = Arc::clone(&endpoints[0].stats);
+        thread::scope(|s| {
+            for comm in &endpoints {
+                s.spawn(move || {
+                    let mut buf = vec![1.0; len];
+                    comm.allreduce_sum(&mut buf);
+                });
+            }
+        });
+        // Ring all-reduce sends 2(P-1) chunks of ~len/P per rank.
+        let expected = (2 * (world - 1) * world) as u64 * (len / world) as u64;
+        let sent = stats.elements_sent();
+        assert!(
+            sent >= expected && sent <= expected + (2 * world * world) as u64,
+            "sent={sent} expected≈{expected}"
+        );
+        assert_eq!(stats.ops_executed(), world as u64);
+        drop(endpoints);
+    }
+
+    #[test]
+    fn soak_many_outstanding_async_ops() {
+        // Queue a long, mixed sequence of collectives before waiting on any
+        // of them; the per-rank FIFO queues must drain in order without
+        // deadlock and every result must be correct.
+        let results = run_spmd(4, |comm| {
+            let mut handles = Vec::new();
+            for k in 0..50usize {
+                match k % 3 {
+                    0 => handles.push((k, comm.allreduce_sum_async(vec![k as f64; 16]))),
+                    1 => handles.push((
+                        k,
+                        comm.broadcast_async(
+                            if comm.rank() == k % 4 { vec![k as f64; 8] } else { vec![0.0; 8] },
+                            k % 4,
+                        ),
+                    )),
+                    _ => handles.push((k, comm.allgather_async(vec![comm.rank() as f64]))),
+                }
+            }
+            let mut ok = true;
+            for (k, h) in handles {
+                let out = h.wait().data;
+                match k % 3 {
+                    0 => ok &= out == vec![4.0 * k as f64; 16],
+                    1 => ok &= out == vec![k as f64; 8],
+                    _ => ok &= out == vec![0.0, 1.0, 2.0, 3.0],
+                }
+            }
+            ok
+        });
+        assert!(results.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn try_wait_eventually_succeeds() {
+        let results = run_spmd(2, |comm| {
+            let mut h = comm.allreduce_sum_async(vec![3.0; 2]);
+            loop {
+                match h.try_wait() {
+                    Ok(r) => break r.data,
+                    Err(again) => {
+                        h = again;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        });
+        for r in results {
+            assert_eq!(r, vec![6.0; 2]);
+        }
+    }
+
+    #[test]
+    fn world_size_accessors() {
+        let g = LocalGroup::new(3);
+        assert_eq!(g.world_size(), 3);
+        let eps = g.into_endpoints();
+        assert_eq!(eps.len(), 3);
+        for (i, e) in eps.iter().enumerate() {
+            assert_eq!(e.rank(), i);
+            assert_eq!(e.world_size(), 3);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Ring algorithms executed by each rank's communication thread.
+//!
+//! All algorithms here are written from the perspective of a single rank that
+//! owns a sender to its right neighbour and a receiver from its left
+//! neighbour. They are the textbook NCCL-style ring collectives:
+//!
+//! - **all-reduce**: reduce-scatter phase + all-gather phase, `2(P-1)`
+//!   chunk messages per rank.
+//! - **broadcast**: a pipeline relay around the ring starting at the root.
+//! - **reduce-scatter / all-gather**: the two all-reduce phases exposed
+//!   individually.
+
+use crate::stats::TrafficStats;
+use crossbeam::channel::{Receiver, Sender};
+use std::sync::Arc;
+
+/// A point-to-point ring message: payload plus the rank that originated it
+/// (used by all-gather to place variable-length shards).
+#[derive(Debug, Clone)]
+pub struct RingMsg {
+    /// Rank whose data this message carries.
+    pub origin: usize,
+    /// Payload elements.
+    pub data: Vec<f64>,
+}
+
+/// One rank's view of the ring: its identity and its two neighbour channels.
+#[derive(Debug)]
+pub struct RingEndpoint {
+    /// This rank's index in `0..world`.
+    pub rank: usize,
+    /// Number of ranks in the ring.
+    pub world: usize,
+    /// Sender to the right neighbour (`(rank + 1) % world`).
+    pub tx_right: Sender<RingMsg>,
+    /// Receiver from the left neighbour (`(rank + world - 1) % world`).
+    pub rx_left: Receiver<RingMsg>,
+    /// Shared traffic counters.
+    pub stats: Arc<TrafficStats>,
+}
+
+impl RingEndpoint {
+    fn send(&self, msg: RingMsg) {
+        self.stats.record_message(msg.data.len());
+        self.tx_right
+            .send(msg)
+            .expect("ring neighbour disconnected mid-collective");
+    }
+
+    fn recv(&self) -> RingMsg {
+        self.rx_left
+            .recv()
+            .expect("ring neighbour disconnected mid-collective")
+    }
+
+    /// Splits `len` elements into `world` contiguous chunk ranges.
+    ///
+    /// Chunks are as equal as possible; the first `len % world` chunks get
+    /// one extra element. Empty chunks are legal (short buffers).
+    pub fn chunk_ranges(&self, len: usize) -> Vec<std::ops::Range<usize>> {
+        chunk_ranges(len, self.world)
+    }
+
+    /// In-place ring all-reduce (sum) over `buf`.
+    ///
+    /// After the call every rank holds the element-wise sum of all ranks'
+    /// buffers. All ranks must pass buffers of identical length.
+    pub fn allreduce_sum(&self, buf: &mut [f64]) {
+        let p = self.world;
+        if p == 1 {
+            self.stats.record_op();
+            return;
+        }
+        let ranges = self.chunk_ranges(buf.len());
+        // Phase 1: reduce-scatter. After step s, chunk (rank - s) has been
+        // forwarded; at the end, chunk (rank + 1) % p is fully reduced here.
+        for step in 0..p - 1 {
+            let send_idx = (self.rank + p - step) % p;
+            let recv_idx = (self.rank + p - step - 1) % p;
+            let send_data = buf[ranges[send_idx].clone()].to_vec();
+            self.send(RingMsg {
+                origin: self.rank,
+                data: send_data,
+            });
+            let msg = self.recv();
+            let dst = &mut buf[ranges[recv_idx].clone()];
+            debug_assert_eq!(msg.data.len(), dst.len(), "ring chunk length mismatch");
+            for (d, s) in dst.iter_mut().zip(msg.data.iter()) {
+                *d += s;
+            }
+        }
+        // Phase 2: all-gather the fully-reduced chunks.
+        for step in 0..p - 1 {
+            let send_idx = (self.rank + 1 + p - step) % p;
+            let recv_idx = (self.rank + p - step) % p;
+            let send_data = buf[ranges[send_idx].clone()].to_vec();
+            self.send(RingMsg {
+                origin: self.rank,
+                data: send_data,
+            });
+            let msg = self.recv();
+            let dst = &mut buf[ranges[recv_idx].clone()];
+            debug_assert_eq!(msg.data.len(), dst.len(), "ring chunk length mismatch");
+            dst.copy_from_slice(&msg.data);
+        }
+        self.stats.record_op();
+    }
+
+    /// In-place ring all-reduce (average).
+    pub fn allreduce_avg(&self, buf: &mut [f64]) {
+        self.allreduce_sum(buf);
+        let inv = 1.0 / self.world as f64;
+        for v in buf.iter_mut() {
+            *v *= inv;
+        }
+    }
+
+    /// Pipelined broadcast of `buf` from `root` to every rank.
+    ///
+    /// Non-root ranks overwrite `buf` with the root's data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root >= world`.
+    pub fn broadcast(&self, buf: &mut [f64], root: usize) {
+        assert!(root < self.world, "broadcast: root {root} out of range");
+        let p = self.world;
+        if p == 1 {
+            self.stats.record_op();
+            return;
+        }
+        let right = (self.rank + 1) % p;
+        if self.rank == root {
+            self.send(RingMsg {
+                origin: root,
+                data: buf.to_vec(),
+            });
+        } else {
+            let msg = self.recv();
+            debug_assert_eq!(msg.data.len(), buf.len(), "broadcast length mismatch");
+            buf.copy_from_slice(&msg.data);
+            if right != root {
+                self.send(msg);
+            }
+        }
+        self.stats.record_op();
+    }
+
+    /// Ring reduce-scatter (average): returns this rank's fully-reduced
+    /// shard and its offset into the logical buffer.
+    ///
+    /// The shard assigned to rank `r` is chunk `(r + 1) % world` of the equal
+    /// partition (the chunk the ring algorithm completes on rank `r`).
+    pub fn reduce_scatter_avg(&self, buf: &[f64]) -> (usize, Vec<f64>) {
+        let p = self.world;
+        let ranges = self.chunk_ranges(buf.len());
+        if p == 1 {
+            self.stats.record_op();
+            return (0, buf.to_vec());
+        }
+        let mut work = buf.to_vec();
+        for step in 0..p - 1 {
+            let send_idx = (self.rank + p - step) % p;
+            let recv_idx = (self.rank + p - step - 1) % p;
+            let send_data = work[ranges[send_idx].clone()].to_vec();
+            self.send(RingMsg {
+                origin: self.rank,
+                data: send_data,
+            });
+            let msg = self.recv();
+            let dst = &mut work[ranges[recv_idx].clone()];
+            for (d, s) in dst.iter_mut().zip(msg.data.iter()) {
+                *d += s;
+            }
+        }
+        let own = (self.rank + 1) % p;
+        let inv = 1.0 / p as f64;
+        let shard: Vec<f64> = work[ranges[own].clone()].iter().map(|v| v * inv).collect();
+        self.stats.record_op();
+        (ranges[own].start, shard)
+    }
+
+    /// Ring reduce to `root`: after the call `root`'s buffer holds the
+    /// element-wise sum; other ranks' buffers are unchanged. Implemented as
+    /// a relay around the ring ending at the root (each hop adds its local
+    /// contribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root >= world`.
+    pub fn reduce_sum(&self, buf: &mut [f64], root: usize) {
+        assert!(root < self.world, "reduce: root {root} out of range");
+        let p = self.world;
+        if p == 1 {
+            self.stats.record_op();
+            return;
+        }
+        // The relay starts at the rank after the root and accumulates
+        // around the ring until it reaches the root.
+        let start = (root + 1) % p;
+        if self.rank == start {
+            self.send(RingMsg {
+                origin: self.rank,
+                data: buf.to_vec(),
+            });
+        } else {
+            let mut msg = self.recv();
+            for (acc, v) in msg.data.iter_mut().zip(buf.iter()) {
+                *acc += v;
+            }
+            if self.rank == root {
+                buf.copy_from_slice(&msg.data);
+            } else {
+                self.send(msg);
+            }
+        }
+        self.stats.record_op();
+    }
+
+    /// Ring gather to `root`: returns `Some(concatenation of all ranks'
+    /// shards in rank order)` on the root, `None` elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root >= world`.
+    pub fn gather(&self, shard: &[f64], root: usize) -> Option<Vec<f64>> {
+        assert!(root < self.world, "gather: root {root} out of range");
+        let p = self.world;
+        if p == 1 {
+            self.stats.record_op();
+            return Some(shard.to_vec());
+        }
+        // Every non-root forwards its own shard plus everything received;
+        // walking the ring towards the root, each rank relays (p - distance)
+        // shards. The root receives all p-1 foreign shards from its left.
+        let dist_to_root = (root + p - self.rank) % p; // hops rank -> root
+        if self.rank == root {
+            let mut by_origin: Vec<Option<Vec<f64>>> = vec![None; p];
+            by_origin[root] = Some(shard.to_vec());
+            for _ in 0..p - 1 {
+                let msg = self.recv();
+                by_origin[msg.origin] = Some(msg.data);
+            }
+            self.stats.record_op();
+            Some(
+                by_origin
+                    .into_iter()
+                    .flat_map(|s| s.expect("gather: missing shard"))
+                    .collect(),
+            )
+        } else {
+            // Send own shard, then relay (p - 1 - dist) incoming shards.
+            self.send(RingMsg {
+                origin: self.rank,
+                data: shard.to_vec(),
+            });
+            let relays = p - 1 - dist_to_root;
+            for _ in 0..relays {
+                let msg = self.recv();
+                self.send(msg);
+            }
+            self.stats.record_op();
+            None
+        }
+    }
+
+    /// Ring all-gather of variable-length shards.
+    ///
+    /// Returns the concatenation of all ranks' shards in rank order.
+    pub fn allgather(&self, shard: &[f64]) -> Vec<f64> {
+        let p = self.world;
+        if p == 1 {
+            self.stats.record_op();
+            return shard.to_vec();
+        }
+        let mut by_origin: Vec<Option<Vec<f64>>> = vec![None; p];
+        by_origin[self.rank] = Some(shard.to_vec());
+        // Pass shards around the ring; at step s we forward what we received
+        // at step s-1 (starting with our own shard).
+        let mut outgoing = RingMsg {
+            origin: self.rank,
+            data: shard.to_vec(),
+        };
+        for _ in 0..p - 1 {
+            self.send(outgoing);
+            let msg = self.recv();
+            by_origin[msg.origin] = Some(msg.data.clone());
+            outgoing = msg;
+        }
+        self.stats.record_op();
+        by_origin
+            .into_iter()
+            .flat_map(|s| s.expect("allgather: missing shard"))
+            .collect()
+    }
+}
+
+/// Splits `len` elements into `parts` contiguous, maximally-equal ranges.
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts > 0, "chunk_ranges: zero parts");
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let sz = base + usize::from(i < extra);
+        ranges.push(start..start + sz);
+        start += sz;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 5, 16, 17, 100] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let rs = chunk_ranges(len, parts);
+                assert_eq!(rs.len(), parts);
+                assert_eq!(rs.first().unwrap().start, 0);
+                assert_eq!(rs.last().unwrap().end, len);
+                for w in rs.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                // Max size difference of 1.
+                let sizes: Vec<usize> = rs.iter().map(|r| r.len()).collect();
+                let (mn, mx) = (
+                    *sizes.iter().min().unwrap(),
+                    *sizes.iter().max().unwrap(),
+                );
+                assert!(mx - mn <= 1);
+            }
+        }
+    }
+}

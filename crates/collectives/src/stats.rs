@@ -1,0 +1,79 @@
+//! Traffic accounting shared by all ranks of a group.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative wire-traffic counters for a communicator group.
+///
+/// Counters are shared by every rank of a [`crate::LocalGroup`] and updated
+/// by the communication threads. They let tests assert the textbook ring
+/// costs (`2(P-1)/P · n` elements per rank for an all-reduce) and let the
+/// experiment harness report measured traffic alongside modelled traffic.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    elements_sent: AtomicU64,
+    messages_sent: AtomicU64,
+    ops_executed: AtomicU64,
+}
+
+impl TrafficStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one point-to-point message of `elements` `f64`s.
+    pub fn record_message(&self, elements: usize) {
+        self.elements_sent.fetch_add(elements as u64, Ordering::Relaxed);
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records completion of one collective operation on one rank.
+    pub fn record_op(&self) {
+        self.ops_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total `f64` elements sent over all point-to-point edges.
+    pub fn elements_sent(&self) -> u64 {
+        self.elements_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total point-to-point messages sent.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total per-rank collective executions (a `P`-rank all-reduce counts `P`).
+    pub fn ops_executed(&self) -> u64 {
+        self.ops_executed.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes sent, assuming 8-byte elements.
+    pub fn bytes_sent(&self) -> u64 {
+        self.elements_sent() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = TrafficStats::new();
+        s.record_message(10);
+        s.record_message(5);
+        s.record_op();
+        assert_eq!(s.elements_sent(), 15);
+        assert_eq!(s.messages_sent(), 2);
+        assert_eq!(s.ops_executed(), 1);
+        assert_eq!(s.bytes_sent(), 120);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let s = TrafficStats::default();
+        assert_eq!(s.elements_sent(), 0);
+        assert_eq!(s.messages_sent(), 0);
+        assert_eq!(s.ops_executed(), 0);
+    }
+}

@@ -1,0 +1,762 @@
+//! Multi-worker trainers over real in-process collectives: S-SGD, D-KFAC,
+//! MPD-KFAC and SPD-KFAC.
+//!
+//! All three K-FAC variants execute the *same* mathematics (Eq. 13); they
+//! differ only in **how Kronecker factors are communicated** and **where the
+//! inverses are computed**:
+//!
+//! | Variant  | factor communication | inverse placement |
+//! |----------|----------------------|-------------------|
+//! | D-KFAC   | one bulk all-reduce after backward | every GPU inverts everything ([`PlacementStrategy::NonDist`]) |
+//! | MPD-KFAC | one bulk all-reduce after backward | round-robin, broadcast results ([`PlacementStrategy::SeqDist`]) |
+//! | SPD-KFAC | pipelined per-bucket all-reduces during forward/backward with dynamic tensor fusion (Eq. 15) | Algorithm 1 (LBP) with CT/NCT classification |
+//!
+//! Consequently the parameter trajectories of the three variants agree to
+//! floating-point reordering noise — asserted by the integration tests —
+//! which is the paper's premise for comparing them on wall-clock time only
+//! (§VI: *"our proposed algorithms are systemic optimizations without
+//! affecting the numerical results"*).
+
+use crate::ekfac::precondition_ekfac;
+use crate::factors::{local_factor_a, local_factor_g, FactorState};
+use crate::fusion::{self, FactorPipeline, FusionStrategy};
+use crate::optimizer::KfacConfig;
+use crate::perf::{AlphaBetaModel, ExpInverseModel};
+use crate::placement::{self, PlacementStrategy, TensorAssignment};
+use crate::precond::{apply_kl_clip, build_directions};
+use spdkfac_collectives::{LocalGroup, PendingOp, WorkerComm};
+use spdkfac_nn::data::Dataset;
+use spdkfac_nn::loss::softmax_cross_entropy;
+use spdkfac_nn::optim::Sgd;
+use spdkfac_nn::Sequential;
+use spdkfac_tensor::eig::sym_eig;
+use spdkfac_tensor::{chol, Matrix, SymPacked};
+use std::time::Instant;
+
+/// Which training algorithm the workers run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// First-order baseline: gradients all-reduced, no preconditioning.
+    SSgd,
+    /// D-KFAC: bulk factor aggregation, local inversion everywhere.
+    DKfac,
+    /// MPD-KFAC: bulk factor aggregation, round-robin distributed inversion
+    /// with result broadcasts (the prior state of the art, §II-B).
+    MpdKfac,
+    /// SPD-KFAC: pipelined factor aggregation with dynamic tensor fusion +
+    /// load-balancing inverse placement (the paper's contribution, §IV).
+    SpdKfac,
+    /// Distributed EKFAC (extension): SPD-KFAC's pipelined aggregation and
+    /// LBP machinery, but the per-tensor operation is an eigendecomposition
+    /// (broadcasting `Q‖λ`) and preconditioning runs in the Kronecker
+    /// eigenbasis with moment-corrected scales (see [`crate::ekfac`]).
+    EkfacSpd,
+}
+
+/// Configuration of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistributedConfig {
+    /// Number of worker ranks.
+    pub world: usize,
+    /// Training algorithm.
+    pub algorithm: Algorithm,
+    /// K-FAC hyper-parameters (ignored by [`Algorithm::SSgd`] except lr /
+    /// momentum / weight decay).
+    pub kfac: KfacConfig,
+    /// Fusion strategy for SPD-KFAC's factor pipeline.
+    pub fusion: FusionStrategy,
+    /// Inverse placement strategy override. Defaults depend on the
+    /// algorithm (NonDist / SeqDist / LBP); set explicitly for ablations.
+    pub placement: Option<PlacementStrategy>,
+    /// Inversion-cost model used by LBP's NCT test.
+    pub comp_model: ExpInverseModel,
+    /// Broadcast-cost model used by LBP's NCT test.
+    pub comm_model: AlphaBetaModel,
+    /// WFBP gradient fusion-buffer capacity in elements: gradients are
+    /// all-reduced asynchronously during backward once this many elements
+    /// have accumulated (Horovod's 64 MB buffer ≙ 16 M fp32 elements).
+    pub grad_fusion_elems: usize,
+}
+
+impl DistributedConfig {
+    /// A ready-to-run configuration for `world` workers and `algorithm`,
+    /// with paper-like default cost models.
+    pub fn new(world: usize, algorithm: Algorithm) -> Self {
+        DistributedConfig {
+            world,
+            algorithm,
+            kfac: KfacConfig::default(),
+            fusion: FusionStrategy::Optimal,
+            placement: None,
+            // Arbitrary-but-plausible CPU-scale models; placement
+            // correctness does not depend on the constants.
+            comp_model: ExpInverseModel::new(5e-5, 2e-3),
+            comm_model: AlphaBetaModel::new(2e-4, 2e-9),
+            grad_fusion_elems: 16 * 1024 * 1024,
+        }
+    }
+
+    fn effective_placement(&self) -> PlacementStrategy {
+        self.placement.unwrap_or(match self.algorithm {
+            Algorithm::SSgd | Algorithm::DKfac => PlacementStrategy::NonDist,
+            Algorithm::MpdKfac => PlacementStrategy::SeqDist,
+            Algorithm::SpdKfac | Algorithm::EkfacSpd => PlacementStrategy::default(),
+        })
+    }
+}
+
+/// Outcome of a distributed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Globally-averaged training loss per iteration.
+    pub losses: Vec<f64>,
+    /// Flattened final parameters (identical on every rank up to fp noise;
+    /// taken from rank 0).
+    pub final_params: Vec<f64>,
+    /// Total `f64` elements moved over the ring during the run.
+    pub traffic_elements: u64,
+    /// Collective operations executed (per-rank executions summed).
+    pub collective_ops: u64,
+}
+
+/// Trains `iters` iterations of `cfg.algorithm` on `dataset` with one model
+/// replica per rank (built by `build`, which must be deterministic so all
+/// replicas start identical) and `batch` samples per rank per iteration.
+///
+/// # Panics
+///
+/// Panics if any rank's data shard is smaller than `batch`, or if a damped
+/// factor fails to invert (raise `cfg.kfac.damping`).
+pub fn train(
+    cfg: &DistributedConfig,
+    build: &(dyn Fn() -> Sequential + Sync),
+    dataset: &Dataset,
+    iters: usize,
+    batch: usize,
+) -> RunResult {
+    let endpoints = LocalGroup::new(cfg.world).into_endpoints();
+    let mut result: Option<RunResult> = None;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for comm in endpoints {
+            let cfg = cfg.clone();
+            handles.push(s.spawn(move || worker(&cfg, build, dataset, iters, batch, comm)));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            let r = h.join().expect("worker panicked");
+            if rank == 0 {
+                result = Some(r);
+            }
+        }
+    });
+    result.expect("rank 0 result missing")
+}
+
+/// Per-factor bookkeeping for the SPD pipeline: which state and side a
+/// pipeline position refers to.
+#[derive(Debug, Clone, Copy)]
+enum Side {
+    A,
+    G,
+}
+
+fn worker(
+    cfg: &DistributedConfig,
+    build: &(dyn Fn() -> Sequential + Sync),
+    dataset: &Dataset,
+    iters: usize,
+    batch: usize,
+    comm: WorkerComm,
+) -> RunResult {
+    let rank = comm.rank();
+    let world = comm.world_size();
+    let mut net = build();
+    let shard = dataset.shard(world, rank);
+    assert!(
+        shard.len() >= batch,
+        "rank {rank}: shard of {} samples cannot supply batches of {batch}",
+        shard.len()
+    );
+
+    // Preconditionable-layer bookkeeping.
+    let pre = net.preconditionable();
+    let nlayers = pre.len();
+    let mut state_of_layer = vec![None; net.len()];
+    let mut states: Vec<FactorState> = Vec::with_capacity(nlayers);
+    for (si, &li) in pre.iter().enumerate() {
+        state_of_layer[li] = Some(si);
+        states.push(FactorState::new(li));
+    }
+    let dims = net.kfac_dims(); // (a_dim, g_dim) per state
+    let a_sizes: Vec<usize> = dims.iter().map(|&(a, _)| a * (a + 1) / 2).collect();
+    let g_sizes: Vec<usize> = dims.iter().map(|&(_, g)| g * (g + 1) / 2).collect();
+
+    // Inverse placement over the 2L tensors (A_l, G_l interleaved).
+    let inv_dims: Vec<usize> = dims.iter().flat_map(|&(a, g)| [a, g]).collect();
+    let inv_placement = placement::place(
+        &inv_dims,
+        world,
+        &cfg.comp_model,
+        &cfg.comm_model,
+        cfg.effective_placement(),
+    );
+
+    let mut sgd = Sgd::new(cfg.kfac.lr, cfg.kfac.momentum, cfg.kfac.weight_decay);
+    let mut losses = Vec::with_capacity(iters);
+
+    // EKFAC extension state: per-tensor eigenbases (Q, λ) indexed like the
+    // inversion tensors, and per-layer eigenbasis second-moment scales.
+    let mut ekfac_bases: Vec<Option<(Matrix, Vec<f64>)>> = vec![None; 2 * nlayers];
+    let mut ekfac_scales: Vec<Option<Matrix>> = vec![None; nlayers];
+
+    // SPD fusion plans, computed after iteration 0 from measured,
+    // rank-averaged factor ready times (the "measured through several
+    // iterations' running" methodology of §IV-A).
+    let mut a_plan: Option<fusion::FusionPlan> = None;
+    let mut g_plan: Option<fusion::FusionPlan> = None;
+
+    for iter in 0..iters {
+        let start = (iter * batch) % (shard.len() - batch + 1);
+        let (x, y) = shard.batch(start, batch);
+        let capture = cfg.algorithm != Algorithm::SSgd;
+
+        // ---------- Forward (+ pipelined A-factor aggregation for SPD) ----
+        let mut a_ready = vec![0.0f64; nlayers];
+        let mut pending: Vec<(Vec<(usize, Side)>, Vec<usize>, PendingOp)> = Vec::new();
+        let pipelined = matches!(cfg.algorithm, Algorithm::SpdKfac | Algorithm::EkfacSpd);
+        let out = if pipelined {
+            let plan = a_plan.clone().unwrap_or_else(|| {
+                fusion::plan(
+                    &FactorPipeline::new(vec![0.0; nlayers], a_sizes.clone()).expect("valid"),
+                    &cfg.comm_model,
+                    FusionStrategy::LayerWise,
+                )
+            });
+            let t0 = Instant::now();
+            let mut pos = 0usize;
+            let mut ctl = fusion::FusionController::new(plan);
+            let mut buf: Vec<SymPacked> = Vec::new();
+            let out = net.forward_each(&x, capture, |_, layer| {
+                if let Some(a_rows) = layer.take_a_stat() {
+                    a_ready[pos] = t0.elapsed().as_secs_f64();
+                    let factor = local_factor_a(&a_rows);
+                    buf.push(SymPacked::from_matrix(&factor));
+                    if let Some(positions) = ctl.offer(pos) {
+                        let members: Vec<(usize, Side)> =
+                            positions.iter().map(|&p| (p, Side::A)).collect();
+                        let sizes: Vec<usize> = buf.iter().map(|s| s.len()).collect();
+                        let concat: Vec<f64> =
+                            buf.drain(..).flat_map(SymPacked::into_vec).collect();
+                        pending.push((members, sizes, comm.allreduce_avg_async(concat)));
+                    }
+                    pos += 1;
+                }
+            });
+            assert!(ctl.is_drained(), "unflushed A-factor bucket");
+            out
+        } else {
+            net.forward(&x, capture)
+        };
+
+        // ---------- Loss ------------------------------------------------
+        let (local_loss, grad) = softmax_cross_entropy(&out, &y);
+
+        // ---------- Backward: WFBP gradient aggregation (all algorithms)
+        // and pipelined G-factor aggregation (SPD). Gradients of each layer
+        // become ready as its backward runs; they join a fusion buffer and
+        // are all-reduced asynchronously once `grad_fusion_elems` is reached
+        // — the wait-free back-propagation of §II-A.
+        let mut g_ready = vec![0.0f64; nlayers];
+        let mut spd_g = if pipelined {
+            let plan = g_plan.clone().unwrap_or_else(|| {
+                let rev_sizes: Vec<usize> = g_sizes.iter().rev().copied().collect();
+                fusion::plan(
+                    &FactorPipeline::new(vec![0.0; nlayers], rev_sizes).expect("valid"),
+                    &cfg.comm_model,
+                    FusionStrategy::LayerWise,
+                )
+            });
+            Some((fusion::FusionController::new(plan), Vec::<SymPacked>::new(), 0usize))
+        } else {
+            None
+        };
+        // In-flight gradient buckets: (segments = (layer, param, len), handle).
+        type GradSegment = (usize, usize, usize);
+        let mut grad_pending: Vec<(Vec<GradSegment>, PendingOp)> = Vec::new();
+        let mut grad_buf: Vec<f64> = Vec::new();
+        let mut grad_segments: Vec<GradSegment> = Vec::new();
+        let t0 = Instant::now();
+        net.backward_each(&grad, |li, layer| {
+            // (a) SPD: G-factor capture + fused async all-reduce.
+            if let Some((ctl, buf, pos)) = spd_g.as_mut() {
+                if let Some((g_rows, n)) = layer.take_g_stat() {
+                    g_ready[*pos] = t0.elapsed().as_secs_f64();
+                    let factor = local_factor_g(&g_rows, n);
+                    buf.push(SymPacked::from_matrix(&factor));
+                    if let Some(positions) = ctl.offer(*pos) {
+                        let members: Vec<(usize, Side)> =
+                            positions.iter().map(|&p| (p, Side::G)).collect();
+                        let sizes: Vec<usize> = buf.iter().map(|s| s.len()).collect();
+                        let concat: Vec<f64> =
+                            buf.drain(..).flat_map(SymPacked::into_vec).collect();
+                        pending.push((members, sizes, comm.allreduce_avg_async(concat)));
+                    }
+                    *pos += 1;
+                }
+            }
+            // (b) WFBP: this layer's gradients join the fusion buffer.
+            for (pi, p) in layer.params().iter().enumerate() {
+                grad_segments.push((li, pi, p.grad.as_slice().len()));
+                grad_buf.extend_from_slice(p.grad.as_slice());
+            }
+            if grad_buf.len() >= cfg.grad_fusion_elems {
+                grad_pending.push((
+                    std::mem::take(&mut grad_segments),
+                    comm.allreduce_avg_async(std::mem::take(&mut grad_buf)),
+                ));
+            }
+        });
+        if let Some((ctl, _, _)) = &spd_g {
+            assert!(ctl.is_drained(), "unflushed G-factor bucket");
+        }
+        if !grad_buf.is_empty() {
+            grad_pending.push((
+                std::mem::take(&mut grad_segments),
+                comm.allreduce_avg_async(std::mem::take(&mut grad_buf)),
+            ));
+        }
+
+        // ---------- Factor aggregation (bulk path for D/MPD) --------------
+        if matches!(cfg.algorithm, Algorithm::DKfac | Algorithm::MpdKfac) {
+            let caps = net.take_captures();
+            let mut concat = Vec::new();
+            let mut members = Vec::new();
+            let mut sizes = Vec::new();
+            for (li, cap) in &caps {
+                let si = state_of_layer[*li].expect("capture from unknown layer");
+                let a = SymPacked::from_matrix(&cap.factor_a());
+                let g = SymPacked::from_matrix(&cap.factor_g());
+                members.push((si, Side::A));
+                sizes.push(a.len());
+                concat.extend_from_slice(a.as_slice());
+                members.push((si, Side::G));
+                sizes.push(g.len());
+                concat.extend_from_slice(g.as_slice());
+            }
+            pending.push((members, sizes, comm.allreduce_avg_async(concat)));
+        }
+
+        // ---------- Install averaged gradients ---------------------------
+        for (segments, handle) in grad_pending.drain(..) {
+            let data = handle.wait().data;
+            let mut off = 0usize;
+            let layers = net.layers_mut();
+            for (li, pi, len) in segments {
+                let mut params = layers[li].params_mut();
+                let p = &mut *params[pi];
+                p.grad.as_mut_slice().copy_from_slice(&data[off..off + len]);
+                off += len;
+            }
+            debug_assert_eq!(off, data.len(), "gradient bucket mis-sized");
+        }
+
+        // ---------- Install averaged factors ------------------------------
+        if capture {
+            if pipelined {
+                // The pipelined path consumed the per-layer stats during the
+                // passes; drain any leftover capture state.
+                let _ = net.take_captures();
+            }
+            for (members, sizes, handle) in pending.drain(..) {
+                let data = handle.wait().data;
+                let mut off = 0usize;
+                for ((pos_or_state, side), sz) in members.into_iter().zip(sizes) {
+                    let packed_slice = &data[off..off + sz];
+                    off += sz;
+                    let (si, dim) = match side {
+                        // SPD A-pass positions run front-to-back; G-pass
+                        // positions run back-to-front. Bulk-path members
+                        // already carry state indices.
+                        Side::A => {
+                            let si = pos_or_state;
+                            (si, dims[si].0)
+                        }
+                        Side::G => {
+                            let si = if pipelined {
+                                nlayers - 1 - pos_or_state
+                            } else {
+                                pos_or_state
+                            };
+                            (si, dims[si].1)
+                        }
+                    };
+                    let packed = SymPacked::from_vec(dim, packed_slice.to_vec());
+                    match side {
+                        Side::A => states[si].update_a(packed.to_matrix(), cfg.kfac.stat_decay),
+                        Side::G => states[si].update_g(packed.to_matrix(), cfg.kfac.stat_decay),
+                    }
+                }
+            }
+
+            // ---------- Distributed eigendecomposition (EKFAC extension) ---
+            if cfg.algorithm == Algorithm::EkfacSpd {
+                if iter % cfg.kfac.inv_update_freq.max(1) == 0 {
+                    let mine: Vec<usize> = inv_placement.set_for_gpu(rank);
+                    let mut computed: Vec<Option<(Matrix, Vec<f64>)>> = vec![None; 2 * nlayers];
+                    for &t in &mine {
+                        let si = t / 2;
+                        let factor = if t % 2 == 0 {
+                            states[si].factor_a().expect("no A statistics").clone()
+                        } else {
+                            states[si].factor_g().expect("no G statistics").clone()
+                        };
+                        let e = sym_eig(&factor).unwrap_or_else(|err| {
+                            panic!("rank {rank}: eigendecomposition of tensor {t} failed: {err}")
+                        });
+                        computed[t] = Some((e.vectors, e.values));
+                    }
+                    // Broadcast Q‖λ for CT tensors (d² + d elements each).
+                    let mut bcasts: Vec<(usize, PendingOp)> = Vec::new();
+                    for t in 0..2 * nlayers {
+                        if let TensorAssignment::Gpu(owner) = inv_placement.assignments()[t] {
+                            let d = inv_dims[t];
+                            let buf = match &computed[t] {
+                                Some((q, v)) => {
+                                    let mut b = q.as_slice().to_vec();
+                                    b.extend_from_slice(v);
+                                    b
+                                }
+                                None => vec![0.0; d * d + d],
+                            };
+                            bcasts.push((t, comm.broadcast_async(buf, owner)));
+                        }
+                    }
+                    for (t, h) in bcasts {
+                        let d = inv_dims[t];
+                        let data = h.wait().data;
+                        let q = Matrix::from_vec(d, d, data[..d * d].to_vec());
+                        let v = data[d * d..].to_vec();
+                        computed[t] = Some((q, v));
+                    }
+                    for t in 0..2 * nlayers {
+                        ekfac_bases[t] =
+                            Some(computed[t].take().expect("basis neither computed nor received"));
+                    }
+                    // Reseed the eigenbasis scales from the eigenvalue
+                    // products (the K-FAC spectrum), to be moment-corrected
+                    // by the per-step EMA below.
+                    for si in 0..nlayers {
+                        let (_, va) = ekfac_bases[2 * si].as_ref().expect("A basis");
+                        let (_, vg) = ekfac_bases[2 * si + 1].as_ref().expect("G basis");
+                        ekfac_scales[si] = Some(Matrix::from_fn(vg.len(), va.len(), |i, j| {
+                            (vg[i] * va[j]).max(0.0)
+                        }));
+                    }
+                }
+            } else
+            // ---------- Distributed inversion per placement ---------------
+            if iter % cfg.kfac.inv_update_freq.max(1) == 0 {
+                // Compute this rank's assigned inverses (NCTs + own CTs).
+                let mine: Vec<usize> = inv_placement.set_for_gpu(rank);
+                let mut computed: Vec<Option<SymPacked>> = vec![None; 2 * nlayers];
+                for &t in &mine {
+                    let si = t / 2;
+                    let damped = if t % 2 == 0 {
+                        states[si].damped_a(cfg.kfac.damping)
+                    } else {
+                        states[si].damped_g(cfg.kfac.damping)
+                    };
+                    let inv = chol::spd_inverse(&damped)
+                        .unwrap_or_else(|e| panic!("rank {rank}: inversion of tensor {t} failed: {e}"));
+                    computed[t] = Some(SymPacked::from_matrix(&inv));
+                }
+                // Broadcast CT results (everyone issues in tensor order).
+                let mut bcasts: Vec<(usize, PendingOp)> = Vec::new();
+                for t in 0..2 * nlayers {
+                    if let TensorAssignment::Gpu(owner) = inv_placement.assignments()[t] {
+                        let d = inv_dims[t];
+                        let buf = match &computed[t] {
+                            Some(p) => p.as_slice().to_vec(),
+                            None => vec![0.0; d * (d + 1) / 2],
+                        };
+                        bcasts.push((t, comm.broadcast_async(buf, owner)));
+                    }
+                }
+                for (t, h) in bcasts {
+                    let data = h.wait().data;
+                    computed[t] = Some(SymPacked::from_vec(inv_dims[t], data));
+                }
+                // Install all inverses.
+                for t in 0..2 * nlayers {
+                    let si = t / 2;
+                    let inv = computed[t]
+                        .take()
+                        .expect("inverse neither computed nor received")
+                        .to_matrix();
+                    if t % 2 == 0 {
+                        states[si].set_a_inv(inv);
+                    } else {
+                        states[si].set_g_inv(inv);
+                    }
+                }
+            }
+        }
+
+        // ---------- Update -------------------------------------------------
+        if capture {
+            let (mut directions, raw) = if cfg.algorithm == Algorithm::EkfacSpd {
+                build_ekfac_directions(
+                    &net,
+                    &state_of_layer,
+                    &ekfac_bases,
+                    &mut ekfac_scales,
+                    cfg.kfac.stat_decay,
+                    cfg.kfac.damping,
+                )
+            } else {
+                build_directions(&net, &state_of_layer, &states)
+            };
+            if let Some(clip) = cfg.kfac.kl_clip {
+                apply_kl_clip(&mut directions, &raw, cfg.kfac.lr, clip);
+            }
+            sgd.step_with_directions(&mut net.parameters_mut(), &directions);
+        } else {
+            sgd.step(&mut net.parameters_mut());
+        }
+
+        // ---------- Loss reporting ----------------------------------------
+        let mut loss_buf = [local_loss];
+        comm.allreduce_avg(&mut loss_buf);
+        losses.push(loss_buf[0]);
+
+        // ---------- Agree on SPD fusion plans after the first iteration ----
+        if pipelined && iter == 0 && nlayers > 0 {
+            let mut times: Vec<f64> = a_ready.iter().chain(g_ready.iter()).copied().collect();
+            comm.allreduce_avg(&mut times);
+            let (a_avg, g_avg) = times.split_at(nlayers);
+            let a_pipeline = FactorPipeline::new(monotonize(a_avg), a_sizes.clone())
+                .expect("A pipeline valid");
+            let rev_g_sizes: Vec<usize> = g_sizes.iter().rev().copied().collect();
+            let g_pipeline = FactorPipeline::new(monotonize(g_avg), rev_g_sizes)
+                .expect("G pipeline valid");
+            a_plan = Some(fusion::plan(&a_pipeline, &cfg.comm_model, cfg.fusion));
+            g_plan = Some(fusion::plan(&g_pipeline, &cfg.comm_model, cfg.fusion));
+        }
+    }
+
+    RunResult {
+        losses,
+        final_params: net.flat_params(),
+        traffic_elements: comm.stats().elements_sent(),
+        collective_ops: comm.stats().ops_executed(),
+    }
+}
+
+/// Builds EKFAC update directions: every preconditioned layer's gradient is
+/// projected into its Kronecker eigenbasis, the basis second moments are
+/// EMA-updated with the squared projection, and the rescaled projection is
+/// mapped back (see [`crate::ekfac`]). Biases use row-mean denominators.
+fn build_ekfac_directions(
+    net: &Sequential,
+    state_of_layer: &[Option<usize>],
+    bases: &[Option<(Matrix, Vec<f64>)>],
+    scales: &mut [Option<Matrix>],
+    stat_decay: f64,
+    damping: f64,
+) -> (Vec<Matrix>, Vec<Matrix>) {
+    let mut directions = Vec::new();
+    let mut raw = Vec::new();
+    for (li, layer) in net.layers().iter().enumerate() {
+        let params = layer.params();
+        match state_of_layer.get(li).copied().flatten() {
+            Some(si) if scales[si].is_some() => {
+                let (q_a, _) = bases[2 * si].as_ref().expect("A basis");
+                let (q_g, _) = bases[2 * si + 1].as_ref().expect("G basis");
+                // Moment-correct the scales with this step's weight gradient.
+                let grad_w = &params[0].grad;
+                let projected = q_g.transpose().matmul(grad_w).matmul(q_a);
+                let sq = Matrix::from_fn(projected.rows(), projected.cols(), |i, j| {
+                    projected[(i, j)] * projected[(i, j)]
+                });
+                let scale = scales[si].as_mut().expect("scale");
+                scale.ema_update(stat_decay, &sq);
+                let scale = scales[si].as_ref().expect("scale");
+                for (pi, p) in params.iter().enumerate() {
+                    raw.push(p.grad.clone());
+                    if pi == 0 {
+                        directions.push(precondition_ekfac(&p.grad, q_a, q_g, scale, damping));
+                    } else {
+                        let proj = q_g.transpose().matmul(&p.grad);
+                        let cols = scale.cols() as f64;
+                        let rescaled = Matrix::from_fn(proj.rows(), 1, |i, _| {
+                            let row_mean: f64 = scale.row(i).iter().sum::<f64>() / cols;
+                            proj[(i, 0)] / (row_mean + damping)
+                        });
+                        directions.push(q_g.matmul(&rescaled));
+                    }
+                }
+            }
+            _ => {
+                for p in params {
+                    raw.push(p.grad.clone());
+                    directions.push(p.grad.clone());
+                }
+            }
+        }
+    }
+    (directions, raw)
+}
+
+/// Clamps a measured time series to be non-decreasing (averaging across
+/// ranks can introduce tiny inversions).
+fn monotonize(ts: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(ts.len());
+    let mut cur = f64::NEG_INFINITY;
+    for &t in ts {
+        cur = cur.max(t);
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spdkfac_nn::data::gaussian_blobs;
+    use spdkfac_nn::models::{deep_mlp, mlp};
+
+    fn run(algorithm: Algorithm, world: usize, iters: usize) -> RunResult {
+        let mut cfg = DistributedConfig::new(world, algorithm);
+        cfg.kfac.damping = 0.1;
+        cfg.kfac.lr = 0.05;
+        cfg.kfac.momentum = 0.0;
+        let data = gaussian_blobs(3, 6, 8 * world.max(2), 0.3, 17);
+        train(&cfg, &|| mlp(&[6, 12, 3], 3), &data, iters, 4)
+    }
+
+    #[test]
+    fn ssgd_trains_and_syncs() {
+        let r = run(Algorithm::SSgd, 3, 10);
+        assert_eq!(r.losses.len(), 10);
+        assert!(r.losses.last().unwrap() < &r.losses[0]);
+        assert!(r.traffic_elements > 0);
+    }
+
+    #[test]
+    fn dkfac_trains() {
+        let r = run(Algorithm::DKfac, 2, 8);
+        assert!(r.losses.last().unwrap() < &r.losses[0]);
+    }
+
+    #[test]
+    fn all_kfac_variants_agree_numerically() {
+        let d = run(Algorithm::DKfac, 2, 6);
+        let m = run(Algorithm::MpdKfac, 2, 6);
+        let s = run(Algorithm::SpdKfac, 2, 6);
+        let max_dm = max_diff(&d.final_params, &m.final_params);
+        let max_ds = max_diff(&d.final_params, &s.final_params);
+        assert!(max_dm < 1e-8, "D vs MPD diverged: {max_dm}");
+        assert!(max_ds < 1e-8, "D vs SPD diverged: {max_ds}");
+    }
+
+    #[test]
+    fn world_one_matches_multi_world_shapes() {
+        let r = run(Algorithm::SpdKfac, 1, 4);
+        assert_eq!(r.losses.len(), 4);
+    }
+
+    #[test]
+    fn spd_runs_deep_models_with_fusion() {
+        let mut cfg = DistributedConfig::new(2, Algorithm::SpdKfac);
+        cfg.kfac.damping = 0.2;
+        cfg.kfac.momentum = 0.0;
+        let data = gaussian_blobs(3, 8, 24, 0.3, 21);
+        let r = train(&cfg, &|| deep_mlp(8, 10, 6, 3, 5), &data, 5, 4);
+        assert_eq!(r.losses.len(), 5);
+        assert!(r.losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn distributed_ekfac_trains_and_syncs() {
+        let r = run(Algorithm::EkfacSpd, 2, 8);
+        assert!(r.losses.iter().all(|l| l.is_finite()));
+        assert!(r.losses.last().unwrap() < &r.losses[0], "{:?}", r.losses);
+    }
+
+    #[test]
+    fn distributed_ekfac_matches_single_process_ekfac() {
+        use crate::ekfac::{EkfacConfig, EkfacOptimizer};
+        use spdkfac_nn::loss::softmax_cross_entropy;
+
+        let data = gaussian_blobs(3, 6, 24, 0.3, 83);
+        let iters = 5;
+        let batch = 6;
+        let build = || mlp(&[6, 10, 3], 4);
+
+        let mut cfg = DistributedConfig::new(1, Algorithm::EkfacSpd);
+        cfg.kfac.damping = 0.1;
+        cfg.kfac.lr = 0.05;
+        cfg.kfac.momentum = 0.0;
+        let dist = train(&cfg, &build, &data, iters, batch);
+
+        let mut net = build();
+        let mut opt = EkfacOptimizer::new(
+            &net,
+            EkfacConfig {
+                lr: 0.05,
+                momentum: 0.0,
+                damping: 0.1,
+                ..EkfacConfig::default()
+            },
+        );
+        for i in 0..iters {
+            let start = (i * batch) % (data.len() - batch + 1);
+            let (x, y) = data.batch(start, batch);
+            let out = net.forward(&x, true);
+            let (_, grad) = softmax_cross_entropy(&out, &y);
+            net.backward(&grad);
+            opt.step(&mut net).expect("ekfac step");
+        }
+        let d = max_diff(&dist.final_params, &net.flat_params());
+        assert!(d < 1e-9, "distributed EKFAC diverged from single-process: {d}");
+    }
+
+    #[test]
+    fn wfbp_bucketing_does_not_change_numerics() {
+        // Tiny fusion buffers produce many gradient buckets; results must
+        // match the single-bucket configuration to fp-reorder noise.
+        let data = gaussian_blobs(3, 6, 16, 0.3, 71);
+        let build = || mlp(&[6, 12, 3], 3);
+        let mut big = DistributedConfig::new(2, Algorithm::DKfac);
+        big.kfac.damping = 0.1;
+        big.kfac.momentum = 0.0;
+        let mut small = big.clone();
+        small.grad_fusion_elems = 8; // flush almost every layer
+        let r_big = train(&big, &build, &data, 5, 4);
+        let r_small = train(&small, &build, &data, 5, 4);
+        assert!(
+            max_diff(&r_big.final_params, &r_small.final_params) < 1e-9,
+            "bucketing changed results"
+        );
+        // The small-bucket run issues more collectives.
+        assert!(r_small.collective_ops > r_big.collective_ops);
+    }
+
+    #[test]
+    fn mpd_uses_fewer_or_equal_ops_than_spd_broadcasts() {
+        // Smoke check on the traffic counters: MPD broadcasts every tensor,
+        // SPD's LBP keeps small tensors local, so SPD executes no more
+        // collective ops per iteration than MPD.
+        let m = run(Algorithm::MpdKfac, 2, 3);
+        let s = run(Algorithm::SpdKfac, 2, 3);
+        assert!(s.collective_ops <= m.collective_ops + 6, // SPD adds plan agreement + bucket ops
+            "spd={} mpd={}", s.collective_ops, m.collective_ops);
+    }
+
+    fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}

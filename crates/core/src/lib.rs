@@ -1,0 +1,56 @@
+//! # spdkfac-core
+//!
+//! The paper's contribution, implemented as a reusable library:
+//!
+//! - [`factors`]: running Kronecker-factor statistics `A_{l-1}`, `G_l`
+//!   (Eq. 7/8) with Tikhonov damping (Eq. 12) and SPD inversion.
+//! - [`precond`]: gradient preconditioning `G⁻¹ ∇W A⁻¹` (Eq. 11).
+//! - [`perf`]: the paper's performance models — α-β collective costs
+//!   (Eq. 14/27) and the exponential inversion-cost model (Eq. 26) — plus
+//!   least-squares fitters (the Fig. 7/8 methodology).
+//! - [`fusion`]: pipelining of factor communication with **dynamic tensor
+//!   fusion** (§IV-A, Eq. 15) and the three baselines of Fig. 10.
+//! - [`placement`]: **load-balancing placement** of the `2L` matrix
+//!   inversions (Algorithm 1) with CT/NCT classification, plus the
+//!   Seq-Dist (Eq. 22) and Non-Dist baselines of Fig. 12.
+//! - [`optimizer`]: a single-process [`optimizer::KfacOptimizer`] — the
+//!   "one extra line of code" API of §V.
+//! - [`distributed`]: multi-worker trainers running real collectives:
+//!   [`distributed::Algorithm::DKfac`], [`distributed::Algorithm::MpdKfac`]
+//!   and [`distributed::Algorithm::SpdKfac`], which produce numerically
+//!   identical parameter trajectories (§VI: "our proposed algorithms are
+//!   systemic optimizations without affecting the numerical results").
+//!
+//! # Example: single-process K-FAC
+//!
+//! ```
+//! use spdkfac_core::optimizer::{KfacConfig, KfacOptimizer};
+//! use spdkfac_nn::data::gaussian_blobs;
+//! use spdkfac_nn::loss::softmax_cross_entropy;
+//! use spdkfac_nn::models::mlp;
+//!
+//! let mut net = mlp(&[4, 16, 3], 1);
+//! let mut opt = KfacOptimizer::new(&net, KfacConfig { lr: 0.05, ..KfacConfig::default() });
+//! let data = gaussian_blobs(3, 4, 20, 0.3, 2);
+//! let (x, y) = data.batch(0, 60);
+//! for _ in 0..20 {
+//!     let out = net.forward(&x, true);           // capture K-FAC statistics
+//!     let (_, grad) = softmax_cross_entropy(&out, &y);
+//!     net.backward(&grad);
+//!     opt.step(&mut net);                        // precondition + update
+//! }
+//! ```
+
+pub mod distributed;
+pub mod ekfac;
+pub mod error;
+pub mod factors;
+pub mod fusion;
+pub mod optimizer;
+pub mod perf;
+pub mod placement;
+pub mod precond;
+
+pub use error::KfacError;
+pub use fusion::FusionStrategy;
+pub use placement::PlacementStrategy;

@@ -1,0 +1,334 @@
+//! The paper's performance models and their fitters.
+//!
+//! - [`AlphaBetaModel`]: `t_c(m) = α + β·m` — the all-reduce model of
+//!   Eq. 14 and the broadcast model of Eq. 27 (with `m = d(d+1)/2`).
+//! - [`ExpInverseModel`]: `t_comp(d) = α_inv · e^{β_inv · d}` — the matrix
+//!   inversion cost model of Eq. 26.
+//!
+//! Both models expose `fit` constructors implementing the one-time
+//! benchmarking methodology of §V-B / Fig. 7 / Fig. 8: ordinary least
+//! squares for the linear model, log-space least squares for the
+//! exponential.
+
+/// Linear latency–bandwidth cost model `t(m) = α + β·m` (seconds; `m` in
+/// elements).
+///
+/// # Example
+///
+/// ```
+/// use spdkfac_core::perf::AlphaBetaModel;
+///
+/// let m = AlphaBetaModel::new(50e-6, 1e-9);
+/// assert!((m.time(1_000_000) - 1.05e-3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaBetaModel {
+    /// Startup latency α (seconds).
+    pub alpha: f64,
+    /// Per-element cost β (seconds/element).
+    pub beta: f64,
+}
+
+impl AlphaBetaModel {
+    /// Creates a model from its two parameters.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        AlphaBetaModel { alpha, beta }
+    }
+
+    /// Predicted time for a message of `elems` elements.
+    pub fn time(&self, elems: usize) -> f64 {
+        self.alpha + self.beta * elems as f64
+    }
+
+    /// Predicted time for broadcasting a packed symmetric `d × d` matrix
+    /// (`m = d(d+1)/2`, Eq. 27).
+    pub fn time_packed(&self, d: usize) -> f64 {
+        self.time(d * (d + 1) / 2)
+    }
+
+    /// Ordinary least-squares fit to `(elements, seconds)` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two distinct sample sizes are given.
+    pub fn fit(samples: &[(usize, f64)]) -> Self {
+        assert!(samples.len() >= 2, "AlphaBetaModel::fit needs ≥ 2 samples");
+        let n = samples.len() as f64;
+        let sx: f64 = samples.iter().map(|&(m, _)| m as f64).sum();
+        let sy: f64 = samples.iter().map(|&(_, t)| t).sum();
+        let sxx: f64 = samples.iter().map(|&(m, _)| (m as f64) * (m as f64)).sum();
+        let sxy: f64 = samples.iter().map(|&(m, t)| m as f64 * t).sum();
+        let denom = n * sxx - sx * sx;
+        assert!(denom.abs() > 0.0, "AlphaBetaModel::fit: degenerate samples");
+        let beta = (n * sxy - sx * sy) / denom;
+        let alpha = (sy - beta * sx) / n;
+        AlphaBetaModel { alpha, beta }
+    }
+
+    /// Coefficient of determination (R²) of this model on `samples`.
+    pub fn r_squared(&self, samples: &[(usize, f64)]) -> f64 {
+        let mean: f64 = samples.iter().map(|&(_, t)| t).sum::<f64>() / samples.len() as f64;
+        let ss_tot: f64 = samples.iter().map(|&(_, t)| (t - mean).powi(2)).sum();
+        let ss_res: f64 = samples
+            .iter()
+            .map(|&(m, t)| (t - self.time(m)).powi(2))
+            .sum();
+        if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        }
+    }
+}
+
+/// Exponential inversion-cost model `t(d) = α · e^{β·d}` (Eq. 26).
+///
+/// # Example
+///
+/// ```
+/// use spdkfac_core::perf::ExpInverseModel;
+///
+/// let m = ExpInverseModel::new(1e-4, 5e-4);
+/// assert!(m.time(2048) > m.time(64));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpInverseModel {
+    /// Scale α_inv (seconds).
+    pub alpha: f64,
+    /// Exponent rate β_inv (1/dimension).
+    pub beta: f64,
+}
+
+impl ExpInverseModel {
+    /// Creates a model from its two parameters.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        ExpInverseModel { alpha, beta }
+    }
+
+    /// Predicted inversion time for a `d × d` matrix.
+    pub fn time(&self, d: usize) -> f64 {
+        self.alpha * (self.beta * d as f64).exp()
+    }
+
+    /// Log-space least-squares fit to `(dimension, seconds)` samples
+    /// (the Fig. 8 methodology).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two distinct dimensions are given or any time is
+    /// non-positive.
+    pub fn fit(samples: &[(usize, f64)]) -> Self {
+        assert!(samples.len() >= 2, "ExpInverseModel::fit needs ≥ 2 samples");
+        // ln t = ln α + β d: linear regression of ln t on d.
+        let n = samples.len() as f64;
+        let mut sx = 0.0;
+        let mut sy = 0.0;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for &(d, t) in samples {
+            assert!(t > 0.0, "ExpInverseModel::fit: non-positive time sample");
+            let x = d as f64;
+            let y = t.ln();
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        let denom = n * sxx - sx * sx;
+        assert!(denom.abs() > 0.0, "ExpInverseModel::fit: degenerate samples");
+        let beta = (n * sxy - sx * sy) / denom;
+        let alpha = ((sy - beta * sx) / n).exp();
+        ExpInverseModel { alpha, beta }
+    }
+
+    /// R² of the fit in log space.
+    pub fn log_r_squared(&self, samples: &[(usize, f64)]) -> f64 {
+        let mean: f64 = samples.iter().map(|&(_, t)| t.ln()).sum::<f64>() / samples.len() as f64;
+        let ss_tot: f64 = samples.iter().map(|&(_, t)| (t.ln() - mean).powi(2)).sum();
+        let ss_res: f64 = samples
+            .iter()
+            .map(|&(d, t)| (t.ln() - self.time(d).ln()).powi(2))
+            .sum();
+        if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        }
+    }
+
+    /// Dimension below which inversion is cheaper than the modelled
+    /// communication `comm.time_packed(d)` — the NCT threshold visualised in
+    /// Fig. 11. Returns `None` if computation is never cheaper in `1..=max_d`.
+    pub fn nct_threshold(&self, comm: &AlphaBetaModel, max_d: usize) -> Option<usize> {
+        // t_comp is increasing; find the largest d where t_comp(d) < t_comm(d).
+        let mut best = None;
+        for d in 1..=max_d {
+            if self.time(d) < comm.time_packed(d) {
+                best = Some(d);
+            }
+        }
+        best
+    }
+}
+
+/// Cubic inversion-cost model `t(d) = c·d³ + overhead` — the asymptotically
+/// correct alternative to Eq. 26's exponential (Cholesky inversion is
+/// Θ(d³)). Provided as an extension: the paper's exponential fit matches its
+/// measured range (Fig. 8) but extrapolates badly beyond it (e.g. VGG-16's
+/// 25088-dim fc factor), where the cubic form stays sane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CubicCostModel {
+    /// Seconds per `d³` unit.
+    pub coeff: f64,
+    /// Fixed per-operation overhead (seconds).
+    pub overhead: f64,
+}
+
+impl CubicCostModel {
+    /// Creates a model from its parameters.
+    pub fn new(coeff: f64, overhead: f64) -> Self {
+        CubicCostModel { coeff, overhead }
+    }
+
+    /// Predicted time for a `d × d` inversion.
+    pub fn time(&self, d: usize) -> f64 {
+        self.overhead + self.coeff * (d as f64).powi(3)
+    }
+
+    /// Least-squares fit on `(dimension, seconds)` samples — a linear
+    /// regression of `t` on `d³`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two distinct dimensions are given.
+    pub fn fit(samples: &[(usize, f64)]) -> Self {
+        let cubed: Vec<(usize, f64)> = samples
+            .iter()
+            .map(|&(d, t)| (d * d * d, t))
+            .collect();
+        let line = AlphaBetaModel::fit(&cubed);
+        CubicCostModel {
+            coeff: line.beta,
+            overhead: line.alpha,
+        }
+    }
+
+    /// R² of the fit.
+    pub fn r_squared(&self, samples: &[(usize, f64)]) -> f64 {
+        AlphaBetaModel::new(self.overhead, self.coeff)
+            .r_squared(&samples.iter().map(|&(d, t)| (d * d * d, t)).collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubic_fit_recovers_exact_curve() {
+        let truth = CubicCostModel::new(2e-12, 5e-4);
+        let samples: Vec<(usize, f64)> = [64usize, 128, 256, 512, 1024, 2048]
+            .iter()
+            .map(|&d| (d, truth.time(d)))
+            .collect();
+        let fit = CubicCostModel::fit(&samples);
+        assert!((fit.coeff - truth.coeff).abs() / truth.coeff < 1e-9);
+        assert!((fit.overhead - truth.overhead).abs() < 1e-12);
+        assert!(fit.r_squared(&samples) > 0.999999);
+    }
+
+    #[test]
+    fn cubic_extrapolates_sanely_where_exponential_explodes() {
+        // Fit both forms on cubic ground truth over the paper's Fig. 8 range,
+        // then extrapolate to VGG-16's 25088-dim fc factor.
+        let truth = CubicCostModel::new(3e-12, 1e-3);
+        let samples: Vec<(usize, f64)> = [64usize, 256, 1024, 2048, 4096, 8192]
+            .iter()
+            .map(|&d| (d, truth.time(d)))
+            .collect();
+        let cubic = CubicCostModel::fit(&samples);
+        let expo = ExpInverseModel::fit(&samples);
+        let d = 25_088;
+        let true_t = truth.time(d);
+        assert!((cubic.time(d) - true_t).abs() / true_t < 0.01);
+        assert!(
+            expo.time(d) > 100.0 * true_t,
+            "exponential should wildly over-extrapolate: {:.3e} vs {true_t:.3e}",
+            expo.time(d)
+        );
+    }
+
+    #[test]
+    fn alpha_beta_fit_recovers_exact_line() {
+        let truth = AlphaBetaModel::new(2e-4, 3e-9);
+        let samples: Vec<(usize, f64)> = (1..10)
+            .map(|i| {
+                let m = i * 1_000_000;
+                (m, truth.time(m))
+            })
+            .collect();
+        let fitted = AlphaBetaModel::fit(&samples);
+        assert!((fitted.alpha - truth.alpha).abs() < 1e-12);
+        assert!((fitted.beta - truth.beta).abs() < 1e-18);
+        assert!(fitted.r_squared(&samples) > 0.999999);
+    }
+
+    #[test]
+    fn alpha_beta_fit_tolerates_noise() {
+        let truth = AlphaBetaModel::new(1e-4, 2e-9);
+        let samples: Vec<(usize, f64)> = (1..50)
+            .map(|i| {
+                let m = i * 500_000;
+                // ±2% deterministic "noise".
+                let noise = 1.0 + 0.02 * ((i * 7919 % 13) as f64 / 13.0 - 0.5);
+                (m, truth.time(m) * noise)
+            })
+            .collect();
+        let fitted = AlphaBetaModel::fit(&samples);
+        assert!((fitted.beta - truth.beta).abs() / truth.beta < 0.05);
+        assert!(fitted.r_squared(&samples) > 0.99);
+    }
+
+    #[test]
+    fn exp_fit_recovers_exact_curve() {
+        let truth = ExpInverseModel::new(5e-5, 6e-4);
+        let samples: Vec<(usize, f64)> = [64usize, 128, 256, 512, 1024, 2048, 4096, 8192]
+            .iter()
+            .map(|&d| (d, truth.time(d)))
+            .collect();
+        let fitted = ExpInverseModel::fit(&samples);
+        assert!((fitted.alpha - truth.alpha).abs() / truth.alpha < 1e-9);
+        assert!((fitted.beta - truth.beta).abs() / truth.beta < 1e-9);
+        assert!(fitted.log_r_squared(&samples) > 0.999999);
+    }
+
+    #[test]
+    fn exp_model_is_monotone() {
+        let m = ExpInverseModel::new(1e-4, 5e-4);
+        let mut prev = 0.0;
+        for d in [1usize, 64, 256, 1024, 4096, 8192] {
+            let t = m.time(d);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn nct_threshold_exists_for_paper_like_models() {
+        // Small tensors: comm startup dominates ⇒ compute locally (NCT);
+        // large tensors: exponential compute blows past linear comm.
+        let comp = ExpInverseModel::new(2e-4, 8e-4);
+        let comm = AlphaBetaModel::new(3e-4, 2e-10);
+        let thr = comp.nct_threshold(&comm, 8192).expect("threshold expected");
+        assert!(thr > 64 && thr < 8192, "threshold {thr}");
+        // Below the threshold computation is cheaper; above it isn't.
+        assert!(comp.time(thr) < comm.time_packed(thr));
+        assert!(comp.time(8192) > comm.time_packed(8192));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs ≥ 2 samples")]
+    fn fit_rejects_single_sample() {
+        let _ = AlphaBetaModel::fit(&[(1, 1.0)]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Gradient preconditioning with inverted Kronecker factors (Eq. 11).
+
+use crate::factors::FactorState;
+use spdkfac_tensor::{kron, Matrix};
+
+/// Preconditions a weight gradient: `∇̃W = G⁻¹ · ∇W · A⁻¹`.
+///
+/// # Panics
+///
+/// Panics if the inverses have not been computed yet or shapes mismatch.
+pub fn precondition_weight(state: &FactorState, grad: &Matrix) -> Matrix {
+    let a_inv = state.a_inv().expect("A inverse not computed");
+    let g_inv = state.g_inv().expect("G inverse not computed");
+    kron::precondition_gradient(grad, a_inv, g_inv)
+}
+
+/// Preconditions a bias gradient with the output-side factor only:
+/// `∇̃b = G⁻¹ · ∇b`.
+///
+/// The factor dimensions here carry no bias augmentation (DESIGN.md §4), so
+/// the input-side factor for the bias is the scalar `E[1·1ᵀ] = 1` and only
+/// `G⁻¹` applies.
+///
+/// # Panics
+///
+/// Panics if the `G` inverse has not been computed yet or shapes mismatch.
+pub fn precondition_bias(state: &FactorState, grad: &Matrix) -> Matrix {
+    let g_inv = state.g_inv().expect("G inverse not computed");
+    g_inv.matmul(grad)
+}
+
+/// Builds per-parameter update directions for a whole model: weight/bias
+/// gradients of preconditioned layers pass through their factor inverses,
+/// everything else passes through unchanged. Returns `(directions, raw)`
+/// in the model's flat parameter order (`raw` feeds the KL clip).
+///
+/// `state_of_layer[l]` maps layer index to an index into `states` (or `None`
+/// for non-preconditioned layers). States without computed inverses fall
+/// back to the raw gradient.
+pub fn build_directions(
+    net: &spdkfac_nn::Sequential,
+    state_of_layer: &[Option<usize>],
+    states: &[FactorState],
+) -> (Vec<Matrix>, Vec<Matrix>) {
+    let mut directions = Vec::new();
+    let mut raw = Vec::new();
+    for (li, layer) in net.layers().iter().enumerate() {
+        let params = layer.params();
+        match state_of_layer.get(li).copied().flatten() {
+            Some(si) if states[si].a_inv().is_some() => {
+                let st = &states[si];
+                for (pi, p) in params.iter().enumerate() {
+                    raw.push(p.grad.clone());
+                    if pi == 0 {
+                        directions.push(precondition_weight(st, &p.grad));
+                    } else {
+                        directions.push(precondition_bias(st, &p.grad));
+                    }
+                }
+            }
+            _ => {
+                for p in params {
+                    raw.push(p.grad.clone());
+                    directions.push(p.grad.clone());
+                }
+            }
+        }
+    }
+    (directions, raw)
+}
+
+/// Scales update directions so the predicted KL step stays below
+/// `kl_clip` — the standard K-FAC trust-region heuristic:
+/// `ν = min(1, sqrt(kl_clip / Σ_l ⟨∇̃, ∇⟩ · lr²))`.
+///
+/// Returns the scale factor ν applied in place to `directions`.
+pub fn apply_kl_clip(
+    directions: &mut [Matrix],
+    raw_grads: &[Matrix],
+    lr: f64,
+    kl_clip: f64,
+) -> f64 {
+    assert_eq!(directions.len(), raw_grads.len(), "kl_clip: length mismatch");
+    let mut vg_sum = 0.0;
+    for (d, g) in directions.iter().zip(raw_grads.iter()) {
+        let dot: f64 = d
+            .as_slice()
+            .iter()
+            .zip(g.as_slice().iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        vg_sum += dot * lr * lr;
+    }
+    let nu = if vg_sum > 0.0 {
+        (kl_clip / vg_sum).sqrt().min(1.0)
+    } else {
+        1.0
+    };
+    if nu < 1.0 {
+        for d in directions.iter_mut() {
+            d.scale(nu);
+        }
+    }
+    nu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spdkfac_nn::KfacCapture;
+    use spdkfac_tensor::rng::MatrixRng;
+
+    fn ready_state(seed: u64, da: usize, dg: usize) -> FactorState {
+        let mut rng = MatrixRng::new(seed);
+        let cap = KfacCapture {
+            a_rows: rng.gaussian_matrix(da + 8, da),
+            g_rows: rng.gaussian_matrix(da + 8, dg),
+            batch: da + 8,
+        };
+        let mut st = FactorState::new(0);
+        st.update_from_capture(&cap, 0.95);
+        st.refresh_inverses(0.3).unwrap();
+        st
+    }
+
+    #[test]
+    fn identity_factors_leave_grad_unchanged() {
+        let mut st = FactorState::new(0);
+        st.set_a_inv(Matrix::identity(3));
+        st.set_g_inv(Matrix::identity(2));
+        let mut rng = MatrixRng::new(1);
+        let grad = rng.uniform_matrix(2, 3, -1.0, 1.0);
+        let out = precondition_weight(&st, &grad);
+        assert!(out.max_abs_diff(&grad) < 1e-15);
+    }
+
+    #[test]
+    fn preconditioning_matches_manual_product() {
+        let st = ready_state(2, 4, 3);
+        let mut rng = MatrixRng::new(3);
+        let grad = rng.uniform_matrix(3, 4, -1.0, 1.0);
+        let out = precondition_weight(&st, &grad);
+        let manual = st.g_inv().unwrap().matmul(&grad).matmul(st.a_inv().unwrap());
+        assert!(out.max_abs_diff(&manual) < 1e-14);
+    }
+
+    #[test]
+    fn bias_uses_g_only() {
+        let st = ready_state(4, 4, 3);
+        let grad = Matrix::from_vec(3, 1, vec![1.0, -1.0, 0.5]);
+        let out = precondition_bias(&st, &grad);
+        let manual = st.g_inv().unwrap().matmul(&grad);
+        assert!(out.max_abs_diff(&manual) < 1e-14);
+    }
+
+    #[test]
+    fn kl_clip_noop_when_step_is_small() {
+        let mut dirs = vec![Matrix::from_rows(&[&[1e-6]])];
+        let grads = vec![Matrix::from_rows(&[&[1e-6]])];
+        let nu = apply_kl_clip(&mut dirs, &grads, 0.01, 1e-3);
+        assert_eq!(nu, 1.0);
+        assert_eq!(dirs[0][(0, 0)], 1e-6);
+    }
+
+    #[test]
+    fn kl_clip_scales_large_steps() {
+        let mut dirs = vec![Matrix::from_rows(&[&[100.0]])];
+        let grads = vec![Matrix::from_rows(&[&[100.0]])];
+        let nu = apply_kl_clip(&mut dirs, &grads, 1.0, 1e-3);
+        assert!(nu < 1.0);
+        assert!((dirs[0][(0, 0)] - 100.0 * nu).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for the fusion planner and the load-balancing placement.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use spdkfac_core::fusion::{self, FactorPipeline, FusionStrategy};
+use spdkfac_core::perf::{AlphaBetaModel, ExpInverseModel};
+use spdkfac_core::placement::{self, LbpWeight, PlacementStrategy, TensorAssignment};
+
+/// Strategy: a pipeline of 1..40 factors with non-decreasing ready times.
+fn pipeline_strategy() -> impl Strategy<Value = FactorPipeline> {
+    (1usize..40).prop_flat_map(|n| {
+        (
+            pvec(0.0f64..0.5, n),
+            pvec(1usize..5_000_000, n),
+        )
+            .prop_map(|(gaps, sizes)| {
+                let mut ready = Vec::with_capacity(gaps.len());
+                let mut t = 0.0;
+                for g in gaps {
+                    t += g;
+                    ready.push(t);
+                }
+                FactorPipeline::new(ready, sizes).expect("constructed valid")
+            })
+    })
+}
+
+fn comm_strategy() -> impl Strategy<Value = AlphaBetaModel> {
+    (1e-5f64..5e-3, 1e-11f64..1e-8).prop_map(|(a, b)| AlphaBetaModel::new(a, b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_strategies_produce_valid_partitions(p in pipeline_strategy(), comm in comm_strategy()) {
+        for s in [
+            FusionStrategy::Naive,
+            FusionStrategy::LayerWise,
+            FusionStrategy::Threshold { elems: 4_000_000, cycle_s: 0.01 },
+            FusionStrategy::Optimal,
+        ] {
+            let plan = fusion::plan(&p, &comm, s);
+            prop_assert!(plan.is_valid_partition(p.len()), "{s:?} broke the partition");
+        }
+    }
+
+    #[test]
+    fn simulate_spans_are_serialized_and_causal(p in pipeline_strategy(), comm in comm_strategy()) {
+        let plan = fusion::plan(&p, &comm, FusionStrategy::Optimal);
+        let out = fusion::simulate(&p, &plan, &comm, 0.0);
+        // Messages never overlap each other.
+        for w in out.spans.windows(2) {
+            prop_assert!(w[1].0 >= w[0].1 - 1e-12);
+        }
+        // A message never starts before its members are ready.
+        for (bucket, &(start, end)) in plan.buckets().iter().zip(out.spans.iter()) {
+            let ready = bucket.iter().map(|&i| p.ready[i]).fold(f64::MIN, f64::max);
+            prop_assert!(start >= ready - 1e-12);
+            prop_assert!(end >= start);
+        }
+    }
+
+    #[test]
+    fn optimal_never_loses_to_baselines_analytically(p in pipeline_strategy(), comm in comm_strategy()) {
+        let otf = fusion::simulate(&p, &fusion::plan(&p, &comm, FusionStrategy::Optimal), &comm, 0.0);
+        for s in [
+            FusionStrategy::Naive,
+            FusionStrategy::LayerWise,
+            FusionStrategy::Threshold { elems: 4_000_000, cycle_s: 0.005 },
+        ] {
+            let alt = fusion::simulate(&p, &fusion::plan(&p, &comm, s), &comm, 0.0);
+            prop_assert!(
+                otf.finish <= alt.finish + 1e-9,
+                "Optimal {:.6} lost to {s:?} {:.6}",
+                otf.finish,
+                alt.finish
+            );
+        }
+    }
+
+    #[test]
+    fn placement_covers_every_tensor_exactly(
+        dims in pvec(8usize..5000, 1..60),
+        world in 1usize..16,
+        weight_pick in 0usize..3,
+    ) {
+        let comp = ExpInverseModel::new(5e-4, 1.0e-3);
+        let comm = AlphaBetaModel::new(8e-4, 6e-10);
+        let weight = [LbpWeight::Dim, LbpWeight::DimSquared, LbpWeight::ModeledTime][weight_pick];
+        let p = placement::place(&dims, world, &comp, &comm, PlacementStrategy::Lbp { weight });
+        let mut count = vec![0usize; dims.len()];
+        for g in 0..world {
+            for t in p.set_for_gpu(g) {
+                count[t] += 1;
+            }
+        }
+        for (i, &c) in count.iter().enumerate() {
+            if p.is_nct(i) {
+                prop_assert_eq!(c, world, "NCT {} not replicated", i);
+                // Eq. 18 precondition: NCT iff modelled compute < comm.
+                prop_assert!(comp.time(dims[i]) < comm.time_packed(dims[i]));
+            } else {
+                prop_assert_eq!(c, 1, "CT {} not unique", i);
+                prop_assert!(comp.time(dims[i]) >= comm.time_packed(dims[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn lbp_ct_balance_within_lpt_bound(
+        dims in pvec(1000usize..6000, 1..80),
+        world in 1usize..12,
+    ) {
+        // All dims ≥ 1000 are CTs under these models; LPT greedy guarantees
+        // max load ≤ 4/3 · lower bound on the d² weight.
+        let comp = ExpInverseModel::new(5e-4, 1.0e-3);
+        let comm = AlphaBetaModel::new(8e-4, 6e-10);
+        let p = placement::lbp(&dims, world, &comp, &comm, LbpWeight::DimSquared);
+        let mut loads = vec![0.0f64; world];
+        let mut total = 0.0;
+        let mut max_item: f64 = 0.0;
+        for (i, a) in p.assignments().iter().enumerate() {
+            let w = (dims[i] as f64).powi(2);
+            match a {
+                TensorAssignment::Gpu(g) => {
+                    loads[*g] += w;
+                    total += w;
+                    max_item = max_item.max(w);
+                }
+                TensorAssignment::AllGpus => {}
+            }
+        }
+        let makespan = loads.iter().cloned().fold(0.0, f64::max);
+        let lower = (total / world as f64).max(max_item);
+        prop_assert!(makespan <= lower * 4.0 / 3.0 + 1e-6);
+    }
+
+    #[test]
+    fn seqdist_round_robin_is_exact(n in 1usize..100, world in 1usize..16) {
+        let dims = vec![64usize; n];
+        let comp = ExpInverseModel::new(5e-4, 1.0e-3);
+        let comm = AlphaBetaModel::new(8e-4, 6e-10);
+        let p = placement::place(&dims, world, &comp, &comm, PlacementStrategy::SeqDist);
+        for (i, a) in p.assignments().iter().enumerate() {
+            prop_assert_eq!(*a, TensorAssignment::Gpu(i % world));
+        }
+    }
+
+    #[test]
+    fn alpha_beta_fit_is_consistent(alpha in 1e-6f64..1e-2, beta in 1e-12f64..1e-7) {
+        let truth = AlphaBetaModel::new(alpha, beta);
+        let samples: Vec<(usize, f64)> = (1..20).map(|i| {
+            let m = i * 100_000;
+            (m, truth.time(m))
+        }).collect();
+        let fit = AlphaBetaModel::fit(&samples);
+        prop_assert!((fit.alpha - alpha).abs() <= alpha.max(1e-9) * 1e-6 + 1e-12);
+        prop_assert!((fit.beta - beta).abs() <= beta * 1e-6);
+    }
+
+    #[test]
+    fn exp_fit_is_consistent(alpha in 1e-6f64..1e-2, beta in 1e-5f64..3e-3) {
+        let truth = ExpInverseModel::new(alpha, beta);
+        let samples: Vec<(usize, f64)> = [64usize, 128, 256, 512, 1024, 2048]
+            .iter()
+            .map(|&d| (d, truth.time(d)))
+            .collect();
+        let fit = ExpInverseModel::fit(&samples);
+        prop_assert!((fit.alpha - alpha).abs() / alpha < 1e-6);
+        prop_assert!((fit.beta - beta).abs() / beta < 1e-6);
+    }
+}

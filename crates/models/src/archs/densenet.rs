@@ -1,0 +1,120 @@
+//! DenseNet-201 (Huang et al., 2017) with bottleneck dense layers.
+
+use crate::profile::ModelProfile;
+use crate::spec::LayerSpec;
+
+/// Growth rate `k` of DenseNet-201.
+const GROWTH: usize = 32;
+/// Bottleneck width multiplier (`bn_size`).
+const BN_SIZE: usize = 4;
+
+/// DenseNet-201 at the paper's per-GPU batch size 16 (Table II row 3).
+///
+/// Blocks `[6, 12, 48, 32]`; every dense layer is a 1×1 bottleneck
+/// (`c → 4k`) followed by a 3×3 conv (`4k → k`); transitions halve channels
+/// and spatial size. KFAC layers: `1 + 2·(6+12+48+32) + 3 + 1 = 201`.
+pub fn densenet201() -> ModelProfile {
+    let blocks = [6usize, 12, 48, 32];
+    let mut layers = Vec::new();
+    layers.push(LayerSpec::conv("conv0", 3, 64, 7, 2, 3, 224));
+    let mut hw = 56; // after max-pool
+    let mut c = 64;
+    for (bi, &b) in blocks.iter().enumerate() {
+        for li in 0..b {
+            let prefix = format!("denseblock{}.denselayer{}", bi + 1, li + 1);
+            layers.push(LayerSpec::conv(
+                format!("{prefix}.conv1"),
+                c,
+                BN_SIZE * GROWTH,
+                1,
+                1,
+                0,
+                hw,
+            ));
+            layers.push(LayerSpec::conv(
+                format!("{prefix}.conv2"),
+                BN_SIZE * GROWTH,
+                GROWTH,
+                3,
+                1,
+                1,
+                hw,
+            ));
+            c += GROWTH;
+        }
+        if bi + 1 < blocks.len() {
+            // Transition: 1×1 halving conv, then 2×2 average pool.
+            layers.push(LayerSpec::conv(
+                format!("transition{}.conv", bi + 1),
+                c,
+                c / 2,
+                1,
+                1,
+                0,
+                hw,
+            ));
+            c /= 2;
+            hw /= 2;
+        }
+    }
+    layers.push(LayerSpec::linear("classifier", c, 1000));
+    ModelProfile::new("DenseNet-201", layers, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count_is_201() {
+        assert_eq!(densenet201().num_kfac_layers(), 201);
+    }
+
+    #[test]
+    fn final_channels_are_1920() {
+        let m = densenet201();
+        let fc = m.layers().last().unwrap();
+        assert_eq!(fc.a_dim(), 1920);
+        assert_eq!(fc.g_dim(), 1000);
+    }
+
+    #[test]
+    fn channel_growth_inside_block() {
+        let m = densenet201();
+        // denseblock1.denselayer1.conv1 reads 64 channels, denselayer2 reads 96.
+        let c1 = m.layers().iter().find(|l| l.name == "denseblock1.denselayer1.conv1").unwrap();
+        let c2 = m.layers().iter().find(|l| l.name == "denseblock1.denselayer2.conv1").unwrap();
+        assert_eq!(c1.a_dim(), 64);
+        assert_eq!(c2.a_dim(), 96);
+    }
+
+    #[test]
+    fn transitions_halve_channels() {
+        let m = densenet201();
+        let t1 = m.layers().iter().find(|l| l.name == "transition1.conv").unwrap();
+        assert_eq!(t1.a_dim(), 256);
+        assert_eq!(t1.g_dim(), 128);
+    }
+
+    #[test]
+    fn params_near_torchvision() {
+        // torchvision densenet201 = 20.01M including batch-norm.
+        let p = densenet201().total_params() as f64;
+        assert!((p - 20.0e6).abs() / 20.0e6 < 0.03, "params = {p}");
+    }
+
+    #[test]
+    fn many_small_factors() {
+        // DenseNet's defining property for the paper: hundreds of *small*
+        // factors (all G dims ≤ 1000), which is what makes Seq-Dist's
+        // per-tensor broadcast startup cost dominate (Fig. 12).
+        let m = densenet201();
+        assert!(m.g_dims().iter().all(|&d| d <= 1000));
+        let small = m
+            .all_factor_dims()
+            .iter()
+            .filter(|&&d| d <= 256)
+            .count();
+        assert!(small > 150, "expected many small factors, got {small}");
+    }
+}

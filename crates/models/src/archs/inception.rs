@@ -1,0 +1,171 @@
+//! Inception-v4 (Szegedy et al., 2017).
+//!
+//! 149 convolutions + 1 fully-connected layer = 150 preconditionable layers
+//! (Table II row 4). Parallel branches are flattened in definition order;
+//! spatial sizes follow the standard 299×299 input pipeline
+//! (299 → 149 → 147 → 73 → 71 → 35 → 17 → 8).
+
+use crate::profile::ModelProfile;
+use crate::spec::LayerSpec;
+
+/// Pushes the stem convolutions; returns the output channel count (384) at
+/// 35×35.
+fn stem(l: &mut Vec<LayerSpec>) -> usize {
+    l.push(LayerSpec::conv("stem.conv1", 3, 32, 3, 2, 0, 299)); // -> 149
+    l.push(LayerSpec::conv("stem.conv2", 32, 32, 3, 1, 0, 149)); // -> 147
+    l.push(LayerSpec::conv("stem.conv3", 32, 64, 3, 1, 1, 147)); // -> 147
+    // mixed_3a: max-pool ‖ strided conv -> 73, channels 64 + 96 = 160.
+    l.push(LayerSpec::conv("stem.mixed3a.conv", 64, 96, 3, 2, 0, 147));
+    // mixed_4a on 73×73 input (160 ch): two branches -> 96 + 96 = 192 at 71.
+    l.push(LayerSpec::conv("stem.mixed4a.b1.1x1", 160, 64, 1, 1, 0, 73));
+    l.push(LayerSpec::conv("stem.mixed4a.b1.3x3", 64, 96, 3, 1, 0, 73)); // -> 71
+    l.push(LayerSpec::conv("stem.mixed4a.b2.1x1", 160, 64, 1, 1, 0, 73));
+    l.push(LayerSpec::conv_rect("stem.mixed4a.b2.1x7", 64, 64, 1, 7, 0, 3, 73));
+    l.push(LayerSpec::conv_rect("stem.mixed4a.b2.7x1", 64, 64, 7, 1, 3, 0, 73));
+    l.push(LayerSpec::conv("stem.mixed4a.b2.3x3", 64, 96, 3, 1, 0, 73)); // -> 71
+    // mixed_5a: strided conv ‖ max-pool -> 35, channels 192 + 192 = 384.
+    l.push(LayerSpec::conv("stem.mixed5a.conv", 192, 192, 3, 2, 0, 71));
+    384
+}
+
+/// Inception-A block (input 384 ch at 35×35, output 384 ch): 7 convolutions.
+fn inception_a(l: &mut Vec<LayerSpec>, idx: usize) {
+    let p = format!("inceptionA{idx}");
+    let hw = 35;
+    let c = 384;
+    l.push(LayerSpec::conv(format!("{p}.b1.1x1"), c, 96, 1, 1, 0, hw));
+    l.push(LayerSpec::conv(format!("{p}.b2.1x1"), c, 64, 1, 1, 0, hw));
+    l.push(LayerSpec::conv(format!("{p}.b2.3x3"), 64, 96, 3, 1, 1, hw));
+    l.push(LayerSpec::conv(format!("{p}.b3.1x1"), c, 64, 1, 1, 0, hw));
+    l.push(LayerSpec::conv(format!("{p}.b3.3x3a"), 64, 96, 3, 1, 1, hw));
+    l.push(LayerSpec::conv(format!("{p}.b3.3x3b"), 96, 96, 3, 1, 1, hw));
+    l.push(LayerSpec::conv(format!("{p}.b4.pool1x1"), c, 96, 1, 1, 0, hw));
+}
+
+/// Reduction-A (384 → 1024 ch, 35 → 17): 4 convolutions.
+fn reduction_a(l: &mut Vec<LayerSpec>) {
+    let hw = 35;
+    l.push(LayerSpec::conv("reductionA.b1.3x3", 384, 384, 3, 2, 0, hw));
+    l.push(LayerSpec::conv("reductionA.b2.1x1", 384, 192, 1, 1, 0, hw));
+    l.push(LayerSpec::conv("reductionA.b2.3x3a", 192, 224, 3, 1, 1, hw));
+    l.push(LayerSpec::conv("reductionA.b2.3x3b", 224, 256, 3, 2, 0, hw));
+}
+
+/// Inception-B block (input 1024 ch at 17×17): 10 convolutions.
+fn inception_b(l: &mut Vec<LayerSpec>, idx: usize) {
+    let p = format!("inceptionB{idx}");
+    let hw = 17;
+    let c = 1024;
+    l.push(LayerSpec::conv(format!("{p}.b1.1x1"), c, 384, 1, 1, 0, hw));
+    l.push(LayerSpec::conv(format!("{p}.b2.1x1"), c, 192, 1, 1, 0, hw));
+    l.push(LayerSpec::conv_rect(format!("{p}.b2.1x7"), 192, 224, 1, 7, 0, 3, hw));
+    l.push(LayerSpec::conv_rect(format!("{p}.b2.7x1"), 224, 256, 7, 1, 3, 0, hw));
+    l.push(LayerSpec::conv(format!("{p}.b3.1x1"), c, 192, 1, 1, 0, hw));
+    l.push(LayerSpec::conv_rect(format!("{p}.b3.7x1a"), 192, 192, 7, 1, 3, 0, hw));
+    l.push(LayerSpec::conv_rect(format!("{p}.b3.1x7a"), 192, 224, 1, 7, 0, 3, hw));
+    l.push(LayerSpec::conv_rect(format!("{p}.b3.7x1b"), 224, 224, 7, 1, 3, 0, hw));
+    l.push(LayerSpec::conv_rect(format!("{p}.b3.1x7b"), 224, 256, 1, 7, 0, 3, hw));
+    l.push(LayerSpec::conv(format!("{p}.b4.pool1x1"), c, 128, 1, 1, 0, hw));
+}
+
+/// Reduction-B (1024 → 1536 ch, 17 → 8): 6 convolutions.
+fn reduction_b(l: &mut Vec<LayerSpec>) {
+    let hw = 17;
+    l.push(LayerSpec::conv("reductionB.b1.1x1", 1024, 192, 1, 1, 0, hw));
+    l.push(LayerSpec::conv("reductionB.b1.3x3", 192, 192, 3, 2, 0, hw));
+    l.push(LayerSpec::conv("reductionB.b2.1x1", 1024, 256, 1, 1, 0, hw));
+    l.push(LayerSpec::conv_rect("reductionB.b2.1x7", 256, 256, 1, 7, 0, 3, hw));
+    l.push(LayerSpec::conv_rect("reductionB.b2.7x1", 256, 320, 7, 1, 3, 0, hw));
+    l.push(LayerSpec::conv("reductionB.b2.3x3", 320, 320, 3, 2, 0, hw));
+}
+
+/// Inception-C block (input 1536 ch at 8×8): 10 convolutions.
+fn inception_c(l: &mut Vec<LayerSpec>, idx: usize) {
+    let p = format!("inceptionC{idx}");
+    let hw = 8;
+    let c = 1536;
+    l.push(LayerSpec::conv(format!("{p}.b1.1x1"), c, 256, 1, 1, 0, hw));
+    l.push(LayerSpec::conv(format!("{p}.b2.1x1"), c, 384, 1, 1, 0, hw));
+    l.push(LayerSpec::conv_rect(format!("{p}.b2.1x3"), 384, 256, 1, 3, 0, 1, hw));
+    l.push(LayerSpec::conv_rect(format!("{p}.b2.3x1"), 384, 256, 3, 1, 1, 0, hw));
+    l.push(LayerSpec::conv(format!("{p}.b3.1x1"), c, 384, 1, 1, 0, hw));
+    l.push(LayerSpec::conv_rect(format!("{p}.b3.1x3"), 384, 448, 1, 3, 0, 1, hw));
+    l.push(LayerSpec::conv_rect(format!("{p}.b3.3x1"), 448, 512, 3, 1, 1, 0, hw));
+    l.push(LayerSpec::conv_rect(format!("{p}.b3.out1x3"), 512, 256, 1, 3, 0, 1, hw));
+    l.push(LayerSpec::conv_rect(format!("{p}.b3.out3x1"), 512, 256, 3, 1, 1, 0, hw));
+    l.push(LayerSpec::conv(format!("{p}.b4.pool1x1"), c, 256, 1, 1, 0, hw));
+}
+
+/// Inception-v4 at the paper's per-GPU batch size 16 (Table II row 4).
+pub fn inceptionv4() -> ModelProfile {
+    let mut layers = Vec::new();
+    let _stem_out = stem(&mut layers);
+    for i in 0..4 {
+        inception_a(&mut layers, i);
+    }
+    reduction_a(&mut layers);
+    for i in 0..7 {
+        inception_b(&mut layers, i);
+    }
+    reduction_b(&mut layers);
+    for i in 0..3 {
+        inception_c(&mut layers, i);
+    }
+    layers.push(LayerSpec::linear("last_linear", 1536, 1000));
+    ModelProfile::new("Inception-v4", layers, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count_is_150() {
+        assert_eq!(inceptionv4().num_kfac_layers(), 150);
+    }
+
+    #[test]
+    fn block_conv_counts() {
+        let mut l = Vec::new();
+        assert_eq!(stem(&mut l), 384);
+        assert_eq!(l.len(), 11);
+        l.clear();
+        inception_a(&mut l, 0);
+        assert_eq!(l.len(), 7);
+        l.clear();
+        inception_b(&mut l, 0);
+        assert_eq!(l.len(), 10);
+        l.clear();
+        inception_c(&mut l, 0);
+        assert_eq!(l.len(), 10);
+        l.clear();
+        reduction_a(&mut l);
+        assert_eq!(l.len(), 4);
+        l.clear();
+        reduction_b(&mut l);
+        assert_eq!(l.len(), 6);
+    }
+
+    #[test]
+    fn spatial_pipeline() {
+        let m = inceptionv4();
+        let c1 = &m.layers()[0];
+        assert_eq!(c1.out_h(), 149);
+        let fc = m.layers().last().unwrap();
+        assert_eq!(fc.a_dim(), 1536);
+    }
+
+    #[test]
+    fn params_near_reference() {
+        // Reference Inception-v4 ≈ 42.7M parameters.
+        let p = inceptionv4().total_params() as f64;
+        assert!((p - 42.7e6).abs() / 42.7e6 < 0.03, "params = {p}");
+    }
+
+    #[test]
+    fn g_factors_are_small() {
+        // Table II: Inception-v4 has only 4.7M G elements — all cout ≤ 1000.
+        let m = inceptionv4();
+        assert!(m.g_dims().iter().all(|&d| d <= 1000));
+    }
+}

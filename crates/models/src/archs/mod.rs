@@ -1,0 +1,113 @@
+//! Architecture builders for the four paper CNNs (Table II) plus VGG-16 as
+//! an extension stress case.
+
+mod densenet;
+mod inception;
+mod resnet;
+mod vgg;
+
+pub use densenet::densenet201;
+pub use inception::inceptionv4;
+pub use resnet::{resnet152, resnet50};
+pub use vgg::vgg16;
+
+use crate::profile::ModelProfile;
+
+/// All four evaluation models with their Table II batch sizes, in the
+/// paper's row order.
+pub fn paper_models() -> Vec<ModelProfile> {
+    vec![resnet50(), resnet152(), densenet201(), inceptionv4()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table II, validated end-to-end. Layer counts are exact; parameter and
+    /// factor-element totals must fall within a few percent of the paper
+    /// (batch-norm parameters and rounding account for the slack).
+    #[test]
+    fn table2_layer_counts_exact() {
+        let expect = [54usize, 156, 201, 150];
+        for (m, e) in paper_models().iter().zip(expect) {
+            assert_eq!(m.num_kfac_layers(), e, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn table2_batch_sizes() {
+        let expect = [32usize, 8, 16, 16];
+        for (m, e) in paper_models().iter().zip(expect) {
+            assert_eq!(m.batch_size(), e, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn table2_param_counts_within_tolerance() {
+        // Paper: 25.6 / 60.2 / 20.0 / 42.7 million.
+        let expect = [25.6e6, 60.2e6, 20.0e6, 42.7e6];
+        for (m, e) in paper_models().iter().zip(expect) {
+            let got = m.total_params() as f64;
+            let rel = (got - e).abs() / e;
+            assert!(
+                rel < 0.03,
+                "{}: params {got:.3e} vs Table II {e:.3e} ({:.1}% off)",
+                m.name(),
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn table2_factor_elements_within_tolerance() {
+        // Paper: As = 62.3 / 162.0 / 131.0 / 116.4 M, Gs = 14.6 / 32.9 / 18.0 / 4.7 M.
+        //
+        // DenseNet-201's G total is expected as 1.8M, not the paper's 18.0M:
+        // every DenseNet-201 conv has ≤ 1000 output channels, so
+        // Σ d(d+1)/2 cannot reach 18M — and our computed value (1.81M) agrees
+        // with every *other* Table II cell to three significant figures.
+        // We read 18.0 as a decimal-point erratum for 1.8 (see EXPERIMENTS.md).
+        let expect_a = [62.3e6, 162.0e6, 131.0e6, 116.4e6];
+        let expect_g = [14.6e6, 32.9e6, 1.8e6, 4.7e6];
+        for ((m, ea), eg) in paper_models().iter().zip(expect_a).zip(expect_g) {
+            let ga = m.total_packed_a() as f64;
+            let gg = m.total_packed_g() as f64;
+            assert!(
+                (ga - ea).abs() / ea < 0.06,
+                "{}: As {ga:.3e} vs {ea:.3e} ({:.1}% off)",
+                m.name(),
+                (ga - ea).abs() / ea * 100.0
+            );
+            assert!(
+                (gg - eg).abs() / eg < 0.06,
+                "{}: Gs {gg:.3e} vs {eg:.3e} ({:.1}% off)",
+                m.name(),
+                (gg - eg).abs() / eg * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn fig3_resnet50_factor_extremes() {
+        let m = resnet50();
+        assert_eq!(m.min_packed_factor(), 2_080);
+        assert_eq!(m.max_packed_factor(), 10_619_136);
+    }
+
+    #[test]
+    fn all_models_have_positive_flops() {
+        for m in paper_models() {
+            assert!(m.fwd_flops() > 0.0, "{}", m.name());
+            assert!(m.factor_flops() > 0.0, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn factor_dims_are_all_positive_and_bounded() {
+        for m in paper_models() {
+            for d in m.all_factor_dims() {
+                assert!((1..=8192).contains(&d), "{}: factor dim {d}", m.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! ResNet-50 / ResNet-152 bottleneck architectures (He et al., 2016).
+
+use crate::profile::ModelProfile;
+use crate::spec::LayerSpec;
+
+/// Builds a bottleneck ResNet profile for ImageNet (224×224 input).
+///
+/// `blocks` is the per-stage block count (`[3,4,6,3]` for ResNet-50,
+/// `[3,8,36,3]` for ResNet-152). KFAC layer count = `1 + 3·Σblocks + 4 + 1`.
+fn resnet_bottleneck(name: &str, blocks: [usize; 4], batch: usize) -> ModelProfile {
+    let mut layers = Vec::new();
+    // Stem: conv1 7×7/2 then 3×3/2 max-pool (pool is not preconditionable).
+    layers.push(LayerSpec::conv("conv1", 3, 64, 7, 2, 3, 224));
+    let mut hw = 56; // after max-pool
+    let mut c_in = 64;
+    let widths = [64usize, 128, 256, 512];
+    for (stage, (&b, &w)) in blocks.iter().zip(widths.iter()).enumerate() {
+        let stride = if stage == 0 { 1 } else { 2 };
+        let c_out = 4 * w;
+        for blk in 0..b {
+            let prefix = format!("layer{}.{blk}", stage + 1);
+            let s = if blk == 0 { stride } else { 1 };
+            let in_hw = hw;
+            let out_hw = if s == 2 { hw / 2 } else { hw };
+            // conv1 1×1 reduce (stride 1, torchvision v1.5 places stride on 3×3).
+            layers.push(LayerSpec::conv(format!("{prefix}.conv1"), c_in, w, 1, 1, 0, in_hw));
+            // conv2 3×3 (strided in the first block of a stage).
+            layers.push(LayerSpec::conv(format!("{prefix}.conv2"), w, w, 3, s, 1, in_hw));
+            // conv3 1×1 expand.
+            layers.push(LayerSpec::conv(format!("{prefix}.conv3"), w, c_out, 1, 1, 0, out_hw));
+            if blk == 0 {
+                // Downsample shortcut 1×1 (strided).
+                layers.push(LayerSpec::conv(
+                    format!("{prefix}.downsample"),
+                    c_in,
+                    c_out,
+                    1,
+                    s,
+                    0,
+                    in_hw,
+                ));
+            }
+            c_in = c_out;
+            hw = out_hw;
+        }
+    }
+    // Global average pool → fc.
+    layers.push(LayerSpec::linear("fc", c_in, 1000));
+    ModelProfile::new(name, layers, batch)
+}
+
+/// ResNet-50 at the paper's per-GPU batch size 32 (Table II row 1).
+pub fn resnet50() -> ModelProfile {
+    resnet_bottleneck("ResNet-50", [3, 4, 6, 3], 32)
+}
+
+/// ResNet-152 at the paper's per-GPU batch size 8 (Table II row 2).
+pub fn resnet152() -> ModelProfile {
+    resnet_bottleneck("ResNet-152", [3, 8, 36, 3], 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_layer_count() {
+        assert_eq!(resnet50().num_kfac_layers(), 54);
+    }
+
+    #[test]
+    fn resnet152_layer_count() {
+        assert_eq!(resnet152().num_kfac_layers(), 156);
+    }
+
+    #[test]
+    fn resnet50_stage_dims() {
+        let m = resnet50();
+        // First bottleneck conv after the stem: 1×1 64→64 at 56².
+        let l = &m.layers()[1];
+        assert_eq!(l.a_dim(), 64);
+        assert_eq!(l.g_dim(), 64);
+        assert_eq!(l.in_h, 56);
+        // Final fc: 2048→1000.
+        let fc = m.layers().last().unwrap();
+        assert_eq!(fc.a_dim(), 2048);
+        assert_eq!(fc.g_dim(), 1000);
+    }
+
+    #[test]
+    fn resnet50_spatial_pipeline() {
+        let m = resnet50();
+        // Stage-4 3×3 convs run at 7×7 and have a_dim 4608.
+        let last3x3 = m
+            .layers()
+            .iter()
+            .filter(|l| l.a_dim() == 4608)
+            .count();
+        assert_eq!(last3x3, 3, "three 3×3 convs on 512 channels");
+    }
+
+    #[test]
+    fn resnet50_param_count_close_to_torchvision() {
+        // torchvision resnet50 = 25.557M including batch-norm; conv+fc ≈ 25.50M.
+        let p = resnet50().total_params() as f64;
+        assert!((p - 25.5e6).abs() / 25.5e6 < 0.01, "params = {p}");
+    }
+
+    #[test]
+    fn downsample_present_once_per_stage() {
+        let m = resnet50();
+        let ds = m
+            .layers()
+            .iter()
+            .filter(|l| l.name.contains("downsample"))
+            .count();
+        assert_eq!(ds, 4);
+    }
+}

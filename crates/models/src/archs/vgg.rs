@@ -1,0 +1,78 @@
+//! VGG-16 (Simonyan & Zisserman, 2015) — not in the paper's Table II, but
+//! the standard K-FAC stress case (kfac-pytorch / KAISA evaluate it): its
+//! first fully-connected layer has a **25088-dimensional** `A` factor, far
+//! outside the `d ∈ [64, 8192]` range the paper fits Eq. 26 on, which is
+//! where the exponential cost model breaks down (see
+//! `spdkfac_core::perf::CubicCostModel`).
+
+use crate::profile::ModelProfile;
+use crate::spec::LayerSpec;
+
+/// VGG-16 at batch size 32: 13 convolutions + 3 fully-connected layers.
+pub fn vgg16() -> ModelProfile {
+    let cfg: [(usize, usize); 13] = [
+        (3, 64),
+        (64, 64),
+        (64, 128),
+        (128, 128),
+        (128, 256),
+        (256, 256),
+        (256, 256),
+        (256, 512),
+        (512, 512),
+        (512, 512),
+        (512, 512),
+        (512, 512),
+        (512, 512),
+    ];
+    // Max-pool after conv indices 1, 3, 6, 9, 12 (0-based).
+    let pool_after = [1usize, 3, 6, 9, 12];
+    let mut layers = Vec::new();
+    let mut hw = 224usize;
+    for (i, &(cin, cout)) in cfg.iter().enumerate() {
+        layers.push(LayerSpec::conv(format!("conv{}", i + 1), cin, cout, 3, 1, 1, hw));
+        if pool_after.contains(&i) {
+            hw /= 2;
+        }
+    }
+    debug_assert_eq!(hw, 7);
+    layers.push(LayerSpec::linear("fc1", 512 * 7 * 7, 4096));
+    layers.push(LayerSpec::linear("fc2", 4096, 4096));
+    layers.push(LayerSpec::linear("fc3", 4096, 1000));
+    ModelProfile::new("VGG-16", layers, 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_preconditionable_layers() {
+        assert_eq!(vgg16().num_kfac_layers(), 16);
+    }
+
+    #[test]
+    fn params_match_reference() {
+        // torchvision vgg16: 138.36M parameters.
+        let p = vgg16().total_params() as f64;
+        assert!((p - 138.36e6).abs() / 138.36e6 < 0.01, "params = {p}");
+    }
+
+    #[test]
+    fn fc1_factor_is_the_stress_case() {
+        let m = vgg16();
+        let fc1 = m.layers().iter().find(|l| l.name == "fc1").unwrap();
+        assert_eq!(fc1.a_dim(), 25_088);
+        // Its packed A factor alone is ~315M elements — larger than all of
+        // ResNet-152's factors combined.
+        assert!(fc1.packed_a() > 300_000_000);
+    }
+
+    #[test]
+    fn conv_stack_spatial_pipeline() {
+        let m = vgg16();
+        assert_eq!(m.layers()[0].out_h(), 224);
+        let last_conv = &m.layers()[12];
+        assert_eq!(last_conv.in_h, 14);
+    }
+}

@@ -1,0 +1,33 @@
+//! # spdkfac-models
+//!
+//! Layer-dimension profiles of the four CNNs the paper evaluates
+//! (Table II): ResNet-50, ResNet-152, DenseNet-201 and Inception-v4.
+//!
+//! The paper's systems results depend on the networks only through their
+//! **per-layer Kronecker-factor dimensions** (which set all communication
+//! volumes and inversion costs), **parameter counts** (gradient traffic) and
+//! **FLOPs** (compute-time model). This crate reconstructs those from
+//! genuine architecture definitions — bottleneck blocks, dense blocks,
+//! inception blocks — rather than hard-coded tables, and the test-suite
+//! validates the results against Table II and the Fig. 3 anchors
+//! (ResNet-50's smallest factor = 2 080 packed elements, largest =
+//! 10 619 136).
+//!
+//! # Example
+//!
+//! ```
+//! use spdkfac_models::resnet50;
+//!
+//! let m = resnet50();
+//! assert_eq!(m.num_kfac_layers(), 54);      // Table II "# Layers"
+//! let mega = m.total_packed_a() as f64 / 1e6;
+//! assert!((mega - 62.3).abs() < 3.0);       // Table II "# As (million)"
+//! ```
+
+pub mod archs;
+pub mod profile;
+pub mod spec;
+
+pub use archs::{densenet201, inceptionv4, paper_models, resnet152, resnet50, vgg16};
+pub use profile::ModelProfile;
+pub use spec::{LayerKind, LayerSpec};

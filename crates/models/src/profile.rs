@@ -1,0 +1,215 @@
+//! Whole-model profiles: aggregate statistics over layer specs.
+
+use crate::spec::LayerSpec;
+
+/// A model profile: the ordered list of preconditionable layers plus the
+/// experiment batch size (Table II's per-GPU batch).
+///
+/// Layer order is forward-traversal order; parallel branches of inception /
+/// residual blocks are flattened in definition order, which is also the
+/// order a define-by-run framework fires its forward hooks in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelProfile {
+    name: String,
+    layers: Vec<LayerSpec>,
+    batch_size: usize,
+}
+
+impl ModelProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or `batch_size == 0`.
+    pub fn new(name: impl Into<String>, layers: Vec<LayerSpec>, batch_size: usize) -> Self {
+        assert!(!layers.is_empty(), "ModelProfile requires layers");
+        assert!(batch_size > 0, "ModelProfile requires a positive batch size");
+        ModelProfile {
+            name: name.into(),
+            layers,
+            batch_size,
+        }
+    }
+
+    /// Model name (e.g. `"ResNet-50"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The preconditionable layers in forward order.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Per-GPU mini-batch size used in the paper's experiments (Table II).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Returns a copy of the profile at a different per-GPU batch size
+    /// (factor dimensions are batch-independent; only FLOPs change).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn with_batch_size(&self, batch_size: usize) -> ModelProfile {
+        assert!(batch_size > 0, "batch size must be positive");
+        ModelProfile {
+            name: self.name.clone(),
+            layers: self.layers.clone(),
+            batch_size,
+        }
+    }
+
+    /// Number of preconditionable layers — Table II "# Layers".
+    pub fn num_kfac_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total trainable parameters — Table II "# Param.".
+    pub fn total_params(&self) -> usize {
+        self.layers.iter().map(|l| l.params()).sum()
+    }
+
+    /// Total packed elements of all `A` factors — Table II "# As".
+    pub fn total_packed_a(&self) -> usize {
+        self.layers.iter().map(|l| l.packed_a()).sum()
+    }
+
+    /// Total packed elements of all `G` factors — Table II "# Gs".
+    pub fn total_packed_g(&self) -> usize {
+        self.layers.iter().map(|l| l.packed_g()).sum()
+    }
+
+    /// `A`-factor dimensions in forward order.
+    pub fn a_dims(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.a_dim()).collect()
+    }
+
+    /// `G`-factor dimensions in forward order.
+    pub fn g_dims(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.g_dim()).collect()
+    }
+
+    /// All `2L` factor dimensions in the paper's inversion-workload order:
+    /// `A_0, G_1, A_1, G_2, …` (layer-major, A before G).
+    pub fn all_factor_dims(&self) -> Vec<usize> {
+        let mut dims = Vec::with_capacity(2 * self.layers.len());
+        for l in &self.layers {
+            dims.push(l.a_dim());
+            dims.push(l.g_dim());
+        }
+        dims
+    }
+
+    /// Forward FLOPs of one iteration at the profile batch size.
+    pub fn fwd_flops(&self) -> f64 {
+        self.layers.iter().map(|l| l.fwd_flops(self.batch_size)).sum()
+    }
+
+    /// Backward FLOPs of one iteration.
+    pub fn bwd_flops(&self) -> f64 {
+        self.layers.iter().map(|l| l.bwd_flops(self.batch_size)).sum()
+    }
+
+    /// FLOPs to compute all Kronecker factors for one iteration.
+    pub fn factor_flops(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| l.factor_a_flops(self.batch_size) + l.factor_g_flops(self.batch_size))
+            .sum()
+    }
+
+    /// Gradient element count (equals parameter count).
+    pub fn grad_elements(&self) -> usize {
+        self.total_params()
+    }
+
+    /// Largest single packed factor (elements) — the Fig. 3 max marker.
+    pub fn max_packed_factor(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.packed_a().max(l.packed_g()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Smallest single packed factor (elements) — the Fig. 3 min marker.
+    pub fn min_packed_factor(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.packed_a().min(l.packed_g()))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Histogram of packed factor sizes (size → multiplicity), the data
+    /// behind Fig. 3's scatter.
+    pub fn factor_size_histogram(&self) -> std::collections::BTreeMap<usize, usize> {
+        let mut hist = std::collections::BTreeMap::new();
+        for l in &self.layers {
+            *hist.entry(l.packed_a()).or_insert(0) += 1;
+            *hist.entry(l.packed_g()).or_insert(0) += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LayerSpec;
+
+    fn tiny() -> ModelProfile {
+        ModelProfile::new(
+            "tiny",
+            vec![
+                LayerSpec::conv("c1", 3, 8, 3, 1, 1, 8),
+                LayerSpec::linear("fc", 8 * 64, 10),
+            ],
+            4,
+        )
+    }
+
+    #[test]
+    fn aggregates_sum_over_layers() {
+        let m = tiny();
+        assert_eq!(m.num_kfac_layers(), 2);
+        assert_eq!(m.total_params(), 3 * 8 * 9 + 512 * 10 + 10);
+        assert_eq!(m.total_packed_a(), 27 * 28 / 2 + 512 * 513 / 2);
+        assert_eq!(m.total_packed_g(), 8 * 9 / 2 + 10 * 11 / 2);
+    }
+
+    #[test]
+    fn factor_dim_order_is_layer_major() {
+        let m = tiny();
+        assert_eq!(m.all_factor_dims(), vec![27, 8, 512, 10]);
+    }
+
+    #[test]
+    fn histogram_counts_multiplicities() {
+        let m = ModelProfile::new(
+            "dup",
+            vec![
+                LayerSpec::conv("c1", 8, 8, 1, 1, 0, 4),
+                LayerSpec::conv("c2", 8, 8, 1, 1, 0, 4),
+            ],
+            1,
+        );
+        let hist = m.factor_size_histogram();
+        assert_eq!(hist[&36], 4); // both A (dim 8) and G (dim 8) twice
+    }
+
+    #[test]
+    fn min_max_factors() {
+        let m = tiny();
+        assert_eq!(m.max_packed_factor(), 512 * 513 / 2);
+        assert_eq!(m.min_packed_factor(), 8 * 9 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires layers")]
+    fn rejects_empty() {
+        let _ = ModelProfile::new("empty", vec![], 1);
+    }
+}

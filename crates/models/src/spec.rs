@@ -1,0 +1,265 @@
+//! Per-layer specifications: dimensions, parameters, FLOPs, factor sizes.
+
+/// The kind of a preconditionable layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// A 2-D convolution (possibly non-square kernel, e.g. Inception's 1×7).
+    Conv {
+        /// Input channels.
+        c_in: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Kernel height.
+        kh: usize,
+        /// Kernel width.
+        kw: usize,
+        /// Stride (same in both axes).
+        stride: usize,
+        /// Padding rows on each side.
+        pad_h: usize,
+        /// Padding columns on each side.
+        pad_w: usize,
+    },
+    /// A fully-connected layer.
+    Linear {
+        /// Input features.
+        d_in: usize,
+        /// Output features.
+        d_out: usize,
+    },
+}
+
+/// One preconditionable layer of a model profile.
+///
+/// `in_h`/`in_w` record the spatial size of the layer's input feature map
+/// (1×1 for linear layers); they determine FLOPs and the number of spatial
+/// positions contributing to the Kronecker factors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSpec {
+    /// Human-readable layer name (e.g. `"layer3.4.conv2"`).
+    pub name: String,
+    /// Layer kind and dimensions.
+    pub kind: LayerKind,
+    /// Input feature-map height.
+    pub in_h: usize,
+    /// Input feature-map width.
+    pub in_w: usize,
+}
+
+impl LayerSpec {
+    /// Convolution constructor with square geometry.
+    pub fn conv(
+        name: impl Into<String>,
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        in_hw: usize,
+    ) -> Self {
+        LayerSpec {
+            name: name.into(),
+            kind: LayerKind::Conv {
+                c_in,
+                c_out,
+                kh: k,
+                kw: k,
+                stride,
+                pad_h: pad,
+                pad_w: pad,
+            },
+            in_h: in_hw,
+            in_w: in_hw,
+        }
+    }
+
+    /// Convolution constructor with a rectangular kernel (e.g. 1×7).
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv_rect(
+        name: impl Into<String>,
+        c_in: usize,
+        c_out: usize,
+        kh: usize,
+        kw: usize,
+        pad_h: usize,
+        pad_w: usize,
+        in_hw: usize,
+    ) -> Self {
+        LayerSpec {
+            name: name.into(),
+            kind: LayerKind::Conv {
+                c_in,
+                c_out,
+                kh,
+                kw,
+                stride: 1,
+                pad_h,
+                pad_w,
+            },
+            in_h: in_hw,
+            in_w: in_hw,
+        }
+    }
+
+    /// Linear-layer constructor.
+    pub fn linear(name: impl Into<String>, d_in: usize, d_out: usize) -> Self {
+        LayerSpec {
+            name: name.into(),
+            kind: LayerKind::Linear { d_in, d_out },
+            in_h: 1,
+            in_w: 1,
+        }
+    }
+
+    /// Output feature-map height.
+    pub fn out_h(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv { kh, stride, pad_h, .. } => {
+                (self.in_h + 2 * pad_h - kh) / stride + 1
+            }
+            LayerKind::Linear { .. } => 1,
+        }
+    }
+
+    /// Output feature-map width.
+    pub fn out_w(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv { kw, stride, pad_w, .. } => {
+                (self.in_w + 2 * pad_w - kw) / stride + 1
+            }
+            LayerKind::Linear { .. } => 1,
+        }
+    }
+
+    /// Kronecker factor `A` dimension: `C_in·k_h·k_w` for convolutions
+    /// (Grosse–Martens, no bias augmentation — see DESIGN.md §4), `d_in` for
+    /// linear layers.
+    pub fn a_dim(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv { c_in, kh, kw, .. } => c_in * kh * kw,
+            LayerKind::Linear { d_in, .. } => d_in,
+        }
+    }
+
+    /// Kronecker factor `G` dimension: `C_out` / `d_out`.
+    pub fn g_dim(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv { c_out, .. } => c_out,
+            LayerKind::Linear { d_out, .. } => d_out,
+        }
+    }
+
+    /// Packed upper-triangle element count of factor `A`: `d(d+1)/2`.
+    pub fn packed_a(&self) -> usize {
+        let d = self.a_dim();
+        d * (d + 1) / 2
+    }
+
+    /// Packed upper-triangle element count of factor `G`.
+    pub fn packed_g(&self) -> usize {
+        let d = self.g_dim();
+        d * (d + 1) / 2
+    }
+
+    /// Trainable parameter count (weights; bias only for linear layers —
+    /// paper CNNs use batch-norm after convolutions, so convs are bias-free).
+    pub fn params(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv { c_in, c_out, kh, kw, .. } => c_in * c_out * kh * kw,
+            LayerKind::Linear { d_in, d_out } => d_in * d_out + d_out,
+        }
+    }
+
+    /// Forward-pass multiply–add FLOPs for a mini-batch of `batch` samples
+    /// (counted as 2 ops per MAC).
+    pub fn fwd_flops(&self, batch: usize) -> f64 {
+        let per_sample = match self.kind {
+            LayerKind::Conv { c_out, .. } => {
+                2.0 * (self.a_dim() * c_out * self.out_h() * self.out_w()) as f64
+            }
+            LayerKind::Linear { d_in, d_out } => 2.0 * (d_in * d_out) as f64,
+        };
+        per_sample * batch as f64
+    }
+
+    /// Backward-pass FLOPs (weight-gradient GEMM + input-gradient GEMM ≈ 2×
+    /// the forward cost).
+    pub fn bwd_flops(&self, batch: usize) -> f64 {
+        2.0 * self.fwd_flops(batch)
+    }
+
+    /// FLOPs to build Kronecker factor `A = aᵀa` from the capture rows
+    /// (symmetric rank-k update: `rows · d_A²`).
+    pub fn factor_a_flops(&self, batch: usize) -> f64 {
+        let rows = (batch * self.out_h() * self.out_w()) as f64;
+        rows * (self.a_dim() as f64).powi(2)
+    }
+
+    /// FLOPs to build Kronecker factor `G = gᵀg`.
+    pub fn factor_g_flops(&self, batch: usize) -> f64 {
+        let rows = (batch * self.out_h() * self.out_w()) as f64;
+        rows * (self.g_dim() as f64).powi(2)
+    }
+
+    /// FLOPs to precondition the gradient `G⁻¹ ∇W A⁻¹` (two GEMMs).
+    pub fn precond_flops(&self) -> f64 {
+        let (da, dg) = (self.a_dim() as f64, self.g_dim() as f64);
+        2.0 * dg * dg * da + 2.0 * dg * da * da
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_conv1_dims() {
+        // Conv1 of ResNet-50: 7×7, 3→64, stride 2, pad 3, 224 input.
+        let l = LayerSpec::conv("conv1", 3, 64, 7, 2, 3, 224);
+        assert_eq!(l.out_h(), 112);
+        assert_eq!(l.a_dim(), 147);
+        assert_eq!(l.g_dim(), 64);
+        assert_eq!(l.packed_g(), 2080); // Fig. 3 smallest ResNet-50 factor
+        assert_eq!(l.params(), 9408);
+    }
+
+    #[test]
+    fn largest_resnet50_factor_matches_fig3() {
+        // 3×3 conv on 512 channels: a_dim = 4608, packed = 10,619,136.
+        let l = LayerSpec::conv("layer4.x.conv2", 512, 512, 3, 1, 1, 7);
+        assert_eq!(l.a_dim(), 4608);
+        assert_eq!(l.packed_a(), 10_619_136);
+    }
+
+    #[test]
+    fn rect_kernel_dims() {
+        // Inception 1×7 conv: kernel (1,7), pad (0,3).
+        let l = LayerSpec::conv_rect("b2.1x7", 192, 224, 1, 7, 0, 3, 17);
+        assert_eq!(l.out_h(), 17);
+        assert_eq!(l.out_w(), 17);
+        assert_eq!(l.a_dim(), 192 * 7);
+        assert_eq!(l.params(), 192 * 224 * 7);
+    }
+
+    #[test]
+    fn linear_dims() {
+        let l = LayerSpec::linear("fc", 2048, 1000);
+        assert_eq!(l.a_dim(), 2048);
+        assert_eq!(l.g_dim(), 1000);
+        assert_eq!(l.params(), 2048 * 1000 + 1000);
+        assert_eq!(l.out_h(), 1);
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_batch() {
+        let l = LayerSpec::conv("c", 64, 64, 3, 1, 1, 56);
+        assert!((l.fwd_flops(32) / l.fwd_flops(1) - 32.0).abs() < 1e-9);
+        assert!((l.bwd_flops(1) / l.fwd_flops(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let l = LayerSpec::conv("c", 64, 128, 3, 2, 1, 56);
+        assert_eq!(l.out_h(), 28);
+    }
+}

@@ -1,0 +1,175 @@
+//! im2col / col2im lowering for convolutions.
+//!
+//! Convolution is computed as a GEMM over patch rows; the same patch matrix
+//! doubles as the K-FAC `a` capture for conv layers (Grosse–Martens
+//! Kronecker factors for convolution: `A = E[patch patchᵀ]`).
+
+use crate::tensor4::Tensor4;
+use spdkfac_tensor::Matrix;
+
+/// Spatial geometry of a convolution / pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Kernel height/width (square kernels only).
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on each side.
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output spatial size for an input of size `in_sz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit at all.
+    pub fn out_size(&self, in_sz: usize) -> usize {
+        let padded = in_sz + 2 * self.pad;
+        assert!(
+            padded >= self.kernel,
+            "conv window {} larger than padded input {}",
+            self.kernel,
+            padded
+        );
+        (padded - self.kernel) / self.stride + 1
+    }
+}
+
+/// Lowers input `x` to patch rows.
+///
+/// The output matrix has `N · out_h · out_w` rows and `C · k · k` columns;
+/// row `(n · out_h + oh) · out_w + ow` holds the receptive field of output
+/// position `(oh, ow)` of sample `n`, channel-major.
+pub fn im2col(x: &Tensor4, geom: ConvGeom) -> Matrix {
+    let (n, c, h, w) = x.shape();
+    let oh = geom.out_size(h);
+    let ow = geom.out_size(w);
+    let k = geom.kernel;
+    let cols = c * k * k;
+    let mut out = Matrix::zeros(n * oh * ow, cols);
+    for s in 0..n {
+        for yo in 0..oh {
+            for xo in 0..ow {
+                let row_idx = (s * oh + yo) * ow + xo;
+                let row = out.row_mut(row_idx);
+                for ch in 0..c {
+                    for ky in 0..k {
+                        let yi = (yo * geom.stride + ky) as isize - geom.pad as isize;
+                        for kx in 0..k {
+                            let xi = (xo * geom.stride + kx) as isize - geom.pad as isize;
+                            let col_idx = (ch * k + ky) * k + kx;
+                            if yi >= 0 && (yi as usize) < h && xi >= 0 && (xi as usize) < w {
+                                row[col_idx] = x.at(s, ch, yi as usize, xi as usize);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`im2col`]: scatters patch-row gradients back onto the input.
+///
+/// `cols` must have the shape produced by `im2col` for an input of shape
+/// `(n, c, h, w)` under `geom`.
+pub fn col2im(cols: &Matrix, n: usize, c: usize, h: usize, w: usize, geom: ConvGeom) -> Tensor4 {
+    let oh = geom.out_size(h);
+    let ow = geom.out_size(w);
+    let k = geom.kernel;
+    assert_eq!(cols.rows(), n * oh * ow, "col2im: row count mismatch");
+    assert_eq!(cols.cols(), c * k * k, "col2im: column count mismatch");
+    let mut out = Tensor4::zeros(n, c, h, w);
+    for s in 0..n {
+        for yo in 0..oh {
+            for xo in 0..ow {
+                let row = cols.row((s * oh + yo) * ow + xo);
+                for ch in 0..c {
+                    for ky in 0..k {
+                        let yi = (yo * geom.stride + ky) as isize - geom.pad as isize;
+                        for kx in 0..k {
+                            let xi = (xo * geom.stride + kx) as isize - geom.pad as isize;
+                            if yi >= 0 && (yi as usize) < h && xi >= 0 && (xi as usize) < w {
+                                let col_idx = (ch * k + ky) * k + kx;
+                                *out.at_mut(s, ch, yi as usize, xi as usize) += row[col_idx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_size_formulas() {
+        assert_eq!(ConvGeom { kernel: 3, stride: 1, pad: 1 }.out_size(8), 8);
+        assert_eq!(ConvGeom { kernel: 3, stride: 2, pad: 1 }.out_size(8), 4);
+        assert_eq!(ConvGeom { kernel: 1, stride: 1, pad: 0 }.out_size(5), 5);
+        assert_eq!(ConvGeom { kernel: 7, stride: 2, pad: 3 }.out_size(224), 112);
+    }
+
+    #[test]
+    fn identity_kernel_extracts_pixels() {
+        // 1x1 kernel, stride 1, no pad: im2col rows are just pixels.
+        let x = Tensor4::from_vec(1, 2, 2, 2, (1..=8).map(f64::from).collect());
+        let m = im2col(&x, ConvGeom { kernel: 1, stride: 1, pad: 0 });
+        assert_eq!(m.shape(), (4, 2));
+        // Row for (h=0, w=1): channels 0 and 1 at that position.
+        assert_eq!(m.row(1), &[2.0, 6.0]);
+    }
+
+    #[test]
+    fn padding_zero_fills() {
+        let x = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let m = im2col(&x, ConvGeom { kernel: 3, stride: 1, pad: 1 });
+        assert_eq!(m.shape(), (4, 9));
+        // Output (0,0): receptive field has top-left padding zeros; centre is 1.
+        let r = m.row(0);
+        assert_eq!(r[4], 1.0); // centre
+        assert_eq!(r[0], 0.0); // padded corner
+        assert_eq!(r[8], 4.0); // bottom-right of window = input (1,1)
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y (adjoint test).
+        use spdkfac_tensor::rng::MatrixRng;
+        let mut rng = MatrixRng::new(3);
+        let geom = ConvGeom { kernel: 3, stride: 2, pad: 1 };
+        let (n, c, h, w) = (2, 3, 5, 5);
+        let x = Tensor4::from_vec(n, c, h, w, rng.uniform_vec(n * c * h * w, -1.0, 1.0));
+        let fx = im2col(&x, geom);
+        let y = rng.uniform_matrix(fx.rows(), fx.cols(), -1.0, 1.0);
+        let aty = col2im(&y, n, c, h, w, geom);
+
+        let lhs: f64 = fx
+            .as_slice()
+            .iter()
+            .zip(y.as_slice().iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(aty.as_slice().iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-10, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn multi_sample_rows_are_grouped_by_sample() {
+        let x = Tensor4::from_vec(2, 1, 1, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let m = im2col(&x, ConvGeom { kernel: 1, stride: 1, pad: 0 });
+        assert_eq!(m.shape(), (4, 1));
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! The layer abstraction and K-FAC statistic capture.
+
+use crate::tensor4::Tensor4;
+use spdkfac_tensor::Matrix;
+
+/// A trainable parameter: value and the gradient of the current step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter values.
+    pub value: Matrix,
+    /// Gradient accumulated by the last backward pass.
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient of matching shape.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Param { value, grad }
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.rows() * self.value.cols()
+    }
+}
+
+/// Raw K-FAC statistics captured by one preconditionable layer during one
+/// forward/backward pass.
+///
+/// `a_rows` are the layer-input rows (inputs for `Linear`, im2col patches for
+/// `Conv2d`); `g_rows` are the loss gradients w.r.t. the layer's
+/// pre-activation outputs (mean-reduced, i.e. carrying a `1/N` factor).
+#[derive(Debug, Clone)]
+pub struct KfacCapture {
+    /// Input rows: `R_a × d_a`.
+    pub a_rows: Matrix,
+    /// Output-gradient rows: `R_g × d_g`.
+    pub g_rows: Matrix,
+    /// Mini-batch size `N` of the captured step.
+    pub batch: usize,
+}
+
+impl KfacCapture {
+    /// Kronecker factor `A = E[a aᵀ]` (Eq. 7): the Gramian of the input rows
+    /// averaged over all rows (batch × spatial positions).
+    pub fn factor_a(&self) -> Matrix {
+        self.a_rows.gramian_scaled(self.a_rows.rows() as f64)
+    }
+
+    /// Kronecker factor `G = E[ĝ ĝᵀ]` (Eq. 8), where per-sample
+    /// pre-activation gradients `ĝ = N·g` undo the loss mean-reduction:
+    /// `G = N² / R_g · (gᵀ g)`.
+    pub fn factor_g(&self) -> Matrix {
+        let n = self.batch as f64;
+        let rows = self.g_rows.rows() as f64;
+        self.g_rows.gramian_scaled(rows / (n * n))
+    }
+
+    /// `(d_a, d_g)` — the factor dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.a_rows.cols(), self.g_rows.cols())
+    }
+}
+
+/// A differentiable layer.
+///
+/// The contract mirrors a define-by-run framework: `forward` caches whatever
+/// `backward` needs; `backward` consumes the cached state, fills parameter
+/// gradients and returns the gradient w.r.t. the input. Layers are driven by
+/// [`crate::Sequential`].
+pub trait Layer: Send {
+    /// Human-readable layer name (used in traces and error messages).
+    fn name(&self) -> &str;
+
+    /// Forward pass. When `capture` is true, preconditionable layers record
+    /// the K-FAC `a` statistic (and arm `g` capture for the backward pass).
+    fn forward(&mut self, x: &Tensor4, capture: bool) -> Tensor4;
+
+    /// Backward pass: returns the gradient w.r.t. the forward input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called without a preceding `forward`.
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4;
+
+    /// Immutable views of the trainable parameters (possibly empty).
+    fn params(&self) -> Vec<&Param>;
+
+    /// Mutable views of the trainable parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Takes the K-FAC capture recorded by the last captured
+    /// forward/backward pair, if this layer is preconditionable.
+    fn take_capture(&mut self) -> Option<KfacCapture>;
+
+    /// Takes the `a` statistic rows as soon as the layer's forward pass has
+    /// run (the `register_forward_pre_hook` analogue of §V-A) — this is what
+    /// lets SPD-KFAC start communicating `A_{l-1}` while later layers are
+    /// still computing. Non-preconditionable layers return `None`.
+    fn take_a_stat(&mut self) -> Option<Matrix> {
+        None
+    }
+
+    /// Takes the `(g rows, batch)` statistic as soon as the layer's backward
+    /// pass has run (the `register_backward_hook` analogue of §V-A).
+    /// Non-preconditionable layers return `None`.
+    fn take_g_stat(&mut self) -> Option<(Matrix, usize)> {
+        None
+    }
+
+    /// `(d_a, d_g)` Kronecker-factor dimensions for preconditionable layers.
+    fn kfac_dims(&self) -> Option<(usize, usize)>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spdkfac_tensor::rng::MatrixRng;
+
+    #[test]
+    fn param_new_zeroes_grad() {
+        let p = Param::new(Matrix::identity(3));
+        assert_eq!(p.grad, Matrix::zeros(3, 3));
+        assert_eq!(p.numel(), 9);
+    }
+
+    #[test]
+    fn factor_a_is_row_averaged_gramian() {
+        let mut rng = MatrixRng::new(1);
+        let a_rows = rng.gaussian_matrix(10, 4);
+        let cap = KfacCapture {
+            a_rows: a_rows.clone(),
+            g_rows: Matrix::zeros(10, 2),
+            batch: 10,
+        };
+        let a = cap.factor_a();
+        let expect = a_rows.gramian_scaled(10.0);
+        assert!(a.max_abs_diff(&expect) < 1e-12);
+        assert_eq!(cap.dims(), (4, 2));
+    }
+
+    #[test]
+    fn factor_g_rescales_by_batch() {
+        // For a linear layer (R_g == N), G should equal N · gᵀg.
+        let mut rng = MatrixRng::new(2);
+        let g_rows = rng.gaussian_matrix(8, 3);
+        let cap = KfacCapture {
+            a_rows: Matrix::zeros(8, 2),
+            g_rows: g_rows.clone(),
+            batch: 8,
+        };
+        let g = cap.factor_g();
+        let mut expect = g_rows.gramian();
+        expect.scale(8.0);
+        assert!(g.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn factor_g_conv_scaling() {
+        // For a conv layer with T spatial positions, R_g = N·T and
+        // G = N²/(N·T) gᵀg = (N/T) gᵀg.
+        let mut rng = MatrixRng::new(3);
+        let (n, t, d) = (4, 5, 3);
+        let g_rows = rng.gaussian_matrix(n * t, d);
+        let cap = KfacCapture {
+            a_rows: Matrix::zeros(n * t, 2),
+            g_rows: g_rows.clone(),
+            batch: n,
+        };
+        let g = cap.factor_g();
+        let mut expect = g_rows.gramian();
+        expect.scale(n as f64 / t as f64);
+        assert!(g.max_abs_diff(&expect) < 1e-12);
+    }
+}

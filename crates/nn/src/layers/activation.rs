@@ -1,0 +1,174 @@
+//! Additional element-wise activations: Tanh and LeakyReLU.
+
+use crate::layer::{KfacCapture, Layer, Param};
+use crate::tensor4::Tensor4;
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    /// Cached outputs (tanh' = 1 − tanh²).
+    out: Option<Tensor4>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &str {
+        "tanh"
+    }
+
+    fn forward(&mut self, x: &Tensor4, _capture: bool) -> Tensor4 {
+        let y = x.map(f64::tanh);
+        self.out = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let y = self.out.take().expect("Tanh::backward before forward");
+        assert_eq!(grad_out.shape(), y.shape(), "tanh: grad shape mismatch");
+        let data: Vec<f64> = grad_out
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&g, &t)| g * (1.0 - t * t))
+            .collect();
+        let (n, c, h, w) = y.shape();
+        Tensor4::from_vec(n, c, h, w, data)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn take_capture(&mut self) -> Option<KfacCapture> {
+        None
+    }
+
+    fn kfac_dims(&self) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+/// Leaky rectified linear unit: `x` if positive, `slope·x` otherwise.
+#[derive(Debug)]
+pub struct LeakyReLU {
+    slope: f64,
+    mask: Option<Vec<bool>>,
+    shape: Option<(usize, usize, usize, usize)>,
+}
+
+impl LeakyReLU {
+    /// Creates a leaky ReLU with the given negative-side slope.
+    pub fn new(slope: f64) -> Self {
+        LeakyReLU {
+            slope,
+            mask: None,
+            shape: None,
+        }
+    }
+}
+
+impl Layer for LeakyReLU {
+    fn name(&self) -> &str {
+        "leaky_relu"
+    }
+
+    fn forward(&mut self, x: &Tensor4, _capture: bool) -> Tensor4 {
+        self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
+        self.shape = Some(x.shape());
+        let slope = self.slope;
+        x.map(|v| if v > 0.0 { v } else { slope * v })
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let mask = self.mask.take().expect("LeakyReLU::backward before forward");
+        let shape = self.shape.take().expect("missing shape");
+        assert_eq!(grad_out.shape(), shape, "leaky_relu: grad shape mismatch");
+        let data: Vec<f64> = grad_out
+            .as_slice()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&g, &m)| if m { g } else { self.slope * g })
+            .collect();
+        Tensor4::from_vec(shape.0, shape.1, shape.2, shape.3, data)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn take_capture(&mut self) -> Option<KfacCapture> {
+        None
+    }
+
+    fn kfac_dims(&self) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tanh_values_and_gradient() {
+        let mut t = Tanh::new();
+        let x = Tensor4::from_vec(1, 1, 1, 3, vec![-1.0, 0.0, 1.0]);
+        let y = t.forward(&x, false);
+        assert!((y.as_slice()[1]).abs() < 1e-15);
+        assert!((y.as_slice()[2] - 1.0f64.tanh()).abs() < 1e-15);
+        let g = Tensor4::from_vec(1, 1, 1, 3, vec![1.0; 3]);
+        let dx = t.backward(&g);
+        // tanh'(0) = 1.
+        assert!((dx.as_slice()[1] - 1.0).abs() < 1e-15);
+        let th = 1.0f64.tanh();
+        assert!((dx.as_slice()[2] - (1.0 - th * th)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tanh_gradient_finite_difference() {
+        let mut t = Tanh::new();
+        let eps = 1e-6;
+        for v in [-0.7, 0.2, 1.3] {
+            let x = Tensor4::from_vec(1, 1, 1, 1, vec![v]);
+            let _ = t.forward(&x, false);
+            let dx = t.backward(&Tensor4::from_vec(1, 1, 1, 1, vec![1.0]));
+            let fd = ((v + eps).tanh() - (v - eps).tanh()) / (2.0 * eps);
+            assert!((dx.as_slice()[0] - fd).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn leaky_relu_forward_backward() {
+        let mut l = LeakyReLU::new(0.1);
+        let x = Tensor4::from_vec(1, 1, 1, 4, vec![-2.0, -0.5, 0.5, 2.0]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.as_slice(), &[-0.2, -0.05, 0.5, 2.0]);
+        let g = Tensor4::from_vec(1, 1, 1, 4, vec![1.0; 4]);
+        let dx = l.backward(&g);
+        assert_eq!(dx.as_slice(), &[0.1, 0.1, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        let mut t = Tanh::new();
+        let mut l = LeakyReLU::new(0.01);
+        assert!(t.params().is_empty());
+        assert!(l.params().is_empty());
+        assert!(t.take_capture().is_none());
+        assert!(l.take_capture().is_none());
+    }
+}

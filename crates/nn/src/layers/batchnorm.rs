@@ -1,0 +1,333 @@
+//! Per-channel batch normalization.
+//!
+//! The paper's CNNs all use batch-norm after convolutions. BN layers are not
+//! preconditionable in K-FAC (no Kronecker structure), which is why they do
+//! not appear in Table II's layer counts — but their presence changes the
+//! gradients of every surrounding layer, so a faithful substrate needs them.
+
+use crate::layer::{KfacCapture, Layer, Param};
+use crate::tensor4::Tensor4;
+use spdkfac_tensor::Matrix;
+
+/// Batch normalization over `(N, H, W)` per channel, with learnable scale
+/// `γ` and shift `β`.
+///
+/// Training mode uses batch statistics and maintains running estimates;
+/// evaluation mode ([`BatchNorm2d::set_training`]) uses the running
+/// estimates.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f64,
+    momentum: f64,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f64>,
+    running_var: Vec<f64>,
+    training: bool,
+    /// Cached per-channel batch statistics and normalised activations.
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor4,
+    inv_std: Vec<f64>,
+    shape: (usize, usize, usize, usize),
+}
+
+impl BatchNorm2d {
+    /// Creates a BN layer over `channels` channels (γ = 1, β = 0).
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Param::new(Matrix::from_vec(channels, 1, vec![1.0; channels])),
+            beta: Param::new(Matrix::zeros(channels, 1)),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            training: true,
+        cache: None,
+        }
+    }
+
+    /// Switches between batch statistics (training) and running statistics
+    /// (evaluation).
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Running mean estimates (one per channel).
+    pub fn running_mean(&self) -> &[f64] {
+        &self.running_mean
+    }
+
+    /// Running variance estimates (one per channel).
+    pub fn running_var(&self) -> &[f64] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &str {
+        "batchnorm"
+    }
+
+    fn forward(&mut self, x: &Tensor4, _capture: bool) -> Tensor4 {
+        let (n, c, h, w) = x.shape();
+        assert_eq!(c, self.channels, "batchnorm: channel mismatch");
+        let count = (n * h * w) as f64;
+        let mut out = Tensor4::zeros(n, c, h, w);
+        let mut x_hat = Tensor4::zeros(n, c, h, w);
+        let mut inv_std = vec![0.0; c];
+        for ch in 0..c {
+            let (mean, var) = if self.training {
+                let mut mean = 0.0;
+                for s in 0..n {
+                    for y in 0..h {
+                        for xx in 0..w {
+                            mean += x.at(s, ch, y, xx);
+                        }
+                    }
+                }
+                mean /= count;
+                let mut var = 0.0;
+                for s in 0..n {
+                    for y in 0..h {
+                        for xx in 0..w {
+                            var += (x.at(s, ch, y, xx) - mean).powi(2);
+                        }
+                    }
+                }
+                var /= count;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std[ch] = istd;
+            let g = self.gamma.value[(ch, 0)];
+            let b = self.beta.value[(ch, 0)];
+            for s in 0..n {
+                for y in 0..h {
+                    for xx in 0..w {
+                        let xh = (x.at(s, ch, y, xx) - mean) * istd;
+                        *x_hat.at_mut(s, ch, y, xx) = xh;
+                        *out.at_mut(s, ch, y, xx) = g * xh + b;
+                    }
+                }
+            }
+        }
+        self.cache = Some(BnCache {
+            x_hat,
+            inv_std,
+            shape: (n, c, h, w),
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let cache = self.cache.take().expect("BatchNorm2d::backward before forward");
+        let (n, c, h, w) = cache.shape;
+        assert_eq!(grad_out.shape(), (n, c, h, w), "batchnorm: grad shape mismatch");
+        let count = (n * h * w) as f64;
+        let mut dx = Tensor4::zeros(n, c, h, w);
+        let mut dgamma = Matrix::zeros(c, 1);
+        let mut dbeta = Matrix::zeros(c, 1);
+        for ch in 0..c {
+            // Accumulate Σ dy, Σ dy·x̂ for the channel.
+            let mut sum_dy = 0.0;
+            let mut sum_dy_xhat = 0.0;
+            for s in 0..n {
+                for y in 0..h {
+                    for xx in 0..w {
+                        let dy = grad_out.at(s, ch, y, xx);
+                        sum_dy += dy;
+                        sum_dy_xhat += dy * cache.x_hat.at(s, ch, y, xx);
+                    }
+                }
+            }
+            dgamma[(ch, 0)] = sum_dy_xhat;
+            dbeta[(ch, 0)] = sum_dy;
+            let g = self.gamma.value[(ch, 0)];
+            let istd = cache.inv_std[ch];
+            if self.training {
+                // dx = γ/std · (dy − mean(dy) − x̂ · mean(dy·x̂)).
+                for s in 0..n {
+                    for y in 0..h {
+                        for xx in 0..w {
+                            let dy = grad_out.at(s, ch, y, xx);
+                            let xh = cache.x_hat.at(s, ch, y, xx);
+                            *dx.at_mut(s, ch, y, xx) =
+                                g * istd * (dy - sum_dy / count - xh * sum_dy_xhat / count);
+                        }
+                    }
+                }
+            } else {
+                for s in 0..n {
+                    for y in 0..h {
+                        for xx in 0..w {
+                            *dx.at_mut(s, ch, y, xx) = g * istd * grad_out.at(s, ch, y, xx);
+                        }
+                    }
+                }
+            }
+        }
+        self.gamma.grad = dgamma;
+        self.beta.grad = dbeta;
+        dx
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn take_capture(&mut self) -> Option<KfacCapture> {
+        None
+    }
+
+    fn kfac_dims(&self) -> Option<(usize, usize)> {
+        None // BN is not Kronecker-preconditionable (matches Table II counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_output_is_normalised() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor4::from_vec(2, 2, 1, 2, vec![1.0, 3.0, 10.0, 20.0, 5.0, 7.0, 30.0, 40.0]);
+        let y = bn.forward(&x, false);
+        // Per-channel mean ≈ 0, variance ≈ 1 over (N, H, W).
+        for ch in 0..2 {
+            let vals: Vec<f64> = (0..2)
+                .flat_map(|s| (0..2).map(move |xx| (s, xx)))
+                .map(|(s, xx)| y.at(s, ch, 0, xx))
+                .collect();
+            let mean: f64 = vals.iter().sum::<f64>() / 4.0;
+            let var: f64 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-10, "channel {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "channel {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor4::from_vec(4, 1, 1, 1, vec![1.0, 2.0, 3.0, 4.0]);
+        for _ in 0..200 {
+            let _ = bn.forward(&x, false);
+        }
+        bn.set_training(false);
+        // Running stats converge to mean 2.5, var 1.25.
+        assert!((bn.running_mean()[0] - 2.5).abs() < 1e-3);
+        let y = bn.forward(&x, false);
+        let expect = (1.0 - 2.5) / (1.25f64 + 1e-5).sqrt();
+        assert!((y.at(0, 0, 0, 0) - expect).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.gamma.value[(0, 0)] = 2.0;
+        bn.beta.value[(0, 0)] = 1.0;
+        let x = Tensor4::from_vec(2, 1, 1, 1, vec![-1.0, 1.0]);
+        let y = bn.forward(&x, false);
+        // x̂ = ±1 (var 1) ⇒ y = 2·(±1) + 1.
+        assert!((y.at(0, 0, 0, 0) + 1.0).abs() < 1e-3);
+        assert!((y.at(1, 0, 0, 0) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        use spdkfac_tensor::rng::MatrixRng;
+        let eps = 1e-5;
+        let mut rng = MatrixRng::new(3);
+        let x = Tensor4::from_vec(3, 2, 2, 2, rng.uniform_vec(24, -1.0, 1.0));
+        // Loss = weighted sum of outputs for determinism.
+        let wts: Vec<f64> = rng.uniform_vec(24, -1.0, 1.0);
+        let loss_of = |bn: &mut BatchNorm2d, x: &Tensor4| -> f64 {
+            bn.forward(x, false)
+                .as_slice()
+                .iter()
+                .zip(wts.iter())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+
+        let mut bn = BatchNorm2d::new(2);
+        bn.gamma.value[(0, 0)] = 1.3;
+        bn.beta.value[(1, 0)] = -0.4;
+        let _ = bn.forward(&x, false);
+        let grad = Tensor4::from_vec(3, 2, 2, 2, wts.clone());
+        let dx = bn.backward(&grad);
+
+        // Input gradient check. Note: running stats update every forward, so
+        // clone a fresh layer per evaluation.
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut bn_p = BatchNorm2d::new(2);
+            bn_p.gamma.value[(0, 0)] = 1.3;
+            bn_p.beta.value[(1, 0)] = -0.4;
+            let lp = loss_of(&mut bn_p, &xp);
+            xp.as_mut_slice()[i] -= 2.0 * eps;
+            let mut bn_m = BatchNorm2d::new(2);
+            bn_m.gamma.value[(0, 0)] = 1.3;
+            bn_m.beta.value[(1, 0)] = -0.4;
+            let lm = loss_of(&mut bn_m, &xp);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - dx.as_slice()[i]).abs() < 1e-5,
+                "input grad {i}: fd {fd} vs {}",
+                dx.as_slice()[i]
+            );
+        }
+        // Parameter gradient check (γ of channel 0).
+        let orig = 1.3;
+        for (pi, target) in [(0usize, 0usize), (1, 1)] {
+            let make = |delta0: f64, delta1: f64| {
+                let mut b = BatchNorm2d::new(2);
+                b.gamma.value[(0, 0)] = 1.3;
+                b.beta.value[(1, 0)] = -0.4;
+                if pi == 0 {
+                    b.gamma.value[(target, 0)] += delta0 + delta1;
+                } else {
+                    b.beta.value[(target, 0)] += delta0 + delta1;
+                }
+                b
+            };
+            let lp = loss_of(&mut make(eps, 0.0), &x);
+            let lm = loss_of(&mut make(-eps, 0.0), &x);
+            let fd = (lp - lm) / (2.0 * eps);
+            let analytic = if pi == 0 {
+                bn.gamma.grad[(target, 0)]
+            } else {
+                bn.beta.grad[(target, 0)]
+            };
+            assert!(
+                (fd - analytic).abs() < 1e-5,
+                "param {pi}/{target}: fd {fd} vs {analytic}"
+            );
+        }
+        let _ = orig;
+    }
+
+    #[test]
+    fn not_preconditionable() {
+        let bn = BatchNorm2d::new(4);
+        assert_eq!(bn.kfac_dims(), None);
+        assert_eq!(bn.params().len(), 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Inverted dropout with a deterministic, seeded mask stream.
+
+use crate::layer::{KfacCapture, Layer, Param};
+use crate::tensor4::Tensor4;
+use spdkfac_tensor::rng::MatrixRng;
+
+/// Inverted dropout: during training each element is zeroed with probability
+/// `p` and survivors are scaled by `1/(1-p)`; evaluation mode is the
+/// identity.
+///
+/// The mask stream is seeded, so replicated models draw identical masks —
+/// a requirement for the distributed trainers' numerical-equivalence
+/// guarantee.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f64,
+    training: bool,
+    rng: MatrixRng,
+    mask: Option<Vec<f64>>,
+    shape: Option<(usize, usize, usize, usize)>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability {p} out of range");
+        Dropout {
+            p,
+            training: true,
+            rng: MatrixRng::new(seed),
+            mask: None,
+            shape: None,
+        }
+    }
+
+    /// Switches between the stochastic (training) and identity (eval) modes.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        "dropout"
+    }
+
+    fn forward(&mut self, x: &Tensor4, _capture: bool) -> Tensor4 {
+        self.shape = Some(x.shape());
+        if !self.training || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mask: Vec<f64> = (0..x.numel())
+            .map(|_| {
+                if self.rng.uniform(0.0, 1.0) < self.p {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
+            .collect();
+        let data: Vec<f64> = x
+            .as_slice()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&v, &m)| v * m)
+            .collect();
+        self.mask = Some(mask);
+        let (n, c, h, w) = x.shape();
+        Tensor4::from_vec(n, c, h, w, data)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let shape = self.shape.take().expect("Dropout::backward before forward");
+        assert_eq!(grad_out.shape(), shape, "dropout: grad shape mismatch");
+        match self.mask.take() {
+            None => grad_out.clone(),
+            Some(mask) => {
+                let data: Vec<f64> = grad_out
+                    .as_slice()
+                    .iter()
+                    .zip(mask.iter())
+                    .map(|(&g, &m)| g * m)
+                    .collect();
+                Tensor4::from_vec(shape.0, shape.1, shape.2, shape.3, data)
+            }
+        }
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn take_capture(&mut self) -> Option<KfacCapture> {
+        None
+    }
+
+    fn kfac_dims(&self) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        d.set_training(false);
+        let x = Tensor4::from_vec(1, 1, 1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.forward(&x, false).as_slice(), x.as_slice());
+        let g = Tensor4::from_vec(1, 1, 1, 4, vec![1.0; 4]);
+        assert_eq!(d.backward(&g).as_slice(), g.as_slice());
+    }
+
+    #[test]
+    fn training_zeroes_roughly_p_fraction_and_rescales() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor4::from_vec(1, 1, 100, 100, vec![1.0; 10_000]);
+        let y = d.forward(&x, false);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((2_500..3_500).contains(&zeros), "{zeros} zeros");
+        // Survivors are scaled by 1/(1-p); expectation preserved.
+        let mean: f64 = y.as_slice().iter().sum::<f64>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        let survivor = y.as_slice().iter().find(|&&v| v != 0.0).unwrap();
+        assert!((survivor - 1.0 / 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor4::from_vec(1, 1, 1, 8, vec![1.0; 8]);
+        let y = d.forward(&x, false);
+        let g = Tensor4::from_vec(1, 1, 1, 8, vec![1.0; 8]);
+        let dx = d.backward(&g);
+        // Gradient flows exactly where the forward survived.
+        for (o, gi) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(*o == 0.0, *gi == 0.0);
+        }
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_masks() {
+        let x = Tensor4::from_vec(1, 1, 1, 32, vec![1.0; 32]);
+        let mut a = Dropout::new(0.4, 9);
+        let mut b = Dropout::new(0.4, 9);
+        assert_eq!(a.forward(&x, false).as_slice(), b.forward(&x, false).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_p_of_one() {
+        let _ = Dropout::new(1.0, 1);
+    }
+}

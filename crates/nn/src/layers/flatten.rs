@@ -1,0 +1,65 @@
+//! Shape adapter between convolutional and fully-connected stages.
+
+use crate::layer::{KfacCapture, Layer, Param};
+use crate::tensor4::Tensor4;
+
+/// Reshapes `(N, C, H, W)` to `(N, C·H·W, 1, 1)` and back in the gradient.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    shape: Option<(usize, usize, usize, usize)>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        "flatten"
+    }
+
+    fn forward(&mut self, x: &Tensor4, _capture: bool) -> Tensor4 {
+        self.shape = Some(x.shape());
+        let (n, _, _, _) = x.shape();
+        x.clone().reshape(n, x.features(), 1, 1)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = self.shape.take().expect("Flatten::backward before forward");
+        grad_out.clone().reshape(n, c, h, w)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn take_capture(&mut self) -> Option<KfacCapture> {
+        None
+    }
+
+    fn kfac_dims(&self) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_shapes() {
+        let mut f = Flatten::new();
+        let x = Tensor4::zeros(2, 3, 4, 5);
+        let y = f.forward(&x, false);
+        assert_eq!(y.shape(), (2, 60, 1, 1));
+        let dx = f.backward(&y);
+        assert_eq!(dx.shape(), (2, 3, 4, 5));
+    }
+}

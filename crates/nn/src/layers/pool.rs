@@ -1,0 +1,248 @@
+//! Max and average pooling.
+
+use crate::im2col::ConvGeom;
+use crate::layer::{KfacCapture, Layer, Param};
+use crate::tensor4::Tensor4;
+
+/// Max pooling over square windows.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    geom: ConvGeom,
+    /// Flat input index of the winning element per output element.
+    argmax: Option<Vec<usize>>,
+    in_shape: Option<(usize, usize, usize, usize)>,
+    out_hw: Option<(usize, usize)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool with `kernel`-sized windows and stride `stride`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d {
+            geom: ConvGeom { kernel, stride, pad: 0 },
+            argmax: None,
+            in_shape: None,
+            out_hw: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        "maxpool"
+    }
+
+    fn forward(&mut self, x: &Tensor4, _capture: bool) -> Tensor4 {
+        let (n, c, h, w) = x.shape();
+        let oh = self.geom.out_size(h);
+        let ow = self.geom.out_size(w);
+        let mut out = Tensor4::zeros(n, c, oh, ow);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let mut oi = 0usize;
+        for s in 0..n {
+            for ch in 0..c {
+                for yo in 0..oh {
+                    for xo in 0..ow {
+                        let mut best = f64::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.geom.kernel {
+                            for kx in 0..self.geom.kernel {
+                                let yi = yo * self.geom.stride + ky;
+                                let xi = xo * self.geom.stride + kx;
+                                if yi < h && xi < w {
+                                    let v = x.at(s, ch, yi, xi);
+                                    if v > best {
+                                        best = v;
+                                        best_idx = ((s * c + ch) * h + yi) * w + xi;
+                                    }
+                                }
+                            }
+                        }
+                        *out.at_mut(s, ch, yo, xo) = best;
+                        argmax[oi] = best_idx;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        self.in_shape = Some((n, c, h, w));
+        self.out_hw = Some((oh, ow));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let argmax = self.argmax.take().expect("MaxPool2d::backward before forward");
+        let (n, c, h, w) = self.in_shape.take().expect("missing shape");
+        let (oh, ow) = self.out_hw.take().expect("missing out size");
+        assert_eq!(grad_out.shape(), (n, c, oh, ow), "maxpool: grad shape mismatch");
+        let mut dx = Tensor4::zeros(n, c, h, w);
+        for (oi, &ii) in argmax.iter().enumerate() {
+            dx.as_mut_slice()[ii] += grad_out.as_slice()[oi];
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn take_capture(&mut self) -> Option<KfacCapture> {
+        None
+    }
+
+    fn kfac_dims(&self) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+/// Average pooling over square windows.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    geom: ConvGeom,
+    in_shape: Option<(usize, usize, usize, usize)>,
+    out_hw: Option<(usize, usize)>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool with `kernel`-sized windows and stride `stride`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        AvgPool2d {
+            geom: ConvGeom { kernel, stride, pad: 0 },
+            in_shape: None,
+            out_hw: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> &str {
+        "avgpool"
+    }
+
+    fn forward(&mut self, x: &Tensor4, _capture: bool) -> Tensor4 {
+        let (n, c, h, w) = x.shape();
+        let oh = self.geom.out_size(h);
+        let ow = self.geom.out_size(w);
+        let k2 = (self.geom.kernel * self.geom.kernel) as f64;
+        let mut out = Tensor4::zeros(n, c, oh, ow);
+        for s in 0..n {
+            for ch in 0..c {
+                for yo in 0..oh {
+                    for xo in 0..ow {
+                        let mut sum = 0.0;
+                        for ky in 0..self.geom.kernel {
+                            for kx in 0..self.geom.kernel {
+                                let yi = yo * self.geom.stride + ky;
+                                let xi = xo * self.geom.stride + kx;
+                                if yi < h && xi < w {
+                                    sum += x.at(s, ch, yi, xi);
+                                }
+                            }
+                        }
+                        *out.at_mut(s, ch, yo, xo) = sum / k2;
+                    }
+                }
+            }
+        }
+        self.in_shape = Some((n, c, h, w));
+        self.out_hw = Some((oh, ow));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = self.in_shape.take().expect("AvgPool2d::backward before forward");
+        let (oh, ow) = self.out_hw.take().expect("missing out size");
+        assert_eq!(grad_out.shape(), (n, c, oh, ow), "avgpool: grad shape mismatch");
+        let k2 = (self.geom.kernel * self.geom.kernel) as f64;
+        let mut dx = Tensor4::zeros(n, c, h, w);
+        for s in 0..n {
+            for ch in 0..c {
+                for yo in 0..oh {
+                    for xo in 0..ow {
+                        let g = grad_out.at(s, ch, yo, xo) / k2;
+                        for ky in 0..self.geom.kernel {
+                            for kx in 0..self.geom.kernel {
+                                let yi = yo * self.geom.stride + ky;
+                                let xi = xo * self.geom.stride + kx;
+                                if yi < h && xi < w {
+                                    *dx.at_mut(s, ch, yi, xi) += g;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn take_capture(&mut self) -> Option<KfacCapture> {
+        None
+    }
+
+    fn kfac_dims(&self) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_forward_picks_maxima() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor4::from_vec(1, 1, 2, 4, vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 9.0]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), (1, 1, 1, 2));
+        assert_eq!(y.as_slice(), &[5.0, 9.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 5.0, 3.0, 4.0]);
+        let _ = p.forward(&x, false);
+        let dx = p.backward(&Tensor4::from_vec(1, 1, 1, 1, vec![7.0]));
+        assert_eq!(dx.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_forward_averages() {
+        let mut p = AvgPool2d::new(2, 2);
+        let x = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 6.0]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn avgpool_backward_distributes_evenly() {
+        let mut p = AvgPool2d::new(2, 2);
+        let x = Tensor4::zeros(1, 1, 2, 2);
+        let _ = p.forward(&x, false);
+        let dx = p.backward(&Tensor4::from_vec(1, 1, 1, 1, vec![8.0]));
+        assert_eq!(dx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pooling_has_no_params() {
+        let mut mp = MaxPool2d::new(2, 2);
+        let mut ap = AvgPool2d::new(2, 2);
+        assert!(mp.params().is_empty());
+        assert!(ap.params().is_empty());
+        assert!(mp.take_capture().is_none());
+        assert!(ap.take_capture().is_none());
+    }
+}

@@ -1,0 +1,94 @@
+//! Rectified linear activation.
+
+use crate::layer::{KfacCapture, Layer, Param};
+use crate::tensor4::Tensor4;
+
+/// Element-wise `max(0, x)`.
+///
+/// Not preconditionable — K-FAC blocks exist only for weighted layers, which
+/// is why ReLU (and pooling) layers do not appear in the paper's "# Layers"
+/// counts (Table II).
+#[derive(Debug, Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+    shape: Option<(usize, usize, usize, usize)>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn name(&self) -> &str {
+        "relu"
+    }
+
+    fn forward(&mut self, x: &Tensor4, _capture: bool) -> Tensor4 {
+        self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
+        self.shape = Some(x.shape());
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let mask = self.mask.take().expect("ReLU::backward before forward");
+        let shape = self.shape.take().expect("missing shape");
+        assert_eq!(grad_out.shape(), shape, "relu: grad shape mismatch");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor4::from_vec(shape.0, shape.1, shape.2, shape.3, data)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn take_capture(&mut self) -> Option<KfacCapture> {
+        None
+    }
+
+    fn kfac_dims(&self) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = ReLU::new();
+        let x = Tensor4::from_vec(1, 1, 1, 4, vec![-2.0, -0.0, 1.0, 3.0]);
+        let y = r.forward(&x, false);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = ReLU::new();
+        let x = Tensor4::from_vec(1, 1, 1, 4, vec![-1.0, 2.0, -3.0, 4.0]);
+        let _ = r.forward(&x, false);
+        let g = Tensor4::from_vec(1, 1, 1, 4, vec![10.0, 10.0, 10.0, 10.0]);
+        let dx = r.backward(&g);
+        assert_eq!(dx.as_slice(), &[0.0, 10.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn has_no_params_or_capture() {
+        let mut r = ReLU::new();
+        assert!(r.params().is_empty());
+        assert!(r.take_capture().is_none());
+        assert_eq!(r.kfac_dims(), None);
+    }
+}

@@ -1,0 +1,251 @@
+//! Residual (skip) connections — the structural element of the ResNet
+//! family the paper evaluates.
+
+use crate::layer::{KfacCapture, Layer, Param};
+use crate::sequential::Sequential;
+use crate::tensor4::Tensor4;
+
+/// A residual block: `y = body(x) + shortcut(x)`, with an identity shortcut
+/// when none is given.
+///
+/// The body (and optional shortcut) are arbitrary layer stacks, so their
+/// preconditionable layers still capture K-FAC statistics; `Residual` itself
+/// adds no parameters.
+///
+/// # Example
+///
+/// ```
+/// use spdkfac_nn::layers::{Conv2d, ReLU, Residual};
+/// use spdkfac_nn::{Layer, Sequential, Tensor4};
+///
+/// let body = Sequential::new(vec![
+///     Box::new(Conv2d::new(4, 4, 3, 1, 1, false, 1)),
+///     Box::new(ReLU::new()),
+///     Box::new(Conv2d::new(4, 4, 3, 1, 1, false, 2)),
+/// ]);
+/// let mut block = Residual::identity(body);
+/// let x = Tensor4::zeros(2, 4, 8, 8);
+/// assert_eq!(block.forward(&x, false).shape(), (2, 4, 8, 8));
+/// ```
+pub struct Residual {
+    body: Sequential,
+    shortcut: Option<Sequential>,
+    name: String,
+}
+
+impl std::fmt::Debug for Residual {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Residual({:?}", self.body)?;
+        if let Some(s) = &self.shortcut {
+            write!(f, " + {s:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Residual {
+    /// A block with an identity shortcut (body output shape must equal the
+    /// input shape).
+    pub fn identity(body: Sequential) -> Self {
+        Residual {
+            body,
+            shortcut: None,
+            name: "residual".into(),
+        }
+    }
+
+    /// A block with a projection shortcut (e.g. a 1×1 strided conv), for
+    /// shape-changing blocks.
+    pub fn with_shortcut(body: Sequential, shortcut: Sequential) -> Self {
+        Residual {
+            body,
+            shortcut: Some(shortcut),
+            name: "residual_proj".into(),
+        }
+    }
+
+    /// Borrow the body stack.
+    pub fn body(&self) -> &Sequential {
+        &self.body
+    }
+}
+
+impl Layer for Residual {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor4, capture: bool) -> Tensor4 {
+        let mut main = self.body.forward(x, capture);
+        let skip = match &mut self.shortcut {
+            Some(s) => s.forward(x, capture),
+            None => x.clone(),
+        };
+        assert_eq!(
+            main.shape(),
+            skip.shape(),
+            "residual: body output {:?} does not match shortcut {:?}",
+            main.shape(),
+            skip.shape()
+        );
+        for (m, s) in main.as_mut_slice().iter_mut().zip(skip.as_slice()) {
+            *m += s;
+        }
+        main
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let mut dx = self.body.backward(grad_out);
+        let dskip = match &mut self.shortcut {
+            Some(s) => s.backward(grad_out),
+            None => grad_out.clone(),
+        };
+        assert_eq!(dx.shape(), dskip.shape(), "residual: gradient shape mismatch");
+        for (a, b) in dx.as_mut_slice().iter_mut().zip(dskip.as_slice()) {
+            *a += b;
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut p = self.body.parameters();
+        if let Some(s) = &self.shortcut {
+            p.extend(s.parameters());
+        }
+        p
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.body.parameters_mut();
+        if let Some(s) = &mut self.shortcut {
+            p.extend(s.parameters_mut());
+        }
+        p
+    }
+
+    fn take_capture(&mut self) -> Option<KfacCapture> {
+        // Residual itself is not preconditionable; inner layers are reached
+        // through `inner_captures`.
+        None
+    }
+
+    fn kfac_dims(&self) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+impl Residual {
+    /// Drains the K-FAC captures of all inner preconditionable layers
+    /// (body first, then shortcut), with their indices within this block.
+    pub fn inner_captures(&mut self) -> Vec<KfacCapture> {
+        let mut caps: Vec<KfacCapture> = self
+            .body
+            .take_captures()
+            .into_iter()
+            .map(|(_, c)| c)
+            .collect();
+        if let Some(s) = &mut self.shortcut {
+            caps.extend(s.take_captures().into_iter().map(|(_, c)| c));
+        }
+        caps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Linear, ReLU};
+    use crate::loss::softmax_cross_entropy;
+    use spdkfac_tensor::rng::MatrixRng;
+
+    fn body(seed: u64) -> Sequential {
+        Sequential::new(vec![
+            Box::new(Linear::new(4, 4, true, seed)),
+            Box::new(ReLU::new()),
+            Box::new(Linear::new(4, 4, true, seed + 1)),
+        ])
+    }
+
+    #[test]
+    fn identity_shortcut_adds_input() {
+        // Zero body ⇒ output == input.
+        let mut zero_body = body(1);
+        for p in zero_body.parameters_mut() {
+            p.value.scale(0.0);
+        }
+        let mut block = Residual::identity(zero_body);
+        let x = Tensor4::from_vec(1, 4, 1, 1, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = block.forward(&x, false);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn gradients_flow_through_both_paths() {
+        let mut rng = MatrixRng::new(5);
+        let x = Tensor4::from_vec(3, 4, 1, 1, rng.uniform_vec(12, -1.0, 1.0));
+        let labels = [0usize, 1, 3];
+        let mut net = Sequential::new(vec![
+            Box::new(Residual::identity(body(7))) as Box<dyn Layer>,
+            Box::new(Linear::new(4, 4, true, 9)),
+        ]);
+        // Finite-difference check through the whole stack.
+        let out = net.forward(&x, false);
+        let (_, grad) = softmax_cross_entropy(&out, &labels);
+        let dx = net.backward(&grad);
+        let eps = 1e-5;
+        let mut xp = x.clone();
+        for i in 0..x.numel() {
+            let orig = xp.as_slice()[i];
+            xp.as_mut_slice()[i] = orig + eps;
+            let (lp, _) = softmax_cross_entropy(&net.forward(&xp, false), &labels);
+            xp.as_mut_slice()[i] = orig - eps;
+            let (lm, _) = softmax_cross_entropy(&net.forward(&xp, false), &labels);
+            xp.as_mut_slice()[i] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - dx.as_slice()[i]).abs() < 1e-5,
+                "residual input grad {i}: {fd} vs {}",
+                dx.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn projection_shortcut_handles_shape_change() {
+        let body = Sequential::new(vec![Box::new(Conv2d::new(2, 4, 3, 2, 1, false, 11)) as Box<dyn Layer>]);
+        let shortcut = Sequential::new(vec![Box::new(Conv2d::new(2, 4, 1, 2, 0, false, 12)) as Box<dyn Layer>]);
+        let mut block = Residual::with_shortcut(body, shortcut);
+        let x = Tensor4::zeros(2, 2, 8, 8);
+        let y = block.forward(&x, false);
+        assert_eq!(y.shape(), (2, 4, 4, 4));
+        let dx = block.backward(&y);
+        assert_eq!(dx.shape(), (2, 2, 8, 8));
+    }
+
+    #[test]
+    fn params_cover_both_paths() {
+        let b = body(1);
+        let s = Sequential::new(vec![Box::new(Linear::new(4, 4, false, 2)) as Box<dyn Layer>]);
+        let block = Residual::with_shortcut(b, s);
+        // body: 2 linears × (w + b) = 4 params; shortcut: 1.
+        assert_eq!(block.params().len(), 5);
+    }
+
+    #[test]
+    fn inner_captures_surface_kfac_stats() {
+        let mut block = Residual::identity(body(3));
+        let x = Tensor4::zeros(2, 4, 1, 1);
+        let y = block.forward(&x, true);
+        let _ = block.backward(&y);
+        let caps = block.inner_captures();
+        assert_eq!(caps.len(), 2); // two linear layers in the body
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shortcut")]
+    fn shape_mismatch_panics() {
+        let b = Sequential::new(vec![Box::new(Linear::new(4, 3, false, 1)) as Box<dyn Layer>]);
+        let mut block = Residual::identity(b);
+        let _ = block.forward(&Tensor4::zeros(1, 4, 1, 1), false);
+    }
+}

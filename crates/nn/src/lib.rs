@@ -1,0 +1,62 @@
+//! # spdkfac-nn
+//!
+//! A from-scratch neural-network substrate for the SPD-KFAC reproduction:
+//! the paper trains CNNs with PyTorch/cuDNN; this crate provides the minimal
+//! CPU equivalent needed to run real K-FAC end-to-end — layers with exact
+//! gradients, **K-FAC statistic capture** (the `register_forward_pre_hook` /
+//! `register_backward_hook` analogue of §V-A), losses, and a plain SGD
+//! baseline optimizer.
+//!
+//! ## K-FAC capture semantics
+//!
+//! Each preconditionable layer ([`layers::Linear`], [`layers::Conv2d`])
+//! records, when capture is enabled:
+//!
+//! - `a_rows`: the layer-input rows — raw inputs for `Linear`, im2col patch
+//!   rows for `Conv2d` (Grosse–Martens formulation), producing
+//!   `A_{l-1} = E[a aᵀ]` (Eq. 7);
+//! - `g_rows`: the loss gradient w.r.t. the layer's pre-activation outputs,
+//!   producing `G_l = E[ĝ ĝᵀ]` (Eq. 8), where per-sample gradients are
+//!   rescaled by the batch size to undo mean-reduction of the loss.
+//!
+//! The capture order is the paper's pipeline order: `A` factors become
+//! available front-to-back during the forward pass, `G` factors back-to-front
+//! during the backward pass — which is what SPD-KFAC's pipelining (§IV-A)
+//! exploits.
+//!
+//! # Example
+//!
+//! ```
+//! use spdkfac_nn::models::mlp;
+//! use spdkfac_nn::data::gaussian_blobs;
+//! use spdkfac_nn::loss::softmax_cross_entropy;
+//! use spdkfac_nn::optim::Sgd;
+//!
+//! let mut net = mlp(&[4, 16, 3], 42);
+//! let data = gaussian_blobs(3, 4, 30, 0.3, 7);
+//! let (x, y) = data.batch(0, 30);
+//! let mut sgd = Sgd::new(0.1, 0.9, 0.0);
+//! let mut last = f64::INFINITY;
+//! for _ in 0..50 {
+//!     let out = net.forward(&x, false);
+//!     let (loss, grad) = softmax_cross_entropy(&out, &y);
+//!     net.backward(&grad);
+//!     sgd.step(&mut net.parameters_mut());
+//!     last = loss;
+//! }
+//! assert!(last < 0.5);
+//! ```
+
+pub mod data;
+pub mod im2col;
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod models;
+pub mod optim;
+pub mod sequential;
+pub mod tensor4;
+
+pub use layer::{KfacCapture, Layer, Param};
+pub use sequential::Sequential;
+pub use tensor4::Tensor4;

@@ -1,0 +1,181 @@
+//! Ready-made model builders for examples and tests.
+
+use crate::layers::{AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU};
+use crate::sequential::Sequential;
+
+/// A multi-layer perceptron with ReLU activations between linear layers.
+///
+/// `dims = [in, hidden…, out]`; biases enabled everywhere.
+///
+/// # Panics
+///
+/// Panics if fewer than two dims are given.
+///
+/// # Example
+///
+/// ```
+/// use spdkfac_nn::models::mlp;
+///
+/// let net = mlp(&[8, 32, 32, 4], 1);
+/// assert_eq!(net.preconditionable().len(), 3);
+/// ```
+pub fn mlp(dims: &[usize], seed: u64) -> Sequential {
+    assert!(dims.len() >= 2, "mlp needs at least input and output dims");
+    let mut layers: Vec<Box<dyn crate::Layer>> = Vec::new();
+    for (i, pair) in dims.windows(2).enumerate() {
+        layers.push(Box::new(Linear::new(
+            pair[0],
+            pair[1],
+            true,
+            seed.wrapping_add(i as u64),
+        )));
+        if i + 2 < dims.len() {
+            layers.push(Box::new(ReLU::new()));
+        }
+    }
+    Sequential::new(layers)
+}
+
+/// A small CNN for `c_in × hw × hw` images:
+/// conv3×3 → ReLU → maxpool2 → conv3×3 → ReLU → avgpool2 → flatten → linear.
+///
+/// # Panics
+///
+/// Panics if `hw` is not divisible by 4.
+pub fn small_cnn(c_in: usize, hw: usize, classes: usize, seed: u64) -> Sequential {
+    assert_eq!(hw % 4, 0, "small_cnn requires hw divisible by 4");
+    let c1 = 8;
+    let c2 = 16;
+    let final_hw = hw / 4;
+    Sequential::new(vec![
+        Box::new(Conv2d::new(c_in, c1, 3, 1, 1, true, seed)),
+        Box::new(ReLU::new()),
+        Box::new(MaxPool2d::new(2, 2)),
+        Box::new(Conv2d::new(c1, c2, 3, 1, 1, true, seed + 1)),
+        Box::new(ReLU::new()),
+        Box::new(AvgPool2d::new(2, 2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(c2 * final_hw * final_hw, classes, true, seed + 2)),
+    ])
+}
+
+/// A deeper MLP used by the distributed-equivalence tests: enough layers for
+/// tensor fusion and placement to have real work to do.
+pub fn deep_mlp(d_in: usize, hidden: usize, depth: usize, d_out: usize, seed: u64) -> Sequential {
+    let mut dims = vec![d_in];
+    dims.extend(std::iter::repeat_n(hidden, depth));
+    dims.push(d_out);
+    mlp(&dims, seed)
+}
+
+/// A miniature ResNet for `c_in × hw × hw` images: conv stem, two residual
+/// blocks with batch-norm, global average pooling, classifier.
+///
+/// Residual-block interiors are reached through [`Residual`](crate::layers::Residual), which is not
+/// Kronecker-preconditionable as a unit — K-FAC optimizers precondition the
+/// stem and classifier and fall back to first-order updates inside the
+/// blocks (a hybrid configuration real K-FAC implementations also support).
+///
+/// # Panics
+///
+/// Panics if `hw` is not divisible by 4.
+pub fn tiny_resnet(c_in: usize, hw: usize, classes: usize, seed: u64) -> Sequential {
+    use crate::layers::{BatchNorm2d, Residual};
+    assert_eq!(hw % 4, 0, "tiny_resnet requires hw divisible by 4");
+    let width = 8;
+    let block = |c: usize, seed: u64| {
+        Residual::identity(Sequential::new(vec![
+            Box::new(Conv2d::new(c, c, 3, 1, 1, false, seed)),
+            Box::new(BatchNorm2d::new(c)),
+            Box::new(ReLU::new()),
+            Box::new(Conv2d::new(c, c, 3, 1, 1, false, seed + 1)),
+            Box::new(BatchNorm2d::new(c)),
+        ]))
+    };
+    let final_hw = hw / 4;
+    Sequential::new(vec![
+        Box::new(Conv2d::new(c_in, width, 3, 1, 1, false, seed)),
+        Box::new(BatchNorm2d::new(width)),
+        Box::new(ReLU::new()),
+        Box::new(MaxPool2d::new(2, 2)),
+        Box::new(block(width, seed + 10)),
+        Box::new(ReLU::new()),
+        Box::new(block(width, seed + 20)),
+        Box::new(ReLU::new()),
+        Box::new(AvgPool2d::new(2, 2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(width * final_hw * final_hw, classes, true, seed + 30)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor4::Tensor4;
+
+    #[test]
+    fn mlp_layer_structure() {
+        let net = mlp(&[4, 8, 8, 2], 1);
+        // 3 linears + 2 relus.
+        assert_eq!(net.len(), 5);
+        assert_eq!(net.kfac_dims(), vec![(4, 8), (8, 8), (8, 2)]);
+    }
+
+    #[test]
+    fn small_cnn_forward_shape() {
+        let mut net = small_cnn(3, 8, 5, 7);
+        let x = Tensor4::zeros(2, 3, 8, 8);
+        let y = net.forward(&x, false);
+        assert_eq!(y.shape(), (2, 5, 1, 1));
+    }
+
+    #[test]
+    fn small_cnn_has_three_preconditionable_layers() {
+        let net = small_cnn(1, 8, 3, 2);
+        assert_eq!(net.preconditionable().len(), 3);
+    }
+
+    #[test]
+    fn deep_mlp_depth() {
+        let net = deep_mlp(4, 16, 6, 2, 3);
+        assert_eq!(net.kfac_dims().len(), 7);
+    }
+
+    #[test]
+    fn tiny_resnet_forward_and_train() {
+        use crate::data::synthetic_images;
+        use crate::loss::softmax_cross_entropy;
+        use crate::optim::Sgd;
+        let mut net = tiny_resnet(2, 8, 3, 31);
+        let data = synthetic_images(3, 2, 8, 6, 0.3, 32);
+        let (x, y) = data.batch(0, data.len());
+        let out = net.forward(&x, false);
+        assert_eq!(out.shape(), (18, 3, 1, 1));
+        let mut sgd = Sgd::new(0.05, 0.9, 0.0);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..20 {
+            let out = net.forward(&x, false);
+            let (loss, grad) = softmax_cross_entropy(&out, &y);
+            net.backward(&grad);
+            sgd.step(&mut net.parameters_mut());
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(last < 0.6 * first.unwrap(), "{first:?} -> {last}");
+    }
+
+    #[test]
+    fn tiny_resnet_preconditionable_layers_are_stem_and_classifier() {
+        let net = tiny_resnet(1, 8, 2, 7);
+        // Residual blocks hide their convs; stem conv + fc remain.
+        assert_eq!(net.preconditionable().len(), 2);
+    }
+
+    #[test]
+    fn seeds_give_distinct_weights() {
+        let a = mlp(&[3, 3], 1);
+        let b = mlp(&[3, 3], 2);
+        assert_ne!(a.flat_params(), b.flat_params());
+    }
+}

@@ -1,0 +1,199 @@
+//! Finite-difference gradient checks for every layer type, end-to-end
+//! through the loss. These are the ground truth that the K-FAC statistics
+//! and distributed trainers build on.
+
+use spdkfac_nn::data::{synthetic_images, teacher_student};
+use spdkfac_nn::layers::{AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU};
+use spdkfac_nn::loss::{mse_loss, softmax_cross_entropy};
+use spdkfac_nn::models::{mlp, small_cnn};
+use spdkfac_nn::{Sequential, Tensor4};
+use spdkfac_tensor::rng::MatrixRng;
+
+const EPS: f64 = 1e-5;
+const TOL: f64 = 1e-5;
+
+/// Checks dL/dparam for every parameter of `net` against central finite
+/// differences on a classification problem.
+fn check_param_grads_ce(net: &mut Sequential, x: &Tensor4, labels: &[usize]) {
+    let out = net.forward(x, false);
+    let (_, grad) = softmax_cross_entropy(&out, labels);
+    net.backward(&grad);
+    let analytic: Vec<Vec<f64>> = net
+        .parameters()
+        .iter()
+        .map(|p| p.grad.as_slice().to_vec())
+        .collect();
+
+    let n_params = net.parameters().len();
+    for pi in 0..n_params {
+        let numel = net.parameters()[pi].numel();
+        for ei in 0..numel {
+            let orig = net.parameters()[pi].value.as_slice()[ei];
+
+            net.parameters_mut()[pi].value.as_mut_slice()[ei] = orig + EPS;
+            let (lp, _) = softmax_cross_entropy(&net.forward(x, false), labels);
+            net.parameters_mut()[pi].value.as_mut_slice()[ei] = orig - EPS;
+            let (lm, _) = softmax_cross_entropy(&net.forward(x, false), labels);
+            net.parameters_mut()[pi].value.as_mut_slice()[ei] = orig;
+
+            let fd = (lp - lm) / (2.0 * EPS);
+            let an = analytic[pi][ei];
+            assert!(
+                (fd - an).abs() < TOL,
+                "param {pi} elem {ei}: finite-diff {fd} vs analytic {an}"
+            );
+        }
+    }
+}
+
+/// Checks dL/dx against finite differences.
+fn check_input_grads_ce(net: &mut Sequential, x: &Tensor4, labels: &[usize]) {
+    let out = net.forward(x, false);
+    let (_, grad) = softmax_cross_entropy(&out, labels);
+    let dx = net.backward(&grad);
+
+    let mut xp = x.clone();
+    for i in 0..x.numel() {
+        let orig = xp.as_slice()[i];
+        xp.as_mut_slice()[i] = orig + EPS;
+        let (lp, _) = softmax_cross_entropy(&net.forward(&xp, false), labels);
+        xp.as_mut_slice()[i] = orig - EPS;
+        let (lm, _) = softmax_cross_entropy(&net.forward(&xp, false), labels);
+        xp.as_mut_slice()[i] = orig;
+        let fd = (lp - lm) / (2.0 * EPS);
+        assert!(
+            (fd - dx.as_slice()[i]).abs() < TOL,
+            "input elem {i}: finite-diff {fd} vs analytic {}",
+            dx.as_slice()[i]
+        );
+    }
+}
+
+#[test]
+fn linear_relu_stack_grads() {
+    let mut net = mlp(&[5, 7, 3], 11);
+    let mut rng = MatrixRng::new(1);
+    let x = Tensor4::from_vec(4, 5, 1, 1, rng.uniform_vec(20, -1.0, 1.0));
+    check_param_grads_ce(&mut net, &x, &[0, 1, 2, 0]);
+    check_input_grads_ce(&mut net, &x, &[0, 1, 2, 0]);
+}
+
+#[test]
+fn conv_grads() {
+    let mut net = Sequential::new(vec![
+        Box::new(Conv2d::new(2, 3, 3, 1, 1, true, 5)),
+        Box::new(ReLU::new()),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(3 * 16, 2, true, 6)),
+    ]);
+    let mut rng = MatrixRng::new(2);
+    let x = Tensor4::from_vec(2, 2, 4, 4, rng.uniform_vec(64, -1.0, 1.0));
+    check_param_grads_ce(&mut net, &x, &[1, 0]);
+    check_input_grads_ce(&mut net, &x, &[1, 0]);
+}
+
+#[test]
+fn strided_conv_grads() {
+    let mut net = Sequential::new(vec![
+        Box::new(Conv2d::new(1, 2, 3, 2, 1, false, 9)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(2 * 4, 2, false, 10)),
+    ]);
+    let mut rng = MatrixRng::new(3);
+    let x = Tensor4::from_vec(2, 1, 4, 4, rng.uniform_vec(32, -1.0, 1.0));
+    check_param_grads_ce(&mut net, &x, &[0, 1]);
+    check_input_grads_ce(&mut net, &x, &[0, 1]);
+}
+
+#[test]
+fn maxpool_grads() {
+    let mut net = Sequential::new(vec![
+        Box::new(MaxPool2d::new(2, 2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(4, 2, true, 20)),
+    ]);
+    let mut rng = MatrixRng::new(4);
+    // Distinct values so the argmax is stable under ±EPS perturbations.
+    let mut vals = rng.uniform_vec(16, -1.0, 1.0);
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let x = Tensor4::from_vec(1, 1, 4, 4, vals);
+    check_param_grads_ce(&mut net, &x, &[1]);
+    check_input_grads_ce(&mut net, &x, &[1]);
+}
+
+#[test]
+fn avgpool_grads() {
+    let mut net = Sequential::new(vec![
+        Box::new(AvgPool2d::new(2, 2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(4, 3, true, 21)),
+    ]);
+    let mut rng = MatrixRng::new(5);
+    let x = Tensor4::from_vec(1, 1, 4, 4, rng.uniform_vec(16, -1.0, 1.0));
+    check_param_grads_ce(&mut net, &x, &[2]);
+    check_input_grads_ce(&mut net, &x, &[2]);
+}
+
+#[test]
+fn full_small_cnn_grads() {
+    let mut net = small_cnn(2, 4, 3, 30);
+    let mut rng = MatrixRng::new(6);
+    // small_cnn maxpool argmax must be stable; random values suffice at tol.
+    let x = Tensor4::from_vec(2, 2, 4, 4, rng.uniform_vec(64, -1.0, 1.0));
+    check_param_grads_ce(&mut net, &x, &[2, 0]);
+}
+
+#[test]
+fn mse_path_grads() {
+    let mut net = mlp(&[3, 6, 2], 40);
+    let (x, y) = teacher_student(3, 2, 4, 41);
+    let out = net.forward(&x, false);
+    let (_, grad) = mse_loss(&out, &y);
+    net.backward(&grad);
+    let analytic: Vec<Vec<f64>> = net
+        .parameters()
+        .iter()
+        .map(|p| p.grad.as_slice().to_vec())
+        .collect();
+    for pi in 0..net.parameters().len() {
+        for ei in 0..net.parameters()[pi].numel() {
+            let orig = net.parameters()[pi].value.as_slice()[ei];
+            net.parameters_mut()[pi].value.as_mut_slice()[ei] = orig + EPS;
+            let (lp, _) = mse_loss(&net.forward(&x, false), &y);
+            net.parameters_mut()[pi].value.as_mut_slice()[ei] = orig - EPS;
+            let (lm, _) = mse_loss(&net.forward(&x, false), &y);
+            net.parameters_mut()[pi].value.as_mut_slice()[ei] = orig;
+            let fd = (lp - lm) / (2.0 * EPS);
+            assert!(
+                (fd - analytic[pi][ei]).abs() < TOL,
+                "mse param {pi} elem {ei}: {fd} vs {}",
+                analytic[pi][ei]
+            );
+        }
+    }
+}
+
+#[test]
+fn training_reduces_loss_on_images() {
+    use spdkfac_nn::optim::Sgd;
+    let data = synthetic_images(3, 2, 8, 8, 0.3, 50);
+    let mut net = small_cnn(2, 8, 3, 51);
+    let mut sgd = Sgd::new(0.05, 0.9, 0.0);
+    let (x, y) = data.batch(0, data.len());
+    let mut first = None;
+    let mut last = 0.0;
+    for _ in 0..30 {
+        let out = net.forward(&x, false);
+        let (loss, grad) = softmax_cross_entropy(&out, &y);
+        net.backward(&grad);
+        sgd.step(&mut net.parameters_mut());
+        if first.is_none() {
+            first = Some(loss);
+        }
+        last = loss;
+    }
+    assert!(
+        last < 0.5 * first.unwrap(),
+        "training failed to reduce loss: {first:?} -> {last}"
+    );
+}

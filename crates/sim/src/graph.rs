@@ -1,0 +1,263 @@
+//! Stream-ordered task-graph simulation.
+//!
+//! Tasks are issued to *resources* (GPU compute streams, the shared
+//! network). A resource executes its tasks strictly in issue order; a task
+//! additionally waits for its dependencies and an optional earliest-start
+//! time. This matches CUDA stream semantics and Horovod's single collective
+//! queue, and makes simulation a single deterministic forward pass over the
+//! issue order.
+
+/// Category of a task, used for the Fig. 2 / Fig. 9 breakdown accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tag {
+    /// Feed-forward and back-propagation compute (green blocks in Fig. 1).
+    FfBp,
+    /// Gradient all-reduce (light brown).
+    GradComm,
+    /// Kronecker-factor construction compute (blue).
+    FactorComp,
+    /// Kronecker-factor all-reduce (dark brown).
+    FactorComm,
+    /// Matrix-inversion compute (the `f(T_i)` of §IV-B).
+    InverseComp,
+    /// Inverse-result broadcast (red).
+    InverseComm,
+    /// Anything else (preconditioning, update).
+    Other,
+}
+
+impl Tag {
+    /// `true` for network (communication) tags.
+    pub fn is_comm(self) -> bool {
+        matches!(self, Tag::GradComm | Tag::FactorComm | Tag::InverseComm)
+    }
+}
+
+/// A task issued to a resource.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Resource the task occupies (index into the graph's resource set).
+    pub resource: usize,
+    /// Execution time (seconds).
+    pub duration: f64,
+    /// Task ids that must complete before this task starts. Must all be
+    /// smaller than this task's id (issue order is causal).
+    pub deps: Vec<usize>,
+    /// Breakdown category.
+    pub tag: Tag,
+}
+
+/// Computed schedule of one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpan {
+    /// Start time.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+    /// Resource the task ran on.
+    pub resource: usize,
+    /// Category.
+    pub tag: Tag,
+}
+
+/// An append-only task graph over a fixed set of resources.
+///
+/// # Example
+///
+/// ```
+/// use spdkfac_sim::graph::{Tag, TaskGraph};
+///
+/// let mut g = TaskGraph::new(2); // one GPU stream + one network
+/// let a = g.push(0, 1.0, &[], Tag::FfBp);
+/// let b = g.push(1, 0.5, &[a], Tag::GradComm); // comm waits for compute
+/// let spans = g.simulate();
+/// assert_eq!(spans[b].start, 1.0);
+/// assert_eq!(spans[b].end, 1.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    num_resources: usize,
+}
+
+impl TaskGraph {
+    /// Creates a graph over `num_resources` resources.
+    pub fn new(num_resources: usize) -> Self {
+        TaskGraph {
+            tasks: Vec::new(),
+            num_resources,
+        }
+    }
+
+    /// Number of resources.
+    pub fn num_resources(&self) -> usize {
+        self.num_resources
+    }
+
+    /// Number of tasks issued so far.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when no tasks have been issued.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Issues a task; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resource` is out of range, `duration` is negative/NaN, or
+    /// any dependency id is not smaller than the new task's id.
+    pub fn push(&mut self, resource: usize, duration: f64, deps: &[usize], tag: Tag) -> usize {
+        assert!(resource < self.num_resources, "resource {resource} out of range");
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "invalid duration {duration}"
+        );
+        let id = self.tasks.len();
+        for &d in deps {
+            assert!(d < id, "dependency {d} must precede task {id}");
+        }
+        self.tasks.push(Task {
+            resource,
+            duration,
+            deps: deps.to_vec(),
+            tag,
+        });
+        id
+    }
+
+    /// Borrow the issued tasks.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Overrides the duration of task `id` (used by the communication
+    /// contention fixed-point in `schedule`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or `duration` is negative/NaN.
+    pub fn set_duration(&mut self, id: usize, duration: f64) {
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "invalid duration {duration}"
+        );
+        self.tasks[id].duration = duration;
+    }
+
+    /// Runs the simulation: each task starts at
+    /// `max(resource free time, dependency ends)` in issue order.
+    pub fn simulate(&self) -> Vec<TaskSpan> {
+        let mut resource_free = vec![0.0f64; self.num_resources];
+        let mut spans = Vec::with_capacity(self.tasks.len());
+        for t in &self.tasks {
+            let dep_ready = t
+                .deps
+                .iter()
+                .map(|&d| {
+                    let s: &TaskSpan = &spans[d];
+                    s.end
+                })
+                .fold(0.0f64, f64::max);
+            let start = dep_ready.max(resource_free[t.resource]);
+            let end = start + t.duration;
+            resource_free[t.resource] = end;
+            spans.push(TaskSpan {
+                start,
+                end,
+                resource: t.resource,
+                tag: t.tag,
+            });
+        }
+        spans
+    }
+
+    /// Completion time of the whole graph (0 for an empty graph).
+    pub fn makespan(&self) -> f64 {
+        self.simulate().iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_tasks_on_one_resource() {
+        let mut g = TaskGraph::new(1);
+        g.push(0, 1.0, &[], Tag::FfBp);
+        g.push(0, 2.0, &[], Tag::FfBp);
+        let s = g.simulate();
+        assert_eq!(s[0].end, 1.0);
+        assert_eq!(s[1].start, 1.0);
+        assert_eq!(s[1].end, 3.0);
+        assert_eq!(g.makespan(), 3.0);
+    }
+
+    #[test]
+    fn parallel_resources_overlap() {
+        let mut g = TaskGraph::new(2);
+        g.push(0, 3.0, &[], Tag::FfBp);
+        g.push(1, 2.0, &[], Tag::GradComm);
+        let s = g.simulate();
+        assert_eq!(s[0].start, 0.0);
+        assert_eq!(s[1].start, 0.0);
+        assert_eq!(g.makespan(), 3.0);
+    }
+
+    #[test]
+    fn dependencies_delay_start() {
+        let mut g = TaskGraph::new(2);
+        let a = g.push(0, 2.0, &[], Tag::FfBp);
+        let b = g.push(1, 1.0, &[a], Tag::GradComm);
+        let s = g.simulate();
+        assert_eq!(s[b].start, 2.0);
+    }
+
+    #[test]
+    fn cross_resource_diamond() {
+        // c depends on both a (res 0) and b (res 1); d queues behind c.
+        let mut g = TaskGraph::new(2);
+        let a = g.push(0, 1.0, &[], Tag::FfBp);
+        let b = g.push(1, 5.0, &[], Tag::GradComm);
+        let c = g.push(0, 1.0, &[a, b], Tag::FactorComp);
+        let d = g.push(0, 1.0, &[], Tag::FactorComp);
+        let s = g.simulate();
+        assert_eq!(s[c].start, 5.0);
+        assert_eq!(s[d].start, 6.0); // stream order, even without deps
+    }
+
+    #[test]
+    fn zero_duration_tasks_are_fine() {
+        let mut g = TaskGraph::new(1);
+        let a = g.push(0, 0.0, &[], Tag::Other);
+        let s = g.simulate();
+        assert_eq!(s[a].start, s[a].end);
+    }
+
+    #[test]
+    #[should_panic(expected = "must precede")]
+    fn forward_dependency_rejected() {
+        let mut g = TaskGraph::new(1);
+        g.push(0, 1.0, &[0], Tag::FfBp);
+    }
+
+    #[test]
+    fn makespan_monotone_in_durations() {
+        // Longer tasks can never shorten the schedule (sanity property).
+        let build = |scale: f64| {
+            let mut g = TaskGraph::new(3);
+            let mut prev = None;
+            for i in 0..10 {
+                let deps: Vec<usize> = prev.into_iter().collect();
+                let id = g.push(i % 3, 1.0 * scale + i as f64 * 0.1, &deps, Tag::FfBp);
+                prev = Some(id);
+            }
+            g.makespan()
+        };
+        assert!(build(2.0) >= build(1.0));
+    }
+}

@@ -1,0 +1,240 @@
+//! Hardware cost models for the simulated testbed.
+
+use spdkfac_core::perf::{AlphaBetaModel, ExpInverseModel};
+use spdkfac_models::LayerSpec;
+
+/// Cost models of one cluster configuration.
+///
+/// All communication models take message sizes in **fp32 elements** (the
+/// paper communicates fp32 tensors; Eq. 14's `m` is an element count).
+/// Compute models convert FLOPs to seconds through effective throughputs
+/// plus a per-kernel launch overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareProfile {
+    /// Profile name for reports.
+    pub name: String,
+    /// Effective FLOP/s of forward/backward GEMM-like kernels.
+    pub gemm_flops: f64,
+    /// Effective FLOP/s of the factor-construction kernels (`aᵀa`, `gᵀg`).
+    pub factor_flops: f64,
+    /// Per-kernel launch/framework overhead (seconds).
+    pub kernel_overhead: f64,
+    /// All-reduce cost model (Eq. 14), fitted at the cluster's GPU count.
+    pub allreduce: AlphaBetaModel,
+    /// Broadcast cost model (Eq. 27).
+    pub bcast: AlphaBetaModel,
+    /// Matrix-inversion cost model (Eq. 26).
+    pub inverse: ExpInverseModel,
+    /// Communication–computation contention: a collective whose transfer
+    /// fully overlaps busy compute streams takes `1 + overlap_penalty`
+    /// times its idle-network duration (NCCL rings share SMs and PCIe with
+    /// compute kernels and reach only part of their idle bandwidth).
+    pub overlap_penalty: f64,
+}
+
+impl HardwareProfile {
+    /// The paper's testbed (Table I): 16 nodes × 4 RTX 2080 Ti, 100 Gb/s
+    /// InfiniBand, NCCL-2.4.7/Horovod.
+    ///
+    /// Constants are calibrated against the paper's published anchors
+    /// (Fig. 2's 292 ms D-KFAC inverse compute, ≈51 ms MPD-KFAC inverse
+    /// compute, ≈134 ms MPD-KFAC inverse broadcast, KFAC ≈ 4× SGD on a
+    /// single GPU) — the calibration table lives in EXPERIMENTS.md.
+    pub fn rtx2080ti_ib100() -> Self {
+        HardwareProfile {
+            name: "16x4 RTX2080Ti, 100Gb/s IB".into(),
+            // 13.4 TFLOPS peak fp32; ~40% effective for cuDNN convs.
+            gemm_flops: 5.4e12,
+            // Skinny symmetric rank-k updates reach lower efficiency.
+            factor_flops: 3.0e12,
+            kernel_overhead: 6.0e-5,
+            // Ring all-reduce over 64 GPUs: 4 GPUs share one 100 Gb NIC,
+            // effective bus bandwidth ≈ 2 GB/s per rank ⇒ β ≈ 2e-9 s/elem.
+            allreduce: AlphaBetaModel::new(7.0e-4, 2.0e-9),
+            // Broadcast: per-op cost dominated by Horovod's negotiation /
+            // launch overhead (α ≈ 0.8 ms) plus tree bandwidth. Calibrated
+            // so that MPD-KFAC's 108 serial ResNet-50 inverse broadcasts
+            // cost ≈134 ms (Fig. 2): 108·α + 77.2M·β = 134 ms.
+            bcast: AlphaBetaModel::new(8.0e-4, 6.2e-10),
+            // Cholesky-inverse on a 2080 Ti via cuSolver (Fig. 8 fit),
+            // calibrated so that inverting all 108 ResNet-50 factors takes
+            // 292 ms (Fig. 2, D-KFAC) and the round-robin max-GPU share on
+            // 64 GPUs is ≈51 ms (Fig. 2, MPD-KFAC).
+            inverse: ExpInverseModel::new(4.4e-4, 1.05e-3),
+            overlap_penalty: 0.6,
+        }
+    }
+
+    /// Rescales the communication models from the calibration point
+    /// (64 GPUs) to a cluster of `world` GPUs:
+    ///
+    /// - ring all-reduce moves `2(P−1)/P` bytes per rank ⇒ β scales by
+    ///   `((P−1)/P) / (63/64)`;
+    /// - startup latencies grow with the ring/tree depth ⇒ α scales by
+    ///   `(1 + log₂P) / (1 + log₂64)` (with a floor at P = 1).
+    ///
+    /// At `world == 64` this is the identity, so all Table III calibration
+    /// anchors are preserved.
+    pub fn scaled_to_world(&self, world: usize) -> HardwareProfile {
+        let p = world.max(1) as f64;
+        let ring = ((p - 1.0) / p) / (63.0 / 64.0);
+        let depth = (1.0 + p.log2().max(0.0)) / (1.0 + 6.0);
+        HardwareProfile {
+            name: format!("{} @ {world} GPUs", self.name),
+            allreduce: AlphaBetaModel::new(self.allreduce.alpha * depth, self.allreduce.beta * ring),
+            bcast: AlphaBetaModel::new(self.bcast.alpha * depth, self.bcast.beta),
+            ..self.clone()
+        }
+    }
+
+    /// A single-GPU profile sharing the compute models (for the SGD/KFAC
+    /// single-device bars of Fig. 2).
+    pub fn single_gpu(&self) -> HardwareProfile {
+        HardwareProfile {
+            name: format!("{} (single GPU)", self.name),
+            allreduce: AlphaBetaModel::new(0.0, 0.0),
+            bcast: AlphaBetaModel::new(0.0, 0.0),
+            ..self.clone()
+        }
+    }
+
+    /// Forward compute time of one layer at batch size `batch`.
+    pub fn ff_time(&self, layer: &LayerSpec, batch: usize) -> f64 {
+        layer.fwd_flops(batch) / self.gemm_flops + self.kernel_overhead
+    }
+
+    /// Backward compute time of one layer at batch size `batch`.
+    pub fn bp_time(&self, layer: &LayerSpec, batch: usize) -> f64 {
+        layer.bwd_flops(batch) / self.gemm_flops + self.kernel_overhead
+    }
+
+    /// Time to build the Kronecker factor `A` of one layer.
+    pub fn factor_a_time(&self, layer: &LayerSpec, batch: usize) -> f64 {
+        layer.factor_a_flops(batch) / self.factor_flops + self.kernel_overhead
+    }
+
+    /// Time to build the Kronecker factor `G` of one layer.
+    pub fn factor_g_time(&self, layer: &LayerSpec, batch: usize) -> f64 {
+        layer.factor_g_flops(batch) / self.factor_flops + self.kernel_overhead
+    }
+
+    /// Time to invert one damped `d × d` factor (Eq. 26).
+    pub fn inverse_time(&self, d: usize) -> f64 {
+        self.inverse.time(d)
+    }
+
+    /// Replaces the all-reduce model with a two-level (hierarchical) ring —
+    /// intra-node reduce-scatter/all-gather over NVLink/PCIe plus an
+    /// inter-node ring over the NIC — matching the testbed's 16 × 4 topology
+    /// (NCCL's tree/hierarchical algorithms). Effective per-element cost:
+    ///
+    /// `β_eff = 2(g−1)/g·β_intra + 2(n−1)/n·β_inter/g`
+    ///
+    /// for `g` GPUs per node and `n` nodes; startup pays one intra and one
+    /// inter latency on each side of the inter-node phase.
+    pub fn with_hierarchical_allreduce(
+        &self,
+        gpus_per_node: usize,
+        world: usize,
+        beta_intra: f64,
+        alpha_intra: f64,
+    ) -> HardwareProfile {
+        let g = gpus_per_node.max(1).min(world.max(1)) as f64;
+        let n = (world.max(1) as f64 / g).max(1.0);
+        let beta_inter = self.allreduce.beta; // NIC-bound per-element cost
+        let beta_eff = 2.0 * (g - 1.0) / g * beta_intra + 2.0 * (n - 1.0) / n * beta_inter / g;
+        let alpha_eff = 2.0 * alpha_intra + self.allreduce.alpha;
+        HardwareProfile {
+            name: format!("{} (hierarchical {gpus_per_node}/node)", self.name),
+            allreduce: AlphaBetaModel::new(alpha_eff, beta_eff),
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spdkfac_models::resnet50;
+
+    #[test]
+    fn resnet50_sgd_iteration_in_plausible_range() {
+        // FF+BP of ResNet-50 at batch 32 on a 2080 Ti is ~0.1 s in practice.
+        let hw = HardwareProfile::rtx2080ti_ib100();
+        let m = resnet50();
+        let t: f64 = m
+            .layers()
+            .iter()
+            .map(|l| hw.ff_time(l, 32) + hw.bp_time(l, 32))
+            .sum();
+        assert!(t > 0.05 && t < 0.25, "FF&BP time {t:.4}s out of range");
+    }
+
+    #[test]
+    fn inverse_model_matches_paper_dkfac_anchor() {
+        // Fig. 2: inverting all 108 ResNet-50 factors locally ≈ 292 ms.
+        let hw = HardwareProfile::rtx2080ti_ib100();
+        let m = resnet50();
+        let t: f64 = m.all_factor_dims().iter().map(|&d| hw.inverse_time(d)).sum();
+        assert!(
+            (t - 0.292).abs() < 0.08,
+            "D-KFAC inverse compute {t:.3}s vs paper 0.292s"
+        );
+    }
+
+    #[test]
+    fn factor_allreduce_cost_dominates_gradient_cost() {
+        // §III-A: factor traffic (~77M elements) ≫ gradient traffic (25.6M).
+        let hw = HardwareProfile::rtx2080ti_ib100();
+        let m = resnet50();
+        let factor_elems = m.total_packed_a() + m.total_packed_g();
+        let t_factor = hw.allreduce.time(factor_elems);
+        let t_grad = hw.allreduce.time(m.total_params());
+        assert!(t_factor > 2.0 * t_grad);
+    }
+
+    #[test]
+    fn single_gpu_profile_has_free_comm() {
+        let hw = HardwareProfile::rtx2080ti_ib100().single_gpu();
+        assert_eq!(hw.allreduce.time(1_000_000), 0.0);
+        assert_eq!(hw.bcast.time_packed(4096), 0.0);
+    }
+
+    #[test]
+    fn hierarchical_allreduce_beats_flat_ring_with_fast_intra_links() {
+        // 4 GPUs/node with PCIe-speed intra links (β_intra ≪ β_inter):
+        // sharding the inter-node phase by g cuts the dominant term by ~4×.
+        let flat = HardwareProfile::rtx2080ti_ib100();
+        let hier = flat.with_hierarchical_allreduce(4, 64, 2.0e-10, 5e-5);
+        let m = 10_000_000;
+        assert!(
+            hier.allreduce.time(m) < flat.allreduce.time(m),
+            "hierarchical {:.4} !< flat {:.4}",
+            hier.allreduce.time(m),
+            flat.allreduce.time(m)
+        );
+        // The inter-node phase shards by g, but intra-node traffic remains:
+        // the net large-message win at g = 4 sits around 1.5-2x.
+        let ratio = flat.allreduce.beta / hier.allreduce.beta;
+        assert!((1.2..5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn scaled_to_world_is_identity_at_calibration_point() {
+        let hw = HardwareProfile::rtx2080ti_ib100();
+        let same = hw.scaled_to_world(64);
+        assert!((same.allreduce.alpha - hw.allreduce.alpha).abs() < 1e-15);
+        assert!((same.allreduce.beta - hw.allreduce.beta).abs() < 1e-20);
+        // Smaller clusters move fewer bytes per rank.
+        let small = hw.scaled_to_world(4);
+        assert!(small.allreduce.beta < hw.allreduce.beta);
+        assert!(small.allreduce.alpha < hw.allreduce.alpha);
+    }
+
+    #[test]
+    fn kernel_overhead_bounds_small_layers() {
+        let hw = HardwareProfile::rtx2080ti_ib100();
+        let l = LayerSpec::linear("fc", 8, 8);
+        assert!(hw.ff_time(&l, 1) >= hw.kernel_overhead);
+    }
+}

@@ -1,0 +1,197 @@
+//! Breakdown accounting: attributing every instant of the iteration to a
+//! category, reproducing the stacked-bar semantics of Fig. 2 / Fig. 9.
+//!
+//! Attribution rules, in precedence order over each elementary interval:
+//!
+//! 1. the representative GPU's compute stream is busy → that task's tag;
+//! 2. any other GPU computes (only the inverse phase schedules there) → that
+//!    task's tag;
+//! 3. the network is busy → that task's tag (this is exactly the
+//!    **non-overlapped** communication time: comm hidden behind compute is
+//!    attributed to the compute);
+//! 4. nothing is busy → idle.
+
+use crate::graph::{Tag, TaskSpan};
+
+/// Per-category seconds of one simulated iteration; categories sum to
+/// [`SimReport::total`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Breakdown {
+    /// Feed-forward + backward compute.
+    pub ff_bp: f64,
+    /// Non-overlapped gradient all-reduce time.
+    pub grad_comm: f64,
+    /// Kronecker-factor construction compute.
+    pub factor_comp: f64,
+    /// Non-overlapped factor all-reduce time.
+    pub factor_comm: f64,
+    /// Matrix-inversion compute.
+    pub inverse_comp: f64,
+    /// Non-overlapped inverse broadcast time.
+    pub inverse_comm: f64,
+    /// Preconditioning / update compute.
+    pub other: f64,
+    /// Dead time (scheduling gaps).
+    pub idle: f64,
+}
+
+impl Breakdown {
+    /// Sum of all categories (= iteration time).
+    pub fn total(&self) -> f64 {
+        self.ff_bp
+            + self.grad_comm
+            + self.factor_comp
+            + self.factor_comm
+            + self.inverse_comp
+            + self.inverse_comm
+            + self.other
+            + self.idle
+    }
+
+    fn slot(&mut self, tag: Tag) -> &mut f64 {
+        match tag {
+            Tag::FfBp => &mut self.ff_bp,
+            Tag::GradComm => &mut self.grad_comm,
+            Tag::FactorComp => &mut self.factor_comp,
+            Tag::FactorComm => &mut self.factor_comm,
+            Tag::InverseComp => &mut self.inverse_comp,
+            Tag::InverseComm => &mut self.inverse_comm,
+            Tag::Other => &mut self.other,
+        }
+    }
+}
+
+/// Result of simulating one training iteration.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Iteration wall-clock time.
+    pub total: f64,
+    /// Category attribution (sums to `total`).
+    pub breakdown: Breakdown,
+    /// The raw task schedule, for traces and plots.
+    pub spans: Vec<TaskSpan>,
+}
+
+/// Builds a report from a simulated schedule.
+///
+/// Resources `0..num_gpus` are compute streams (resource 0 is the
+/// representative GPU); every resource `>= num_gpus` is a network link
+/// (one shared link under the serialized model, one per root under the
+/// per-root-parallel model).
+pub fn attribute(spans: Vec<TaskSpan>, num_gpus: usize) -> SimReport {
+    attribute_impl(spans, 0, num_gpus)
+}
+
+fn attribute_impl(spans: Vec<TaskSpan>, gpu0: usize, num_gpus: usize) -> SimReport {
+    let total = spans.iter().map(|s| s.end).fold(0.0, f64::max);
+    // Elementary intervals from all span endpoints.
+    let mut points: Vec<f64> = Vec::with_capacity(spans.len() * 2 + 1);
+    points.push(0.0);
+    for s in &spans {
+        points.push(s.start);
+        points.push(s.end);
+    }
+    points.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    points.dedup();
+
+    let gpu0_spans: Vec<&TaskSpan> = spans.iter().filter(|s| s.resource == gpu0).collect();
+    let other_gpu_spans: Vec<&TaskSpan> = spans
+        .iter()
+        .filter(|s| s.resource != gpu0 && s.resource < num_gpus)
+        .collect();
+    let net_spans: Vec<&TaskSpan> = spans.iter().filter(|s| s.resource >= num_gpus).collect();
+
+    let covering = |set: &[&TaskSpan], t: f64| -> Option<Tag> {
+        set.iter()
+            .find(|s| s.start <= t && t < s.end && s.end > s.start)
+            .map(|s| s.tag)
+    };
+
+    let mut breakdown = Breakdown::default();
+    for w in points.windows(2) {
+        let (t0, t1) = (w[0], w[1]);
+        if t1 <= t0 {
+            continue;
+        }
+        let mid = 0.5 * (t0 + t1);
+        let len = t1 - t0;
+        let tag = covering(&gpu0_spans, mid)
+            .or_else(|| covering(&other_gpu_spans, mid))
+            .or_else(|| covering(&net_spans, mid));
+        match tag {
+            Some(t) => *breakdown.slot(t) += len,
+            None => breakdown.idle += len,
+        }
+    }
+    SimReport {
+        total,
+        breakdown,
+        spans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Tag, TaskGraph};
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let mut g = TaskGraph::new(2);
+        let a = g.push(0, 1.0, &[], Tag::FfBp);
+        g.push(1, 3.0, &[a], Tag::GradComm);
+        let r = attribute(g.simulate(), 1);
+        assert!((r.breakdown.total() - r.total).abs() < 1e-12);
+        assert_eq!(r.total, 4.0);
+    }
+
+    #[test]
+    fn hidden_comm_attributed_to_compute() {
+        // Comm runs 0..2 entirely under compute 0..3 ⇒ zero non-overlapped
+        // comm time.
+        let mut g = TaskGraph::new(2);
+        g.push(0, 3.0, &[], Tag::FfBp);
+        g.push(1, 2.0, &[], Tag::FactorComm);
+        let r = attribute(g.simulate(), 1);
+        assert_eq!(r.breakdown.factor_comm, 0.0);
+        assert_eq!(r.breakdown.ff_bp, 3.0);
+    }
+
+    #[test]
+    fn exposed_comm_counts() {
+        let mut g = TaskGraph::new(2);
+        let a = g.push(0, 1.0, &[], Tag::FfBp);
+        g.push(1, 2.0, &[a], Tag::FactorComm);
+        let r = attribute(g.simulate(), 1);
+        assert_eq!(r.breakdown.ff_bp, 1.0);
+        assert_eq!(r.breakdown.factor_comm, 2.0);
+    }
+
+    #[test]
+    fn other_gpu_inverse_compute_counts_when_gpu0_idle() {
+        // GPU 1 (resource 1) inverts while GPU 0 idles; network silent.
+        let mut g = TaskGraph::new(3);
+        g.push(1, 2.0, &[], Tag::InverseComp);
+        let r = attribute(g.simulate(), 2);
+        assert_eq!(r.breakdown.inverse_comp, 2.0);
+        assert_eq!(r.breakdown.idle, 0.0);
+    }
+
+    #[test]
+    fn gaps_become_idle() {
+        let mut g = TaskGraph::new(2);
+        let a = g.push(1, 1.0, &[], Tag::GradComm);
+        let _b = g.push(0, 1.0, &[a], Tag::FfBp);
+        let r = attribute(g.simulate(), 1);
+        assert_eq!(r.breakdown.idle, 0.0); // comm covers 0..1, compute 1..2
+        assert_eq!(r.total, 2.0);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let g = TaskGraph::new(2);
+        let r = attribute(g.simulate(), 1);
+        assert_eq!(r.total, 0.0);
+        assert_eq!(r.breakdown.total(), 0.0);
+    }
+}

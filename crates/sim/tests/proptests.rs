@@ -1,0 +1,95 @@
+//! Property tests for the task-graph simulator and the scheduling
+//! invariants of the iteration builders.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use spdkfac_models::resnet50;
+use spdkfac_sim::graph::{Tag, TaskGraph};
+use spdkfac_sim::{simulate_iteration, Algo, SimConfig};
+
+/// Strategy: a random but causally-valid task graph.
+fn graph_strategy() -> impl Strategy<Value = TaskGraph> {
+    (1usize..5, 1usize..40).prop_flat_map(|(resources, n)| {
+        pvec((0usize..resources, 0.0f64..2.0, pvec(0usize..n.max(1), 0..3)), n).prop_map(
+            move |tasks| {
+                let mut g = TaskGraph::new(resources + 1);
+                for (i, (res, dur, deps)) in tasks.into_iter().enumerate() {
+                    let deps: Vec<usize> = deps.into_iter().filter(|&d| d < i).collect();
+                    g.push(res, dur, &deps, Tag::FfBp);
+                }
+                g
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedule_is_feasible(g in graph_strategy()) {
+        let spans = g.simulate();
+        // Every task starts after its deps and never overlaps a same-resource task.
+        for (i, t) in g.tasks().iter().enumerate() {
+            for &d in &t.deps {
+                prop_assert!(spans[i].start >= spans[d].end - 1e-12);
+            }
+            prop_assert!((spans[i].end - spans[i].start - t.duration).abs() < 1e-12);
+        }
+        let n = g.tasks().len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if g.tasks()[i].resource == g.tasks()[j].resource {
+                    let (a, b) = (&spans[i], &spans[j]);
+                    prop_assert!(a.end <= b.start + 1e-12 || b.end <= a.start + 1e-12,
+                        "overlap on resource {}", g.tasks()[i].resource);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_monotone_in_task_duration(g in graph_strategy(), pick in 0usize..40, extra in 0.0f64..3.0) {
+        let before = g.makespan();
+        let mut g2 = g.clone();
+        let n = g2.tasks().len();
+        let idx = pick % n;
+        let d = g2.tasks()[idx].duration;
+        g2.set_duration(idx, d + extra);
+        prop_assert!(g2.makespan() >= before - 1e-12);
+    }
+
+    #[test]
+    fn iteration_breakdown_always_sums(world in 1usize..65, algo_pick in 0usize..6) {
+        let algo = [Algo::SgdSingle, Algo::KfacSingle, Algo::SSgd, Algo::DKfac, Algo::MpdKfac, Algo::SpdKfac][algo_pick];
+        let cfg = SimConfig::paper_testbed(world);
+        let r = simulate_iteration(&resnet50(), &cfg, algo);
+        prop_assert!((r.breakdown.total() - r.total).abs() < 1e-9);
+        prop_assert!(r.total > 0.0);
+    }
+
+    #[test]
+    fn faster_hardware_never_slows_iterations(speedup in 1.0f64..8.0, algo_pick in 0usize..4) {
+        let algo = [Algo::SSgd, Algo::DKfac, Algo::MpdKfac, Algo::SpdKfac][algo_pick];
+        let slow = SimConfig::paper_testbed(32);
+        let mut fast = slow.clone();
+        fast.hw.gemm_flops *= speedup;
+        fast.hw.factor_flops *= speedup;
+        fast.hw.allreduce.beta /= speedup;
+        fast.hw.bcast.beta /= speedup;
+        fast.hw.inverse.alpha /= speedup;
+        let m = resnet50();
+        let ts = simulate_iteration(&m, &slow, algo).total;
+        let tf = simulate_iteration(&m, &fast, algo).total;
+        prop_assert!(tf <= ts + 1e-9, "{algo:?}: {tf} > {ts}");
+    }
+
+    #[test]
+    fn spd_never_loses_to_dkfac(world in 2usize..129) {
+        let cfg = SimConfig::paper_testbed(world);
+        let m = resnet50();
+        let d = simulate_iteration(&m, &cfg, Algo::DKfac).total;
+        let spd = simulate_iteration(&m, &cfg, Algo::SpdKfac).total;
+        prop_assert!(spd <= d + 1e-9, "world={world}: SPD {spd} > D {d}");
+    }
+}

@@ -1,0 +1,333 @@
+//! Cholesky factorization and SPD inversion.
+//!
+//! The paper inverts every damped Kronecker factor `(A + γI)` and `(G + γI)`
+//! with cuSolver's Cholesky path (§V-B). This module is the CPU analogue:
+//! `LLᵀ` factorization ([`cholesky`]), triangular solves, and a full SPD
+//! inverse ([`spd_inverse`]) via inversion of the triangular factor
+//! (the POTRF + POTRI sequence).
+
+use crate::error::TensorError;
+use crate::matrix::Matrix;
+
+/// A lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// Produced by [`cholesky`]; provides solves and the SPD inverse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+/// Computes the Cholesky factorization `A = L Lᵀ` of a symmetric positive
+/// definite matrix.
+///
+/// Only the lower triangle of `a` is read, so numerically-slightly-asymmetric
+/// inputs are accepted (the upper triangle is ignored).
+///
+/// # Errors
+///
+/// - [`TensorError::NotSquare`] if `a` is rectangular.
+/// - [`TensorError::NotPositiveDefinite`] if a non-positive pivot appears.
+///
+/// # Example
+///
+/// ```
+/// use spdkfac_tensor::{Matrix, chol::cholesky};
+///
+/// # fn main() -> Result<(), spdkfac_tensor::TensorError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let ch = cholesky(&a)?;
+/// let rebuilt = ch.factor().matmul(&ch.factor().transpose());
+/// assert!(rebuilt.max_abs_diff(&a) < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cholesky(a: &Matrix) -> Result<Cholesky, TensorError> {
+    if !a.is_square() {
+        return Err(TensorError::NotSquare {
+            op: "cholesky",
+            shape: a.shape(),
+        });
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        // Diagonal entry.
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(TensorError::NotPositiveDefinite { pivot: j });
+        }
+        let dj = d.sqrt();
+        l[(j, j)] = dj;
+        // Column below the diagonal.
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / dj;
+        }
+    }
+    Ok(Cholesky { l })
+}
+
+impl Cholesky {
+    /// Borrow the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` using the factorization (forward then backward
+    /// substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve: rhs length mismatch");
+        // Forward: L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y.
+        let mut x = y;
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.l[(k, i)] * x[k];
+            }
+            x[i] /= self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A X = B` column-by-column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `B.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        let n = self.dim();
+        assert_eq!(b.rows(), n, "solve_matrix: shape mismatch");
+        let mut out = Matrix::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for c in 0..b.cols() {
+            for r in 0..n {
+                col[r] = b[(r, c)];
+            }
+            let x = self.solve(&col);
+            for r in 0..n {
+                out[(r, c)] = x[r];
+            }
+        }
+        out
+    }
+
+    /// Computes the full inverse `A⁻¹ = L⁻ᵀ L⁻¹` (POTRI-style).
+    ///
+    /// The result is exactly symmetric by construction.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        // Invert the lower-triangular factor: M = L⁻¹ (lower triangular).
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0 / self.l[(i, i)];
+            for j in 0..i {
+                let mut s = 0.0;
+                for k in j..i {
+                    s += self.l[(i, k)] * m[(k, j)];
+                }
+                m[(i, j)] = -s / self.l[(i, i)];
+            }
+        }
+        // A⁻¹ = Mᵀ M, computed on the upper triangle then mirrored.
+        let mut inv = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                // Column i of M dotted with column j of M, rows ≥ max(i, j)=j.
+                let mut s = 0.0;
+                for k in j..n {
+                    s += m[(k, i)] * m[(k, j)];
+                }
+                inv[(i, j)] = s;
+                inv[(j, i)] = s;
+            }
+        }
+        inv
+    }
+
+    /// Log-determinant of `A`: `2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Convenience wrapper: factorizes and inverts an SPD matrix in one call.
+///
+/// This is the operation the paper's load-balancing placement distributes
+/// across GPUs (`f(T_i)` in §IV-B).
+///
+/// # Errors
+///
+/// Propagates [`cholesky`] errors.
+///
+/// # Example
+///
+/// ```
+/// use spdkfac_tensor::{Matrix, chol::spd_inverse};
+///
+/// # fn main() -> Result<(), spdkfac_tensor::TensorError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let inv = spd_inverse(&a)?;
+/// assert!(a.matmul(&inv).max_abs_diff(&Matrix::identity(2)) < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn spd_inverse(a: &Matrix) -> Result<Matrix, TensorError> {
+    Ok(cholesky(a)?.inverse())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::MatrixRng;
+
+    fn random_spd(n: usize, seed: u64) -> Matrix {
+        let mut rng = MatrixRng::new(seed);
+        let x = rng.gaussian_matrix(n + 4, n);
+        let mut a = x.gramian_scaled(n as f64);
+        a.add_scaled_identity(0.5);
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        for n in [1, 2, 3, 8, 17, 40] {
+            let a = random_spd(n, n as u64);
+            let ch = cholesky(&a).unwrap();
+            let rebuilt = ch.factor().matmul(&ch.factor().transpose());
+            assert!(
+                rebuilt.max_abs_diff(&a) < 1e-10,
+                "reconstruction failed at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let a = random_spd(6, 42);
+        let ch = cholesky(&a).unwrap();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                assert_eq!(ch.factor()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            cholesky(&a),
+            Err(TensorError::NotSquare { op: "cholesky", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            cholesky(&a),
+            Err(TensorError::NotPositiveDefinite { pivot: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_diagonal_immediately() {
+        let a = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, 1.0]]);
+        assert!(matches!(
+            cholesky(&a),
+            Err(TensorError::NotPositiveDefinite { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = random_spd(12, 3);
+        let ch = cholesky(&a).unwrap();
+        let b: Vec<f64> = (0..12).map(|i| (i as f64).sin()).collect();
+        let x = ch.solve(&b);
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(b.iter()) {
+            assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_matches_columnwise_solve() {
+        let a = random_spd(7, 8);
+        let ch = cholesky(&a).unwrap();
+        let mut rng = MatrixRng::new(9);
+        let b = rng.uniform_matrix(7, 3, -1.0, 1.0);
+        let x = ch.solve_matrix(&b);
+        let ax = a.matmul(&x);
+        assert!(ax.max_abs_diff(&b) < 1e-9);
+    }
+
+    #[test]
+    fn inverse_is_symmetric_and_correct() {
+        for n in [1, 2, 5, 16, 33] {
+            let a = random_spd(n, 100 + n as u64);
+            let inv = spd_inverse(&a).unwrap();
+            assert_eq!(inv.max_asymmetry(), 0.0, "asymmetric inverse at n={n}");
+            let prod = a.matmul(&inv);
+            assert!(
+                prod.max_abs_diff(&Matrix::identity(n)) < 1e-8,
+                "A·A⁻¹ ≠ I at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_of_identity_is_identity() {
+        let i = Matrix::identity(5);
+        let inv = spd_inverse(&i).unwrap();
+        assert!(inv.max_abs_diff(&i) < 1e-14);
+    }
+
+    #[test]
+    fn inverse_of_diagonal() {
+        let a = Matrix::from_diag(&[2.0, 4.0, 8.0]);
+        let inv = spd_inverse(&a).unwrap();
+        let expect = Matrix::from_diag(&[0.5, 0.25, 0.125]);
+        assert!(inv.max_abs_diff(&expect) < 1e-14);
+    }
+
+    #[test]
+    fn log_det_matches_diagonal_case() {
+        let a = Matrix::from_diag(&[2.0, 3.0, 4.0]);
+        let ch = cholesky(&a).unwrap();
+        assert!((ch.log_det() - (24.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damping_rescues_singular_matrix() {
+        // Rank-1 Gramian is singular; damping per Eq. 12 makes it invertible.
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let a = x.gramian();
+        assert!(cholesky(&a).is_err());
+        let damped = a.damped(1e-3);
+        assert!(spd_inverse(&damped).is_ok());
+    }
+}

@@ -1,0 +1,184 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Needed by the EKFAC extension (`spdkfac-core::ekfac`): K-FAC's
+//! eigenvalue-corrected variant preconditions in the Kronecker *eigenbasis*
+//! of the factors instead of multiplying by their inverses.
+
+use crate::error::TensorError;
+use crate::matrix::Matrix;
+
+/// Eigendecomposition `A = V · diag(λ) · Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymEig {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as columns (same order as `values`).
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with cyclic Jacobi
+/// rotations.
+///
+/// Only the symmetric part of `a` is used (`(a + aᵀ)/2` implicitly, by
+/// reading both triangles through averaged rotations; callers should pass
+/// numerically symmetric matrices).
+///
+/// # Errors
+///
+/// Returns [`TensorError::NotSquare`] for rectangular input.
+///
+/// # Example
+///
+/// ```
+/// use spdkfac_tensor::{Matrix, eig::sym_eig};
+///
+/// # fn main() -> Result<(), spdkfac_tensor::TensorError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let e = sym_eig(&a)?;
+/// assert!((e.values[0] - 1.0).abs() < 1e-10);
+/// assert!((e.values[1] - 3.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sym_eig(a: &Matrix) -> Result<SymEig, TensorError> {
+    if !a.is_square() {
+        return Err(TensorError::NotSquare {
+            op: "sym_eig",
+            shape: a.shape(),
+        });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    m.symmetrize();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 64;
+    let tol = 1e-14 * m.frobenius_norm().max(1e-300);
+    for _sweep in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Jacobi rotation angle.
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply rotation to rows/cols p, q of M.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Extract and sort ascending.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite eigenvalues"));
+    let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
+    let vectors = Matrix::from_fn(n, n, |r, c| v[(r, pairs[c].1)]);
+    Ok(SymEig { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::MatrixRng;
+
+    fn check_decomposition(a: &Matrix, e: &SymEig, tol: f64) {
+        let n = a.rows();
+        // Orthonormality.
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!(vtv.max_abs_diff(&Matrix::identity(n)) < tol, "V not orthonormal");
+        // Reconstruction.
+        let lam = Matrix::from_diag(&e.values);
+        let rebuilt = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        assert!(rebuilt.max_abs_diff(a) < tol, "reconstruction failed");
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = sym_eig(&a).unwrap();
+        assert_eq!(e.values, vec![1.0, 2.0, 3.0]);
+        check_decomposition(&a, &e, 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let e = sym_eig(&a).unwrap();
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_spd_matrices() {
+        let mut rng = MatrixRng::new(5);
+        for n in [1usize, 2, 5, 12, 30] {
+            let a = rng.spd_matrix(n, 0.1);
+            let e = sym_eig(&a).unwrap();
+            check_decomposition(&a, &e, 1e-9);
+            assert!(e.values.iter().all(|&l| l > 0.0), "SPD eigenvalues positive");
+            // Ascending order.
+            for w in e.values.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_symmetric_matrix() {
+        let mut rng = MatrixRng::new(9);
+        let x = rng.gaussian_matrix(6, 6);
+        let mut a = &x + &x.transpose();
+        a.scale(0.5);
+        let e = sym_eig(&a).unwrap();
+        check_decomposition(&a, &e, 1e-9);
+    }
+
+    #[test]
+    fn eigenvalues_match_trace_and_det() {
+        let mut rng = MatrixRng::new(11);
+        let a = rng.spd_matrix(5, 0.2);
+        let e = sym_eig(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-9);
+        let prod: f64 = e.values.iter().product();
+        let logdet = crate::chol::cholesky(&a).unwrap().log_det();
+        assert!((prod.ln() - logdet).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(sym_eig(&Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Error types for the linear-algebra kernels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numerical kernels in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes.
+    ///
+    /// `op` names the operation, `lhs`/`rhs` are the offending `(rows, cols)`
+    /// shapes.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand.
+        rhs: (usize, usize),
+    },
+    /// An operation that requires a square matrix received a rectangular one.
+    NotSquare {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// Cholesky factorization failed: the matrix is not (numerically)
+    /// symmetric positive definite. Carries the pivot column at which the
+    /// factorization broke down.
+    NotPositiveDefinite {
+        /// Pivot index at which a non-positive diagonal was encountered.
+        pivot: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::NotSquare { op, shape } => {
+                write!(f, "{op} requires a square matrix, got {}x{}", shape.0, shape.1)
+            }
+            TensorError::NotPositiveDefinite { pivot } => write!(
+                f,
+                "matrix is not positive definite (breakdown at pivot {pivot})"
+            ),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn not_square_display() {
+        let e = TensorError::NotSquare {
+            op: "cholesky",
+            shape: (3, 4),
+        };
+        assert!(e.to_string().contains("cholesky"));
+    }
+
+    #[test]
+    fn not_spd_display_mentions_pivot() {
+        let e = TensorError::NotPositiveDefinite { pivot: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

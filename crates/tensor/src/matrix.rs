@@ -1,0 +1,723 @@
+//! A row-major dense `f64` matrix and the handful of BLAS-like kernels the
+//! K-FAC reproduction needs.
+//!
+//! The implementation favours clarity and determinism over absolute speed,
+//! but the GEMM kernel is cache-blocked and the Gramian (`XᵀX`) kernel
+//! exploits symmetry, which is what the factor computation (Eq. 7/8 of the
+//! paper) spends its time in.
+
+use crate::error::TensorError;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// Cache-block edge used by [`Matrix::matmul`].
+const GEMM_BLOCK: usize = 64;
+
+/// A dense, row-major matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use spdkfac_tensor::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::identity(2);
+/// assert_eq!(a.matmul(&b), a);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_show = 8;
+        for r in 0..self.rows.min(max_show) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(max_show) {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:10.4}", self[(r, c)])?;
+            }
+            if self.cols > max_show {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_show {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows: need at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "from_rows: row {i} has inconsistent length");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a matrix that owns `data`, interpreted row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a square diagonal matrix from its diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its row-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Dense matrix product `self · rhs`.
+    ///
+    /// Cache-blocked i-k-j loop over row-major storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`; use [`Matrix::try_matmul`] for a
+    /// fallible variant.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        self.try_matmul(rhs).expect("matmul: shape mismatch")
+    }
+
+    /// Fallible matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the inner dimensions
+    /// disagree.
+    pub fn try_matmul(&self, rhs: &Matrix) -> Result<Matrix, TensorError> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        for ib in (0..m).step_by(GEMM_BLOCK) {
+            let ie = (ib + GEMM_BLOCK).min(m);
+            for kb in (0..k).step_by(GEMM_BLOCK) {
+                let ke = (kb + GEMM_BLOCK).min(k);
+                for jb in (0..n).step_by(GEMM_BLOCK) {
+                    let je = (jb + GEMM_BLOCK).min(n);
+                    for i in ib..ie {
+                        for kk in kb..ke {
+                            let a = self.data[i * k + kk];
+                            if a == 0.0 {
+                                continue;
+                            }
+                            let rrow = &rhs.data[kk * n + jb..kk * n + je];
+                            let orow = &mut out.data[i * n + jb..i * n + je];
+                            for (o, &r) in orow.iter_mut().zip(rrow.iter()) {
+                                *o += a * r;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Multi-threaded matrix product: row blocks of `self` are distributed
+    /// across `threads` workers (crossbeam scoped threads), each running the
+    /// same cache-blocked kernel as [`Matrix::matmul`]. Produces bit-identical
+    /// results to the serial product (each output row is computed by exactly
+    /// one worker with the serial loop order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree or `threads == 0`.
+    pub fn par_matmul(&self, rhs: &Matrix, threads: usize) -> Matrix {
+        assert!(threads > 0, "par_matmul: need at least one thread");
+        assert_eq!(
+            self.cols, rhs.rows,
+            "par_matmul: shape mismatch {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        if threads == 1 || m < 2 * threads {
+            return self.matmul(rhs);
+        }
+        let mut out = Matrix::zeros(m, n);
+        let rows_per = m.div_ceil(threads);
+        let out_chunks: Vec<&mut [f64]> = out.data.chunks_mut(rows_per * n).collect();
+        crossbeam::thread::scope(|s| {
+            for (chunk_idx, chunk) in out_chunks.into_iter().enumerate() {
+                let row0 = chunk_idx * rows_per;
+                s.spawn(move |_| {
+                    let rows_here = chunk.len() / n;
+                    for ib in (0..rows_here).step_by(GEMM_BLOCK) {
+                        let ie = (ib + GEMM_BLOCK).min(rows_here);
+                        for kb in (0..k).step_by(GEMM_BLOCK) {
+                            let ke = (kb + GEMM_BLOCK).min(k);
+                            for jb in (0..n).step_by(GEMM_BLOCK) {
+                                let je = (jb + GEMM_BLOCK).min(n);
+                                for i in ib..ie {
+                                    for kk in kb..ke {
+                                        let a = self.data[(row0 + i) * k + kk];
+                                        if a == 0.0 {
+                                            continue;
+                                        }
+                                        let rrow = &rhs.data[kk * n + jb..kk * n + je];
+                                        let orow = &mut chunk[i * n + jb..i * n + je];
+                                        for (o, &r) in orow.iter_mut().zip(rrow.iter()) {
+                                            *o += a * r;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("par_matmul worker panicked");
+        out
+    }
+
+    /// Gramian `selfᵀ · self` exploiting symmetry (computes the upper triangle
+    /// and mirrors it).
+    ///
+    /// This is the kernel behind the Kronecker-factor computations
+    /// `A = E[a aᵀ]` and `G = E[g gᵀ]` (Eq. 7/8), where the rows of `self`
+    /// are per-sample activation / gradient vectors.
+    pub fn gramian(&self) -> Matrix {
+        let (n, d) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(d, d);
+        for s in 0..n {
+            let row = &self.data[s * d..(s + 1) * d];
+            for i in 0..d {
+                let v = row[i];
+                if v == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * d + i..(i + 1) * d];
+                for (o, &r) in orow.iter_mut().zip(row[i..].iter()) {
+                    *o += v * r;
+                }
+            }
+        }
+        // Mirror the strictly-upper triangle into the lower one.
+        for i in 0..d {
+            for j in (i + 1)..d {
+                out.data[j * d + i] = out.data[i * d + j];
+            }
+        }
+        out
+    }
+
+    /// Gramian scaled by `1/scale`: `selfᵀ·self / scale`.
+    ///
+    /// K-FAC averages the factor statistics over the mini-batch (and over the
+    /// spatial positions for convolutions), so this saves a second pass.
+    pub fn gramian_scaled(&self, scale: f64) -> Matrix {
+        let mut g = self.gramian();
+        g.scale(1.0 / scale);
+        g
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec: length mismatch");
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = self.row(r);
+            *o = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Adds `gamma · I` in place (Tikhonov damping, Eq. 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn add_scaled_identity(&mut self, gamma: f64) {
+        assert!(self.is_square(), "add_scaled_identity requires square");
+        for i in 0..self.rows {
+            self.data[i * self.cols + i] += gamma;
+        }
+    }
+
+    /// Returns a damped copy `self + gamma · I`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn damped(&self, gamma: f64) -> Matrix {
+        let mut m = self.clone();
+        m.add_scaled_identity(gamma);
+        m
+    }
+
+    /// Scales every element in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// `self += alpha * other`, element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Exponential moving average update used for running factor statistics:
+    /// `self = decay * self + (1 - decay) * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn ema_update(&mut self, decay: f64, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "ema_update: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a = decay * *a + (1.0 - decay) * b;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace requires square");
+        (0..self.rows).map(|i| self.data[i * self.cols + i]).sum()
+    }
+
+    /// Largest absolute element-wise difference against `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest absolute asymmetry `|a_ij - a_ji|`.
+    ///
+    /// Returns `0.0` for perfectly symmetric matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn max_asymmetry(&self) -> f64 {
+        assert!(self.is_square(), "max_asymmetry requires square");
+        let mut worst = 0.0f64;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst
+    }
+
+    /// Forces exact symmetry by averaging with the transpose, in place.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize requires square");
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                let (n, c) = (self.rows, self.cols);
+                let _ = n;
+                self.data[i * c + j] = avg;
+                self.data[j * c + i] = avg;
+            }
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add: shape mismatch");
+        let mut out = self.clone();
+        out.axpy(1.0, rhs);
+        out
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub: shape mismatch");
+        let mut out = self.clone();
+        out.axpy(-1.0, rhs);
+        out
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale(s);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::MatrixRng;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i.trace(), 3.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_and_index() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent length")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let mut rng = MatrixRng::new(7);
+        let a = rng.uniform_matrix(5, 9, -1.0, 1.0);
+        assert_eq!(a.matmul(&Matrix::identity(9)), a);
+        assert_eq!(Matrix::identity(5).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_rectangular_matches_naive() {
+        let mut rng = MatrixRng::new(11);
+        let a = rng.uniform_matrix(13, 70, -2.0, 2.0);
+        let b = rng.uniform_matrix(70, 29, -2.0, 2.0);
+        let c = a.matmul(&b);
+        // Naive reference.
+        let mut naive = Matrix::zeros(13, 29);
+        for i in 0..13 {
+            for j in 0..29 {
+                let mut s = 0.0;
+                for k in 0..70 {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                naive[(i, j)] = s;
+            }
+        }
+        assert!(c.max_abs_diff(&naive) < 1e-12);
+    }
+
+    #[test]
+    fn par_matmul_matches_serial_bitwise() {
+        let mut rng = MatrixRng::new(21);
+        for (m, k, n) in [(1usize, 1usize, 1usize), (7, 5, 3), (64, 32, 48), (130, 70, 90)] {
+            let a = rng.uniform_matrix(m, k, -2.0, 2.0);
+            let b = rng.uniform_matrix(k, n, -2.0, 2.0);
+            let serial = a.matmul(&b);
+            for threads in [1usize, 2, 3, 8] {
+                let par = a.par_matmul(&b, threads);
+                assert_eq!(par, serial, "mismatch at {m}x{k}x{n} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn par_matmul_with_more_threads_than_rows() {
+        let mut rng = MatrixRng::new(22);
+        let a = rng.uniform_matrix(3, 4, -1.0, 1.0);
+        let b = rng.uniform_matrix(4, 2, -1.0, 1.0);
+        assert_eq!(a.par_matmul(&b, 16), a.matmul(&b));
+    }
+
+    #[test]
+    fn try_matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(matches!(
+            a.try_matmul(&b),
+            Err(TensorError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn gramian_matches_explicit_transpose_product() {
+        let mut rng = MatrixRng::new(3);
+        let x = rng.uniform_matrix(17, 6, -1.0, 1.0);
+        let g = x.gramian();
+        let explicit = x.transpose().matmul(&x);
+        assert!(g.max_abs_diff(&explicit) < 1e-12);
+        assert_eq!(g.max_asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn gramian_scaled_divides() {
+        let x = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0]]);
+        let g = x.gramian_scaled(4.0);
+        assert_eq!(g[(0, 0)], 1.0);
+        assert_eq!(g[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = MatrixRng::new(5);
+        let a = rng.uniform_matrix(4, 7, -1.0, 1.0);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = MatrixRng::new(9);
+        let a = rng.uniform_matrix(6, 4, -1.0, 1.0);
+        let v: Vec<f64> = (0..4).map(|i| i as f64 + 0.5).collect();
+        let mv = a.matvec(&v);
+        let col = Matrix::from_vec(4, 1, v);
+        let ref_col = a.matmul(&col);
+        for (i, &x) in mv.iter().enumerate() {
+            assert!((x - ref_col[(i, 0)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn damping_adds_identity() {
+        let a = Matrix::zeros(3, 3);
+        let d = a.damped(0.5);
+        assert_eq!(d.trace(), 1.5);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn ema_update_converges_to_target() {
+        let target = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut running = Matrix::zeros(2, 2);
+        for _ in 0..2000 {
+            running.ema_update(0.95, &target);
+        }
+        assert!(running.max_abs_diff(&target) < 1e-10);
+    }
+
+    #[test]
+    fn symmetrize_fixes_asymmetry() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[4.0, 1.0]]);
+        assert!(a.max_asymmetry() > 0.0);
+        a.symmetrize();
+        assert_eq!(a.max_asymmetry(), 0.0);
+        assert_eq!(a[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn operator_overloads() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::identity(2);
+        let sum = &a + &b;
+        assert_eq!(sum[(0, 0)], 2.0);
+        let diff = &sum - &b;
+        assert_eq!(diff, a);
+        let scaled = &a * 2.0;
+        assert_eq!(scaled[(1, 1)], 8.0);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let a = Matrix::zeros(1, 1);
+        assert!(!format!("{a:?}").is_empty());
+    }
+}

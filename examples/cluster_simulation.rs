@@ -1,0 +1,58 @@
+//! Cluster simulation: explore how the algorithms scale with GPU count.
+//!
+//! Run with (GPU count optional, default 64):
+//!
+//! ```text
+//! cargo run --release --example cluster_simulation -- 16
+//! ```
+//!
+//! Prints Table III-style iteration times at the requested scale plus the
+//! SPD-KFAC breakdown, using the calibrated RTX 2080 Ti / 100 Gb IB profile.
+
+use spdkfac::models::paper_models;
+use spdkfac::sim::{simulate_iteration, Algo, SimConfig};
+
+fn main() {
+    let world: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("GPU count must be an integer"))
+        .unwrap_or(64);
+    println!("simulated cluster: {world} GPUs (RTX 2080 Ti, 100 Gb/s IB profile)\n");
+    let cfg = SimConfig::paper_testbed(world);
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}",
+        "Model", "S-SGD", "D-KFAC", "MPD", "SPD", "SP1", "SP2"
+    );
+    for m in paper_models() {
+        let ssgd = simulate_iteration(&m, &cfg, Algo::SSgd).total;
+        let d = simulate_iteration(&m, &cfg, Algo::DKfac).total;
+        let mpd = simulate_iteration(&m, &cfg, Algo::MpdKfac).total;
+        let spd = simulate_iteration(&m, &cfg, Algo::SpdKfac).total;
+        println!(
+            "{:<14} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>6.2} {:>6.2}",
+            m.name(),
+            ssgd,
+            d,
+            mpd,
+            spd,
+            d / spd,
+            mpd / spd
+        );
+    }
+    println!("\nSPD-KFAC breakdowns:");
+    for m in paper_models() {
+        let r = simulate_iteration(&m, &cfg, Algo::SpdKfac);
+        let b = r.breakdown;
+        println!(
+            "{:<14} total={:.4}s  ff_bp={:.3} grad={:.3} fcomp={:.3} fcomm={:.3} icomp={:.3} icomm={:.3}",
+            m.name(),
+            r.total,
+            b.ff_bp,
+            b.grad_comm,
+            b.factor_comp,
+            b.factor_comm,
+            b.inverse_comp,
+            b.inverse_comm
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Distributed equivalence: D-KFAC, MPD-KFAC and SPD-KFAC produce the same
+//! parameters while moving different traffic.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example distributed_equivalence
+//! ```
+//!
+//! Four worker threads train the same model with real ring collectives under
+//! each algorithm. The parameter trajectories agree to floating-point noise
+//! (the paper's premise for comparing them on wall-clock only), while the
+//! traffic counters show *how* the algorithms differ.
+
+use spdkfac::core::distributed::{train, Algorithm, DistributedConfig};
+use spdkfac::nn::data::gaussian_blobs;
+use spdkfac::nn::models::deep_mlp;
+
+fn main() {
+    let world = 4;
+    let iters = 10;
+    let data = gaussian_blobs(3, 8, 16 * world, 0.3, 21);
+    let build = || deep_mlp(8, 16, 4, 3, 7);
+
+    let mut results = Vec::new();
+    for algo in [Algorithm::DKfac, Algorithm::MpdKfac, Algorithm::SpdKfac] {
+        let mut cfg = DistributedConfig::new(world, algo);
+        cfg.kfac.damping = 0.1;
+        cfg.kfac.lr = 0.05;
+        cfg.kfac.momentum = 0.0;
+        let r = train(&cfg, &build, &data, iters, 4);
+        println!(
+            "{algo:?}: final loss {:.6}, ring traffic {:.2} M elements, {} collective ops",
+            r.losses.last().expect("nonempty"),
+            r.traffic_elements as f64 / 1e6,
+            r.collective_ops
+        );
+        results.push(r);
+    }
+
+    let diff = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    };
+    let d_vs_mpd = diff(&results[0].final_params, &results[1].final_params);
+    let d_vs_spd = diff(&results[0].final_params, &results[2].final_params);
+    println!("\nmax |param| difference:  D vs MPD = {d_vs_mpd:.2e},  D vs SPD = {d_vs_spd:.2e}");
+    assert!(d_vs_mpd < 1e-8 && d_vs_spd < 1e-8);
+    println!("identical numerics — the speedup is purely systems-level, as §VI claims.");
+}

@@ -1,0 +1,79 @@
+//! Quickstart: K-FAC vs SGD on an ill-conditioned classification problem.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The example reproduces the paper's §I motivation in miniature: on inputs
+//! with badly-scaled features, second-order preconditioning reaches the loss
+//! target in far fewer iterations than first-order SGD.
+
+use spdkfac::core::optimizer::{KfacConfig, KfacOptimizer};
+use spdkfac::nn::data::ill_conditioned_blobs;
+use spdkfac::nn::loss::{accuracy, softmax_cross_entropy};
+use spdkfac::nn::models::mlp;
+use spdkfac::nn::optim::Sgd;
+
+fn main() {
+    let data = ill_conditioned_blobs(3, 8, 40, 0.3, 100.0, 11);
+    let (x, y) = data.batch(0, data.len());
+    let iters = 60;
+
+    // --- K-FAC ------------------------------------------------------------
+    let mut net = mlp(&[8, 32, 3], 5);
+    let mut kfac = KfacOptimizer::new(
+        &net,
+        KfacConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            damping: 0.03,
+            ..KfacConfig::default()
+        },
+    );
+    println!("{:>6} {:>12} {:>12}", "iter", "kfac loss", "sgd loss");
+    let mut kfac_losses = Vec::new();
+    for _ in 0..iters {
+        let out = net.forward(&x, true);
+        let (loss, grad) = softmax_cross_entropy(&out, &y);
+        net.backward(&grad);
+        kfac.step(&mut net).expect("kfac step");
+        kfac_losses.push(loss);
+    }
+    let kfac_acc = accuracy(&net.forward(&x, false), &y);
+
+    // --- SGD (best of a small lr sweep) ------------------------------------
+    let mut best: Option<(f64, Vec<f64>, f64)> = None;
+    for lr in [0.3, 0.1, 0.03, 0.01, 0.003] {
+        let mut net = mlp(&[8, 32, 3], 5);
+        let mut sgd = Sgd::new(lr, 0.0, 0.0);
+        let mut losses = Vec::new();
+        for _ in 0..iters {
+            let out = net.forward(&x, false);
+            let (loss, grad) = softmax_cross_entropy(&out, &y);
+            net.backward(&grad);
+            sgd.step(&mut net.parameters_mut());
+            losses.push(loss);
+        }
+        let final_loss = *losses.last().expect("nonempty");
+        let acc = accuracy(&net.forward(&x, false), &y);
+        if final_loss.is_finite() && best.as_ref().is_none_or(|(b, _, _)| final_loss < *b) {
+            best = Some((final_loss, losses, acc));
+        }
+    }
+    let (sgd_final, sgd_losses, sgd_acc) = best.expect("at least one lr is finite");
+
+    for i in (0..iters).step_by(10) {
+        println!("{:>6} {:>12.5} {:>12.5}", i, kfac_losses[i], sgd_losses[i]);
+    }
+    println!(
+        "\nfinal: kfac loss {:.5} (acc {:.2}), best sgd loss {:.5} (acc {:.2})",
+        kfac_losses.last().expect("nonempty"),
+        kfac_acc,
+        sgd_final,
+        sgd_acc
+    );
+    println!("K-FAC reaches a much lower loss in the same number of iterations —");
+    println!("the reason the paper wants D-KFAC's per-iteration cost down.");
+}

@@ -1,0 +1,78 @@
+//! Compares three optimizers on the same ill-conditioned problem:
+//! SGD (best of an lr sweep), K-FAC, and EKFAC (the eigenvalue-corrected
+//! variant, extension).
+//!
+//! ```text
+//! cargo run --release --example second_order_comparison
+//! ```
+
+use spdkfac::core::ekfac::{EkfacConfig, EkfacOptimizer};
+use spdkfac::core::optimizer::{KfacConfig, KfacOptimizer};
+use spdkfac::nn::data::ill_conditioned_blobs;
+use spdkfac::nn::loss::softmax_cross_entropy;
+use spdkfac::nn::models::mlp;
+use spdkfac::nn::optim::Sgd;
+
+fn main() {
+    let data = ill_conditioned_blobs(3, 8, 40, 0.3, 100.0, 11);
+    let (x, y) = data.batch(0, data.len());
+    let iters = 60;
+
+    // K-FAC.
+    let mut kfac_net = mlp(&[8, 32, 3], 5);
+    let mut kfac = KfacOptimizer::new(
+        &kfac_net,
+        KfacConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            damping: 0.03,
+            ..KfacConfig::default()
+        },
+    );
+    // EKFAC.
+    let mut ek_net = mlp(&[8, 32, 3], 5);
+    let mut ekfac = EkfacOptimizer::new(
+        &ek_net,
+        EkfacConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            damping: 0.03,
+            ..EkfacConfig::default()
+        },
+    );
+    // SGD sweep state.
+    let mut sgd_nets: Vec<_> = [0.3, 0.1, 0.03, 0.01, 0.003]
+        .iter()
+        .map(|&lr| (mlp(&[8, 32, 3], 5), Sgd::new(lr, 0.0, 0.0)))
+        .collect();
+
+    println!("{:>6} {:>12} {:>12} {:>12}", "iter", "kfac", "ekfac", "best sgd");
+    for i in 0..iters {
+        let out = kfac_net.forward(&x, true);
+        let (kfac_loss, grad) = softmax_cross_entropy(&out, &y);
+        kfac_net.backward(&grad);
+        kfac.step(&mut kfac_net).expect("kfac");
+
+        let out = ek_net.forward(&x, true);
+        let (ek_loss, grad) = softmax_cross_entropy(&out, &y);
+        ek_net.backward(&grad);
+        ekfac.step(&mut ek_net).expect("ekfac");
+
+        let mut best_sgd = f64::INFINITY;
+        for (net, sgd) in &mut sgd_nets {
+            let out = net.forward(&x, false);
+            let (loss, grad) = softmax_cross_entropy(&out, &y);
+            net.backward(&grad);
+            sgd.step(&mut net.parameters_mut());
+            if loss.is_finite() {
+                best_sgd = best_sgd.min(loss);
+            }
+        }
+        if i % 10 == 0 || i == iters - 1 {
+            println!("{i:>6} {kfac_loss:>12.5} {ek_loss:>12.5} {best_sgd:>12.5}");
+        }
+    }
+    println!("\nboth second-order methods converge far faster per iteration than");
+    println!("SGD; EKFAC tracks K-FAC while replacing inversions with");
+    println!("eigendecompositions (see `spdkfac::core::ekfac`).");
+}

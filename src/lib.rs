@@ -1,0 +1,39 @@
+//! # spdkfac — meta-crate
+//!
+//! A from-scratch Rust reproduction of *"Accelerating Distributed K-FAC with
+//! Smart Parallelism of Computing and Communication Tasks"* (ICDCS 2021).
+//!
+//! This crate re-exports every member crate of the workspace so that examples
+//! and downstream users can depend on a single crate:
+//!
+//! - [`tensor`] — dense and packed-symmetric linear algebra (GEMM, Cholesky,
+//!   SPD inverse, Kronecker identities).
+//! - [`nn`] — a minimal neural-network substrate with K-FAC statistic capture.
+//! - [`collectives`] — in-process ring all-reduce / broadcast / reduce-scatter
+//!   with Horovod-style asynchronous handles.
+//! - [`models`] — layer-dimension profiles of the four paper CNNs
+//!   (ResNet-50/152, DenseNet-201, Inception-v4).
+//! - [`sim`] — a discrete-event simulator of a GPU cluster with the paper's
+//!   performance models (Eq. 14, 26, 27).
+//! - [`core`] — the paper's contribution: K-FAC preconditioning, the dynamic
+//!   tensor-fusion pipeline (Eq. 15) and the load-balancing placement
+//!   (Algorithm 1), plus D-KFAC / MPD-KFAC / SPD-KFAC distributed trainers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spdkfac::core::optimizer::{KfacConfig, KfacOptimizer};
+//! use spdkfac::nn::models::mlp;
+//!
+//! let mut net = mlp(&[8, 16, 4], 7);
+//! let opt = KfacOptimizer::new(&net, KfacConfig::default());
+//! assert!(opt.num_preconditioned_layers() > 0);
+//! # let _ = net.parameters().len();
+//! ```
+
+pub use spdkfac_collectives as collectives;
+pub use spdkfac_core as core;
+pub use spdkfac_models as models;
+pub use spdkfac_nn as nn;
+pub use spdkfac_sim as sim;
+pub use spdkfac_tensor as tensor;
