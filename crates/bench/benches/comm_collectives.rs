@@ -36,16 +36,12 @@ fn run_broadcast(world: usize, elems: usize) {
 fn bench_collectives(c: &mut Criterion) {
     let mut group = c.benchmark_group("ring_collectives_p4");
     for elems in [10_000usize, 100_000, 1_000_000] {
-        group.bench_with_input(
-            BenchmarkId::new("allreduce", elems),
-            &elems,
-            |b, &elems| b.iter(|| run_allreduce(4, elems)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("broadcast", elems),
-            &elems,
-            |b, &elems| b.iter(|| run_broadcast(4, elems)),
-        );
+        group.bench_with_input(BenchmarkId::new("allreduce", elems), &elems, |b, &elems| {
+            b.iter(|| run_allreduce(4, elems))
+        });
+        group.bench_with_input(BenchmarkId::new("broadcast", elems), &elems, |b, &elems| {
+            b.iter(|| run_broadcast(4, elems))
+        });
     }
     group.finish();
 }

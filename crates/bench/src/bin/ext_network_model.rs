@@ -47,7 +47,11 @@ fn main() {
             ps,
             pl
         );
-        assert!(sl <= ss.min(sn) * 1.001, "{}: LBP not best (serialized)", m.name());
+        assert!(
+            sl <= ss.min(sn) * 1.001,
+            "{}: LBP not best (serialized)",
+            m.name()
+        );
     }
     note("finding: under the serialized (Horovod) network LBP is always best,");
     note("matching the paper's measurements. Under a hypothetical per-root-");

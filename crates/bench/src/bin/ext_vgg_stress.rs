@@ -53,7 +53,10 @@ fn main() {
         PlacementStrategy::default(),
     ] {
         let r = simulate_inverse_phase(&dims, &cfg, s);
-        println!("  {s:?}: inverse phase = {:.2} s (exponential model)", r.total);
+        println!(
+            "  {s:?}: inverse phase = {:.2} s (exponential model)",
+            r.total
+        );
     }
     note("takeaway: the paper's Eq. 26 is a *measured-range* model; systems");
     note("adopting it must re-fit (or switch to the cubic form) before");

@@ -7,7 +7,10 @@ use spdkfac_sim::HardwareProfile;
 fn main() {
     header("Fig. 11: inversion time vs broadcast time per tensor dimension");
     let hw = HardwareProfile::rtx2080ti_ib100();
-    println!("{:>8} {:>14} {:>14} {:>8}", "dim", "t_comp (ms)", "t_comm (ms)", "type");
+    println!(
+        "{:>8} {:>14} {:>14} {:>8}",
+        "dim", "t_comp (ms)", "t_comm (ms)", "type"
+    );
     for &d in &[
         64usize, 128, 256, 384, 512, 640, 768, 896, 1024, 1536, 2048, 3072, 4096, 6144, 8192,
     ] {

@@ -15,8 +15,14 @@ fn main() {
     let cfg = SimConfig::paper_testbed(2);
     let m = resnet50();
     for (title, algo) in [
-        ("Fig. 1(a): S-SGD — gradient comm overlaps backward (WFBP)", Algo::SSgd),
-        ("Fig. 1(b): MPD-KFAC — factor comm + distributed inverses", Algo::MpdKfac),
+        (
+            "Fig. 1(a): S-SGD — gradient comm overlaps backward (WFBP)",
+            Algo::SSgd,
+        ),
+        (
+            "Fig. 1(b): MPD-KFAC — factor comm + distributed inverses",
+            Algo::MpdKfac,
+        ),
         ("SPD-KFAC — pipelined factor comm + LBP", Algo::SpdKfac),
     ] {
         header(title);

@@ -8,7 +8,12 @@ fn main() {
     header("Fig. 3: tensor size distribution (packed upper-triangle elements)");
     for m in paper_models() {
         let hist = m.factor_size_histogram();
-        println!("\n{} — {} factors, {} distinct sizes:", m.name(), 2 * m.num_kfac_layers(), hist.len());
+        println!(
+            "\n{} — {} factors, {} distinct sizes:",
+            m.name(),
+            2 * m.num_kfac_layers(),
+            hist.len()
+        );
         println!("{:>12} {:>6}", "size", "count");
         for (size, count) in &hist {
             println!("{size:>12} {count:>6}");

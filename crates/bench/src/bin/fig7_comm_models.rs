@@ -49,7 +49,10 @@ fn main() {
         "all-reduce: t(m) = {:.3e} + {:.3e}·m   broadcast: t(m) = {:.3e} + {:.3e}·m",
         hw.allreduce.alpha, hw.allreduce.beta, hw.bcast.alpha, hw.bcast.beta
     );
-    println!("{:>10} {:>14} {:>14}", "MB (fp32)", "allreduce (ms)", "broadcast (ms)");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "MB (fp32)", "allreduce (ms)", "broadcast (ms)"
+    );
     let mut mb = 1usize;
     while mb <= 512 {
         let elems = mb * 1024 * 1024 / 4;
@@ -66,7 +69,10 @@ fn main() {
     let world = 4;
     let mut ar_samples = Vec::new();
     let mut bc_samples = Vec::new();
-    println!("{:>10} {:>14} {:>14}", "elements", "allreduce (ms)", "broadcast (ms)");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "elements", "allreduce (ms)", "broadcast (ms)"
+    );
     for &elems in &[1_000usize, 4_000, 16_000, 64_000, 256_000, 1_000_000] {
         let t_ar = measure_ring(world, elems, "allreduce", 5);
         let t_bc = measure_ring(world, elems, "broadcast", 5);

@@ -1,0 +1,64 @@
+//! Observability: instrumentation overhead of the recorder on the real
+//! trainers.
+//!
+//! Runs the same SPD-KFAC training twice — bare [`train`] vs
+//! [`train_with_recorder`] — several times each, and reports the median
+//! wall-clock per iteration. The span path is a handful of `Instant` reads
+//! and one uncontended mutex push per span, so the overhead should stay
+//! within a few percent (the acceptance bar is 5%).
+//!
+//! ```text
+//! cargo run --release -p spdkfac-bench --bin obs_overhead
+//! ```
+
+use spdkfac_bench::{header, note};
+use spdkfac_core::distributed::{train, train_with_recorder, Algorithm, DistributedConfig};
+use spdkfac_nn::data::gaussian_blobs;
+use spdkfac_nn::models::deep_mlp;
+use spdkfac_obs::Recorder;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let world = 2;
+    let iters = 12;
+    let reps = 5;
+    let mut cfg = DistributedConfig::new(world, Algorithm::SpdKfac);
+    cfg.kfac.damping = 0.1;
+    cfg.kfac.lr = 0.05;
+    cfg.kfac.momentum = 0.0;
+    let data = gaussian_blobs(3, 8, 8 * world, 0.3, 42);
+    let build = || deep_mlp(8, 24, 8, 3, 5);
+
+    header("Observability: recorder overhead on real SPD-KFAC training");
+
+    let mut bare = Vec::with_capacity(reps);
+    let mut instrumented = Vec::with_capacity(reps);
+    // Interleave the two variants so thermal / scheduler drift hits both.
+    for _ in 0..reps {
+        let t = Instant::now();
+        let _ = train(&cfg, &build, &data, iters, 4);
+        bare.push(t.elapsed().as_secs_f64());
+
+        let rec = Arc::new(Recorder::new(2 * world));
+        let t = Instant::now();
+        let _ = train_with_recorder(&cfg, &build, &data, iters, 4, &rec);
+        instrumented.push(t.elapsed().as_secs_f64());
+    }
+    bare.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    instrumented.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let bare_med = bare[reps / 2];
+    let inst_med = instrumented[reps / 2];
+    let overhead = (inst_med / bare_med - 1.0) * 100.0;
+
+    note(&format!(
+        "bare:        median {:.4}s over {reps} reps ({iters} iters, {world} ranks)",
+        bare_med
+    ));
+    note(&format!("instrumented: median {:.4}s", inst_med));
+    note(&format!("overhead: {overhead:+.2}% (acceptance bar: 5%)"));
+    if overhead > 5.0 {
+        note("WARNING: overhead above the 5% bar — investigate before trusting traces");
+        std::process::exit(1);
+    }
+}

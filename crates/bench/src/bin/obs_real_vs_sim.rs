@@ -1,0 +1,90 @@
+//! Observability: measured vs simulated iteration breakdowns, side by side.
+//!
+//! Runs the *real* multi-threaded trainers (D-KFAC and SPD-KFAC) under a
+//! [`Recorder`], builds the measured [`IterationBreakdown`] from the spans,
+//! and prints it in the same CSV schema as the simulator's breakdown of the
+//! paper testbed — the two columns are literally the same type, produced by
+//! the same attribution code. Also exports the measured SPD-KFAC timeline as
+//! Chrome-trace JSON through the one shared serializer.
+//!
+//! ```text
+//! cargo run --release -p spdkfac-bench --bin obs_real_vs_sim -- 4 /tmp/real.json
+//! ```
+
+use spdkfac_bench::{header, note};
+use spdkfac_core::distributed::{train_with_recorder, Algorithm, DistributedConfig};
+use spdkfac_models::resnet50;
+use spdkfac_nn::data::gaussian_blobs;
+use spdkfac_nn::models::deep_mlp;
+use spdkfac_obs::summary::render_summary;
+use spdkfac_obs::{chrome_trace, IterationBreakdown, Recorder, TrackLayout};
+use spdkfac_sim::{simulate_iteration, Algo, SimConfig};
+use std::sync::Arc;
+
+fn real_breakdown(
+    world: usize,
+    algorithm: Algorithm,
+    iters: usize,
+) -> (Arc<Recorder>, IterationBreakdown) {
+    let rec = Arc::new(Recorder::new(2 * world));
+    let mut cfg = DistributedConfig::new(world, algorithm);
+    cfg.kfac.damping = 0.1;
+    cfg.kfac.lr = 0.05;
+    cfg.kfac.momentum = 0.0;
+    let data = gaussian_blobs(3, 8, 8 * world, 0.3, 42);
+    let _ = train_with_recorder(&cfg, &|| deep_mlp(8, 24, 8, 3, 5), &data, iters, 4, &rec);
+    let mut b = IterationBreakdown::from_recorder(&rec, world);
+    b.scale(1.0 / iters as f64); // per-iteration average
+    (rec, b)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let world: usize = args
+        .next()
+        .map(|s| s.parse().expect("world must be an integer"))
+        .unwrap_or(4);
+    let trace_path = args.next();
+    assert!(world >= 1, "world must be at least 1, got {world}");
+    let iters = 8;
+
+    header(&format!(
+        "Observability: measured ({world}-rank real trainers, per-iteration avg) vs simulated (paper testbed)"
+    ));
+
+    println!("source,algo,{}", IterationBreakdown::csv_header());
+    let (_, d_real) = real_breakdown(world, Algorithm::DKfac, iters);
+    let (spd_rec, s_real) = real_breakdown(world, Algorithm::SpdKfac, iters);
+    println!("measured,dkfac,{}", d_real.csv_row());
+    println!("measured,spdkfac,{}", s_real.csv_row());
+
+    let cfg = SimConfig::paper_testbed(world);
+    let m = resnet50();
+    for (name, algo) in [("dkfac", Algo::DKfac), ("spdkfac", Algo::SpdKfac)] {
+        let r = simulate_iteration(&m, &cfg, algo);
+        println!("simulated,{name},{}", r.breakdown.csv_row());
+    }
+
+    note(&format!(
+        "measured exposed comm: dkfac {:.6}s vs spdkfac {:.6}s per iteration",
+        d_real.exposed_comm(),
+        s_real.exposed_comm()
+    ));
+    note(&format!(
+        "measured factor_comm (non-overlapped): dkfac {:.6}s vs spdkfac {:.6}s",
+        d_real.factor_comm, s_real.factor_comm
+    ));
+
+    header("SPD-KFAC measured run summary");
+    print!("{}", render_summary(&spd_rec, world));
+
+    if let Some(path) = trace_path {
+        let json = chrome_trace(&spd_rec.spans(), &TrackLayout::trainer(world));
+        spdkfac_obs::validate_json(&json).expect("trace must be valid JSON");
+        std::fs::write(&path, &json).expect("failed to write trace file");
+        note(&format!(
+            "wrote measured SPD-KFAC trace ({} bytes) to {path}; open https://ui.perfetto.dev",
+            json.len()
+        ));
+    }
+}

@@ -54,7 +54,14 @@ fn main() {
 
     let f10 = fig10(&cfg);
     let csv = to_csv(
-        &["model", "factor_comp_s", "naive_s", "layerwise_s", "threshold_s", "optimal_s"],
+        &[
+            "model",
+            "factor_comp_s",
+            "naive_s",
+            "layerwise_s",
+            "threshold_s",
+            "optimal_s",
+        ],
         &f10.iter()
             .map(|r| {
                 vec![
@@ -103,13 +110,11 @@ fn main() {
     );
     std::fs::write(dir.join("fig13.csv"), csv).expect("write fig13");
 
-    println!("wrote table2/table3/fig10/fig12/fig13 CSVs to {}", dir.display());
+    println!(
+        "wrote table2/table3/fig10/fig12/fig13 CSVs to {}",
+        dir.display()
+    );
     for r in &t3 {
-        println!(
-            "{:<14} SP1 = {:.2}, SP2 = {:.2}",
-            r.model,
-            r.sp1(),
-            r.sp2()
-        );
+        println!("{:<14} SP1 = {:.2}, SP2 = {:.2}", r.model, r.sp1(), r.sp2());
     }
 }

@@ -5,9 +5,7 @@
 use spdkfac_core::fusion::FusionStrategy;
 use spdkfac_core::placement::PlacementStrategy;
 use spdkfac_models::{paper_models, ModelProfile};
-use spdkfac_sim::{
-    simulate_inverse_phase, simulate_iteration, Algo, FactorCommMode, SimConfig,
-};
+use spdkfac_sim::{simulate_inverse_phase, simulate_iteration, Algo, FactorCommMode, SimConfig};
 
 /// One Table II row.
 #[derive(Debug, Clone, PartialEq)]

@@ -5,10 +5,24 @@
 //! returns a [`PendingOp`] handle immediately, so the worker thread can keep
 //! computing while the collective runs — exactly the mechanism SPD-KFAC's
 //! pipelining (§IV-A) relies on with `hvd.allreduce_async_`.
+//!
+//! ## Instrumentation
+//!
+//! Attach a [`Recorder`] with [`WorkerComm::set_recorder`] and every
+//! collective executed by the communication thread is timed into a span on
+//! that rank's communication track, tagged with the [`Phase`] the worker
+//! declared via [`WorkerComm::set_phase`] at submission time (the phase
+//! rides along with the queued request, so a worker can move on to the next
+//! phase while earlier ops are still in flight). Per-op-kind latency
+//! histograms (`coll/<kind>/secs`) and element counters live in the
+//! recorder's metrics registry.
 
 use crate::ring::RingEndpoint;
-use crate::stats::TrafficStats;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::stats::{OpKind, TrafficStats};
+use spdkfac_obs::{Phase, Recorder, Span};
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -49,16 +63,17 @@ impl PendingOp {
     pub fn try_wait(self) -> Result<OpResult, PendingOp> {
         match self.reply.try_recv() {
             Ok(r) => Ok(r),
-            Err(crossbeam::channel::TryRecvError::Empty) => Err(self),
-            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+            Err(TryRecvError::Empty) => Err(self),
+            Err(TryRecvError::Disconnected) => {
                 panic!("communication thread terminated before op completed")
             }
         }
     }
 }
 
+/// One queued collective (the payload of a [`Request::Op`]).
 #[derive(Debug)]
-enum Request {
+enum CollOp {
     AllReduceSum {
         data: Vec<f64>,
         reply: Sender<OpResult>,
@@ -90,6 +105,37 @@ enum Request {
         root: usize,
         reply: Sender<OpResult>,
     },
+}
+
+impl CollOp {
+    fn kind(&self) -> OpKind {
+        match self {
+            CollOp::AllReduceSum { .. } | CollOp::AllReduceAvg { .. } => OpKind::AllReduce,
+            CollOp::Broadcast { .. } => OpKind::Broadcast,
+            CollOp::ReduceScatterAvg { .. } => OpKind::ReduceScatter,
+            CollOp::AllGather { .. } => OpKind::AllGather,
+            CollOp::ReduceSum { .. } => OpKind::Reduce,
+            CollOp::Gather { .. } => OpKind::Gather,
+        }
+    }
+
+    fn elements(&self) -> usize {
+        match self {
+            CollOp::AllReduceSum { data, .. }
+            | CollOp::AllReduceAvg { data, .. }
+            | CollOp::Broadcast { data, .. }
+            | CollOp::ReduceScatterAvg { data, .. }
+            | CollOp::AllGather { data, .. }
+            | CollOp::ReduceSum { data, .. }
+            | CollOp::Gather { data, .. } => data.len(),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Request {
+    Op { op: CollOp, phase: Phase },
+    SetRecorder { rec: Arc<Recorder>, track: usize },
     Quit,
 }
 
@@ -103,6 +149,7 @@ pub struct WorkerComm {
     world: usize,
     req_tx: Sender<Request>,
     stats: Arc<TrafficStats>,
+    comm_phase: AtomicU8,
     comm_thread: Option<JoinHandle<()>>,
 }
 
@@ -122,9 +169,35 @@ impl WorkerComm {
         &self.stats
     }
 
-    fn submit(&self, req: Request, reply: Receiver<OpResult>) -> PendingOp {
+    /// Attaches a recorder: every subsequent collective is timed into a
+    /// span on `track` (by convention `world + rank`, one comm row per
+    /// rank) and into per-op-kind histograms in the recorder's metrics.
+    pub fn set_recorder(&self, rec: Arc<Recorder>, track: usize) {
         self.req_tx
-            .send(req)
+            .send(Request::SetRecorder { rec, track })
+            .expect("communication thread terminated");
+    }
+
+    /// Declares which [`Phase`] subsequently submitted collectives belong
+    /// to. The phase is captured per-submission, so in-flight operations
+    /// keep the phase they were submitted under.
+    pub fn set_phase(&self, phase: Phase) {
+        self.comm_phase
+            .store(phase.index() as u8, Ordering::Relaxed);
+    }
+
+    /// The phase currently attached to new submissions.
+    pub fn phase(&self) -> Phase {
+        Phase::from_index(self.comm_phase.load(Ordering::Relaxed) as usize)
+            .unwrap_or(Phase::GradComm)
+    }
+
+    fn submit(&self, op: CollOp, reply: Receiver<OpResult>) -> PendingOp {
+        self.req_tx
+            .send(Request::Op {
+                op,
+                phase: self.phase(),
+            })
             .expect("communication thread terminated");
         PendingOp { reply }
     }
@@ -132,46 +205,67 @@ impl WorkerComm {
     /// Asynchronous averaging all-reduce; consumes the buffer and returns a
     /// handle producing the averaged buffer.
     pub fn allreduce_avg_async(&self, data: Vec<f64>) -> PendingOp {
-        let (tx, rx) = unbounded();
-        self.submit(Request::AllReduceAvg { data, reply: tx }, rx)
+        let (tx, rx) = channel();
+        self.submit(CollOp::AllReduceAvg { data, reply: tx }, rx)
     }
 
     /// Asynchronous summing all-reduce.
     pub fn allreduce_sum_async(&self, data: Vec<f64>) -> PendingOp {
-        let (tx, rx) = unbounded();
-        self.submit(Request::AllReduceSum { data, reply: tx }, rx)
+        let (tx, rx) = channel();
+        self.submit(CollOp::AllReduceSum { data, reply: tx }, rx)
     }
 
     /// Asynchronous broadcast from `root`; non-root payloads are replaced by
     /// the root's data (they must still be sized correctly).
     pub fn broadcast_async(&self, data: Vec<f64>, root: usize) -> PendingOp {
-        let (tx, rx) = unbounded();
-        self.submit(Request::Broadcast { data, root, reply: tx }, rx)
+        let (tx, rx) = channel();
+        self.submit(
+            CollOp::Broadcast {
+                data,
+                root,
+                reply: tx,
+            },
+            rx,
+        )
     }
 
     /// Asynchronous averaging reduce-scatter; the result's `offset` gives the
     /// shard position.
     pub fn reduce_scatter_avg_async(&self, data: Vec<f64>) -> PendingOp {
-        let (tx, rx) = unbounded();
-        self.submit(Request::ReduceScatterAvg { data, reply: tx }, rx)
+        let (tx, rx) = channel();
+        self.submit(CollOp::ReduceScatterAvg { data, reply: tx }, rx)
     }
 
     /// Asynchronous all-gather of a (possibly rank-dependent-length) shard.
     pub fn allgather_async(&self, data: Vec<f64>) -> PendingOp {
-        let (tx, rx) = unbounded();
-        self.submit(Request::AllGather { data, reply: tx }, rx)
+        let (tx, rx) = channel();
+        self.submit(CollOp::AllGather { data, reply: tx }, rx)
     }
 
     /// Asynchronous summing reduce to `root`; non-root results are empty.
     pub fn reduce_sum_async(&self, data: Vec<f64>, root: usize) -> PendingOp {
-        let (tx, rx) = unbounded();
-        self.submit(Request::ReduceSum { data, root, reply: tx }, rx)
+        let (tx, rx) = channel();
+        self.submit(
+            CollOp::ReduceSum {
+                data,
+                root,
+                reply: tx,
+            },
+            rx,
+        )
     }
 
     /// Asynchronous gather to `root`; non-root results are empty.
     pub fn gather_async(&self, data: Vec<f64>, root: usize) -> PendingOp {
-        let (tx, rx) = unbounded();
-        self.submit(Request::Gather { data, root, reply: tx }, rx)
+        let (tx, rx) = channel();
+        self.submit(
+            CollOp::Gather {
+                data,
+                root,
+                reply: tx,
+            },
+            rx,
+        )
     }
 
     /// Synchronous averaging all-reduce, in place.
@@ -258,13 +352,13 @@ impl LocalGroup {
         let mut edge_tx = Vec::with_capacity(world);
         let mut edge_rx = Vec::with_capacity(world);
         for _ in 0..world {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             edge_tx.push(Some(tx));
             edge_rx.push(Some(rx));
         }
         let mut endpoints = Vec::with_capacity(world);
-        for rank in 0..world {
-            let tx_right = edge_tx[rank].take().expect("edge reused");
+        for (rank, tx_slot) in edge_tx.iter_mut().enumerate() {
+            let tx_right = tx_slot.take().expect("edge reused");
             let left_edge = (rank + world - 1) % world;
             let rx_left = edge_rx[left_edge].take().expect("edge reused");
             let ring = RingEndpoint {
@@ -274,7 +368,7 @@ impl LocalGroup {
                 rx_left,
                 stats: Arc::clone(&stats),
             };
-            let (req_tx, req_rx) = unbounded::<Request>();
+            let (req_tx, req_rx) = channel::<Request>();
             let comm_thread = std::thread::Builder::new()
                 .name(format!("spdkfac-comm-{rank}"))
                 .spawn(move || comm_thread_main(ring, req_rx))
@@ -284,6 +378,7 @@ impl LocalGroup {
                 world,
                 req_tx,
                 stats: Arc::clone(&stats),
+                comm_phase: AtomicU8::new(Phase::GradComm.index() as u8),
                 comm_thread: Some(comm_thread),
             });
         }
@@ -302,43 +397,128 @@ impl LocalGroup {
     }
 }
 
+/// Telemetry state held by one communication thread once a recorder is
+/// attached: cached per-op-kind metric handles plus the span track.
+struct CommTelemetry {
+    rec: Arc<Recorder>,
+    track: usize,
+    hists: Vec<Arc<spdkfac_obs::Histogram>>,
+    op_counts: Vec<Arc<spdkfac_obs::Counter>>,
+    elem_counts: Vec<Arc<spdkfac_obs::Counter>>,
+}
+
+impl CommTelemetry {
+    fn new(rec: Arc<Recorder>, track: usize) -> Self {
+        let m = rec.metrics();
+        let hists = OpKind::ALL
+            .iter()
+            .map(|k| m.histogram(&format!("coll/{}/secs", k.name())))
+            .collect();
+        let op_counts = OpKind::ALL
+            .iter()
+            .map(|k| m.counter(&format!("coll/{}/ops", k.name())))
+            .collect();
+        let elem_counts = OpKind::ALL
+            .iter()
+            .map(|k| m.counter(&format!("coll/{}/elements", k.name())))
+            .collect();
+        CommTelemetry {
+            rec,
+            track,
+            hists,
+            op_counts,
+            elem_counts,
+        }
+    }
+
+    fn record(&self, kind: OpKind, elements: usize, phase: Phase, start: f64, end: f64) {
+        self.rec.record(Span {
+            track: self.track,
+            phase,
+            label: Cow::Borrowed(kind.name()),
+            start,
+            end,
+        });
+        let i = kind.index();
+        self.hists[i].observe(end - start);
+        self.op_counts[i].inc();
+        self.elem_counts[i].add(elements as u64);
+    }
+}
+
+fn execute(ring: &RingEndpoint, op: CollOp) {
+    match op {
+        CollOp::AllReduceSum { mut data, reply } => {
+            ring.allreduce_sum(&mut data);
+            let _ = reply.send(OpResult { offset: 0, data });
+        }
+        CollOp::AllReduceAvg { mut data, reply } => {
+            ring.allreduce_avg(&mut data);
+            let _ = reply.send(OpResult { offset: 0, data });
+        }
+        CollOp::Broadcast {
+            mut data,
+            root,
+            reply,
+        } => {
+            ring.broadcast(&mut data, root);
+            let _ = reply.send(OpResult { offset: 0, data });
+        }
+        CollOp::ReduceScatterAvg { data, reply } => {
+            let (offset, shard) = ring.reduce_scatter_avg(&data);
+            let _ = reply.send(OpResult {
+                offset,
+                data: shard,
+            });
+        }
+        CollOp::AllGather { data, reply } => {
+            let gathered = ring.allgather(&data);
+            let _ = reply.send(OpResult {
+                offset: 0,
+                data: gathered,
+            });
+        }
+        CollOp::ReduceSum {
+            mut data,
+            root,
+            reply,
+        } => {
+            ring.reduce_sum(&mut data, root);
+            let out = if ring.rank == root { data } else { Vec::new() };
+            let _ = reply.send(OpResult {
+                offset: 0,
+                data: out,
+            });
+        }
+        CollOp::Gather { data, root, reply } => {
+            let gathered = ring.gather(&data, root).unwrap_or_default();
+            let _ = reply.send(OpResult {
+                offset: 0,
+                data: gathered,
+            });
+        }
+    }
+}
+
 fn comm_thread_main(ring: RingEndpoint, req_rx: Receiver<Request>) {
+    let mut telemetry: Option<CommTelemetry> = None;
     while let Ok(req) = req_rx.recv() {
         match req {
-            Request::AllReduceSum { mut data, reply } => {
-                ring.allreduce_sum(&mut data);
-                let _ = reply.send(OpResult { offset: 0, data });
+            Request::Op { op, phase } => {
+                let kind = op.kind();
+                let elements = op.elements();
+                match &telemetry {
+                    Some(t) => {
+                        let start = t.rec.now();
+                        execute(&ring, op);
+                        let end = t.rec.now();
+                        t.record(kind, elements, phase, start, end);
+                    }
+                    None => execute(&ring, op),
+                }
             }
-            Request::AllReduceAvg { mut data, reply } => {
-                ring.allreduce_avg(&mut data);
-                let _ = reply.send(OpResult { offset: 0, data });
-            }
-            Request::Broadcast { mut data, root, reply } => {
-                ring.broadcast(&mut data, root);
-                let _ = reply.send(OpResult { offset: 0, data });
-            }
-            Request::ReduceScatterAvg { data, reply } => {
-                let (offset, shard) = ring.reduce_scatter_avg(&data);
-                let _ = reply.send(OpResult { offset, data: shard });
-            }
-            Request::AllGather { data, reply } => {
-                let gathered = ring.allgather(&data);
-                let _ = reply.send(OpResult {
-                    offset: 0,
-                    data: gathered,
-                });
-            }
-            Request::ReduceSum { mut data, root, reply } => {
-                ring.reduce_sum(&mut data, root);
-                let out = if ring.rank == root { data } else { Vec::new() };
-                let _ = reply.send(OpResult { offset: 0, data: out });
-            }
-            Request::Gather { data, root, reply } => {
-                let gathered = ring.gather(&data, root).unwrap_or_default();
-                let _ = reply.send(OpResult {
-                    offset: 0,
-                    data: gathered,
-                });
+            Request::SetRecorder { rec, track } => {
+                telemetry = Some(CommTelemetry::new(rec, track));
             }
             Request::Quit => break,
         }
@@ -372,8 +552,7 @@ mod tests {
     fn allreduce_sum_small_worlds() {
         for world in [1usize, 2, 3, 4, 7] {
             let results = run_spmd(world, |comm| {
-                let mut buf: Vec<f64> =
-                    (0..10).map(|i| (comm.rank() * 10 + i) as f64).collect();
+                let mut buf: Vec<f64> = (0..10).map(|i| (comm.rank() * 10 + i) as f64).collect();
                 comm.allreduce_sum(&mut buf);
                 buf
             });
@@ -475,7 +654,11 @@ mod tests {
             let h1 = comm.allreduce_sum_async(vec![1.0; 4]);
             let h2 = comm.allreduce_sum_async(vec![2.0; 4]);
             let h3 = comm.broadcast_async(
-                if comm.rank() == 2 { vec![9.0] } else { vec![0.0] },
+                if comm.rank() == 2 {
+                    vec![9.0]
+                } else {
+                    vec![0.0]
+                },
                 2,
             );
             (h1.wait().data, h2.wait().data, h3.wait().data)
@@ -519,11 +702,7 @@ mod tests {
             });
             for (rank, r) in results.into_iter().enumerate() {
                 if rank == root {
-                    assert_eq!(
-                        r,
-                        Some(vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0]),
-                        "root={root}"
-                    );
+                    assert_eq!(r, Some(vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0]), "root={root}");
                 } else {
                     assert_eq!(r, None);
                 }
@@ -564,6 +743,11 @@ mod tests {
             "sent={sent} expected≈{expected}"
         );
         assert_eq!(stats.ops_executed(), world as u64);
+        // The per-kind view attributes everything to all-reduce.
+        assert_eq!(stats.elements_sent_by(OpKind::AllReduce), sent);
+        assert_eq!(stats.ops_executed_by(OpKind::AllReduce), world as u64);
+        assert_eq!(stats.elements_sent_by(OpKind::Broadcast), 0);
+        assert_eq!(stats.wire_bytes_sent(), sent * 4);
         drop(endpoints);
     }
 
@@ -580,7 +764,11 @@ mod tests {
                     1 => handles.push((
                         k,
                         comm.broadcast_async(
-                            if comm.rank() == k % 4 { vec![k as f64; 8] } else { vec![0.0; 8] },
+                            if comm.rank() == k % 4 {
+                                vec![k as f64; 8]
+                            } else {
+                                vec![0.0; 8]
+                            },
                             k % 4,
                         ),
                     )),
@@ -630,5 +818,43 @@ mod tests {
             assert_eq!(e.rank(), i);
             assert_eq!(e.world_size(), 3);
         }
+    }
+
+    #[test]
+    fn recorder_captures_phase_tagged_op_spans() {
+        let world = 2;
+        let rec = Arc::new(Recorder::new(2 * world));
+        let endpoints = LocalGroup::new(world).into_endpoints();
+        for comm in &endpoints {
+            comm.set_recorder(Arc::clone(&rec), world + comm.rank());
+        }
+        thread::scope(|s| {
+            for comm in &endpoints {
+                let _ = &rec;
+                s.spawn(move || {
+                    comm.set_phase(Phase::FactorComm);
+                    comm.allreduce_avg(&mut vec![1.0; 256]);
+                    comm.set_phase(Phase::InverseComm);
+                    comm.broadcast(&mut vec![0.5; 64], 0);
+                });
+            }
+        });
+        drop(endpoints);
+        let spans = rec.spans();
+        // Two ops per rank, recorded on each rank's comm track.
+        assert_eq!(spans.len(), 2 * world);
+        for r in 0..world {
+            let track_spans: Vec<_> = spans.iter().filter(|s| s.track == world + r).collect();
+            assert_eq!(track_spans.len(), 2);
+            assert_eq!(track_spans[0].phase, Phase::FactorComm);
+            assert_eq!(track_spans[0].display_name(), "allreduce");
+            assert_eq!(track_spans[1].phase, Phase::InverseComm);
+            assert_eq!(track_spans[1].display_name(), "broadcast");
+        }
+        let snap = rec.metrics().snapshot();
+        assert_eq!(snap.counters["coll/allreduce/ops"], world as u64);
+        assert_eq!(snap.counters["coll/broadcast/ops"], world as u64);
+        assert_eq!(snap.counters["coll/allreduce/elements"], 256 * world as u64);
+        assert_eq!(snap.histograms["coll/allreduce/secs"].count, world as u64);
     }
 }

@@ -51,4 +51,4 @@ pub mod ring;
 pub mod stats;
 
 pub use group::{LocalGroup, OpResult, PendingOp, WorkerComm};
-pub use stats::TrafficStats;
+pub use stats::{OpKind, TrafficStats};

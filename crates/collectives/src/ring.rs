@@ -10,8 +10,8 @@
 //! - **reduce-scatter / all-gather**: the two all-reduce phases exposed
 //!   individually.
 
-use crate::stats::TrafficStats;
-use crossbeam::channel::{Receiver, Sender};
+use crate::stats::{OpKind, TrafficStats};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
 /// A point-to-point ring message: payload plus the rank that originated it
@@ -40,8 +40,8 @@ pub struct RingEndpoint {
 }
 
 impl RingEndpoint {
-    fn send(&self, msg: RingMsg) {
-        self.stats.record_message(msg.data.len());
+    fn send(&self, kind: OpKind, msg: RingMsg) {
+        self.stats.record_message_kind(kind, msg.data.len());
         self.tx_right
             .send(msg)
             .expect("ring neighbour disconnected mid-collective");
@@ -68,7 +68,7 @@ impl RingEndpoint {
     pub fn allreduce_sum(&self, buf: &mut [f64]) {
         let p = self.world;
         if p == 1 {
-            self.stats.record_op();
+            self.stats.record_op_kind(OpKind::AllReduce);
             return;
         }
         let ranges = self.chunk_ranges(buf.len());
@@ -78,10 +78,13 @@ impl RingEndpoint {
             let send_idx = (self.rank + p - step) % p;
             let recv_idx = (self.rank + p - step - 1) % p;
             let send_data = buf[ranges[send_idx].clone()].to_vec();
-            self.send(RingMsg {
-                origin: self.rank,
-                data: send_data,
-            });
+            self.send(
+                OpKind::AllReduce,
+                RingMsg {
+                    origin: self.rank,
+                    data: send_data,
+                },
+            );
             let msg = self.recv();
             let dst = &mut buf[ranges[recv_idx].clone()];
             debug_assert_eq!(msg.data.len(), dst.len(), "ring chunk length mismatch");
@@ -94,16 +97,19 @@ impl RingEndpoint {
             let send_idx = (self.rank + 1 + p - step) % p;
             let recv_idx = (self.rank + p - step) % p;
             let send_data = buf[ranges[send_idx].clone()].to_vec();
-            self.send(RingMsg {
-                origin: self.rank,
-                data: send_data,
-            });
+            self.send(
+                OpKind::AllReduce,
+                RingMsg {
+                    origin: self.rank,
+                    data: send_data,
+                },
+            );
             let msg = self.recv();
             let dst = &mut buf[ranges[recv_idx].clone()];
             debug_assert_eq!(msg.data.len(), dst.len(), "ring chunk length mismatch");
             dst.copy_from_slice(&msg.data);
         }
-        self.stats.record_op();
+        self.stats.record_op_kind(OpKind::AllReduce);
     }
 
     /// In-place ring all-reduce (average).
@@ -126,24 +132,27 @@ impl RingEndpoint {
         assert!(root < self.world, "broadcast: root {root} out of range");
         let p = self.world;
         if p == 1 {
-            self.stats.record_op();
+            self.stats.record_op_kind(OpKind::Broadcast);
             return;
         }
         let right = (self.rank + 1) % p;
         if self.rank == root {
-            self.send(RingMsg {
-                origin: root,
-                data: buf.to_vec(),
-            });
+            self.send(
+                OpKind::Broadcast,
+                RingMsg {
+                    origin: root,
+                    data: buf.to_vec(),
+                },
+            );
         } else {
             let msg = self.recv();
             debug_assert_eq!(msg.data.len(), buf.len(), "broadcast length mismatch");
             buf.copy_from_slice(&msg.data);
             if right != root {
-                self.send(msg);
+                self.send(OpKind::Broadcast, msg);
             }
         }
-        self.stats.record_op();
+        self.stats.record_op_kind(OpKind::Broadcast);
     }
 
     /// Ring reduce-scatter (average): returns this rank's fully-reduced
@@ -155,7 +164,7 @@ impl RingEndpoint {
         let p = self.world;
         let ranges = self.chunk_ranges(buf.len());
         if p == 1 {
-            self.stats.record_op();
+            self.stats.record_op_kind(OpKind::ReduceScatter);
             return (0, buf.to_vec());
         }
         let mut work = buf.to_vec();
@@ -163,10 +172,13 @@ impl RingEndpoint {
             let send_idx = (self.rank + p - step) % p;
             let recv_idx = (self.rank + p - step - 1) % p;
             let send_data = work[ranges[send_idx].clone()].to_vec();
-            self.send(RingMsg {
-                origin: self.rank,
-                data: send_data,
-            });
+            self.send(
+                OpKind::ReduceScatter,
+                RingMsg {
+                    origin: self.rank,
+                    data: send_data,
+                },
+            );
             let msg = self.recv();
             let dst = &mut work[ranges[recv_idx].clone()];
             for (d, s) in dst.iter_mut().zip(msg.data.iter()) {
@@ -176,7 +188,7 @@ impl RingEndpoint {
         let own = (self.rank + 1) % p;
         let inv = 1.0 / p as f64;
         let shard: Vec<f64> = work[ranges[own].clone()].iter().map(|v| v * inv).collect();
-        self.stats.record_op();
+        self.stats.record_op_kind(OpKind::ReduceScatter);
         (ranges[own].start, shard)
     }
 
@@ -192,17 +204,20 @@ impl RingEndpoint {
         assert!(root < self.world, "reduce: root {root} out of range");
         let p = self.world;
         if p == 1 {
-            self.stats.record_op();
+            self.stats.record_op_kind(OpKind::Reduce);
             return;
         }
         // The relay starts at the rank after the root and accumulates
         // around the ring until it reaches the root.
         let start = (root + 1) % p;
         if self.rank == start {
-            self.send(RingMsg {
-                origin: self.rank,
-                data: buf.to_vec(),
-            });
+            self.send(
+                OpKind::Reduce,
+                RingMsg {
+                    origin: self.rank,
+                    data: buf.to_vec(),
+                },
+            );
         } else {
             let mut msg = self.recv();
             for (acc, v) in msg.data.iter_mut().zip(buf.iter()) {
@@ -211,10 +226,10 @@ impl RingEndpoint {
             if self.rank == root {
                 buf.copy_from_slice(&msg.data);
             } else {
-                self.send(msg);
+                self.send(OpKind::Reduce, msg);
             }
         }
-        self.stats.record_op();
+        self.stats.record_op_kind(OpKind::Reduce);
     }
 
     /// Ring gather to `root`: returns `Some(concatenation of all ranks'
@@ -227,7 +242,7 @@ impl RingEndpoint {
         assert!(root < self.world, "gather: root {root} out of range");
         let p = self.world;
         if p == 1 {
-            self.stats.record_op();
+            self.stats.record_op_kind(OpKind::Gather);
             return Some(shard.to_vec());
         }
         // Every non-root forwards its own shard plus everything received;
@@ -241,7 +256,7 @@ impl RingEndpoint {
                 let msg = self.recv();
                 by_origin[msg.origin] = Some(msg.data);
             }
-            self.stats.record_op();
+            self.stats.record_op_kind(OpKind::Gather);
             Some(
                 by_origin
                     .into_iter()
@@ -250,16 +265,19 @@ impl RingEndpoint {
             )
         } else {
             // Send own shard, then relay (p - 1 - dist) incoming shards.
-            self.send(RingMsg {
-                origin: self.rank,
-                data: shard.to_vec(),
-            });
+            self.send(
+                OpKind::Gather,
+                RingMsg {
+                    origin: self.rank,
+                    data: shard.to_vec(),
+                },
+            );
             let relays = p - 1 - dist_to_root;
             for _ in 0..relays {
                 let msg = self.recv();
-                self.send(msg);
+                self.send(OpKind::Gather, msg);
             }
-            self.stats.record_op();
+            self.stats.record_op_kind(OpKind::Gather);
             None
         }
     }
@@ -270,7 +288,7 @@ impl RingEndpoint {
     pub fn allgather(&self, shard: &[f64]) -> Vec<f64> {
         let p = self.world;
         if p == 1 {
-            self.stats.record_op();
+            self.stats.record_op_kind(OpKind::AllGather);
             return shard.to_vec();
         }
         let mut by_origin: Vec<Option<Vec<f64>>> = vec![None; p];
@@ -282,12 +300,12 @@ impl RingEndpoint {
             data: shard.to_vec(),
         };
         for _ in 0..p - 1 {
-            self.send(outgoing);
+            self.send(OpKind::AllGather, outgoing);
             let msg = self.recv();
             by_origin[msg.origin] = Some(msg.data.clone());
             outgoing = msg;
         }
-        self.stats.record_op();
+        self.stats.record_op_kind(OpKind::AllGather);
         by_origin
             .into_iter()
             .flat_map(|s| s.expect("allgather: missing shard"))
@@ -328,10 +346,7 @@ mod tests {
                 }
                 // Max size difference of 1.
                 let sizes: Vec<usize> = rs.iter().map(|r| r.len()).collect();
-                let (mn, mx) = (
-                    *sizes.iter().min().unwrap(),
-                    *sizes.iter().max().unwrap(),
-                );
+                let (mn, mx) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
                 assert!(mx - mn <= 1);
             }
         }

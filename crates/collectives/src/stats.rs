@@ -2,17 +2,83 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// The collective operations the group can execute, for per-kind traffic
+/// accounting and latency histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Ring all-reduce (sum or average; both phases).
+    AllReduce,
+    /// Pipelined broadcast.
+    Broadcast,
+    /// Ring reduce-scatter.
+    ReduceScatter,
+    /// Ring all-gather.
+    AllGather,
+    /// Relay reduce to a root.
+    Reduce,
+    /// Relay gather to a root.
+    Gather,
+}
+
+impl OpKind {
+    /// Every kind, in display order.
+    pub const ALL: [OpKind; 6] = [
+        OpKind::AllReduce,
+        OpKind::Broadcast,
+        OpKind::ReduceScatter,
+        OpKind::AllGather,
+        OpKind::Reduce,
+        OpKind::Gather,
+    ];
+
+    /// Stable lowercase name (used in metric names and trace labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::AllReduce => "allreduce",
+            OpKind::Broadcast => "broadcast",
+            OpKind::ReduceScatter => "reduce_scatter",
+            OpKind::AllGather => "allgather",
+            OpKind::Reduce => "reduce",
+            OpKind::Gather => "gather",
+        }
+    }
+
+    /// Stable small index (the `ALL` position).
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::AllReduce => 0,
+            OpKind::Broadcast => 1,
+            OpKind::ReduceScatter => 2,
+            OpKind::AllGather => 3,
+            OpKind::Reduce => 4,
+            OpKind::Gather => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const NUM_KINDS: usize = OpKind::ALL.len();
+
 /// Cumulative wire-traffic counters for a communicator group.
 ///
 /// Counters are shared by every rank of a [`crate::LocalGroup`] and updated
 /// by the communication threads. They let tests assert the textbook ring
 /// costs (`2(P-1)/P · n` elements per rank for an all-reduce) and let the
-/// experiment harness report measured traffic alongside modelled traffic.
+/// experiment harness report measured traffic alongside modelled traffic,
+/// totalled and broken down per [`OpKind`].
 #[derive(Debug, Default)]
 pub struct TrafficStats {
     elements_sent: AtomicU64,
     messages_sent: AtomicU64,
     ops_executed: AtomicU64,
+    elements_by_kind: [AtomicU64; NUM_KINDS],
+    messages_by_kind: [AtomicU64; NUM_KINDS],
+    ops_by_kind: [AtomicU64; NUM_KINDS],
 }
 
 impl TrafficStats {
@@ -21,15 +87,32 @@ impl TrafficStats {
         Self::default()
     }
 
-    /// Records one point-to-point message of `elements` `f64`s.
+    /// Records one point-to-point message of `elements` `f64`s, with no
+    /// per-kind attribution (totals only).
     pub fn record_message(&self, elements: usize) {
-        self.elements_sent.fetch_add(elements as u64, Ordering::Relaxed);
+        self.elements_sent
+            .fetch_add(elements as u64, Ordering::Relaxed);
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records completion of one collective operation on one rank.
+    /// Records one point-to-point message sent as part of a `kind`
+    /// collective.
+    pub fn record_message_kind(&self, kind: OpKind, elements: usize) {
+        self.record_message(elements);
+        self.elements_by_kind[kind.index()].fetch_add(elements as u64, Ordering::Relaxed);
+        self.messages_by_kind[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records completion of one collective operation on one rank, with no
+    /// per-kind attribution (totals only).
     pub fn record_op(&self) {
         self.ops_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records completion of one `kind` collective on one rank.
+    pub fn record_op_kind(&self, kind: OpKind) {
+        self.record_op();
+        self.ops_by_kind[kind.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total `f64` elements sent over all point-to-point edges.
@@ -37,9 +120,19 @@ impl TrafficStats {
         self.elements_sent.load(Ordering::Relaxed)
     }
 
+    /// Elements sent by `kind` collectives.
+    pub fn elements_sent_by(&self, kind: OpKind) -> u64 {
+        self.elements_by_kind[kind.index()].load(Ordering::Relaxed)
+    }
+
     /// Total point-to-point messages sent.
     pub fn messages_sent(&self) -> u64 {
         self.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Messages sent by `kind` collectives.
+    pub fn messages_sent_by(&self, kind: OpKind) -> u64 {
+        self.messages_by_kind[kind.index()].load(Ordering::Relaxed)
     }
 
     /// Total per-rank collective executions (a `P`-rank all-reduce counts `P`).
@@ -47,9 +140,41 @@ impl TrafficStats {
         self.ops_executed.load(Ordering::Relaxed)
     }
 
-    /// Total bytes sent, assuming 8-byte elements.
+    /// Per-rank executions of `kind` collectives.
+    pub fn ops_executed_by(&self, kind: OpKind) -> u64 {
+        self.ops_by_kind[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes sent, assuming 8-byte elements (the in-memory `f64`
+    /// representation the ring actually moves).
     pub fn bytes_sent(&self) -> u64 {
         self.elements_sent() * 8
+    }
+
+    /// Total bytes a real fp32 deployment would put on the wire (4 bytes
+    /// per element — the same convention as the simulator's
+    /// `SimConfig::wire_bytes`, so measured and modelled traffic compare
+    /// directly).
+    pub fn wire_bytes_sent(&self) -> u64 {
+        self.elements_sent() * 4
+    }
+
+    /// Wire bytes (4 B/element) sent by `kind` collectives.
+    pub fn wire_bytes_sent_by(&self, kind: OpKind) -> u64 {
+        self.elements_sent_by(kind) * 4
+    }
+
+    /// Zeroes every counter (totals and per-kind); use between measured
+    /// windows.
+    pub fn reset(&self) {
+        self.elements_sent.store(0, Ordering::Relaxed);
+        self.messages_sent.store(0, Ordering::Relaxed);
+        self.ops_executed.store(0, Ordering::Relaxed);
+        for i in 0..NUM_KINDS {
+            self.elements_by_kind[i].store(0, Ordering::Relaxed);
+            self.messages_by_kind[i].store(0, Ordering::Relaxed);
+            self.ops_by_kind[i].store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -75,5 +200,50 @@ mod tests {
         assert_eq!(s.elements_sent(), 0);
         assert_eq!(s.messages_sent(), 0);
         assert_eq!(s.ops_executed(), 0);
+    }
+
+    #[test]
+    fn per_kind_breakdown_sums_into_totals() {
+        let s = TrafficStats::new();
+        s.record_message_kind(OpKind::AllReduce, 100);
+        s.record_message_kind(OpKind::Broadcast, 50);
+        s.record_op_kind(OpKind::AllReduce);
+        s.record_op_kind(OpKind::Broadcast);
+        assert_eq!(s.elements_sent(), 150);
+        assert_eq!(s.elements_sent_by(OpKind::AllReduce), 100);
+        assert_eq!(s.elements_sent_by(OpKind::Broadcast), 50);
+        assert_eq!(s.elements_sent_by(OpKind::AllGather), 0);
+        assert_eq!(s.messages_sent_by(OpKind::AllReduce), 1);
+        assert_eq!(s.ops_executed_by(OpKind::Broadcast), 1);
+        assert_eq!(s.ops_executed(), 2);
+    }
+
+    #[test]
+    fn wire_bytes_use_fp32_convention() {
+        let s = TrafficStats::new();
+        s.record_message_kind(OpKind::AllGather, 10);
+        assert_eq!(s.bytes_sent(), 80); // f64 in memory
+        assert_eq!(s.wire_bytes_sent(), 40); // fp32 on the modelled wire
+        assert_eq!(s.wire_bytes_sent_by(OpKind::AllGather), 40);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = TrafficStats::new();
+        s.record_message_kind(OpKind::Reduce, 7);
+        s.record_op_kind(OpKind::Reduce);
+        s.reset();
+        assert_eq!(s.elements_sent(), 0);
+        assert_eq!(s.messages_sent(), 0);
+        assert_eq!(s.ops_executed(), 0);
+        assert_eq!(s.elements_sent_by(OpKind::Reduce), 0);
+        assert_eq!(s.ops_executed_by(OpKind::Reduce), 0);
+    }
+
+    #[test]
+    fn opkind_index_matches_all() {
+        for (i, k) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
     }
 }

@@ -6,7 +6,10 @@ use proptest::prelude::*;
 use spdkfac_collectives::LocalGroup;
 use std::thread;
 
-fn run_spmd<T: Send>(world: usize, f: impl Fn(&spdkfac_collectives::WorkerComm) -> T + Sync) -> Vec<T> {
+fn run_spmd<T: Send>(
+    world: usize,
+    f: impl Fn(&spdkfac_collectives::WorkerComm) -> T + Sync,
+) -> Vec<T> {
     let endpoints = LocalGroup::new(world).into_endpoints();
     let mut out: Vec<Option<T>> = (0..world).map(|_| None).collect();
     thread::scope(|s| {

@@ -29,9 +29,15 @@ use spdkfac_nn::data::Dataset;
 use spdkfac_nn::loss::softmax_cross_entropy;
 use spdkfac_nn::optim::Sgd;
 use spdkfac_nn::Sequential;
+use spdkfac_obs::{Phase, Recorder, SpanGuard};
 use spdkfac_tensor::eig::sym_eig;
 use spdkfac_tensor::{chol, Matrix, SymPacked};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// An in-flight fused factor all-reduce: the `(layer, side)` tensors it
+/// carries, their packed lengths, and the async handle to wait on.
+type PendingFactors = (Vec<(usize, Side)>, Vec<usize>, PendingOp);
 
 /// Which training algorithm the workers run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,13 +140,50 @@ pub fn train(
     iters: usize,
     batch: usize,
 ) -> RunResult {
+    train_impl(cfg, build, dataset, iters, batch, None)
+}
+
+/// [`train`], instrumented: every worker records phase-tagged spans and
+/// metrics into `rec`.
+///
+/// `rec` must have at least `2 * cfg.world` tracks, laid out as
+/// [`spdkfac_obs::TrackLayout::trainer`]: rank `r`'s compute thread records
+/// on track `r` and its communication thread on track `cfg.world + r`.
+/// After the run, `IterationBreakdown::from_recorder(&rec, cfg.world)`
+/// yields the measured counterpart of the simulator's breakdown, and
+/// `chrome_trace(&rec.spans(), &TrackLayout::trainer(cfg.world))` the
+/// Perfetto timeline.
+///
+/// # Panics
+///
+/// As [`train`].
+pub fn train_with_recorder(
+    cfg: &DistributedConfig,
+    build: &(dyn Fn() -> Sequential + Sync),
+    dataset: &Dataset,
+    iters: usize,
+    batch: usize,
+    rec: &Arc<Recorder>,
+) -> RunResult {
+    train_impl(cfg, build, dataset, iters, batch, Some(rec))
+}
+
+fn train_impl(
+    cfg: &DistributedConfig,
+    build: &(dyn Fn() -> Sequential + Sync),
+    dataset: &Dataset,
+    iters: usize,
+    batch: usize,
+    rec: Option<&Arc<Recorder>>,
+) -> RunResult {
     let endpoints = LocalGroup::new(cfg.world).into_endpoints();
     let mut result: Option<RunResult> = None;
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for comm in endpoints {
             let cfg = cfg.clone();
-            handles.push(s.spawn(move || worker(&cfg, build, dataset, iters, batch, comm)));
+            let rec = rec.map(Arc::clone);
+            handles.push(s.spawn(move || worker(&cfg, build, dataset, iters, batch, comm, rec)));
         }
         for (rank, h) in handles.into_iter().enumerate() {
             let r = h.join().expect("worker panicked");
@@ -160,6 +203,20 @@ enum Side {
     G,
 }
 
+/// Per-worker span handle: phase spans on the worker's compute track
+/// (`track == rank`), all no-ops when no recorder is attached.
+struct WorkerObs {
+    rec: Option<Arc<Recorder>>,
+    track: usize,
+}
+
+impl WorkerObs {
+    /// Opens a phase span on this worker's compute track; recorded on drop.
+    fn span(&self, phase: Phase) -> Option<SpanGuard<'_>> {
+        self.rec.as_deref().map(|r| r.span(self.track, phase))
+    }
+}
+
 fn worker(
     cfg: &DistributedConfig,
     build: &(dyn Fn() -> Sequential + Sync),
@@ -167,9 +224,17 @@ fn worker(
     iters: usize,
     batch: usize,
     comm: WorkerComm,
+    rec: Option<Arc<Recorder>>,
 ) -> RunResult {
     let rank = comm.rank();
     let world = comm.world_size();
+    // Communication threads record on tracks `world..2*world`
+    // (TrackLayout::trainer); the phase of each collective is captured at
+    // submission time from the worker's current phase tag.
+    if let Some(r) = &rec {
+        comm.set_recorder(Arc::clone(r), world + rank);
+    }
+    let obs = WorkerObs { rec, track: rank };
     let mut net = build();
     let shard = dataset.shard(world, rank);
     assert!(
@@ -200,6 +265,21 @@ fn worker(
         &cfg.comm_model,
         cfg.effective_placement(),
     );
+    // Publish the load balancer's verdict once (rank 0): CT/NCT counts and
+    // the modelled per-GPU load it balanced (Eq. 21).
+    if rank == 0 {
+        if let Some(r) = &obs.rec {
+            let m = r.metrics();
+            let ncts = inv_placement.num_nct();
+            m.gauge("placement/nct").set(ncts as f64);
+            m.gauge("placement/ct")
+                .set((inv_placement.assignments().len() - ncts) as f64);
+            let loads = inv_placement.per_gpu_load(&inv_dims, &cfg.comp_model, &cfg.comm_model);
+            for (g, load) in loads.iter().enumerate() {
+                m.gauge(&format!("placement/gpu{g}/load")).set(*load);
+            }
+        }
+    }
 
     let mut sgd = Sgd::new(cfg.kfac.lr, cfg.kfac.momentum, cfg.kfac.weight_decay);
     let mut losses = Vec::with_capacity(iters);
@@ -222,8 +302,12 @@ fn worker(
 
         // ---------- Forward (+ pipelined A-factor aggregation for SPD) ----
         let mut a_ready = vec![0.0f64; nlayers];
-        let mut pending: Vec<(Vec<(usize, Side)>, Vec<usize>, PendingOp)> = Vec::new();
+        let mut pending: Vec<PendingFactors> = Vec::new();
         let pipelined = matches!(cfg.algorithm, Algorithm::SpdKfac | Algorithm::EkfacSpd);
+        // Collectives submitted during the forward pass are the pipelined
+        // A-factor all-reduces.
+        comm.set_phase(Phase::FactorComm);
+        let forward_span = obs.span(Phase::FfBp);
         let out = if pipelined {
             let plan = a_plan.clone().unwrap_or_else(|| {
                 fusion::plan(
@@ -239,8 +323,11 @@ fn worker(
             let out = net.forward_each(&x, capture, |_, layer| {
                 if let Some(a_rows) = layer.take_a_stat() {
                     a_ready[pos] = t0.elapsed().as_secs_f64();
-                    let factor = local_factor_a(&a_rows);
-                    buf.push(SymPacked::from_matrix(&factor));
+                    let factor = {
+                        let _fc = obs.span(Phase::FactorComp);
+                        SymPacked::from_matrix(&local_factor_a(&a_rows))
+                    };
+                    buf.push(factor);
                     if let Some(positions) = ctl.offer(pos) {
                         let members: Vec<(usize, Side)> =
                             positions.iter().map(|&p| (p, Side::A)).collect();
@@ -257,6 +344,7 @@ fn worker(
         } else {
             net.forward(&x, capture)
         };
+        drop(forward_span);
 
         // ---------- Loss ------------------------------------------------
         let (local_loss, grad) = softmax_cross_entropy(&out, &y);
@@ -276,7 +364,11 @@ fn worker(
                     FusionStrategy::LayerWise,
                 )
             });
-            Some((fusion::FusionController::new(plan), Vec::<SymPacked>::new(), 0usize))
+            Some((
+                fusion::FusionController::new(plan),
+                Vec::<SymPacked>::new(),
+                0usize,
+            ))
         } else {
             None
         };
@@ -286,19 +378,24 @@ fn worker(
         let mut grad_buf: Vec<f64> = Vec::new();
         let mut grad_segments: Vec<GradSegment> = Vec::new();
         let t0 = Instant::now();
+        let backward_span = obs.span(Phase::FfBp);
         net.backward_each(&grad, |li, layer| {
             // (a) SPD: G-factor capture + fused async all-reduce.
             if let Some((ctl, buf, pos)) = spd_g.as_mut() {
                 if let Some((g_rows, n)) = layer.take_g_stat() {
                     g_ready[*pos] = t0.elapsed().as_secs_f64();
-                    let factor = local_factor_g(&g_rows, n);
-                    buf.push(SymPacked::from_matrix(&factor));
+                    let factor = {
+                        let _fc = obs.span(Phase::FactorComp);
+                        SymPacked::from_matrix(&local_factor_g(&g_rows, n))
+                    };
+                    buf.push(factor);
                     if let Some(positions) = ctl.offer(*pos) {
                         let members: Vec<(usize, Side)> =
                             positions.iter().map(|&p| (p, Side::G)).collect();
                         let sizes: Vec<usize> = buf.iter().map(|s| s.len()).collect();
                         let concat: Vec<f64> =
                             buf.drain(..).flat_map(SymPacked::into_vec).collect();
+                        comm.set_phase(Phase::FactorComm);
                         pending.push((members, sizes, comm.allreduce_avg_async(concat)));
                     }
                     *pos += 1;
@@ -310,16 +407,19 @@ fn worker(
                 grad_buf.extend_from_slice(p.grad.as_slice());
             }
             if grad_buf.len() >= cfg.grad_fusion_elems {
+                comm.set_phase(Phase::GradComm);
                 grad_pending.push((
                     std::mem::take(&mut grad_segments),
                     comm.allreduce_avg_async(std::mem::take(&mut grad_buf)),
                 ));
             }
         });
+        drop(backward_span);
         if let Some((ctl, _, _)) = &spd_g {
             assert!(ctl.is_drained(), "unflushed G-factor bucket");
         }
         if !grad_buf.is_empty() {
+            comm.set_phase(Phase::GradComm);
             grad_pending.push((
                 std::mem::take(&mut grad_segments),
                 comm.allreduce_avg_async(std::mem::take(&mut grad_buf)),
@@ -328,6 +428,7 @@ fn worker(
 
         // ---------- Factor aggregation (bulk path for D/MPD) --------------
         if matches!(cfg.algorithm, Algorithm::DKfac | Algorithm::MpdKfac) {
+            let fc = obs.span(Phase::FactorComp);
             let caps = net.take_captures();
             let mut concat = Vec::new();
             let mut members = Vec::new();
@@ -343,6 +444,8 @@ fn worker(
                 sizes.push(g.len());
                 concat.extend_from_slice(g.as_slice());
             }
+            drop(fc);
+            comm.set_phase(Phase::FactorComm);
             pending.push((members, sizes, comm.allreduce_avg_async(concat)));
         }
 
@@ -403,6 +506,7 @@ fn worker(
                 if iter % cfg.kfac.inv_update_freq.max(1) == 0 {
                     let mine: Vec<usize> = inv_placement.set_for_gpu(rank);
                     let mut computed: Vec<Option<(Matrix, Vec<f64>)>> = vec![None; 2 * nlayers];
+                    let inv_span = obs.span(Phase::InverseComp);
                     for &t in &mine {
                         let si = t / 2;
                         let factor = if t % 2 == 0 {
@@ -415,7 +519,9 @@ fn worker(
                         });
                         computed[t] = Some((e.vectors, e.values));
                     }
+                    drop(inv_span);
                     // Broadcast Q‖λ for CT tensors (d² + d elements each).
+                    comm.set_phase(Phase::InverseComm);
                     let mut bcasts: Vec<(usize, PendingOp)> = Vec::new();
                     for t in 0..2 * nlayers {
                         if let TensorAssignment::Gpu(owner) = inv_placement.assignments()[t] {
@@ -439,8 +545,11 @@ fn worker(
                         computed[t] = Some((q, v));
                     }
                     for t in 0..2 * nlayers {
-                        ekfac_bases[t] =
-                            Some(computed[t].take().expect("basis neither computed nor received"));
+                        ekfac_bases[t] = Some(
+                            computed[t]
+                                .take()
+                                .expect("basis neither computed nor received"),
+                        );
                     }
                     // Reseed the eigenbasis scales from the eigenvalue
                     // products (the K-FAC spectrum), to be moment-corrected
@@ -459,6 +568,7 @@ fn worker(
                 // Compute this rank's assigned inverses (NCTs + own CTs).
                 let mine: Vec<usize> = inv_placement.set_for_gpu(rank);
                 let mut computed: Vec<Option<SymPacked>> = vec![None; 2 * nlayers];
+                let inv_span = obs.span(Phase::InverseComp);
                 for &t in &mine {
                     let si = t / 2;
                     let damped = if t % 2 == 0 {
@@ -466,11 +576,14 @@ fn worker(
                     } else {
                         states[si].damped_g(cfg.kfac.damping)
                     };
-                    let inv = chol::spd_inverse(&damped)
-                        .unwrap_or_else(|e| panic!("rank {rank}: inversion of tensor {t} failed: {e}"));
+                    let inv = chol::spd_inverse(&damped).unwrap_or_else(|e| {
+                        panic!("rank {rank}: inversion of tensor {t} failed: {e}")
+                    });
                     computed[t] = Some(SymPacked::from_matrix(&inv));
                 }
+                drop(inv_span);
                 // Broadcast CT results (everyone issues in tensor order).
+                comm.set_phase(Phase::InverseComm);
                 let mut bcasts: Vec<(usize, PendingOp)> = Vec::new();
                 for t in 0..2 * nlayers {
                     if let TensorAssignment::Gpu(owner) = inv_placement.assignments()[t] {
@@ -487,9 +600,9 @@ fn worker(
                     computed[t] = Some(SymPacked::from_vec(inv_dims[t], data));
                 }
                 // Install all inverses.
-                for t in 0..2 * nlayers {
+                for (t, slot) in computed.iter_mut().enumerate() {
                     let si = t / 2;
-                    let inv = computed[t]
+                    let inv = slot
                         .take()
                         .expect("inverse neither computed nor received")
                         .to_matrix();
@@ -503,6 +616,7 @@ fn worker(
         }
 
         // ---------- Update -------------------------------------------------
+        let update_span = obs.span(Phase::Update);
         if capture {
             let (mut directions, raw) = if cfg.algorithm == Algorithm::EkfacSpd {
                 build_ekfac_directions(
@@ -523,8 +637,10 @@ fn worker(
         } else {
             sgd.step(&mut net.parameters_mut());
         }
+        drop(update_span);
 
         // ---------- Loss reporting ----------------------------------------
+        comm.set_phase(Phase::Update);
         let mut loss_buf = [local_loss];
         comm.allreduce_avg(&mut loss_buf);
         losses.push(loss_buf[0]);
@@ -534,13 +650,35 @@ fn worker(
             let mut times: Vec<f64> = a_ready.iter().chain(g_ready.iter()).copied().collect();
             comm.allreduce_avg(&mut times);
             let (a_avg, g_avg) = times.split_at(nlayers);
-            let a_pipeline = FactorPipeline::new(monotonize(a_avg), a_sizes.clone())
-                .expect("A pipeline valid");
+            let a_pipeline =
+                FactorPipeline::new(monotonize(a_avg), a_sizes.clone()).expect("A pipeline valid");
             let rev_g_sizes: Vec<usize> = g_sizes.iter().rev().copied().collect();
-            let g_pipeline = FactorPipeline::new(monotonize(g_avg), rev_g_sizes)
-                .expect("G pipeline valid");
-            a_plan = Some(fusion::plan(&a_pipeline, &cfg.comm_model, cfg.fusion));
-            g_plan = Some(fusion::plan(&g_pipeline, &cfg.comm_model, cfg.fusion));
+            let g_pipeline =
+                FactorPipeline::new(monotonize(g_avg), rev_g_sizes).expect("G pipeline valid");
+            let a = fusion::plan(&a_pipeline, &cfg.comm_model, cfg.fusion);
+            let g = fusion::plan(&g_pipeline, &cfg.comm_model, cfg.fusion);
+            // Publish the tensor-fusion verdict (Eq. 15) once, on rank 0:
+            // how many factors each pass fused into how many messages.
+            if rank == 0 {
+                if let Some(r) = &obs.rec {
+                    let m = r.metrics();
+                    m.gauge("fusion/a/factors").set(nlayers as f64);
+                    m.gauge("fusion/a/messages").set(a.num_messages() as f64);
+                    m.gauge("fusion/a/merges")
+                        .set((nlayers - a.num_messages()) as f64);
+                    m.gauge("fusion/g/factors").set(nlayers as f64);
+                    m.gauge("fusion/g/messages").set(g.num_messages() as f64);
+                    m.gauge("fusion/g/merges")
+                        .set((nlayers - g.num_messages()) as f64);
+                }
+            }
+            a_plan = Some(a);
+            g_plan = Some(g);
+        }
+        if rank == 0 {
+            if let Some(r) = &obs.rec {
+                r.metrics().counter("train/iterations").inc();
+            }
         }
     }
 
@@ -718,7 +856,10 @@ mod tests {
             opt.step(&mut net).expect("ekfac step");
         }
         let d = max_diff(&dist.final_params, &net.flat_params());
-        assert!(d < 1e-9, "distributed EKFAC diverged from single-process: {d}");
+        assert!(
+            d < 1e-9,
+            "distributed EKFAC diverged from single-process: {d}"
+        );
     }
 
     #[test]
@@ -749,8 +890,12 @@ mod tests {
         // collective ops per iteration than MPD.
         let m = run(Algorithm::MpdKfac, 2, 3);
         let s = run(Algorithm::SpdKfac, 2, 3);
-        assert!(s.collective_ops <= m.collective_ops + 6, // SPD adds plan agreement + bucket ops
-            "spd={} mpd={}", s.collective_ops, m.collective_ops);
+        assert!(
+            s.collective_ops <= m.collective_ops + 6, // SPD adds plan agreement + bucket ops
+            "spd={} mpd={}",
+            s.collective_ops,
+            m.collective_ops
+        );
     }
 
     fn max_diff(a: &[f64], b: &[f64]) -> f64 {
@@ -758,5 +903,74 @@ mod tests {
             .zip(b.iter())
             .map(|(x, y)| (x - y).abs())
             .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn recorder_captures_trainer_phases_and_metrics() {
+        let world = 2;
+        let iters = 4;
+        let rec = Arc::new(Recorder::new(2 * world));
+        let mut cfg = DistributedConfig::new(world, Algorithm::SpdKfac);
+        cfg.kfac.damping = 0.1;
+        cfg.kfac.lr = 0.05;
+        cfg.kfac.momentum = 0.0;
+        let data = gaussian_blobs(3, 6, 16, 0.3, 17);
+        let r = train_with_recorder(&cfg, &|| mlp(&[6, 12, 3], 3), &data, iters, 4, &rec);
+        assert_eq!(r.losses.len(), iters);
+
+        let spans = rec.spans();
+        // Compute phases land on the rank tracks (0..world)…
+        for ph in [
+            Phase::FfBp,
+            Phase::FactorComp,
+            Phase::InverseComp,
+            Phase::Update,
+        ] {
+            assert!(
+                spans.iter().any(|s| s.phase == ph && s.track < world),
+                "missing compute phase {ph}"
+            );
+        }
+        // …and collectives on the comm tracks (world..2*world), tagged with
+        // the phase current at submission time.
+        for ph in [Phase::FactorComm, Phase::GradComm] {
+            assert!(
+                spans
+                    .iter()
+                    .any(|s| s.phase == ph && (world..2 * world).contains(&s.track)),
+                "missing comm phase {ph}"
+            );
+        }
+
+        let snap = rec.metrics().snapshot();
+        assert_eq!(snap.counters["train/iterations"], iters as u64);
+        assert!(snap.gauges.contains_key("placement/gpu0/load"));
+        assert!(snap.gauges.contains_key("placement/gpu1/load"));
+        assert!(snap.gauges["placement/nct"] + snap.gauges["placement/ct"] > 0.0);
+        assert!(snap.gauges["fusion/a/messages"] >= 1.0);
+        assert!(snap.gauges["fusion/g/messages"] >= 1.0);
+
+        // The measured breakdown is the simulator's type and accounts for
+        // the whole recorded interval.
+        let b = spdkfac_obs::IterationBreakdown::from_recorder(&rec, world);
+        assert!(b.total() > 0.0);
+        assert!(b.ff_bp > 0.0);
+    }
+
+    #[test]
+    fn mpd_broadcasts_are_tagged_inverse_comm() {
+        // MPD-KFAC (SeqDist) makes every tensor a CT, so inverse-result
+        // broadcasts must appear on the comm tracks as InverseComm.
+        let world = 2;
+        let rec = Arc::new(Recorder::new(2 * world));
+        let mut cfg = DistributedConfig::new(world, Algorithm::MpdKfac);
+        cfg.kfac.damping = 0.1;
+        cfg.kfac.momentum = 0.0;
+        let data = gaussian_blobs(3, 6, 16, 0.3, 17);
+        let _ = train_with_recorder(&cfg, &|| mlp(&[6, 12, 3], 3), &data, 2, 4, &rec);
+        assert!(rec
+            .spans()
+            .iter()
+            .any(|s| s.phase == Phase::InverseComm && s.track >= world));
     }
 }

@@ -75,7 +75,11 @@ pub fn precondition_ekfac(
     damping: f64,
 ) -> Matrix {
     let projected = q_g.transpose().matmul(grad).matmul(q_a);
-    assert_eq!(projected.shape(), scale.shape(), "ekfac: scale shape mismatch");
+    assert_eq!(
+        projected.shape(),
+        scale.shape(),
+        "ekfac: scale shape mismatch"
+    );
     let rescaled = Matrix::from_fn(projected.rows(), projected.cols(), |i, j| {
         projected[(i, j)] / (scale[(i, j)] + damping)
     });
@@ -221,8 +225,7 @@ impl EkfacOptimizer {
                             let scale = st.scale.as_ref().expect("scale");
                             let cols = scale.cols() as f64;
                             let rescaled = Matrix::from_fn(proj.rows(), 1, |i, _| {
-                                let row_mean: f64 =
-                                    scale.row(i).iter().sum::<f64>() / cols;
+                                let row_mean: f64 = scale.row(i).iter().sum::<f64>() / cols;
                                 proj[(i, 0)] / (row_mean + self.cfg.damping)
                             });
                             directions.push(q_g.matmul(&rescaled));

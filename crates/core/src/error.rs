@@ -37,12 +37,19 @@ pub enum FactorSide {
 impl fmt::Display for KfacError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            KfacError::FactorInversion { layer, factor, source } => {
+            KfacError::FactorInversion {
+                layer,
+                factor,
+                source,
+            } => {
                 let side = match factor {
                     FactorSide::A => "A",
                     FactorSide::G => "G",
                 };
-                write!(f, "failed to invert factor {side} of layer {layer}: {source}")
+                write!(
+                    f,
+                    "failed to invert factor {side} of layer {layer}: {source}"
+                )
             }
             KfacError::InvalidPlanInput { reason } => {
                 write!(f, "invalid planner input: {reason}")

@@ -234,7 +234,9 @@ fn optimal_buckets(pipeline: &FactorPipeline, comm: &AlphaBetaModel) -> Vec<Vec<
         seeds.push(out);
     }
 
-    let mut best: Option<(Vec<Vec<usize>>, (f64, usize))> = None;
+    // Candidate bucketing with its `(modelled time, message count)` score.
+    type Scored = (Vec<Vec<usize>>, (f64, usize));
+    let mut best: Option<Scored> = None;
     for seed in seeds {
         let mut cur = seed;
         let mut cur_score = score(&cur);
@@ -325,7 +327,10 @@ impl FusionController {
             .get(self.bucket_idx)
             .unwrap_or_else(|| panic!("factor {pos} offered beyond the plan"));
         let expect = bucket[self.pending.len()];
-        assert_eq!(pos, expect, "factor {pos} offered out of order (expected {expect})");
+        assert_eq!(
+            pos, expect,
+            "factor {pos} offered out of order (expected {expect})"
+        );
         self.pending.push(pos);
         if self.pending.len() == bucket.len() {
             self.bucket_idx += 1;
@@ -423,7 +428,14 @@ mod tests {
     #[test]
     fn threshold_splits_at_capacity() {
         let p = pipeline(&[0.0, 0.0, 0.0, 0.0], &[6, 6, 6, 6]);
-        let t = plan(&p, &comm(), FusionStrategy::Threshold { elems: 12, cycle_s: 100.0 });
+        let t = plan(
+            &p,
+            &comm(),
+            FusionStrategy::Threshold {
+                elems: 12,
+                cycle_s: 100.0,
+            },
+        );
         assert_eq!(t.num_messages(), 2);
         assert_eq!(t.buckets()[0], vec![0, 1]);
         assert_eq!(t.buckets()[1], vec![2, 3]);
@@ -449,7 +461,10 @@ mod tests {
         for s in [
             FusionStrategy::Naive,
             FusionStrategy::LayerWise,
-            FusionStrategy::Threshold { elems: 2000, cycle_s: 0.5 },
+            FusionStrategy::Threshold {
+                elems: 2000,
+                cycle_s: 0.5,
+            },
         ] {
             let alt = simulate(&p, &plan(&p, &comm(), s), &comm(), 0.0);
             assert!(out.finish <= alt.finish + 1e-9, "{s:?} beat Optimal");
@@ -467,7 +482,12 @@ mod tests {
         let p = pipeline(&[0.0, 2.0, 4.0], &[1, 1, 1]);
         let o = plan(&p, &comm(), FusionStrategy::Optimal);
         let out = simulate(&p, &o, &comm(), 0.0);
-        let lw = simulate(&p, &plan(&p, &comm(), FusionStrategy::LayerWise), &comm(), 0.0);
+        let lw = simulate(
+            &p,
+            &plan(&p, &comm(), FusionStrategy::LayerWise),
+            &comm(),
+            0.0,
+        );
         let naive = simulate(&p, &plan(&p, &comm(), FusionStrategy::Naive), &comm(), 0.0);
         assert!(out.finish < naive.finish);
         assert!(out.finish <= lw.finish + 1e-12);

@@ -135,7 +135,10 @@ impl ExpInverseModel {
             sxy += x * y;
         }
         let denom = n * sxx - sx * sx;
-        assert!(denom.abs() > 0.0, "ExpInverseModel::fit: degenerate samples");
+        assert!(
+            denom.abs() > 0.0,
+            "ExpInverseModel::fit: degenerate samples"
+        );
         let beta = (n * sxy - sx * sy) / denom;
         let alpha = ((sy - beta * sx) / n).exp();
         ExpInverseModel { alpha, beta }
@@ -202,10 +205,7 @@ impl CubicCostModel {
     ///
     /// Panics if fewer than two distinct dimensions are given.
     pub fn fit(samples: &[(usize, f64)]) -> Self {
-        let cubed: Vec<(usize, f64)> = samples
-            .iter()
-            .map(|&(d, t)| (d * d * d, t))
-            .collect();
+        let cubed: Vec<(usize, f64)> = samples.iter().map(|&(d, t)| (d * d * d, t)).collect();
         let line = AlphaBetaModel::fit(&cubed);
         CubicCostModel {
             coeff: line.beta,
@@ -215,8 +215,12 @@ impl CubicCostModel {
 
     /// R² of the fit.
     pub fn r_squared(&self, samples: &[(usize, f64)]) -> f64 {
-        AlphaBetaModel::new(self.overhead, self.coeff)
-            .r_squared(&samples.iter().map(|&(d, t)| (d * d * d, t)).collect::<Vec<_>>())
+        AlphaBetaModel::new(self.overhead, self.coeff).r_squared(
+            &samples
+                .iter()
+                .map(|&(d, t)| (d * d * d, t))
+                .collect::<Vec<_>>(),
+        )
     }
 }
 

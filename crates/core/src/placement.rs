@@ -68,28 +68,33 @@ impl Placement {
         self.assignments
             .iter()
             .enumerate()
-            .filter(|(_, a)| matches!(a, TensorAssignment::AllGpus) || **a == TensorAssignment::Gpu(p))
+            .filter(|(_, a)| {
+                matches!(a, TensorAssignment::AllGpus) || **a == TensorAssignment::Gpu(p)
+            })
             .map(|(i, _)| i)
             .collect()
     }
 
     /// Number of NCTs.
     pub fn num_nct(&self) -> usize {
-        (0..self.assignments.len()).filter(|&i| self.is_nct(i)).count()
+        (0..self.assignments.len())
+            .filter(|&i| self.is_nct(i))
+            .count()
     }
 
-    /// Evaluates the paper's objective (Eq. 21): the maximum over GPUs of
-    /// that GPU's inversion time plus the broadcast time of its CTs.
+    /// Per-GPU modelled load (Eq. 21's inner sums): each GPU's inversion
+    /// time plus the broadcast time of its CTs. NCT inversions count toward
+    /// every GPU.
     ///
     /// # Panics
     ///
     /// Panics if `dims.len()` differs from the placement length.
-    pub fn modeled_time(
+    pub fn per_gpu_load(
         &self,
         dims: &[usize],
         comp: &ExpInverseModel,
         comm: &AlphaBetaModel,
-    ) -> f64 {
+    ) -> Vec<f64> {
         assert_eq!(dims.len(), self.assignments.len(), "dims length mismatch");
         let mut per_gpu = vec![0.0f64; self.world];
         for (i, a) in self.assignments.iter().enumerate() {
@@ -104,7 +109,24 @@ impl Placement {
                 }
             }
         }
-        per_gpu.into_iter().fold(0.0, f64::max)
+        per_gpu
+    }
+
+    /// Evaluates the paper's objective (Eq. 21): the maximum over GPUs of
+    /// [`Placement::per_gpu_load`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len()` differs from the placement length.
+    pub fn modeled_time(
+        &self,
+        dims: &[usize],
+        comp: &ExpInverseModel,
+        comm: &AlphaBetaModel,
+    ) -> f64 {
+        self.per_gpu_load(dims, comp, comm)
+            .into_iter()
+            .fold(0.0, f64::max)
     }
 }
 
@@ -188,9 +210,7 @@ pub fn lbp(
         match weight {
             LbpWeight::Dim => d as f64,
             LbpWeight::DimSquared => (d as f64) * (d as f64),
-            LbpWeight::ModeledTime => {
-                comp.time(d) + if ct { comm.time_packed(d) } else { 0.0 }
-            }
+            LbpWeight::ModeledTime => comp.time(d) + if ct { comm.time_packed(d) } else { 0.0 },
         }
     };
 
@@ -247,7 +267,13 @@ mod tests {
     #[test]
     fn seq_dist_round_robins_all_ct() {
         let (comp, comm) = toy_models();
-        let p = place(&[10, 20, 30, 40, 50], 2, &comp, &comm, PlacementStrategy::SeqDist);
+        let p = place(
+            &[10, 20, 30, 40, 50],
+            2,
+            &comp,
+            &comm,
+            PlacementStrategy::SeqDist,
+        );
         assert_eq!(p.num_nct(), 0);
         assert_eq!(p.set_for_gpu(0), vec![0, 2, 4]);
         assert_eq!(p.set_for_gpu(1), vec![1, 3]);
@@ -314,10 +340,7 @@ mod tests {
             ],
             2,
         );
-        assert!(
-            lbp.modeled_time(&dims, &comp, &comm)
-                < all_ct.modeled_time(&dims, &comp, &comm)
-        );
+        assert!(lbp.modeled_time(&dims, &comp, &comm) < all_ct.modeled_time(&dims, &comp, &comm));
     }
 
     #[test]
@@ -375,6 +398,22 @@ mod tests {
     }
 
     #[test]
+    fn per_gpu_load_matches_modeled_time_and_counts_ncts_everywhere() {
+        let (comp, comm) = toy_models();
+        let dims = vec![3000, 2500, 20];
+        let p = place(&dims, 2, &comp, &comm, PlacementStrategy::default());
+        let loads = p.per_gpu_load(&dims, &comp, &comm);
+        assert_eq!(loads.len(), 2);
+        assert_eq!(
+            p.modeled_time(&dims, &comp, &comm),
+            loads.iter().cloned().fold(0.0, f64::max)
+        );
+        // The NCT (dim 20) is replicated: both loads include its compute.
+        assert!(p.is_nct(2));
+        assert!(loads.iter().all(|&l| l >= comp.time(20)));
+    }
+
+    #[test]
     fn single_gpu_everything_local() {
         let (comp, comm) = toy_models();
         let p = place(&[100, 200], 1, &comp, &comm, PlacementStrategy::default());
@@ -385,7 +424,11 @@ mod tests {
     fn weight_variants_produce_valid_placements() {
         let (comp, comm) = toy_models();
         let dims = vec![500, 1000, 1500, 2000, 2500];
-        for w in [LbpWeight::Dim, LbpWeight::DimSquared, LbpWeight::ModeledTime] {
+        for w in [
+            LbpWeight::Dim,
+            LbpWeight::DimSquared,
+            LbpWeight::ModeledTime,
+        ] {
             let p = lbp(&dims, 3, &comp, &comm, w);
             assert_eq!(p.assignments().len(), 5);
         }

@@ -80,7 +80,11 @@ pub fn apply_kl_clip(
     lr: f64,
     kl_clip: f64,
 ) -> f64 {
-    assert_eq!(directions.len(), raw_grads.len(), "kl_clip: length mismatch");
+    assert_eq!(
+        directions.len(),
+        raw_grads.len(),
+        "kl_clip: length mismatch"
+    );
     let mut vg_sum = 0.0;
     for (d, g) in directions.iter().zip(raw_grads.iter()) {
         let dot: f64 = d
@@ -140,7 +144,11 @@ mod tests {
         let mut rng = MatrixRng::new(3);
         let grad = rng.uniform_matrix(3, 4, -1.0, 1.0);
         let out = precondition_weight(&st, &grad);
-        let manual = st.g_inv().unwrap().matmul(&grad).matmul(st.a_inv().unwrap());
+        let manual = st
+            .g_inv()
+            .unwrap()
+            .matmul(&grad)
+            .matmul(st.a_inv().unwrap());
         assert!(out.max_abs_diff(&manual) < 1e-14);
     }
 

@@ -9,19 +9,15 @@ use spdkfac_core::placement::{self, LbpWeight, PlacementStrategy, TensorAssignme
 /// Strategy: a pipeline of 1..40 factors with non-decreasing ready times.
 fn pipeline_strategy() -> impl Strategy<Value = FactorPipeline> {
     (1usize..40).prop_flat_map(|n| {
-        (
-            pvec(0.0f64..0.5, n),
-            pvec(1usize..5_000_000, n),
-        )
-            .prop_map(|(gaps, sizes)| {
-                let mut ready = Vec::with_capacity(gaps.len());
-                let mut t = 0.0;
-                for g in gaps {
-                    t += g;
-                    ready.push(t);
-                }
-                FactorPipeline::new(ready, sizes).expect("constructed valid")
-            })
+        (pvec(0.0f64..0.5, n), pvec(1usize..5_000_000, n)).prop_map(|(gaps, sizes)| {
+            let mut ready = Vec::with_capacity(gaps.len());
+            let mut t = 0.0;
+            for g in gaps {
+                t += g;
+                ready.push(t);
+            }
+            FactorPipeline::new(ready, sizes).expect("constructed valid")
+        })
     })
 }
 

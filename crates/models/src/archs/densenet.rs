@@ -82,8 +82,16 @@ mod tests {
     fn channel_growth_inside_block() {
         let m = densenet201();
         // denseblock1.denselayer1.conv1 reads 64 channels, denselayer2 reads 96.
-        let c1 = m.layers().iter().find(|l| l.name == "denseblock1.denselayer1.conv1").unwrap();
-        let c2 = m.layers().iter().find(|l| l.name == "denseblock1.denselayer2.conv1").unwrap();
+        let c1 = m
+            .layers()
+            .iter()
+            .find(|l| l.name == "denseblock1.denselayer1.conv1")
+            .unwrap();
+        let c2 = m
+            .layers()
+            .iter()
+            .find(|l| l.name == "denseblock1.denselayer2.conv1")
+            .unwrap();
         assert_eq!(c1.a_dim(), 64);
         assert_eq!(c2.a_dim(), 96);
     }
@@ -91,7 +99,11 @@ mod tests {
     #[test]
     fn transitions_halve_channels() {
         let m = densenet201();
-        let t1 = m.layers().iter().find(|l| l.name == "transition1.conv").unwrap();
+        let t1 = m
+            .layers()
+            .iter()
+            .find(|l| l.name == "transition1.conv")
+            .unwrap();
         assert_eq!(t1.a_dim(), 256);
         assert_eq!(t1.g_dim(), 128);
     }
@@ -110,11 +122,7 @@ mod tests {
         // per-tensor broadcast startup cost dominate (Fig. 12).
         let m = densenet201();
         assert!(m.g_dims().iter().all(|&d| d <= 1000));
-        let small = m
-            .all_factor_dims()
-            .iter()
-            .filter(|&&d| d <= 256)
-            .count();
+        let small = m.all_factor_dims().iter().filter(|&&d| d <= 256).count();
         assert!(small > 150, "expected many small factors, got {small}");
     }
 }

@@ -14,16 +14,34 @@ fn stem(l: &mut Vec<LayerSpec>) -> usize {
     l.push(LayerSpec::conv("stem.conv1", 3, 32, 3, 2, 0, 299)); // -> 149
     l.push(LayerSpec::conv("stem.conv2", 32, 32, 3, 1, 0, 149)); // -> 147
     l.push(LayerSpec::conv("stem.conv3", 32, 64, 3, 1, 1, 147)); // -> 147
-    // mixed_3a: max-pool ‖ strided conv -> 73, channels 64 + 96 = 160.
+                                                                 // mixed_3a: max-pool ‖ strided conv -> 73, channels 64 + 96 = 160.
     l.push(LayerSpec::conv("stem.mixed3a.conv", 64, 96, 3, 2, 0, 147));
     // mixed_4a on 73×73 input (160 ch): two branches -> 96 + 96 = 192 at 71.
     l.push(LayerSpec::conv("stem.mixed4a.b1.1x1", 160, 64, 1, 1, 0, 73));
     l.push(LayerSpec::conv("stem.mixed4a.b1.3x3", 64, 96, 3, 1, 0, 73)); // -> 71
     l.push(LayerSpec::conv("stem.mixed4a.b2.1x1", 160, 64, 1, 1, 0, 73));
-    l.push(LayerSpec::conv_rect("stem.mixed4a.b2.1x7", 64, 64, 1, 7, 0, 3, 73));
-    l.push(LayerSpec::conv_rect("stem.mixed4a.b2.7x1", 64, 64, 7, 1, 3, 0, 73));
+    l.push(LayerSpec::conv_rect(
+        "stem.mixed4a.b2.1x7",
+        64,
+        64,
+        1,
+        7,
+        0,
+        3,
+        73,
+    ));
+    l.push(LayerSpec::conv_rect(
+        "stem.mixed4a.b2.7x1",
+        64,
+        64,
+        7,
+        1,
+        3,
+        0,
+        73,
+    ));
     l.push(LayerSpec::conv("stem.mixed4a.b2.3x3", 64, 96, 3, 1, 0, 73)); // -> 71
-    // mixed_5a: strided conv ‖ max-pool -> 35, channels 192 + 192 = 384.
+                                                                         // mixed_5a: strided conv ‖ max-pool -> 35, channels 192 + 192 = 384.
     l.push(LayerSpec::conv("stem.mixed5a.conv", 192, 192, 3, 2, 0, 71));
     384
 }
@@ -39,7 +57,15 @@ fn inception_a(l: &mut Vec<LayerSpec>, idx: usize) {
     l.push(LayerSpec::conv(format!("{p}.b3.1x1"), c, 64, 1, 1, 0, hw));
     l.push(LayerSpec::conv(format!("{p}.b3.3x3a"), 64, 96, 3, 1, 1, hw));
     l.push(LayerSpec::conv(format!("{p}.b3.3x3b"), 96, 96, 3, 1, 1, hw));
-    l.push(LayerSpec::conv(format!("{p}.b4.pool1x1"), c, 96, 1, 1, 0, hw));
+    l.push(LayerSpec::conv(
+        format!("{p}.b4.pool1x1"),
+        c,
+        96,
+        1,
+        1,
+        0,
+        hw,
+    ));
 }
 
 /// Reduction-A (384 → 1024 ch, 35 → 17): 4 convolutions.
@@ -58,14 +84,76 @@ fn inception_b(l: &mut Vec<LayerSpec>, idx: usize) {
     let c = 1024;
     l.push(LayerSpec::conv(format!("{p}.b1.1x1"), c, 384, 1, 1, 0, hw));
     l.push(LayerSpec::conv(format!("{p}.b2.1x1"), c, 192, 1, 1, 0, hw));
-    l.push(LayerSpec::conv_rect(format!("{p}.b2.1x7"), 192, 224, 1, 7, 0, 3, hw));
-    l.push(LayerSpec::conv_rect(format!("{p}.b2.7x1"), 224, 256, 7, 1, 3, 0, hw));
+    l.push(LayerSpec::conv_rect(
+        format!("{p}.b2.1x7"),
+        192,
+        224,
+        1,
+        7,
+        0,
+        3,
+        hw,
+    ));
+    l.push(LayerSpec::conv_rect(
+        format!("{p}.b2.7x1"),
+        224,
+        256,
+        7,
+        1,
+        3,
+        0,
+        hw,
+    ));
     l.push(LayerSpec::conv(format!("{p}.b3.1x1"), c, 192, 1, 1, 0, hw));
-    l.push(LayerSpec::conv_rect(format!("{p}.b3.7x1a"), 192, 192, 7, 1, 3, 0, hw));
-    l.push(LayerSpec::conv_rect(format!("{p}.b3.1x7a"), 192, 224, 1, 7, 0, 3, hw));
-    l.push(LayerSpec::conv_rect(format!("{p}.b3.7x1b"), 224, 224, 7, 1, 3, 0, hw));
-    l.push(LayerSpec::conv_rect(format!("{p}.b3.1x7b"), 224, 256, 1, 7, 0, 3, hw));
-    l.push(LayerSpec::conv(format!("{p}.b4.pool1x1"), c, 128, 1, 1, 0, hw));
+    l.push(LayerSpec::conv_rect(
+        format!("{p}.b3.7x1a"),
+        192,
+        192,
+        7,
+        1,
+        3,
+        0,
+        hw,
+    ));
+    l.push(LayerSpec::conv_rect(
+        format!("{p}.b3.1x7a"),
+        192,
+        224,
+        1,
+        7,
+        0,
+        3,
+        hw,
+    ));
+    l.push(LayerSpec::conv_rect(
+        format!("{p}.b3.7x1b"),
+        224,
+        224,
+        7,
+        1,
+        3,
+        0,
+        hw,
+    ));
+    l.push(LayerSpec::conv_rect(
+        format!("{p}.b3.1x7b"),
+        224,
+        256,
+        1,
+        7,
+        0,
+        3,
+        hw,
+    ));
+    l.push(LayerSpec::conv(
+        format!("{p}.b4.pool1x1"),
+        c,
+        128,
+        1,
+        1,
+        0,
+        hw,
+    ));
 }
 
 /// Reduction-B (1024 → 1536 ch, 17 → 8): 6 convolutions.
@@ -74,8 +162,26 @@ fn reduction_b(l: &mut Vec<LayerSpec>) {
     l.push(LayerSpec::conv("reductionB.b1.1x1", 1024, 192, 1, 1, 0, hw));
     l.push(LayerSpec::conv("reductionB.b1.3x3", 192, 192, 3, 2, 0, hw));
     l.push(LayerSpec::conv("reductionB.b2.1x1", 1024, 256, 1, 1, 0, hw));
-    l.push(LayerSpec::conv_rect("reductionB.b2.1x7", 256, 256, 1, 7, 0, 3, hw));
-    l.push(LayerSpec::conv_rect("reductionB.b2.7x1", 256, 320, 7, 1, 3, 0, hw));
+    l.push(LayerSpec::conv_rect(
+        "reductionB.b2.1x7",
+        256,
+        256,
+        1,
+        7,
+        0,
+        3,
+        hw,
+    ));
+    l.push(LayerSpec::conv_rect(
+        "reductionB.b2.7x1",
+        256,
+        320,
+        7,
+        1,
+        3,
+        0,
+        hw,
+    ));
     l.push(LayerSpec::conv("reductionB.b2.3x3", 320, 320, 3, 2, 0, hw));
 }
 
@@ -86,14 +192,76 @@ fn inception_c(l: &mut Vec<LayerSpec>, idx: usize) {
     let c = 1536;
     l.push(LayerSpec::conv(format!("{p}.b1.1x1"), c, 256, 1, 1, 0, hw));
     l.push(LayerSpec::conv(format!("{p}.b2.1x1"), c, 384, 1, 1, 0, hw));
-    l.push(LayerSpec::conv_rect(format!("{p}.b2.1x3"), 384, 256, 1, 3, 0, 1, hw));
-    l.push(LayerSpec::conv_rect(format!("{p}.b2.3x1"), 384, 256, 3, 1, 1, 0, hw));
+    l.push(LayerSpec::conv_rect(
+        format!("{p}.b2.1x3"),
+        384,
+        256,
+        1,
+        3,
+        0,
+        1,
+        hw,
+    ));
+    l.push(LayerSpec::conv_rect(
+        format!("{p}.b2.3x1"),
+        384,
+        256,
+        3,
+        1,
+        1,
+        0,
+        hw,
+    ));
     l.push(LayerSpec::conv(format!("{p}.b3.1x1"), c, 384, 1, 1, 0, hw));
-    l.push(LayerSpec::conv_rect(format!("{p}.b3.1x3"), 384, 448, 1, 3, 0, 1, hw));
-    l.push(LayerSpec::conv_rect(format!("{p}.b3.3x1"), 448, 512, 3, 1, 1, 0, hw));
-    l.push(LayerSpec::conv_rect(format!("{p}.b3.out1x3"), 512, 256, 1, 3, 0, 1, hw));
-    l.push(LayerSpec::conv_rect(format!("{p}.b3.out3x1"), 512, 256, 3, 1, 1, 0, hw));
-    l.push(LayerSpec::conv(format!("{p}.b4.pool1x1"), c, 256, 1, 1, 0, hw));
+    l.push(LayerSpec::conv_rect(
+        format!("{p}.b3.1x3"),
+        384,
+        448,
+        1,
+        3,
+        0,
+        1,
+        hw,
+    ));
+    l.push(LayerSpec::conv_rect(
+        format!("{p}.b3.3x1"),
+        448,
+        512,
+        3,
+        1,
+        1,
+        0,
+        hw,
+    ));
+    l.push(LayerSpec::conv_rect(
+        format!("{p}.b3.out1x3"),
+        512,
+        256,
+        1,
+        3,
+        0,
+        1,
+        hw,
+    ));
+    l.push(LayerSpec::conv_rect(
+        format!("{p}.b3.out3x1"),
+        512,
+        256,
+        3,
+        1,
+        1,
+        0,
+        hw,
+    ));
+    l.push(LayerSpec::conv(
+        format!("{p}.b4.pool1x1"),
+        c,
+        256,
+        1,
+        1,
+        0,
+        hw,
+    ));
 }
 
 /// Inception-v4 at the paper's per-GPU batch size 16 (Table II row 4).

@@ -23,11 +23,35 @@ fn resnet_bottleneck(name: &str, blocks: [usize; 4], batch: usize) -> ModelProfi
             let in_hw = hw;
             let out_hw = if s == 2 { hw / 2 } else { hw };
             // conv1 1×1 reduce (stride 1, torchvision v1.5 places stride on 3×3).
-            layers.push(LayerSpec::conv(format!("{prefix}.conv1"), c_in, w, 1, 1, 0, in_hw));
+            layers.push(LayerSpec::conv(
+                format!("{prefix}.conv1"),
+                c_in,
+                w,
+                1,
+                1,
+                0,
+                in_hw,
+            ));
             // conv2 3×3 (strided in the first block of a stage).
-            layers.push(LayerSpec::conv(format!("{prefix}.conv2"), w, w, 3, s, 1, in_hw));
+            layers.push(LayerSpec::conv(
+                format!("{prefix}.conv2"),
+                w,
+                w,
+                3,
+                s,
+                1,
+                in_hw,
+            ));
             // conv3 1×1 expand.
-            layers.push(LayerSpec::conv(format!("{prefix}.conv3"), w, c_out, 1, 1, 0, out_hw));
+            layers.push(LayerSpec::conv(
+                format!("{prefix}.conv3"),
+                w,
+                c_out,
+                1,
+                1,
+                0,
+                out_hw,
+            ));
             if blk == 0 {
                 // Downsample shortcut 1×1 (strided).
                 layers.push(LayerSpec::conv(
@@ -91,11 +115,7 @@ mod tests {
     fn resnet50_spatial_pipeline() {
         let m = resnet50();
         // Stage-4 3×3 convs run at 7×7 and have a_dim 4608.
-        let last3x3 = m
-            .layers()
-            .iter()
-            .filter(|l| l.a_dim() == 4608)
-            .count();
+        let last3x3 = m.layers().iter().filter(|l| l.a_dim() == 4608).count();
         assert_eq!(last3x3, 3, "three 3×3 convs on 512 channels");
     }
 

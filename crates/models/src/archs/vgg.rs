@@ -30,7 +30,15 @@ pub fn vgg16() -> ModelProfile {
     let mut layers = Vec::new();
     let mut hw = 224usize;
     for (i, &(cin, cout)) in cfg.iter().enumerate() {
-        layers.push(LayerSpec::conv(format!("conv{}", i + 1), cin, cout, 3, 1, 1, hw));
+        layers.push(LayerSpec::conv(
+            format!("conv{}", i + 1),
+            cin,
+            cout,
+            3,
+            1,
+            1,
+            hw,
+        ));
         if pool_after.contains(&i) {
             hw /= 2;
         }

@@ -23,7 +23,10 @@ impl ModelProfile {
     /// Panics if `layers` is empty or `batch_size == 0`.
     pub fn new(name: impl Into<String>, layers: Vec<LayerSpec>, batch_size: usize) -> Self {
         assert!(!layers.is_empty(), "ModelProfile requires layers");
-        assert!(batch_size > 0, "ModelProfile requires a positive batch size");
+        assert!(
+            batch_size > 0,
+            "ModelProfile requires a positive batch size"
+        );
         ModelProfile {
             name: name.into(),
             layers,
@@ -104,12 +107,18 @@ impl ModelProfile {
 
     /// Forward FLOPs of one iteration at the profile batch size.
     pub fn fwd_flops(&self) -> f64 {
-        self.layers.iter().map(|l| l.fwd_flops(self.batch_size)).sum()
+        self.layers
+            .iter()
+            .map(|l| l.fwd_flops(self.batch_size))
+            .sum()
     }
 
     /// Backward FLOPs of one iteration.
     pub fn bwd_flops(&self) -> f64 {
-        self.layers.iter().map(|l| l.bwd_flops(self.batch_size)).sum()
+        self.layers
+            .iter()
+            .map(|l| l.bwd_flops(self.batch_size))
+            .sum()
     }
 
     /// FLOPs to compute all Kronecker factors for one iteration.

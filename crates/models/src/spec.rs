@@ -114,9 +114,9 @@ impl LayerSpec {
     /// Output feature-map height.
     pub fn out_h(&self) -> usize {
         match self.kind {
-            LayerKind::Conv { kh, stride, pad_h, .. } => {
-                (self.in_h + 2 * pad_h - kh) / stride + 1
-            }
+            LayerKind::Conv {
+                kh, stride, pad_h, ..
+            } => (self.in_h + 2 * pad_h - kh) / stride + 1,
             LayerKind::Linear { .. } => 1,
         }
     }
@@ -124,9 +124,9 @@ impl LayerSpec {
     /// Output feature-map width.
     pub fn out_w(&self) -> usize {
         match self.kind {
-            LayerKind::Conv { kw, stride, pad_w, .. } => {
-                (self.in_w + 2 * pad_w - kw) / stride + 1
-            }
+            LayerKind::Conv {
+                kw, stride, pad_w, ..
+            } => (self.in_w + 2 * pad_w - kw) / stride + 1,
             LayerKind::Linear { .. } => 1,
         }
     }
@@ -165,7 +165,13 @@ impl LayerSpec {
     /// paper CNNs use batch-norm after convolutions, so convs are bias-free).
     pub fn params(&self) -> usize {
         match self.kind {
-            LayerKind::Conv { c_in, c_out, kh, kw, .. } => c_in * c_out * kh * kw,
+            LayerKind::Conv {
+                c_in,
+                c_out,
+                kh,
+                kw,
+                ..
+            } => c_in * c_out * kh * kw,
             LayerKind::Linear { d_in, d_out } => d_in * d_out + d_out,
         }
     }

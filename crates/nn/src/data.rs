@@ -93,7 +93,10 @@ impl Dataset {
     ///
     /// Panics if `batch` is zero or exceeds the dataset.
     pub fn batches(&self, batch: usize) -> Batches<'_> {
-        assert!(batch > 0 && batch <= self.len(), "invalid batch size {batch}");
+        assert!(
+            batch > 0 && batch <= self.len(),
+            "invalid batch size {batch}"
+        );
         Batches {
             data: self,
             batch,
@@ -140,16 +143,24 @@ impl Iterator for Batches<'_> {
 
 /// Gaussian blob classification: `classes` clusters in `dim` dimensions with
 /// per-cluster spread `noise`.
-pub fn gaussian_blobs(classes: usize, dim: usize, per_class: usize, noise: f64, seed: u64) -> Dataset {
+pub fn gaussian_blobs(
+    classes: usize,
+    dim: usize,
+    per_class: usize,
+    noise: f64,
+    seed: u64,
+) -> Dataset {
     let mut rng = MatrixRng::new(seed);
-    let centers: Vec<Vec<f64>> = (0..classes).map(|_| rng.uniform_vec(dim, -2.0, 2.0)).collect();
+    let centers: Vec<Vec<f64>> = (0..classes)
+        .map(|_| rng.uniform_vec(dim, -2.0, 2.0))
+        .collect();
     let n = classes * per_class;
     let mut data = Vec::with_capacity(n * dim);
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
         let k = i % classes;
-        for d in 0..dim {
-            data.push(centers[k][d] + rng.gaussian() * noise);
+        for &cd in centers[k].iter().take(dim) {
+            data.push(cd + rng.gaussian() * noise);
         }
         labels.push(k);
     }
@@ -172,14 +183,15 @@ pub fn ill_conditioned_blobs(
     let mut data = base.inputs().as_slice().to_vec();
     for i in 0..n {
         for d in 0..dim {
-            let expo = if dim > 1 { d as f64 / (dim - 1) as f64 } else { 0.0 };
+            let expo = if dim > 1 {
+                d as f64 / (dim - 1) as f64
+            } else {
+                0.0
+            };
             data[i * dim + d] *= cond.powf(expo);
         }
     }
-    Dataset::new(
-        Tensor4::from_vec(n, c, h, w, data),
-        base.labels().to_vec(),
-    )
+    Dataset::new(Tensor4::from_vec(n, c, h, w, data), base.labels().to_vec())
 }
 
 /// Synthetic image classification: each class has a random template image;
@@ -194,7 +206,9 @@ pub fn synthetic_images(
 ) -> Dataset {
     let mut rng = MatrixRng::new(seed);
     let feat = c * hw * hw;
-    let templates: Vec<Vec<f64>> = (0..classes).map(|_| rng.uniform_vec(feat, -1.0, 1.0)).collect();
+    let templates: Vec<Vec<f64>> = (0..classes)
+        .map(|_| rng.uniform_vec(feat, -1.0, 1.0))
+        .collect();
     let n = classes * per_class;
     let mut data = Vec::with_capacity(n * feat);
     let mut labels = Vec::with_capacity(n);
@@ -295,10 +309,7 @@ mod tests {
         fb.sort_by(|x, y| x.partial_cmp(y).unwrap());
         assert_eq!(fa, fb);
         // Deterministic and actually shuffled.
-        assert_eq!(
-            s.inputs().as_slice(),
-            d.shuffled(42).inputs().as_slice()
-        );
+        assert_eq!(s.inputs().as_slice(), d.shuffled(42).inputs().as_slice());
         assert_ne!(s.inputs().as_slice(), d.inputs().as_slice());
     }
 
@@ -320,7 +331,9 @@ mod tests {
     fn ill_conditioning_raises_variance_ratio() {
         let base = gaussian_blobs(2, 6, 50, 0.5, 4);
         let ill = ill_conditioned_blobs(2, 6, 50, 0.5, 100.0, 4);
-        assert!(feature_variance_ratio(ill.inputs()) > 100.0 * feature_variance_ratio(base.inputs()));
+        assert!(
+            feature_variance_ratio(ill.inputs()) > 100.0 * feature_variance_ratio(base.inputs())
+        );
     }
 
     #[test]

@@ -110,17 +110,56 @@ mod tests {
 
     #[test]
     fn out_size_formulas() {
-        assert_eq!(ConvGeom { kernel: 3, stride: 1, pad: 1 }.out_size(8), 8);
-        assert_eq!(ConvGeom { kernel: 3, stride: 2, pad: 1 }.out_size(8), 4);
-        assert_eq!(ConvGeom { kernel: 1, stride: 1, pad: 0 }.out_size(5), 5);
-        assert_eq!(ConvGeom { kernel: 7, stride: 2, pad: 3 }.out_size(224), 112);
+        assert_eq!(
+            ConvGeom {
+                kernel: 3,
+                stride: 1,
+                pad: 1
+            }
+            .out_size(8),
+            8
+        );
+        assert_eq!(
+            ConvGeom {
+                kernel: 3,
+                stride: 2,
+                pad: 1
+            }
+            .out_size(8),
+            4
+        );
+        assert_eq!(
+            ConvGeom {
+                kernel: 1,
+                stride: 1,
+                pad: 0
+            }
+            .out_size(5),
+            5
+        );
+        assert_eq!(
+            ConvGeom {
+                kernel: 7,
+                stride: 2,
+                pad: 3
+            }
+            .out_size(224),
+            112
+        );
     }
 
     #[test]
     fn identity_kernel_extracts_pixels() {
         // 1x1 kernel, stride 1, no pad: im2col rows are just pixels.
         let x = Tensor4::from_vec(1, 2, 2, 2, (1..=8).map(f64::from).collect());
-        let m = im2col(&x, ConvGeom { kernel: 1, stride: 1, pad: 0 });
+        let m = im2col(
+            &x,
+            ConvGeom {
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+            },
+        );
         assert_eq!(m.shape(), (4, 2));
         // Row for (h=0, w=1): channels 0 and 1 at that position.
         assert_eq!(m.row(1), &[2.0, 6.0]);
@@ -129,7 +168,14 @@ mod tests {
     #[test]
     fn padding_zero_fills() {
         let x = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
-        let m = im2col(&x, ConvGeom { kernel: 3, stride: 1, pad: 1 });
+        let m = im2col(
+            &x,
+            ConvGeom {
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
+        );
         assert_eq!(m.shape(), (4, 9));
         // Output (0,0): receptive field has top-left padding zeros; centre is 1.
         let r = m.row(0);
@@ -143,7 +189,11 @@ mod tests {
         // <im2col(x), y> == <x, col2im(y)> for random x, y (adjoint test).
         use spdkfac_tensor::rng::MatrixRng;
         let mut rng = MatrixRng::new(3);
-        let geom = ConvGeom { kernel: 3, stride: 2, pad: 1 };
+        let geom = ConvGeom {
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
         let (n, c, h, w) = (2, 3, 5, 5);
         let x = Tensor4::from_vec(n, c, h, w, rng.uniform_vec(n * c * h * w, -1.0, 1.0));
         let fx = im2col(&x, geom);
@@ -162,13 +212,23 @@ mod tests {
             .zip(aty.as_slice().iter())
             .map(|(a, b)| a * b)
             .sum();
-        assert!((lhs - rhs).abs() < 1e-10, "adjoint mismatch: {lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-10,
+            "adjoint mismatch: {lhs} vs {rhs}"
+        );
     }
 
     #[test]
     fn multi_sample_rows_are_grouped_by_sample() {
         let x = Tensor4::from_vec(2, 1, 1, 2, vec![1.0, 2.0, 3.0, 4.0]);
-        let m = im2col(&x, ConvGeom { kernel: 1, stride: 1, pad: 0 });
+        let m = im2col(
+            &x,
+            ConvGeom {
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+            },
+        );
         assert_eq!(m.shape(), (4, 1));
         assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
     }

@@ -90,7 +90,10 @@ impl Layer for LeakyReLU {
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
-        let mask = self.mask.take().expect("LeakyReLU::backward before forward");
+        let mask = self
+            .mask
+            .take()
+            .expect("LeakyReLU::backward before forward");
         let shape = self.shape.take().expect("missing shape");
         assert_eq!(grad_out.shape(), shape, "leaky_relu: grad shape mismatch");
         let data: Vec<f64> = grad_out

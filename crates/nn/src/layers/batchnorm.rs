@@ -48,7 +48,7 @@ impl BatchNorm2d {
             running_mean: vec![0.0; channels],
             running_var: vec![1.0; channels],
             training: true,
-        cache: None,
+            cache: None,
         }
     }
 
@@ -81,7 +81,7 @@ impl Layer for BatchNorm2d {
         let mut out = Tensor4::zeros(n, c, h, w);
         let mut x_hat = Tensor4::zeros(n, c, h, w);
         let mut inv_std = vec![0.0; c];
-        for ch in 0..c {
+        for (ch, istd_slot) in inv_std.iter_mut().enumerate() {
             let (mean, var) = if self.training {
                 let mut mean = 0.0;
                 for s in 0..n {
@@ -110,7 +110,7 @@ impl Layer for BatchNorm2d {
                 (self.running_mean[ch], self.running_var[ch])
             };
             let istd = 1.0 / (var + self.eps).sqrt();
-            inv_std[ch] = istd;
+            *istd_slot = istd;
             let g = self.gamma.value[(ch, 0)];
             let b = self.beta.value[(ch, 0)];
             for s in 0..n {
@@ -132,9 +132,16 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
-        let cache = self.cache.take().expect("BatchNorm2d::backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("BatchNorm2d::backward before forward");
         let (n, c, h, w) = cache.shape;
-        assert_eq!(grad_out.shape(), (n, c, h, w), "batchnorm: grad shape mismatch");
+        assert_eq!(
+            grad_out.shape(),
+            (n, c, h, w),
+            "batchnorm: grad shape mismatch"
+        );
         let count = (n * h * w) as f64;
         let mut dx = Tensor4::zeros(n, c, h, w);
         let mut dgamma = Matrix::zeros(c, 1);

@@ -59,7 +59,11 @@ impl Conv2d {
             name: format!("conv_{c_in}x{c_out}k{kernel}s{stride}"),
             c_in,
             c_out,
-            geom: ConvGeom { kernel, stride, pad },
+            geom: ConvGeom {
+                kernel,
+                stride,
+                pad,
+            },
             weight: Param::new(w),
             bias: bias.then(|| Param::new(Matrix::zeros(c_out, 1))),
             cached_patches: None,
@@ -94,7 +98,11 @@ impl Layer for Conv2d {
 
     fn forward(&mut self, x: &Tensor4, capture: bool) -> Tensor4 {
         let (n, c, h, w) = x.shape();
-        assert_eq!(c, self.c_in, "{}: expected {} channels, got {c}", self.name, self.c_in);
+        assert_eq!(
+            c, self.c_in,
+            "{}: expected {} channels, got {c}",
+            self.name, self.c_in
+        );
         let oh = self.geom.out_size(h);
         let ow = self.geom.out_size(w);
         let patches = im2col(x, self.geom); // (N·T) × (C_in·k²)
@@ -104,8 +112,8 @@ impl Layer for Conv2d {
             for yo in 0..oh {
                 for xo in 0..ow {
                     let row = out_mat.row((s * oh + yo) * ow + xo);
-                    for co in 0..self.c_out {
-                        let mut v = row[co];
+                    for (co, &rv) in row.iter().enumerate() {
+                        let mut v = rv;
                         if let Some(b) = &self.bias {
                             v += b.value[(co, 0)];
                         }
@@ -191,7 +199,11 @@ impl Layer for Conv2d {
     fn take_capture(&mut self) -> Option<KfacCapture> {
         let (g_rows, batch) = self.pending_g.take()?;
         let a_rows = self.pending_a.take()?;
-        Some(KfacCapture { a_rows, g_rows, batch })
+        Some(KfacCapture {
+            a_rows,
+            g_rows,
+            batch,
+        })
     }
 
     fn take_a_stat(&mut self) -> Option<Matrix> {
@@ -246,12 +258,7 @@ mod tests {
         let mut conv = Conv2d::new(2, 3, 3, 1, 1, true, 3);
         let x = Tensor4::zeros(2, 2, 4, 4);
         let y = conv.forward(&x, true);
-        let dx = conv.backward(&Tensor4::zeros(
-            y.n(),
-            y.c(),
-            y.h(),
-            y.w(),
-        ));
+        let dx = conv.backward(&Tensor4::zeros(y.n(), y.c(), y.h(), y.w()));
         assert_eq!(dx.shape(), (2, 2, 4, 4));
         let cap = conv.take_capture().unwrap();
         assert_eq!(cap.a_rows.shape(), (2 * 16, 18)); // N·T × C_in·k²

@@ -27,7 +27,10 @@ impl Dropout {
     ///
     /// Panics if `p` is outside `[0, 1)`.
     pub fn new(p: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability {p} out of range");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability {p} out of range"
+        );
         Dropout {
             p,
             training: true,
@@ -155,7 +158,10 @@ mod tests {
         let x = Tensor4::from_vec(1, 1, 1, 32, vec![1.0; 32]);
         let mut a = Dropout::new(0.4, 9);
         let mut b = Dropout::new(0.4, 9);
-        assert_eq!(a.forward(&x, false).as_slice(), b.forward(&x, false).as_slice());
+        assert_eq!(
+            a.forward(&x, false).as_slice(),
+            b.forward(&x, false).as_slice()
+        );
     }
 
     #[test]

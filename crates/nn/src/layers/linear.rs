@@ -150,7 +150,11 @@ impl Layer for Linear {
     fn take_capture(&mut self) -> Option<KfacCapture> {
         let (g_rows, batch) = self.pending_g.take()?;
         let a_rows = self.pending_a.take()?;
-        Some(KfacCapture { a_rows, g_rows, batch })
+        Some(KfacCapture {
+            a_rows,
+            g_rows,
+            batch,
+        })
     }
 
     fn take_a_stat(&mut self) -> Option<Matrix> {

@@ -18,7 +18,11 @@ impl MaxPool2d {
     /// Creates a max-pool with `kernel`-sized windows and stride `stride`.
     pub fn new(kernel: usize, stride: usize) -> Self {
         MaxPool2d {
-            geom: ConvGeom { kernel, stride, pad: 0 },
+            geom: ConvGeom {
+                kernel,
+                stride,
+                pad: 0,
+            },
             argmax: None,
             in_shape: None,
             out_hw: None,
@@ -71,10 +75,17 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
-        let argmax = self.argmax.take().expect("MaxPool2d::backward before forward");
+        let argmax = self
+            .argmax
+            .take()
+            .expect("MaxPool2d::backward before forward");
         let (n, c, h, w) = self.in_shape.take().expect("missing shape");
         let (oh, ow) = self.out_hw.take().expect("missing out size");
-        assert_eq!(grad_out.shape(), (n, c, oh, ow), "maxpool: grad shape mismatch");
+        assert_eq!(
+            grad_out.shape(),
+            (n, c, oh, ow),
+            "maxpool: grad shape mismatch"
+        );
         let mut dx = Tensor4::zeros(n, c, h, w);
         for (oi, &ii) in argmax.iter().enumerate() {
             dx.as_mut_slice()[ii] += grad_out.as_slice()[oi];
@@ -111,7 +122,11 @@ impl AvgPool2d {
     /// Creates an average-pool with `kernel`-sized windows and stride `stride`.
     pub fn new(kernel: usize, stride: usize) -> Self {
         AvgPool2d {
-            geom: ConvGeom { kernel, stride, pad: 0 },
+            geom: ConvGeom {
+                kernel,
+                stride,
+                pad: 0,
+            },
             in_shape: None,
             out_hw: None,
         }
@@ -154,9 +169,16 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
-        let (n, c, h, w) = self.in_shape.take().expect("AvgPool2d::backward before forward");
+        let (n, c, h, w) = self
+            .in_shape
+            .take()
+            .expect("AvgPool2d::backward before forward");
         let (oh, ow) = self.out_hw.take().expect("missing out size");
-        assert_eq!(grad_out.shape(), (n, c, oh, ow), "avgpool: grad shape mismatch");
+        assert_eq!(
+            grad_out.shape(),
+            (n, c, oh, ow),
+            "avgpool: grad shape mismatch"
+        );
         let k2 = (self.geom.kernel * self.geom.kernel) as f64;
         let mut dx = Tensor4::zeros(n, c, h, w);
         for s in 0..n {

@@ -100,7 +100,11 @@ impl Layer for Residual {
             Some(s) => s.backward(grad_out),
             None => grad_out.clone(),
         };
-        assert_eq!(dx.shape(), dskip.shape(), "residual: gradient shape mismatch");
+        assert_eq!(
+            dx.shape(),
+            dskip.shape(),
+            "residual: gradient shape mismatch"
+        );
         for (a, b) in dx.as_mut_slice().iter_mut().zip(dskip.as_slice()) {
             *a += b;
         }
@@ -212,8 +216,12 @@ mod tests {
 
     #[test]
     fn projection_shortcut_handles_shape_change() {
-        let body = Sequential::new(vec![Box::new(Conv2d::new(2, 4, 3, 2, 1, false, 11)) as Box<dyn Layer>]);
-        let shortcut = Sequential::new(vec![Box::new(Conv2d::new(2, 4, 1, 2, 0, false, 12)) as Box<dyn Layer>]);
+        let body = Sequential::new(vec![
+            Box::new(Conv2d::new(2, 4, 3, 2, 1, false, 11)) as Box<dyn Layer>
+        ]);
+        let shortcut = Sequential::new(vec![
+            Box::new(Conv2d::new(2, 4, 1, 2, 0, false, 12)) as Box<dyn Layer>
+        ]);
         let mut block = Residual::with_shortcut(body, shortcut);
         let x = Tensor4::zeros(2, 2, 8, 8);
         let y = block.forward(&x, false);

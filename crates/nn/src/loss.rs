@@ -12,7 +12,11 @@ use crate::tensor4::Tensor4;
 /// Panics if shapes disagree or a label is out of range.
 pub fn softmax_cross_entropy(logits: &Tensor4, labels: &[usize]) -> (f64, Tensor4) {
     let (n, k, h, w) = logits.shape();
-    assert_eq!((h, w), (1, 1), "softmax_cross_entropy expects (N, K, 1, 1) logits");
+    assert_eq!(
+        (h, w),
+        (1, 1),
+        "softmax_cross_entropy expects (N, K, 1, 1) logits"
+    );
     assert_eq!(labels.len(), n, "label count must match batch size");
     let mut grad = Tensor4::zeros(n, k, 1, 1);
     let mut loss = 0.0;
@@ -24,8 +28,8 @@ pub fn softmax_cross_entropy(logits: &Tensor4, labels: &[usize]) -> (f64, Tensor
         let sum_exp: f64 = row.iter().map(|&v| (v - max).exp()).sum();
         let log_z = max + sum_exp.ln();
         loss += log_z - row[labels[s]];
-        for c in 0..k {
-            let p = (row[c] - log_z).exp();
+        for (c, &logit) in row.iter().enumerate() {
+            let p = (logit - log_z).exp();
             let y = if c == labels[s] { 1.0 } else { 0.0 };
             *grad.at_mut(s, c, 0, 0) = (p - y) / n as f64;
         }
@@ -71,7 +75,10 @@ pub fn softmax_cross_entropy_smoothed(
     labels: &[usize],
     eps: f64,
 ) -> (f64, Tensor4) {
-    assert!((0.0..1.0).contains(&eps), "smoothing eps {eps} out of range");
+    assert!(
+        (0.0..1.0).contains(&eps),
+        "smoothing eps {eps} out of range"
+    );
     let (n, k, h, w) = logits.shape();
     assert_eq!((h, w), (1, 1), "expects (N, K, 1, 1) logits");
     assert_eq!(labels.len(), n, "label count must match batch size");
@@ -79,15 +86,15 @@ pub fn softmax_cross_entropy_smoothed(
     let on = 1.0 - eps + off;
     let mut grad = Tensor4::zeros(n, k, 1, 1);
     let mut loss = 0.0;
-    for s in 0..n {
+    for (s, &label) in labels.iter().enumerate() {
         let row = logits.sample(s);
-        assert!(labels[s] < k, "label {} out of range {k}", labels[s]);
+        assert!(label < k, "label {label} out of range {k}");
         let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let sum_exp: f64 = row.iter().map(|&v| (v - max).exp()).sum();
         let log_z = max + sum_exp.ln();
-        for c in 0..k {
-            let target = if c == labels[s] { on } else { off };
-            let logp = row[c] - log_z;
+        for (c, &logit) in row.iter().enumerate() {
+            let target = if c == label { on } else { off };
+            let logp = logit - log_z;
             loss -= target * logp;
             *grad.at_mut(s, c, 0, 0) = (logp.exp() - target) / n as f64;
         }
@@ -104,12 +111,12 @@ pub fn accuracy(logits: &Tensor4, labels: &[usize]) -> f64 {
     let (n, k, _, _) = logits.shape();
     assert_eq!(labels.len(), n, "label count must match batch size");
     let mut correct = 0usize;
-    for s in 0..n {
+    for (s, &label) in labels.iter().enumerate() {
         let row = logits.sample(s);
         let pred = (0..k)
             .max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
             .unwrap();
-        if pred == labels[s] {
+        if pred == label {
             correct += 1;
         }
     }

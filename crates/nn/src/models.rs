@@ -55,7 +55,12 @@ pub fn small_cnn(c_in: usize, hw: usize, classes: usize, seed: u64) -> Sequentia
         Box::new(ReLU::new()),
         Box::new(AvgPool2d::new(2, 2)),
         Box::new(Flatten::new()),
-        Box::new(Linear::new(c2 * final_hw * final_hw, classes, true, seed + 2)),
+        Box::new(Linear::new(
+            c2 * final_hw * final_hw,
+            classes,
+            true,
+            seed + 2,
+        )),
     ])
 }
 
@@ -104,7 +109,12 @@ pub fn tiny_resnet(c_in: usize, hw: usize, classes: usize, seed: u64) -> Sequent
         Box::new(ReLU::new()),
         Box::new(AvgPool2d::new(2, 2)),
         Box::new(Flatten::new()),
-        Box::new(Linear::new(width * final_hw * final_hw, classes, true, seed + 30)),
+        Box::new(Linear::new(
+            width * final_hw * final_hw,
+            classes,
+            true,
+            seed + 30,
+        )),
     ])
 }
 

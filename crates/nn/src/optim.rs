@@ -72,7 +72,11 @@ impl Sgd {
             "Sgd::step: parameter count changed"
         );
         for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
-            assert_eq!(p.value.shape(), v.shape(), "Sgd::step: parameter shape changed");
+            assert_eq!(
+                p.value.shape(),
+                v.shape(),
+                "Sgd::step: parameter shape changed"
+            );
             // v = μ v + (g + λ w)
             v.scale(self.momentum);
             v.axpy(1.0, &p.grad);

@@ -103,7 +103,10 @@ impl Sequential {
 
     /// Mutable parameter views in layer order.
     pub fn parameters_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Total scalar parameter count.
@@ -155,7 +158,11 @@ impl Sequential {
     pub fn copy_params_from(&mut self, other: &Sequential) {
         let src = other.parameters();
         let mut dst = self.parameters_mut();
-        assert_eq!(src.len(), dst.len(), "copy_params_from: param count mismatch");
+        assert_eq!(
+            src.len(),
+            dst.len(),
+            "copy_params_from: param count mismatch"
+        );
         for (d, s) in dst.iter_mut().zip(src.iter()) {
             assert_eq!(d.value.shape(), s.value.shape(), "param shape mismatch");
             d.value = s.value.clone();

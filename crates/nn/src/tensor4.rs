@@ -42,7 +42,11 @@ impl Tensor4 {
     ///
     /// Panics if `data.len() != n*c*h*w`.
     pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), n * c * h * w, "Tensor4::from_vec: length mismatch");
+        assert_eq!(
+            data.len(),
+            n * c * h * w,
+            "Tensor4::from_vec: length mismatch"
+        );
         Tensor4 { n, c, h, w, data }
     }
 

@@ -24,10 +24,8 @@ fn check_param_grads_ce(net: &mut Sequential, x: &Tensor4, labels: &[usize]) {
         .map(|p| p.grad.as_slice().to_vec())
         .collect();
 
-    let n_params = net.parameters().len();
-    for pi in 0..n_params {
-        let numel = net.parameters()[pi].numel();
-        for ei in 0..numel {
+    for (pi, param_grads) in analytic.iter().enumerate() {
+        for (ei, &an) in param_grads.iter().enumerate() {
             let orig = net.parameters()[pi].value.as_slice()[ei];
 
             net.parameters_mut()[pi].value.as_mut_slice()[ei] = orig + EPS;
@@ -37,7 +35,6 @@ fn check_param_grads_ce(net: &mut Sequential, x: &Tensor4, labels: &[usize]) {
             net.parameters_mut()[pi].value.as_mut_slice()[ei] = orig;
 
             let fd = (lp - lm) / (2.0 * EPS);
-            let an = analytic[pi][ei];
             assert!(
                 (fd - an).abs() < TOL,
                 "param {pi} elem {ei}: finite-diff {fd} vs analytic {an}"
@@ -155,8 +152,8 @@ fn mse_path_grads() {
         .iter()
         .map(|p| p.grad.as_slice().to_vec())
         .collect();
-    for pi in 0..net.parameters().len() {
-        for ei in 0..net.parameters()[pi].numel() {
+    for (pi, param_grads) in analytic.iter().enumerate() {
+        for (ei, &an) in param_grads.iter().enumerate() {
             let orig = net.parameters()[pi].value.as_slice()[ei];
             net.parameters_mut()[pi].value.as_mut_slice()[ei] = orig + EPS;
             let (lp, _) = mse_loss(&net.forward(&x, false), &y);
@@ -165,9 +162,8 @@ fn mse_path_grads() {
             net.parameters_mut()[pi].value.as_mut_slice()[ei] = orig;
             let fd = (lp - lm) / (2.0 * EPS);
             assert!(
-                (fd - analytic[pi][ei]).abs() < TOL,
-                "mse param {pi} elem {ei}: {fd} vs {}",
-                analytic[pi][ei]
+                (fd - an).abs() < TOL,
+                "mse param {pi} elem {ei}: {fd} vs {an}"
             );
         }
     }

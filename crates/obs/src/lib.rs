@@ -1,0 +1,55 @@
+//! # spdkfac-obs
+//!
+//! Dependency-free instrumentation for the SPD-KFAC reproduction. The
+//! paper's entire argument is *timeline arithmetic* — SPD-KFAC wins because
+//! factor communication hides behind FF&BP and inversions are balanced
+//! (Fig. 1/4/9) — so the real trainers must be able to *show* their
+//! timeline, not just the simulator. This crate provides:
+//!
+//! - [`Span`] / [`Phase`]: one timeline slice, tagged with the paper's task
+//!   categories (mirroring `spdkfac_sim::graph::Tag`). The simulator and the
+//!   real trainers share this type, so a measured and a simulated timeline
+//!   are directly comparable.
+//! - [`Recorder`]: lock-cheap span recording. Each *track* (one per rank
+//!   compute stream, one per rank communication thread) owns a private ring
+//!   buffer behind its own mutex, so worker threads never contend. Spans are
+//!   opened with RAII [`SpanGuard`]s against a shared monotonic epoch.
+//! - [`MetricsRegistry`]: counters, gauges and fixed-bucket histograms with
+//!   a typed [`MetricsSnapshot`] API.
+//! - Exporters: [`chrome_trace`] (Chrome Tracing / Perfetto JSON, the one
+//!   serializer used by both `sim::trace` and the real trainers),
+//!   [`summary::render_summary`] (one-screen human table), and CSV rows
+//!   ([`IterationBreakdown::csv_row`]) compatible with `bench::experiments`.
+//! - [`IterationBreakdown`]: the Fig. 2 / Fig. 9 per-category attribution,
+//!   computable from a simulated schedule (`spdkfac_sim::report`) or from a
+//!   live [`Recorder`] via [`IterationBreakdown::from_recorder`].
+//!
+//! # Example
+//!
+//! ```
+//! use spdkfac_obs::{Phase, Recorder};
+//!
+//! let rec = Recorder::new(2); // track 0 = compute, track 1 = comm
+//! {
+//!     let _g = rec.span(0, Phase::FfBp);
+//!     // ... forward + backward ...
+//! }
+//! let spans = rec.spans();
+//! assert_eq!(spans.len(), 1);
+//! assert_eq!(spans[0].phase, Phase::FfBp);
+//! ```
+
+pub mod breakdown;
+pub mod json;
+pub mod metrics;
+pub mod phase;
+pub mod recorder;
+pub mod summary;
+pub mod trace;
+
+pub use breakdown::{attribute, IterationBreakdown};
+pub use json::{escape_json, escape_json_into, validate_json};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use phase::Phase;
+pub use recorder::{Recorder, Span, SpanGuard};
+pub use trace::{chrome_trace, TrackKind, TrackLayout};

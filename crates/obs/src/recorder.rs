@@ -1,0 +1,321 @@
+//! Lock-cheap span recording with per-track ring buffers.
+
+use crate::metrics::MetricsRegistry;
+use crate::phase::Phase;
+use std::borrow::Cow;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One recorded timeline slice, in seconds since the recorder's epoch.
+///
+/// This is the *shared* span type: the simulator converts its `TaskSpan`s
+/// into it for export, and the real trainers record it directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// The row this span occupies (a rank's compute stream, a rank's
+    /// communication thread, or a simulated resource).
+    pub track: usize,
+    /// Task category.
+    pub phase: Phase,
+    /// Slice name for the trace; empty means "use the phase name".
+    pub label: Cow<'static, str>,
+    /// Start time (seconds since epoch).
+    pub start: f64,
+    /// End time (seconds since epoch).
+    pub end: f64,
+}
+
+impl Span {
+    /// Slice duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// The name exporters should show.
+    pub fn display_name(&self) -> &str {
+        if self.label.is_empty() {
+            self.phase.name()
+        } else {
+            &self.label
+        }
+    }
+}
+
+/// A fixed-capacity span ring: the newest spans win, the drop count is kept.
+#[derive(Debug)]
+struct Lane {
+    spans: Vec<Span>,
+    head: usize,
+    dropped: u64,
+    capacity: usize,
+}
+
+impl Lane {
+    fn new(capacity: usize) -> Self {
+        Lane {
+            spans: Vec::new(),
+            head: 0,
+            dropped: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn push(&mut self, span: Span) {
+        if self.spans.len() < self.capacity {
+            self.spans.push(span);
+        } else {
+            self.spans[self.head] = span;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Spans in recording order.
+    fn ordered(&self) -> Vec<Span> {
+        let mut out = Vec::with_capacity(self.spans.len());
+        out.extend_from_slice(&self.spans[self.head..]);
+        out.extend_from_slice(&self.spans[..self.head]);
+        out
+    }
+}
+
+/// Span recorder shared by every instrumented thread of a run.
+///
+/// Each track's ring buffer sits behind its own mutex; with the one-thread-
+/// per-track discipline the trainers use (track `r` = rank `r`'s compute
+/// stream, track `world + r` = rank `r`'s communication thread) those
+/// mutexes are never contended, so recording costs two `Instant::now()`
+/// calls and an uncontended lock.
+#[derive(Debug)]
+pub struct Recorder {
+    epoch: Instant,
+    lanes: Vec<Mutex<Lane>>,
+    metrics: MetricsRegistry,
+}
+
+/// Default per-track ring capacity (spans).
+pub const DEFAULT_TRACK_CAPACITY: usize = 65_536;
+
+impl Recorder {
+    /// Creates a recorder with `tracks` rows and the default ring capacity.
+    pub fn new(tracks: usize) -> Self {
+        Self::with_capacity(tracks, DEFAULT_TRACK_CAPACITY)
+    }
+
+    /// Creates a recorder with `tracks` rows of `capacity` spans each.
+    pub fn with_capacity(tracks: usize, capacity: usize) -> Self {
+        Recorder {
+            epoch: Instant::now(),
+            lanes: (0..tracks)
+                .map(|_| Mutex::new(Lane::new(capacity)))
+                .collect(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Number of tracks.
+    pub fn num_tracks(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Seconds elapsed since the recorder's epoch (monotonic).
+    pub fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// The recorder's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Opens a phase span on `track`; the span is recorded when the guard
+    /// drops (or [`SpanGuard::finish`] is called).
+    pub fn span(&self, track: usize, phase: Phase) -> SpanGuard<'_> {
+        self.span_labeled(track, phase, Cow::Borrowed(""))
+    }
+
+    /// Opens a named span on `track`.
+    pub fn span_labeled(
+        &self,
+        track: usize,
+        phase: Phase,
+        label: impl Into<Cow<'static, str>>,
+    ) -> SpanGuard<'_> {
+        SpanGuard {
+            recorder: self,
+            track,
+            phase,
+            label: Some(label.into()),
+            start: self.now(),
+        }
+    }
+
+    /// Records a span measured by the caller (e.g. the collectives'
+    /// communication threads time operations themselves).
+    ///
+    /// Out-of-range tracks and non-positive durations are dropped silently —
+    /// instrumentation must never fail the instrumented code.
+    pub fn record(&self, span: Span) {
+        if span.end <= span.start {
+            return;
+        }
+        if let Some(lane) = self.lanes.get(span.track) {
+            lane.lock().expect("recorder lane poisoned").push(span);
+        }
+    }
+
+    /// All recorded spans, grouped by track and in per-track recording
+    /// order; dropped-by-ring-overflow spans are simply absent.
+    pub fn spans(&self) -> Vec<Span> {
+        let mut out = Vec::new();
+        for lane in &self.lanes {
+            out.extend(lane.lock().expect("recorder lane poisoned").ordered());
+        }
+        out
+    }
+
+    /// Total spans dropped by ring overflow, across all tracks.
+    pub fn dropped(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|l| l.lock().expect("recorder lane poisoned").dropped)
+            .sum()
+    }
+
+    /// Clears all recorded spans (ring contents and drop counters), keeping
+    /// the epoch and metrics; use between measured iterations.
+    pub fn clear(&self) {
+        for lane in &self.lanes {
+            let mut l = lane.lock().expect("recorder lane poisoned");
+            l.spans.clear();
+            l.head = 0;
+            l.dropped = 0;
+        }
+    }
+}
+
+/// RAII timer: records a [`Span`] from construction to drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    recorder: &'a Recorder,
+    track: usize,
+    phase: Phase,
+    label: Option<Cow<'static, str>>,
+    start: f64,
+}
+
+impl SpanGuard<'_> {
+    /// Ends the span now (equivalent to dropping the guard).
+    pub fn finish(self) {}
+
+    /// Start time of the span (seconds since the recorder epoch).
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let label = self.label.take().unwrap_or(Cow::Borrowed(""));
+        self.recorder.record(Span {
+            track: self.track,
+            phase: self.phase,
+            label,
+            start: self.start,
+            end: self.recorder.now(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_records_on_drop() {
+        let rec = Recorder::new(1);
+        {
+            let _g = rec.span(0, Phase::FfBp);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].duration() >= 0.001);
+        assert_eq!(spans[0].display_name(), "FF&BP");
+    }
+
+    #[test]
+    fn labeled_spans_keep_their_name() {
+        let rec = Recorder::new(1);
+        rec.span_labeled(0, Phase::FactorComm, "bucket0").finish();
+        assert_eq!(rec.spans()[0].display_name(), "bucket0");
+    }
+
+    #[test]
+    fn out_of_range_track_is_dropped() {
+        let rec = Recorder::new(1);
+        rec.span(7, Phase::Update).finish();
+        assert!(rec.spans().is_empty());
+    }
+
+    #[test]
+    fn ring_overflow_keeps_newest() {
+        let rec = Recorder::with_capacity(1, 4);
+        for i in 0..10 {
+            rec.record(Span {
+                track: 0,
+                phase: Phase::Update,
+                label: Cow::Borrowed(""),
+                start: i as f64,
+                end: i as f64 + 0.5,
+            });
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(rec.dropped(), 6);
+        // Newest four, still in order.
+        let starts: Vec<f64> = spans.iter().map(|s| s.start).collect();
+        assert_eq!(starts, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn zero_length_spans_are_dropped() {
+        let rec = Recorder::new(1);
+        rec.record(Span {
+            track: 0,
+            phase: Phase::Update,
+            label: Cow::Borrowed(""),
+            start: 1.0,
+            end: 1.0,
+        });
+        assert!(rec.spans().is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let rec = Recorder::with_capacity(2, 2);
+        for _ in 0..5 {
+            rec.span(0, Phase::FfBp).finish();
+        }
+        assert!(rec.dropped() > 0 || !rec.spans().is_empty());
+        rec.clear();
+        assert_eq!(rec.spans().len(), 0);
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn concurrent_tracks_do_not_interfere() {
+        let rec = Recorder::new(4);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let rec = &rec;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        rec.span(t, Phase::FactorComp).finish();
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.spans().len(), 400);
+    }
+}

@@ -1,0 +1,201 @@
+//! One-screen human-readable summary of a recorded run.
+
+use crate::breakdown::{attribute, IterationBreakdown};
+use crate::metrics::MetricsSnapshot;
+use crate::phase::Phase;
+use crate::recorder::Recorder;
+
+/// Union length of the given `(start, end)` intervals.
+fn union_len(mut iv: Vec<(f64, f64)>) -> f64 {
+    iv.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    let mut total = 0.0;
+    let mut cur: Option<(f64, f64)> = None;
+    for (s, e) in iv {
+        match cur {
+            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                cur = Some((s, e));
+                let _ = cs;
+            }
+            None => cur = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Renders the per-phase totals, the communication overlap ratio, and a
+/// p50/p95/p99 latency table for every histogram the recorder's metrics
+/// registry holds (the collectives register one per op kind).
+///
+/// `num_compute` follows the [`attribute`] convention: tracks
+/// `0..num_compute` are compute streams, the rest communication.
+pub fn render_summary(rec: &Recorder, num_compute: usize) -> String {
+    let spans = rec.spans();
+    let breakdown = attribute(&spans, num_compute);
+    let snapshot = rec.metrics().snapshot();
+    render_summary_parts(
+        &breakdown,
+        &spans_comm_busy(&spans),
+        &snapshot,
+        rec.dropped(),
+    )
+}
+
+/// Busy (union) seconds of communication activity, per the whole run —
+/// the denominator of the overlap ratio.
+fn spans_comm_busy(spans: &[crate::recorder::Span]) -> f64 {
+    union_len(
+        spans
+            .iter()
+            .filter(|s| s.phase.is_comm() && s.end > s.start)
+            .map(|s| (s.start, s.end))
+            .collect(),
+    )
+}
+
+fn render_summary_parts(
+    breakdown: &IterationBreakdown,
+    comm_busy: &f64,
+    snapshot: &MetricsSnapshot,
+    dropped: u64,
+) -> String {
+    let total = breakdown.total();
+    let mut out = String::new();
+    out.push_str("== phase breakdown (non-overlapped attribution) ==\n");
+    out.push_str(&format!("{:<14} {:>12} {:>8}\n", "phase", "time", "share"));
+    for p in Phase::ALL {
+        let v = breakdown.get(p);
+        let share = if total > 0.0 { 100.0 * v / total } else { 0.0 };
+        out.push_str(&format!(
+            "{:<14} {:>12} {:>7.1}%\n",
+            p.name(),
+            fmt_secs(v),
+            share
+        ));
+    }
+    let idle_share = if total > 0.0 {
+        100.0 * breakdown.idle / total
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>7.1}%\n",
+        "idle",
+        fmt_secs(breakdown.idle),
+        idle_share
+    ));
+    out.push_str(&format!("{:<14} {:>12}\n", "total", fmt_secs(total)));
+
+    let exposed = breakdown.exposed_comm();
+    let overlap = if *comm_busy > 0.0 {
+        (1.0 - exposed / comm_busy).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "comm: busy {} exposed {} overlap {:.1}%\n",
+        fmt_secs(*comm_busy),
+        fmt_secs(exposed),
+        100.0 * overlap
+    ));
+    if dropped > 0 {
+        out.push_str(&format!(
+            "warning: {dropped} spans dropped (ring overflow)\n"
+        ));
+    }
+
+    if !snapshot.histograms.is_empty() {
+        out.push_str("\n== latency histograms ==\n");
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "name", "count", "mean", "p50", "p95", "p99"
+        ));
+        for (name, h) in &snapshot.histograms {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                name,
+                h.count,
+                fmt_secs(h.mean()),
+                fmt_secs(h.p50()),
+                fmt_secs(h.p95()),
+                fmt_secs(h.p99())
+            ));
+        }
+    }
+    if !snapshot.counters.is_empty() {
+        out.push_str("\n== counters ==\n");
+        for (name, v) in &snapshot.counters {
+            out.push_str(&format!("{name:<28} {v:>12}\n"));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("\n== gauges ==\n");
+        for (name, v) in &snapshot.gauges {
+            out.push_str(&format!("{name:<28} {v:>12.4}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Span;
+    use std::borrow::Cow;
+
+    #[test]
+    fn union_len_merges() {
+        assert_eq!(union_len(vec![(0.0, 1.0), (0.5, 2.0), (3.0, 4.0)]), 3.0);
+        assert_eq!(union_len(vec![]), 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_every_phase_and_overlap() {
+        let rec = Recorder::new(2);
+        rec.record(Span {
+            track: 0,
+            phase: Phase::FfBp,
+            label: Cow::Borrowed(""),
+            start: 0.0,
+            end: 1.0,
+        });
+        rec.record(Span {
+            track: 1,
+            phase: Phase::FactorComm,
+            label: Cow::Borrowed(""),
+            start: 0.0,
+            end: 0.5,
+        });
+        rec.metrics().histogram("coll/allreduce/secs").observe(0.5);
+        rec.metrics().counter("coll/allreduce/ops").inc();
+        let s = render_summary(&rec, 1);
+        for p in Phase::ALL {
+            assert!(s.contains(p.name()), "missing {}", p.name());
+        }
+        // FactorComm fully hidden behind FfBp → 100% overlap.
+        assert!(s.contains("overlap 100.0%"), "summary was:\n{s}");
+        assert!(s.contains("coll/allreduce/secs"));
+        assert!(s.contains("coll/allreduce/ops"));
+    }
+
+    #[test]
+    fn fmt_secs_scales() {
+        assert_eq!(fmt_secs(2.5), "2.500s");
+        assert_eq!(fmt_secs(0.0025), "2.500ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.5us");
+    }
+}

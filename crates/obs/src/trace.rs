@@ -1,0 +1,305 @@
+//! The one Chrome-trace serializer.
+//!
+//! Both the simulator (`spdkfac_sim::trace::to_chrome_trace`) and the real
+//! trainers (`spdkfac_core::distributed::train_with_recorder` +
+//! [`TrackLayout::trainer`]) funnel their spans through [`chrome_trace`],
+//! so the JSON shape — metadata `thread_name` rows, `"X"` complete slices
+//! with microsecond `ts`/`dur` — exists in exactly one place. Load the
+//! output at <https://ui.perfetto.dev> or `chrome://tracing`.
+
+use crate::json::escape_json_into;
+use crate::phase::Phase;
+use crate::recorder::Span;
+
+/// What a track represents; controls naming and grouping only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackKind {
+    /// A rank's compute stream.
+    Compute,
+    /// A rank's communication thread.
+    Comm,
+    /// A simulated shared network row or per-root link.
+    Network,
+}
+
+/// Names the rows of a trace: track id → (name, kind), plus whether to
+/// synthesize one aggregate row per [`Phase`] category.
+#[derive(Debug, Clone, Default)]
+pub struct TrackLayout {
+    names: Vec<String>,
+    kinds: Vec<TrackKind>,
+    phase_rows: bool,
+}
+
+impl TrackLayout {
+    /// An empty layout; add rows with [`TrackLayout::push`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a track, returning its id.
+    pub fn push(&mut self, name: impl Into<String>, kind: TrackKind) -> usize {
+        self.names.push(name.into());
+        self.kinds.push(kind);
+        self.names.len() - 1
+    }
+
+    /// The simulator's layout: `gpu0..` below `network_resource`, `network`
+    /// at it, `link0..` above it, covering tracks `0..=max_track`.
+    pub fn simulator(network_resource: usize, max_track: usize) -> Self {
+        let mut layout = TrackLayout::new();
+        for res in 0..=max_track.max(network_resource) {
+            if res < network_resource {
+                layout.push(format!("gpu{res}"), TrackKind::Compute);
+            } else if res == network_resource {
+                layout.push("network", TrackKind::Network);
+            } else {
+                layout.push(
+                    format!("link{}", res - network_resource - 1),
+                    TrackKind::Network,
+                );
+            }
+        }
+        layout
+    }
+
+    /// The live trainers' layout: one compute row per rank (`rank{r}`,
+    /// tracks `0..world`) then one communication row per rank
+    /// (`rank{r} comm`, tracks `world..2*world`), with per-phase aggregate
+    /// rows enabled.
+    pub fn trainer(world: usize) -> Self {
+        let mut layout = TrackLayout::new();
+        for r in 0..world {
+            layout.push(format!("rank{r}"), TrackKind::Compute);
+        }
+        for r in 0..world {
+            layout.push(format!("rank{r} comm"), TrackKind::Comm);
+        }
+        layout.phase_rows = true;
+        layout
+    }
+
+    /// Enables/disables the synthesized one-row-per-phase-category view.
+    pub fn with_phase_rows(mut self, on: bool) -> Self {
+        self.phase_rows = on;
+        self
+    }
+
+    /// Number of real (non-synthesized) tracks.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when the layout has no tracks.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of track `track` (`track{n}` fallback past the end).
+    pub fn name(&self, track: usize) -> String {
+        self.names
+            .get(track)
+            .cloned()
+            .unwrap_or_else(|| format!("track{track}"))
+    }
+
+    /// Kind of track `track` (Compute fallback past the end).
+    pub fn kind(&self, track: usize) -> TrackKind {
+        self.kinds.get(track).copied().unwrap_or(TrackKind::Compute)
+    }
+}
+
+fn push_meta(out: &mut String, first: &mut bool, tid: usize, label: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str(&format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":\""
+    ));
+    escape_json_into(out, label);
+    out.push_str("\"}}");
+}
+
+fn push_slice(out: &mut String, name: &str, ts_us: f64, dur_us: f64, tid: usize) {
+    out.push(',');
+    out.push_str("{\"name\":\"");
+    escape_json_into(out, name);
+    out.push_str(&format!(
+        "\",\"ph\":\"X\",\"ts\":{ts_us:.3},\"dur\":{dur_us:.3},\"pid\":0,\"tid\":{tid}}}"
+    ));
+}
+
+/// Merges `(start, end)` intervals into their union (inputs need not be
+/// sorted); used for the per-phase aggregate rows.
+fn merge_intervals(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Serializes `spans` as a Chrome Tracing JSON document.
+///
+/// Emits one `thread_name` metadata row per layout track, then one `"X"`
+/// complete-slice event per positive-length span (timestamps normalized to
+/// the earliest span start, microseconds, 3 decimals). When the layout has
+/// phase rows enabled, appends one extra row per [`Phase`] category showing
+/// the union of that phase's activity across all tracks — the at-a-glance
+/// "is factor comm hidden behind FF&BP?" view.
+pub fn chrome_trace(spans: &[Span], layout: &TrackLayout) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for tid in 0..layout.len() {
+        push_meta(&mut out, &mut first, tid, &layout.name(tid));
+    }
+    if layout.phase_rows {
+        for p in Phase::ALL {
+            push_meta(
+                &mut out,
+                &mut first,
+                layout.len() + p.index(),
+                &format!("phase:{}", p.name()),
+            );
+        }
+    }
+
+    let origin = spans
+        .iter()
+        .filter(|s| s.end > s.start)
+        .map(|s| s.start)
+        .fold(f64::INFINITY, f64::min);
+    let origin = if origin.is_finite() { origin } else { 0.0 };
+
+    for s in spans {
+        if s.end <= s.start {
+            continue; // zero-length slices clutter the view
+        }
+        push_slice(
+            &mut out,
+            s.display_name(),
+            (s.start - origin) * 1e6,
+            (s.end - s.start) * 1e6,
+            s.track,
+        );
+    }
+
+    if layout.phase_rows {
+        for p in Phase::ALL {
+            let merged = merge_intervals(
+                spans
+                    .iter()
+                    .filter(|s| s.phase == p && s.end > s.start)
+                    .map(|s| (s.start, s.end))
+                    .collect(),
+            );
+            for (s, e) in merged {
+                push_slice(
+                    &mut out,
+                    p.name(),
+                    (s - origin) * 1e6,
+                    (e - s) * 1e6,
+                    layout.len() + p.index(),
+                );
+            }
+        }
+    }
+
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json;
+    use std::borrow::Cow;
+
+    fn sp(track: usize, phase: Phase, start: f64, end: f64) -> Span {
+        Span {
+            track,
+            phase,
+            label: Cow::Borrowed(""),
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn simulator_layout_names() {
+        let l = TrackLayout::simulator(2, 3);
+        assert_eq!(l.name(0), "gpu0");
+        assert_eq!(l.name(1), "gpu1");
+        assert_eq!(l.name(2), "network");
+        assert_eq!(l.name(3), "link0");
+        assert_eq!(l.kind(2), TrackKind::Network);
+    }
+
+    #[test]
+    fn trace_shape_and_validity() {
+        let spans = vec![
+            sp(0, Phase::FfBp, 0.0, 1.0),
+            sp(2, Phase::FactorComm, 0.5, 1.5),
+            sp(0, Phase::Update, 1.0, 1.0), // zero-length, skipped
+        ];
+        let json = chrome_trace(&spans, &TrackLayout::simulator(2, 2));
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"gpu0\""));
+        assert!(json.contains("\"network\""));
+        validate_json(&json).expect("valid JSON");
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let spans = vec![Span {
+            track: 0,
+            phase: Phase::Update,
+            label: Cow::Borrowed("layer \"fc\"\n"),
+            start: 0.0,
+            end: 1.0,
+        }];
+        let mut layout = TrackLayout::new();
+        layout.push("gpu\"0\"", TrackKind::Compute);
+        let json = chrome_trace(&spans, &layout);
+        validate_json(&json).expect("escaped labels must stay valid JSON");
+        assert!(json.contains("layer \\\"fc\\\"\\n"));
+    }
+
+    #[test]
+    fn phase_rows_are_synthesized() {
+        let spans = vec![
+            sp(0, Phase::FfBp, 0.0, 1.0),
+            sp(1, Phase::FfBp, 0.5, 1.5),
+            sp(2, Phase::FactorComm, 0.2, 0.8),
+        ];
+        let layout = TrackLayout::trainer(1); // tracks: rank0, rank0 comm
+        let json = chrome_trace(&spans, &layout);
+        validate_json(&json).expect("valid JSON");
+        assert!(json.contains("phase:FF&BP"));
+        assert!(json.contains("phase:FactorComm"));
+        // FfBp union 0..1.5 merges to ONE slice on the phase row: 2 raw FfBp
+        // slices + 1 merged + 1 FactorComm raw + 1 merged = 5 X events.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 5);
+    }
+
+    #[test]
+    fn timestamps_normalized_to_first_span() {
+        let spans = vec![sp(0, Phase::FfBp, 100.0, 100.5)];
+        let json = chrome_trace(&spans, &TrackLayout::simulator(1, 1));
+        assert!(json.contains("\"ts\":0.000"));
+        assert!(json.contains("\"dur\":500000.000"));
+    }
+
+    #[test]
+    fn merge_intervals_unions() {
+        let m = merge_intervals(vec![(2.0, 3.0), (0.0, 1.0), (0.5, 2.5)]);
+        assert_eq!(m, vec![(0.0, 3.0)]);
+    }
+}

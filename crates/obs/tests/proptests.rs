@@ -1,0 +1,70 @@
+//! Property tests for the recorder under concurrent span recording: each
+//! track is driven by its own thread (the trainers' one-thread-per-track
+//! discipline), and the recorded spans must come back complete, in
+//! monotonically non-decreasing order, and non-overlapping per track.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use spdkfac_obs::{attribute, Phase, Recorder};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn concurrent_tracks_record_ordered_disjoint_spans(
+        per_track in pvec(1usize..12, 1..5),
+        phase_pick in 0usize..7,
+    ) {
+        let tracks = per_track.len();
+        let rec = Arc::new(Recorder::new(tracks));
+        let phase = Phase::ALL[phase_pick % Phase::ALL.len()];
+        std::thread::scope(|s| {
+            for (track, &count) in per_track.iter().enumerate() {
+                let rec = Arc::clone(&rec);
+                s.spawn(move || {
+                    for i in 0..count {
+                        // Alternate phases so the attribution below sees a mix.
+                        let p = if i % 2 == 0 { phase } else { Phase::FfBp };
+                        let g = rec.span(track, p);
+                        // A spin ensures strictly positive duration without
+                        // relying on sleep granularity.
+                        let start = g.start();
+                        while rec.now() <= start {
+                            std::hint::spin_loop();
+                        }
+                        drop(g);
+                    }
+                });
+            }
+        });
+
+        let spans = rec.spans();
+        prop_assert_eq!(rec.dropped(), 0);
+        prop_assert_eq!(spans.len(), per_track.iter().sum::<usize>());
+
+        for (track, &count) in per_track.iter().enumerate() {
+            let mine: Vec<_> = spans.iter().filter(|s| s.track == track).collect();
+            prop_assert_eq!(mine.len(), count);
+            for s in &mine {
+                prop_assert!(s.end > s.start, "zero-length span survived");
+            }
+            // One thread per track opens spans sequentially: the ring must
+            // return them in issue order, mutually disjoint.
+            for w in mine.windows(2) {
+                prop_assert!(w[1].start >= w[0].end - 1e-12,
+                    "track {track}: span starting {} overlaps span ending {}",
+                    w[1].start, w[0].end);
+                prop_assert!(w[1].start >= w[0].start, "non-monotonic starts");
+            }
+        }
+
+        // The attribution over any such recording accounts for the whole
+        // observed interval: categories sum to last_end - first_start.
+        let first = spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+        let last = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
+        let b = attribute(&spans, tracks);
+        prop_assert!((b.total() - (last - first)).abs() < 1e-9,
+            "breakdown {} vs extent {}", b.total(), last - first);
+    }
+}

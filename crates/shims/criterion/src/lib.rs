@@ -1,0 +1,288 @@
+//! Offline subset of the [Criterion](https://docs.rs/criterion) API.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! crate provides the slice of Criterion the bench targets use:
+//! [`Criterion`] / [`BenchmarkGroup`] / [`Bencher`] / [`BenchmarkId`] and
+//! the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! straightforward warm-up + timed-sample loop reporting mean / min / max
+//! per benchmark — enough to compare kernels locally, with none of
+//! Criterion's statistics, plots, or baseline storage.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use hint::black_box;
+
+/// Top-level driver handed to every bench function.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the routine before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total time across all samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let cfg = self.clone();
+        run_one(&cfg, &id.into().label, f);
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let cfg = self.criterion.clone();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&cfg, &label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a routine with no extra input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let cfg = self.criterion.clone();
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&cfg, &label, f);
+        self
+    }
+
+    /// Ends the group (report lines are emitted eagerly; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to the benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_budget: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times per sample to fill the
+    /// configured measurement budget.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        for _ in 0..self.sample_budget {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed / self.iters_per_sample.max(1) as u32);
+        }
+    }
+}
+
+fn run_one(cfg: &Criterion, label: &str, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up pass: single-iteration samples until the warm-up budget is
+    // spent; the observed per-iteration time sizes the measurement batches.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut probe = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        sample_budget: 1,
+    };
+    while warm_start.elapsed() < cfg.warm_up_time {
+        f(&mut probe);
+        warm_iters += 1;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+    let per_iter = if probe.samples.is_empty() {
+        Duration::from_micros(1)
+    } else {
+        probe.samples.iter().sum::<Duration>() / probe.samples.len() as u32
+    };
+    let budget_per_sample = cfg.measurement_time / cfg.sample_size as u32;
+    let iters_per_sample = (budget_per_sample.as_secs_f64() / per_iter.as_secs_f64().max(1e-9))
+        .ceil()
+        .clamp(1.0, 1e7) as u64;
+
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample,
+        sample_budget: cfg.sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        eprintln!("{label:<40} (no samples — did the closure call b.iter()?)");
+        return;
+    }
+    let n = bencher.samples.len() as u32;
+    let mean = bencher.samples.iter().sum::<Duration>() / n;
+    let min = *bencher.samples.iter().min().expect("non-empty");
+    let max = *bencher.samples.iter().max().expect("non-empty");
+    eprintln!(
+        "{label:<40} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({n} samples × {iters_per_sample} iters)"
+    );
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the long form with an explicit `config = ...` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_works() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| black_box(x + x))
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        targets = target_a
+    }
+
+    fn target_a(c: &mut Criterion) {
+        c.bench_function("a", |b| b.iter(|| black_box(0)));
+    }
+
+    #[test]
+    fn macro_group_runs() {
+        benches();
+    }
+}

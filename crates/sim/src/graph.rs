@@ -31,6 +31,37 @@ impl Tag {
     pub fn is_comm(self) -> bool {
         matches!(self, Tag::GradComm | Tag::FactorComm | Tag::InverseComm)
     }
+
+    /// The shared observability [`Phase`](spdkfac_obs::Phase) this tag maps
+    /// to (`Other` ↔ `Update`); measured and simulated timelines use the
+    /// same categories.
+    pub fn phase(self) -> spdkfac_obs::Phase {
+        use spdkfac_obs::Phase;
+        match self {
+            Tag::FfBp => Phase::FfBp,
+            Tag::GradComm => Phase::GradComm,
+            Tag::FactorComp => Phase::FactorComp,
+            Tag::FactorComm => Phase::FactorComm,
+            Tag::InverseComp => Phase::InverseComp,
+            Tag::InverseComm => Phase::InverseComm,
+            Tag::Other => Phase::Update,
+        }
+    }
+}
+
+/// Converts simulated spans into the shared observability span type (track =
+/// resource id), for the shared exporters and breakdown attribution.
+pub fn to_obs_spans(spans: &[TaskSpan]) -> Vec<spdkfac_obs::Span> {
+    spans
+        .iter()
+        .map(|s| spdkfac_obs::Span {
+            track: s.resource,
+            phase: s.tag.phase(),
+            label: std::borrow::Cow::Borrowed(""),
+            start: s.start,
+            end: s.end,
+        })
+        .collect()
 }
 
 /// A task issued to a resource.
@@ -111,7 +142,10 @@ impl TaskGraph {
     /// Panics if `resource` is out of range, `duration` is negative/NaN, or
     /// any dependency id is not smaller than the new task's id.
     pub fn push(&mut self, resource: usize, duration: f64, deps: &[usize], tag: Tag) -> usize {
-        assert!(resource < self.num_resources, "resource {resource} out of range");
+        assert!(
+            resource < self.num_resources,
+            "resource {resource} out of range"
+        );
         assert!(
             duration.is_finite() && duration >= 0.0,
             "invalid duration {duration}"

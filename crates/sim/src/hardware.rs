@@ -81,7 +81,10 @@ impl HardwareProfile {
         let depth = (1.0 + p.log2().max(0.0)) / (1.0 + 6.0);
         HardwareProfile {
             name: format!("{} @ {world} GPUs", self.name),
-            allreduce: AlphaBetaModel::new(self.allreduce.alpha * depth, self.allreduce.beta * ring),
+            allreduce: AlphaBetaModel::new(
+                self.allreduce.alpha * depth,
+                self.allreduce.beta * ring,
+            ),
             bcast: AlphaBetaModel::new(self.bcast.alpha * depth, self.bcast.beta),
             ..self.clone()
         }
@@ -175,7 +178,11 @@ mod tests {
         // Fig. 2: inverting all 108 ResNet-50 factors locally ≈ 292 ms.
         let hw = HardwareProfile::rtx2080ti_ib100();
         let m = resnet50();
-        let t: f64 = m.all_factor_dims().iter().map(|&d| hw.inverse_time(d)).sum();
+        let t: f64 = m
+            .all_factor_dims()
+            .iter()
+            .map(|&d| hw.inverse_time(d))
+            .sum();
         assert!(
             (t - 0.292).abs() < 0.08,
             "D-KFAC inverse compute {t:.3}s vs paper 0.292s"

@@ -1,7 +1,11 @@
 //! Breakdown accounting: attributing every instant of the iteration to a
 //! category, reproducing the stacked-bar semantics of Fig. 2 / Fig. 9.
 //!
-//! Attribution rules, in precedence order over each elementary interval:
+//! The attribution itself lives in [`spdkfac_obs::attribute`] — the same
+//! covering rules score simulated schedules and measured recordings, and
+//! [`Breakdown`] *is* [`spdkfac_obs::IterationBreakdown`], so a simulated
+//! and a measured iteration compare field-for-field. Rules, in precedence
+//! order over each elementary interval:
 //!
 //! 1. the representative GPU's compute stream is busy → that task's tag;
 //! 2. any other GPU computes (only the inverse phase schedules there) → that
@@ -11,55 +15,12 @@
 //!    attributed to the compute);
 //! 4. nothing is busy → idle.
 
-use crate::graph::{Tag, TaskSpan};
+use crate::graph::{to_obs_spans, TaskSpan};
 
 /// Per-category seconds of one simulated iteration; categories sum to
-/// [`SimReport::total`].
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct Breakdown {
-    /// Feed-forward + backward compute.
-    pub ff_bp: f64,
-    /// Non-overlapped gradient all-reduce time.
-    pub grad_comm: f64,
-    /// Kronecker-factor construction compute.
-    pub factor_comp: f64,
-    /// Non-overlapped factor all-reduce time.
-    pub factor_comm: f64,
-    /// Matrix-inversion compute.
-    pub inverse_comp: f64,
-    /// Non-overlapped inverse broadcast time.
-    pub inverse_comm: f64,
-    /// Preconditioning / update compute.
-    pub other: f64,
-    /// Dead time (scheduling gaps).
-    pub idle: f64,
-}
-
-impl Breakdown {
-    /// Sum of all categories (= iteration time).
-    pub fn total(&self) -> f64 {
-        self.ff_bp
-            + self.grad_comm
-            + self.factor_comp
-            + self.factor_comm
-            + self.inverse_comp
-            + self.inverse_comm
-            + self.other
-            + self.idle
-    }
-
-    fn slot(&mut self, tag: Tag) -> &mut f64 {
-        match tag {
-            Tag::FfBp => &mut self.ff_bp,
-            Tag::GradComm => &mut self.grad_comm,
-            Tag::FactorComp => &mut self.factor_comp,
-            Tag::FactorComm => &mut self.factor_comm,
-            Tag::InverseComp => &mut self.inverse_comp,
-            Tag::InverseComm => &mut self.inverse_comm,
-            Tag::Other => &mut self.other,
-        }
-    }
-}
+/// [`SimReport::total`]. Alias of the shared
+/// [`spdkfac_obs::IterationBreakdown`].
+pub type Breakdown = spdkfac_obs::IterationBreakdown;
 
 /// Result of simulating one training iteration.
 #[derive(Debug, Clone)]
@@ -79,49 +40,17 @@ pub struct SimReport {
 /// (one shared link under the serialized model, one per root under the
 /// per-root-parallel model).
 pub fn attribute(spans: Vec<TaskSpan>, num_gpus: usize) -> SimReport {
-    attribute_impl(spans, 0, num_gpus)
-}
-
-fn attribute_impl(spans: Vec<TaskSpan>, gpu0: usize, num_gpus: usize) -> SimReport {
     let total = spans.iter().map(|s| s.end).fold(0.0, f64::max);
-    // Elementary intervals from all span endpoints.
-    let mut points: Vec<f64> = Vec::with_capacity(spans.len() * 2 + 1);
-    points.push(0.0);
-    for s in &spans {
-        points.push(s.start);
-        points.push(s.end);
-    }
-    points.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    points.dedup();
-
-    let gpu0_spans: Vec<&TaskSpan> = spans.iter().filter(|s| s.resource == gpu0).collect();
-    let other_gpu_spans: Vec<&TaskSpan> = spans
+    let mut breakdown = spdkfac_obs::attribute(&to_obs_spans(&spans), num_gpus);
+    // The shared attribution measures from the earliest span start; the
+    // simulator's clock starts at t = 0, so any lead-in is idle time.
+    let origin = spans
         .iter()
-        .filter(|s| s.resource != gpu0 && s.resource < num_gpus)
-        .collect();
-    let net_spans: Vec<&TaskSpan> = spans.iter().filter(|s| s.resource >= num_gpus).collect();
-
-    let covering = |set: &[&TaskSpan], t: f64| -> Option<Tag> {
-        set.iter()
-            .find(|s| s.start <= t && t < s.end && s.end > s.start)
-            .map(|s| s.tag)
-    };
-
-    let mut breakdown = Breakdown::default();
-    for w in points.windows(2) {
-        let (t0, t1) = (w[0], w[1]);
-        if t1 <= t0 {
-            continue;
-        }
-        let mid = 0.5 * (t0 + t1);
-        let len = t1 - t0;
-        let tag = covering(&gpu0_spans, mid)
-            .or_else(|| covering(&other_gpu_spans, mid))
-            .or_else(|| covering(&net_spans, mid));
-        match tag {
-            Some(t) => *breakdown.slot(t) += len,
-            None => breakdown.idle += len,
-        }
+        .filter(|s| s.end > s.start)
+        .map(|s| s.start)
+        .fold(f64::INFINITY, f64::min);
+    if origin.is_finite() && origin > 0.0 {
+        breakdown.idle += origin;
     }
     SimReport {
         total,
@@ -133,7 +62,7 @@ fn attribute_impl(spans: Vec<TaskSpan>, gpu0: usize, num_gpus: usize) -> SimRepo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::{Tag, TaskGraph};
+    use crate::graph::{Tag, TaskGraph, TaskSpan};
 
     #[test]
     fn breakdown_sums_to_total() {
@@ -193,5 +122,21 @@ mod tests {
         let r = attribute(g.simulate(), 1);
         assert_eq!(r.total, 0.0);
         assert_eq!(r.breakdown.total(), 0.0);
+    }
+
+    #[test]
+    fn delayed_start_counts_as_idle() {
+        // A schedule whose first task starts after t = 0 keeps breakdown
+        // totalling to the wall time (lead-in attributed as idle).
+        let spans = vec![TaskSpan {
+            start: 2.0,
+            end: 3.0,
+            resource: 0,
+            tag: Tag::FfBp,
+        }];
+        let r = attribute(spans, 1);
+        assert_eq!(r.total, 3.0);
+        assert_eq!(r.breakdown.idle, 2.0);
+        assert!((r.breakdown.total() - r.total).abs() < 1e-12);
     }
 }

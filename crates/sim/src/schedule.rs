@@ -120,7 +120,11 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
     let single = matches!(algo, Algo::SgdSingle | Algo::KfacSingle);
     let precond = !matches!(algo, Algo::SgdSingle | Algo::SSgd);
     let world = if single { 1 } else { cfg.world.max(1) };
-    let mut hw = if single { cfg.hw.single_gpu() } else { cfg.hw.clone() };
+    let mut hw = if single {
+        cfg.hw.single_gpu()
+    } else {
+        cfg.hw.clone()
+    };
     // Wire precision: β terms are calibrated for 4-byte elements.
     let wire = cfg.wire_bytes / 4.0;
     hw.allreduce.beta *= wire;
@@ -202,10 +206,8 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
                 if let Some(plan) = &a_plan {
                     in_bucket += 1;
                     if in_bucket == plan.buckets()[bucket_idx].len() {
-                        let elems: usize = plan.buckets()[bucket_idx]
-                            .iter()
-                            .map(|&i| a_sizes[i])
-                            .sum();
+                        let elems: usize =
+                            plan.buckets()[bucket_idx].iter().map(|&i| a_sizes[i]).sum();
                         let dep = a_comp_ids[*plan.buckets()[bucket_idx].last().expect("bucket")];
                         factor_comm_ids.push(g.push(
                             network,
@@ -341,15 +343,24 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
     }
     match factor_mode {
         FactorCommMode::Bulk => {
-            let elems: usize =
-                a_sizes.iter().sum::<usize>() + g_sizes_rev.iter().sum::<usize>();
+            let elems: usize = a_sizes.iter().sum::<usize>() + g_sizes_rev.iter().sum::<usize>();
             let dep = *g_comp_ids.last().expect("layers non-empty");
-            factor_comm_ids.push(g.push(network, hw.allreduce.time(elems), &[dep], Tag::FactorComm));
+            factor_comm_ids.push(g.push(
+                network,
+                hw.allreduce.time(elems),
+                &[dep],
+                Tag::FactorComm,
+            ));
         }
         FactorCommMode::Naive => {
             let elems: usize = g_sizes_rev.iter().sum();
             let dep = *g_comp_ids.last().expect("layers non-empty");
-            factor_comm_ids.push(g.push(network, hw.allreduce.time(elems), &[dep], Tag::FactorComm));
+            factor_comm_ids.push(g.push(
+                network,
+                hw.allreduce.time(elems),
+                &[dep],
+                Tag::FactorComm,
+            ));
         }
         _ => {}
     }
@@ -357,13 +368,7 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
     // ---------------- Inverse phase ---------------------------------------
     if precond {
         let inv_dims = model.all_factor_dims();
-        let plc = placement::place(
-            &inv_dims,
-            world,
-            &hw.inverse,
-            &hw.bcast,
-            placement_strategy,
-        );
+        let plc = placement::place(&inv_dims, world, &hw.inverse, &hw.bcast, placement_strategy);
         // Barrier: all factors aggregated (and backward finished).
         let mut barrier = factor_comm_ids.clone();
         barrier.push(last_bwd_id);
@@ -372,7 +377,7 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
         // (smallest first) so their broadcasts hit the network early, then
         // the replicated NCTs, which overlap the remaining broadcasts.
         let mut comp_id_of_tensor: Vec<Vec<(usize, usize)>> = vec![Vec::new(); world];
-        for p in 0..world {
+        for (p, ids) in comp_id_of_tensor.iter_mut().enumerate() {
             let mut mine = plc.set_for_gpu(p);
             mine.sort_by(|&a, &b| {
                 plc.is_nct(a)
@@ -382,7 +387,7 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
             });
             for t in mine {
                 let id = g.push(p, hw.inverse_time(inv_dims[t]), &barrier, Tag::InverseComp);
-                comp_id_of_tensor[p].push((t, id));
+                ids.push((t, id));
             }
         }
         // Broadcasts of CT results, issued round-robin across owners so the
@@ -390,8 +395,8 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
         let mut bcast_ids = Vec::new();
         let max_len = comp_id_of_tensor.iter().map(|v| v.len()).max().unwrap_or(0);
         for k in 0..max_len {
-            for p in 0..world {
-                if let Some(&(t, comp_id)) = comp_id_of_tensor[p].get(k) {
+            for (p, ids) in comp_id_of_tensor.iter().enumerate() {
+                if let Some(&(t, comp_id)) = ids.get(k) {
                     if let TensorAssignment::Gpu(owner) = plc.assignments()[t] {
                         debug_assert_eq!(owner, p);
                         let link = match cfg.network {
@@ -535,7 +540,7 @@ pub fn simulate_inverse_phase(
     hw.bcast.beta *= cfg.wire_bytes / 4.0;
     let plc = placement::place(dims, world, &hw.inverse, &hw.bcast, strategy);
     let mut comp_id_of_tensor: Vec<Vec<(usize, usize)>> = vec![Vec::new(); world];
-    for p in 0..world {
+    for (p, ids) in comp_id_of_tensor.iter_mut().enumerate() {
         let mut mine = plc.set_for_gpu(p);
         mine.sort_by(|&a, &b| {
             plc.is_nct(a)
@@ -545,13 +550,13 @@ pub fn simulate_inverse_phase(
         });
         for t in mine {
             let id = g.push(p, hw.inverse_time(dims[t]), &[], Tag::InverseComp);
-            comp_id_of_tensor[p].push((t, id));
+            ids.push((t, id));
         }
     }
     let max_len = comp_id_of_tensor.iter().map(|v| v.len()).max().unwrap_or(0);
     for k in 0..max_len {
-        for p in 0..world {
-            if let Some(&(t, comp_id)) = comp_id_of_tensor[p].get(k) {
+        for ids in comp_id_of_tensor.iter() {
+            if let Some(&(t, comp_id)) = ids.get(k) {
                 if let TensorAssignment::Gpu(owner) = plc.assignments()[t] {
                     let link = match cfg.network {
                         NetworkModel::Serialized => network,
@@ -653,8 +658,16 @@ mod tests {
             let non = simulate_inverse_phase(&dims, &cfg(), PlacementStrategy::NonDist).total;
             let seq = simulate_inverse_phase(&dims, &cfg(), PlacementStrategy::SeqDist).total;
             let lbp = simulate_inverse_phase(&dims, &cfg(), PlacementStrategy::default()).total;
-            assert!(lbp <= non * 1.001, "{}: LBP {lbp:.4} vs Non-Dist {non:.4}", m.name());
-            assert!(lbp <= seq * 1.001, "{}: LBP {lbp:.4} vs Seq-Dist {seq:.4}", m.name());
+            assert!(
+                lbp <= non * 1.001,
+                "{}: LBP {lbp:.4} vs Non-Dist {non:.4}",
+                m.name()
+            );
+            assert!(
+                lbp <= seq * 1.001,
+                "{}: LBP {lbp:.4} vs Seq-Dist {seq:.4}",
+                m.name()
+            );
         }
     }
 
@@ -665,12 +678,22 @@ mod tests {
         let dims = m.all_factor_dims();
         let non = simulate_inverse_phase(&dims, &cfg(), PlacementStrategy::NonDist).total;
         let seq = simulate_inverse_phase(&dims, &cfg(), PlacementStrategy::SeqDist).total;
-        assert!(seq > non, "DenseNet-201: Seq-Dist {seq:.4} !> Non-Dist {non:.4}");
+        assert!(
+            seq > non,
+            "DenseNet-201: Seq-Dist {seq:.4} !> Non-Dist {non:.4}"
+        );
     }
 
     #[test]
     fn breakdown_sums_to_total_everywhere() {
-        for algo in [Algo::SgdSingle, Algo::KfacSingle, Algo::SSgd, Algo::DKfac, Algo::MpdKfac, Algo::SpdKfac] {
+        for algo in [
+            Algo::SgdSingle,
+            Algo::KfacSingle,
+            Algo::SSgd,
+            Algo::DKfac,
+            Algo::MpdKfac,
+            Algo::SpdKfac,
+        ] {
             let r = simulate_iteration(&resnet50(), &cfg(), algo);
             assert!(
                 (r.breakdown.total() - r.total).abs() < 1e-9,
@@ -691,7 +714,10 @@ mod tests {
         for algo in [Algo::SSgd, Algo::DKfac, Algo::MpdKfac, Algo::SpdKfac] {
             let ts = simulate_iteration(&m, &slow, algo).total;
             let tf = simulate_iteration(&m, &fast, algo).total;
-            assert!(tf <= ts + 1e-9, "{algo:?}: faster net slower? {tf:.4} vs {ts:.4}");
+            assert!(
+                tf <= ts + 1e-9,
+                "{algo:?}: faster net slower? {tf:.4} vs {ts:.4}"
+            );
         }
     }
 
@@ -704,7 +730,11 @@ mod tests {
             let mut oc = cfg();
             oc.grad_fusion = GradFusionMode::Optimal;
             let opt = simulate_iteration(&m, &oc, Algo::SSgd).total;
-            assert!(opt <= thr + 1e-4, "{}: MG-WFBP {opt:.4} > WFBP {thr:.4}", m.name());
+            assert!(
+                opt <= thr + 1e-4,
+                "{}: MG-WFBP {opt:.4} > WFBP {thr:.4}",
+                m.name()
+            );
         }
     }
 
@@ -746,7 +776,10 @@ mod tests {
         let ssgd = simulate_iteration(&m, &cfg(), Algo::SSgd).total;
         assert!(sparse < full);
         assert!(very_sparse < sparse);
-        assert!(very_sparse > ssgd, "stale-factor K-FAC still costs more than S-SGD");
+        assert!(
+            very_sparse > ssgd,
+            "stale-factor K-FAC still costs more than S-SGD"
+        );
         // Monotone decreasing in the interval.
         let mut prev = full;
         for k in [2usize, 4, 8, 16, 32] {
@@ -776,9 +809,27 @@ mod tests {
                 cycle_s: 0.005,
             }));
             let otf = run(FactorCommMode::Pipelined(FusionStrategy::Optimal));
-            assert!(otf.0 <= naive.0 + 1e-9, "{}: OTF {:.4} > Naive {:.4}", m.name(), otf.0, naive.0);
-            assert!(otf.0 <= lw.0 + 1e-9, "{}: OTF {:.4} > LW {:.4}", m.name(), otf.0, lw.0);
-            assert!(otf.0 <= ttf.0 + 0.01, "{}: OTF {:.4} ≫ TTF {:.4}", m.name(), otf.0, ttf.0);
+            assert!(
+                otf.0 <= naive.0 + 1e-9,
+                "{}: OTF {:.4} > Naive {:.4}",
+                m.name(),
+                otf.0,
+                naive.0
+            );
+            assert!(
+                otf.0 <= lw.0 + 1e-9,
+                "{}: OTF {:.4} > LW {:.4}",
+                m.name(),
+                otf.0,
+                lw.0
+            );
+            assert!(
+                otf.0 <= ttf.0 + 0.01,
+                "{}: OTF {:.4} ≫ TTF {:.4}",
+                m.name(),
+                otf.0,
+                ttf.0
+            );
             for (name, other) in [("Naive", naive.1), ("LW", lw.1), ("TTF", ttf.1)] {
                 assert!(
                     otf.1 <= other + 1e-9,

@@ -6,30 +6,18 @@
 //! stream plus one row for the network, with the task categories as named
 //! slices.
 
-use crate::graph::Tag;
+use crate::graph::{to_obs_spans, Tag};
 use crate::report::SimReport;
-
-fn tag_name(tag: Tag) -> &'static str {
-    match tag {
-        Tag::FfBp => "FF&BP",
-        Tag::GradComm => "GradComm",
-        Tag::FactorComp => "FactorComp",
-        Tag::FactorComm => "FactorComm",
-        Tag::InverseComp => "InverseComp",
-        Tag::InverseComm => "InverseComm",
-        Tag::Other => "Update",
-    }
-}
+use spdkfac_obs::{chrome_trace, TrackLayout};
 
 /// Serialises the schedule as a Chrome Tracing JSON document.
 ///
 /// `network_resource` names the resource id that should be labelled as the
 /// network row (the iteration builders use the highest resource id).
-/// Timestamps are microseconds, as the trace format expects.
+/// Delegates to the shared [`spdkfac_obs::chrome_trace`] serializer, so
+/// simulated and measured traces have the identical JSON shape; slice names
+/// come from each tag's [`Phase`](spdkfac_obs::Phase).
 pub fn to_chrome_trace(report: &SimReport, network_resource: usize) -> String {
-    let mut out = String::from("{\"traceEvents\":[");
-    let mut first = true;
-    // Thread-name metadata rows.
     let max_res = report
         .spans
         .iter()
@@ -37,37 +25,8 @@ pub fn to_chrome_trace(report: &SimReport, network_resource: usize) -> String {
         .max()
         .unwrap_or(0)
         .max(network_resource);
-    for res in 0..=max_res {
-        if !first {
-            out.push(',');
-        }
-        first = false;
-        let label = if res < network_resource {
-            format!("gpu{res}")
-        } else if res == network_resource {
-            "network".to_string()
-        } else {
-            format!("link{}", res - network_resource - 1)
-        };
-        out.push_str(&format!(
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{res},\"args\":{{\"name\":\"{label}\"}}}}"
-        ));
-    }
-    for s in &report.spans {
-        if s.end <= s.start {
-            continue; // zero-length slices clutter the view
-        }
-        out.push(',');
-        out.push_str(&format!(
-            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{}}}",
-            tag_name(s.tag),
-            s.start * 1e6,
-            (s.end - s.start) * 1e6,
-            s.resource
-        ));
-    }
-    out.push_str("]}");
-    out
+    let layout = TrackLayout::simulator(network_resource, max_res);
+    chrome_trace(&to_obs_spans(&report.spans), &layout)
 }
 
 /// Renders the schedule as a fixed-width ASCII timeline — the Fig. 1
@@ -137,7 +96,14 @@ mod tests {
         let json = to_chrome_trace(&r, 4);
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.ends_with("]}"));
-        for label in ["gpu0", "network", "FF&BP", "FactorComp", "FactorComm", "InverseComp"] {
+        for label in [
+            "gpu0",
+            "network",
+            "FF&BP",
+            "FactorComp",
+            "FactorComm",
+            "InverseComp",
+        ] {
             assert!(json.contains(label), "missing {label}");
         }
         // Event count: metadata rows + one slice per non-empty span.

@@ -10,16 +10,18 @@ use spdkfac_sim::{simulate_iteration, Algo, SimConfig};
 /// Strategy: a random but causally-valid task graph.
 fn graph_strategy() -> impl Strategy<Value = TaskGraph> {
     (1usize..5, 1usize..40).prop_flat_map(|(resources, n)| {
-        pvec((0usize..resources, 0.0f64..2.0, pvec(0usize..n.max(1), 0..3)), n).prop_map(
-            move |tasks| {
-                let mut g = TaskGraph::new(resources + 1);
-                for (i, (res, dur, deps)) in tasks.into_iter().enumerate() {
-                    let deps: Vec<usize> = deps.into_iter().filter(|&d| d < i).collect();
-                    g.push(res, dur, &deps, Tag::FfBp);
-                }
-                g
-            },
+        pvec(
+            (0usize..resources, 0.0f64..2.0, pvec(0usize..n.max(1), 0..3)),
+            n,
         )
+        .prop_map(move |tasks| {
+            let mut g = TaskGraph::new(resources + 1);
+            for (i, (res, dur, deps)) in tasks.into_iter().enumerate() {
+                let deps: Vec<usize> = deps.into_iter().filter(|&d| d < i).collect();
+                g.push(res, dur, &deps, Tag::FfBp);
+            }
+            g
+        })
     })
 }
 

@@ -117,7 +117,10 @@ mod tests {
         let n = a.rows();
         // Orthonormality.
         let vtv = e.vectors.transpose().matmul(&e.vectors);
-        assert!(vtv.max_abs_diff(&Matrix::identity(n)) < tol, "V not orthonormal");
+        assert!(
+            vtv.max_abs_diff(&Matrix::identity(n)) < tol,
+            "V not orthonormal"
+        );
         // Reconstruction.
         let lam = Matrix::from_diag(&e.values);
         let rebuilt = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
@@ -147,7 +150,10 @@ mod tests {
             let a = rng.spd_matrix(n, 0.1);
             let e = sym_eig(&a).unwrap();
             check_decomposition(&a, &e, 1e-9);
-            assert!(e.values.iter().all(|&l| l > 0.0), "SPD eigenvalues positive");
+            assert!(
+                e.values.iter().all(|&l| l > 0.0),
+                "SPD eigenvalues positive"
+            );
             // Ascending order.
             for w in e.values.windows(2) {
                 assert!(w[0] <= w[1] + 1e-12);

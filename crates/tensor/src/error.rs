@@ -43,7 +43,11 @@ impl fmt::Display for TensorError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             TensorError::NotSquare { op, shape } => {
-                write!(f, "{op} requires a square matrix, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "{op} requires a square matrix, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             TensorError::NotPositiveDefinite { pivot } => write!(
                 f,

@@ -252,7 +252,7 @@ impl Matrix {
     }
 
     /// Multi-threaded matrix product: row blocks of `self` are distributed
-    /// across `threads` workers (crossbeam scoped threads), each running the
+    /// across `threads` workers (std scoped threads), each running the
     /// same cache-blocked kernel as [`Matrix::matmul`]. Produces bit-identical
     /// results to the serial product (each output row is computed by exactly
     /// one worker with the serial loop order).
@@ -274,10 +274,10 @@ impl Matrix {
         let mut out = Matrix::zeros(m, n);
         let rows_per = m.div_ceil(threads);
         let out_chunks: Vec<&mut [f64]> = out.data.chunks_mut(rows_per * n).collect();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (chunk_idx, chunk) in out_chunks.into_iter().enumerate() {
                 let row0 = chunk_idx * rows_per;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let rows_here = chunk.len() / n;
                     for ib in (0..rows_here).step_by(GEMM_BLOCK) {
                         let ie = (ib + GEMM_BLOCK).min(rows_here);
@@ -303,8 +303,7 @@ impl Matrix {
                     }
                 });
             }
-        })
-        .expect("par_matmul worker panicked");
+        });
         out
     }
 
@@ -603,13 +602,21 @@ mod tests {
     #[test]
     fn par_matmul_matches_serial_bitwise() {
         let mut rng = MatrixRng::new(21);
-        for (m, k, n) in [(1usize, 1usize, 1usize), (7, 5, 3), (64, 32, 48), (130, 70, 90)] {
+        for (m, k, n) in [
+            (1usize, 1usize, 1usize),
+            (7, 5, 3),
+            (64, 32, 48),
+            (130, 70, 90),
+        ] {
             let a = rng.uniform_matrix(m, k, -2.0, 2.0);
             let b = rng.uniform_matrix(k, n, -2.0, 2.0);
             let serial = a.matmul(&b);
             for threads in [1usize, 2, 3, 8] {
                 let par = a.par_matmul(&b, threads);
-                assert_eq!(par, serial, "mismatch at {m}x{k}x{n} with {threads} threads");
+                assert_eq!(
+                    par, serial,
+                    "mismatch at {m}x{k}x{n} with {threads} threads"
+                );
             }
         }
     }

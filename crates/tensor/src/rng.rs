@@ -5,8 +5,49 @@
 //! seeded wrapper so that tests and experiments are reproducible run-to-run.
 
 use crate::matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+
+/// The raw generator behind [`MatrixRng`]: xoshiro256++ seeded through
+/// splitmix64, dependency-free and identical on every platform.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// A seeded random generator producing matrices and vectors.
 ///
@@ -21,7 +62,7 @@ use rand::{RngExt, SeedableRng};
 /// ```
 #[derive(Debug)]
 pub struct MatrixRng {
-    rng: StdRng,
+    rng: Xoshiro256,
     /// Cached second Box–Muller deviate.
     spare_gaussian: Option<f64>,
 }
@@ -30,14 +71,14 @@ impl MatrixRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         MatrixRng {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256::seed_from_u64(seed),
             spare_gaussian: None,
         }
     }
 
     /// Uniform sample in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        lo + (hi - lo) * self.rng.random::<f64>()
+        lo + (hi - lo) * self.rng.next_f64()
     }
 
     /// Standard-normal sample via Box–Muller.
@@ -47,12 +88,12 @@ impl MatrixRng {
         }
         // Avoid log(0).
         let u1: f64 = loop {
-            let u = self.rng.random::<f64>();
+            let u = self.rng.next_f64();
             if u > 1e-300 {
                 break u;
             }
         };
-        let u2: f64 = self.rng.random::<f64>();
+        let u2: f64 = self.rng.next_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare_gaussian = Some(r * theta.sin());
@@ -66,7 +107,7 @@ impl MatrixRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index: empty range");
-        self.rng.random_range(0..n)
+        ((self.rng.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Vector of uniform samples.

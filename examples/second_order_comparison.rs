@@ -46,7 +46,10 @@ fn main() {
         .map(|&lr| (mlp(&[8, 32, 3], 5), Sgd::new(lr, 0.0, 0.0)))
         .collect();
 
-    println!("{:>6} {:>12} {:>12} {:>12}", "iter", "kfac", "ekfac", "best sgd");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "iter", "kfac", "ekfac", "best sgd"
+    );
     for i in 0..iters {
         let out = kfac_net.forward(&x, true);
         let (kfac_loss, grad) = softmax_cross_entropy(&out, &y);

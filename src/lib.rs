@@ -18,6 +18,9 @@
 //! - [`core`] — the paper's contribution: K-FAC preconditioning, the dynamic
 //!   tensor-fusion pipeline (Eq. 15) and the load-balancing placement
 //!   (Algorithm 1), plus D-KFAC / MPD-KFAC / SPD-KFAC distributed trainers.
+//! - [`obs`] — the unified instrumentation layer: phase-tagged span
+//!   recording, metrics, and the shared Chrome-trace/summary/CSV exporters
+//!   used by the trainers, the collectives, and the simulator alike.
 //!
 //! # Quickstart
 //!
@@ -35,5 +38,6 @@ pub use spdkfac_collectives as collectives;
 pub use spdkfac_core as core;
 pub use spdkfac_models as models;
 pub use spdkfac_nn as nn;
+pub use spdkfac_obs as obs;
 pub use spdkfac_sim as sim;
 pub use spdkfac_tensor as tensor;

@@ -81,7 +81,14 @@ fn world_one_spd_matches_single_process_kfac() {
     let iters = 5;
     let batch = 6;
 
-    let dist = run(Algorithm::SpdKfac, 1, &|| deep_mlp(6, 10, 2, 3, 3), &data, iters, batch);
+    let dist = run(
+        Algorithm::SpdKfac,
+        1,
+        &|| deep_mlp(6, 10, 2, 3, 3),
+        &data,
+        iters,
+        batch,
+    );
 
     let mut net = deep_mlp(6, 10, 2, 3, 3);
     let mut opt = KfacOptimizer::new(

@@ -4,9 +4,7 @@
 use spdkfac::core::fusion::FusionStrategy;
 use spdkfac::core::placement::PlacementStrategy;
 use spdkfac::models::{densenet201, paper_models, resnet50};
-use spdkfac::sim::{
-    simulate_inverse_phase, simulate_iteration, Algo, FactorCommMode, SimConfig,
-};
+use spdkfac::sim::{simulate_inverse_phase, simulate_iteration, Algo, FactorCommMode, SimConfig};
 
 fn cfg() -> SimConfig {
     SimConfig::paper_testbed(64)
@@ -105,7 +103,11 @@ fn ablation_monotonicity() {
         let t11 = run(true, true);
         assert!(t10 < t00, "{}: pipelining alone should help", m.name());
         assert!(t01 < t00, "{}: LBP alone should help", m.name());
-        assert!(t11 < t10 && t11 < t01, "{}: combined should be best", m.name());
+        assert!(
+            t11 < t10 && t11 < t01,
+            "{}: combined should be best",
+            m.name()
+        );
     }
 }
 
