@@ -712,7 +712,7 @@ fn build_ekfac_directions(
                 let (q_g, _) = bases[2 * si + 1].as_ref().expect("G basis");
                 // Moment-correct the scales with this step's weight gradient.
                 let grad_w = &params[0].grad;
-                let projected = q_g.transpose().matmul(grad_w).matmul(q_a);
+                let projected = q_g.matmul_tn(grad_w).matmul(q_a);
                 let sq = Matrix::from_fn(projected.rows(), projected.cols(), |i, j| {
                     projected[(i, j)] * projected[(i, j)]
                 });
@@ -724,7 +724,7 @@ fn build_ekfac_directions(
                     if pi == 0 {
                         directions.push(precondition_ekfac(&p.grad, q_a, q_g, scale, damping));
                     } else {
-                        let proj = q_g.transpose().matmul(&p.grad);
+                        let proj = q_g.matmul_tn(&p.grad);
                         let cols = scale.cols() as f64;
                         let rescaled = Matrix::from_fn(proj.rows(), 1, |i, _| {
                             let row_mean: f64 = scale.row(i).iter().sum::<f64>() / cols;

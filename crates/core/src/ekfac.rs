@@ -74,7 +74,7 @@ pub fn precondition_ekfac(
     scale: &Matrix,
     damping: f64,
 ) -> Matrix {
-    let projected = q_g.transpose().matmul(grad).matmul(q_a);
+    let projected = q_g.matmul_tn(grad).matmul(q_a);
     assert_eq!(
         projected.shape(),
         scale.shape(),
@@ -83,7 +83,7 @@ pub fn precondition_ekfac(
     let rescaled = Matrix::from_fn(projected.rows(), projected.cols(), |i, j| {
         projected[(i, j)] / (scale[(i, j)] + damping)
     });
-    q_g.matmul(&rescaled).matmul(&q_a.transpose())
+    q_g.matmul(&rescaled).matmul_nt(q_a)
 }
 
 /// Single-process EKFAC optimizer (extension; mirrors
@@ -198,7 +198,7 @@ impl EkfacOptimizer {
                         )
                     };
                     let grad_w = &params[0].grad;
-                    let projected = q_g.transpose().matmul(grad_w).matmul(&q_a);
+                    let projected = q_g.matmul_tn(grad_w).matmul(&q_a);
                     {
                         let st = &mut self.states[si];
                         let sq = Matrix::from_fn(projected.rows(), projected.cols(), |i, j| {
@@ -221,7 +221,7 @@ impl EkfacOptimizer {
                             ));
                         } else {
                             // Bias: G-side basis only, with row-mean scales.
-                            let proj = q_g.transpose().matmul(&p.grad);
+                            let proj = q_g.matmul_tn(&p.grad);
                             let scale = st.scale.as_ref().expect("scale");
                             let cols = scale.cols() as f64;
                             let rescaled = Matrix::from_fn(proj.rows(), 1, |i, _| {

@@ -229,7 +229,7 @@ pub fn teacher_student(dim_in: usize, dim_out: usize, n: usize, seed: u64) -> (T
     let mut rng = MatrixRng::new(seed);
     let teacher = rng.gaussian_matrix(dim_out, dim_in);
     let x = rng.gaussian_matrix(n, dim_in);
-    let y = x.matmul(&teacher.transpose());
+    let y = x.matmul_nt(&teacher);
     (Tensor4::from_matrix(&x), Tensor4::from_matrix(&y))
 }
 

@@ -5,7 +5,11 @@
 //! Kronecker factors for convolution: `A = E[patch patchᵀ]`).
 
 use crate::tensor4::Tensor4;
+use spdkfac_tensor::pool::{self, SharedSlice};
 use spdkfac_tensor::Matrix;
+
+/// Minimum total elements before the per-sample loops dispatch to the pool.
+const IM2COL_PAR_ELEMS: usize = 16 * 1024;
 
 /// Spatial geometry of a convolution / pooling window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,24 +51,39 @@ pub fn im2col(x: &Tensor4, geom: ConvGeom) -> Matrix {
     let ow = geom.out_size(w);
     let k = geom.kernel;
     let cols = c * k * k;
+    let sample_elems = oh * ow * cols;
     let mut out = Matrix::zeros(n * oh * ow, cols);
-    for s in 0..n {
-        for yo in 0..oh {
-            for xo in 0..ow {
-                let row_idx = (s * oh + yo) * ow + xo;
-                let row = out.row_mut(row_idx);
-                for ch in 0..c {
-                    for ky in 0..k {
-                        let yi = (yo * geom.stride + ky) as isize - geom.pad as isize;
-                        for kx in 0..k {
-                            let xi = (xo * geom.stride + kx) as isize - geom.pad as isize;
-                            let col_idx = (ch * k + ky) * k + kx;
-                            if yi >= 0 && (yi as usize) < h && xi >= 0 && (xi as usize) < w {
-                                row[col_idx] = x.at(s, ch, yi as usize, xi as usize);
+    {
+        // Sample `s` owns rows `s·oh·ow .. (s+1)·oh·ow`, so the per-sample
+        // lowering is distributed over the pool (disjoint writes, reads only
+        // from the shared input).
+        let shared = SharedSlice::new(out.as_mut_slice());
+        let lower_sample = |s: usize| {
+            // SAFETY: disjoint per-sample row range.
+            let rows = unsafe { shared.slice_mut(s * sample_elems..(s + 1) * sample_elems) };
+            for yo in 0..oh {
+                for xo in 0..ow {
+                    let row = &mut rows[(yo * ow + xo) * cols..(yo * ow + xo + 1) * cols];
+                    for ch in 0..c {
+                        for ky in 0..k {
+                            let yi = (yo * geom.stride + ky) as isize - geom.pad as isize;
+                            for kx in 0..k {
+                                let xi = (xo * geom.stride + kx) as isize - geom.pad as isize;
+                                let col_idx = (ch * k + ky) * k + kx;
+                                if yi >= 0 && (yi as usize) < h && xi >= 0 && (xi as usize) < w {
+                                    row[col_idx] = x.at(s, ch, yi as usize, xi as usize);
+                                }
                             }
                         }
                     }
                 }
+            }
+        };
+        if pool::is_parallel() && n > 1 && n * sample_elems >= IM2COL_PAR_ELEMS {
+            pool::parallel_for(n, lower_sample);
+        } else {
+            for s in 0..n {
+                lower_sample(s);
             }
         }
     }
@@ -82,22 +101,37 @@ pub fn col2im(cols: &Matrix, n: usize, c: usize, h: usize, w: usize, geom: ConvG
     assert_eq!(cols.rows(), n * oh * ow, "col2im: row count mismatch");
     assert_eq!(cols.cols(), c * k * k, "col2im: column count mismatch");
     let mut out = Tensor4::zeros(n, c, h, w);
-    for s in 0..n {
-        for yo in 0..oh {
-            for xo in 0..ow {
-                let row = cols.row((s * oh + yo) * ow + xo);
-                for ch in 0..c {
-                    for ky in 0..k {
-                        let yi = (yo * geom.stride + ky) as isize - geom.pad as isize;
-                        for kx in 0..k {
-                            let xi = (xo * geom.stride + kx) as isize - geom.pad as isize;
-                            if yi >= 0 && (yi as usize) < h && xi >= 0 && (xi as usize) < w {
-                                let col_idx = (ch * k + ky) * k + kx;
-                                *out.at_mut(s, ch, yi as usize, xi as usize) += row[col_idx];
+    let chw = c * h * w;
+    {
+        // Sample `s` owns the output span `s·c·h·w .. (s+1)·c·h·w`; the
+        // scatter-add is distributed over the pool per sample.
+        let shared = SharedSlice::new(out.as_mut_slice());
+        let scatter_sample = |s: usize| {
+            // SAFETY: disjoint per-sample output span.
+            let dst = unsafe { shared.slice_mut(s * chw..(s + 1) * chw) };
+            for yo in 0..oh {
+                for xo in 0..ow {
+                    let row = cols.row((s * oh + yo) * ow + xo);
+                    for ch in 0..c {
+                        for ky in 0..k {
+                            let yi = (yo * geom.stride + ky) as isize - geom.pad as isize;
+                            for kx in 0..k {
+                                let xi = (xo * geom.stride + kx) as isize - geom.pad as isize;
+                                if yi >= 0 && (yi as usize) < h && xi >= 0 && (xi as usize) < w {
+                                    let col_idx = (ch * k + ky) * k + kx;
+                                    dst[(ch * h + yi as usize) * w + xi as usize] += row[col_idx];
+                                }
                             }
                         }
                     }
                 }
+            }
+        };
+        if pool::is_parallel() && n > 1 && n * chw >= IM2COL_PAR_ELEMS {
+            pool::parallel_for(n, scatter_sample);
+        } else {
+            for s in 0..n {
+                scatter_sample(s);
             }
         }
     }

@@ -106,7 +106,7 @@ impl Layer for Conv2d {
         let oh = self.geom.out_size(h);
         let ow = self.geom.out_size(w);
         let patches = im2col(x, self.geom); // (N·T) × (C_in·k²)
-        let out_mat = patches.matmul(&self.weight.value.transpose()); // (N·T) × C_out
+        let out_mat = patches.matmul_nt(&self.weight.value); // (N·T) × C_out
         let mut out = Tensor4::zeros(n, self.c_out, oh, ow);
         for s in 0..n {
             for yo in 0..oh {
@@ -161,7 +161,7 @@ impl Layer for Conv2d {
             }
         }
         // dW = gᵀ · patches.
-        self.weight.grad = g.transpose().matmul(&patches);
+        self.weight.grad = g.matmul_tn(&patches);
         if let Some(b) = &mut self.bias {
             let mut db = Matrix::zeros(self.c_out, 1);
             for r in 0..g.rows() {

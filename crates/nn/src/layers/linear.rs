@@ -81,7 +81,7 @@ impl Layer for Linear {
             x.features()
         );
         let x_mat = x.to_matrix(); // N × d_in
-        let mut out = x_mat.matmul(&self.weight.value.transpose()); // N × d_out
+        let mut out = x_mat.matmul_nt(&self.weight.value); // N × d_out
         if let Some(b) = &self.bias {
             for r in 0..out.rows() {
                 let row = out.row_mut(r);
@@ -112,7 +112,7 @@ impl Layer for Linear {
         assert_eq!(g.cols(), self.d_out, "{}: bad grad width", self.name);
 
         // dW = gᵀ · x (d_out × d_in).
-        self.weight.grad = g.transpose().matmul(&x_mat);
+        self.weight.grad = g.matmul_tn(&x_mat);
         if let Some(b) = &mut self.bias {
             let mut db = Matrix::zeros(self.d_out, 1);
             for r in 0..g.rows() {

@@ -5,9 +5,27 @@
 //! `LLᵀ` factorization ([`cholesky`]), triangular solves, and a full SPD
 //! inverse ([`spd_inverse`]) via inversion of the triangular factor
 //! (the POTRF + POTRI sequence).
+//!
+//! Matrices larger than one block use a blocked right-looking factorization:
+//! the diagonal block is factored unblocked, then the panel solve and the
+//! trailing-matrix rank-`nb` update are distributed row-wise over the
+//! persistent pool ([`crate::pool`]). Each row of the output is produced by
+//! exactly one task in serial loop order, so the result is bit-identical for
+//! any `SPDKFAC_THREADS` setting. The pre-pool unblocked kernels remain as
+//! the small-matrix path and as the serial reference selected by
+//! [`crate::gemm::set_reference_kernels`].
 
 use crate::error::TensorError;
+use crate::gemm;
 use crate::matrix::Matrix;
+use crate::pool::{self, SharedSlice};
+
+/// Default block edge for the blocked factorization/inverse; matrices up to
+/// this size use the unblocked kernels.
+const CHOL_NB: usize = 64;
+
+/// Minimum panel/trailing elements before a parallel dispatch is worth it.
+const CHOL_PAR_ELEMS: usize = 16 * 1024;
 
 /// A lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
 ///
@@ -42,6 +60,21 @@ pub struct Cholesky {
 /// # }
 /// ```
 pub fn cholesky(a: &Matrix) -> Result<Cholesky, TensorError> {
+    if gemm::reference_kernels() {
+        return cholesky_unblocked(a);
+    }
+    cholesky_with_block(a, CHOL_NB)
+}
+
+/// The seed factorization: serial unblocked column-by-column `LLᵀ`.
+///
+/// Kept as the small-matrix path of [`cholesky`], the serial reference for
+/// `bench_kernels`, and the parity baseline for the proptests.
+///
+/// # Errors
+///
+/// Same contract as [`cholesky`].
+pub fn cholesky_unblocked(a: &Matrix) -> Result<Cholesky, TensorError> {
     if !a.is_square() {
         return Err(TensorError::NotSquare {
             op: "cholesky",
@@ -71,6 +104,139 @@ pub fn cholesky(a: &Matrix) -> Result<Cholesky, TensorError> {
         }
     }
     Ok(Cholesky { l })
+}
+
+/// Blocked right-looking Cholesky with an explicit block edge `nb`.
+///
+/// Exposed (rather than hard-wiring [`cholesky`]'s default) so tests can
+/// force the blocked code path on small matrices. Matrices with
+/// `n <= nb` fall back to [`cholesky_unblocked`].
+///
+/// # Errors
+///
+/// Same contract as [`cholesky`].
+///
+/// # Panics
+///
+/// Panics if `nb == 0`.
+pub fn cholesky_with_block(a: &Matrix, nb: usize) -> Result<Cholesky, TensorError> {
+    assert!(nb >= 1, "cholesky_with_block: block edge must be positive");
+    if !a.is_square() {
+        return Err(TensorError::NotSquare {
+            op: "cholesky",
+            shape: a.shape(),
+        });
+    }
+    let n = a.rows();
+    if n <= nb {
+        return cholesky_unblocked(a);
+    }
+    // Working copy of the lower triangle (the upper triangle is ignored,
+    // matching the unblocked kernel's read pattern).
+    let mut w = vec![0.0; n * n];
+    let src = a.as_slice();
+    for i in 0..n {
+        w[i * n..i * n + i + 1].copy_from_slice(&src[i * n..i * n + i + 1]);
+    }
+    for j0 in (0..n).step_by(nb) {
+        let j1 = (j0 + nb).min(n);
+        let bw = j1 - j0;
+        // Factor the diagonal block in place (unblocked; its columns only
+        // depend on columns within the block after prior trailing updates).
+        for j in j0..j1 {
+            let mut d = w[j * n + j];
+            for k in j0..j {
+                d -= w[j * n + k] * w[j * n + k];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(TensorError::NotPositiveDefinite { pivot: j });
+            }
+            let dj = d.sqrt();
+            w[j * n + j] = dj;
+            for i in (j + 1)..j1 {
+                let mut s = w[i * n + j];
+                for k in j0..j {
+                    s -= w[i * n + k] * w[j * n + k];
+                }
+                w[i * n + j] = s / dj;
+            }
+        }
+        if j1 == n {
+            break;
+        }
+        // Snapshot the factored diagonal block: panel tasks read it while
+        // holding mutable windows onto their own (disjoint) row ranges.
+        let mut l11 = vec![0.0; bw * bw];
+        for (r, row) in l11.chunks_mut(bw).enumerate() {
+            row.copy_from_slice(&w[(j0 + r) * n + j0..(j0 + r) * n + j1]);
+        }
+        let rows_below = n - j1;
+        let tasks = rows_below.div_ceil(CHOL_NB);
+        let parallel = pool::is_parallel() && tasks > 1 && rows_below * bw >= CHOL_PAR_ELEMS;
+        // Panel solve: L21 · L11ᵀ = A21, row by row (each row independent).
+        {
+            let shared = SharedSlice::new(&mut w);
+            let body = |t: usize| {
+                let r0 = j1 + t * CHOL_NB;
+                let r1 = (r0 + CHOL_NB).min(n);
+                // SAFETY: task t owns rows [r0, r1) exclusively.
+                let rows = unsafe { shared.slice_mut(r0 * n..r1 * n) };
+                for row in rows.chunks_mut(n) {
+                    for j in j0..j1 {
+                        let jb = j - j0;
+                        let lrow = &l11[jb * bw..jb * bw + jb];
+                        let mut s = row[j];
+                        for (k, &lv) in lrow.iter().enumerate() {
+                            s -= row[j0 + k] * lv;
+                        }
+                        row[j] = s / l11[jb * bw + jb];
+                    }
+                }
+            };
+            if parallel {
+                pool::parallel_for(tasks, body);
+            } else {
+                for t in 0..tasks {
+                    body(t);
+                }
+            }
+        }
+        // Snapshot the solved panel: the trailing update of row i reads the
+        // panel rows of every j ≤ i, which other tasks own.
+        let mut panel = vec![0.0; rows_below * bw];
+        for (r, prow) in panel.chunks_mut(bw).enumerate() {
+            prow.copy_from_slice(&w[(j1 + r) * n + j0..(j1 + r) * n + j1]);
+        }
+        // Trailing update: A22 -= L21 · L21ᵀ (lower triangle only).
+        {
+            let shared = SharedSlice::new(&mut w);
+            let body = |t: usize| {
+                let r0 = j1 + t * CHOL_NB;
+                let r1 = (r0 + CHOL_NB).min(n);
+                // SAFETY: task t owns rows [r0, r1) exclusively; reads go to
+                // the immutable `panel` snapshot.
+                let rows = unsafe { shared.slice_mut(r0 * n..r1 * n) };
+                for (ri, row) in rows.chunks_mut(n).enumerate() {
+                    let i = r0 + ri;
+                    let pi = &panel[(i - j1) * bw..(i - j1 + 1) * bw];
+                    for j in j1..=i {
+                        let pj = &panel[(j - j1) * bw..(j - j1 + 1) * bw];
+                        row[j] -= gemm::dot(pi, pj);
+                    }
+                }
+            };
+            if parallel {
+                pool::parallel_for(tasks, body);
+            } else {
+                for t in 0..tasks {
+                    body(t);
+                }
+            }
+        }
+    }
+    Ok(Cholesky {
+        l: Matrix::from_vec(n, n, w),
+    })
 }
 
 impl Cholesky {
@@ -136,8 +302,20 @@ impl Cholesky {
 
     /// Computes the full inverse `A⁻¹ = L⁻ᵀ L⁻¹` (POTRI-style).
     ///
-    /// The result is exactly symmetric by construction.
+    /// The result is exactly symmetric by construction. Dimensions above one
+    /// block dispatch to [`Cholesky::inverse_with_block`].
     pub fn inverse(&self) -> Matrix {
+        if gemm::reference_kernels() || self.dim() <= CHOL_NB {
+            return self.inverse_unblocked();
+        }
+        self.inverse_with_block(CHOL_NB)
+    }
+
+    /// The seed inverse: serial scalar triangular inversion followed by the
+    /// scalar `MᵀM` product. Kept as the small-matrix path of
+    /// [`Cholesky::inverse`], the serial reference for `bench_kernels`, and
+    /// the parity baseline for the proptests.
+    pub fn inverse_unblocked(&self) -> Matrix {
         let n = self.dim();
         // Invert the lower-triangular factor: M = L⁻¹ (lower triangular).
         let mut m = Matrix::zeros(n, n);
@@ -165,6 +343,93 @@ impl Cholesky {
             }
         }
         inv
+    }
+
+    /// Pool-parallel inverse with an explicit block edge `nb`.
+    ///
+    /// Exposed so tests can force the blocked code path on small matrices.
+    /// Each column of `M = L⁻¹` is an independent forward substitution
+    /// (columns are distributed over the pool in `nb`-wide chunks), and the
+    /// symmetric product `A⁻¹ = MᵀM` is computed over upper-triangle blocks
+    /// exploiting the triangular sparsity of `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nb == 0`.
+    pub fn inverse_with_block(&self, nb: usize) -> Matrix {
+        assert!(nb >= 1, "inverse_with_block: block edge must be positive");
+        let n = self.dim();
+        let l = self.l.as_slice();
+        // `mt` holds Mᵀ row-major: row j of `mt` is column j of M = L⁻¹,
+        // contiguous for the forward substitution and the dots below.
+        let mut mt = vec![0.0; n * n];
+        {
+            let shared = SharedSlice::new(&mut mt);
+            let tasks = n.div_ceil(nb);
+            let parallel = pool::is_parallel() && tasks > 1 && n * n >= CHOL_PAR_ELEMS;
+            let body = |t: usize| {
+                let c0 = t * nb;
+                let c1 = (c0 + nb).min(n);
+                // SAFETY: task t owns columns [c0, c1) = `mt` rows [c0, c1).
+                let cols = unsafe { shared.slice_mut(c0 * n..c1 * n) };
+                for (ci, y) in cols.chunks_mut(n).enumerate() {
+                    let j = c0 + ci;
+                    // Forward substitution L y = e_j; y is zero above row j.
+                    y[j] = 1.0 / l[j * n + j];
+                    for i in (j + 1)..n {
+                        let s = gemm::dot(&l[i * n + j..i * n + i], &y[j..i]);
+                        y[i] = -s / l[i * n + i];
+                    }
+                }
+            };
+            if parallel {
+                pool::parallel_for(tasks, body);
+            } else {
+                for t in 0..tasks {
+                    body(t);
+                }
+            }
+        }
+        // A⁻¹(i, j) = Σ_k M(k, i) M(k, j); both columns are zero above
+        // max(i, j), so for i ≤ j the dot starts at k = j.
+        let mut inv = vec![0.0; n * n];
+        {
+            let shared = SharedSlice::new(&mut inv);
+            let blocks = n.div_ceil(nb);
+            let pairs: Vec<(usize, usize)> = (0..blocks)
+                .flat_map(|bi| (bi..blocks).map(move |bj| (bi, bj)))
+                .collect();
+            let parallel = pool::is_parallel() && pairs.len() > 1 && n * n >= CHOL_PAR_ELEMS;
+            let body = |t: usize| {
+                let (bi, bj) = pairs[t];
+                let i0 = bi * nb;
+                let i1 = (i0 + nb).min(n);
+                let j0 = bj * nb;
+                let j1 = (j0 + nb).min(n);
+                // SAFETY: upper-triangle block (bi, bj) is owned by this task.
+                let c = unsafe { shared.slice_mut(0..n * n) };
+                for i in i0..i1 {
+                    for j in j0.max(i)..j1 {
+                        c[i * n + j] =
+                            gemm::dot(&mt[i * n + j..(i + 1) * n], &mt[j * n + j..(j + 1) * n]);
+                    }
+                }
+            };
+            if parallel {
+                pool::parallel_for(pairs.len(), body);
+            } else {
+                for t in 0..pairs.len() {
+                    body(t);
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                inv[j * n + i] = inv[i * n + j];
+            }
+        }
+        Matrix::from_vec(n, n, inv)
     }
 
     /// Log-determinant of `A`: `2 Σ log L_ii`.
@@ -319,6 +584,50 @@ mod tests {
         let a = Matrix::from_diag(&[2.0, 3.0, 4.0]);
         let ch = cholesky(&a).unwrap();
         assert!((ch.log_det() - (24.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocked_factorization_matches_unblocked() {
+        for n in [5usize, 16, 33, 65, 130] {
+            let a = random_spd(n, 500 + n as u64);
+            let unblocked = cholesky_unblocked(&a).unwrap();
+            // Small nb forces the blocked path even on tiny matrices.
+            for nb in [2usize, 7, 16] {
+                let blocked = cholesky_with_block(&a, nb).unwrap();
+                assert!(
+                    blocked.factor().max_abs_diff(unblocked.factor()) < 1e-10,
+                    "blocked nb={nb} diverges at n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_inverse_matches_unblocked() {
+        for n in [5usize, 16, 33, 65] {
+            let a = random_spd(n, 900 + n as u64);
+            let ch = cholesky(&a).unwrap();
+            let reference = ch.inverse_unblocked();
+            for nb in [2usize, 7, 16] {
+                let blocked = ch.inverse_with_block(nb);
+                assert!(
+                    blocked.max_abs_diff(&reference) < 1e-10,
+                    "blocked inverse nb={nb} diverges at n={n}"
+                );
+                assert_eq!(blocked.max_asymmetry(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_factorization_reports_global_pivot() {
+        // Indefinite beyond the first block: pivot index must be global.
+        let mut a = random_spd(9, 77);
+        a[(7, 7)] = -100.0;
+        match cholesky_with_block(&a, 4) {
+            Err(TensorError::NotPositiveDefinite { pivot }) => assert_eq!(pivot, 7),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
     }
 
     #[test]

@@ -4,11 +4,18 @@
 //!
 //! The crate provides exactly the numerical kernels that K-FAC needs:
 //!
-//! - [`Matrix`]: a row-major dense `f64` matrix with GEMM, Gramian
-//!   accumulation (`XᵀX`), transpose and element-wise arithmetic.
-//! - [`chol`]: Cholesky factorization and SPD inversion — the CPU analogue of
-//!   the cuSolver path the paper uses to invert damped Kronecker factors
-//!   `(A + γI)⁻¹` and `(G + γI)⁻¹`.
+//! - [`Matrix`]: a row-major dense `f64` matrix with GEMM, transpose-free
+//!   `AᵀB`/`ABᵀ` products, Gramian/SYRK accumulation (`XᵀX`, `XXᵀ`),
+//!   transpose and element-wise arithmetic.
+//! - [`gemm`](mod@gemm): the packed, cache-blocked compute kernels behind
+//!   `Matrix` — register-tiled GEMM microkernel, half-FLOP SYRK, and the
+//!   serial reference kernels used for benchmarking/parity testing.
+//! - [`pool`]: the shared persistent worker pool (sized by `SPDKFAC_THREADS`)
+//!   that every parallel kernel dispatches through; results are bit-identical
+//!   for any thread count.
+//! - [`chol`]: blocked Cholesky factorization and SPD inversion — the CPU
+//!   analogue of the cuSolver path the paper uses to invert damped Kronecker
+//!   factors `(A + γI)⁻¹` and `(G + γI)⁻¹`.
 //! - [`SymPacked`]: upper-triangle packed storage with `d(d+1)/2` elements —
 //!   the wire format of §V-B ("we only need to send their upper triangle
 //!   elements").
@@ -37,13 +44,16 @@
 pub mod chol;
 pub mod eig;
 pub mod error;
+pub mod gemm;
 pub mod kron;
 pub mod matrix;
+pub mod pool;
 pub mod rng;
 pub mod sym;
 
 pub use chol::{cholesky, spd_inverse, Cholesky};
 pub use error::TensorError;
+pub use gemm::{reference_kernels, set_reference_kernels};
 pub use kron::{kron, precondition_gradient};
 pub use matrix::Matrix;
 pub use sym::SymPacked;

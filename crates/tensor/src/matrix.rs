@@ -1,17 +1,17 @@
 //! A row-major dense `f64` matrix and the handful of BLAS-like kernels the
 //! K-FAC reproduction needs.
 //!
-//! The implementation favours clarity and determinism over absolute speed,
-//! but the GEMM kernel is cache-blocked and the Gramian (`XᵀX`) kernel
-//! exploits symmetry, which is what the factor computation (Eq. 7/8 of the
-//! paper) spends its time in.
+//! Products ([`Matrix::matmul`], the transpose-free [`Matrix::matmul_nt`] /
+//! [`Matrix::matmul_tn`] variants) and symmetric rank-k accumulations
+//! ([`Matrix::gramian`], [`Matrix::syrk_nt`]) dispatch to the packed,
+//! pool-parallel kernels in [`crate::gemm`]; results are bit-identical for
+//! any `SPDKFAC_THREADS` setting (see [`crate::pool`] for the determinism
+//! contract).
 
 use crate::error::TensorError;
+use crate::gemm;
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub};
-
-/// Cache-block edge used by [`Matrix::matmul`].
-const GEMM_BLOCK: usize = 64;
 
 /// A dense, row-major matrix of `f64`.
 ///
@@ -200,7 +200,7 @@ impl Matrix {
 
     /// Dense matrix product `self · rhs`.
     ///
-    /// Cache-blocked i-k-j loop over row-major storage.
+    /// Dispatches to the packed, pool-parallel GEMM in [`crate::gemm`].
     ///
     /// # Panics
     ///
@@ -225,117 +225,89 @@ impl Matrix {
             });
         }
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
-        for ib in (0..m).step_by(GEMM_BLOCK) {
-            let ie = (ib + GEMM_BLOCK).min(m);
-            for kb in (0..k).step_by(GEMM_BLOCK) {
-                let ke = (kb + GEMM_BLOCK).min(k);
-                for jb in (0..n).step_by(GEMM_BLOCK) {
-                    let je = (jb + GEMM_BLOCK).min(n);
-                    for i in ib..ie {
-                        for kk in kb..ke {
-                            let a = self.data[i * k + kk];
-                            if a == 0.0 {
-                                continue;
-                            }
-                            let rrow = &rhs.data[kk * n + jb..kk * n + je];
-                            let orow = &mut out.data[i * n + jb..i * n + je];
-                            for (o, &r) in orow.iter_mut().zip(rrow.iter()) {
-                                *o += a * r;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        Ok(out)
+        let data = if gemm::reference_kernels() {
+            gemm::matmul_reference(m, k, n, &self.data, &rhs.data)
+        } else {
+            gemm::gemm(false, false, m, k, n, &self.data, &rhs.data)
+        };
+        Ok(Matrix::from_vec(m, n, data))
     }
 
-    /// Multi-threaded matrix product: row blocks of `self` are distributed
-    /// across `threads` workers (std scoped threads), each running the
-    /// same cache-blocked kernel as [`Matrix::matmul`]. Produces bit-identical
-    /// results to the serial product (each output row is computed by exactly
-    /// one worker with the serial loop order).
+    /// Transpose-free product `self · rhsᵀ`.
+    ///
+    /// Equivalent to `self.matmul(&rhs.transpose())` without materialising
+    /// the transpose: the GEMM packing routine reads `rhs` column-wise.
     ///
     /// # Panics
     ///
-    /// Panics if the inner dimensions disagree or `threads == 0`.
-    pub fn par_matmul(&self, rhs: &Matrix, threads: usize) -> Matrix {
-        assert!(threads > 0, "par_matmul: need at least one thread");
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, rhs.rows,
-            "par_matmul: shape mismatch {}x{} · {}x{}",
+            self.cols, rhs.cols,
+            "matmul_nt: shape mismatch {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        if threads == 1 || m < 2 * threads {
-            return self.matmul(rhs);
+        if gemm::reference_kernels() {
+            return self.matmul(&rhs.transpose());
         }
-        let mut out = Matrix::zeros(m, n);
-        let rows_per = m.div_ceil(threads);
-        let out_chunks: Vec<&mut [f64]> = out.data.chunks_mut(rows_per * n).collect();
-        std::thread::scope(|s| {
-            for (chunk_idx, chunk) in out_chunks.into_iter().enumerate() {
-                let row0 = chunk_idx * rows_per;
-                s.spawn(move || {
-                    let rows_here = chunk.len() / n;
-                    for ib in (0..rows_here).step_by(GEMM_BLOCK) {
-                        let ie = (ib + GEMM_BLOCK).min(rows_here);
-                        for kb in (0..k).step_by(GEMM_BLOCK) {
-                            let ke = (kb + GEMM_BLOCK).min(k);
-                            for jb in (0..n).step_by(GEMM_BLOCK) {
-                                let je = (jb + GEMM_BLOCK).min(n);
-                                for i in ib..ie {
-                                    for kk in kb..ke {
-                                        let a = self.data[(row0 + i) * k + kk];
-                                        if a == 0.0 {
-                                            continue;
-                                        }
-                                        let rrow = &rhs.data[kk * n + jb..kk * n + je];
-                                        let orow = &mut chunk[i * n + jb..i * n + je];
-                                        for (o, &r) in orow.iter_mut().zip(rrow.iter()) {
-                                            *o += a * r;
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                });
-            }
-        });
-        out
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        Matrix::from_vec(
+            m,
+            n,
+            gemm::gemm(false, true, m, k, n, &self.data, &rhs.data),
+        )
+    }
+
+    /// Transpose-free product `selfᵀ · rhs`.
+    ///
+    /// Equivalent to `self.transpose().matmul(rhs)` without materialising
+    /// the transpose: the GEMM packing routine reads `self` column-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn: shape mismatch ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        if gemm::reference_kernels() {
+            return self.transpose().matmul(rhs);
+        }
+        let (m, k, n) = (self.cols, self.rows, rhs.cols);
+        Matrix::from_vec(
+            m,
+            n,
+            gemm::gemm(true, false, m, k, n, &self.data, &rhs.data),
+        )
     }
 
     /// Gramian `selfᵀ · self` exploiting symmetry (computes the upper triangle
-    /// and mirrors it).
+    /// at half the FLOPs of the equivalent GEMM and mirrors it).
     ///
     /// This is the kernel behind the Kronecker-factor computations
     /// `A = E[a aᵀ]` and `G = E[g gᵀ]` (Eq. 7/8), where the rows of `self`
-    /// are per-sample activation / gradient vectors.
+    /// are per-sample activation / gradient vectors. Dispatches to the
+    /// blocked, pool-parallel SYRK in [`crate::gemm`].
     pub fn gramian(&self) -> Matrix {
         let (n, d) = (self.rows, self.cols);
-        let mut out = Matrix::zeros(d, d);
-        for s in 0..n {
-            let row = &self.data[s * d..(s + 1) * d];
-            for i in 0..d {
-                let v = row[i];
-                if v == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * d + i..(i + 1) * d];
-                for (o, &r) in orow.iter_mut().zip(row[i..].iter()) {
-                    *o += v * r;
-                }
-            }
+        let data = if gemm::reference_kernels() {
+            gemm::gramian_reference(n, d, &self.data)
+        } else {
+            gemm::syrk_tn(n, d, &self.data)
+        };
+        Matrix::from_vec(d, d, data)
+    }
+
+    /// Symmetric rank-k product `self · selfᵀ` (the `AAᵀ` companion of
+    /// [`Matrix::gramian`]) at half the FLOPs of the equivalent GEMM.
+    pub fn syrk_nt(&self) -> Matrix {
+        if gemm::reference_kernels() {
+            return self.matmul(&self.transpose());
         }
-        // Mirror the strictly-upper triangle into the lower one.
-        for i in 0..d {
-            for j in (i + 1)..d {
-                out.data[j * d + i] = out.data[i * d + j];
-            }
-        }
-        out
+        let (n, d) = (self.rows, self.cols);
+        Matrix::from_vec(n, n, gemm::syrk_nt(n, d, &self.data))
     }
 
     /// Gramian scaled by `1/scale`: `selfᵀ·self / scale`.
@@ -600,7 +572,7 @@ mod tests {
     }
 
     #[test]
-    fn par_matmul_matches_serial_bitwise() {
+    fn matmul_nt_matches_explicit_transpose() {
         let mut rng = MatrixRng::new(21);
         for (m, k, n) in [
             (1usize, 1usize, 1usize),
@@ -609,24 +581,60 @@ mod tests {
             (130, 70, 90),
         ] {
             let a = rng.uniform_matrix(m, k, -2.0, 2.0);
-            let b = rng.uniform_matrix(k, n, -2.0, 2.0);
-            let serial = a.matmul(&b);
-            for threads in [1usize, 2, 3, 8] {
-                let par = a.par_matmul(&b, threads);
-                assert_eq!(
-                    par, serial,
-                    "mismatch at {m}x{k}x{n} with {threads} threads"
-                );
-            }
+            let b = rng.uniform_matrix(n, k, -2.0, 2.0);
+            let explicit = a.matmul(&b.transpose());
+            let fused = a.matmul_nt(&b);
+            assert!(
+                fused.max_abs_diff(&explicit) < 1e-12,
+                "matmul_nt mismatch at {m}x{k}x{n}"
+            );
         }
     }
 
     #[test]
-    fn par_matmul_with_more_threads_than_rows() {
+    fn matmul_tn_matches_explicit_transpose() {
         let mut rng = MatrixRng::new(22);
-        let a = rng.uniform_matrix(3, 4, -1.0, 1.0);
-        let b = rng.uniform_matrix(4, 2, -1.0, 1.0);
-        assert_eq!(a.par_matmul(&b, 16), a.matmul(&b));
+        for (m, k, n) in [(1usize, 1usize, 1usize), (5, 7, 3), (70, 33, 65)] {
+            let a = rng.uniform_matrix(k, m, -2.0, 2.0);
+            let b = rng.uniform_matrix(k, n, -2.0, 2.0);
+            let explicit = a.transpose().matmul(&b);
+            let fused = a.matmul_tn(&b);
+            assert!(
+                fused.max_abs_diff(&explicit) < 1e-12,
+                "matmul_tn mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn syrk_nt_matches_explicit_transpose() {
+        let mut rng = MatrixRng::new(23);
+        for (n, d) in [(1usize, 1usize), (6, 9), (65, 40)] {
+            let x = rng.uniform_matrix(n, d, -2.0, 2.0);
+            let explicit = x.matmul(&x.transpose());
+            let fused = x.syrk_nt();
+            assert!(
+                fused.max_abs_diff(&explicit) < 1e-12,
+                "syrk_nt mismatch at {n}x{d}"
+            );
+            assert_eq!(fused.max_asymmetry(), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_nt: shape mismatch")]
+    fn matmul_nt_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        let _ = a.matmul_nt(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_tn: shape mismatch")]
+    fn matmul_tn_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let _ = a.matmul_tn(&b);
     }
 
     #[test]

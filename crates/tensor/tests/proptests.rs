@@ -9,6 +9,21 @@ fn dim() -> impl Strategy<Value = usize> {
     1usize..20
 }
 
+/// Strategy: a GEMM edge length straddling the microkernel (4×8) and cache
+/// block (64) boundaries, including non-multiples of every block size and
+/// sizes large enough to cross into the packed SYRK path.
+fn gemm_dim() -> impl Strategy<Value = usize> {
+    1usize..140
+}
+
+/// Naive triple-loop product — the ground truth the packed kernels are
+/// checked against.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    Matrix::from_fn(m, n, |i, j| (0..k).map(|p| a[(i, p)] * b[(p, j)]).sum())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -96,5 +111,57 @@ proptest! {
         let a = rng.spd_matrix(d, 0.0);
         let damped = a.damped(gamma);
         prop_assert!((damped.trace() - a.trace() - gamma * d as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packed_gemm_matches_naive(m in gemm_dim(), k in gemm_dim(), n in gemm_dim(), seed in 0u64..1_000_000) {
+        let mut rng = MatrixRng::new(seed);
+        let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+        let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+        prop_assert!(a.matmul(&b).max_abs_diff(&naive_matmul(&a, &b)) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_free_gemm_matches_naive(m in gemm_dim(), k in gemm_dim(), n in gemm_dim(), seed in 0u64..1_000_000) {
+        let mut rng = MatrixRng::new(seed);
+        // A · Bᵀ without materialising Bᵀ.
+        let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+        let bt = rng.uniform_matrix(n, k, -1.0, 1.0);
+        prop_assert!(a.matmul_nt(&bt).max_abs_diff(&naive_matmul(&a, &bt.transpose())) < 1e-12);
+        // Aᵀ · B without materialising Aᵀ.
+        let at = rng.uniform_matrix(k, m, -1.0, 1.0);
+        let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+        prop_assert!(at.matmul_tn(&b).max_abs_diff(&naive_matmul(&at.transpose(), &b)) < 1e-12);
+    }
+
+    #[test]
+    fn syrk_matches_naive(rows in gemm_dim(), d in gemm_dim(), seed in 0u64..1_000_000) {
+        let mut rng = MatrixRng::new(seed);
+        let x = rng.uniform_matrix(rows, d, -1.0, 1.0);
+        let gram = x.gramian();
+        prop_assert!(gram.max_abs_diff(&naive_matmul(&x.transpose(), &x)) < 1e-12);
+        prop_assert_eq!(gram.max_asymmetry(), 0.0);
+        let outer = x.syrk_nt();
+        prop_assert!(outer.max_abs_diff(&naive_matmul(&x, &x.transpose())) < 1e-12);
+        prop_assert_eq!(outer.max_asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn blocked_cholesky_matches_serial_reference(d in 2usize..40, nb in 1usize..17, seed in 0u64..1_000_000) {
+        let mut rng = MatrixRng::new(seed);
+        let a = rng.spd_matrix(d, 0.5);
+        let reference = chol::cholesky_unblocked(&a).unwrap();
+        let blocked = chol::cholesky_with_block(&a, nb).unwrap();
+        prop_assert!(blocked.factor().max_abs_diff(reference.factor()) < 1e-12);
+    }
+
+    #[test]
+    fn blocked_inverse_matches_serial_reference(d in 2usize..40, nb in 1usize..17, seed in 0u64..1_000_000) {
+        let mut rng = MatrixRng::new(seed);
+        let a = rng.spd_matrix(d, 0.5);
+        let ch = chol::cholesky(&a).unwrap();
+        let blocked = ch.inverse_with_block(nb);
+        prop_assert!(blocked.max_abs_diff(&ch.inverse_unblocked()) < 1e-12);
+        prop_assert_eq!(blocked.max_asymmetry(), 0.0);
     }
 }
