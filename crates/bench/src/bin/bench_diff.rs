@@ -1,0 +1,323 @@
+//! Performance-regression diff over two `BENCH_kernels.json` snapshots.
+//!
+//! Parses a baseline and a candidate produced by `bench_kernels` (any mix of
+//! `--smoke` and full runs), matches rows by `(kernel, dim)`, and prints the
+//! per-kernel `optimized_s` deltas. Exits nonzero when any overlapping row
+//! regressed past the threshold, so CI can gate on it:
+//!
+//! ```text
+//! cargo run --release -p spdkfac-bench --bin bench_diff -- \
+//!     BENCH_kernels.json /tmp/fresh.json --threshold 1.5
+//! ```
+//!
+//! `--check` relaxes the comparison for schema gating: both files must parse
+//! and carry the expected schema and well-formed kernel rows, but an empty
+//! overlap (e.g. a `--smoke` candidate against a committed full run, whose
+//! dimension grids are disjoint) passes instead of failing — the point of
+//! that mode is "the artifact is still the shape the tooling expects".
+//!
+//! Exit codes: `0` ok, `1` regression past threshold, `2` usage / parse /
+//! schema error.
+
+use spdkfac_obs::table::{fmt_secs, Table};
+use spdkfac_obs::{parse_json, JsonValue};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Expected `schema` field of both inputs.
+const SCHEMA: &str = "spdkfac-bench-kernels-v1";
+
+/// Default regression threshold: candidate slower than `1.25 x` baseline.
+const DEFAULT_THRESHOLD: f64 = 1.25;
+
+/// One `(kernel, dim) -> optimized_s` mapping extracted from a bench file.
+type KernelTimes = BTreeMap<(String, usize), f64>;
+
+/// Parsed command line.
+struct Args {
+    baseline: String,
+    candidate: String,
+    threshold: f64,
+    check: bool,
+}
+
+fn usage() -> String {
+    "usage: bench_diff <baseline.json> <candidate.json> [--threshold X] [--check]".to_string()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut check = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                let v = argv
+                    .get(i)
+                    .ok_or_else(|| "--threshold needs a value".to_string())?;
+                threshold = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("--threshold {v}: {e}"))?;
+                if !(threshold.is_finite() && threshold > 0.0) {
+                    return Err(format!("--threshold must be positive, got {threshold}"));
+                }
+            }
+            "--check" => check = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if positional.len() != 2 {
+        return Err(usage());
+    }
+    Ok(Args {
+        baseline: positional.remove(0),
+        candidate: positional.remove(0),
+        threshold,
+        check,
+    })
+}
+
+/// Validates the schema and extracts `(kernel, dim) -> optimized_s`.
+fn extract(doc: &JsonValue, name: &str) -> Result<KernelTimes, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("{name}: missing schema field"))?;
+    if schema != SCHEMA {
+        return Err(format!("{name}: schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    let kernels = doc
+        .get("kernels")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{name}: missing kernels array"))?;
+    let mut out = KernelTimes::new();
+    for (i, row) in kernels.iter().enumerate() {
+        let kernel = row
+            .get("kernel")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{name}: kernels[{i}] missing kernel"))?;
+        let dim = row
+            .get("dim")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{name}: kernels[{i}] missing dim"))?;
+        let secs = row
+            .get("optimized_s")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{name}: kernels[{i}] missing optimized_s"))?;
+        if !(secs.is_finite() && secs > 0.0) {
+            return Err(format!("{name}: kernels[{i}] optimized_s must be positive"));
+        }
+        out.insert((kernel.to_string(), dim as usize), secs);
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<KernelTimes, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    extract(&doc, path)
+}
+
+/// One diffed row.
+struct DiffRow {
+    kernel: String,
+    dim: usize,
+    baseline: f64,
+    candidate: f64,
+}
+
+impl DiffRow {
+    fn ratio(&self) -> f64 {
+        self.candidate / self.baseline
+    }
+}
+
+/// Joins the two snapshots on `(kernel, dim)`.
+fn diff(baseline: &KernelTimes, candidate: &KernelTimes) -> Vec<DiffRow> {
+    baseline
+        .iter()
+        .filter_map(|((kernel, dim), &b)| {
+            candidate.get(&(kernel.clone(), *dim)).map(|&c| DiffRow {
+                kernel: kernel.clone(),
+                dim: *dim,
+                baseline: b,
+                candidate: c,
+            })
+        })
+        .collect()
+}
+
+/// Renders the diff table and returns the regressed rows.
+fn report(rows: &[DiffRow], threshold: f64) -> Vec<String> {
+    let mut t = Table::new(["kernel", "dim", "baseline", "candidate", "ratio", "status"]);
+    let mut regressed = Vec::new();
+    for r in rows {
+        let ratio = r.ratio();
+        let status = if ratio > threshold {
+            regressed.push(format!("{} d={} ({:.2}x)", r.kernel, r.dim, ratio));
+            "REGRESSED"
+        } else if ratio < 1.0 / threshold {
+            "improved"
+        } else {
+            "ok"
+        };
+        t.push_row([
+            r.kernel.clone(),
+            r.dim.to_string(),
+            fmt_secs(r.baseline),
+            fmt_secs(r.candidate),
+            format!("{ratio:.3}"),
+            status.to_string(),
+        ]);
+    }
+    print!("{}", t.render_text());
+    regressed
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    let baseline = load(&args.baseline)?;
+    let candidate = load(&args.candidate)?;
+    let rows = diff(&baseline, &candidate);
+    if rows.is_empty() {
+        if args.check {
+            println!(
+                "bench_diff --check: schemas ok, no overlapping (kernel, dim) rows to compare"
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        return Err(format!(
+            "no overlapping (kernel, dim) rows between {} and {}",
+            args.baseline, args.candidate
+        ));
+    }
+    let regressed = report(&rows, args.threshold);
+    println!(
+        "{} row(s) compared, threshold {:.2}x, {} regression(s)",
+        rows.len(),
+        args.threshold,
+        regressed.len()
+    );
+    if regressed.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for r in &regressed {
+            eprintln!("regression: {r}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(scale: f64) -> String {
+        let mut rows = Vec::new();
+        for (k, d, s) in [
+            ("gemm", 64, 1e-4),
+            ("syrk", 64, 2e-4),
+            ("cholesky_inverse", 64, 3e-4),
+        ] {
+            rows.push(format!(
+                "{{\"kernel\": \"{k}\", \"dim\": {d}, \"reps\": 3, \
+                 \"optimized_s\": {:.9}, \"reference_s\": null, \"speedup\": null}}",
+                s * scale
+            ));
+        }
+        format!(
+            "{{\"schema\": \"{SCHEMA}\", \"smoke\": true, \"threads\": 1, \
+             \"kernels\": [{}]}}",
+            rows.join(", ")
+        )
+    }
+
+    fn times(scale: f64) -> KernelTimes {
+        extract(
+            &parse_json(&fixture(scale)).expect("fixture parses"),
+            "fixture",
+        )
+        .expect("fixture extracts")
+    }
+
+    #[test]
+    fn extract_reads_rows_and_rejects_bad_schema() {
+        let t = times(1.0);
+        assert_eq!(t.len(), 3);
+        assert!((t[&("gemm".to_string(), 64)] - 1e-4).abs() < 1e-12);
+        let bad = fixture(1.0).replace(SCHEMA, "other-schema");
+        assert!(extract(&parse_json(&bad).expect("parses"), "bad").is_err());
+    }
+
+    #[test]
+    fn two_x_regression_fixture_trips_the_threshold() {
+        // The acceptance fixture: candidate uniformly 2x slower than
+        // baseline must regress past the default 1.25x threshold.
+        let rows = diff(&times(1.0), &times(2.0));
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| (r.ratio() - 2.0).abs() < 1e-9));
+        let regressed = report(&rows, DEFAULT_THRESHOLD);
+        assert_eq!(regressed.len(), 3);
+    }
+
+    #[test]
+    fn equal_snapshots_pass() {
+        let rows = diff(&times(1.0), &times(1.0));
+        assert!(report(&rows, DEFAULT_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn improvement_is_not_a_regression() {
+        let rows = diff(&times(1.0), &times(0.4));
+        assert!(report(&rows, DEFAULT_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn disjoint_dims_yield_no_rows() {
+        let mut shifted = KernelTimes::new();
+        for ((k, d), v) in times(1.0) {
+            shifted.insert((k, d * 2), v);
+        }
+        assert!(diff(&times(1.0), &shifted).is_empty());
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let ok = parse_args(&[
+            "a.json".into(),
+            "b.json".into(),
+            "--threshold".into(),
+            "1.5".into(),
+            "--check".into(),
+        ])
+        .expect("valid args");
+        assert_eq!(ok.baseline, "a.json");
+        assert_eq!(ok.candidate, "b.json");
+        assert!((ok.threshold - 1.5).abs() < 1e-12);
+        assert!(ok.check);
+        assert!(parse_args(&["a.json".into()]).is_err());
+        assert!(parse_args(&["a".into(), "b".into(), "--threshold".into(), "-1".into()]).is_err());
+        assert!(parse_args(&["a".into(), "b".into(), "--bogus".into()]).is_err());
+    }
+}

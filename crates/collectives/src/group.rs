@@ -19,7 +19,7 @@
 
 use crate::ring::RingEndpoint;
 use crate::stats::{OpKind, TrafficStats};
-use spdkfac_obs::{Phase, Recorder, Span};
+use spdkfac_obs::{CollEdge, Phase, Recorder, Span, SpanMeta};
 use std::borrow::Cow;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
@@ -128,6 +128,21 @@ impl CollOp {
             | CollOp::AllGather { data, .. }
             | CollOp::ReduceSum { data, .. }
             | CollOp::Gather { data, .. } => data.len(),
+        }
+    }
+
+    /// Cross-rank causal role of the op, for the span metadata consumed by
+    /// the causal-graph builder.
+    fn edge(&self) -> CollEdge {
+        match self {
+            CollOp::AllReduceSum { .. }
+            | CollOp::AllReduceAvg { .. }
+            | CollOp::ReduceScatterAvg { .. }
+            | CollOp::AllGather { .. } => CollEdge::Join,
+            CollOp::Broadcast { root, .. } => CollEdge::FanOut { root: *root },
+            CollOp::ReduceSum { root, .. } | CollOp::Gather { root, .. } => {
+                CollEdge::FanIn { root: *root }
+            }
         }
     }
 }
@@ -402,6 +417,11 @@ impl LocalGroup {
 struct CommTelemetry {
     rec: Arc<Recorder>,
     track: usize,
+    /// Collective submission sequence number; the SPMD contract makes the
+    /// k-th collective on every rank's comm thread the same logical op, so
+    /// stamping `seq` onto each span lets the causal builder match them
+    /// across ranks without any wire protocol.
+    seq: u64,
     hists: Vec<Arc<spdkfac_obs::Histogram>>,
     op_counts: Vec<Arc<spdkfac_obs::Counter>>,
     elem_counts: Vec<Arc<spdkfac_obs::Counter>>,
@@ -425,19 +445,35 @@ impl CommTelemetry {
         CommTelemetry {
             rec,
             track,
+            seq: 0,
             hists,
             op_counts,
             elem_counts,
         }
     }
 
-    fn record(&self, kind: OpKind, elements: usize, phase: Phase, start: f64, end: f64) {
+    fn record(
+        &mut self,
+        kind: OpKind,
+        elements: usize,
+        edge: CollEdge,
+        phase: Phase,
+        start: f64,
+        end: f64,
+    ) {
+        let seq = self.seq;
+        self.seq += 1;
         self.rec.record(Span {
             track: self.track,
             phase,
             label: Cow::Borrowed(kind.name()),
             start,
             end,
+            meta: SpanMeta {
+                edge: Some(edge),
+                seq: Some(seq),
+                size: Some(elements),
+            },
         });
         let i = kind.index();
         self.hists[i].observe(end - start);
@@ -507,12 +543,13 @@ fn comm_thread_main(ring: RingEndpoint, req_rx: Receiver<Request>) {
             Request::Op { op, phase } => {
                 let kind = op.kind();
                 let elements = op.elements();
-                match &telemetry {
+                let edge = op.edge();
+                match &mut telemetry {
                     Some(t) => {
                         let start = t.rec.now();
                         execute(&ring, op);
                         let end = t.rec.now();
-                        t.record(kind, elements, phase, start, end);
+                        t.record(kind, elements, edge, phase, start, end);
                     }
                     None => execute(&ring, op),
                 }
@@ -850,6 +887,14 @@ mod tests {
             assert_eq!(track_spans[0].display_name(), "allreduce");
             assert_eq!(track_spans[1].phase, Phase::InverseComm);
             assert_eq!(track_spans[1].display_name(), "broadcast");
+            // Causal metadata: the k-th op on every rank carries seq == k,
+            // the op's edge kind, and the wire element count.
+            assert_eq!(track_spans[0].meta.seq, Some(0));
+            assert_eq!(track_spans[0].meta.edge, Some(CollEdge::Join));
+            assert_eq!(track_spans[0].meta.size, Some(256));
+            assert_eq!(track_spans[1].meta.seq, Some(1));
+            assert_eq!(track_spans[1].meta.edge, Some(CollEdge::FanOut { root: 0 }));
+            assert_eq!(track_spans[1].meta.size, Some(64));
         }
         let snap = rec.metrics().snapshot();
         assert_eq!(snap.counters["coll/allreduce/ops"], world as u64);

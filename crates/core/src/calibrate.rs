@@ -1,0 +1,655 @@
+//! Online cost-model calibration from recorded span streams.
+//!
+//! LBP (Algorithm 1) and dynamic tensor fusion (Eq. 15) both decide from
+//! *a-priori* cost models: [`AlphaBetaModel`] for collectives (Eq. 14/27)
+//! and [`ExpInverseModel`] for inversions (Eq. 26). The paper fits those
+//! models offline (Fig. 7/8); this module closes the loop online:
+//!
+//! 1. **Ingest** — measured `(size, seconds)` samples are streamed out of a
+//!    [`Recorder`]'s spans into rolling windows, keyed by operation kind.
+//!    Collective spans carry their element count and edge shape in
+//!    [`spdkfac_obs::SpanMeta`] (`Join` → all-reduce, `FanOut` →
+//!    broadcast); per-tensor `InverseComp` spans carry the tensor dimension.
+//! 2. **Refit** — each window is re-fit with the matching least-squares
+//!    fitter from [`crate::perf`], guarded so a degenerate window (too few
+//!    samples, a single distinct size, non-positive times) keeps the
+//!    previous fit instead of panicking.
+//! 3. **Report** — predicted-vs-measured residuals and parameter drift are
+//!    exported through a [`MetricsRegistry`], and [`Calibrator::check_drift`]
+//!    answers the question that actually matters: *would the drift flip a
+//!    decision?* It re-runs the NCT/CT classification and the Eq. 15 fusion
+//!    plan under the refit models and reports every flip — report-only; the
+//!    running plan is never mutated mid-run.
+
+use crate::fusion::{self, FactorPipeline, FusionStrategy};
+use crate::perf::{AlphaBetaModel, CubicCostModel, ExpInverseModel};
+use crate::placement::{self, PlacementStrategy};
+use spdkfac_obs::{CollEdge, MetricsRegistry, Phase, Recorder, Span, Table};
+
+/// Which rolling sample window a measurement belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleKind {
+    /// Fused factor / gradient all-reduces: `(elements, seconds)`.
+    AllReduce,
+    /// Inverse-result broadcasts: `(elements, seconds)`.
+    Broadcast,
+    /// Matrix inversions / eigendecompositions: `(dimension, seconds)`.
+    Inverse,
+}
+
+impl SampleKind {
+    /// Metric-name component (`calib/<name>/...`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SampleKind::AllReduce => "allreduce",
+            SampleKind::Broadcast => "broadcast",
+            SampleKind::Inverse => "inverse",
+        }
+    }
+}
+
+/// A bounded FIFO of `(size, seconds)` measurements.
+#[derive(Debug, Clone)]
+struct SampleWindow {
+    cap: usize,
+    samples: Vec<(usize, f64)>,
+}
+
+impl SampleWindow {
+    fn new(cap: usize) -> Self {
+        SampleWindow {
+            cap: cap.max(2),
+            samples: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, size: usize, secs: f64) {
+        if !secs.is_finite() || secs <= 0.0 {
+            return; // fitters require positive, finite times
+        }
+        if self.samples.len() == self.cap {
+            self.samples.remove(0);
+        }
+        self.samples.push((size, secs));
+    }
+
+    fn distinct_sizes(&self) -> usize {
+        let mut sizes: Vec<usize> = self.samples.iter().map(|&(s, _)| s).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        sizes.len()
+    }
+
+    /// `true` when a least-squares line through the window is well-posed.
+    fn fittable(&self) -> bool {
+        self.samples.len() >= 2 && self.distinct_sizes() >= 2
+    }
+}
+
+/// Fit models from the latest refit, where the windows allowed one.
+#[derive(Debug, Clone, Default)]
+pub struct RefitModels {
+    /// All-reduce α-β line over raw element counts.
+    pub allreduce: Option<AlphaBetaModel>,
+    /// Broadcast α-β line over raw element counts.
+    pub broadcast: Option<AlphaBetaModel>,
+    /// Exponential inversion model over tensor dimensions (Eq. 26).
+    pub inverse: Option<ExpInverseModel>,
+    /// Cubic inversion model over tensor dimensions (the O(d³) sanity fit).
+    pub inverse_cubic: Option<CubicCostModel>,
+}
+
+/// One decision flip found by the counterfactual re-plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecisionFlip {
+    /// Tensor `tensor` (of dimension `dim`) changed NCT/CT class.
+    NctFlip {
+        /// Index into the `dims` slice passed to `check_drift`.
+        tensor: usize,
+        /// Tensor dimension.
+        dim: usize,
+        /// `true` when the baseline classified it NCT and the refit CT;
+        /// `false` for the opposite direction.
+        was_nct: bool,
+    },
+    /// The Eq. 15 fusion plan changed message count under the refit
+    /// communication model.
+    FusionFlip {
+        /// Messages under the baseline model.
+        baseline_messages: usize,
+        /// Messages under the refit model.
+        refit_messages: usize,
+    },
+}
+
+/// Report-only outcome of a counterfactual re-plan under refit models.
+#[derive(Debug, Clone, Default)]
+pub struct DriftReport {
+    /// Every decision the drift would flip.
+    pub flips: Vec<DecisionFlip>,
+    /// Largest NCT dimension under the baseline models, per
+    /// [`ExpInverseModel::nct_threshold`].
+    pub baseline_nct_threshold: Option<usize>,
+    /// Largest NCT dimension under the refit models (None when the refit
+    /// models are unavailable or no dimension qualifies).
+    pub refit_nct_threshold: Option<usize>,
+}
+
+impl DriftReport {
+    /// Number of tensors whose NCT/CT class flipped.
+    pub fn nct_flips(&self) -> usize {
+        self.flips
+            .iter()
+            .filter(|f| matches!(f, DecisionFlip::NctFlip { .. }))
+            .count()
+    }
+
+    /// `true` when the fusion plan changed message count.
+    pub fn fusion_flipped(&self) -> bool {
+        self.flips
+            .iter()
+            .any(|f| matches!(f, DecisionFlip::FusionFlip { .. }))
+    }
+
+    /// `true` when any decision flipped.
+    pub fn any(&self) -> bool {
+        !self.flips.is_empty()
+    }
+
+    /// Human-readable flip listing.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "drift re-plan: {} flip(s); NCT threshold {:?} -> {:?}\n",
+            self.flips.len(),
+            self.baseline_nct_threshold,
+            self.refit_nct_threshold,
+        ));
+        if self.flips.is_empty() {
+            return out;
+        }
+        let mut t = Table::new(["flip", "detail"]);
+        for f in &self.flips {
+            match f {
+                DecisionFlip::NctFlip {
+                    tensor,
+                    dim,
+                    was_nct,
+                } => {
+                    let dir = if *was_nct { "NCT -> CT" } else { "CT -> NCT" };
+                    t.push_row([
+                        "nct".to_string(),
+                        format!("tensor {tensor} (d={dim}) {dir}"),
+                    ]);
+                }
+                DecisionFlip::FusionFlip {
+                    baseline_messages,
+                    refit_messages,
+                } => {
+                    t.push_row([
+                        "fusion".to_string(),
+                        format!("{baseline_messages} -> {refit_messages} messages"),
+                    ]);
+                }
+            }
+        }
+        out.push_str(&t.render_text());
+        out
+    }
+}
+
+/// Streams measured span durations into rolling model refits and flags
+/// decision-flipping drift. See the module docs for the pipeline.
+#[derive(Debug, Clone)]
+pub struct Calibrator {
+    baseline_comp: ExpInverseModel,
+    baseline_comm: AlphaBetaModel,
+    allreduce: SampleWindow,
+    broadcast: SampleWindow,
+    inverse: SampleWindow,
+    refit: RefitModels,
+}
+
+/// Default rolling-window capacity (samples per kind).
+pub const DEFAULT_WINDOW: usize = 512;
+
+impl Calibrator {
+    /// Creates a calibrator around the baseline models a trainer planned
+    /// with (`DistributedConfig::{comp_model, comm_model}`).
+    pub fn new(baseline_comp: ExpInverseModel, baseline_comm: AlphaBetaModel) -> Self {
+        Self::with_window(baseline_comp, baseline_comm, DEFAULT_WINDOW)
+    }
+
+    /// As [`Calibrator::new`] with an explicit rolling-window capacity.
+    pub fn with_window(
+        baseline_comp: ExpInverseModel,
+        baseline_comm: AlphaBetaModel,
+        window: usize,
+    ) -> Self {
+        Calibrator {
+            baseline_comp,
+            baseline_comm,
+            allreduce: SampleWindow::new(window),
+            broadcast: SampleWindow::new(window),
+            inverse: SampleWindow::new(window),
+            refit: RefitModels::default(),
+        }
+    }
+
+    /// Adds one measurement directly.
+    pub fn push(&mut self, kind: SampleKind, size: usize, secs: f64) {
+        match kind {
+            SampleKind::AllReduce => self.allreduce.push(size, secs),
+            SampleKind::Broadcast => self.broadcast.push(size, secs),
+            SampleKind::Inverse => self.inverse.push(size, secs),
+        }
+    }
+
+    /// Number of samples currently held for `kind`.
+    pub fn len(&self, kind: SampleKind) -> usize {
+        match kind {
+            SampleKind::AllReduce => self.allreduce.samples.len(),
+            SampleKind::Broadcast => self.broadcast.samples.len(),
+            SampleKind::Inverse => self.inverse.samples.len(),
+        }
+    }
+
+    /// `true` when no samples have been ingested at all.
+    pub fn is_empty(&self) -> bool {
+        [
+            SampleKind::AllReduce,
+            SampleKind::Broadcast,
+            SampleKind::Inverse,
+        ]
+        .iter()
+        .all(|&k| self.len(k) == 0)
+    }
+
+    /// Streams every sized span in `spans` into the matching window and
+    /// returns the number of samples ingested. Spans are classified by
+    /// their [`spdkfac_obs::SpanMeta`]: collective edges `Join` → all-reduce
+    /// and `FanOut` → broadcast (sized in elements), and `InverseComp`
+    /// compute spans → inversions (sized in tensor dimension). Spans
+    /// without a size are skipped — they carry no calibration signal.
+    pub fn ingest_spans(&mut self, spans: &[Span]) -> usize {
+        let mut n = 0usize;
+        for s in spans {
+            let Some(size) = s.meta.size else { continue };
+            let secs = s.end - s.start;
+            let kind = match s.meta.edge {
+                Some(CollEdge::Join) => Some(SampleKind::AllReduce),
+                Some(CollEdge::FanOut { .. }) => Some(SampleKind::Broadcast),
+                Some(CollEdge::FanIn { .. }) => None,
+                None if s.phase == Phase::InverseComp => Some(SampleKind::Inverse),
+                None => None,
+            };
+            if let Some(k) = kind {
+                if secs.is_finite() && secs > 0.0 {
+                    self.push(k, size, secs);
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// [`Calibrator::ingest_spans`] over everything a recorder holds.
+    pub fn ingest_recorder(&mut self, rec: &Recorder) -> usize {
+        self.ingest_spans(&rec.spans())
+    }
+
+    /// Re-fits every window that is currently well-posed; windows that are
+    /// not keep their previous fit. Returns the refreshed models.
+    pub fn refit(&mut self) -> &RefitModels {
+        if self.allreduce.fittable() {
+            self.refit.allreduce = Some(AlphaBetaModel::fit(&self.allreduce.samples));
+        }
+        if self.broadcast.fittable() {
+            self.refit.broadcast = Some(AlphaBetaModel::fit(&self.broadcast.samples));
+        }
+        if self.inverse.fittable() {
+            self.refit.inverse = Some(ExpInverseModel::fit(&self.inverse.samples));
+            self.refit.inverse_cubic = Some(CubicCostModel::fit(&self.inverse.samples));
+        }
+        &self.refit
+    }
+
+    /// The latest refit models (possibly all `None` before any refit).
+    pub fn models(&self) -> &RefitModels {
+        &self.refit
+    }
+
+    /// The baseline models the calibrator compares against.
+    pub fn baselines(&self) -> (&ExpInverseModel, &AlphaBetaModel) {
+        (&self.baseline_comp, &self.baseline_comm)
+    }
+
+    /// Exports calibration health to `m`:
+    ///
+    /// - `calib/<kind>/samples` — gauge, current window fill;
+    /// - `calib/<kind>/residual` — gauge, mean relative error of the
+    ///   *baseline* model on the window (`|pred − meas| / meas`);
+    /// - `calib/<kind>/residual_refit` — gauge, same for the refit model;
+    /// - `calib/<kind>/drift` — histogram of per-sample baseline relative
+    ///   errors (the drift distribution, not just its mean);
+    /// - `calib/comm/alpha_ratio`, `calib/comm/beta_ratio` — gauges, refit
+    ///   all-reduce parameters relative to baseline (1.0 = no drift);
+    /// - `calib/inverse/alpha_ratio`, `calib/inverse/beta_delta` — gauges,
+    ///   refit inversion-model drift (β is an exponent, so its *difference*
+    ///   is reported).
+    pub fn publish_metrics(&self, m: &MetricsRegistry) {
+        let kinds = [
+            (SampleKind::AllReduce, &self.allreduce),
+            (SampleKind::Broadcast, &self.broadcast),
+            (SampleKind::Inverse, &self.inverse),
+        ];
+        for (kind, win) in kinds {
+            let name = kind.name();
+            m.gauge(&format!("calib/{name}/samples"))
+                .set(win.samples.len() as f64);
+            let baseline_pred = |size: usize| match kind {
+                SampleKind::AllReduce => self.baseline_comm.time(size),
+                SampleKind::Broadcast => self.baseline_comm.time(size),
+                SampleKind::Inverse => self.baseline_comp.time(size),
+            };
+            let refit_pred = |size: usize| -> Option<f64> {
+                match kind {
+                    SampleKind::AllReduce => self.refit.allreduce.as_ref().map(|f| f.time(size)),
+                    SampleKind::Broadcast => self.refit.broadcast.as_ref().map(|f| f.time(size)),
+                    SampleKind::Inverse => self.refit.inverse.as_ref().map(|f| f.time(size)),
+                }
+            };
+            if !win.samples.is_empty() {
+                let drift_hist = m.histogram(&format!("calib/{name}/drift"));
+                let mut base_sum = 0.0;
+                let mut refit_sum = 0.0;
+                let mut refit_n = 0usize;
+                for &(size, secs) in &win.samples {
+                    let rel = (baseline_pred(size) - secs).abs() / secs;
+                    base_sum += rel;
+                    drift_hist.observe(rel);
+                    if let Some(p) = refit_pred(size) {
+                        refit_sum += (p - secs).abs() / secs;
+                        refit_n += 1;
+                    }
+                }
+                m.gauge(&format!("calib/{name}/residual"))
+                    .set(base_sum / win.samples.len() as f64);
+                if refit_n > 0 {
+                    m.gauge(&format!("calib/{name}/residual_refit"))
+                        .set(refit_sum / refit_n as f64);
+                }
+            }
+        }
+        if let Some(ar) = &self.refit.allreduce {
+            m.gauge("calib/comm/alpha_ratio")
+                .set(ar.alpha / self.baseline_comm.alpha);
+            m.gauge("calib/comm/beta_ratio")
+                .set(ar.beta / self.baseline_comm.beta);
+        }
+        if let Some(inv) = &self.refit.inverse {
+            m.gauge("calib/inverse/alpha_ratio")
+                .set(inv.alpha / self.baseline_comp.alpha);
+            m.gauge("calib/inverse/beta_delta")
+                .set(inv.beta - self.baseline_comp.beta);
+        }
+    }
+
+    /// Counterfactual re-plan: would the refit models decide differently?
+    ///
+    /// Re-runs LBP's NCT/CT classification over `dims` on `world` GPUs and,
+    /// when `pipeline` is given, the Eq. 15 fusion plan, once with the
+    /// baseline models and once with the refit models. The broadcast refit
+    /// stands in for the communication side of the NCT test (that test
+    /// compares inversion vs broadcast, Fig. 11); the all-reduce refit
+    /// drives the fusion re-plan. Missing refits fall back to the baseline
+    /// for that role, so a calibrator that only saw inversion samples still
+    /// reports inversion-driven flips.
+    ///
+    /// Report-only: nothing about the running trainer is changed.
+    pub fn check_drift(
+        &self,
+        dims: &[usize],
+        world: usize,
+        pipeline: Option<&FactorPipeline>,
+    ) -> DriftReport {
+        let refit_comp = self.refit.inverse.as_ref().unwrap_or(&self.baseline_comp);
+        let refit_bcast = self.refit.broadcast.as_ref().unwrap_or(&self.baseline_comm);
+        let refit_ar = self.refit.allreduce.as_ref().unwrap_or(&self.baseline_comm);
+
+        let mut report = DriftReport::default();
+        let max_d = dims.iter().copied().max().unwrap_or(0).max(1);
+        report.baseline_nct_threshold =
+            self.baseline_comp.nct_threshold(&self.baseline_comm, max_d);
+        report.refit_nct_threshold = refit_comp.nct_threshold(refit_bcast, max_d);
+
+        if !dims.is_empty() && world > 0 {
+            let strategy = PlacementStrategy::default();
+            let base = placement::place(
+                dims,
+                world,
+                &self.baseline_comp,
+                &self.baseline_comm,
+                strategy,
+            );
+            let refit = placement::place(dims, world, refit_comp, refit_bcast, strategy);
+            for (i, &d) in dims.iter().enumerate() {
+                let was = base.is_nct(i);
+                if was != refit.is_nct(i) {
+                    report.flips.push(DecisionFlip::NctFlip {
+                        tensor: i,
+                        dim: d,
+                        was_nct: was,
+                    });
+                }
+            }
+        }
+
+        if let Some(p) = pipeline {
+            let base = fusion::plan(p, &self.baseline_comm, FusionStrategy::Optimal);
+            let refit = fusion::plan(p, refit_ar, FusionStrategy::Optimal);
+            if base.num_messages() != refit.num_messages() {
+                report.flips.push(DecisionFlip::FusionFlip {
+                    baseline_messages: base.num_messages(),
+                    refit_messages: refit.num_messages(),
+                });
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spdkfac_obs::SpanMeta;
+    use std::borrow::Cow;
+
+    fn comm() -> AlphaBetaModel {
+        AlphaBetaModel::new(2e-4, 2e-9)
+    }
+
+    fn comp() -> ExpInverseModel {
+        ExpInverseModel::new(5e-5, 2e-3)
+    }
+
+    fn span(phase: Phase, edge: Option<CollEdge>, size: usize, start: f64, end: f64) -> Span {
+        Span {
+            track: 0,
+            phase,
+            label: Cow::Borrowed(""),
+            start,
+            end,
+            meta: SpanMeta {
+                edge,
+                seq: None,
+                size: Some(size),
+            },
+        }
+    }
+
+    #[test]
+    fn ingest_routes_by_meta() {
+        let mut c = Calibrator::new(comp(), comm());
+        let spans = vec![
+            span(Phase::FactorComm, Some(CollEdge::Join), 100, 0.0, 0.1),
+            span(
+                Phase::InverseComm,
+                Some(CollEdge::FanOut { root: 0 }),
+                50,
+                0.1,
+                0.2,
+            ),
+            span(Phase::InverseComp, None, 32, 0.2, 0.3),
+            // unsized and FanIn spans carry no calibration signal
+            Span {
+                track: 0,
+                phase: Phase::FfBp,
+                label: Cow::Borrowed(""),
+                start: 0.0,
+                end: 1.0,
+                meta: SpanMeta::default(),
+            },
+            span(
+                Phase::FactorComm,
+                Some(CollEdge::FanIn { root: 0 }),
+                9,
+                0.3,
+                0.4,
+            ),
+        ];
+        assert_eq!(c.ingest_spans(&spans), 3);
+        assert_eq!(c.len(SampleKind::AllReduce), 1);
+        assert_eq!(c.len(SampleKind::Broadcast), 1);
+        assert_eq!(c.len(SampleKind::Inverse), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn refit_recovers_planted_models() {
+        let mut c = Calibrator::new(comp(), comm());
+        let true_comm = AlphaBetaModel::new(1e-3, 5e-8);
+        for m in [64usize, 256, 1024, 4096, 16384] {
+            c.push(SampleKind::AllReduce, m, true_comm.time(m));
+        }
+        let true_comp = ExpInverseModel::new(2e-4, 1.5e-3);
+        for d in [32usize, 128, 512, 1024] {
+            c.push(SampleKind::Inverse, d, true_comp.time(d));
+        }
+        let models = c.refit();
+        let ar = models.allreduce.as_ref().expect("allreduce fit");
+        assert!((ar.alpha - true_comm.alpha).abs() / true_comm.alpha < 1e-6);
+        assert!((ar.beta - true_comm.beta).abs() / true_comm.beta < 1e-6);
+        let inv = models.inverse.as_ref().expect("inverse fit");
+        assert!((inv.alpha - true_comp.alpha).abs() / true_comp.alpha < 1e-6);
+        assert!((inv.beta - true_comp.beta).abs() < 1e-9);
+        assert!(models.inverse_cubic.is_some());
+        assert!(models.broadcast.is_none(), "no broadcast samples");
+    }
+
+    #[test]
+    fn degenerate_windows_never_panic() {
+        let mut c = Calibrator::new(comp(), comm());
+        // Zero samples, then one sample, then many samples of ONE size:
+        // all three are un-fittable and must be skipped, not panic.
+        c.refit();
+        c.push(SampleKind::AllReduce, 100, 0.5);
+        c.refit();
+        for _ in 0..10 {
+            c.push(SampleKind::AllReduce, 100, 0.5);
+        }
+        c.refit();
+        assert!(c.models().allreduce.is_none());
+        // Non-positive and non-finite durations are rejected at the door.
+        c.push(SampleKind::Inverse, 64, 0.0);
+        c.push(SampleKind::Inverse, 64, -1.0);
+        c.push(SampleKind::Inverse, 64, f64::NAN);
+        assert_eq!(c.len(SampleKind::Inverse), 0);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut c = Calibrator::with_window(comp(), comm(), 4);
+        for i in 0..20 {
+            c.push(SampleKind::Broadcast, 10 + i, 0.1);
+        }
+        assert_eq!(c.len(SampleKind::Broadcast), 4);
+    }
+
+    #[test]
+    fn metrics_export_residuals_and_drift() {
+        let mut c = Calibrator::new(comp(), comm());
+        let true_comm = AlphaBetaModel::new(4e-4, 4e-9); // 2x the baseline
+        for m in [100usize, 1000, 10000] {
+            c.push(SampleKind::AllReduce, m, true_comm.time(m));
+        }
+        c.refit();
+        let reg = MetricsRegistry::new();
+        c.publish_metrics(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges["calib/allreduce/samples"], 3.0);
+        // Baseline is 2x off -> mean relative error ~0.5; refit is exact.
+        let base = snap.gauges["calib/allreduce/residual"];
+        assert!((base - 0.5).abs() < 1e-6, "residual {base}");
+        assert!(snap.gauges["calib/allreduce/residual_refit"] < 1e-9);
+        assert!((snap.gauges["calib/comm/alpha_ratio"] - 2.0).abs() < 1e-6);
+        assert!((snap.gauges["calib/comm/beta_ratio"] - 2.0).abs() < 1e-6);
+        assert_eq!(snap.histograms["calib/allreduce/drift"].count, 3);
+    }
+
+    #[test]
+    fn well_calibrated_run_flags_nothing() {
+        let mut c = Calibrator::new(comp(), comm());
+        for d in [16usize, 64, 256, 1024] {
+            c.push(SampleKind::Inverse, d, comp().time(d));
+            let m = d * (d + 1) / 2;
+            c.push(SampleKind::Broadcast, m, comm().time(m));
+            c.push(SampleKind::AllReduce, m, comm().time(m));
+        }
+        c.refit();
+        let dims = vec![16usize, 64, 256, 1024];
+        let pipe = FactorPipeline::new(vec![0.0, 0.1, 0.2, 0.3], vec![136, 2080, 32896, 524800])
+            .expect("valid pipeline");
+        let report = c.check_drift(&dims, 4, Some(&pipe));
+        assert!(!report.any(), "flips: {:?}", report.flips);
+        assert_eq!(report.baseline_nct_threshold, report.refit_nct_threshold);
+    }
+
+    #[test]
+    fn miscalibrated_inverse_model_flips_nct() {
+        // The baseline thinks inversion is ~1e9x cheaper than it measures:
+        // everything the baseline calls NCT should flip to CT on refit.
+        let mut c = Calibrator::new(
+            ExpInverseModel::new(comp().alpha * 1e-9, comp().beta),
+            comm(),
+        );
+        for d in [16usize, 64, 256, 1024] {
+            c.push(SampleKind::Inverse, d, comp().time(d) * 1e6);
+        }
+        c.refit();
+        let dims = vec![16usize, 64, 256];
+        let report = c.check_drift(&dims, 2, None);
+        assert!(report.nct_flips() >= 1, "report: {report:?}");
+        assert!(report.any());
+        let text = report.render_text();
+        assert!(text.contains("NCT -> CT"), "text was:\n{text}");
+    }
+
+    #[test]
+    fn fusion_flip_is_detected() {
+        // Baseline α is tiny (no fusion pays off); measured α is huge
+        // (everything should fuse) -> message count must drop.
+        let baseline = AlphaBetaModel::new(1e-9, 1e-9);
+        let mut c = Calibrator::new(comp(), baseline);
+        let measured = AlphaBetaModel::new(10.0, 1e-9);
+        for m in [100usize, 1000, 10000, 100000] {
+            c.push(SampleKind::AllReduce, m, measured.time(m));
+        }
+        c.refit();
+        let pipe = FactorPipeline::new(vec![0.0, 1.0, 2.0, 3.0], vec![10, 10, 10, 10])
+            .expect("valid pipeline");
+        let report = c.check_drift(&[], 1, Some(&pipe));
+        assert!(report.fusion_flipped(), "report: {report:?}");
+        assert!(report.render_text().contains("messages"));
+    }
+}

@@ -215,6 +215,26 @@ impl WorkerObs {
     fn span(&self, phase: Phase) -> Option<SpanGuard<'_>> {
         self.rec.as_deref().map(|r| r.span(self.track, phase))
     }
+
+    /// As [`WorkerObs::span`], carrying a payload size in the span metadata
+    /// (tensor dimension for inversions) for online calibration.
+    fn sized_span(&self, phase: Phase, size: usize) -> Option<SpanGuard<'_>> {
+        self.span(phase).map(|g| g.sized(size))
+    }
+
+    /// Records one realized fused-message flush (satellite of §IV-A): the
+    /// planned bucket counts are published as gauges once, but the bytes
+    /// actually moved per flush are only known here. `pass` is `"a"` or
+    /// `"g"`.
+    fn record_flush(&self, pass: &str, elems: usize) {
+        if let Some(r) = &self.rec {
+            let m = r.metrics();
+            m.histogram("fusion/realized/elems").observe(elems as f64);
+            m.counter(&format!("fusion/{pass}/flushes")).inc();
+            m.counter(&format!("fusion/{pass}/realized_elems"))
+                .add(elems as u64);
+        }
+    }
 }
 
 fn worker(
@@ -334,6 +354,9 @@ fn worker(
                         let sizes: Vec<usize> = buf.iter().map(|s| s.len()).collect();
                         let concat: Vec<f64> =
                             buf.drain(..).flat_map(SymPacked::into_vec).collect();
+                        if rank == 0 {
+                            obs.record_flush("a", concat.len());
+                        }
                         pending.push((members, sizes, comm.allreduce_avg_async(concat)));
                     }
                     pos += 1;
@@ -395,6 +418,9 @@ fn worker(
                         let sizes: Vec<usize> = buf.iter().map(|s| s.len()).collect();
                         let concat: Vec<f64> =
                             buf.drain(..).flat_map(SymPacked::into_vec).collect();
+                        if rank == 0 {
+                            obs.record_flush("g", concat.len());
+                        }
                         comm.set_phase(Phase::FactorComm);
                         pending.push((members, sizes, comm.allreduce_avg_async(concat)));
                     }
@@ -506,8 +532,10 @@ fn worker(
                 if iter % cfg.kfac.inv_update_freq.max(1) == 0 {
                     let mine: Vec<usize> = inv_placement.set_for_gpu(rank);
                     let mut computed: Vec<Option<(Matrix, Vec<f64>)>> = vec![None; 2 * nlayers];
-                    let inv_span = obs.span(Phase::InverseComp);
                     for &t in &mine {
+                        // One sized span per tensor: the calibrator reads
+                        // (dimension, duration) pairs off these.
+                        let _inv = obs.sized_span(Phase::InverseComp, inv_dims[t]);
                         let si = t / 2;
                         let factor = if t % 2 == 0 {
                             states[si].factor_a().expect("no A statistics").clone()
@@ -519,7 +547,6 @@ fn worker(
                         });
                         computed[t] = Some((e.vectors, e.values));
                     }
-                    drop(inv_span);
                     // Broadcast Q‖λ for CT tensors (d² + d elements each).
                     comm.set_phase(Phase::InverseComm);
                     let mut bcasts: Vec<(usize, PendingOp)> = Vec::new();
@@ -568,8 +595,10 @@ fn worker(
                 // Compute this rank's assigned inverses (NCTs + own CTs).
                 let mine: Vec<usize> = inv_placement.set_for_gpu(rank);
                 let mut computed: Vec<Option<SymPacked>> = vec![None; 2 * nlayers];
-                let inv_span = obs.span(Phase::InverseComp);
                 for &t in &mine {
+                    // One sized span per tensor: the calibrator reads
+                    // (dimension, duration) pairs off these.
+                    let _inv = obs.sized_span(Phase::InverseComp, inv_dims[t]);
                     let si = t / 2;
                     let damped = if t % 2 == 0 {
                         states[si].damped_a(cfg.kfac.damping)
@@ -581,7 +610,6 @@ fn worker(
                     });
                     computed[t] = Some(SymPacked::from_matrix(&inv));
                 }
-                drop(inv_span);
                 // Broadcast CT results (everyone issues in tensor order).
                 comm.set_phase(Phase::InverseComm);
                 let mut bcasts: Vec<(usize, PendingOp)> = Vec::new();
@@ -949,6 +977,21 @@ mod tests {
         assert!(snap.gauges["placement/nct"] + snap.gauges["placement/ct"] > 0.0);
         assert!(snap.gauges["fusion/a/messages"] >= 1.0);
         assert!(snap.gauges["fusion/g/messages"] >= 1.0);
+        // Realized flush telemetry: every iteration flushes at least one
+        // fused A and one fused G message, and the realized bytes match the
+        // per-flush histogram count.
+        assert!(snap.counters["fusion/a/flushes"] >= iters as u64);
+        assert!(snap.counters["fusion/g/flushes"] >= iters as u64);
+        assert!(snap.counters["fusion/a/realized_elems"] > 0);
+        assert!(snap.counters["fusion/g/realized_elems"] > 0);
+        assert_eq!(
+            snap.histograms["fusion/realized/elems"].count,
+            snap.counters["fusion/a/flushes"] + snap.counters["fusion/g/flushes"]
+        );
+        // Per-tensor inversion spans carry their dimension for calibration.
+        assert!(spans
+            .iter()
+            .any(|s| s.phase == Phase::InverseComp && s.meta.size.is_some()));
 
         // The measured breakdown is the simulator's type and accounts for
         // the whole recorded interval.

@@ -15,6 +15,10 @@
 //!   Seq-Dist (Eq. 22) and Non-Dist baselines of Fig. 12.
 //! - [`optimizer`]: a single-process [`optimizer::KfacOptimizer`] — the
 //!   "one extra line of code" API of §V.
+//! - [`calibrate`]: **online cost-model calibration** — measured span
+//!   durations re-fit the α-β / exponential models at runtime, with
+//!   report-only detection of drift large enough to flip an Eq. 15 fusion
+//!   or NCT/CT placement decision.
 //! - [`distributed`]: multi-worker trainers running real collectives:
 //!   [`distributed::Algorithm::DKfac`], [`distributed::Algorithm::MpdKfac`]
 //!   and [`distributed::Algorithm::SpdKfac`], which produce numerically
@@ -41,6 +45,7 @@
 //! }
 //! ```
 
+pub mod calibrate;
 pub mod distributed;
 pub mod ekfac;
 pub mod error;

@@ -156,6 +156,94 @@ proptest! {
     }
 
     #[test]
+    fn alpha_beta_fit_recovers_planted_model_from_noisy_samples(
+        alpha in 1e-6f64..1e-2,
+        crossover in 1e3f64..1e6,
+        noise in pvec(0.98f64..1.02, 40),
+    ) {
+        // β chosen so both parameters are identifiable on the sample grid
+        // (the grid straddles the α-dominated and β-dominated regimes), as
+        // when calibrating from measured collectives of mixed sizes.
+        let beta = alpha / crossover;
+        let truth = AlphaBetaModel::new(alpha, beta);
+        let samples: Vec<(usize, f64)> = noise
+            .iter()
+            .enumerate()
+            .map(|(k, n)| {
+                let m = (((k + 1) as f64) * crossover / 10.0) as usize;
+                (m, truth.time(m) * n)
+            })
+            .collect();
+        let fit = AlphaBetaModel::fit(&samples);
+        prop_assert!(
+            (fit.alpha - alpha).abs() / alpha < 0.2,
+            "alpha {} vs {}", fit.alpha, alpha
+        );
+        prop_assert!(
+            (fit.beta - beta).abs() / beta < 0.1,
+            "beta {} vs {}", fit.beta, beta
+        );
+    }
+
+    #[test]
+    fn exp_fit_recovers_planted_model_from_noisy_samples(
+        alpha in 1e-6f64..1e-2,
+        beta in 1e-4f64..3e-3,
+        noise in pvec(0.98f64..1.02, 32),
+    ) {
+        let truth = ExpInverseModel::new(alpha, beta);
+        let samples: Vec<(usize, f64)> = noise
+            .iter()
+            .enumerate()
+            .map(|(k, n)| {
+                let d = 32 * (k + 1);
+                (d, truth.time(d) * n)
+            })
+            .collect();
+        let fit = ExpInverseModel::fit(&samples);
+        prop_assert!(
+            (fit.alpha - alpha).abs() / alpha < 0.2,
+            "alpha {} vs {}", fit.alpha, alpha
+        );
+        prop_assert!(
+            (fit.beta - beta).abs() / beta < 0.5,
+            "beta {} vs {}", fit.beta, beta
+        );
+    }
+
+    #[test]
+    fn nct_threshold_is_monotone_in_the_models(
+        comp_alpha in 1e-6f64..1e-3,
+        comp_beta in 1e-4f64..5e-3,
+        comm_alpha in 1e-6f64..1e-2,
+        comm_beta in 1e-12f64..1e-8,
+        ka in 1.0f64..100.0,
+        kb in 1.0f64..100.0,
+    ) {
+        // A uniformly *more expensive* comm model can only widen the set of
+        // dims where inversion beats broadcasting, so the largest NCT dim
+        // never shrinks; a more expensive comp model can only shrink it.
+        let comp = ExpInverseModel::new(comp_alpha, comp_beta);
+        let comm = AlphaBetaModel::new(comm_alpha, comm_beta);
+        let max_d = 4096;
+        let as_d = |t: Option<usize>| t.unwrap_or(0);
+
+        let costlier_comm = AlphaBetaModel::new(comm_alpha * ka, comm_beta * kb);
+        prop_assert!(
+            as_d(comp.nct_threshold(&costlier_comm, max_d))
+                >= as_d(comp.nct_threshold(&comm, max_d)),
+            "threshold shrank under a costlier comm model"
+        );
+
+        let costlier_comp = ExpInverseModel::new(comp_alpha * ka, comp_beta);
+        prop_assert!(
+            as_d(costlier_comp.nct_threshold(&comm, max_d))
+                <= as_d(comp.nct_threshold(&comm, max_d)),
+            "threshold grew under a costlier comp model"
+        );
+    }
+
+    #[test]
     fn exp_fit_is_consistent(alpha in 1e-6f64..1e-2, beta in 1e-5f64..3e-3) {
         let truth = ExpInverseModel::new(alpha, beta);
         let samples: Vec<(usize, f64)> = [64usize, 128, 256, 512, 1024, 2048]

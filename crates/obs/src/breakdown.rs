@@ -213,6 +213,7 @@ mod tests {
             label: Cow::Borrowed(""),
             start,
             end,
+            meta: crate::recorder::SpanMeta::default(),
         }
     }
 

@@ -29,22 +29,92 @@ pub fn escape_json(s: &str) -> String {
     out
 }
 
-/// Validates that `s` is one complete JSON value (object, array, string,
-/// number, `true`, `false`, or `null`). Returns the byte offset and reason
-/// on failure.
+/// A parsed JSON value.
 ///
-/// This is a structural validator for tests, not a deserializer: it checks
-/// exactly the grammar Perfetto's loader requires.
-pub fn validate_json(s: &str) -> Result<(), String> {
+/// The deliberately small dependency-free counterpart of `serde_json`'s
+/// `Value`, used where this repo must *read* JSON back (e.g. `bench_diff`
+/// comparing two `BENCH_*.json` files). Numbers are `f64` (every number
+/// this repo writes fits), object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string (escapes resolved).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member by key (first match), if this is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The bool, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON value. Returns the byte offset and reason on
+/// failure.
+pub fn parse_json(s: &str) -> Result<JsonValue, String> {
     let bytes = s.as_bytes();
     let mut pos = 0usize;
     skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
+    let v = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
     }
-    Ok(())
+    Ok(v)
+}
+
+/// Validates that `s` is one complete JSON value (object, array, string,
+/// number, `true`, `false`, or `null`). Returns the byte offset and reason
+/// on failure.
+///
+/// This checks exactly the grammar Perfetto's loader requires (it is
+/// [`parse_json`] with the value discarded).
+pub fn validate_json(s: &str) -> Result<(), String> {
+    parse_json(s).map(|_| ())
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -53,40 +123,42 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     match b.get(*pos) {
         None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
         Some(b'{') => parse_object(b, pos),
         Some(b'[') => parse_array(b, pos),
-        Some(b'"') => parse_string(b, pos),
-        Some(b't') => parse_literal(b, pos, b"true"),
-        Some(b'f') => parse_literal(b, pos, b"false"),
-        Some(b'n') => parse_literal(b, pos, b"null"),
+        Some(b'"') => parse_string(b, pos).map(JsonValue::String),
+        Some(b't') => parse_literal(b, pos, b"true").map(|_| JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, b"false").map(|_| JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, b"null").map(|_| JsonValue::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
         Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     *pos += 1; // '{'
     skip_ws(b, pos);
+    let mut members = Vec::new();
     if b.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(JsonValue::Object(members));
     }
     loop {
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b'"') {
             return Err(format!("expected object key at byte {pos}", pos = *pos));
         }
-        parse_string(b, pos)?;
+        let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b':') {
             return Err(format!("expected ':' at byte {pos}", pos = *pos));
         }
         *pos += 1;
         skip_ws(b, pos);
-        parse_value(b, pos)?;
+        let value = parse_value(b, pos)?;
+        members.push((key, value));
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => {
@@ -94,23 +166,24 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
             }
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(JsonValue::Object(members));
             }
             _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
         }
     }
 }
 
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     *pos += 1; // '['
     skip_ws(b, pos);
+    let mut items = Vec::new();
     if b.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(JsonValue::Array(items));
     }
     loop {
         skip_ws(b, pos);
-        parse_value(b, pos)?;
+        items.push(parse_value(b, pos)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => {
@@ -118,37 +191,75 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
             }
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(JsonValue::Array(items));
             }
             _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
         }
     }
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     *pos += 1; // opening quote
+    let mut out = String::new();
     while let Some(&c) = b.get(*pos) {
         match c {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
                 *pos += 1;
                 match b.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                    Some(b'"') => {
+                        out.push('"');
+                        *pos += 1;
+                    }
+                    Some(b'\\') => {
+                        out.push('\\');
+                        *pos += 1;
+                    }
+                    Some(b'/') => {
+                        out.push('/');
+                        *pos += 1;
+                    }
+                    Some(b'b') => {
+                        out.push('\u{08}');
+                        *pos += 1;
+                    }
+                    Some(b'f') => {
+                        out.push('\u{0c}');
+                        *pos += 1;
+                    }
+                    Some(b'n') => {
+                        out.push('\n');
+                        *pos += 1;
+                    }
+                    Some(b'r') => {
+                        out.push('\r');
+                        *pos += 1;
+                    }
+                    Some(b't') => {
+                        out.push('\t');
                         *pos += 1;
                     }
                     Some(b'u') => {
                         *pos += 1;
+                        let mut code = 0u32;
                         for _ in 0..4 {
                             match b.get(*pos) {
-                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                Some(h) if h.is_ascii_hexdigit() => {
+                                    code =
+                                        code * 16 + (*h as char).to_digit(16).expect("hex digit");
+                                    *pos += 1;
+                                }
                                 _ => {
                                     return Err(format!("bad \\u escape at byte {pos}", pos = *pos))
                                 }
                             }
                         }
+                        // Surrogates (trace files never emit them) degrade
+                        // to U+FFFD rather than failing the parse.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                     }
                     _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
                 }
@@ -159,13 +270,24 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
                     pos = *pos
                 ))
             }
-            _ => *pos += 1,
+            _ => {
+                // Multi-byte UTF-8 sequences pass through verbatim.
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && b[*pos] & 0xc0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[start..*pos])
+                        .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
+                );
+            }
         }
     }
     Err("unterminated string".to_string())
 }
 
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -195,7 +317,10 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
             return Err(format!("bad exponent at byte {start}"));
         }
     }
-    Ok(())
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "non-UTF-8 number")?;
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| format!("unparseable number at byte {start}"))
 }
 
 fn parse_literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
@@ -247,6 +372,28 @@ mod tests {
         ] {
             assert!(validate_json(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn parses_values() {
+        let v = parse_json("{\"a\": [1, 2.5, -3e-2], \"b\": {\"c\": null}, \"s\": \"x\\ny\"}")
+            .expect("parses");
+        let a = v.get("a").and_then(JsonValue::as_array).expect("array");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[1].as_f64(), Some(2.5));
+        assert!((a[2].as_f64().expect("num") + 0.03).abs() < 1e-15);
+        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&JsonValue::Null));
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("x\ny"));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_roundtrips_escapes() {
+        let doc = format!("\"{}\"", escape_json("tab\t quote\" slash\\ nl\n"));
+        let v = parse_json(&doc).expect("parses");
+        assert_eq!(v.as_str(), Some("tab\t quote\" slash\\ nl\n"));
+        let uni = parse_json("\"\\u00e9\"").expect("parses");
+        assert_eq!(uni.as_str(), Some("\u{e9}"));
     }
 
     #[test]

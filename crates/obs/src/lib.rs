@@ -40,16 +40,22 @@
 //! ```
 
 pub mod breakdown;
+pub mod causal;
+pub mod critical;
 pub mod json;
 pub mod metrics;
 pub mod phase;
 pub mod recorder;
 pub mod summary;
+pub mod table;
 pub mod trace;
 
 pub use breakdown::{attribute, IterationBreakdown};
-pub use json::{escape_json, escape_json_into, validate_json};
+pub use causal::{CausalGraph, RankMap};
+pub use critical::{CriticalReport, RankAttribution};
+pub use json::{escape_json, escape_json_into, parse_json, validate_json, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use phase::Phase;
-pub use recorder::{Recorder, Span, SpanGuard};
+pub use recorder::{CollEdge, Recorder, Span, SpanGuard, SpanMeta};
+pub use table::Table;
 pub use trace::{chrome_trace, TrackKind, TrackLayout};

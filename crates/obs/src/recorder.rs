@@ -6,6 +6,59 @@ use std::borrow::Cow;
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// Cross-rank causal role of a collective-operation span.
+///
+/// The causal graph builder ([`crate::causal`]) uses this to draw edges
+/// between ranks: a [`CollEdge::Join`] op cannot finish anywhere before the
+/// last participant arrives, a [`CollEdge::FanOut`] op makes every peer wait
+/// on the root, and a [`CollEdge::FanIn`] op makes the root wait on every
+/// peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollEdge {
+    /// Symmetric join (all-reduce, all-gather, barrier): every participant
+    /// blocks on the last arrival.
+    Join,
+    /// Root-to-peers fan-out (broadcast, scatter).
+    FanOut {
+        /// Rank holding the source data.
+        root: usize,
+    },
+    /// Peers-to-root fan-in (reduce, gather).
+    FanIn {
+        /// Rank receiving the result.
+        root: usize,
+    },
+}
+
+/// Optional analysis metadata attached to a [`Span`].
+///
+/// All fields default to `None`; plain compute spans carry an empty meta.
+/// Collective spans recorded by the communication threads fill all three so
+/// the causal builder can match the k-th collective on one rank with the
+/// k-th on every other (the SPMD submission contract guarantees they are
+/// the same operation).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpanMeta {
+    /// Cross-rank causal role, for collective-operation spans.
+    pub edge: Option<CollEdge>,
+    /// Per-track collective submission sequence number; the k-th collective
+    /// submitted on each rank's comm thread shares `seq == k`.
+    pub seq: Option<u64>,
+    /// Problem size: wire elements for collectives, matrix dimension for
+    /// inversions. Consumed by online cost-model calibration.
+    pub size: Option<usize>,
+}
+
+impl SpanMeta {
+    /// Meta carrying only a problem size (e.g. a sized compute span).
+    pub fn sized(size: usize) -> Self {
+        SpanMeta {
+            size: Some(size),
+            ..SpanMeta::default()
+        }
+    }
+}
+
 /// One recorded timeline slice, in seconds since the recorder's epoch.
 ///
 /// This is the *shared* span type: the simulator converts its `TaskSpan`s
@@ -23,6 +76,8 @@ pub struct Span {
     pub start: f64,
     /// End time (seconds since epoch).
     pub end: f64,
+    /// Optional causal/sizing metadata (empty for plain compute spans).
+    pub meta: SpanMeta,
 }
 
 impl Span {
@@ -147,6 +202,7 @@ impl Recorder {
             phase,
             label: Some(label.into()),
             start: self.now(),
+            meta: SpanMeta::default(),
         }
     }
 
@@ -164,13 +220,23 @@ impl Recorder {
         }
     }
 
-    /// All recorded spans, grouped by track and in per-track recording
-    /// order; dropped-by-ring-overflow spans are simply absent.
+    /// All recorded spans in deterministic `(track, start-time)` order.
+    ///
+    /// The sort is part of the API contract: exporters and the causal-graph
+    /// builder rely on per-track program order and must not depend on ring-
+    /// buffer drain order (which would differ after wrap-around). Ties on
+    /// start time keep recording order (stable sort). Dropped-by-ring-
+    /// overflow spans are simply absent; see [`Recorder::dropped`].
     pub fn spans(&self) -> Vec<Span> {
         let mut out = Vec::new();
         for lane in &self.lanes {
             out.extend(lane.lock().expect("recorder lane poisoned").ordered());
         }
+        out.sort_by(|a, b| {
+            a.track
+                .cmp(&b.track)
+                .then_with(|| a.start.total_cmp(&b.start))
+        });
         out
     }
 
@@ -202,6 +268,7 @@ pub struct SpanGuard<'a> {
     phase: Phase,
     label: Option<Cow<'static, str>>,
     start: f64,
+    meta: SpanMeta,
 }
 
 impl SpanGuard<'_> {
@@ -211,6 +278,13 @@ impl SpanGuard<'_> {
     /// Start time of the span (seconds since the recorder epoch).
     pub fn start(&self) -> f64 {
         self.start
+    }
+
+    /// Attaches a problem size (matrix dim, element count) to the span, so
+    /// online calibration can pair the measured duration with its input.
+    pub fn sized(mut self, size: usize) -> Self {
+        self.meta.size = Some(size);
+        self
     }
 }
 
@@ -223,6 +297,7 @@ impl Drop for SpanGuard<'_> {
             label,
             start: self.start,
             end: self.recorder.now(),
+            meta: self.meta,
         });
     }
 }
@@ -268,6 +343,7 @@ mod tests {
                 label: Cow::Borrowed(""),
                 start: i as f64,
                 end: i as f64 + 0.5,
+                meta: SpanMeta::default(),
             });
         }
         let spans = rec.spans();
@@ -287,8 +363,67 @@ mod tests {
             label: Cow::Borrowed(""),
             start: 1.0,
             end: 1.0,
+            meta: SpanMeta::default(),
         });
         assert!(rec.spans().is_empty());
+    }
+
+    fn raw(track: usize, start: f64, end: f64) -> Span {
+        Span {
+            track,
+            phase: Phase::Update,
+            label: Cow::Borrowed(""),
+            start,
+            end,
+            meta: SpanMeta::default(),
+        }
+    }
+
+    #[test]
+    fn spans_are_sorted_by_track_then_start() {
+        let rec = Recorder::new(3);
+        // Record deliberately out of start order and across tracks.
+        rec.record(raw(2, 5.0, 6.0));
+        rec.record(raw(0, 3.0, 4.0));
+        rec.record(raw(0, 1.0, 2.0));
+        rec.record(raw(1, 0.5, 0.9));
+        let keys: Vec<(usize, f64)> = rec.spans().iter().map(|s| (s.track, s.start)).collect();
+        assert_eq!(keys, vec![(0, 1.0), (0, 3.0), (1, 0.5), (2, 5.0)]);
+    }
+
+    #[test]
+    fn spans_order_is_deterministic_after_ring_wraparound() {
+        // After wrap-around the ring's physical drain order starts mid-
+        // buffer; the (track, start) contract must hide that.
+        let rec = Recorder::with_capacity(1, 4);
+        for i in 0..7 {
+            rec.record(raw(0, i as f64, i as f64 + 0.5));
+        }
+        let starts: Vec<f64> = rec.spans().iter().map(|s| s.start).collect();
+        assert_eq!(starts, vec![3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn dropped_counter_tracks_capacity_pressure() {
+        let rec = Recorder::with_capacity(2, 8);
+        // 50 guard-recorded spans per track against capacity 8.
+        for _ in 0..50 {
+            rec.span(0, Phase::FfBp).finish();
+            rec.span(1, Phase::GradComm).finish();
+        }
+        assert_eq!(rec.spans().len(), 16);
+        assert_eq!(rec.dropped(), 2 * (50 - 8));
+        rec.clear();
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn sized_guard_carries_meta() {
+        let rec = Recorder::new(1);
+        rec.span(0, Phase::InverseComp).sized(128).finish();
+        let spans = rec.spans();
+        assert_eq!(spans[0].meta.size, Some(128));
+        assert_eq!(spans[0].meta.edge, None);
     }
 
     #[test]

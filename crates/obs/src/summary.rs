@@ -1,9 +1,14 @@
 //! One-screen human-readable summary of a recorded run.
+//!
+//! The phase table is built through the shared [`Table`] formatter — the
+//! same one the critical-path report uses — so text and CSV renderings of
+//! both stay in one code path.
 
 use crate::breakdown::{attribute, IterationBreakdown};
 use crate::metrics::MetricsSnapshot;
 use crate::phase::Phase;
-use crate::recorder::Recorder;
+use crate::recorder::{Recorder, Span};
+use crate::table::{fmt_secs, Table};
 
 /// Union length of the given `(start, end)` intervals.
 fn union_len(mut iv: Vec<(f64, f64)>) -> f64 {
@@ -27,19 +32,91 @@ fn union_len(mut iv: Vec<(f64, f64)>) -> f64 {
     total
 }
 
-fn fmt_secs(s: f64) -> String {
-    if s >= 1.0 {
-        format!("{s:.3}s")
-    } else if s >= 1e-3 {
-        format!("{:.3}ms", s * 1e3)
-    } else {
-        format!("{:.1}us", s * 1e6)
-    }
+/// Per-rank phase breakdowns, when the track layout is the symmetric
+/// trainer convention (`2 * num_compute` tracks: compute `r`, comm
+/// `num_compute + r`). Each rank's spans are remapped onto a private
+/// (compute, comm) pair and attributed independently.
+fn per_rank_breakdowns(spans: &[Span], num_compute: usize) -> Vec<IterationBreakdown> {
+    (0..num_compute)
+        .map(|r| {
+            let rank_spans: Vec<Span> = spans
+                .iter()
+                .filter(|s| s.track == r || s.track == num_compute + r)
+                .map(|s| {
+                    let mut s = s.clone();
+                    s.track = if s.track == r { 0 } else { 1 };
+                    s
+                })
+                .collect();
+            attribute(&rank_spans, 1)
+        })
+        .collect()
 }
 
-/// Renders the per-phase totals, the communication overlap ratio, and a
-/// p50/p95/p99 latency table for every histogram the recorder's metrics
-/// registry holds (the collectives register one per op kind).
+/// The per-phase table: total, share, and one column per rank (when the
+/// recorder follows the symmetric trainer layout). `raw_secs` switches the
+/// cells from human units to plain seconds for CSV consumption.
+fn phase_table(
+    spans: &[Span],
+    breakdown: &IterationBreakdown,
+    num_tracks: usize,
+    num_compute: usize,
+    raw_secs: bool,
+) -> Table {
+    let ranks = if num_tracks == 2 * num_compute && num_compute > 1 {
+        per_rank_breakdowns(spans, num_compute)
+    } else {
+        Vec::new()
+    };
+    let mut headers = vec!["phase".to_string(), "time".to_string(), "share".to_string()];
+    for r in 0..ranks.len() {
+        headers.push(format!("rank{r}"));
+    }
+    let mut t = Table::new(headers);
+    let total = breakdown.total();
+    let fmt = |v: f64| {
+        if raw_secs {
+            format!("{v:.9}")
+        } else {
+            fmt_secs(v)
+        }
+    };
+    let share = |v: f64| {
+        if total > 0.0 {
+            format!("{:.1}%", 100.0 * v / total)
+        } else {
+            "0.0%".to_string()
+        }
+    };
+    for p in Phase::ALL {
+        let v = breakdown.get(p);
+        let mut row = vec![p.name().to_string(), fmt(v), share(v)];
+        for rb in &ranks {
+            row.push(fmt(rb.get(p)));
+        }
+        t.push_row(row);
+    }
+    let mut idle_row = vec![
+        "idle".to_string(),
+        fmt(breakdown.idle),
+        share(breakdown.idle),
+    ];
+    for rb in &ranks {
+        idle_row.push(fmt(rb.idle));
+    }
+    t.push_row(idle_row);
+    let mut total_row = vec!["total".to_string(), fmt(total), String::new()];
+    for rb in &ranks {
+        total_row.push(fmt(rb.total()));
+    }
+    t.push_row(total_row);
+    t
+}
+
+/// Renders the per-phase totals (with per-rank columns under the trainer
+/// layout), the communication overlap ratio, and a p50/p95/p99 latency
+/// table for every histogram the recorder's metrics registry holds (the
+/// collectives register one per op kind).
 ///
 /// `num_compute` follows the [`attribute`] convention: tracks
 /// `0..num_compute` are compute streams, the rest communication.
@@ -48,6 +125,9 @@ pub fn render_summary(rec: &Recorder, num_compute: usize) -> String {
     let breakdown = attribute(&spans, num_compute);
     let snapshot = rec.metrics().snapshot();
     render_summary_parts(
+        &spans,
+        rec.num_tracks(),
+        num_compute,
         &breakdown,
         &spans_comm_busy(&spans),
         &snapshot,
@@ -55,9 +135,18 @@ pub fn render_summary(rec: &Recorder, num_compute: usize) -> String {
     )
 }
 
+/// The phase table as CSV (raw seconds), sharing rows and per-rank columns
+/// with [`render_summary`]; pairs with `CriticalReport::rank_csv` for the
+/// `--csv` paths of the observability bins.
+pub fn render_summary_csv(rec: &Recorder, num_compute: usize) -> String {
+    let spans = rec.spans();
+    let breakdown = attribute(&spans, num_compute);
+    phase_table(&spans, &breakdown, rec.num_tracks(), num_compute, true).render_csv()
+}
+
 /// Busy (union) seconds of communication activity, per the whole run —
 /// the denominator of the overlap ratio.
-fn spans_comm_busy(spans: &[crate::recorder::Span]) -> f64 {
+fn spans_comm_busy(spans: &[Span]) -> f64 {
     union_len(
         spans
             .iter()
@@ -67,38 +156,19 @@ fn spans_comm_busy(spans: &[crate::recorder::Span]) -> f64 {
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_summary_parts(
+    spans: &[Span],
+    num_tracks: usize,
+    num_compute: usize,
     breakdown: &IterationBreakdown,
     comm_busy: &f64,
     snapshot: &MetricsSnapshot,
     dropped: u64,
 ) -> String {
-    let total = breakdown.total();
     let mut out = String::new();
     out.push_str("== phase breakdown (non-overlapped attribution) ==\n");
-    out.push_str(&format!("{:<14} {:>12} {:>8}\n", "phase", "time", "share"));
-    for p in Phase::ALL {
-        let v = breakdown.get(p);
-        let share = if total > 0.0 { 100.0 * v / total } else { 0.0 };
-        out.push_str(&format!(
-            "{:<14} {:>12} {:>7.1}%\n",
-            p.name(),
-            fmt_secs(v),
-            share
-        ));
-    }
-    let idle_share = if total > 0.0 {
-        100.0 * breakdown.idle / total
-    } else {
-        0.0
-    };
-    out.push_str(&format!(
-        "{:<14} {:>12} {:>7.1}%\n",
-        "idle",
-        fmt_secs(breakdown.idle),
-        idle_share
-    ));
-    out.push_str(&format!("{:<14} {:>12}\n", "total", fmt_secs(total)));
+    out.push_str(&phase_table(spans, breakdown, num_tracks, num_compute, false).render_text());
 
     let exposed = breakdown.exposed_comm();
     let overlap = if *comm_busy > 0.0 {
@@ -120,21 +190,18 @@ fn render_summary_parts(
 
     if !snapshot.histograms.is_empty() {
         out.push_str("\n== latency histograms ==\n");
-        out.push_str(&format!(
-            "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
-            "name", "count", "mean", "p50", "p95", "p99"
-        ));
+        let mut t = Table::new(["name", "count", "mean", "p50", "p95", "p99"]);
         for (name, h) in &snapshot.histograms {
-            out.push_str(&format!(
-                "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
-                name,
-                h.count,
+            t.push_row([
+                name.clone(),
+                h.count.to_string(),
                 fmt_secs(h.mean()),
                 fmt_secs(h.p50()),
                 fmt_secs(h.p95()),
-                fmt_secs(h.p99())
-            ));
+                fmt_secs(h.p99()),
+            ]);
         }
+        out.push_str(&t.render_text());
     }
     if !snapshot.counters.is_empty() {
         out.push_str("\n== counters ==\n");
@@ -154,7 +221,7 @@ fn render_summary_parts(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::recorder::Span;
+    use crate::recorder::SpanMeta;
     use std::borrow::Cow;
 
     #[test]
@@ -163,23 +230,22 @@ mod tests {
         assert_eq!(union_len(vec![]), 0.0);
     }
 
+    fn sp(track: usize, phase: Phase, start: f64, end: f64) -> Span {
+        Span {
+            track,
+            phase,
+            label: Cow::Borrowed(""),
+            start,
+            end,
+            meta: SpanMeta::default(),
+        }
+    }
+
     #[test]
     fn summary_mentions_every_phase_and_overlap() {
         let rec = Recorder::new(2);
-        rec.record(Span {
-            track: 0,
-            phase: Phase::FfBp,
-            label: Cow::Borrowed(""),
-            start: 0.0,
-            end: 1.0,
-        });
-        rec.record(Span {
-            track: 1,
-            phase: Phase::FactorComm,
-            label: Cow::Borrowed(""),
-            start: 0.0,
-            end: 0.5,
-        });
+        rec.record(sp(0, Phase::FfBp, 0.0, 1.0));
+        rec.record(sp(1, Phase::FactorComm, 0.0, 0.5));
         rec.metrics().histogram("coll/allreduce/secs").observe(0.5);
         rec.metrics().counter("coll/allreduce/ops").inc();
         let s = render_summary(&rec, 1);
@@ -193,9 +259,35 @@ mod tests {
     }
 
     #[test]
-    fn fmt_secs_scales() {
-        assert_eq!(fmt_secs(2.5), "2.500s");
-        assert_eq!(fmt_secs(0.0025), "2.500ms");
-        assert_eq!(fmt_secs(2.5e-6), "2.5us");
+    fn trainer_layout_gains_per_rank_columns() {
+        // Two ranks (4 tracks): rank 1's FF&BP is twice as long.
+        let rec = Recorder::new(4);
+        rec.record(sp(0, Phase::FfBp, 0.0, 1.0));
+        rec.record(sp(1, Phase::FfBp, 0.0, 2.0));
+        rec.record(sp(2, Phase::FactorComm, 1.0, 1.5));
+        rec.record(sp(3, Phase::FactorComm, 2.0, 2.5));
+        let s = render_summary(&rec, 2);
+        assert!(s.contains("rank0"), "summary was:\n{s}");
+        assert!(s.contains("rank1"));
+
+        let csv = render_summary_csv(&rec, 2);
+        let header = csv.lines().next().expect("header");
+        assert_eq!(header, "phase,time,share,rank0,rank1");
+        let ffbp = csv
+            .lines()
+            .find(|l| l.starts_with("FF&BP"))
+            .expect("FF&BP row");
+        let cells: Vec<&str> = ffbp.split(',').collect();
+        // rank0 attributed 1s of FF&BP, rank1 2s.
+        assert!((cells[3].parse::<f64>().expect("num") - 1.0).abs() < 1e-9);
+        assert!((cells[4].parse::<f64>().expect("num") - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_trainer_layouts_omit_rank_columns() {
+        let rec = Recorder::new(3); // not 2 * num_compute
+        rec.record(sp(0, Phase::FfBp, 0.0, 1.0));
+        let csv = render_summary_csv(&rec, 2);
+        assert_eq!(csv.lines().next().expect("header"), "phase,time,share");
     }
 }

@@ -1,0 +1,150 @@
+//! The one tabular formatter: aligned text and CSV from the same rows.
+//!
+//! [`crate::summary`] and the critical-path report ([`crate::critical`])
+//! both build their tables through [`Table`], so column alignment, numeric
+//! formatting and CSV escaping exist in exactly one place.
+
+/// A rectangular table: a header row plus data rows of the same width.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row; short rows are padded with empty cells, long
+    /// rows are truncated to the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column-aligned plain text: the first column left-aligned, the rest
+    /// right-aligned (the convention every numeric table in this repo uses).
+    pub fn render_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                if i == 0 {
+                    out.push_str(cell);
+                    out.push_str(&" ".repeat(pad));
+                } else {
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(cell);
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+
+    /// RFC-4180-style CSV: cells containing commas, quotes or newlines are
+    /// double-quoted with embedded quotes doubled.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains([',', '"', '\n']) {
+                    out.push('"');
+                    out.push_str(&cell.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Human-readable seconds: `2.500s` / `2.500ms` / `2.5us`.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_aligns_columns() {
+        let mut t = Table::new(["phase", "time"]);
+        t.push_row(["FF&BP", "1.000s"]);
+        t.push_row(["GradComm", "12.000s"]);
+        let text = t.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Right-aligned second column: both rows end at the same width.
+        assert!(lines[1].ends_with(" 1.000s"));
+        assert!(lines[2].ends_with("12.000s"));
+        assert!(lines[1].starts_with("FF&BP "));
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(["name", "value"]);
+        t.push_row(["a,b", "say \"hi\""]);
+        let csv = t.render_csv();
+        assert_eq!(csv, "name,value\n\"a,b\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.push_row(["x"]);
+        assert_eq!(t.render_csv(), "a,b,c\nx,,\n");
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn fmt_secs_scales() {
+        assert_eq!(fmt_secs(2.5), "2.500s");
+        assert_eq!(fmt_secs(0.0025), "2.500ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.5us");
+    }
+}

@@ -227,6 +227,7 @@ mod tests {
             label: Cow::Borrowed(""),
             start,
             end,
+            meta: crate::recorder::SpanMeta::default(),
         }
     }
 
@@ -264,6 +265,7 @@ mod tests {
             label: Cow::Borrowed("layer \"fc\"\n"),
             start: 0.0,
             end: 1.0,
+            meta: crate::recorder::SpanMeta::default(),
         }];
         let mut layout = TrackLayout::new();
         layout.push("gpu\"0\"", TrackKind::Compute);

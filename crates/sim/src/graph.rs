@@ -60,6 +60,7 @@ pub fn to_obs_spans(spans: &[TaskSpan]) -> Vec<spdkfac_obs::Span> {
             label: std::borrow::Cow::Borrowed(""),
             start: s.start,
             end: s.end,
+            meta: spdkfac_obs::SpanMeta::default(),
         })
         .collect()
 }

@@ -4,10 +4,15 @@
 //! the exported Chrome trace is valid Perfetto-loadable JSON with one row
 //! per rank plus one per phase category.
 
+use spdkfac::core::calibrate::Calibrator;
 use spdkfac::core::distributed::{train_with_recorder, Algorithm, DistributedConfig};
+use spdkfac::core::perf::ExpInverseModel;
 use spdkfac::nn::data::gaussian_blobs;
 use spdkfac::nn::models::deep_mlp;
-use spdkfac::obs::{chrome_trace, validate_json, IterationBreakdown, Phase, Recorder, TrackLayout};
+use spdkfac::obs::{
+    chrome_trace, validate_json, CriticalReport, IterationBreakdown, Phase, RankMap, Recorder,
+    TrackLayout,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -106,4 +111,141 @@ fn exported_trace_is_valid_perfetto_json_with_expected_rows() {
         json.matches("\"ph\":\"X\"").count() > 0,
         "no slices exported"
     );
+}
+
+#[test]
+fn critical_path_attributes_iteration_wall_time() {
+    // The acceptance bar of the causal analysis: on a real 4-rank SPD-KFAC
+    // run the four attribution categories must sum to within 5% of the
+    // measured iteration span on every rank (they are constructed as an
+    // exact partition, so this holds with margin), and the critical path
+    // itself must tile ≥95% of the window.
+    let world = 4;
+    let (rec, _, _) = run_with_recorder(world, Algorithm::SpdKfac, 6);
+    let spans = rec.spans();
+    let report = CriticalReport::from_spans(&spans, RankMap::trainer(world));
+    let wall = report.wall();
+    assert!(wall > 0.0);
+    assert_eq!(report.ranks.len(), world);
+    for r in &report.ranks {
+        let covered = r.total();
+        assert!(
+            (covered - wall).abs() <= 0.05 * wall,
+            "rank {}: categories sum {:.6}s vs wall {:.6}s",
+            r.rank,
+            covered,
+            wall
+        );
+        assert!(r.compute > 0.0, "rank {} attributed no compute", r.rank);
+    }
+    assert!(
+        report.path_total() >= 0.95 * wall,
+        "critical path covers {:.6}s of {:.6}s wall",
+        report.path_total(),
+        wall
+    );
+    // Collective groups were matched across ranks via span metadata.
+    assert!(report.num_groups > 0, "no cross-rank collective groups");
+
+    // The machine-readable and highlighted-trace exports stay valid, and
+    // the trace lands at a stable path CI uploads as a workflow artifact.
+    validate_json(&report.to_json()).expect("report JSON");
+    let trace = report.highlighted_trace(&spans, &TrackLayout::trainer(world));
+    validate_json(&trace).expect("highlighted trace JSON");
+    assert!(trace.contains("critical path"), "missing highlighted track");
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("observability_critical_trace.json");
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create target dir");
+    }
+    std::fs::write(&out, &trace).expect("write trace artifact");
+}
+
+#[test]
+fn same_critical_analysis_runs_on_simulator_traces() {
+    // The analyzer must not care whether spans came from threads or from
+    // the discrete-event simulator: metadata-free simulator spans with the
+    // shared-network track convention go through the identical code path.
+    use spdkfac::models::resnet50;
+    use spdkfac::sim::{graph::to_obs_spans, simulate_iteration, Algo, SimConfig};
+    let world = 4;
+    let sim = simulate_iteration(&resnet50(), &SimConfig::paper_testbed(world), Algo::SpdKfac);
+    let spans = to_obs_spans(&sim.spans);
+    let max_track = spans.iter().map(|s| s.track).max().expect("sim spans");
+    let report = CriticalReport::from_spans(&spans, RankMap::simulator(world, max_track + 1));
+    let wall = report.wall();
+    assert!(wall > 0.0);
+    assert_eq!(report.ranks.len(), world);
+    for r in &report.ranks {
+        assert!(
+            (r.total() - wall).abs() <= 0.05 * wall,
+            "rank {}: categories sum {:.6}s vs wall {:.6}s",
+            r.rank,
+            r.total(),
+            wall
+        );
+    }
+    assert!(report.path_total() >= 0.95 * wall);
+    validate_json(&report.to_json()).expect("sim report JSON");
+}
+
+#[test]
+fn drift_detector_flags_miscalibrated_inverse_model_only() {
+    // Calibration closes the loop from measured spans back to the planning
+    // models. A trainer planned with a wildly mis-calibrated inversion
+    // model must produce ≥1 NCT/CT flip in the counterfactual re-plan; a
+    // well-calibrated baseline (the refit of the very same samples) must
+    // produce none.
+    let world = 4;
+    let (rec, _, _) = run_with_recorder(world, Algorithm::SpdKfac, 6);
+    let cfg = DistributedConfig::new(world, Algorithm::SpdKfac);
+    let dims: Vec<usize> = deep_mlp(8, 24, 8, 3, 5)
+        .kfac_dims()
+        .iter()
+        .flat_map(|&(a, g)| [a, g])
+        .collect();
+    assert!(!dims.is_empty());
+
+    // Two opposite mis-calibrations bracket the measured truth: one
+    // baseline thinks inversion is ~1e9x cheaper than modelled (classifies
+    // everything NCT), the other ~1e9x costlier (everything CT). The refit
+    // classification is a concrete NCT/CT assignment, so at least one of
+    // the two baselines must disagree on at least one tensor.
+    let mut flips = 0usize;
+    for scale in [1e-9, 1e9] {
+        let mis = ExpInverseModel::new(cfg.comp_model.alpha * scale, cfg.comp_model.beta);
+        let mut cal = Calibrator::new(mis, cfg.comm_model);
+        assert!(cal.ingest_recorder(&rec) > 0, "no calibration samples");
+        cal.refit();
+        assert!(cal.models().inverse.is_some(), "inverse refit missing");
+        flips += cal.check_drift(&dims, world, None).nct_flips();
+    }
+    assert!(flips >= 1, "mis-calibrated baselines produced no NCT flip");
+
+    // Well-calibrated control: a calibrator whose baselines *are* the refit
+    // of the same samples re-plans identically — zero flips.
+    let mut seed = Calibrator::new(cfg.comp_model, cfg.comm_model);
+    seed.ingest_recorder(&rec);
+    let models = seed.refit();
+    let comp = models.inverse.expect("inverse refit");
+    let comm = models.broadcast.unwrap_or(cfg.comm_model);
+    let mut well = Calibrator::new(comp, comm);
+    well.ingest_recorder(&rec);
+    well.refit();
+    let report = well.check_drift(&dims, world, None);
+    assert_eq!(
+        report.nct_flips(),
+        0,
+        "well-calibrated run flagged flips: {:?}",
+        report.flips
+    );
+    assert_eq!(report.baseline_nct_threshold, report.refit_nct_threshold);
+
+    // Calibration health is exported through the shared metrics registry.
+    well.publish_metrics(rec.metrics());
+    let snap = rec.metrics().snapshot();
+    assert!(snap.gauges.contains_key("calib/inverse/residual"));
+    assert!(snap.gauges["calib/inverse/samples"] > 0.0);
+    assert!(snap.histograms.contains_key("calib/inverse/drift"));
 }
