@@ -16,6 +16,15 @@
 //! dimension grids are disjoint) passes instead of failing — the point of
 //! that mode is "the artifact is still the shape the tooling expects".
 //!
+//! `--critical` switches to critical-path mode: both inputs must be
+//! `spdkfac-critical-path-v1` reports (as written by
+//! `obs_critical_path --json`). Per-rank compute / overlapped-comm /
+//! exposed-comm / idle seconds are normalized to shares of the wall time
+//! and joined on rank; the gate trips when any rank's **exposed** or
+//! **idle** share grew by more than the threshold, interpreted as
+//! *percentage points* (default 5.0) — "the candidate hides less
+//! communication than the baseline did".
+//!
 //! Exit codes: `0` ok, `1` regression past threshold, `2` usage / parse /
 //! schema error.
 
@@ -24,11 +33,18 @@ use spdkfac_obs::{parse_json, JsonValue};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// Expected `schema` field of both inputs.
+/// Expected `schema` field of both inputs (kernel mode).
 const SCHEMA: &str = "spdkfac-bench-kernels-v1";
+
+/// Expected `schema` field of both inputs (`--critical` mode).
+const CRIT_SCHEMA: &str = "spdkfac-critical-path-v1";
 
 /// Default regression threshold: candidate slower than `1.25 x` baseline.
 const DEFAULT_THRESHOLD: f64 = 1.25;
+
+/// Default `--critical` threshold: an exposed/idle share growing by more
+/// than 5 percentage points of wall time.
+const DEFAULT_CRIT_THRESHOLD_PP: f64 = 5.0;
 
 /// One `(kernel, dim) -> optimized_s` mapping extracted from a bench file.
 type KernelTimes = BTreeMap<(String, usize), f64>;
@@ -39,16 +55,19 @@ struct Args {
     candidate: String,
     threshold: f64,
     check: bool,
+    critical: bool,
 }
 
 fn usage() -> String {
-    "usage: bench_diff <baseline.json> <candidate.json> [--threshold X] [--check]".to_string()
+    "usage: bench_diff <baseline.json> <candidate.json> [--threshold X] [--check] [--critical]"
+        .to_string()
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut positional = Vec::new();
-    let mut threshold = DEFAULT_THRESHOLD;
+    let mut threshold: Option<f64> = None;
     let mut check = false;
+    let mut critical = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -57,14 +76,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let v = argv
                     .get(i)
                     .ok_or_else(|| "--threshold needs a value".to_string())?;
-                threshold = v
+                let t = v
                     .parse::<f64>()
                     .map_err(|e| format!("--threshold {v}: {e}"))?;
-                if !(threshold.is_finite() && threshold > 0.0) {
-                    return Err(format!("--threshold must be positive, got {threshold}"));
+                if !(t.is_finite() && t > 0.0) {
+                    return Err(format!("--threshold must be positive, got {t}"));
                 }
+                threshold = Some(t);
             }
             "--check" => check = true,
+            "--critical" => critical = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
@@ -73,11 +94,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if positional.len() != 2 {
         return Err(usage());
     }
+    let threshold = threshold.unwrap_or(if critical {
+        DEFAULT_CRIT_THRESHOLD_PP
+    } else {
+        DEFAULT_THRESHOLD
+    });
     Ok(Args {
         baseline: positional.remove(0),
         candidate: positional.remove(0),
         threshold,
         check,
+        critical,
     })
 }
 
@@ -116,10 +143,73 @@ fn extract(doc: &JsonValue, name: &str) -> Result<KernelTimes, String> {
     Ok(out)
 }
 
-fn load(path: &str) -> Result<KernelTimes, String> {
+/// Per-rank share of wall time spent in each category, in category order
+/// `compute, overlapped, exposed, idle` (unitless fractions).
+type RankShares = BTreeMap<usize, [f64; 4]>;
+
+/// Category labels matching the [`RankShares`] array order. The latter two
+/// are the gated ones: growth there means communication stopped hiding.
+const CRIT_CATEGORIES: [&str; 4] = ["compute", "overlapped", "exposed", "idle"];
+
+/// Validates the `--critical` schema and extracts per-rank category shares.
+fn extract_critical(doc: &JsonValue, name: &str) -> Result<RankShares, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("{name}: missing schema field"))?;
+    if schema != CRIT_SCHEMA {
+        return Err(format!(
+            "{name}: schema {schema:?}, expected {CRIT_SCHEMA:?}"
+        ));
+    }
+    let wall = doc
+        .get("wall_s")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("{name}: missing wall_s"))?;
+    if !(wall.is_finite() && wall > 0.0) {
+        return Err(format!("{name}: wall_s must be positive, got {wall}"));
+    }
+    let ranks = doc
+        .get("ranks")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{name}: missing ranks array"))?;
+    let mut out = RankShares::new();
+    for (i, row) in ranks.iter().enumerate() {
+        let rank = row
+            .get("rank")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{name}: ranks[{i}] missing rank"))?;
+        let mut shares = [0.0f64; 4];
+        for (slot, field) in
+            shares
+                .iter_mut()
+                .zip(["compute_s", "overlapped_s", "exposed_s", "idle_s"])
+        {
+            let secs = row
+                .get(field)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("{name}: ranks[{i}] missing {field}"))?;
+            if !(secs.is_finite() && secs >= 0.0) {
+                return Err(format!("{name}: ranks[{i}] {field} must be >= 0"));
+            }
+            *slot = secs / wall;
+        }
+        out.insert(rank as usize, shares);
+    }
+    Ok(out)
+}
+
+fn load_doc(path: &str) -> Result<JsonValue, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let doc = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
-    extract(&doc, path)
+    parse_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load(path: &str) -> Result<KernelTimes, String> {
+    extract(&load_doc(path)?, path)
+}
+
+fn load_critical(path: &str) -> Result<RankShares, String> {
+    extract_critical(&load_doc(path)?, path)
 }
 
 /// One diffed row.
@@ -178,7 +268,120 @@ fn report(rows: &[DiffRow], threshold: f64) -> Vec<String> {
     regressed
 }
 
+/// One diffed `(rank, category)` share row of `--critical` mode.
+struct CritRow {
+    rank: usize,
+    category: &'static str,
+    baseline: f64,
+    candidate: f64,
+    /// Only exposed/idle growth trips the gate; compute/overlapped shifts
+    /// are reported for context.
+    gated: bool,
+}
+
+impl CritRow {
+    /// Share change in percentage points of wall time.
+    fn delta_pp(&self) -> f64 {
+        (self.candidate - self.baseline) * 100.0
+    }
+}
+
+/// Joins two critical-path reports on rank, one row per category.
+fn diff_critical(baseline: &RankShares, candidate: &RankShares) -> Vec<CritRow> {
+    baseline
+        .iter()
+        .filter_map(|(&rank, b)| candidate.get(&rank).map(|c| (rank, b, c)))
+        .flat_map(|(rank, b, c)| {
+            CRIT_CATEGORIES
+                .iter()
+                .enumerate()
+                .map(move |(k, &category)| CritRow {
+                    rank,
+                    category,
+                    baseline: b[k],
+                    candidate: c[k],
+                    gated: category == "exposed" || category == "idle",
+                })
+        })
+        .collect()
+}
+
+/// Renders the `--critical` diff table and returns the regressed rows.
+fn report_critical(rows: &[CritRow], threshold_pp: f64) -> Vec<String> {
+    let mut t = Table::new([
+        "rank",
+        "category",
+        "baseline",
+        "candidate",
+        "delta",
+        "status",
+    ]);
+    let mut regressed = Vec::new();
+    for r in rows {
+        let delta = r.delta_pp();
+        let status = if r.gated && delta > threshold_pp {
+            regressed.push(format!(
+                "rank {} {} share +{:.1}pp ({:.1}% -> {:.1}%)",
+                r.rank,
+                r.category,
+                delta,
+                r.baseline * 100.0,
+                r.candidate * 100.0
+            ));
+            "REGRESSED"
+        } else if r.gated && delta < -threshold_pp {
+            "improved"
+        } else {
+            "ok"
+        };
+        t.push_row([
+            r.rank.to_string(),
+            r.category.to_string(),
+            format!("{:.1}%", r.baseline * 100.0),
+            format!("{:.1}%", r.candidate * 100.0),
+            format!("{delta:+.1}pp"),
+            status.to_string(),
+        ]);
+    }
+    print!("{}", t.render_text());
+    regressed
+}
+
+fn run_critical(args: &Args) -> Result<ExitCode, String> {
+    let baseline = load_critical(&args.baseline)?;
+    let candidate = load_critical(&args.candidate)?;
+    let rows = diff_critical(&baseline, &candidate);
+    if rows.is_empty() {
+        if args.check {
+            println!("bench_diff --check: schemas ok, no overlapping ranks to compare");
+            return Ok(ExitCode::SUCCESS);
+        }
+        return Err(format!(
+            "no overlapping ranks between {} and {}",
+            args.baseline, args.candidate
+        ));
+    }
+    let regressed = report_critical(&rows, args.threshold);
+    println!(
+        "{} rank(s) compared, threshold {:.1}pp on exposed/idle shares, {} regression(s)",
+        rows.len() / CRIT_CATEGORIES.len(),
+        args.threshold,
+        regressed.len()
+    );
+    if regressed.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for r in &regressed {
+            eprintln!("regression: {r}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
 fn run(args: &Args) -> Result<ExitCode, String> {
+    if args.critical {
+        return run_critical(args);
+    }
     let baseline = load(&args.baseline)?;
     let candidate = load(&args.candidate)?;
     let rows = diff(&baseline, &candidate);
@@ -302,6 +505,79 @@ mod tests {
         assert!(diff(&times(1.0), &shifted).is_empty());
     }
 
+    /// A 2-rank critical-path report with the given exposed-comm seconds
+    /// (wall fixed at 10 s; idle absorbs the remainder).
+    fn crit_fixture(exposed_s: f64) -> String {
+        let ranks: Vec<String> = (0..2)
+            .map(|r| {
+                format!(
+                    "{{\"rank\": {r}, \"compute_s\": 6.0, \"overlapped_s\": 1.0, \
+                     \"exposed_s\": {exposed_s:.3}, \"idle_s\": {:.3}}}",
+                    3.0 - exposed_s
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\": \"{CRIT_SCHEMA}\", \"wall_s\": 10.0, \"path_s\": 9.5, \
+             \"num_groups\": 4, \"ranks\": [{}], \"phase_path_s\": {{}}, \"segments\": []}}",
+            ranks.join(", ")
+        )
+    }
+
+    fn crit_shares(exposed_s: f64) -> RankShares {
+        extract_critical(
+            &parse_json(&crit_fixture(exposed_s)).expect("fixture parses"),
+            "fixture",
+        )
+        .expect("fixture extracts")
+    }
+
+    #[test]
+    fn extract_critical_reads_shares_and_rejects_kernel_schema() {
+        let s = crit_shares(1.0);
+        assert_eq!(s.len(), 2);
+        assert!((s[&0][0] - 0.6).abs() < 1e-12); // compute share
+        assert!((s[&0][2] - 0.1).abs() < 1e-12); // exposed share
+                                                 // A kernel-schema file must be rejected in --critical mode (and
+                                                 // vice versa), so the two CI gates cannot silently cross wires.
+        let kernel = parse_json(&fixture(1.0)).expect("parses");
+        assert!(extract_critical(&kernel, "kernel").is_err());
+        let crit = parse_json(&crit_fixture(1.0)).expect("parses");
+        assert!(extract(&crit, "crit").is_err());
+    }
+
+    #[test]
+    fn exposed_share_growth_past_threshold_regresses() {
+        // Exposed comm grows 1 s -> 2 s of a 10 s wall: +10pp on both
+        // ranks, past the default 5pp gate.
+        let rows = diff_critical(&crit_shares(1.0), &crit_shares(2.0));
+        assert_eq!(rows.len(), 2 * CRIT_CATEGORIES.len());
+        let regressed = report_critical(&rows, DEFAULT_CRIT_THRESHOLD_PP);
+        assert_eq!(regressed.len(), 2);
+        assert!(regressed.iter().all(|r| r.contains("exposed")));
+    }
+
+    #[test]
+    fn identical_critical_reports_pass() {
+        let rows = diff_critical(&crit_shares(1.5), &crit_shares(1.5));
+        assert!(report_critical(&rows, DEFAULT_CRIT_THRESHOLD_PP).is_empty());
+    }
+
+    #[test]
+    fn compute_share_shifts_are_not_gated() {
+        // Exposed shrinking (1.5 s -> 0.2 s) moves share to idle by
+        // construction of the fixture, but within the 5pp gate; only
+        // exposed/idle growth past threshold trips.
+        let rows = diff_critical(&crit_shares(1.5), &crit_shares(1.2));
+        assert!(report_critical(&rows, DEFAULT_CRIT_THRESHOLD_PP).is_empty());
+        // Idle growth alone also trips (exposed 2.0 -> 0.5 pushes idle
+        // from 1.0 s to 2.5 s: +15pp idle, -15pp exposed).
+        let rows = diff_critical(&crit_shares(2.0), &crit_shares(0.5));
+        let regressed = report_critical(&rows, DEFAULT_CRIT_THRESHOLD_PP);
+        assert_eq!(regressed.len(), 2);
+        assert!(regressed.iter().all(|r| r.contains("idle")));
+    }
+
     #[test]
     fn arg_parsing() {
         let ok = parse_args(&[
@@ -319,5 +595,12 @@ mod tests {
         assert!(parse_args(&["a.json".into()]).is_err());
         assert!(parse_args(&["a".into(), "b".into(), "--threshold".into(), "-1".into()]).is_err());
         assert!(parse_args(&["a".into(), "b".into(), "--bogus".into()]).is_err());
+        // --critical flips the default threshold to percentage points.
+        let crit = parse_args(&["a".into(), "b".into(), "--critical".into()]).expect("valid");
+        assert!(crit.critical);
+        assert!((crit.threshold - DEFAULT_CRIT_THRESHOLD_PP).abs() < 1e-12);
+        let plain = parse_args(&["a".into(), "b".into()]).expect("valid");
+        assert!(!plain.critical);
+        assert!((plain.threshold - DEFAULT_THRESHOLD).abs() < 1e-12);
     }
 }

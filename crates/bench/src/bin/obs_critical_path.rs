@@ -10,11 +10,15 @@
 //!
 //! ```text
 //! cargo run --release -p spdkfac-bench --bin obs_critical_path -- \
-//!     4 [--csv out.csv] [--json out.json] [--trace out.trace.json]
+//!     4 [--csv out.csv] [--json out.json] [--sim-json out.json] \
+//!     [--trace out.trace.json]
 //! ```
 //!
 //! `--csv` writes the per-rank attribution (shared formatter with
-//! `summary::render_summary_csv`), `--json` the machine-readable report,
+//! `summary::render_summary_csv`), `--json` the machine-readable report of
+//! the *measured* run, `--sim-json` the same report for the *simulated*
+//! iteration (bit-for-bit deterministic — this is what the CI
+//! `bench_diff --critical` gate compares against its committed baseline),
 //! `--trace` a Perfetto timeline with the critical path as an extra
 //! highlighted track.
 
@@ -33,12 +37,14 @@ fn main() {
     let mut world = 4usize;
     let mut csv_path = None;
     let mut json_path = None;
+    let mut sim_json_path = None;
     let mut trace_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--csv" => csv_path = Some(args.next().expect("--csv needs a path")),
             "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            "--sim-json" => sim_json_path = Some(args.next().expect("--sim-json needs a path")),
             "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
             other => world = other.parse().expect("world must be an integer"),
         }
@@ -100,4 +106,10 @@ fn main() {
         "same analyzer, simulated input: path covers {:.1}% of wall time",
         100.0 * sim_report.path_total() / sim_report.wall().max(f64::MIN_POSITIVE)
     ));
+    if let Some(path) = &sim_json_path {
+        let json = sim_report.to_json();
+        spdkfac_obs::validate_json(&json).expect("report must be valid JSON");
+        std::fs::write(path, &json).expect("failed to write JSON report");
+        note(&format!("wrote simulated critical-path JSON to {path}"));
+    }
 }

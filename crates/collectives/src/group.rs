@@ -21,7 +21,7 @@ use crate::ring::RingEndpoint;
 use crate::stats::{OpKind, TrafficStats};
 use spdkfac_obs::{CollEdge, Phase, Recorder, Span, SpanMeta};
 use std::borrow::Cow;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -149,8 +149,15 @@ impl CollOp {
 
 #[derive(Debug)]
 enum Request {
-    Op { op: CollOp, phase: Phase },
-    SetRecorder { rec: Arc<Recorder>, track: usize },
+    Op {
+        op: CollOp,
+        phase: Phase,
+        generation: u64,
+    },
+    SetRecorder {
+        rec: Arc<Recorder>,
+        track: usize,
+    },
     Quit,
 }
 
@@ -165,6 +172,7 @@ pub struct WorkerComm {
     req_tx: Sender<Request>,
     stats: Arc<TrafficStats>,
     comm_phase: AtomicU8,
+    plan_generation: AtomicU64,
     comm_thread: Option<JoinHandle<()>>,
 }
 
@@ -207,11 +215,28 @@ impl WorkerComm {
             .unwrap_or(Phase::GradComm)
     }
 
+    /// Declares the plan generation subsequently submitted collectives run
+    /// under. The adaptive runtime (`core::runtime`) bumps this at every
+    /// re-plan barrier; like the phase, the generation is captured
+    /// per-submission so in-flight operations keep the generation they were
+    /// submitted under, and the causal analyzer can match the k-th
+    /// collective of a generation across ranks even though a re-plan
+    /// changed the global submission order.
+    pub fn set_generation(&self, generation: u64) {
+        self.plan_generation.store(generation, Ordering::Relaxed);
+    }
+
+    /// The plan generation currently attached to new submissions.
+    pub fn generation(&self) -> u64 {
+        self.plan_generation.load(Ordering::Relaxed)
+    }
+
     fn submit(&self, op: CollOp, reply: Receiver<OpResult>) -> PendingOp {
         self.req_tx
             .send(Request::Op {
                 op,
                 phase: self.phase(),
+                generation: self.generation(),
             })
             .expect("communication thread terminated");
         PendingOp { reply }
@@ -394,6 +419,7 @@ impl LocalGroup {
                 req_tx,
                 stats: Arc::clone(&stats),
                 comm_phase: AtomicU8::new(Phase::GradComm.index() as u8),
+                plan_generation: AtomicU64::new(0),
                 comm_thread: Some(comm_thread),
             });
         }
@@ -452,12 +478,14 @@ impl CommTelemetry {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn record(
         &mut self,
         kind: OpKind,
         elements: usize,
         edge: CollEdge,
         phase: Phase,
+        generation: u64,
         start: f64,
         end: f64,
     ) {
@@ -473,6 +501,7 @@ impl CommTelemetry {
                 edge: Some(edge),
                 seq: Some(seq),
                 size: Some(elements),
+                generation: Some(generation),
             },
         });
         let i = kind.index();
@@ -540,7 +569,11 @@ fn comm_thread_main(ring: RingEndpoint, req_rx: Receiver<Request>) {
     let mut telemetry: Option<CommTelemetry> = None;
     while let Ok(req) = req_rx.recv() {
         match req {
-            Request::Op { op, phase } => {
+            Request::Op {
+                op,
+                phase,
+                generation,
+            } => {
                 let kind = op.kind();
                 let elements = op.elements();
                 let edge = op.edge();
@@ -549,7 +582,7 @@ fn comm_thread_main(ring: RingEndpoint, req_rx: Receiver<Request>) {
                         let start = t.rec.now();
                         execute(&ring, op);
                         let end = t.rec.now();
-                        t.record(kind, elements, edge, phase, start, end);
+                        t.record(kind, elements, edge, phase, generation, start, end);
                     }
                     None => execute(&ring, op),
                 }
@@ -872,6 +905,7 @@ mod tests {
                     comm.set_phase(Phase::FactorComm);
                     comm.allreduce_avg(&mut vec![1.0; 256]);
                     comm.set_phase(Phase::InverseComm);
+                    comm.set_generation(3);
                     comm.broadcast(&mut vec![0.5; 64], 0);
                 });
             }
@@ -892,9 +926,12 @@ mod tests {
             assert_eq!(track_spans[0].meta.seq, Some(0));
             assert_eq!(track_spans[0].meta.edge, Some(CollEdge::Join));
             assert_eq!(track_spans[0].meta.size, Some(256));
+            assert_eq!(track_spans[0].meta.generation, Some(0));
             assert_eq!(track_spans[1].meta.seq, Some(1));
             assert_eq!(track_spans[1].meta.edge, Some(CollEdge::FanOut { root: 0 }));
             assert_eq!(track_spans[1].meta.size, Some(64));
+            // set_generation is captured per-submission, like the phase.
+            assert_eq!(track_spans[1].meta.generation, Some(3));
         }
         let snap = rec.metrics().snapshot();
         assert_eq!(snap.counters["coll/allreduce/ops"], world as u64);

@@ -93,6 +93,13 @@ pub struct RefitModels {
     pub allreduce: Option<AlphaBetaModel>,
     /// Broadcast α-β line over raw element counts.
     pub broadcast: Option<AlphaBetaModel>,
+    /// `true` when [`RefitModels::broadcast`] was seeded from the all-reduce
+    /// fit rather than fit from broadcast samples. All-NCT runs (small
+    /// models, no CT tensors) never execute an inverse broadcast, so their
+    /// broadcast window stays empty; the all-reduce line is the best
+    /// available stand-in for `t_comm` and keeps re-planning well-posed.
+    /// A genuine broadcast fit clears the flag.
+    pub broadcast_is_prior: bool,
     /// Exponential inversion model over tensor dimensions (Eq. 26).
     pub inverse: Option<ExpInverseModel>,
     /// Cubic inversion model over tensor dimensions (the O(d³) sanity fit).
@@ -300,12 +307,25 @@ impl Calibrator {
 
     /// Re-fits every window that is currently well-posed; windows that are
     /// not keep their previous fit. Returns the refreshed models.
+    ///
+    /// Broadcast cold-start: when the broadcast window cannot support a fit
+    /// (all-NCT runs never broadcast inverse results) but an all-reduce fit
+    /// exists, the broadcast model is seeded from the all-reduce line as a
+    /// prior — both are α-β collectives over the same wire — and
+    /// [`RefitModels::broadcast_is_prior`] is set. A later genuine
+    /// broadcast fit replaces the prior and clears the flag.
     pub fn refit(&mut self) -> &RefitModels {
         if self.allreduce.fittable() {
             self.refit.allreduce = Some(AlphaBetaModel::fit(&self.allreduce.samples));
         }
         if self.broadcast.fittable() {
             self.refit.broadcast = Some(AlphaBetaModel::fit(&self.broadcast.samples));
+            self.refit.broadcast_is_prior = false;
+        } else if self.refit.broadcast.is_none() || self.refit.broadcast_is_prior {
+            if let Some(ar) = self.refit.allreduce {
+                self.refit.broadcast = Some(ar);
+                self.refit.broadcast_is_prior = true;
+            }
         }
         if self.inverse.fittable() {
             self.refit.inverse = Some(ExpInverseModel::fit(&self.inverse.samples));
@@ -386,6 +406,14 @@ impl Calibrator {
                 .set(ar.alpha / self.baseline_comm.alpha);
             m.gauge("calib/comm/beta_ratio")
                 .set(ar.beta / self.baseline_comm.beta);
+        }
+        if self.refit.broadcast.is_some() {
+            m.gauge("calib/broadcast/prior")
+                .set(if self.refit.broadcast_is_prior {
+                    1.0
+                } else {
+                    0.0
+                });
         }
         if let Some(inv) = &self.refit.inverse {
             m.gauge("calib/inverse/alpha_ratio")
@@ -484,6 +512,7 @@ mod tests {
                 edge,
                 seq: None,
                 size: Some(size),
+                ..SpanMeta::default()
             },
         }
     }
@@ -544,7 +573,33 @@ mod tests {
         assert!((inv.alpha - true_comp.alpha).abs() / true_comp.alpha < 1e-6);
         assert!((inv.beta - true_comp.beta).abs() < 1e-9);
         assert!(models.inverse_cubic.is_some());
-        assert!(models.broadcast.is_none(), "no broadcast samples");
+        // No broadcast samples: the all-reduce fit stands in as a prior.
+        let bc = models.broadcast.as_ref().expect("broadcast prior seeded");
+        assert!(models.broadcast_is_prior);
+        assert!((bc.alpha - ar.alpha).abs() < 1e-18);
+        assert!((bc.beta - ar.beta).abs() < 1e-18);
+    }
+
+    #[test]
+    fn broadcast_prior_yields_to_genuine_fit() {
+        let mut c = Calibrator::new(comp(), comm());
+        let true_ar = AlphaBetaModel::new(1e-3, 5e-8);
+        for m in [64usize, 1024, 16384] {
+            c.push(SampleKind::AllReduce, m, true_ar.time(m));
+        }
+        c.refit();
+        assert!(c.models().broadcast_is_prior);
+        // Real broadcast samples arrive (e.g. drift made some tensors CT):
+        // the genuine fit replaces the prior.
+        let true_bc = AlphaBetaModel::new(3e-3, 9e-8);
+        for m in [128usize, 2048, 32768] {
+            c.push(SampleKind::Broadcast, m, true_bc.time(m));
+        }
+        let models = c.refit();
+        assert!(!models.broadcast_is_prior);
+        let bc = models.broadcast.as_ref().expect("broadcast fit");
+        assert!((bc.alpha - true_bc.alpha).abs() / true_bc.alpha < 1e-6);
+        assert!((bc.beta - true_bc.beta).abs() / true_bc.beta < 1e-6);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! (§VI: *"our proposed algorithms are systemic optimizations without
 //! affecting the numerical results"*).
 
+use crate::calibrate::Calibrator;
 use crate::ekfac::precondition_ekfac;
 use crate::factors::{local_factor_a, local_factor_g, FactorState};
 use crate::fusion::{self, FactorPipeline, FusionStrategy};
@@ -24,6 +25,7 @@ use crate::optimizer::KfacConfig;
 use crate::perf::{AlphaBetaModel, ExpInverseModel};
 use crate::placement::{self, PlacementStrategy, TensorAssignment};
 use crate::precond::{apply_kl_clip, build_directions};
+use crate::runtime::{self, ReplanController, ReplanPolicy};
 use spdkfac_collectives::{LocalGroup, PendingOp, WorkerComm};
 use spdkfac_nn::data::Dataset;
 use spdkfac_nn::loss::softmax_cross_entropy;
@@ -82,6 +84,15 @@ pub struct DistributedConfig {
     /// all-reduced asynchronously during backward once this many elements
     /// have accumulated (Horovod's 64 MB buffer ≙ 16 M fp32 elements).
     pub grad_fusion_elems: usize,
+    /// Adaptive re-planning policy (see [`crate::runtime`]). At each due
+    /// inter-iteration barrier every rank refits its calibrator, the fitted
+    /// coefficients are agreement-all-reduced, and placement + fusion plans
+    /// are deterministically recomputed from the agreed models; a changed
+    /// plan is swapped in atomically with a generation bump. Calibration
+    /// samples come off the recorder, so under [`train`] (no recorder) a
+    /// due barrier still synchronizes but re-plans from the baseline models
+    /// — a fixed point.
+    pub replan: ReplanPolicy,
 }
 
 impl DistributedConfig {
@@ -99,6 +110,7 @@ impl DistributedConfig {
             comp_model: ExpInverseModel::new(5e-5, 2e-3),
             comm_model: AlphaBetaModel::new(2e-4, 2e-9),
             grad_fusion_elems: 16 * 1024 * 1024,
+            replan: ReplanPolicy::Off,
         }
     }
 
@@ -276,7 +288,9 @@ fn worker(
     let a_sizes: Vec<usize> = dims.iter().map(|&(a, _)| a * (a + 1) / 2).collect();
     let g_sizes: Vec<usize> = dims.iter().map(|&(_, g)| g * (g + 1) / 2).collect();
 
-    // Inverse placement over the 2L tensors (A_l, G_l interleaved).
+    // Inverse placement over the 2L tensors (A_l, G_l interleaved). The
+    // generation-0 plan goes into the epoch-versioned store; re-plan
+    // barriers may swap it later (see `crate::runtime`).
     let inv_dims: Vec<usize> = dims.iter().flat_map(|&(a, g)| [a, g]).collect();
     let inv_placement = placement::place(
         &inv_dims,
@@ -300,6 +314,16 @@ fn worker(
             }
         }
     }
+    let mut store = runtime::PlanStore::new(inv_placement, None, None);
+    let mut controller = ReplanController::new(cfg.replan);
+    let mut calibrator = Calibrator::new(cfg.comp_model, cfg.comm_model);
+    // Recorder high-water mark: spans ending before this were already fed
+    // to the calibrator at an earlier barrier.
+    let mut ingested_until = 0.0f64;
+    // Measured pipelines saved from the iteration-0 plan agreement, so
+    // re-plan barriers can recompute fusion plans from the agreed models.
+    let mut a_pipeline: Option<FactorPipeline> = None;
+    let mut g_pipeline: Option<FactorPipeline> = None;
 
     let mut sgd = Sgd::new(cfg.kfac.lr, cfg.kfac.momentum, cfg.kfac.weight_decay);
     let mut losses = Vec::with_capacity(iters);
@@ -308,12 +332,6 @@ fn worker(
     // inversion tensors, and per-layer eigenbasis second-moment scales.
     let mut ekfac_bases: Vec<Option<(Matrix, Vec<f64>)>> = vec![None; 2 * nlayers];
     let mut ekfac_scales: Vec<Option<Matrix>> = vec![None; nlayers];
-
-    // SPD fusion plans, computed after iteration 0 from measured,
-    // rank-averaged factor ready times (the "measured through several
-    // iterations' running" methodology of §IV-A).
-    let mut a_plan: Option<fusion::FusionPlan> = None;
-    let mut g_plan: Option<fusion::FusionPlan> = None;
 
     for iter in 0..iters {
         let start = (iter * batch) % (shard.len() - batch + 1);
@@ -329,7 +347,7 @@ fn worker(
         comm.set_phase(Phase::FactorComm);
         let forward_span = obs.span(Phase::FfBp);
         let out = if pipelined {
-            let plan = a_plan.clone().unwrap_or_else(|| {
+            let plan = store.current().a_fusion.clone().unwrap_or_else(|| {
                 fusion::plan(
                     &FactorPipeline::new(vec![0.0; nlayers], a_sizes.clone()).expect("valid"),
                     &cfg.comm_model,
@@ -379,7 +397,7 @@ fn worker(
         // — the wait-free back-propagation of §II-A.
         let mut g_ready = vec![0.0f64; nlayers];
         let mut spd_g = if pipelined {
-            let plan = g_plan.clone().unwrap_or_else(|| {
+            let plan = store.current().g_fusion.clone().unwrap_or_else(|| {
                 let rev_sizes: Vec<usize> = g_sizes.iter().rev().copied().collect();
                 fusion::plan(
                     &FactorPipeline::new(vec![0.0; nlayers], rev_sizes).expect("valid"),
@@ -530,7 +548,7 @@ fn worker(
             // ---------- Distributed eigendecomposition (EKFAC extension) ---
             if cfg.algorithm == Algorithm::EkfacSpd {
                 if iter % cfg.kfac.inv_update_freq.max(1) == 0 {
-                    let mine: Vec<usize> = inv_placement.set_for_gpu(rank);
+                    let mine: Vec<usize> = store.current().placement.set_for_gpu(rank);
                     let mut computed: Vec<Option<(Matrix, Vec<f64>)>> = vec![None; 2 * nlayers];
                     for &t in &mine {
                         // One sized span per tensor: the calibrator reads
@@ -551,7 +569,9 @@ fn worker(
                     comm.set_phase(Phase::InverseComm);
                     let mut bcasts: Vec<(usize, PendingOp)> = Vec::new();
                     for t in 0..2 * nlayers {
-                        if let TensorAssignment::Gpu(owner) = inv_placement.assignments()[t] {
+                        if let TensorAssignment::Gpu(owner) =
+                            store.current().placement.assignments()[t]
+                        {
                             let d = inv_dims[t];
                             let buf = match &computed[t] {
                                 Some((q, v)) => {
@@ -593,7 +613,7 @@ fn worker(
             // ---------- Distributed inversion per placement ---------------
             if iter % cfg.kfac.inv_update_freq.max(1) == 0 {
                 // Compute this rank's assigned inverses (NCTs + own CTs).
-                let mine: Vec<usize> = inv_placement.set_for_gpu(rank);
+                let mine: Vec<usize> = store.current().placement.set_for_gpu(rank);
                 let mut computed: Vec<Option<SymPacked>> = vec![None; 2 * nlayers];
                 for &t in &mine {
                     // One sized span per tensor: the calibrator reads
@@ -614,7 +634,8 @@ fn worker(
                 comm.set_phase(Phase::InverseComm);
                 let mut bcasts: Vec<(usize, PendingOp)> = Vec::new();
                 for t in 0..2 * nlayers {
-                    if let TensorAssignment::Gpu(owner) = inv_placement.assignments()[t] {
+                    if let TensorAssignment::Gpu(owner) = store.current().placement.assignments()[t]
+                    {
                         let d = inv_dims[t];
                         let buf = match &computed[t] {
                             Some(p) => p.as_slice().to_vec(),
@@ -678,13 +699,13 @@ fn worker(
             let mut times: Vec<f64> = a_ready.iter().chain(g_ready.iter()).copied().collect();
             comm.allreduce_avg(&mut times);
             let (a_avg, g_avg) = times.split_at(nlayers);
-            let a_pipeline =
+            let a_pipe =
                 FactorPipeline::new(monotonize(a_avg), a_sizes.clone()).expect("A pipeline valid");
             let rev_g_sizes: Vec<usize> = g_sizes.iter().rev().copied().collect();
-            let g_pipeline =
+            let g_pipe =
                 FactorPipeline::new(monotonize(g_avg), rev_g_sizes).expect("G pipeline valid");
-            let a = fusion::plan(&a_pipeline, &cfg.comm_model, cfg.fusion);
-            let g = fusion::plan(&g_pipeline, &cfg.comm_model, cfg.fusion);
+            let a = fusion::plan(&a_pipe, &cfg.comm_model, cfg.fusion);
+            let g = fusion::plan(&g_pipe, &cfg.comm_model, cfg.fusion);
             // Publish the tensor-fusion verdict (Eq. 15) once, on rank 0:
             // how many factors each pass fused into how many messages.
             if rank == 0 {
@@ -700,9 +721,58 @@ fn worker(
                         .set((nlayers - g.num_messages()) as f64);
                 }
             }
-            a_plan = Some(a);
-            g_plan = Some(g);
+            store.install_fusion(Some(a), Some(g));
+            a_pipeline = Some(a_pipe);
+            g_pipeline = Some(g_pipe);
         }
+
+        // ---------- Adaptive re-plan barrier (see `crate::runtime`) --------
+        // SPMD-safe by construction: entry depends only on `iter`, the
+        // models are agreement-all-reduced (doubling as the barrier), and
+        // the re-plan + hysteresis are pure functions of rank-identical
+        // inputs — so every rank swaps (or doesn't) together.
+        if controller.due(iter) {
+            let t_barrier = Instant::now();
+            let replan_span = obs.span(Phase::Update);
+            if let Some(r) = &obs.rec {
+                let fresh: Vec<spdkfac_obs::Span> = r
+                    .spans()
+                    .into_iter()
+                    .filter(|s| s.end > ingested_until)
+                    .collect();
+                ingested_until = r.now();
+                calibrator.ingest_spans(&fresh);
+            }
+            let mut agree = runtime::encode_models(calibrator.refit()).to_vec();
+            comm.set_phase(Phase::Update);
+            comm.allreduce_avg(&mut agree);
+            let agreed = runtime::decode_models(&agree, &cfg.comp_model, &cfg.comm_model);
+            let (placement, a_f, g_f) = runtime::replan(
+                &agreed,
+                &inv_dims,
+                world,
+                cfg.effective_placement(),
+                a_pipeline.as_ref(),
+                g_pipeline.as_ref(),
+                cfg.fusion,
+            );
+            let outcome = controller.consider(&mut store, placement, a_f, g_f);
+            if outcome.swapped {
+                comm.set_generation(store.generation());
+            }
+            drop(replan_span);
+            if rank == 0 {
+                if let Some(r) = &obs.rec {
+                    runtime::publish_replan_metrics(
+                        r.metrics(),
+                        &outcome,
+                        t_barrier.elapsed().as_secs_f64(),
+                    );
+                    calibrator.publish_metrics(r.metrics());
+                }
+            }
+        }
+
         if rank == 0 {
             if let Some(r) = &obs.rec {
                 r.metrics().counter("train/iterations").inc();

@@ -19,6 +19,12 @@
 //!   durations re-fit the α-β / exponential models at runtime, with
 //!   report-only detection of drift large enough to flip an Eq. 15 fusion
 //!   or NCT/CT placement decision.
+//! - [`runtime`]: the **adaptive re-planning runtime** — an epoch-versioned
+//!   plan store plus a barrier-synchronized controller that all-reduces each
+//!   rank's calibration refits, deterministically recomputes the fusion plan
+//!   and LBP placement from the agreed models, and atomically swaps the
+//!   active [`runtime::PlanEpoch`] (SPMD-safe: collectives are tagged with
+//!   their plan generation).
 //! - [`distributed`]: multi-worker trainers running real collectives:
 //!   [`distributed::Algorithm::DKfac`], [`distributed::Algorithm::MpdKfac`]
 //!   and [`distributed::Algorithm::SpdKfac`], which produce numerically
@@ -55,6 +61,7 @@ pub mod optimizer;
 pub mod perf;
 pub mod placement;
 pub mod precond;
+pub mod runtime;
 
 pub use error::KfacError;
 pub use fusion::FusionStrategy;

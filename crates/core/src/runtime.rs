@@ -1,0 +1,663 @@
+//! Adaptive re-planning runtime: barrier-synchronized actuation of
+//! calibration drift.
+//!
+//! SPD-KFAC's two standing decisions — the Eq. 15 fusion plan and the
+//! Algorithm 1 LBP inverse placement — are computed from α-β/exponential
+//! cost models that [`crate::calibrate`] shows drift at runtime. This
+//! module is the control plane that closes the loop *safely*:
+//!
+//! 1. **Plan store** — the active [`PlanEpoch`] (fusion plans + placement,
+//!    versioned by a monotonically increasing `generation`).
+//! 2. **Model agreement** — at a synchronized inter-iteration barrier every
+//!    rank refits its local [`Calibrator`](crate::calibrate::Calibrator),
+//!    encodes the fitted coefficients into a fixed-size vector
+//!    ([`encode_models`]), and an averaging all-reduce makes every rank see
+//!    the *identical* agreed coefficients ([`decode_models`]). The
+//!    all-reduce doubles as the barrier.
+//! 3. **Deterministic re-plan** — each rank recomputes the placement and
+//!    fusion plans from the agreed models ([`replan`]). Determinism plus
+//!    identical inputs means every rank derives the identical candidate
+//!    plan with no further coordination.
+//! 4. **Atomic swap** — [`ReplanController::consider`] applies the policy
+//!    (hysteresis under [`ReplanPolicy::OnDrift`]) and, on a swap,
+//!    [`PlanStore::swap`] installs the new epoch and bumps the generation.
+//!    The trainer then tags subsequent collectives with the new generation
+//!    (`WorkerComm::set_generation`), so the causal analyzer's SPMD
+//!    k-th-collective matching stays sound per `(generation, seq)`.
+//!
+//! **SPMD-safety argument.** A mid-iteration re-plan would change the
+//! number and order of collectives on some ranks before others, deadlocking
+//! the group. Here every input to the swap decision is rank-identical: the
+//! barrier entry condition depends only on the iteration number
+//! ([`ReplanController::due`]), the models are agreed by all-reduce, the
+//! re-plan is a pure function of the agreed models, and the hysteresis
+//! counter advances in lockstep because its input (plan-changed?) is
+//! rank-identical. Therefore all ranks swap (or don't) together, and the
+//! submission order stays identical on every rank within each generation.
+
+use crate::calibrate::RefitModels;
+use crate::fusion::{self, FactorPipeline, FusionPlan, FusionStrategy};
+use crate::perf::{AlphaBetaModel, ExpInverseModel};
+use crate::placement::{self, Placement, PlacementStrategy};
+use spdkfac_obs::MetricsRegistry;
+
+/// One versioned set of standing decisions: what the data plane is running.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanEpoch {
+    /// Eq. 15 fusion plan for the A-factor (forward-pass) pipeline, when
+    /// the trainer pipelines factor communication (SPD).
+    pub a_fusion: Option<FusionPlan>,
+    /// Fusion plan for the G-factor (backward-pass) pipeline.
+    pub g_fusion: Option<FusionPlan>,
+    /// Algorithm 1 inverse placement.
+    pub placement: Placement,
+    /// Epoch version; bumped by every [`PlanStore::swap`].
+    pub generation: u64,
+}
+
+impl PlanEpoch {
+    /// `true` when the standing decisions differ (generation is ignored —
+    /// it versions the decisions, it is not one).
+    pub fn plan_differs(&self, other: &PlanEpoch) -> bool {
+        self.a_fusion != other.a_fusion
+            || self.g_fusion != other.g_fusion
+            || self.placement != other.placement
+    }
+}
+
+/// Owner of the active [`PlanEpoch`]. Each rank holds its own store; the
+/// agreement protocol (module docs) keeps the contents rank-identical, so a
+/// local swap *is* the global swap.
+#[derive(Debug, Clone)]
+pub struct PlanStore {
+    epoch: PlanEpoch,
+}
+
+impl PlanStore {
+    /// Creates a store with generation-0 decisions.
+    pub fn new(
+        placement: Placement,
+        a_fusion: Option<FusionPlan>,
+        g_fusion: Option<FusionPlan>,
+    ) -> Self {
+        PlanStore {
+            epoch: PlanEpoch {
+                a_fusion,
+                g_fusion,
+                placement,
+                generation: 0,
+            },
+        }
+    }
+
+    /// The active epoch.
+    pub fn current(&self) -> &PlanEpoch {
+        &self.epoch
+    }
+
+    /// The active generation.
+    pub fn generation(&self) -> u64 {
+        self.epoch.generation
+    }
+
+    /// Replaces the fusion plans without a generation bump — used for the
+    /// iteration-0 measurement-driven plan agreement, which installs the
+    /// *first* real plan rather than re-planning an existing one.
+    pub fn install_fusion(&mut self, a_fusion: Option<FusionPlan>, g_fusion: Option<FusionPlan>) {
+        self.epoch.a_fusion = a_fusion;
+        self.epoch.g_fusion = g_fusion;
+    }
+
+    /// Installs a new epoch and bumps the generation; returns the new
+    /// generation. Call only after the agreement barrier (module docs).
+    pub fn swap(
+        &mut self,
+        placement: Placement,
+        a_fusion: Option<FusionPlan>,
+        g_fusion: Option<FusionPlan>,
+    ) -> u64 {
+        self.epoch = PlanEpoch {
+            a_fusion,
+            g_fusion,
+            placement,
+            generation: self.epoch.generation + 1,
+        };
+        self.epoch.generation
+    }
+}
+
+/// When (and how eagerly) the runtime re-plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplanPolicy {
+    /// Never re-plan: the seed static-plan behavior.
+    #[default]
+    Off,
+    /// Enter the re-plan barrier after every `n`-th iteration and swap
+    /// whenever the agreed models produce a different plan.
+    EveryN(usize),
+    /// Enter the barrier every `check_every` iterations, but swap only
+    /// after the candidate plan has differed from the active one in
+    /// `hysteresis` *consecutive* checks — transient drift (one noisy
+    /// window) never churns the plan.
+    OnDrift {
+        /// Barrier cadence in iterations.
+        check_every: usize,
+        /// Consecutive differing checks required before a swap (≥ 1).
+        hysteresis: usize,
+    },
+}
+
+impl ReplanPolicy {
+    /// Barrier cadence: `Some(n)` when the policy enters the re-plan
+    /// barrier every `n` iterations.
+    pub fn cadence(&self) -> Option<usize> {
+        match self {
+            ReplanPolicy::Off => None,
+            ReplanPolicy::EveryN(n) => Some((*n).max(1)),
+            ReplanPolicy::OnDrift { check_every, .. } => Some((*check_every).max(1)),
+        }
+    }
+}
+
+/// Number of `f64`s in the model-agreement vector: three models ×
+/// `(count, α, β)`.
+pub const AGREEMENT_LEN: usize = 9;
+
+/// Flattens a rank's refit models into the agreement vector.
+///
+/// Layout per model (all-reduce α-β, broadcast α-β, inverse exp):
+/// `[has, α·has, β·has]`. Ranks lacking a fit contribute zeros, so after an
+/// *averaging* all-reduce the group mean of each coefficient over the ranks
+/// that do have a fit is `avg(α·has) / avg(has)` — see [`decode_models`].
+pub fn encode_models(models: &RefitModels) -> [f64; AGREEMENT_LEN] {
+    let mut v = [0.0f64; AGREEMENT_LEN];
+    if let Some(ar) = &models.allreduce {
+        v[0] = 1.0;
+        v[1] = ar.alpha;
+        v[2] = ar.beta;
+    }
+    if let Some(bc) = &models.broadcast {
+        v[3] = 1.0;
+        v[4] = bc.alpha;
+        v[5] = bc.beta;
+    }
+    if let Some(inv) = &models.inverse {
+        v[6] = 1.0;
+        v[7] = inv.alpha;
+        v[8] = inv.beta;
+    }
+    v
+}
+
+/// The rank-identical models a re-plan decides from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgreedModels {
+    /// Agreed all-reduce α-β line (fusion planning).
+    pub allreduce: AlphaBetaModel,
+    /// Agreed broadcast α-β line (NCT test / placement).
+    pub broadcast: AlphaBetaModel,
+    /// Agreed exponential inversion model (NCT test / placement).
+    pub inverse: ExpInverseModel,
+}
+
+/// Reconstructs the agreed models from the *averaged* agreement vector.
+///
+/// Models no rank could fit fall back to the trainer's baselines, so a
+/// cold-start group re-plans from the same models it planned with — a
+/// fixed point, not a churn.
+pub fn decode_models(
+    avg: &[f64],
+    baseline_comp: &ExpInverseModel,
+    baseline_comm: &AlphaBetaModel,
+) -> AgreedModels {
+    assert!(avg.len() >= AGREEMENT_LEN, "short agreement vector");
+    let line = |base: usize, fallback: AlphaBetaModel| -> AlphaBetaModel {
+        if avg[base] > 0.0 {
+            AlphaBetaModel::new(avg[base + 1] / avg[base], avg[base + 2] / avg[base])
+        } else {
+            fallback
+        }
+    };
+    let allreduce = line(0, *baseline_comm);
+    let broadcast = line(3, *baseline_comm);
+    let inverse = if avg[6] > 0.0 {
+        ExpInverseModel::new(avg[7] / avg[6], avg[8] / avg[6])
+    } else {
+        *baseline_comp
+    };
+    AgreedModels {
+        allreduce,
+        broadcast,
+        inverse,
+    }
+}
+
+/// Deterministically recomputes the standing decisions from agreed models.
+///
+/// Pure function of its arguments: identical inputs on every rank yield the
+/// identical candidate plan (LBP and the Eq. 15 planner both break ties
+/// deterministically).
+pub fn replan(
+    agreed: &AgreedModels,
+    inv_dims: &[usize],
+    world: usize,
+    placement_strategy: PlacementStrategy,
+    a_pipeline: Option<&FactorPipeline>,
+    g_pipeline: Option<&FactorPipeline>,
+    fusion_strategy: FusionStrategy,
+) -> (Placement, Option<FusionPlan>, Option<FusionPlan>) {
+    let placement = placement::place(
+        inv_dims,
+        world,
+        &agreed.inverse,
+        &agreed.broadcast,
+        placement_strategy,
+    );
+    let a_fusion = a_pipeline.map(|p| fusion::plan(p, &agreed.allreduce, fusion_strategy));
+    let g_fusion = g_pipeline.map(|p| fusion::plan(p, &agreed.allreduce, fusion_strategy));
+    (placement, a_fusion, g_fusion)
+}
+
+/// Outcome of one re-plan barrier, for logging and metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplanOutcome {
+    /// `true` when the epoch was swapped.
+    pub swapped: bool,
+    /// The generation active after the barrier.
+    pub generation: u64,
+    /// Tensors whose placement assignment changed (0 when not swapped).
+    pub placement_flips: usize,
+    /// `true` when a fusion plan changed message grouping.
+    pub fusion_changed: bool,
+}
+
+/// Per-rank re-plan state machine: barrier cadence + swap hysteresis.
+///
+/// All inputs to its decisions are rank-identical (module docs), so every
+/// rank's controller advances in lockstep.
+#[derive(Debug, Clone)]
+pub struct ReplanController {
+    policy: ReplanPolicy,
+    pending: usize,
+}
+
+impl ReplanController {
+    /// Creates a controller for `policy`.
+    pub fn new(policy: ReplanPolicy) -> Self {
+        ReplanController { policy, pending: 0 }
+    }
+
+    /// The controller's policy.
+    pub fn policy(&self) -> ReplanPolicy {
+        self.policy
+    }
+
+    /// `true` when ranks must enter the re-plan barrier after (0-based)
+    /// iteration `iter`. Deterministic in `iter` alone — the SPMD-safe
+    /// entry condition.
+    pub fn due(&self, iter: usize) -> bool {
+        match self.policy.cadence() {
+            Some(n) => (iter + 1).is_multiple_of(n),
+            None => false,
+        }
+    }
+
+    /// Applies the policy to a candidate plan and swaps the store when the
+    /// policy says so. Call on every rank with rank-identical inputs,
+    /// inside the barrier.
+    ///
+    /// Re-planning from models that reproduce the current plan is a fixed
+    /// point: no swap, no generation bump, and the hysteresis counter
+    /// resets.
+    pub fn consider(
+        &mut self,
+        store: &mut PlanStore,
+        placement: Placement,
+        a_fusion: Option<FusionPlan>,
+        g_fusion: Option<FusionPlan>,
+    ) -> ReplanOutcome {
+        let current = store.current();
+        let changed = current.placement != placement
+            || current.a_fusion != a_fusion
+            || current.g_fusion != g_fusion;
+        if !changed {
+            self.pending = 0;
+            return ReplanOutcome {
+                swapped: false,
+                generation: store.generation(),
+                placement_flips: 0,
+                fusion_changed: false,
+            };
+        }
+        self.pending += 1;
+        let need = match self.policy {
+            ReplanPolicy::OnDrift { hysteresis, .. } => hysteresis.max(1),
+            _ => 1,
+        };
+        if self.pending < need {
+            return ReplanOutcome {
+                swapped: false,
+                generation: store.generation(),
+                placement_flips: 0,
+                fusion_changed: false,
+            };
+        }
+        self.pending = 0;
+        let placement_flips = count_placement_flips(&store.current().placement, &placement);
+        let fusion_changed =
+            store.current().a_fusion != a_fusion || store.current().g_fusion != g_fusion;
+        let generation = store.swap(placement, a_fusion, g_fusion);
+        ReplanOutcome {
+            swapped: true,
+            generation,
+            placement_flips,
+            fusion_changed,
+        }
+    }
+}
+
+/// Number of tensors whose assignment differs between two placements (the
+/// "flips applied" a swap actuates). Placements of different lengths or
+/// world sizes count every tensor as flipped.
+pub fn count_placement_flips(old: &Placement, new: &Placement) -> usize {
+    if old.world() != new.world() || old.assignments().len() != new.assignments().len() {
+        return new.assignments().len().max(old.assignments().len());
+    }
+    old.assignments()
+        .iter()
+        .zip(new.assignments())
+        .filter(|(a, b)| a != b)
+        .count()
+}
+
+/// Publishes `runtime/*` metrics for one barrier outcome:
+///
+/// - `runtime/generation` — gauge, the active generation;
+/// - `runtime/checks` — counter, barriers entered;
+/// - `runtime/swaps` — counter, epochs swapped;
+/// - `runtime/flips_applied` — counter, placement assignments changed by
+///   swaps;
+/// - `runtime/fusion_replans` — counter, swaps that changed a fusion plan;
+/// - `runtime/swap_latency_s` — histogram, wall time of the whole barrier
+///   (refit + agreement all-reduce + re-plan + swap).
+pub fn publish_replan_metrics(m: &MetricsRegistry, outcome: &ReplanOutcome, latency_s: f64) {
+    m.gauge("runtime/generation").set(outcome.generation as f64);
+    m.counter("runtime/checks").inc();
+    if outcome.swapped {
+        m.counter("runtime/swaps").inc();
+        m.counter("runtime/flips_applied")
+            .add(outcome.placement_flips as u64);
+        if outcome.fusion_changed {
+            m.counter("runtime/fusion_replans").inc();
+        }
+    }
+    m.histogram("runtime/swap_latency_s").observe(latency_s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::LbpWeight;
+
+    fn comm() -> AlphaBetaModel {
+        AlphaBetaModel::new(2e-4, 2e-9)
+    }
+
+    fn comp() -> ExpInverseModel {
+        ExpInverseModel::new(5e-5, 2e-3)
+    }
+
+    fn agreed_from_baselines() -> AgreedModels {
+        AgreedModels {
+            allreduce: comm(),
+            broadcast: comm(),
+            inverse: comp(),
+        }
+    }
+
+    fn strategy() -> PlacementStrategy {
+        PlacementStrategy::Lbp {
+            weight: LbpWeight::DimSquared,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let models = RefitModels {
+            allreduce: Some(AlphaBetaModel::new(1e-3, 5e-8)),
+            broadcast: Some(AlphaBetaModel::new(2e-3, 7e-8)),
+            broadcast_is_prior: false,
+            inverse: Some(ExpInverseModel::new(3e-4, 1.5e-3)),
+            inverse_cubic: None,
+        };
+        let v = encode_models(&models);
+        let agreed = decode_models(&v, &comp(), &comm());
+        assert!((agreed.allreduce.alpha - 1e-3).abs() < 1e-15);
+        assert!((agreed.broadcast.beta - 7e-8).abs() < 1e-20);
+        assert!((agreed.inverse.alpha - 3e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn decode_averages_only_over_fitted_ranks() {
+        // Rank A fit (α=2e-3), ranks B,C did not: the averaged vector is
+        // the element-wise mean; decode must recover rank A's α exactly.
+        let fitted = RefitModels {
+            allreduce: Some(AlphaBetaModel::new(2e-3, 4e-8)),
+            ..RefitModels::default()
+        };
+        let unfitted = RefitModels::default();
+        let vecs = [
+            encode_models(&fitted),
+            encode_models(&unfitted),
+            encode_models(&unfitted),
+        ];
+        let mut avg = [0.0f64; AGREEMENT_LEN];
+        for v in &vecs {
+            for (a, x) in avg.iter_mut().zip(v) {
+                *a += x / vecs.len() as f64;
+            }
+        }
+        let agreed = decode_models(&avg, &comp(), &comm());
+        assert!((agreed.allreduce.alpha - 2e-3).abs() < 1e-12);
+        assert!((agreed.allreduce.beta - 4e-8).abs() < 1e-18);
+        // No rank fit broadcast/inverse: baselines stand in.
+        assert_eq!(agreed.broadcast, comm());
+        assert_eq!(agreed.inverse.alpha, comp().alpha);
+    }
+
+    #[test]
+    fn replan_from_identical_models_is_fixed_point() {
+        let dims = vec![64usize, 256, 1024, 2048, 32, 512];
+        let agreed = agreed_from_baselines();
+        let (p0, _, _) = replan(
+            &agreed,
+            &dims,
+            4,
+            strategy(),
+            None,
+            None,
+            FusionStrategy::Optimal,
+        );
+        let mut store = PlanStore::new(p0.clone(), None, None);
+        let mut ctl = ReplanController::new(ReplanPolicy::EveryN(1));
+        for _ in 0..5 {
+            let (p, a, g) = replan(
+                &agreed,
+                &dims,
+                4,
+                strategy(),
+                None,
+                None,
+                FusionStrategy::Optimal,
+            );
+            let out = ctl.consider(&mut store, p, a, g);
+            assert!(!out.swapped, "identical models must not churn the plan");
+            assert_eq!(out.generation, 0);
+        }
+        assert_eq!(store.current().placement, p0);
+    }
+
+    #[test]
+    fn drifted_models_swap_and_bump_generation() {
+        let dims = vec![64usize, 256, 1024, 2048, 32, 512];
+        let base = agreed_from_baselines();
+        let (p0, _, _) = replan(
+            &base,
+            &dims,
+            4,
+            strategy(),
+            None,
+            None,
+            FusionStrategy::Optimal,
+        );
+        let mut store = PlanStore::new(p0, None, None);
+        let mut ctl = ReplanController::new(ReplanPolicy::EveryN(1));
+        // Inversion now ~1e6x slower than the baseline believed: NCTs flip
+        // to CT, the placement changes.
+        let drifted = AgreedModels {
+            inverse: ExpInverseModel::new(comp().alpha * 1e6, comp().beta),
+            ..base
+        };
+        let (p, a, g) = replan(
+            &drifted,
+            &dims,
+            4,
+            strategy(),
+            None,
+            None,
+            FusionStrategy::Optimal,
+        );
+        let out = ctl.consider(&mut store, p, a, g);
+        assert!(out.swapped);
+        assert_eq!(out.generation, 1);
+        assert!(out.placement_flips > 0);
+        assert_eq!(store.generation(), 1);
+    }
+
+    #[test]
+    fn hysteresis_defers_swap_until_consecutive_flags() {
+        let dims = vec![64usize, 2048];
+        let base = agreed_from_baselines();
+        let (p0, _, _) = replan(
+            &base,
+            &dims,
+            2,
+            strategy(),
+            None,
+            None,
+            FusionStrategy::Optimal,
+        );
+        let mut store = PlanStore::new(p0, None, None);
+        let mut ctl = ReplanController::new(ReplanPolicy::OnDrift {
+            check_every: 1,
+            hysteresis: 3,
+        });
+        let drifted = AgreedModels {
+            inverse: ExpInverseModel::new(comp().alpha * 1e6, comp().beta),
+            ..base
+        };
+        for round in 0..2 {
+            let (p, a, g) = replan(
+                &drifted,
+                &dims,
+                2,
+                strategy(),
+                None,
+                None,
+                FusionStrategy::Optimal,
+            );
+            let out = ctl.consider(&mut store, p, a, g);
+            assert!(!out.swapped, "round {round} swapped before hysteresis");
+        }
+        // A clean check in between resets the streak.
+        let (p, a, g) = replan(
+            &base,
+            &dims,
+            2,
+            strategy(),
+            None,
+            None,
+            FusionStrategy::Optimal,
+        );
+        assert!(!ctl.consider(&mut store, p, a, g).swapped);
+        for round in 0..3 {
+            let (p, a, g) = replan(
+                &drifted,
+                &dims,
+                2,
+                strategy(),
+                None,
+                None,
+                FusionStrategy::Optimal,
+            );
+            let out = ctl.consider(&mut store, p, a, g);
+            assert_eq!(out.swapped, round == 2, "round {round}");
+        }
+        assert_eq!(store.generation(), 1);
+    }
+
+    #[test]
+    fn due_follows_policy_cadence() {
+        assert!(!ReplanController::new(ReplanPolicy::Off).due(0));
+        assert!(!ReplanController::new(ReplanPolicy::Off).due(99));
+        let every3 = ReplanController::new(ReplanPolicy::EveryN(3));
+        assert!(!every3.due(0));
+        assert!(!every3.due(1));
+        assert!(every3.due(2));
+        assert!(every3.due(5));
+        let drift = ReplanController::new(ReplanPolicy::OnDrift {
+            check_every: 2,
+            hysteresis: 2,
+        });
+        assert!(!drift.due(0));
+        assert!(drift.due(1));
+        assert!(drift.due(3));
+    }
+
+    #[test]
+    fn install_fusion_does_not_bump_generation() {
+        let dims = vec![64usize, 2048];
+        let base = agreed_from_baselines();
+        let (p0, _, _) = replan(
+            &base,
+            &dims,
+            2,
+            strategy(),
+            None,
+            None,
+            FusionStrategy::Optimal,
+        );
+        let mut store = PlanStore::new(p0, None, None);
+        let pipe = FactorPipeline::new(vec![0.0, 0.1], vec![100, 200]).expect("pipeline");
+        let plan = fusion::plan(&pipe, &comm(), FusionStrategy::Optimal);
+        store.install_fusion(Some(plan.clone()), None);
+        assert_eq!(store.generation(), 0);
+        assert_eq!(store.current().a_fusion.as_ref(), Some(&plan));
+    }
+
+    #[test]
+    fn metrics_published_per_outcome() {
+        let m = MetricsRegistry::new();
+        let swap = ReplanOutcome {
+            swapped: true,
+            generation: 2,
+            placement_flips: 3,
+            fusion_changed: true,
+        };
+        publish_replan_metrics(&m, &swap, 0.25e-3);
+        let noop = ReplanOutcome {
+            swapped: false,
+            generation: 2,
+            placement_flips: 0,
+            fusion_changed: false,
+        };
+        publish_replan_metrics(&m, &noop, 0.1e-3);
+        let snap = m.snapshot();
+        assert_eq!(snap.gauges["runtime/generation"], 2.0);
+        assert_eq!(snap.counters["runtime/checks"], 2);
+        assert_eq!(snap.counters["runtime/swaps"], 1);
+        assert_eq!(snap.counters["runtime/flips_applied"], 3);
+        assert_eq!(snap.counters["runtime/fusion_replans"], 1);
+        assert_eq!(snap.histograms["runtime/swap_latency_s"].count, 2);
+    }
+}

@@ -1,10 +1,12 @@
-//! Property tests for the fusion planner and the load-balancing placement.
+//! Property tests for the fusion planner, the load-balancing placement,
+//! and the adaptive re-planning runtime.
 
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 use spdkfac_core::fusion::{self, FactorPipeline, FusionStrategy};
 use spdkfac_core::perf::{AlphaBetaModel, ExpInverseModel};
 use spdkfac_core::placement::{self, LbpWeight, PlacementStrategy, TensorAssignment};
+use spdkfac_core::runtime::{self, AgreedModels, PlanStore, ReplanController, ReplanPolicy};
 
 /// Strategy: a pipeline of 1..40 factors with non-decreasing ready times.
 fn pipeline_strategy() -> impl Strategy<Value = FactorPipeline> {
@@ -241,6 +243,45 @@ proptest! {
                 <= as_d(comp.nct_threshold(&comm, max_d)),
             "threshold grew under a costlier comp model"
         );
+    }
+
+    #[test]
+    fn replanning_from_identical_models_is_a_fixed_point(
+        dims in pvec(8usize..4096, 1..40),
+        world in 1usize..12,
+        comm_alpha in 1e-5f64..5e-3,
+        comm_beta in 1e-11f64..1e-8,
+        bcast_scale in 0.5f64..2.0,
+        inv_alpha in 1e-6f64..1e-2,
+        inv_beta in 1e-4f64..3e-3,
+        p in pipeline_strategy(),
+    ) {
+        // The SPMD-safety argument of `core::runtime` rests on re-planning
+        // being a pure function of the agreed models: for *any* models,
+        // pipeline, and placement problem, re-planning from the models that
+        // produced the active epoch must reproduce it exactly — no swap, no
+        // generation bump, no placement churn, ever.
+        let agreed = AgreedModels {
+            allreduce: AlphaBetaModel::new(comm_alpha, comm_beta),
+            broadcast: AlphaBetaModel::new(comm_alpha * bcast_scale, comm_beta),
+            inverse: ExpInverseModel::new(inv_alpha, inv_beta),
+        };
+        let strategy = PlacementStrategy::Lbp { weight: LbpWeight::ModeledTime };
+        let (p0, a0, g0) = runtime::replan(
+            &agreed, &dims, world, strategy, Some(&p), Some(&p), FusionStrategy::Optimal,
+        );
+        let mut store = PlanStore::new(p0.clone(), a0, g0);
+        let mut ctl = ReplanController::new(ReplanPolicy::EveryN(1));
+        for round in 0..3 {
+            let (pl, a, g) = runtime::replan(
+                &agreed, &dims, world, strategy, Some(&p), Some(&p), FusionStrategy::Optimal,
+            );
+            let out = ctl.consider(&mut store, pl, a, g);
+            prop_assert!(!out.swapped, "round {round}: identical models swapped the epoch");
+            prop_assert_eq!(out.generation, 0);
+            prop_assert_eq!(out.placement_flips, 0);
+        }
+        prop_assert_eq!(&store.current().placement, &p0);
     }
 
     #[test]

@@ -130,15 +130,24 @@ impl RankMap {
 pub(crate) const EPS: f64 = 5e-6;
 
 /// The assembled causal graph: spans in deterministic order, a track index,
-/// and cross-rank collective groups keyed by submission sequence number.
+/// and cross-rank collective groups keyed by plan generation and submission
+/// sequence number.
+///
+/// Keying by `(generation, seq)` rather than `seq` alone keeps the SPMD
+/// k-th-collective matching sound across an adaptive re-plan
+/// (`core::runtime`): a plan swap changes the number and order of
+/// collectives, so a global sequence number would pair unrelated operations
+/// across the generation boundary. Spans without a generation stamp map to
+/// generation 0.
 #[derive(Debug)]
 pub struct CausalGraph {
     spans: Vec<Span>,
     map: RankMap,
     /// Per-track span indices, ordered by start time.
     by_track: BTreeMap<usize, Vec<usize>>,
-    /// Collective groups: seq → member span indices (one per rank).
-    groups: BTreeMap<u64, Vec<usize>>,
+    /// Collective groups: (generation, seq) → member span indices (one per
+    /// rank).
+    groups: BTreeMap<(u64, u64), Vec<usize>>,
     window: (f64, f64),
 }
 
@@ -153,12 +162,15 @@ impl CausalGraph {
                 .then_with(|| a.start.total_cmp(&b.start))
         });
         let mut by_track: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        let mut groups: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut groups: BTreeMap<(u64, u64), Vec<usize>> = BTreeMap::new();
         let (mut t0, mut t1) = (f64::INFINITY, f64::NEG_INFINITY);
         for (i, s) in spans.iter().enumerate() {
             by_track.entry(s.track).or_default().push(i);
             if let Some(seq) = s.meta.seq {
-                groups.entry(seq).or_default().push(i);
+                groups
+                    .entry((s.meta.generation_or_zero(), seq))
+                    .or_default()
+                    .push(i);
             }
             t0 = t0.min(s.start);
             t1 = t1.max(s.end);
@@ -196,9 +208,14 @@ impl CausalGraph {
         self.groups.len()
     }
 
-    /// Member span indices of the collective group with sequence `seq`.
-    pub fn group(&self, seq: u64) -> &[usize] {
-        self.groups.get(&seq).map(Vec::as_slice).unwrap_or(&[])
+    /// Member span indices of the collective group with plan generation
+    /// `generation` and sequence `seq` (unstamped spans live in
+    /// generation 0).
+    pub fn group(&self, generation: u64, seq: u64) -> &[usize] {
+        self.groups
+            .get(&(generation, seq))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Resolves a collective span to the group member that *determined* its
@@ -210,7 +227,7 @@ impl CausalGraph {
         let (Some(seq), Some(edge)) = (s.meta.seq, s.meta.edge) else {
             return idx;
         };
-        let members = self.group(seq);
+        let members = self.group(s.meta.generation_or_zero(), seq);
         if members.len() < 2 {
             return idx;
         }
@@ -338,6 +355,7 @@ mod tests {
                 edge: Some(edge),
                 seq: Some(seq),
                 size: Some(100),
+                ..SpanMeta::default()
             },
         )
     }
@@ -371,7 +389,35 @@ mod tests {
         ];
         let g = CausalGraph::build(&spans, RankMap::trainer(2));
         assert_eq!(g.num_groups(), 2);
-        assert_eq!(g.group(0).len(), 2);
+        assert_eq!(g.group(0, 0).len(), 2);
+    }
+
+    #[test]
+    fn groups_split_at_generation_boundary() {
+        // Two collectives share seq 0 but ran under different plan
+        // generations (a re-plan happened between them): they must not be
+        // matched as one cross-rank group.
+        let mut a = coll(2, 1.0, 2.0, 0, CollEdge::Join);
+        let mut b = coll(3, 1.5, 2.0, 0, CollEdge::Join);
+        a.meta.generation = Some(0);
+        b.meta.generation = Some(0);
+        let mut c = coll(2, 3.0, 4.0, 0, CollEdge::Join);
+        let mut d = coll(3, 3.2, 4.0, 0, CollEdge::Join);
+        c.meta.generation = Some(1);
+        d.meta.generation = Some(1);
+        let g = CausalGraph::build(&[a, b, c, d], RankMap::trainer(2));
+        assert_eq!(g.num_groups(), 2);
+        assert_eq!(g.group(0, 0).len(), 2);
+        assert_eq!(g.group(1, 0).len(), 2);
+        // Unstamped meta lands in generation 0.
+        assert_eq!(SpanMeta::default().generation_or_zero(), 0);
+        // Straggler resolution stays within the generation.
+        let late0 = g.spans().iter().position(|s| s.start == 1.5).expect("span");
+        let early0 = g.spans().iter().position(|s| s.start == 1.0).expect("span");
+        assert_eq!(g.determining_member(early0), late0);
+        let late1 = g.spans().iter().position(|s| s.start == 3.2).expect("span");
+        let early1 = g.spans().iter().position(|s| s.start == 3.0).expect("span");
+        assert_eq!(g.determining_member(early1), late1);
     }
 
     #[test]

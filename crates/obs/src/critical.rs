@@ -19,7 +19,7 @@ use crate::json::escape_json;
 use crate::phase::Phase;
 use crate::recorder::{Span, SpanMeta};
 use crate::table::{fmt_secs, Table};
-use crate::trace::{chrome_trace, TrackKind, TrackLayout};
+use crate::trace::{chrome_trace_with_flows, FlowArrow, TrackKind, TrackLayout};
 use std::borrow::Cow;
 
 /// What one critical-path segment was doing.
@@ -317,12 +317,15 @@ impl CriticalReport {
 
     /// Chrome-trace JSON of `spans` with one extra highlighted row carrying
     /// the critical path — load in Perfetto and the bottleneck chain reads
-    /// left to right. Phase aggregate rows are disabled so the synthetic
-    /// row does not distort them.
+    /// left to right, with flow arrows (`ph:"s"`/`ph:"f"`) drawing the
+    /// dependency hand-off between consecutive path segments. Phase
+    /// aggregate rows are disabled so the synthetic row does not distort
+    /// them.
     pub fn highlighted_trace(&self, spans: &[Span], layout: &TrackLayout) -> String {
         let mut layout = layout.clone().with_phase_rows(false);
         let crit_track = layout.push("critical path", TrackKind::Compute);
         let mut all: Vec<Span> = spans.to_vec();
+        let mut crit_segs: Vec<&CritSegment> = Vec::new();
         for seg in &self.segments {
             if seg.duration() <= 0.0 {
                 continue;
@@ -349,8 +352,23 @@ impl CriticalReport {
                 end: seg.end,
                 meta: SpanMeta::default(),
             });
+            crit_segs.push(seg);
         }
-        chrome_trace(&all, &layout)
+        // Flow arrows between consecutive segments: depart just inside the
+        // producing slice, land just inside the consuming one (endpoints on
+        // a slice boundary would anchor ambiguously in Perfetto).
+        let mut flows = Vec::new();
+        for pair in crit_segs.windows(2) {
+            let nudge_a = (pair[0].duration() * 1e-3).min(5e-7);
+            let nudge_b = (pair[1].duration() * 1e-3).min(5e-7);
+            flows.push(FlowArrow {
+                from_track: crit_track,
+                from_ts: pair[0].end - nudge_a,
+                to_track: crit_track,
+                to_ts: pair[1].start + nudge_b,
+            });
+        }
+        chrome_trace_with_flows(&all, &layout, &flows)
     }
 }
 
@@ -538,6 +556,7 @@ mod tests {
                 edge: Some(edge),
                 seq: Some(seq),
                 size: Some(64),
+                ..SpanMeta::default()
             },
         }
     }
@@ -655,6 +674,9 @@ mod tests {
         assert!(json.contains("crit: "));
         // Phase aggregate rows are disabled in the highlighted view.
         assert!(!json.contains("phase:FF&BP"));
+        // Flow arrows between the 3 consecutive path segments: 2 s/f pairs.
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 2);
     }
 
     #[test]

@@ -58,4 +58,4 @@ pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
 pub use phase::Phase;
 pub use recorder::{CollEdge, Recorder, Span, SpanGuard, SpanMeta};
 pub use table::Table;
-pub use trace::{chrome_trace, TrackKind, TrackLayout};
+pub use trace::{chrome_trace, chrome_trace_with_flows, FlowArrow, TrackKind, TrackLayout};

@@ -47,6 +47,13 @@ pub struct SpanMeta {
     /// Problem size: wire elements for collectives, matrix dimension for
     /// inversions. Consumed by online cost-model calibration.
     pub size: Option<usize>,
+    /// Plan generation the operation executed under. The adaptive runtime
+    /// ([`core::runtime`]) bumps the generation at every re-plan barrier, so
+    /// the k-th-collective SPMD matching in [`crate::causal`] must pair
+    /// spans per `(generation, seq)` — a re-plan changes the number and
+    /// order of collectives, making a global `seq` ambiguous across the
+    /// swap. `None` is treated as generation 0 (static-plan runs).
+    pub generation: Option<u64>,
 }
 
 impl SpanMeta {
@@ -56,6 +63,11 @@ impl SpanMeta {
             size: Some(size),
             ..SpanMeta::default()
         }
+    }
+
+    /// The plan generation, with `None` mapped to generation 0.
+    pub fn generation_or_zero(&self) -> u64 {
+        self.generation.unwrap_or(0)
     }
 }
 

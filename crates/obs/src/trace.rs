@@ -130,6 +130,42 @@ fn push_slice(out: &mut String, name: &str, ts_us: f64, dur_us: f64, tid: usize)
     ));
 }
 
+/// One Chrome-trace flow arrow (a `ph:"s"` → `ph:"f"` pair) between two
+/// slice-bound points. Times are in seconds on the same epoch as the spans
+/// passed to [`chrome_trace_with_flows`]; each endpoint must fall *inside*
+/// a slice on its track for Perfetto to anchor the arrow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowArrow {
+    /// Track the arrow leaves from.
+    pub from_track: usize,
+    /// Departure time (seconds).
+    pub from_ts: f64,
+    /// Track the arrow lands on.
+    pub to_track: usize,
+    /// Arrival time (seconds).
+    pub to_ts: f64,
+}
+
+fn push_flow(out: &mut String, name: &str, id: usize, arrow: &FlowArrow, origin: f64) {
+    let from_us = (arrow.from_ts - origin) * 1e6;
+    let to_us = (arrow.to_ts - origin) * 1e6;
+    out.push(',');
+    out.push_str("{\"name\":\"");
+    escape_json_into(out, name);
+    out.push_str(&format!(
+        "\",\"cat\":\"crit\",\"ph\":\"s\",\"id\":{id},\"ts\":{from_us:.3},\"pid\":0,\"tid\":{}}}",
+        arrow.from_track
+    ));
+    out.push_str(",{\"name\":\"");
+    escape_json_into(out, name);
+    // bp:"e" binds the finish to the slice *enclosing* ts, not the next
+    // slice boundary — the arrow lands on the consuming slice itself.
+    out.push_str(&format!(
+        "\",\"cat\":\"crit\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"ts\":{to_us:.3},\"pid\":0,\"tid\":{}}}",
+        arrow.to_track
+    ));
+}
+
 /// Merges `(start, end)` intervals into their union (inputs need not be
 /// sorted); used for the per-phase aggregate rows.
 fn merge_intervals(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
@@ -153,6 +189,19 @@ fn merge_intervals(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
 /// the union of that phase's activity across all tracks — the at-a-glance
 /// "is factor comm hidden behind FF&BP?" view.
 pub fn chrome_trace(spans: &[Span], layout: &TrackLayout) -> String {
+    chrome_trace_with_flows(spans, layout, &[])
+}
+
+/// [`chrome_trace`] plus flow arrows: each [`FlowArrow`] becomes a
+/// `ph:"s"`/`ph:"f"` event pair sharing an id, rendered by Perfetto as an
+/// arrow between the slices enclosing the two endpoints. Used by
+/// [`crate::CriticalReport::highlighted_trace`] to draw the dependency
+/// chain between consecutive critical-path segments.
+pub fn chrome_trace_with_flows(
+    spans: &[Span],
+    layout: &TrackLayout,
+    flows: &[FlowArrow],
+) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
     for tid in 0..layout.len() {
@@ -208,6 +257,10 @@ pub fn chrome_trace(spans: &[Span], layout: &TrackLayout) -> String {
                 );
             }
         }
+    }
+
+    for (id, arrow) in flows.iter().enumerate() {
+        push_flow(&mut out, "critical path", id, arrow, origin);
     }
 
     out.push_str("]}");
@@ -303,5 +356,37 @@ mod tests {
     fn merge_intervals_unions() {
         let m = merge_intervals(vec![(2.0, 3.0), (0.0, 1.0), (0.5, 2.5)]);
         assert_eq!(m, vec![(0.0, 3.0)]);
+    }
+
+    #[test]
+    fn flow_arrows_emit_paired_s_f_events() {
+        let spans = vec![
+            sp(0, Phase::FfBp, 1.0, 2.0),
+            sp(1, Phase::FactorComm, 2.0, 3.0),
+        ];
+        let flows = vec![FlowArrow {
+            from_track: 0,
+            from_ts: 1.9,
+            to_track: 1,
+            to_ts: 2.1,
+        }];
+        let json = chrome_trace_with_flows(&spans, &TrackLayout::simulator(2, 2), &flows);
+        validate_json(&json).expect("valid JSON");
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 1);
+        assert!(json.contains("\"bp\":\"e\""));
+        // Both endpoints share the flow id and are normalized to the span
+        // origin (1.0 s): departure at 0.9 s = 900000 µs.
+        assert_eq!(json.matches("\"id\":0").count(), 2);
+        assert!(json.contains("\"ts\":900000.000"));
+        assert!(json.contains("\"ts\":1100000.000"));
+    }
+
+    #[test]
+    fn chrome_trace_without_flows_has_none() {
+        let spans = vec![sp(0, Phase::FfBp, 0.0, 1.0)];
+        let json = chrome_trace(&spans, &TrackLayout::simulator(1, 1));
+        assert!(!json.contains("\"ph\":\"s\""));
+        assert!(!json.contains("\"ph\":\"f\""));
     }
 }

@@ -7,6 +7,8 @@
 //! queue, and makes simulation a single deterministic forward pass over the
 //! issue order.
 
+use spdkfac_obs::SpanMeta;
+
 /// Category of a task, used for the Fig. 2 / Fig. 9 breakdown accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Tag {
@@ -50,7 +52,10 @@ impl Tag {
 }
 
 /// Converts simulated spans into the shared observability span type (track =
-/// resource id), for the shared exporters and breakdown attribution.
+/// resource id), for the shared exporters and breakdown attribution. Span
+/// metadata (collective edge/seq/size/generation) is carried through, so the
+/// causal analyzer resolves simulated collectives exactly like measured
+/// ones.
 pub fn to_obs_spans(spans: &[TaskSpan]) -> Vec<spdkfac_obs::Span> {
     spans
         .iter()
@@ -60,7 +65,7 @@ pub fn to_obs_spans(spans: &[TaskSpan]) -> Vec<spdkfac_obs::Span> {
             label: std::borrow::Cow::Borrowed(""),
             start: s.start,
             end: s.end,
-            meta: spdkfac_obs::SpanMeta::default(),
+            meta: s.meta,
         })
         .collect()
 }
@@ -77,6 +82,9 @@ pub struct Task {
     pub deps: Vec<usize>,
     /// Breakdown category.
     pub tag: Tag,
+    /// Collective metadata (edge/seq/size/generation) mirrored onto the
+    /// produced span; default for compute tasks.
+    pub meta: SpanMeta,
 }
 
 /// Computed schedule of one task.
@@ -90,6 +98,8 @@ pub struct TaskSpan {
     pub resource: usize,
     /// Category.
     pub tag: Tag,
+    /// Collective metadata inherited from the task.
+    pub meta: SpanMeta,
 }
 
 /// An append-only task graph over a fixed set of resources.
@@ -143,6 +153,23 @@ impl TaskGraph {
     /// Panics if `resource` is out of range, `duration` is negative/NaN, or
     /// any dependency id is not smaller than the new task's id.
     pub fn push(&mut self, resource: usize, duration: f64, deps: &[usize], tag: Tag) -> usize {
+        self.push_meta(resource, duration, deps, tag, SpanMeta::default())
+    }
+
+    /// As [`TaskGraph::push`], attaching collective metadata that the
+    /// produced span (and its observability conversion) will carry.
+    ///
+    /// # Panics
+    ///
+    /// As [`TaskGraph::push`].
+    pub fn push_meta(
+        &mut self,
+        resource: usize,
+        duration: f64,
+        deps: &[usize],
+        tag: Tag,
+        meta: SpanMeta,
+    ) -> usize {
         assert!(
             resource < self.num_resources,
             "resource {resource} out of range"
@@ -160,6 +187,7 @@ impl TaskGraph {
             duration,
             deps: deps.to_vec(),
             tag,
+            meta,
         });
         id
     }
@@ -205,6 +233,7 @@ impl TaskGraph {
                 end,
                 resource: t.resource,
                 tag: t.tag,
+                meta: t.meta,
             });
         }
         spans

@@ -133,6 +133,7 @@ mod tests {
             end: 3.0,
             resource: 0,
             tag: Tag::FfBp,
+            meta: spdkfac_obs::SpanMeta::default(),
         }];
         let r = attribute(spans, 1);
         assert_eq!(r.total, 3.0);

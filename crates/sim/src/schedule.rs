@@ -1,12 +1,29 @@
 //! Iteration builders: scheduling one training iteration of each algorithm
 //! onto the simulated cluster.
 
-use crate::graph::{Tag, TaskGraph};
+use crate::graph::{Tag, TaskGraph, TaskSpan};
 use crate::hardware::HardwareProfile;
 use crate::report::{attribute, SimReport};
 use spdkfac_core::fusion::{self, FactorPipeline, FusionStrategy};
 use spdkfac_core::placement::{self, PlacementStrategy, TensorAssignment};
 use spdkfac_models::ModelProfile;
+use spdkfac_obs::{CollEdge, SpanMeta};
+
+/// Builds the collective metadata for the next network task: `seq` is the
+/// running k-th-collective index of the simulated Horovod queue (mirroring
+/// the per-thread counter `CommTelemetry` keeps on real comm tracks), so
+/// the causal analyzer groups simulated collectives exactly like measured
+/// ones.
+fn coll_meta(edge: CollEdge, seq: &mut u64, size: usize) -> SpanMeta {
+    let m = SpanMeta {
+        edge: Some(edge),
+        seq: Some(*seq),
+        size: Some(size),
+        generation: None,
+    };
+    *seq += 1;
+    m
+}
 
 /// Training algorithms that can be simulated (the bars of Fig. 2 plus the
 /// Table III columns).
@@ -117,18 +134,38 @@ impl SimConfig {
 /// Simulates one training iteration of `algo` on `model` and returns the
 /// schedule with its Fig. 2-style breakdown.
 pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> SimReport {
+    simulate_iteration_planned(model, cfg, algo, None)
+}
+
+/// As [`simulate_iteration`], but plan decisions (fusion plans, inverse
+/// placement) are computed from `plan_hw`'s cost models while task
+/// durations come from `cfg.hw` — the drifting-hardware replay: `plan_hw`
+/// is what the planner *believes*, `cfg.hw` is what the cluster *does*.
+/// `None` plans from `cfg.hw` (belief matches reality), which is exactly
+/// [`simulate_iteration`].
+pub fn simulate_iteration_planned(
+    model: &ModelProfile,
+    cfg: &SimConfig,
+    algo: Algo,
+    plan_hw: Option<&HardwareProfile>,
+) -> SimReport {
     let single = matches!(algo, Algo::SgdSingle | Algo::KfacSingle);
     let precond = !matches!(algo, Algo::SgdSingle | Algo::SSgd);
     let world = if single { 1 } else { cfg.world.max(1) };
-    let mut hw = if single {
-        cfg.hw.single_gpu()
-    } else {
-        cfg.hw.clone()
+    let adjust = |profile: &HardwareProfile| -> HardwareProfile {
+        let mut h = if single {
+            profile.single_gpu()
+        } else {
+            profile.clone()
+        };
+        // Wire precision: β terms are calibrated for 4-byte elements.
+        let wire = cfg.wire_bytes / 4.0;
+        h.allreduce.beta *= wire;
+        h.bcast.beta *= wire;
+        h
     };
-    // Wire precision: β terms are calibrated for 4-byte elements.
-    let wire = cfg.wire_bytes / 4.0;
-    hw.allreduce.beta *= wire;
-    hw.bcast.beta *= wire;
+    let hw = adjust(&cfg.hw);
+    let phw = plan_hw.map(adjust).unwrap_or_else(|| hw.clone());
 
     let factor_mode = if !precond || single {
         FactorCommMode::LocalOnly
@@ -180,11 +217,14 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
     }
     // Fusion plans are computed against the *contended* communication cost
     // (the paper fits its models from measurements taken during training,
-    // which include compute contention).
+    // which include compute contention) — from the *planning* profile,
+    // which may lag reality in the drifting-hardware replay.
     let plan_comm = spdkfac_core::perf::AlphaBetaModel::new(
-        hw.allreduce.alpha * (1.0 + hw.overlap_penalty),
-        hw.allreduce.beta * (1.0 + hw.overlap_penalty),
+        phw.allreduce.alpha * (1.0 + phw.overlap_penalty),
+        phw.allreduce.beta * (1.0 + phw.overlap_penalty),
     );
+    // Running k-th-collective index of the network queue.
+    let mut coll_seq: u64 = 0;
     let a_plan = match factor_mode {
         FactorCommMode::Pipelined(strategy) => Some(fusion::plan(
             &FactorPipeline::new(a_ready.clone(), a_sizes.clone()).expect("A pipeline"),
@@ -209,11 +249,13 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
                         let elems: usize =
                             plan.buckets()[bucket_idx].iter().map(|&i| a_sizes[i]).sum();
                         let dep = a_comp_ids[*plan.buckets()[bucket_idx].last().expect("bucket")];
-                        factor_comm_ids.push(g.push(
+                        let meta = coll_meta(CollEdge::Join, &mut coll_seq, elems);
+                        factor_comm_ids.push(g.push_meta(
                             network,
                             hw.allreduce.time(elems),
                             &[dep],
                             Tag::FactorComm,
+                            meta,
                         ));
                         bucket_idx += 1;
                         in_bucket = 0;
@@ -226,7 +268,14 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
     if precond && matches!(factor_mode, FactorCommMode::Naive) {
         let elems: usize = a_sizes.iter().sum();
         let dep = *a_comp_ids.last().expect("layers non-empty");
-        factor_comm_ids.push(g.push(network, hw.allreduce.time(elems), &[dep], Tag::FactorComm));
+        let meta = coll_meta(CollEdge::Join, &mut coll_seq, elems);
+        factor_comm_ids.push(g.push_meta(
+            network,
+            hw.allreduce.time(elems),
+            &[dep],
+            Tag::FactorComm,
+            meta,
+        ));
     }
 
     // ---------------- Backward pass (+ G factors + WFBP gradients) --------
@@ -285,11 +334,13 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
                             .map(|&i| g_sizes_rev[i])
                             .sum();
                         let dep = g_comp_ids[*plan.buckets()[bucket_idx].last().expect("bucket")];
-                        factor_comm_ids.push(g.push(
+                        let meta = coll_meta(CollEdge::Join, &mut coll_seq, elems);
+                        factor_comm_ids.push(g.push_meta(
                             network,
                             hw.allreduce.time(elems),
                             &[dep],
                             Tag::FactorComm,
+                            meta,
                         ));
                         bucket_idx += 1;
                         in_bucket = 0;
@@ -304,11 +355,13 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
                         grad_acc += l.params();
                         grad_in_bucket += 1;
                         if grad_in_bucket == plan.buckets()[grad_bucket_idx].len() {
-                            g.push(
+                            let meta = coll_meta(CollEdge::Join, &mut coll_seq, grad_acc);
+                            g.push_meta(
                                 network,
                                 hw.allreduce.time(grad_acc),
                                 &[bp_id],
                                 Tag::GradComm,
+                                meta,
                             );
                             grad_acc = 0;
                             grad_in_bucket = 0;
@@ -320,11 +373,13 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
                     None => {
                         grad_acc += l.params();
                         if grad_acc >= cfg.grad_fusion_elems {
-                            g.push(
+                            let meta = coll_meta(CollEdge::Join, &mut coll_seq, grad_acc);
+                            g.push_meta(
                                 network,
                                 hw.allreduce.time(grad_acc),
                                 &[bp_id],
                                 Tag::GradComm,
+                                meta,
                             );
                             grad_acc = 0;
                         }
@@ -333,11 +388,13 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
             }
         }
         if !single && grad_acc > 0 {
-            g.push(
+            let meta = coll_meta(CollEdge::Join, &mut coll_seq, grad_acc);
+            g.push_meta(
                 network,
                 hw.allreduce.time(grad_acc),
                 &[last_bwd_id],
                 Tag::GradComm,
+                meta,
             );
         }
     }
@@ -345,21 +402,25 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
         FactorCommMode::Bulk => {
             let elems: usize = a_sizes.iter().sum::<usize>() + g_sizes_rev.iter().sum::<usize>();
             let dep = *g_comp_ids.last().expect("layers non-empty");
-            factor_comm_ids.push(g.push(
+            let meta = coll_meta(CollEdge::Join, &mut coll_seq, elems);
+            factor_comm_ids.push(g.push_meta(
                 network,
                 hw.allreduce.time(elems),
                 &[dep],
                 Tag::FactorComm,
+                meta,
             ));
         }
         FactorCommMode::Naive => {
             let elems: usize = g_sizes_rev.iter().sum();
             let dep = *g_comp_ids.last().expect("layers non-empty");
-            factor_comm_ids.push(g.push(
+            let meta = coll_meta(CollEdge::Join, &mut coll_seq, elems);
+            factor_comm_ids.push(g.push_meta(
                 network,
                 hw.allreduce.time(elems),
                 &[dep],
                 Tag::FactorComm,
+                meta,
             ));
         }
         _ => {}
@@ -368,7 +429,13 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
     // ---------------- Inverse phase ---------------------------------------
     if precond {
         let inv_dims = model.all_factor_dims();
-        let plc = placement::place(&inv_dims, world, &hw.inverse, &hw.bcast, placement_strategy);
+        let plc = placement::place(
+            &inv_dims,
+            world,
+            &phw.inverse,
+            &phw.bcast,
+            placement_strategy,
+        );
         // Barrier: all factors aggregated (and backward finished).
         let mut barrier = factor_comm_ids.clone();
         barrier.push(last_bwd_id);
@@ -403,11 +470,18 @@ pub fn simulate_iteration(model: &ModelProfile, cfg: &SimConfig, algo: Algo) -> 
                             NetworkModel::Serialized => network,
                             NetworkModel::PerRootParallel => network + 1 + owner,
                         };
-                        bcast_ids.push(g.push(
+                        let d = inv_dims[t];
+                        let meta = coll_meta(
+                            CollEdge::FanOut { root: owner },
+                            &mut coll_seq,
+                            d * (d + 1) / 2,
+                        );
+                        bcast_ids.push(g.push_meta(
                             link,
-                            hw.bcast.time_packed(inv_dims[t]),
+                            hw.bcast.time_packed(d),
                             &[comp_id],
                             Tag::InverseComm,
+                            meta,
                         ));
                     }
                 }
@@ -554,6 +628,7 @@ pub fn simulate_inverse_phase(
         }
     }
     let max_len = comp_id_of_tensor.iter().map(|v| v.len()).max().unwrap_or(0);
+    let mut coll_seq: u64 = 0;
     for k in 0..max_len {
         for ids in comp_id_of_tensor.iter() {
             if let Some(&(t, comp_id)) = ids.get(k) {
@@ -562,11 +637,18 @@ pub fn simulate_inverse_phase(
                         NetworkModel::Serialized => network,
                         NetworkModel::PerRootParallel => network + 1 + owner,
                     };
-                    g.push(
+                    let d = dims[t];
+                    let meta = coll_meta(
+                        CollEdge::FanOut { root: owner },
+                        &mut coll_seq,
+                        d * (d + 1) / 2,
+                    );
+                    g.push_meta(
                         link,
-                        hw.bcast.time_packed(dims[t]),
+                        hw.bcast.time_packed(d),
                         &[comp_id],
                         Tag::InverseComm,
+                        meta,
                     );
                 }
             }
@@ -574,6 +656,82 @@ pub fn simulate_inverse_phase(
     }
     let spans = simulate_with_contention(&mut g, hw.overlap_penalty, network);
     attribute(spans, world)
+}
+
+/// Outcome of the drifting-hardware replay (see [`simulate_drift_replay`]).
+#[derive(Debug, Clone)]
+pub struct DriftReplay {
+    /// One iteration before the drift: planned and executed on `cfg.hw`.
+    pub before: SimReport,
+    /// One iteration after the drift with the **stale** generation-0 plan:
+    /// planned from the pre-drift models, executed on the drifted hardware
+    /// — what a static-plan trainer keeps paying.
+    pub stale: SimReport,
+    /// One iteration after the adaptive runtime's re-plan barrier: planned
+    /// from the agreed post-drift models, executed on the drifted hardware.
+    pub replanned: SimReport,
+    /// The stale iteration followed by the re-planned one on a shared
+    /// clock, with the re-planned iteration's collectives stamped
+    /// generation 1 — a two-generation trace for the causal analyzer.
+    pub spans: Vec<TaskSpan>,
+}
+
+impl DriftReplay {
+    /// Modelled time the re-plan recovers per post-drift iteration.
+    pub fn recovered_s(&self) -> f64 {
+        self.stale.total - self.replanned.total
+    }
+}
+
+/// Replays the adaptive runtime's drifting-hardware scenario in the
+/// simulator: mid-run, the network's startup latency α multiplies by
+/// `alpha_scale` (e.g. `2.0` = congestion doubles per-collective latency).
+/// A static-plan trainer keeps executing the plan fitted to the old α
+/// (`stale`); the adaptive runtime re-fits at the next barrier, agrees on
+/// the drifted models, and swaps to the plan they imply (`replanned`).
+/// Larger α penalizes many-message plans, so the re-planned fusion merges
+/// more aggressively and the LBP placement re-balances CT/NCT choices.
+///
+/// # Panics
+///
+/// Panics if `alpha_scale` is not positive and finite.
+pub fn simulate_drift_replay(
+    model: &ModelProfile,
+    cfg: &SimConfig,
+    algo: Algo,
+    alpha_scale: f64,
+) -> DriftReplay {
+    assert!(
+        alpha_scale.is_finite() && alpha_scale > 0.0,
+        "invalid alpha_scale {alpha_scale}"
+    );
+    let before = simulate_iteration(model, cfg, algo);
+    let mut drifted = cfg.clone();
+    drifted.hw.allreduce.alpha *= alpha_scale;
+    drifted.hw.bcast.alpha *= alpha_scale;
+    let stale = simulate_iteration_planned(model, &drifted, algo, Some(&cfg.hw));
+    let replanned = simulate_iteration(model, &drifted, algo);
+    // Generation-boundary trace: the stale (generation-0) iteration, then
+    // the re-planned one shifted onto the same clock with its collectives
+    // stamped generation 1 — per-epoch k-th-collective matching keeps the
+    // two iterations' queues separate even though both restart seq at 0.
+    let offset = stale.total;
+    let mut spans = stale.spans.clone();
+    spans.extend(replanned.spans.iter().map(|s| {
+        let mut s = *s;
+        s.start += offset;
+        s.end += offset;
+        if s.meta.edge.is_some() {
+            s.meta.generation = Some(1);
+        }
+        s
+    }));
+    DriftReplay {
+        before,
+        stale,
+        replanned,
+        spans,
+    }
 }
 
 #[cfg(test)]
@@ -787,6 +945,87 @@ mod tests {
             assert!(t <= prev + 1e-12, "interval {k}: {t} > {prev}");
             prev = t;
         }
+    }
+
+    #[test]
+    fn simulated_collectives_carry_causal_metadata() {
+        // Satellite: every simulated collective is stamped with edge/seq/
+        // size so the causal analyzer resolves simulator stragglers exactly
+        // (not via the EPS start-time heuristic).
+        let r = simulate_iteration(&resnet50(), &cfg(), Algo::SpdKfac);
+        let world = cfg().world;
+        let comm: Vec<_> = r.spans.iter().filter(|s| s.tag.is_comm()).collect();
+        assert!(!comm.is_empty());
+        let mut seqs: Vec<u64> = Vec::new();
+        for s in &comm {
+            assert!(s.meta.edge.is_some(), "comm span missing edge: {s:?}");
+            assert!(s.meta.size.is_some(), "comm span missing size: {s:?}");
+            seqs.push(s.meta.seq.expect("comm span missing seq"));
+        }
+        seqs.sort_unstable();
+        let expect: Vec<u64> = (0..comm.len() as u64).collect();
+        assert_eq!(seqs, expect, "collective seqs must be 0..n unique");
+        // The causal graph consumes the metadata end to end.
+        let obs = crate::graph::to_obs_spans(&r.spans);
+        let report = spdkfac_obs::CriticalReport::from_spans(
+            &obs,
+            spdkfac_obs::RankMap::simulator(world, world + 1),
+        );
+        assert!(report.path_total() >= 0.95 * report.wall());
+    }
+
+    #[test]
+    fn drift_replay_replans_to_a_better_plan() {
+        // Network α jumps 8x mid-run: the stale plan (fitted to the cheap
+        // α) pays exposed latency on every small message; the re-planned
+        // iteration merges harder and re-balances, beating the stale plan.
+        let m = resnet50();
+        let r = simulate_drift_replay(&m, &cfg(), Algo::SpdKfac, 8.0);
+        assert!(
+            r.stale.total > r.before.total,
+            "drift must hurt: stale {:.4} !> before {:.4}",
+            r.stale.total,
+            r.before.total
+        );
+        assert!(
+            r.replanned.total < r.stale.total,
+            "re-plan must beat the stale plan: {:.4} !< {:.4}",
+            r.replanned.total,
+            r.stale.total
+        );
+        assert!(r.recovered_s() > 0.0);
+        // The concatenated trace spans both generations…
+        assert!(r
+            .spans
+            .iter()
+            .any(|s| s.meta.generation == Some(1) && s.meta.edge.is_some()));
+        assert!(r
+            .spans
+            .iter()
+            .any(|s| s.meta.generation.is_none() && s.meta.edge.is_some()));
+        // …and the causal analyzer still attributes ≥95% of wall time
+        // across the generation boundary.
+        let world = cfg().world;
+        let obs = crate::graph::to_obs_spans(&r.spans);
+        let report = spdkfac_obs::CriticalReport::from_spans(
+            &obs,
+            spdkfac_obs::RankMap::simulator(world, world + 1),
+        );
+        assert!(
+            report.path_total() >= 0.95 * report.wall(),
+            "attribution {:.1}% across generation boundary",
+            100.0 * report.path_total() / report.wall()
+        );
+    }
+
+    #[test]
+    fn drift_replay_identity_scale_is_a_fixed_point() {
+        // alpha_scale = 1 drifts nothing: the "stale" and "re-planned"
+        // iterations are the same schedule (no spurious plan churn).
+        let m = resnet50();
+        let r = simulate_drift_replay(&m, &cfg(), Algo::SpdKfac, 1.0);
+        assert!((r.stale.total - r.before.total).abs() < 1e-12);
+        assert!((r.replanned.total - r.before.total).abs() < 1e-12);
     }
 
     #[test]
