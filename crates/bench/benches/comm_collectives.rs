@@ -2,13 +2,18 @@
 //! sizes — the measured counterpart of Fig. 7 (Eq. 14 / Eq. 27).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spdkfac_collectives::LocalGroup;
+use spdkfac_collectives::{Backend, CommGroup};
 use std::hint::black_box;
 use std::thread;
 use std::time::Duration;
 
 fn run_allreduce(world: usize, elems: usize) {
-    let endpoints = LocalGroup::new(world).into_endpoints();
+    let endpoints = CommGroup::builder()
+        .world_size(world)
+        .backend(Backend::Local)
+        .build()
+        .expect("local backend is infallible")
+        .into_endpoints();
     thread::scope(|s| {
         for comm in &endpoints {
             s.spawn(move || {
@@ -21,7 +26,12 @@ fn run_allreduce(world: usize, elems: usize) {
 }
 
 fn run_broadcast(world: usize, elems: usize) {
-    let endpoints = LocalGroup::new(world).into_endpoints();
+    let endpoints = CommGroup::builder()
+        .world_size(world)
+        .backend(Backend::Local)
+        .build()
+        .expect("local backend is infallible")
+        .into_endpoints();
     thread::scope(|s| {
         for comm in &endpoints {
             s.spawn(move || {

@@ -8,14 +8,19 @@
 //!    same least-squares methodology the paper uses.
 
 use spdkfac_bench::{header, note};
-use spdkfac_collectives::LocalGroup;
+use spdkfac_collectives::{Backend, CommGroup};
 use spdkfac_core::perf::AlphaBetaModel;
 use spdkfac_sim::HardwareProfile;
 use std::thread;
 use std::time::Instant;
 
 fn measure_ring(world: usize, elems: usize, op: &str, reps: usize) -> f64 {
-    let endpoints = LocalGroup::new(world).into_endpoints();
+    let endpoints = CommGroup::builder()
+        .world_size(world)
+        .backend(Backend::Local)
+        .build()
+        .expect("local backend is infallible")
+        .into_endpoints();
     let mut total = vec![0.0f64; world];
     thread::scope(|s| {
         let mut handles = Vec::new();

@@ -1,0 +1,287 @@
+//! `spdkfac_node` — multi-process SPD-KFAC launcher over the TCP ring
+//! backend.
+//!
+//! Each invocation is one rank of the group: it joins the rendezvous, forms
+//! the TCP ring, and runs the *same* per-rank training loop
+//! (`spdkfac_core::distributed::train_worker`) the in-process trainer runs
+//! on threads. Because every collective goes through the transport-abstracted
+//! `WorkerComm` surface, a P-process run produces bit-identical losses to a
+//! P-thread run.
+//!
+//! Modes:
+//!
+//! - **Manual** (one process per rank, possibly on different hosts):
+//!   `spdkfac_node --rank R --world P --rendezvous HOST:PORT`
+//!   Rank 0 hosts the rendezvous server on the given address by default;
+//!   pass `--external-rendezvous` if something else (e.g. the spawn-local
+//!   parent) hosts it.
+//! - **Spawn-local** (single command, P child processes on this machine):
+//!   `spdkfac_node --spawn-local P [--smoke]`
+//!   The parent hosts a rendezvous on an ephemeral 127.0.0.1 port, forks P
+//!   children of itself, and aggregates rank 0's losses. With `--smoke` it
+//!   additionally runs the identical workload on the in-process backend and
+//!   fails (exit 1) unless every per-iteration loss matches to < 1e-12 —
+//!   the CI acceptance gate for the transport abstraction.
+//!
+//! The workload is the deterministic observability workload (deep MLP on
+//! Gaussian blobs, SPD-KFAC), so runs are reproducible across modes.
+
+use spdkfac_bench::{header, note};
+use spdkfac_collectives::tcp::RendezvousServer;
+use spdkfac_collectives::{Backend, CommGroup, TcpConfig};
+use spdkfac_core::distributed::{train, train_worker, Algorithm, DistributedConfig, RunResult};
+use spdkfac_nn::data::{gaussian_blobs, Dataset};
+use spdkfac_nn::models::deep_mlp;
+use spdkfac_nn::Sequential;
+use std::process::{Command, ExitCode};
+
+/// Loss agreement bound between the TCP and in-process backends. The runs
+/// are bit-identical by construction; the bound only exists to print a
+/// meaningful failure.
+const PARITY_TOL: f64 = 1e-12;
+
+struct Args {
+    rank: Option<usize>,
+    world: usize,
+    rendezvous: String,
+    external_rendezvous: bool,
+    spawn_local: Option<usize>,
+    iters: usize,
+    batch: usize,
+    smoke: bool,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spdkfac_node --rank R --world P --rendezvous HOST:PORT \
+         [--external-rendezvous] [--iters N] [--batch B] [--out FILE]\n\
+         \x20      spdkfac_node --spawn-local P [--iters N] [--batch B] [--smoke]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        rank: None,
+        world: 0,
+        rendezvous: String::new(),
+        external_rendezvous: false,
+        spawn_local: None,
+        iters: 5,
+        batch: 4,
+        smoke: false,
+        out: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--rank" => args.rank = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--world" => args.world = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--rendezvous" => args.rendezvous = value(&mut i),
+            "--external-rendezvous" => args.external_rendezvous = true,
+            "--spawn-local" => {
+                args.spawn_local = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--iters" => args.iters = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--batch" => args.batch = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = Some(value(&mut i)),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// The deterministic workload shared by every mode (and by the
+/// observability integration tests): all backends must see the exact same
+/// model, data, and hyper-parameters for parity to be meaningful.
+fn workload(world: usize) -> (DistributedConfig, Dataset) {
+    let mut cfg = DistributedConfig::new(world, Algorithm::SpdKfac);
+    cfg.kfac.damping = 0.1;
+    cfg.kfac.lr = 0.05;
+    cfg.kfac.momentum = 0.0;
+    let data = gaussian_blobs(3, 8, 8 * world, 0.3, 42);
+    (cfg, data)
+}
+
+fn build_model() -> Sequential {
+    deep_mlp(8, 24, 8, 3, 5)
+}
+
+/// Joins the TCP group as one rank and runs the training loop.
+fn run_rank(args: &Args) -> Result<RunResult, String> {
+    let world = args.world;
+    if world == 0 || args.rendezvous.is_empty() {
+        usage();
+    }
+    let mut tcp = TcpConfig::new(args.rendezvous.clone());
+    if let Some(rank) = args.rank {
+        tcp = tcp.with_rank(rank);
+    }
+    if args.external_rendezvous {
+        tcp.host_rendezvous = false;
+    }
+    let comm = CommGroup::builder()
+        .world_size(world)
+        .backend(Backend::Tcp(tcp))
+        .build()
+        .map_err(|e| format!("failed to join TCP group: {e}"))?
+        .into_single();
+    let rank = comm.rank();
+    let (cfg, data) = workload(world);
+    let result = train_worker(
+        &cfg,
+        &build_model,
+        &data,
+        args.iters,
+        args.batch,
+        comm,
+        None,
+    );
+    eprintln!(
+        "rank {rank}/{world}: {} iterations done, final loss {:.6}",
+        args.iters,
+        result.losses.last().copied().unwrap_or(f64::NAN)
+    );
+    Ok(result)
+}
+
+/// Writes per-iteration losses one per line. `Display` for `f64` is the
+/// shortest representation that parses back to the identical bits, so the
+/// file round-trip is lossless.
+fn write_losses(path: &str, losses: &[f64]) -> Result<(), String> {
+    let body: String = losses.iter().map(|l| format!("{l}\n")).collect();
+    std::fs::write(path, body).map_err(|e| format!("write {path}: {e}"))
+}
+
+fn read_losses(path: &str) -> Result<Vec<f64>, String> {
+    std::fs::read_to_string(path)
+        .map_err(|e| format!("read {path}: {e}"))?
+        .lines()
+        .map(|l| l.trim().parse().map_err(|e| format!("parse {path}: {e}")))
+        .collect()
+}
+
+/// Hosts a rendezvous, forks one child per rank, and returns rank 0's
+/// per-iteration losses.
+fn spawn_local(args: &Args, world: usize) -> Result<Vec<f64>, String> {
+    let addr = RendezvousServer::spawn("127.0.0.1:0", world)
+        .map_err(|e| format!("rendezvous bind: {e}"))?;
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let out = std::env::temp_dir().join(format!("spdkfac_node_losses_{}.txt", std::process::id()));
+    let out_str = out.to_string_lossy().into_owned();
+    let mut children = Vec::new();
+    for rank in 0..world {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--rank")
+            .arg(rank.to_string())
+            .arg("--world")
+            .arg(world.to_string())
+            .arg("--rendezvous")
+            .arg(addr.to_string())
+            .arg("--external-rendezvous")
+            .arg("--iters")
+            .arg(args.iters.to_string())
+            .arg("--batch")
+            .arg(args.batch.to_string());
+        if rank == 0 {
+            cmd.arg("--out").arg(&out_str);
+        }
+        children.push((
+            rank,
+            cmd.spawn().map_err(|e| format!("spawn rank {rank}: {e}"))?,
+        ));
+    }
+    let mut failed = Vec::new();
+    for (rank, mut child) in children {
+        let status = child.wait().map_err(|e| format!("wait rank {rank}: {e}"))?;
+        if !status.success() {
+            failed.push(format!("rank {rank} exited with {status}"));
+        }
+    }
+    if !failed.is_empty() {
+        return Err(failed.join("; "));
+    }
+    let losses = read_losses(&out_str)?;
+    let _ = std::fs::remove_file(&out);
+    Ok(losses)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if let Some(world) = args.spawn_local {
+        header(&format!(
+            "spdkfac_node: {world}-process SPD-KFAC over TCP loopback"
+        ));
+        let tcp_losses = match spawn_local(&args, world) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("spawn-local run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{:>5} {:>22}", "iter", "loss (TCP, P procs)");
+        for (i, l) in tcp_losses.iter().enumerate() {
+            println!("{i:>5} {l:>22.15}");
+        }
+        if !args.smoke {
+            return ExitCode::SUCCESS;
+        }
+        // Smoke gate: the same workload on the in-process backend must
+        // produce the same losses bit-for-bit (asserted to < 1e-12).
+        note("re-running the identical workload on the in-process backend");
+        let (cfg, data) = workload(world);
+        let local = train(&cfg, &build_model, &data, args.iters, args.batch);
+        if local.losses.len() != tcp_losses.len() {
+            eprintln!(
+                "FAIL: {} TCP losses vs {} in-process losses",
+                tcp_losses.len(),
+                local.losses.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        let mut worst = 0.0f64;
+        for (i, (t, l)) in tcp_losses.iter().zip(&local.losses).enumerate() {
+            let d = (t - l).abs();
+            worst = worst.max(d);
+            if d >= PARITY_TOL {
+                eprintln!("FAIL: iteration {i}: TCP loss {t:.17e} vs in-process {l:.17e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!(
+            "smoke OK: {} iterations agree across backends (max |Δloss| = {worst:.3e} < {PARITY_TOL:.0e})",
+            tcp_losses.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Single-rank mode.
+    match run_rank(&args) {
+        Ok(result) => {
+            if let Some(path) = &args.out {
+                if let Err(e) = write_losses(path, &result.losses) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

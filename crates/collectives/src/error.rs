@@ -1,0 +1,102 @@
+//! Typed transport failures surfaced through [`crate::PendingOp`].
+//!
+//! The in-process channel backend is infallible in practice (a disconnect
+//! means a peer thread panicked — a bug, not an operational condition), but
+//! the TCP backend has real failure modes: connect timeouts while a peer is
+//! still starting, read timeouts when a rank stalls, and resets when a
+//! process dies. All of them funnel into [`CommError`] so callers can match
+//! on the class without parsing strings.
+
+use std::fmt;
+
+/// A transport-level failure of a collective or of group construction.
+///
+/// Errors are `Clone` (they fan out to every operation queued behind the
+/// failing one) and carry a human-readable context string; the variant is
+/// the machine-readable classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A send/recv/connect/accept exceeded its configured deadline.
+    Timeout(String),
+    /// A ring neighbour hung up (socket EOF/reset, or a channel peer
+    /// dropped) — the group cannot complete further collectives.
+    Disconnected(String),
+    /// Any other I/O failure (bind, address resolution, malformed frame).
+    Io(String),
+    /// The rendezvous handshake failed (world-size mismatch, duplicate
+    /// rank claim, protocol violation).
+    Rendezvous(String),
+}
+
+impl CommError {
+    /// The context message carried by any variant.
+    pub fn message(&self) -> &str {
+        match self {
+            CommError::Timeout(m)
+            | CommError::Disconnected(m)
+            | CommError::Io(m)
+            | CommError::Rendezvous(m) => m,
+        }
+    }
+
+    /// True for [`CommError::Timeout`] — the classification the fault tests
+    /// and the trainers' watchdogs care about most.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, CommError::Timeout(_))
+    }
+
+    /// Maps an [`std::io::Error`] raised while `context` to the matching
+    /// variant: timeouts stay timeouts, hangups become `Disconnected`, the
+    /// rest is `Io`.
+    pub fn from_io(context: &str, e: std::io::Error) -> CommError {
+        use std::io::ErrorKind;
+        let msg = format!("{context}: {e}");
+        match e.kind() {
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => CommError::Timeout(msg),
+            ErrorKind::UnexpectedEof
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::NotConnected => CommError::Disconnected(msg),
+            _ => CommError::Io(msg),
+        }
+    }
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout(m) => write!(f, "transport timeout: {m}"),
+            CommError::Disconnected(m) => write!(f, "transport disconnected: {m}"),
+            CommError::Io(m) => write!(f, "transport I/O error: {m}"),
+            CommError::Rendezvous(m) => write!(f, "rendezvous failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+
+    #[test]
+    fn io_mapping_classifies_kinds() {
+        let t = CommError::from_io("recv", io::Error::new(io::ErrorKind::TimedOut, "slow"));
+        assert!(t.is_timeout());
+        let w = CommError::from_io("recv", io::Error::new(io::ErrorKind::WouldBlock, "slow"));
+        assert!(w.is_timeout());
+        let d = CommError::from_io("recv", io::Error::new(io::ErrorKind::UnexpectedEof, "gone"));
+        assert!(matches!(d, CommError::Disconnected(_)));
+        let o = CommError::from_io("bind", io::Error::new(io::ErrorKind::AddrInUse, "busy"));
+        assert!(matches!(o, CommError::Io(_)));
+    }
+
+    #[test]
+    fn display_includes_context() {
+        let e = CommError::Timeout("recv from left neighbour: deadline".into());
+        assert!(e.to_string().contains("recv from left neighbour"));
+        assert_eq!(e.message(), "recv from left neighbour: deadline");
+    }
+}

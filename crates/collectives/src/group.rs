@@ -1,10 +1,35 @@
-//! Worker endpoints and the Horovod-style asynchronous operation queue.
+//! Worker endpoints, group construction, and the Horovod-style asynchronous
+//! operation queue.
 //!
 //! Each rank's [`WorkerComm`] owns a background communication thread that
 //! executes collectives in strict submission order over the ring. Submitting
 //! returns a [`PendingOp`] handle immediately, so the worker thread can keep
 //! computing while the collective runs — exactly the mechanism SPD-KFAC's
 //! pipelining (§IV-A) relies on with `hvd.allreduce_async_`.
+//!
+//! ## Construction
+//!
+//! Groups are built through [`CommGroup::builder`]:
+//!
+//! - [`Backend::Local`] yields all `world` endpoints of an in-process group
+//!   (threads over channels) — move one into each worker thread.
+//! - [`Backend::Tcp`] joins a multi-process group and yields exactly one
+//!   endpoint: this process's rank, connected to its ring neighbours over
+//!   sockets (see [`crate::tcp`]).
+//!
+//! The endpoint API is identical on both backends, so the trainers in
+//! `spdkfac-core` run unchanged across threads or processes.
+//!
+//! ## Failure model
+//!
+//! Collectives return [`OpResult`] — `Ok` with the produced buffer, or a
+//! [`CommError`] when the transport failed (TCP timeout, peer hangup). The
+//! in-process backend maps to the infallible case: its errors only arise
+//! from peer-thread panics. After a transport error the ring is broken;
+//! the communication thread *poisons* itself and fails every subsequently
+//! queued operation with a `Disconnected` error referencing the original
+//! failure, so a stalled peer produces a clean error cascade instead of a
+//! deadlock.
 //!
 //! ## Instrumentation
 //!
@@ -17,8 +42,11 @@
 //! histograms (`coll/<kind>/secs`) and element counters live in the
 //! recorder's metrics registry.
 
+use crate::error::CommError;
 use crate::ring::RingEndpoint;
 use crate::stats::{OpKind, TrafficStats};
+use crate::tcp::{self, TcpConfig};
+use crate::transport::{channel_ring, Transport};
 use spdkfac_obs::{CollEdge, Phase, Recorder, Span, SpanMeta};
 use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -26,15 +54,19 @@ use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Result of a completed collective.
+/// Payload of a successfully completed collective.
 #[derive(Debug, Clone, PartialEq)]
-pub struct OpResult {
+pub struct OpOutput {
     /// Offset of `data` within the logical buffer (non-zero only for
     /// reduce-scatter shards).
     pub offset: usize,
     /// The produced elements.
     pub data: Vec<f64>,
 }
+
+/// Result of a collective: the produced buffer, or the transport error
+/// that broke the ring.
+pub type OpResult = Result<OpOutput, CommError>;
 
 /// Handle to an in-flight asynchronous collective.
 ///
@@ -47,26 +79,35 @@ pub struct PendingOp {
 }
 
 impl PendingOp {
-    /// Blocks until the collective finishes and returns its result.
+    /// Blocks until the collective finishes and returns its [`OpResult`].
     ///
-    /// # Panics
-    ///
-    /// Panics if the communication thread died (a bug, not a recoverable
-    /// condition — the group is broken at that point).
+    /// Transport failures — including a communication thread that died
+    /// before completing the operation — surface as `Err`, never as a
+    /// panic.
     pub fn wait(self) -> OpResult {
-        self.reply
-            .recv()
-            .expect("communication thread terminated before op completed")
+        self.reply.recv().unwrap_or_else(|_| {
+            Err(CommError::Disconnected(
+                "communication thread terminated before op completed".into(),
+            ))
+        })
     }
 
-    /// Non-blocking completion check; returns the result when ready.
+    /// [`PendingOp::wait`] for callers on the infallible in-process path:
+    /// unwraps the output, panicking with the transport error otherwise.
+    pub fn wait_expect(self) -> OpOutput {
+        self.wait()
+            .unwrap_or_else(|e| panic!("collective failed: {e}"))
+    }
+
+    /// Non-blocking completion check; returns the op's result when ready
+    /// (which may itself be a transport error) or the handle to retry.
     pub fn try_wait(self) -> Result<OpResult, PendingOp> {
         match self.reply.try_recv() {
             Ok(r) => Ok(r),
             Err(TryRecvError::Empty) => Err(self),
-            Err(TryRecvError::Disconnected) => {
-                panic!("communication thread terminated before op completed")
-            }
+            Err(TryRecvError::Disconnected) => Ok(Err(CommError::Disconnected(
+                "communication thread terminated before op completed".into(),
+            ))),
         }
     }
 }
@@ -145,6 +186,20 @@ impl CollOp {
             }
         }
     }
+
+    /// Fails the op without executing it (poisoned ring).
+    fn fail(self, err: CommError) {
+        let reply = match self {
+            CollOp::AllReduceSum { reply, .. }
+            | CollOp::AllReduceAvg { reply, .. }
+            | CollOp::Broadcast { reply, .. }
+            | CollOp::ReduceScatterAvg { reply, .. }
+            | CollOp::AllGather { reply, .. }
+            | CollOp::ReduceSum { reply, .. }
+            | CollOp::Gather { reply, .. } => reply,
+        };
+        let _ = reply.send(Err(err));
+    }
 }
 
 #[derive(Debug)]
@@ -187,7 +242,8 @@ impl WorkerComm {
         self.world
     }
 
-    /// Shared traffic counters for the whole group.
+    /// Traffic counters: shared by the whole group on the in-process
+    /// backend, per-process (this rank's sends only) on TCP.
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
     }
@@ -308,48 +364,72 @@ impl WorkerComm {
         )
     }
 
+    /// Shared completion path of every synchronous wrapper: one span /
+    /// stats / metadata code path with the async ops (the wrappers *are*
+    /// the async submissions), panicking with rank context on transport
+    /// failure — the documented contract of the synchronous surface.
+    fn wait_sync(&self, op: PendingOp) -> OpOutput {
+        op.wait().unwrap_or_else(|e| {
+            panic!(
+                "rank {}: synchronous collective failed: {e} \
+                 (use the *_async variants to handle transport errors)",
+                self.rank
+            )
+        })
+    }
+
     /// Synchronous averaging all-reduce, in place.
+    ///
+    /// Thin wrapper over [`WorkerComm::allreduce_avg_async`]` + wait`;
+    /// panics on transport failure (infallible on the in-process backend).
     pub fn allreduce_avg(&self, buf: &mut [f64]) {
-        let out = self.allreduce_avg_async(buf.to_vec()).wait();
+        let out = self.wait_sync(self.allreduce_avg_async(buf.to_vec()));
         buf.copy_from_slice(&out.data);
     }
 
-    /// Synchronous summing all-reduce, in place.
+    /// Synchronous summing all-reduce, in place (thin wrapper over the
+    /// async variant; panics on transport failure).
     pub fn allreduce_sum(&self, buf: &mut [f64]) {
-        let out = self.allreduce_sum_async(buf.to_vec()).wait();
+        let out = self.wait_sync(self.allreduce_sum_async(buf.to_vec()));
         buf.copy_from_slice(&out.data);
     }
 
-    /// Synchronous broadcast from `root`, in place.
+    /// Synchronous broadcast from `root`, in place (thin wrapper over the
+    /// async variant; panics on transport failure).
     pub fn broadcast(&self, buf: &mut [f64], root: usize) {
-        let out = self.broadcast_async(buf.to_vec(), root).wait();
+        let out = self.wait_sync(self.broadcast_async(buf.to_vec(), root));
         buf.copy_from_slice(&out.data);
     }
 
-    /// Synchronous averaging reduce-scatter: returns `(offset, shard)`.
+    /// Synchronous averaging reduce-scatter: returns `(offset, shard)`
+    /// (thin wrapper over the async variant; panics on transport failure).
     pub fn reduce_scatter_avg(&self, buf: &[f64]) -> (usize, Vec<f64>) {
-        let out = self.reduce_scatter_avg_async(buf.to_vec()).wait();
+        let out = self.wait_sync(self.reduce_scatter_avg_async(buf.to_vec()));
         (out.offset, out.data)
     }
 
-    /// Synchronous all-gather: returns all shards concatenated in rank order.
+    /// Synchronous all-gather: returns all shards concatenated in rank
+    /// order (thin wrapper over the async variant; panics on transport
+    /// failure).
     pub fn allgather(&self, shard: &[f64]) -> Vec<f64> {
-        self.allgather_async(shard.to_vec()).wait().data
+        self.wait_sync(self.allgather_async(shard.to_vec())).data
     }
 
     /// Synchronous summing reduce: on `root` the buffer receives the sum;
-    /// other ranks' buffers are left unchanged.
+    /// other ranks' buffers are left unchanged (thin wrapper over the
+    /// async variant; panics on transport failure).
     pub fn reduce_sum(&self, buf: &mut [f64], root: usize) {
-        let out = self.reduce_sum_async(buf.to_vec(), root).wait();
+        let out = self.wait_sync(self.reduce_sum_async(buf.to_vec(), root));
         if self.rank == root {
             buf.copy_from_slice(&out.data);
         }
     }
 
     /// Synchronous gather: `Some(all shards in rank order)` on `root`,
-    /// `None` elsewhere.
+    /// `None` elsewhere (thin wrapper over the async variant; panics on
+    /// transport failure).
     pub fn gather(&self, shard: &[f64], root: usize) -> Option<Vec<f64>> {
-        let out = self.gather_async(shard.to_vec(), root).wait();
+        let out = self.wait_sync(self.gather_async(shard.to_vec(), root));
         (self.rank == root).then_some(out.data)
     }
 
@@ -370,14 +450,161 @@ impl Drop for WorkerComm {
     }
 }
 
-/// A group of `P` in-process ranks connected in a ring.
+/// Spawns a communication thread over `transport` and returns the worker
+/// endpoint wired to it.
+fn spawn_comm(
+    rank: usize,
+    world: usize,
+    transport: Box<dyn Transport>,
+    stats: Arc<TrafficStats>,
+) -> WorkerComm {
+    let ring = RingEndpoint::new(rank, world, transport, Arc::clone(&stats));
+    let (req_tx, req_rx) = channel::<Request>();
+    let comm_thread = std::thread::Builder::new()
+        .name(format!("spdkfac-comm-{rank}"))
+        .spawn(move || comm_thread_main(ring, req_rx))
+        .expect("failed to spawn communication thread");
+    WorkerComm {
+        rank,
+        world,
+        req_tx,
+        stats,
+        comm_phase: AtomicU8::new(Phase::GradComm.index() as u8),
+        plan_generation: AtomicU64::new(0),
+        comm_thread: Some(comm_thread),
+    }
+}
+
+/// Which transport a [`CommGroup`] runs over.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// In-process: all ranks are threads of this process, connected by
+    /// channels. [`CommGroupBuilder::build`] is infallible and yields every
+    /// endpoint.
+    Local,
+    /// Multi-process: this process joins a TCP ring via rendezvous (see
+    /// [`crate::tcp`]); `build` performs the network handshake and yields
+    /// one endpoint.
+    Tcp(TcpConfig),
+}
+
+/// Builder for a [`CommGroup`]; see [`CommGroup::builder`].
+#[derive(Debug, Clone)]
+pub struct CommGroupBuilder {
+    world: usize,
+    backend: Backend,
+}
+
+impl CommGroupBuilder {
+    /// Number of ranks in the group (default 1).
+    pub fn world_size(mut self, world: usize) -> Self {
+        self.world = world;
+        self
+    }
+
+    /// Transport backend (default [`Backend::Local`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Constructs the group: spawns communication threads (and, for
+    /// [`Backend::Tcp`], performs rendezvous and neighbour handshakes).
+    ///
+    /// Errors only on the TCP backend — connection timeouts, rendezvous
+    /// protocol violations. The local backend is infallible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world_size` is zero.
+    pub fn build(self) -> Result<CommGroup, CommError> {
+        assert!(self.world > 0, "CommGroup requires at least one rank");
+        let world = self.world;
+        match self.backend {
+            Backend::Local => {
+                let stats = Arc::new(TrafficStats::new());
+                let endpoints = channel_ring(world)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rank, t)| spawn_comm(rank, world, Box::new(t), Arc::clone(&stats)))
+                    .collect();
+                Ok(CommGroup { world, endpoints })
+            }
+            Backend::Tcp(cfg) => {
+                let (rank, transport) = tcp::connect(&cfg, world)?;
+                let stats = Arc::new(TrafficStats::new());
+                let comm = spawn_comm(rank, world, transport, stats);
+                Ok(CommGroup {
+                    world,
+                    endpoints: vec![comm],
+                })
+            }
+        }
+    }
+}
+
+/// A constructed communicator group: `world` endpoints for
+/// [`Backend::Local`], exactly one (this process's rank) for
+/// [`Backend::Tcp`].
 ///
 /// See the [crate docs](crate) for the execution model and an example.
 #[derive(Debug)]
-pub struct LocalGroup {
+pub struct CommGroup {
+    world: usize,
     endpoints: Vec<WorkerComm>,
 }
 
+impl CommGroup {
+    /// Starts building a group:
+    /// `CommGroup::builder().world_size(n).backend(...).build()`.
+    pub fn builder() -> CommGroupBuilder {
+        CommGroupBuilder {
+            world: 1,
+            backend: Backend::Local,
+        }
+    }
+
+    /// Number of ranks in the group (the global world size — not the
+    /// number of endpoints this process holds).
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// Consumes the group, yielding the endpoints this process holds in
+    /// rank order (all ranks for local, one for TCP) to move into worker
+    /// threads.
+    pub fn into_endpoints(self) -> Vec<WorkerComm> {
+        self.endpoints
+    }
+
+    /// Consumes a single-endpoint group (the TCP case), yielding its one
+    /// endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this process holds more than one endpoint.
+    pub fn into_single(self) -> WorkerComm {
+        assert_eq!(
+            self.endpoints.len(),
+            1,
+            "into_single on a group with {} endpoints",
+            self.endpoints.len()
+        );
+        self.endpoints.into_iter().next().expect("one endpoint")
+    }
+}
+
+/// A group of `P` in-process ranks connected in a ring.
+#[deprecated(
+    since = "0.2.0",
+    note = "use CommGroup::builder().world_size(n).backend(Backend::Local).build()"
+)]
+#[derive(Debug)]
+pub struct LocalGroup {
+    inner: CommGroup,
+}
+
+#[allow(deprecated)]
 impl LocalGroup {
     /// Creates a group of `world` ranks (≥ 1), spawning one communication
     /// thread per rank.
@@ -386,55 +613,24 @@ impl LocalGroup {
     ///
     /// Panics if `world == 0`.
     pub fn new(world: usize) -> Self {
-        assert!(world > 0, "LocalGroup requires at least one rank");
-        let stats = Arc::new(TrafficStats::new());
-        // Ring channels: edge i connects rank i -> rank (i+1) % world.
-        let mut edge_tx = Vec::with_capacity(world);
-        let mut edge_rx = Vec::with_capacity(world);
-        for _ in 0..world {
-            let (tx, rx) = channel();
-            edge_tx.push(Some(tx));
-            edge_rx.push(Some(rx));
+        LocalGroup {
+            inner: CommGroup::builder()
+                .world_size(world)
+                .backend(Backend::Local)
+                .build()
+                .expect("local backend is infallible"),
         }
-        let mut endpoints = Vec::with_capacity(world);
-        for (rank, tx_slot) in edge_tx.iter_mut().enumerate() {
-            let tx_right = tx_slot.take().expect("edge reused");
-            let left_edge = (rank + world - 1) % world;
-            let rx_left = edge_rx[left_edge].take().expect("edge reused");
-            let ring = RingEndpoint {
-                rank,
-                world,
-                tx_right,
-                rx_left,
-                stats: Arc::clone(&stats),
-            };
-            let (req_tx, req_rx) = channel::<Request>();
-            let comm_thread = std::thread::Builder::new()
-                .name(format!("spdkfac-comm-{rank}"))
-                .spawn(move || comm_thread_main(ring, req_rx))
-                .expect("failed to spawn communication thread");
-            endpoints.push(WorkerComm {
-                rank,
-                world,
-                req_tx,
-                stats: Arc::clone(&stats),
-                comm_phase: AtomicU8::new(Phase::GradComm.index() as u8),
-                plan_generation: AtomicU64::new(0),
-                comm_thread: Some(comm_thread),
-            });
-        }
-        LocalGroup { endpoints }
     }
 
     /// Number of ranks.
     pub fn world_size(&self) -> usize {
-        self.endpoints.len()
+        self.inner.world_size()
     }
 
     /// Consumes the group, yielding one endpoint per rank (in rank order) to
     /// move into worker threads.
     pub fn into_endpoints(self) -> Vec<WorkerComm> {
-        self.endpoints
+        self.inner.into_endpoints()
     }
 }
 
@@ -511,62 +707,86 @@ impl CommTelemetry {
     }
 }
 
-fn execute(ring: &RingEndpoint, op: CollOp) {
-    match op {
+/// Runs one collective on the ring, replying to the submitter with its
+/// result; returns the error too when the transport failed (so the comm
+/// thread can poison itself).
+fn execute(ring: &mut RingEndpoint, op: CollOp) -> Result<(), CommError> {
+    let rank = ring.rank;
+    let (reply, out) = match op {
         CollOp::AllReduceSum { mut data, reply } => {
-            ring.allreduce_sum(&mut data);
-            let _ = reply.send(OpResult { offset: 0, data });
+            let r = ring.allreduce_sum(&mut data);
+            (reply, r.map(|()| OpOutput { offset: 0, data }))
         }
         CollOp::AllReduceAvg { mut data, reply } => {
-            ring.allreduce_avg(&mut data);
-            let _ = reply.send(OpResult { offset: 0, data });
+            let r = ring.allreduce_avg(&mut data);
+            (reply, r.map(|()| OpOutput { offset: 0, data }))
         }
         CollOp::Broadcast {
             mut data,
             root,
             reply,
         } => {
-            ring.broadcast(&mut data, root);
-            let _ = reply.send(OpResult { offset: 0, data });
+            let r = ring.broadcast(&mut data, root);
+            (reply, r.map(|()| OpOutput { offset: 0, data }))
         }
         CollOp::ReduceScatterAvg { data, reply } => {
-            let (offset, shard) = ring.reduce_scatter_avg(&data);
-            let _ = reply.send(OpResult {
-                offset,
-                data: shard,
-            });
+            let r = ring.reduce_scatter_avg(&data);
+            (
+                reply,
+                r.map(|(offset, shard)| OpOutput {
+                    offset,
+                    data: shard,
+                }),
+            )
         }
         CollOp::AllGather { data, reply } => {
-            let gathered = ring.allgather(&data);
-            let _ = reply.send(OpResult {
-                offset: 0,
-                data: gathered,
-            });
+            let r = ring.allgather(&data);
+            (
+                reply,
+                r.map(|gathered| OpOutput {
+                    offset: 0,
+                    data: gathered,
+                }),
+            )
         }
         CollOp::ReduceSum {
             mut data,
             root,
             reply,
         } => {
-            ring.reduce_sum(&mut data, root);
-            let out = if ring.rank == root { data } else { Vec::new() };
-            let _ = reply.send(OpResult {
-                offset: 0,
-                data: out,
-            });
+            let r = ring.reduce_sum(&mut data, root);
+            (
+                reply,
+                r.map(|()| OpOutput {
+                    offset: 0,
+                    data: if rank == root { data } else { Vec::new() },
+                }),
+            )
         }
         CollOp::Gather { data, root, reply } => {
-            let gathered = ring.gather(&data, root).unwrap_or_default();
-            let _ = reply.send(OpResult {
-                offset: 0,
-                data: gathered,
-            });
+            let r = ring.gather(&data, root);
+            (
+                reply,
+                r.map(|gathered| OpOutput {
+                    offset: 0,
+                    data: gathered.unwrap_or_default(),
+                }),
+            )
         }
+    };
+    let failure = out.as_ref().err().cloned();
+    let _ = reply.send(out);
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
 }
 
-fn comm_thread_main(ring: RingEndpoint, req_rx: Receiver<Request>) {
+fn comm_thread_main(mut ring: RingEndpoint, req_rx: Receiver<Request>) {
     let mut telemetry: Option<CommTelemetry> = None;
+    // First transport failure observed; once set, the ring is broken and
+    // every further op fails fast without touching the transport.
+    let mut poison: Option<CommError> = None;
     while let Ok(req) = req_rx.recv() {
         match req {
             Request::Op {
@@ -574,17 +794,27 @@ fn comm_thread_main(ring: RingEndpoint, req_rx: Receiver<Request>) {
                 phase,
                 generation,
             } => {
+                if let Some(first) = &poison {
+                    op.fail(CommError::Disconnected(format!(
+                        "collective skipped: ring transport failed earlier ({first})"
+                    )));
+                    continue;
+                }
                 let kind = op.kind();
                 let elements = op.elements();
                 let edge = op.edge();
-                match &mut telemetry {
+                let outcome = match &mut telemetry {
                     Some(t) => {
                         let start = t.rec.now();
-                        execute(&ring, op);
+                        let outcome = execute(&mut ring, op);
                         let end = t.rec.now();
                         t.record(kind, elements, edge, phase, generation, start, end);
+                        outcome
                     }
-                    None => execute(&ring, op),
+                    None => execute(&mut ring, op),
+                };
+                if let Err(e) = outcome {
+                    poison = Some(e);
                 }
             }
             Request::SetRecorder { rec, track } => {
@@ -600,10 +830,19 @@ mod tests {
     use super::*;
     use std::thread;
 
+    fn local_endpoints(world: usize) -> Vec<WorkerComm> {
+        CommGroup::builder()
+            .world_size(world)
+            .backend(Backend::Local)
+            .build()
+            .expect("local build")
+            .into_endpoints()
+    }
+
     /// Runs `f(comm)` on every rank of a fresh `world`-rank group and
     /// collects the per-rank return values in rank order.
     fn run_spmd<T: Send>(world: usize, f: impl Fn(&WorkerComm) -> T + Sync) -> Vec<T> {
-        let endpoints = LocalGroup::new(world).into_endpoints();
+        let endpoints = local_endpoints(world);
         let mut out: Vec<Option<T>> = (0..world).map(|_| None).collect();
         thread::scope(|s| {
             let mut handles = Vec::new();
@@ -731,7 +970,11 @@ mod tests {
                 },
                 2,
             );
-            (h1.wait().data, h2.wait().data, h3.wait().data)
+            (
+                h1.wait_expect().data,
+                h2.wait_expect().data,
+                h3.wait_expect().data,
+            )
         });
         for (a, b, c) in results {
             assert_eq!(a, vec![4.0; 4]);
@@ -795,7 +1038,7 @@ mod tests {
     fn traffic_matches_ring_cost() {
         let world = 4;
         let len = 1000usize;
-        let endpoints = LocalGroup::new(world).into_endpoints();
+        let endpoints = local_endpoints(world);
         let stats = Arc::clone(&endpoints[0].stats);
         thread::scope(|s| {
             for comm in &endpoints {
@@ -847,7 +1090,7 @@ mod tests {
             }
             let mut ok = true;
             for (k, h) in handles {
-                let out = h.wait().data;
+                let out = h.wait_expect().data;
                 match k % 3 {
                     0 => ok &= out == vec![4.0 * k as f64; 16],
                     1 => ok &= out == vec![k as f64; 8],
@@ -865,7 +1108,7 @@ mod tests {
             let mut h = comm.allreduce_sum_async(vec![3.0; 2]);
             loop {
                 match h.try_wait() {
-                    Ok(r) => break r.data,
+                    Ok(r) => break r.expect("transport error").data,
                     Err(again) => {
                         h = again;
                         std::thread::yield_now();
@@ -879,8 +1122,8 @@ mod tests {
     }
 
     #[test]
-    fn world_size_accessors() {
-        let g = LocalGroup::new(3);
+    fn builder_constructs_and_reports_world() {
+        let g = CommGroup::builder().world_size(3).build().expect("local");
         assert_eq!(g.world_size(), 3);
         let eps = g.into_endpoints();
         assert_eq!(eps.len(), 3);
@@ -891,10 +1134,61 @@ mod tests {
     }
 
     #[test]
+    fn into_single_yields_the_lone_endpoint() {
+        let comm = CommGroup::builder()
+            .world_size(1)
+            .build()
+            .unwrap()
+            .into_single();
+        assert_eq!(comm.rank(), 0);
+        comm.barrier();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_local_group_still_works() {
+        // Back-compat shim: LocalGroup::new(n).into_endpoints() delegates to
+        // the builder and behaves identically.
+        let g = LocalGroup::new(2);
+        assert_eq!(g.world_size(), 2);
+        let eps = g.into_endpoints();
+        thread::scope(|s| {
+            for comm in &eps {
+                s.spawn(move || {
+                    let mut buf = vec![comm.rank() as f64; 4];
+                    comm.allreduce_sum(&mut buf);
+                    assert_eq!(buf, vec![1.0; 4]);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn poisoned_ring_fails_queued_ops_without_deadlock() {
+        // Build a 2-rank group, then kill rank 1's endpoint (dropping it
+        // sends Quit; its comm thread exits and its channels close). Rank
+        // 0's next collective hits a Disconnected transport error, and every
+        // op queued after it fails fast with the poisoned-ring error.
+        let mut eps = local_endpoints(2);
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        drop(e1);
+        let h1 = e0.allreduce_sum_async(vec![1.0; 8]);
+        let h2 = e0.allreduce_sum_async(vec![2.0; 8]);
+        let err1 = h1.wait().expect_err("first op must fail");
+        assert!(matches!(err1, CommError::Disconnected(_)), "{err1}");
+        let err2 = h2.wait().expect_err("queued op must fail fast");
+        assert!(
+            err2.message().contains("failed earlier"),
+            "queued op should reference the original failure: {err2}"
+        );
+    }
+
+    #[test]
     fn recorder_captures_phase_tagged_op_spans() {
         let world = 2;
         let rec = Arc::new(Recorder::new(2 * world));
-        let endpoints = LocalGroup::new(world).into_endpoints();
+        let endpoints = local_endpoints(world);
         for comm in &endpoints {
             comm.set_recorder(Arc::clone(&rec), world + comm.rank());
         }

@@ -1,23 +1,35 @@
 //! # spdkfac-collectives
 //!
-//! An in-process substitute for the NCCL/Horovod communication stack the
-//! paper runs on: real **ring** all-reduce / reduce-scatter / all-gather and
-//! pipelined broadcast between worker *threads*, with Horovod-style
-//! asynchronous operation handles (`hvd.allreduce_async_` →
+//! A transport-abstracted substitute for the NCCL/Horovod communication
+//! stack the paper runs on: real **ring** all-reduce / reduce-scatter /
+//! all-gather and pipelined broadcast, with Horovod-style asynchronous
+//! operation handles (`hvd.allreduce_async_` →
 //! [`WorkerComm::allreduce_avg_async`]).
 //!
 //! ## Model
 //!
-//! - A [`LocalGroup`] creates `P` [`WorkerComm`] endpoints. Each endpoint is
-//!   owned by one worker thread (SPMD style, exactly like an MPI rank).
-//! - Each endpoint owns a background **communication thread** connected to
-//!   its ring neighbours. Asynchronous operations are queued to it and
-//!   executed strictly in submission order — the same single-queue
-//!   serialisation Horovod applies, which is also how the simulator models
-//!   the network (DESIGN.md §4).
+//! - A [`CommGroup`] connects `P` ranks in a ring. With [`Backend::Local`]
+//!   the ranks are worker *threads* of this process and the builder yields
+//!   all `P` [`WorkerComm`] endpoints; with [`Backend::Tcp`] each rank is a
+//!   separate OS *process* (joined via rendezvous, see [`tcp`]) and the
+//!   builder yields this process's single endpoint. Each endpoint is owned
+//!   by one worker (SPMD style, exactly like an MPI rank).
+//! - The ring algorithms ([`ring`]) are written against the point-to-point
+//!   [`Transport`] trait ([`transport`]) — send one framed chunk to the
+//!   right neighbour, receive one from the left — so the exact same
+//!   algorithm code produces **bit-identical** results over channels or
+//!   sockets.
+//! - Each endpoint owns a background **communication thread**. Asynchronous
+//!   operations are queued to it and executed strictly in submission order —
+//!   the same single-queue serialisation Horovod applies, which is also how
+//!   the simulator models the network (DESIGN.md §4).
 //! - Collective calls must be made by **all ranks in the same order**
 //!   (standard SPMD contract). The trainers in `spdkfac-core` guarantee this
 //!   by deriving the order from the deterministic layer traversal.
+//! - Transport failures (TCP timeouts, peer hangups) surface as
+//!   [`CommError`] through [`PendingOp::wait`]'s [`OpResult`]; the
+//!   synchronous wrappers panic instead (they are documented thin wrappers
+//!   over `_async(..).wait()`).
 //!
 //! ## Why a real implementation
 //!
@@ -30,10 +42,15 @@
 //! # Example
 //!
 //! ```
-//! use spdkfac_collectives::LocalGroup;
+//! use spdkfac_collectives::{Backend, CommGroup};
 //! use std::thread;
 //!
-//! let endpoints = LocalGroup::new(4).into_endpoints();
+//! let endpoints = CommGroup::builder()
+//!     .world_size(4)
+//!     .backend(Backend::Local)
+//!     .build()
+//!     .expect("local backend is infallible")
+//!     .into_endpoints();
 //! thread::scope(|s| {
 //!     for comm in endpoints {
 //!         s.spawn(move || {
@@ -45,10 +62,22 @@
 //!     }
 //! });
 //! ```
+//!
+//! For the multi-process TCP form of the same program, see the
+//! `spdkfac_node` launcher and [`tcp::TcpConfig`].
 
+pub mod error;
 pub mod group;
 pub mod ring;
 pub mod stats;
+pub mod tcp;
+pub mod transport;
 
-pub use group::{LocalGroup, OpResult, PendingOp, WorkerComm};
+#[allow(deprecated)]
+pub use group::LocalGroup;
+pub use group::{Backend, CommGroup, CommGroupBuilder, OpOutput, OpResult, PendingOp, WorkerComm};
+
+pub use error::CommError;
 pub use stats::{OpKind, TrafficStats};
+pub use tcp::TcpConfig;
+pub use transport::Transport;

@@ -1,22 +1,30 @@
 //! Ring algorithms executed by each rank's communication thread.
 //!
-//! All algorithms here are written from the perspective of a single rank that
-//! owns a sender to its right neighbour and a receiver from its left
-//! neighbour. They are the textbook NCCL-style ring collectives:
+//! All algorithms here are written from the perspective of a single rank
+//! that owns a point-to-point [`Transport`] to its ring neighbours (send
+//! right, receive left). They are the textbook NCCL-style ring collectives:
 //!
 //! - **all-reduce**: reduce-scatter phase + all-gather phase, `2(P-1)`
 //!   chunk messages per rank.
 //! - **broadcast**: a pipeline relay around the ring starting at the root.
 //! - **reduce-scatter / all-gather**: the two all-reduce phases exposed
 //!   individually.
+//!
+//! The algorithms are transport-agnostic: whether the neighbours are
+//! threads of this process (channels) or other processes (TCP sockets),
+//! the same hop sequence runs — which is what makes the multi-process
+//! backend bit-identical to the in-process one. Transport failures
+//! (timeouts, hangups) propagate as [`CommError`] instead of panicking, so
+//! the asynchronous-handle layer can surface them to the submitting worker.
 
+use crate::error::CommError;
 use crate::stats::{OpKind, TrafficStats};
-use std::sync::mpsc::{Receiver, Sender};
+use crate::transport::Transport;
 use std::sync::Arc;
 
 /// A point-to-point ring message: payload plus the rank that originated it
 /// (used by all-gather to place variable-length shards).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RingMsg {
     /// Rank whose data this message carries.
     pub origin: usize,
@@ -24,54 +32,62 @@ pub struct RingMsg {
     pub data: Vec<f64>,
 }
 
-/// One rank's view of the ring: its identity and its two neighbour channels.
+/// One rank's view of the ring: its identity, its transport to the
+/// neighbours, and the shared traffic counters.
 #[derive(Debug)]
 pub struct RingEndpoint {
     /// This rank's index in `0..world`.
     pub rank: usize,
     /// Number of ranks in the ring.
     pub world: usize,
-    /// Sender to the right neighbour (`(rank + 1) % world`).
-    pub tx_right: Sender<RingMsg>,
-    /// Receiver from the left neighbour (`(rank + world - 1) % world`).
-    pub rx_left: Receiver<RingMsg>,
+    /// Point-to-point link to the neighbours (send right / recv left).
+    transport: Box<dyn Transport>,
     /// Shared traffic counters.
     pub stats: Arc<TrafficStats>,
 }
 
 impl RingEndpoint {
-    fn send(&self, kind: OpKind, msg: RingMsg) {
+    /// Assembles an endpoint from its parts.
+    pub fn new(
+        rank: usize,
+        world: usize,
+        transport: Box<dyn Transport>,
+        stats: Arc<TrafficStats>,
+    ) -> Self {
+        assert!(rank < world, "rank {rank} out of range for world {world}");
+        RingEndpoint {
+            rank,
+            world,
+            transport,
+            stats,
+        }
+    }
+
+    /// The backend name of the underlying transport (`"channel"`, `"tcp"`).
+    pub fn transport_kind(&self) -> &'static str {
+        self.transport.kind()
+    }
+
+    fn send(&mut self, kind: OpKind, msg: RingMsg) -> Result<(), CommError> {
         self.stats.record_message_kind(kind, msg.data.len());
-        self.tx_right
-            .send(msg)
-            .expect("ring neighbour disconnected mid-collective");
+        self.transport.send(msg)
     }
 
-    fn recv(&self) -> RingMsg {
-        self.rx_left
-            .recv()
-            .expect("ring neighbour disconnected mid-collective")
-    }
-
-    /// Splits `len` elements into `world` contiguous chunk ranges.
-    ///
-    /// Chunks are as equal as possible; the first `len % world` chunks get
-    /// one extra element. Empty chunks are legal (short buffers).
-    pub fn chunk_ranges(&self, len: usize) -> Vec<std::ops::Range<usize>> {
-        chunk_ranges(len, self.world)
+    fn recv(&mut self) -> Result<RingMsg, CommError> {
+        self.transport.recv()
     }
 
     /// In-place ring all-reduce (sum) over `buf`.
     ///
     /// After the call every rank holds the element-wise sum of all ranks'
     /// buffers. All ranks must pass buffers of identical length.
-    pub fn allreduce_sum(&self, buf: &mut [f64]) {
+    pub fn allreduce_sum(&mut self, buf: &mut [f64]) -> Result<(), CommError> {
         let p = self.world;
         if p == 1 {
             self.stats.record_op_kind(OpKind::AllReduce);
-            return;
+            return Ok(());
         }
-        let ranges = self.chunk_ranges(buf.len());
+        let ranges = chunk_ranges(buf.len(), p);
         // Phase 1: reduce-scatter. After step s, chunk (rank - s) has been
         // forwarded; at the end, chunk (rank + 1) % p is fully reduced here.
         for step in 0..p - 1 {
@@ -84,8 +100,8 @@ impl RingEndpoint {
                     origin: self.rank,
                     data: send_data,
                 },
-            );
-            let msg = self.recv();
+            )?;
+            let msg = self.recv()?;
             let dst = &mut buf[ranges[recv_idx].clone()];
             debug_assert_eq!(msg.data.len(), dst.len(), "ring chunk length mismatch");
             for (d, s) in dst.iter_mut().zip(msg.data.iter()) {
@@ -103,22 +119,24 @@ impl RingEndpoint {
                     origin: self.rank,
                     data: send_data,
                 },
-            );
-            let msg = self.recv();
+            )?;
+            let msg = self.recv()?;
             let dst = &mut buf[ranges[recv_idx].clone()];
             debug_assert_eq!(msg.data.len(), dst.len(), "ring chunk length mismatch");
             dst.copy_from_slice(&msg.data);
         }
         self.stats.record_op_kind(OpKind::AllReduce);
+        Ok(())
     }
 
     /// In-place ring all-reduce (average).
-    pub fn allreduce_avg(&self, buf: &mut [f64]) {
-        self.allreduce_sum(buf);
+    pub fn allreduce_avg(&mut self, buf: &mut [f64]) -> Result<(), CommError> {
+        self.allreduce_sum(buf)?;
         let inv = 1.0 / self.world as f64;
         for v in buf.iter_mut() {
             *v *= inv;
         }
+        Ok(())
     }
 
     /// Pipelined broadcast of `buf` from `root` to every rank.
@@ -128,12 +146,12 @@ impl RingEndpoint {
     /// # Panics
     ///
     /// Panics if `root >= world`.
-    pub fn broadcast(&self, buf: &mut [f64], root: usize) {
+    pub fn broadcast(&mut self, buf: &mut [f64], root: usize) -> Result<(), CommError> {
         assert!(root < self.world, "broadcast: root {root} out of range");
         let p = self.world;
         if p == 1 {
             self.stats.record_op_kind(OpKind::Broadcast);
-            return;
+            return Ok(());
         }
         let right = (self.rank + 1) % p;
         if self.rank == root {
@@ -143,16 +161,17 @@ impl RingEndpoint {
                     origin: root,
                     data: buf.to_vec(),
                 },
-            );
+            )?;
         } else {
-            let msg = self.recv();
+            let msg = self.recv()?;
             debug_assert_eq!(msg.data.len(), buf.len(), "broadcast length mismatch");
             buf.copy_from_slice(&msg.data);
             if right != root {
-                self.send(OpKind::Broadcast, msg);
+                self.send(OpKind::Broadcast, msg)?;
             }
         }
         self.stats.record_op_kind(OpKind::Broadcast);
+        Ok(())
     }
 
     /// Ring reduce-scatter (average): returns this rank's fully-reduced
@@ -160,12 +179,12 @@ impl RingEndpoint {
     ///
     /// The shard assigned to rank `r` is chunk `(r + 1) % world` of the equal
     /// partition (the chunk the ring algorithm completes on rank `r`).
-    pub fn reduce_scatter_avg(&self, buf: &[f64]) -> (usize, Vec<f64>) {
+    pub fn reduce_scatter_avg(&mut self, buf: &[f64]) -> Result<(usize, Vec<f64>), CommError> {
         let p = self.world;
-        let ranges = self.chunk_ranges(buf.len());
+        let ranges = chunk_ranges(buf.len(), p);
         if p == 1 {
             self.stats.record_op_kind(OpKind::ReduceScatter);
-            return (0, buf.to_vec());
+            return Ok((0, buf.to_vec()));
         }
         let mut work = buf.to_vec();
         for step in 0..p - 1 {
@@ -178,8 +197,8 @@ impl RingEndpoint {
                     origin: self.rank,
                     data: send_data,
                 },
-            );
-            let msg = self.recv();
+            )?;
+            let msg = self.recv()?;
             let dst = &mut work[ranges[recv_idx].clone()];
             for (d, s) in dst.iter_mut().zip(msg.data.iter()) {
                 *d += s;
@@ -189,7 +208,7 @@ impl RingEndpoint {
         let inv = 1.0 / p as f64;
         let shard: Vec<f64> = work[ranges[own].clone()].iter().map(|v| v * inv).collect();
         self.stats.record_op_kind(OpKind::ReduceScatter);
-        (ranges[own].start, shard)
+        Ok((ranges[own].start, shard))
     }
 
     /// Ring reduce to `root`: after the call `root`'s buffer holds the
@@ -200,12 +219,12 @@ impl RingEndpoint {
     /// # Panics
     ///
     /// Panics if `root >= world`.
-    pub fn reduce_sum(&self, buf: &mut [f64], root: usize) {
+    pub fn reduce_sum(&mut self, buf: &mut [f64], root: usize) -> Result<(), CommError> {
         assert!(root < self.world, "reduce: root {root} out of range");
         let p = self.world;
         if p == 1 {
             self.stats.record_op_kind(OpKind::Reduce);
-            return;
+            return Ok(());
         }
         // The relay starts at the rank after the root and accumulates
         // around the ring until it reaches the root.
@@ -217,19 +236,20 @@ impl RingEndpoint {
                     origin: self.rank,
                     data: buf.to_vec(),
                 },
-            );
+            )?;
         } else {
-            let mut msg = self.recv();
+            let mut msg = self.recv()?;
             for (acc, v) in msg.data.iter_mut().zip(buf.iter()) {
                 *acc += v;
             }
             if self.rank == root {
                 buf.copy_from_slice(&msg.data);
             } else {
-                self.send(OpKind::Reduce, msg);
+                self.send(OpKind::Reduce, msg)?;
             }
         }
         self.stats.record_op_kind(OpKind::Reduce);
+        Ok(())
     }
 
     /// Ring gather to `root`: returns `Some(concatenation of all ranks'
@@ -238,12 +258,12 @@ impl RingEndpoint {
     /// # Panics
     ///
     /// Panics if `root >= world`.
-    pub fn gather(&self, shard: &[f64], root: usize) -> Option<Vec<f64>> {
+    pub fn gather(&mut self, shard: &[f64], root: usize) -> Result<Option<Vec<f64>>, CommError> {
         assert!(root < self.world, "gather: root {root} out of range");
         let p = self.world;
         if p == 1 {
             self.stats.record_op_kind(OpKind::Gather);
-            return Some(shard.to_vec());
+            return Ok(Some(shard.to_vec()));
         }
         // Every non-root forwards its own shard plus everything received;
         // walking the ring towards the root, each rank relays (p - distance)
@@ -253,16 +273,16 @@ impl RingEndpoint {
             let mut by_origin: Vec<Option<Vec<f64>>> = vec![None; p];
             by_origin[root] = Some(shard.to_vec());
             for _ in 0..p - 1 {
-                let msg = self.recv();
+                let msg = self.recv()?;
                 by_origin[msg.origin] = Some(msg.data);
             }
             self.stats.record_op_kind(OpKind::Gather);
-            Some(
+            Ok(Some(
                 by_origin
                     .into_iter()
                     .flat_map(|s| s.expect("gather: missing shard"))
                     .collect(),
-            )
+            ))
         } else {
             // Send own shard, then relay (p - 1 - dist) incoming shards.
             self.send(
@@ -271,25 +291,25 @@ impl RingEndpoint {
                     origin: self.rank,
                     data: shard.to_vec(),
                 },
-            );
+            )?;
             let relays = p - 1 - dist_to_root;
             for _ in 0..relays {
-                let msg = self.recv();
-                self.send(OpKind::Gather, msg);
+                let msg = self.recv()?;
+                self.send(OpKind::Gather, msg)?;
             }
             self.stats.record_op_kind(OpKind::Gather);
-            None
+            Ok(None)
         }
     }
 
     /// Ring all-gather of variable-length shards.
     ///
     /// Returns the concatenation of all ranks' shards in rank order.
-    pub fn allgather(&self, shard: &[f64]) -> Vec<f64> {
+    pub fn allgather(&mut self, shard: &[f64]) -> Result<Vec<f64>, CommError> {
         let p = self.world;
         if p == 1 {
             self.stats.record_op_kind(OpKind::AllGather);
-            return shard.to_vec();
+            return Ok(shard.to_vec());
         }
         let mut by_origin: Vec<Option<Vec<f64>>> = vec![None; p];
         by_origin[self.rank] = Some(shard.to_vec());
@@ -300,20 +320,25 @@ impl RingEndpoint {
             data: shard.to_vec(),
         };
         for _ in 0..p - 1 {
-            self.send(OpKind::AllGather, outgoing);
-            let msg = self.recv();
+            self.send(OpKind::AllGather, outgoing)?;
+            let msg = self.recv()?;
             by_origin[msg.origin] = Some(msg.data.clone());
             outgoing = msg;
         }
         self.stats.record_op_kind(OpKind::AllGather);
-        by_origin
+        Ok(by_origin
             .into_iter()
             .flat_map(|s| s.expect("allgather: missing shard"))
-            .collect()
+            .collect())
     }
 }
 
 /// Splits `len` elements into `parts` contiguous, maximally-equal ranges.
+///
+/// This is the single chunking rule of the crate: the ring algorithms, the
+/// fusion planner's traffic model, and the tests all derive shard layouts
+/// from it. (An equivalent method on `RingEndpoint` was folded into this
+/// free function — one partition, one definition.)
 pub fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     assert!(parts > 0, "chunk_ranges: zero parts");
     let base = len / parts;
@@ -350,5 +375,20 @@ mod tests {
                 assert!(mx - mn <= 1);
             }
         }
+    }
+
+    #[test]
+    fn endpoint_surfaces_transport_failure() {
+        // A 2-rank ring where the peer endpoint is dropped: the survivor's
+        // collective must return Disconnected, not panic.
+        let mut transports = crate::transport::channel_ring(2);
+        let t1 = transports.pop().unwrap();
+        let t0 = transports.pop().unwrap();
+        drop(t1);
+        let stats = Arc::new(TrafficStats::new());
+        let mut ep = RingEndpoint::new(0, 2, Box::new(t0), stats);
+        let mut buf = vec![1.0; 8];
+        let err = ep.allreduce_sum(&mut buf).unwrap_err();
+        assert!(matches!(err, CommError::Disconnected(_)), "{err}");
     }
 }

@@ -66,8 +66,10 @@ const NUM_KINDS: usize = OpKind::ALL.len();
 
 /// Cumulative wire-traffic counters for a communicator group.
 ///
-/// Counters are shared by every rank of a [`crate::LocalGroup`] and updated
-/// by the communication threads. They let tests assert the textbook ring
+/// On the local backend of a [`crate::CommGroup`] the counters are shared by
+/// every rank and updated by the communication threads; on the TCP backend
+/// each process counts only its own rank's sends. They let tests assert the
+/// textbook ring
 /// costs (`2(P-1)/P · n` elements per rank for an all-reduce) and let the
 /// experiment harness report measured traffic alongside modelled traffic,
 /// totalled and broken down per [`OpKind`].

@@ -1,0 +1,615 @@
+//! Multi-process TCP ring transport with a rank-0 rendezvous server.
+//!
+//! This is the backend that lets the SPMD trainers in `spdkfac-core` run
+//! unchanged across OS processes (one rank per process, `spdkfac_node`
+//! launcher in `spdkfac-bench`): the ring algorithms see the exact same
+//! [`Transport`] contract as the in-process channels, so a TCP run is
+//! bit-identical to a thread run.
+//!
+//! ## Wire framing
+//!
+//! Each [`RingMsg`] is one length-prefixed frame, all little-endian:
+//!
+//! ```text
+//! +---------------+---------------+--------------------------+
+//! | origin: u64   | count: u64    | count × f64 payload      |
+//! +---------------+---------------+--------------------------+
+//! ```
+//!
+//! Frames are written through a `BufWriter` and flushed once per message
+//! (one syscall per ring hop, `TCP_NODELAY` set), and read through a
+//! `BufReader` with `read_exact` — partial reads cannot tear a frame.
+//!
+//! ## Rendezvous protocol
+//!
+//! Group formation is a one-shot star through a rendezvous server (hosted
+//! by rank 0, or by a launcher parent). Little-endian binary, one TCP
+//! connection per joining rank:
+//!
+//! 1. client → server: `HELLO_MAGIC: u64`, `proposed_rank: i64` (`-1` =
+//!    assign for me), `addr_len: u32`, `addr_len` UTF-8 bytes of the
+//!    client's ring listener address (`ip:port`).
+//! 2. Server waits until exactly `world` clients registered, assigns ranks
+//!    (explicit claims win, duplicates are an error; unclaimed slots fill
+//!    in arrival order), then answers every client:
+//!    server → client: `ASSIGN_MAGIC: u64`, `rank: u32`, `world: u32`,
+//!    then `world` × (`addr_len: u32` + bytes) — the ring listener
+//!    addresses in rank order.
+//! 3. Each rank dials its **right** neighbour's listener (connect retried
+//!    with exponential backoff — peers may still be starting), writes an
+//!    8-byte rank handshake, and accepts exactly one connection from its
+//!    **left** neighbour, validating the handshake. With `world == 1` no
+//!    sockets are made at all ([`crate::transport::LoopbackTransport`]).
+//!
+//! Every blocking step (rendezvous dial, neighbour dial, accept, handshake
+//! read) is bounded by [`TcpConfig`] deadlines, so a missing peer surfaces
+//! as [`CommError::Timeout`] instead of a hang.
+
+use crate::error::CommError;
+use crate::ring::RingMsg;
+use crate::transport::Transport;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+const HELLO_MAGIC: u64 = 0x5350_444b_4641_4331; // "SPDKFAC1"
+const ASSIGN_MAGIC: u64 = 0x5350_444b_4641_4332; // "SPDKFAC2"
+
+/// Configuration of a TCP-backed group member.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Rendezvous server address (`host:port`). With
+    /// [`TcpConfig::host_rendezvous`] set this rank binds and serves it;
+    /// otherwise it dials it (with retry — the server may start late).
+    pub rendezvous: String,
+    /// Rank to claim at rendezvous; `None` lets the server assign one in
+    /// arrival order.
+    pub rank: Option<usize>,
+    /// Host the rendezvous server from this process (conventionally rank
+    /// 0, or a launcher parent that is not itself a rank).
+    pub host_rendezvous: bool,
+    /// Local IP the ring listener binds to (an ephemeral port is chosen).
+    pub bind_ip: String,
+    /// Per-attempt connect timeout.
+    pub connect_timeout: Duration,
+    /// Additional connect attempts after the first failure.
+    pub connect_retries: u32,
+    /// Initial retry backoff; doubles per attempt, capped at one second.
+    pub connect_backoff: Duration,
+    /// Overall deadline for group formation (rendezvous + neighbour
+    /// handshake).
+    pub handshake_timeout: Duration,
+    /// Socket read timeout for ring frames; `None` blocks forever.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout for ring frames; `None` blocks forever.
+    pub write_timeout: Option<Duration>,
+}
+
+impl TcpConfig {
+    /// Defaults tuned for single-machine loopback rings: 1 s per connect
+    /// attempt, 100 retries from 10 ms backoff, 30 s frame timeouts.
+    pub fn new(rendezvous: impl Into<String>) -> Self {
+        TcpConfig {
+            rendezvous: rendezvous.into(),
+            rank: None,
+            host_rendezvous: false,
+            bind_ip: "127.0.0.1".into(),
+            connect_timeout: Duration::from_secs(1),
+            connect_retries: 100,
+            connect_backoff: Duration::from_millis(10),
+            handshake_timeout: Duration::from_secs(30),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+
+    /// Claims an explicit rank (and hosts the rendezvous when it is 0 —
+    /// the paper-style convention; clear [`TcpConfig::host_rendezvous`]
+    /// afterwards if a separate launcher hosts it).
+    pub fn with_rank(mut self, rank: usize) -> Self {
+        self.rank = Some(rank);
+        self.host_rendezvous = rank == 0;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------------
+
+fn write_frame(w: &mut impl Write, msg: &RingMsg) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(16 + 8 * msg.data.len());
+    buf.extend_from_slice(&(msg.origin as u64).to_le_bytes());
+    buf.extend_from_slice(&(msg.data.len() as u64).to_le_bytes());
+    for v in &msg.data {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+fn read_frame(r: &mut impl Read) -> std::io::Result<RingMsg> {
+    let mut hdr = [0u8; 16];
+    r.read_exact(&mut hdr)?;
+    let origin = u64::from_le_bytes(hdr[..8].try_into().expect("8 bytes")) as usize;
+    let count = u64::from_le_bytes(hdr[8..].try_into().expect("8 bytes")) as usize;
+    let mut bytes = vec![0u8; 8 * count];
+    r.read_exact(&mut bytes)?;
+    let data = bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect();
+    Ok(RingMsg { origin, data })
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64(r: &mut impl Read) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> std::io::Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_str(r: &mut impl Read) -> std::io::Result<String> {
+    let len = read_u32(r)? as usize;
+    if len > 4096 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("rendezvous string of {len} bytes exceeds protocol limit"),
+        ));
+    }
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    String::from_utf8(bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous server
+// ---------------------------------------------------------------------------
+
+/// One-shot rendezvous: accepts `world` registrations, assigns ranks, and
+/// sends every member the full peer-address table.
+#[derive(Debug)]
+pub struct RendezvousServer {
+    listener: TcpListener,
+    world: usize,
+}
+
+impl RendezvousServer {
+    /// Binds the rendezvous listener for a `world`-rank group.
+    pub fn bind(addr: &str, world: usize) -> Result<Self, CommError> {
+        assert!(world > 0, "rendezvous for a zero-rank group");
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| CommError::from_io(&format!("bind rendezvous {addr}"), e))?;
+        Ok(RendezvousServer { listener, world })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// Serves exactly one group formation, then returns the rank-ordered
+    /// ring listener addresses. Registration reads are bounded by a 30 s
+    /// per-client timeout.
+    pub fn serve(self) -> Result<Vec<String>, CommError> {
+        let world = self.world;
+        let mut clients: Vec<(TcpStream, Option<usize>, String)> = Vec::with_capacity(world);
+        for _ in 0..world {
+            let (stream, peer) = self
+                .listener
+                .accept()
+                .map_err(|e| CommError::from_io("rendezvous accept", e))?;
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .map_err(|e| CommError::from_io("rendezvous set timeout", e))?;
+            let mut stream = stream;
+            let ctx = format!("rendezvous registration from {peer}");
+            let magic = read_u64(&mut stream).map_err(|e| CommError::from_io(&ctx, e))?;
+            if magic != HELLO_MAGIC {
+                return Err(CommError::Rendezvous(format!(
+                    "{ctx}: bad magic {magic:#x}"
+                )));
+            }
+            let proposed = read_u64(&mut stream).map_err(|e| CommError::from_io(&ctx, e))? as i64;
+            let addr = read_str(&mut stream).map_err(|e| CommError::from_io(&ctx, e))?;
+            let claim = if proposed < 0 {
+                None
+            } else if (proposed as usize) < world {
+                Some(proposed as usize)
+            } else {
+                return Err(CommError::Rendezvous(format!(
+                    "{ctx}: rank {proposed} out of range for world {world}"
+                )));
+            };
+            clients.push((stream, claim, addr));
+        }
+        // Assign ranks: explicit claims first, then fill free slots in
+        // arrival order.
+        let mut taken = vec![false; world];
+        let mut ranks = vec![usize::MAX; world]; // client index -> rank
+        for (i, (_, claim, _)) in clients.iter().enumerate() {
+            if let Some(r) = claim {
+                if taken[*r] {
+                    return Err(CommError::Rendezvous(format!(
+                        "rank {r} claimed by two members"
+                    )));
+                }
+                taken[*r] = true;
+                ranks[i] = *r;
+            }
+        }
+        let mut free = (0..world).filter(|&r| !taken[r]);
+        for (i, (_, claim, _)) in clients.iter().enumerate() {
+            if claim.is_none() {
+                ranks[i] = free.next().expect("free slot per unclaimed member");
+            }
+        }
+        let mut peers = vec![String::new(); world];
+        for (i, (_, _, addr)) in clients.iter().enumerate() {
+            peers[ranks[i]] = addr.clone();
+        }
+        for (i, (stream, _, _)) in clients.iter_mut().enumerate() {
+            let ctx = "rendezvous assignment reply";
+            write_u64(stream, ASSIGN_MAGIC).map_err(|e| CommError::from_io(ctx, e))?;
+            write_u32(stream, ranks[i] as u32).map_err(|e| CommError::from_io(ctx, e))?;
+            write_u32(stream, world as u32).map_err(|e| CommError::from_io(ctx, e))?;
+            for p in &peers {
+                write_str(stream, p).map_err(|e| CommError::from_io(ctx, e))?;
+            }
+            stream.flush().map_err(|e| CommError::from_io(ctx, e))?;
+        }
+        Ok(peers)
+    }
+
+    /// Binds `addr` and serves one group formation on a background thread.
+    /// Returns the bound address immediately; the thread exits after the
+    /// group forms (or the formation fails — members see the error through
+    /// their own deadlines).
+    pub fn spawn(addr: &str, world: usize) -> Result<SocketAddr, CommError> {
+        let server = RendezvousServer::bind(addr, world)?;
+        let bound = server.local_addr();
+        std::thread::Builder::new()
+            .name("spdkfac-rendezvous".into())
+            .spawn(move || {
+                if let Err(e) = server.serve() {
+                    eprintln!("rendezvous server failed: {e}");
+                }
+            })
+            .map_err(|e| CommError::Io(format!("spawn rendezvous thread: {e}")))?;
+        Ok(bound)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group member connection
+// ---------------------------------------------------------------------------
+
+fn resolve(addr: &str) -> Result<SocketAddr, CommError> {
+    addr.to_socket_addrs()
+        .map_err(|e| CommError::Io(format!("resolve {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| CommError::Io(format!("resolve {addr}: no addresses")))
+}
+
+/// Dials `addr` with per-attempt timeout and exponential backoff — the
+/// peer (rendezvous server or ring neighbour) may not be listening yet.
+fn connect_retry(addr: &str, cfg: &TcpConfig, what: &str) -> Result<TcpStream, CommError> {
+    let target = resolve(addr)?;
+    let mut delay = cfg.connect_backoff.max(Duration::from_millis(1));
+    let mut last: Option<std::io::Error> = None;
+    for attempt in 0..=cfg.connect_retries {
+        match TcpStream::connect_timeout(&target, cfg.connect_timeout) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                return Ok(s);
+            }
+            Err(e) => last = Some(e),
+        }
+        if attempt < cfg.connect_retries {
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_secs(1));
+        }
+    }
+    let last = last.expect("at least one attempt");
+    Err(CommError::Timeout(format!(
+        "connect to {what} {addr} failed after {} attempts: {last}",
+        cfg.connect_retries + 1
+    )))
+}
+
+/// Accepts one connection, polling until `deadline`.
+fn accept_deadline(
+    listener: &TcpListener,
+    deadline: Instant,
+    what: &str,
+) -> Result<TcpStream, CommError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CommError::from_io("listener set_nonblocking", e))?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| CommError::from_io("accepted stream set_blocking", e))?;
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(CommError::Timeout(format!("accept from {what} timed out")));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(CommError::from_io(&format!("accept from {what}"), e)),
+        }
+    }
+}
+
+/// The fully-connected TCP transport of one rank: a framed writer to the
+/// right neighbour and a framed reader from the left neighbour.
+#[derive(Debug)]
+pub struct TcpTransport {
+    to_right: BufWriter<TcpStream>,
+    from_left: BufReader<TcpStream>,
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, msg: RingMsg) -> Result<(), CommError> {
+        write_frame(&mut self.to_right, &msg)
+            .map_err(|e| CommError::from_io("send to right neighbour", e))
+    }
+
+    fn recv(&mut self) -> Result<RingMsg, CommError> {
+        read_frame(&mut self.from_left)
+            .map_err(|e| CommError::from_io("recv from left neighbour", e))
+    }
+
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+/// Joins a `world`-rank TCP group: hosts/dials the rendezvous, exchanges
+/// listener addresses, and wires up the ring neighbours. Returns the
+/// assigned rank and the connected transport (`world == 1` short-circuits
+/// to a loopback with no sockets).
+pub fn connect(cfg: &TcpConfig, world: usize) -> Result<(usize, Box<dyn Transport>), CommError> {
+    assert!(world > 0, "tcp::connect: zero-rank group");
+    if world == 1 {
+        return Ok((
+            cfg.rank.unwrap_or(0),
+            Box::new(crate::transport::LoopbackTransport::default()),
+        ));
+    }
+    let deadline = Instant::now() + cfg.handshake_timeout;
+    if cfg.host_rendezvous {
+        RendezvousServer::spawn(&cfg.rendezvous, world)?;
+    }
+
+    // Ring listener first, so its address can be registered.
+    let listener = TcpListener::bind((cfg.bind_ip.as_str(), 0))
+        .map_err(|e| CommError::from_io(&format!("bind ring listener on {}", cfg.bind_ip), e))?;
+    let my_addr = listener
+        .local_addr()
+        .map_err(|e| CommError::from_io("ring listener addr", e))?
+        .to_string();
+
+    // Register at the rendezvous and learn (rank, peer table).
+    let mut rdv = connect_retry(&cfg.rendezvous, cfg, "rendezvous server")?;
+    rdv.set_read_timeout(Some(cfg.handshake_timeout))
+        .map_err(|e| CommError::from_io("rendezvous set timeout", e))?;
+    let reg = "rendezvous registration";
+    write_u64(&mut rdv, HELLO_MAGIC).map_err(|e| CommError::from_io(reg, e))?;
+    let proposed = cfg.rank.map(|r| r as i64).unwrap_or(-1);
+    write_u64(&mut rdv, proposed as u64).map_err(|e| CommError::from_io(reg, e))?;
+    write_str(&mut rdv, &my_addr).map_err(|e| CommError::from_io(reg, e))?;
+    rdv.flush().map_err(|e| CommError::from_io(reg, e))?;
+    let asn = "rendezvous assignment";
+    let magic = read_u64(&mut rdv).map_err(|e| CommError::from_io(asn, e))?;
+    if magic != ASSIGN_MAGIC {
+        return Err(CommError::Rendezvous(format!(
+            "{asn}: bad magic {magic:#x}"
+        )));
+    }
+    let rank = read_u32(&mut rdv).map_err(|e| CommError::from_io(asn, e))? as usize;
+    let got_world = read_u32(&mut rdv).map_err(|e| CommError::from_io(asn, e))? as usize;
+    if got_world != world {
+        return Err(CommError::Rendezvous(format!(
+            "server formed a {got_world}-rank group, expected {world}"
+        )));
+    }
+    if let Some(claimed) = cfg.rank {
+        if claimed != rank {
+            return Err(CommError::Rendezvous(format!(
+                "claimed rank {claimed} but was assigned {rank}"
+            )));
+        }
+    }
+    let mut peers = Vec::with_capacity(world);
+    for _ in 0..world {
+        peers.push(read_str(&mut rdv).map_err(|e| CommError::from_io(asn, e))?);
+    }
+    drop(rdv);
+
+    // Dial right, accept left, exchange 8-byte rank handshakes.
+    let right_rank = (rank + 1) % world;
+    let left_rank = (rank + world - 1) % world;
+    let mut right = connect_retry(&peers[right_rank], cfg, "right neighbour")?;
+    write_u64(&mut right, rank as u64)
+        .and_then(|()| right.flush())
+        .map_err(|e| CommError::from_io("handshake to right neighbour", e))?;
+    let mut left = accept_deadline(&listener, deadline, "left neighbour")?;
+    left.set_read_timeout(Some(cfg.handshake_timeout))
+        .map_err(|e| CommError::from_io("handshake set timeout", e))?;
+    let who = read_u64(&mut left).map_err(|e| CommError::from_io("left handshake", e))? as usize;
+    if who != left_rank {
+        return Err(CommError::Rendezvous(format!(
+            "rank {rank}: expected left neighbour {left_rank}, got {who}"
+        )));
+    }
+
+    // Steady-state frame timeouts.
+    right
+        .set_write_timeout(cfg.write_timeout)
+        .map_err(|e| CommError::from_io("set write timeout", e))?;
+    left.set_read_timeout(cfg.read_timeout)
+        .map_err(|e| CommError::from_io("set read timeout", e))?;
+    Ok((
+        rank,
+        Box::new(TcpTransport {
+            to_right: BufWriter::new(right),
+            from_left: BufReader::new(left),
+        }),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let msg = RingMsg {
+            origin: 3,
+            data: vec![1.5, -2.25, f64::MIN_POSITIVE, 0.0],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        assert_eq!(buf.len(), 16 + 8 * 4);
+        let got = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(got.origin, 3);
+        assert_eq!(got.data, msg.data);
+    }
+
+    #[test]
+    fn empty_frame_round_trips() {
+        let msg = RingMsg {
+            origin: 0,
+            data: vec![],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let got = read_frame(&mut &buf[..]).unwrap();
+        assert!(got.data.is_empty());
+    }
+
+    #[test]
+    fn truncated_frame_is_unexpected_eof() {
+        let msg = RingMsg {
+            origin: 1,
+            data: vec![4.0, 5.0],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_rendezvous_string_rejected() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 1 << 20).unwrap();
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(read_str(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn rendezvous_assigns_explicit_and_auto_ranks() {
+        let server = RendezvousServer::bind("127.0.0.1:0", 3).unwrap();
+        let addr = server.local_addr();
+        let serve = std::thread::spawn(move || server.serve());
+        // Register sequentially (the server reads each registration as it
+        // accepts, so arrival order is the connect order), then read the
+        // replies — the server only replies once the whole group is present.
+        let register = |proposed: i64, my: &str| -> TcpStream {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write_u64(&mut s, HELLO_MAGIC).unwrap();
+            write_u64(&mut s, proposed as u64).unwrap();
+            write_str(&mut s, my).unwrap();
+            s.flush().unwrap();
+            s
+        };
+        let assignment = |mut s: TcpStream| -> (usize, Vec<String>) {
+            assert_eq!(read_u64(&mut s).unwrap(), ASSIGN_MAGIC);
+            let rank = read_u32(&mut s).unwrap() as usize;
+            let world = read_u32(&mut s).unwrap() as usize;
+            let peers = (0..world).map(|_| read_str(&mut s).unwrap()).collect();
+            (rank, peers)
+        };
+        // Claim rank 2 explicitly; the other two auto-assign to 0 and 1 in
+        // arrival order.
+        let sc = register(2, "c:2");
+        let sa = register(-1, "a:1");
+        let sb = register(-1, "b:1");
+        let (r2, _) = assignment(sc);
+        assert_eq!(r2, 2);
+        let (ra, _) = assignment(sa);
+        assert_eq!(ra, 0);
+        let (rb, peers) = assignment(sb);
+        assert_eq!(rb, 1);
+        assert_eq!(peers, vec!["a:1".to_string(), "b:1".into(), "c:2".into()]);
+        let served = serve.join().unwrap().unwrap();
+        assert_eq!(served.len(), 3);
+    }
+
+    #[test]
+    fn connect_forms_a_two_rank_ring() {
+        let server = RendezvousServer::bind("127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr().to_string();
+        std::thread::spawn(move || server.serve().unwrap());
+        let addr1 = addr.clone();
+        let peer = std::thread::spawn(move || {
+            let cfg = TcpConfig::new(addr1);
+            let (rank, mut t) = connect(&cfg, 2).unwrap();
+            // Echo service: receive one frame, send one frame.
+            let got = t.recv().unwrap();
+            t.send(RingMsg {
+                origin: rank,
+                data: got.data.iter().map(|v| v * 2.0).collect(),
+            })
+            .unwrap();
+            rank
+        });
+        let cfg = TcpConfig::new(addr);
+        let (rank, mut t) = connect(&cfg, 2).unwrap();
+        t.send(RingMsg {
+            origin: rank,
+            data: vec![1.0, 2.0],
+        })
+        .unwrap();
+        let back = t.recv().unwrap();
+        assert_eq!(back.data, vec![2.0, 4.0]);
+        let peer_rank = peer.join().unwrap();
+        assert_ne!(rank, peer_rank);
+        assert_eq!(t.kind(), "tcp");
+    }
+
+    #[test]
+    fn world_one_needs_no_sockets() {
+        let cfg = TcpConfig::new("127.0.0.1:1"); // never dialled
+        let (rank, t) = connect(&cfg, 1).unwrap();
+        assert_eq!(rank, 0);
+        assert_eq!(t.kind(), "loopback");
+    }
+}

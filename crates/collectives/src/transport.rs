@@ -1,0 +1,189 @@
+//! The point-to-point transport abstraction beneath the ring algorithms.
+//!
+//! Every collective in [`crate::ring`] is written against two primitives —
+//! *send one framed chunk of `f64`s to my right neighbour* and *receive one
+//! from my left neighbour* — so the entire algorithm layer is generic over
+//! where those bytes actually go. Two implementations ship:
+//!
+//! - [`ChannelTransport`]: the original in-process backend. Neighbour ranks
+//!   live on threads of the same process and messages move through
+//!   `std::sync::mpsc` channels, owned-buffer in, owned-buffer out, no
+//!   serialisation. Infallible short of a peer thread panicking.
+//! - [`crate::tcp::TcpTransport`]: ranks are separate OS processes connected
+//!   by TCP sockets with length-prefixed frames, configurable read/write
+//!   timeouts, and connect retry — see [`crate::tcp`].
+//!
+//! The contract is deliberately minimal: a transport is owned by exactly one
+//! communication thread (hence `&mut self` and `Send`, no `Sync`), delivers
+//! messages **in order** and **reliably**, and reports failures as
+//! [`CommError`] rather than panicking — the asynchronous-handle layer
+//! ([`crate::PendingOp`]) forwards them to the submitting worker.
+
+use crate::error::CommError;
+use crate::ring::RingMsg;
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+
+/// A reliable, ordered point-to-point link from this rank to its ring
+/// neighbours: `send` targets the right neighbour (`(rank + 1) % world`),
+/// `recv` sources the left neighbour (`(rank + world - 1) % world`).
+pub trait Transport: Send + std::fmt::Debug {
+    /// Delivers `msg` to the right neighbour.
+    ///
+    /// The message is owned: in-process backends move it, wire backends
+    /// serialise and drop it.
+    fn send(&mut self, msg: RingMsg) -> Result<(), CommError>;
+
+    /// Blocks for the next message from the left neighbour (subject to the
+    /// backend's read timeout, if any).
+    fn recv(&mut self) -> Result<RingMsg, CommError>;
+
+    /// Short backend name for diagnostics (`"channel"`, `"tcp"`, …).
+    fn kind(&self) -> &'static str;
+}
+
+/// In-process transport: `mpsc` channels to/from neighbour threads.
+///
+/// This is the behaviour-preserving extraction of the seed implementation —
+/// the same channels, the same FIFO semantics, zero copies beyond the moves
+/// the ring algorithms already made.
+#[derive(Debug)]
+pub struct ChannelTransport {
+    tx_right: Sender<RingMsg>,
+    rx_left: Receiver<RingMsg>,
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, msg: RingMsg) -> Result<(), CommError> {
+        self.tx_right.send(msg).map_err(|_| {
+            CommError::Disconnected("ring neighbour disconnected mid-collective (send)".into())
+        })
+    }
+
+    fn recv(&mut self) -> Result<RingMsg, CommError> {
+        self.rx_left.recv().map_err(|_| {
+            CommError::Disconnected("ring neighbour disconnected mid-collective (recv)".into())
+        })
+    }
+
+    fn kind(&self) -> &'static str {
+        "channel"
+    }
+}
+
+impl ChannelTransport {
+    /// Non-blocking receive, used only by tests that probe queue state.
+    pub fn try_recv(&mut self) -> Result<Option<RingMsg>, CommError> {
+        match self.rx_left.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(CommError::Disconnected(
+                "ring neighbour disconnected".into(),
+            )),
+        }
+    }
+}
+
+/// Builds the `world` channel transports of an in-process ring: edge `i`
+/// connects rank `i`'s sender to rank `(i + 1) % world`'s receiver. The
+/// returned vector is indexed by rank.
+pub fn channel_ring(world: usize) -> Vec<ChannelTransport> {
+    assert!(world > 0, "channel_ring: zero-rank ring");
+    let mut edge_tx = Vec::with_capacity(world);
+    let mut edge_rx = Vec::with_capacity(world);
+    for _ in 0..world {
+        let (tx, rx) = channel();
+        edge_tx.push(Some(tx));
+        edge_rx.push(Some(rx));
+    }
+    (0..world)
+        .map(|rank| {
+            let tx_right = edge_tx[rank].take().expect("edge reused");
+            let left_edge = (rank + world - 1) % world;
+            let rx_left = edge_rx[left_edge].take().expect("edge reused");
+            ChannelTransport { tx_right, rx_left }
+        })
+        .collect()
+}
+
+/// Self-delivery transport for single-rank groups: `send` queues locally,
+/// `recv` pops. The ring algorithms never touch the wire when `world == 1`,
+/// but a well-formed transport keeps that invariant out of the type system.
+#[derive(Debug, Default)]
+pub struct LoopbackTransport {
+    queue: VecDeque<RingMsg>,
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&mut self, msg: RingMsg) -> Result<(), CommError> {
+        self.queue.push_back(msg);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<RingMsg, CommError> {
+        self.queue
+            .pop_front()
+            .ok_or_else(|| CommError::Disconnected("loopback recv with no queued message".into()))
+    }
+
+    fn kind(&self) -> &'static str {
+        "loopback"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_ring_routes_right() {
+        let mut ring = channel_ring(3);
+        // Rank 0 sends; rank 1 (its right neighbour) receives.
+        ring[0]
+            .send(RingMsg {
+                origin: 0,
+                data: vec![1.0, 2.0],
+            })
+            .unwrap();
+        let got = ring[1].recv().unwrap();
+        assert_eq!(got.origin, 0);
+        assert_eq!(got.data, vec![1.0, 2.0]);
+        // Rank 2 sends; rank 0 receives (wrap-around edge).
+        ring[2]
+            .send(RingMsg {
+                origin: 2,
+                data: vec![7.0],
+            })
+            .unwrap();
+        assert_eq!(ring[0].recv().unwrap().origin, 2);
+    }
+
+    #[test]
+    fn channel_disconnect_is_an_error_not_a_panic() {
+        let mut ring = channel_ring(2);
+        let t1 = ring.pop().unwrap();
+        drop(t1);
+        let mut t0 = ring.pop().unwrap();
+        assert!(matches!(
+            t0.send(RingMsg {
+                origin: 0,
+                data: vec![]
+            }),
+            Err(CommError::Disconnected(_))
+        ));
+        assert!(matches!(t0.recv(), Err(CommError::Disconnected(_))));
+    }
+
+    #[test]
+    fn loopback_round_trips() {
+        let mut t = LoopbackTransport::default();
+        t.send(RingMsg {
+            origin: 0,
+            data: vec![3.0],
+        })
+        .unwrap();
+        assert_eq!(t.recv().unwrap().data, vec![3.0]);
+        assert!(t.recv().is_err());
+        assert_eq!(t.kind(), "loopback");
+    }
+}

@@ -3,14 +3,19 @@
 
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
-use spdkfac_collectives::LocalGroup;
+use spdkfac_collectives::{Backend, CommGroup};
 use std::thread;
 
 fn run_spmd<T: Send>(
     world: usize,
     f: impl Fn(&spdkfac_collectives::WorkerComm) -> T + Sync,
 ) -> Vec<T> {
-    let endpoints = LocalGroup::new(world).into_endpoints();
+    let endpoints = CommGroup::builder()
+        .world_size(world)
+        .backend(Backend::Local)
+        .build()
+        .expect("local backend is infallible")
+        .into_endpoints();
     let mut out: Vec<Option<T>> = (0..world).map(|_| None).collect();
     thread::scope(|s| {
         let mut handles = Vec::new();

@@ -26,7 +26,7 @@ use crate::perf::{AlphaBetaModel, ExpInverseModel};
 use crate::placement::{self, PlacementStrategy, TensorAssignment};
 use crate::precond::{apply_kl_clip, build_directions};
 use crate::runtime::{self, ReplanController, ReplanPolicy};
-use spdkfac_collectives::{LocalGroup, PendingOp, WorkerComm};
+use spdkfac_collectives::{Backend, CommGroup, PendingOp, WorkerComm};
 use spdkfac_nn::data::Dataset;
 use spdkfac_nn::loss::softmax_cross_entropy;
 use spdkfac_nn::optim::Sgd;
@@ -188,14 +188,20 @@ fn train_impl(
     batch: usize,
     rec: Option<&Arc<Recorder>>,
 ) -> RunResult {
-    let endpoints = LocalGroup::new(cfg.world).into_endpoints();
+    let endpoints = CommGroup::builder()
+        .world_size(cfg.world)
+        .backend(Backend::Local)
+        .build()
+        .expect("local backend is infallible")
+        .into_endpoints();
     let mut result: Option<RunResult> = None;
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for comm in endpoints {
             let cfg = cfg.clone();
             let rec = rec.map(Arc::clone);
-            handles.push(s.spawn(move || worker(&cfg, build, dataset, iters, batch, comm, rec)));
+            handles
+                .push(s.spawn(move || train_worker(&cfg, build, dataset, iters, batch, comm, rec)));
         }
         for (rank, h) in handles.into_iter().enumerate() {
             let r = h.join().expect("worker panicked");
@@ -249,7 +255,19 @@ impl WorkerObs {
     }
 }
 
-fn worker(
+/// Runs one rank's full training loop over an already-connected communicator
+/// endpoint — the backend-agnostic entry point beneath [`train`].
+///
+/// [`train`] builds a local (in-process) group and calls this on one thread
+/// per rank; a multi-process launcher (`spdkfac_node`) builds a
+/// [`Backend::Tcp`] group instead and calls it with the process's single
+/// endpoint. Because every collective the loop issues goes through the
+/// transport-abstracted `WorkerComm` surface, the two modes produce
+/// bit-identical iterates.
+///
+/// The returned [`RunResult`] is valid on every rank; losses are globally
+/// averaged, so all ranks report identical values.
+pub fn train_worker(
     cfg: &DistributedConfig,
     build: &(dyn Fn() -> Sequential + Sync),
     dataset: &Dataset,
@@ -495,7 +513,7 @@ fn worker(
 
         // ---------- Install averaged gradients ---------------------------
         for (segments, handle) in grad_pending.drain(..) {
-            let data = handle.wait().data;
+            let data = handle.wait_expect().data;
             let mut off = 0usize;
             let layers = net.layers_mut();
             for (li, pi, len) in segments {
@@ -515,7 +533,7 @@ fn worker(
                 let _ = net.take_captures();
             }
             for (members, sizes, handle) in pending.drain(..) {
-                let data = handle.wait().data;
+                let data = handle.wait_expect().data;
                 let mut off = 0usize;
                 for ((pos_or_state, side), sz) in members.into_iter().zip(sizes) {
                     let packed_slice = &data[off..off + sz];
@@ -586,7 +604,7 @@ fn worker(
                     }
                     for (t, h) in bcasts {
                         let d = inv_dims[t];
-                        let data = h.wait().data;
+                        let data = h.wait_expect().data;
                         let q = Matrix::from_vec(d, d, data[..d * d].to_vec());
                         let v = data[d * d..].to_vec();
                         computed[t] = Some((q, v));
@@ -645,7 +663,7 @@ fn worker(
                     }
                 }
                 for (t, h) in bcasts {
-                    let data = h.wait().data;
+                    let data = h.wait_expect().data;
                     computed[t] = Some(SymPacked::from_vec(inv_dims[t], data));
                 }
                 // Install all inverses.
