@@ -34,6 +34,7 @@ fn main() {
 
     let mut bare = Vec::with_capacity(reps);
     let mut instrumented = Vec::with_capacity(reps);
+    let mut dropped = 0u64;
     // Interleave the two variants so thermal / scheduler drift hits both.
     for _ in 0..reps {
         let t = Instant::now();
@@ -44,6 +45,7 @@ fn main() {
         let t = Instant::now();
         let _ = train_with_recorder(&cfg, &build, &data, iters, 4, &rec);
         instrumented.push(t.elapsed().as_secs_f64());
+        dropped += rec.dropped();
     }
     bare.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     instrumented.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -57,6 +59,13 @@ fn main() {
     ));
     note(&format!("instrumented: median {:.4}s", inst_med));
     note(&format!("overhead: {overhead:+.2}% (acceptance bar: 5%)"));
+    note(&format!("dropped spans: {dropped} (acceptance bar: 0)"));
+    if dropped > 0 {
+        // A timing comparison against a recorder that silently lost spans
+        // measures less work than it claims — treat drops as a failure.
+        note("WARNING: recorder dropped spans — the overhead number is not trustworthy");
+        std::process::exit(1);
+    }
     if overhead > 5.0 {
         note("WARNING: overhead above the 5% bar — investigate before trusting traces");
         std::process::exit(1);

@@ -23,22 +23,67 @@
 //!   fails (exit 1) unless every per-iteration loss matches to < 1e-12 —
 //!   the CI acceptance gate for the transport abstraction.
 //!
+//! ## Telemetry (`--trace-dir`, `--monitor`)
+//!
+//! With either flag, every rank records spans and rank 0 runs the telemetry
+//! collector (`spdkfac_collectives::telemetry`): its address rides the
+//! rendezvous aux table, the other ranks stream clock-synchronized span
+//! batches to it, and after training rank 0 merges everything onto its own
+//! clock and (with `--trace-dir DIR`) writes the same unified artifacts an
+//! in-process run produces:
+//!
+//! - `DIR/merged_trace.json` — one Chrome trace across all ranks, with the
+//!   critical path highlighted;
+//! - `DIR/critical_path.json` — the `spdkfac-critical-path-v1` report;
+//! - `DIR/critical_path.txt` — the human-readable attribution.
+//!
+//! Rank 0 *fails the run* (exit 1) if the merged trace's critical path
+//! covers < 95% of wall or any cross-rank collective edge is causally
+//! inconsistent after clock rebasing (a negative-latency comm edge means
+//! the clock sync failed). `--monitor` prints a live per-rank dashboard to
+//! stderr during training. These flags must be passed to every rank (the
+//! spawn-local parent forwards them).
+//!
 //! The workload is the deterministic observability workload (deep MLP on
 //! Gaussian blobs, SPD-KFAC), so runs are reproducible across modes.
 
 use spdkfac_bench::{header, note};
 use spdkfac_collectives::tcp::RendezvousServer;
+use spdkfac_collectives::telemetry::{SpanStreamer, TelemetryServer};
 use spdkfac_collectives::{Backend, CommGroup, TcpConfig};
 use spdkfac_core::distributed::{train, train_worker, Algorithm, DistributedConfig, RunResult};
 use spdkfac_nn::data::{gaussian_blobs, Dataset};
 use spdkfac_nn::models::deep_mlp;
 use spdkfac_nn::Sequential;
+use spdkfac_obs::collect::{comm_edge_violations, ClockModel, CollectorState};
+use spdkfac_obs::{parse_json, CriticalReport, JsonValue, RankMap, Recorder, TrackLayout};
 use std::process::{Command, ExitCode};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Loss agreement bound between the TCP and in-process backends. The runs
 /// are bit-identical by construction; the bound only exists to print a
 /// meaningful failure.
 const PARITY_TOL: f64 = 1e-12;
+
+/// Minimum fraction of wall time the merged critical path must cover —
+/// below this the merge lost whole stretches of the run.
+const COVERAGE_MIN: f64 = 0.95;
+
+/// Floor on the clock tolerance used for cross-rank edge checks (loopback
+/// uncertainties are sub-100 µs; scheduling noise still deserves slack).
+const EDGE_TOL_FLOOR: f64 = 1e-4;
+
+/// Rank-0 local pump cadence (mirrors the remote streamers).
+const PUMP_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Live dashboard refresh period.
+const MONITOR_INTERVAL: Duration = Duration::from_millis(500);
+
+/// How long rank 0 waits after its own training for the other ranks'
+/// final telemetry flushes.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(15);
 
 struct Args {
     rank: Option<usize>,
@@ -50,13 +95,17 @@ struct Args {
     batch: usize,
     smoke: bool,
     out: Option<String>,
+    trace_dir: Option<String>,
+    monitor: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: spdkfac_node --rank R --world P --rendezvous HOST:PORT \
-         [--external-rendezvous] [--iters N] [--batch B] [--out FILE]\n\
-         \x20      spdkfac_node --spawn-local P [--iters N] [--batch B] [--smoke]"
+         [--external-rendezvous] [--iters N] [--batch B] [--out FILE] \
+         [--trace-dir DIR] [--monitor]\n\
+         \x20      spdkfac_node --spawn-local P [--iters N] [--batch B] [--smoke] \
+         [--trace-dir DIR] [--monitor]"
     );
     std::process::exit(2)
 }
@@ -72,6 +121,8 @@ fn parse_args() -> Args {
         batch: 4,
         smoke: false,
         out: None,
+        trace_dir: None,
+        monitor: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -92,6 +143,8 @@ fn parse_args() -> Args {
             "--batch" => args.batch = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--smoke" => args.smoke = true,
             "--out" => args.out = Some(value(&mut i)),
+            "--trace-dir" => args.trace_dir = Some(value(&mut i)),
+            "--monitor" => args.monitor = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -119,11 +172,167 @@ fn build_model() -> Sequential {
     deep_mlp(8, 24, 8, 3, 5)
 }
 
+/// Rank 0's telemetry pump: drains this process's recorder into the shared
+/// collector state (clock model = identity — the collector clock *is* rank
+/// 0's recorder) and, with `--monitor`, prints the live dashboard.
+struct LocalPump {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LocalPump {
+    fn spawn(rec: Arc<Recorder>, state: Arc<Mutex<CollectorState>>, monitor: bool) -> LocalPump {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("spdkfac-telemetry-pump".into())
+            .spawn(move || {
+                let mut cursor = rec.flush_cursor();
+                let mut last_monitor = Instant::now();
+                loop {
+                    let done = stop2.load(Ordering::SeqCst);
+                    let spans = rec.flush_since(&mut cursor);
+                    let now = rec.now();
+                    {
+                        let mut st = state.lock().expect("collector state");
+                        st.hello(0);
+                        st.ingest(0, ClockModel::identity(), rec.dropped(), spans, now);
+                        if done {
+                            st.bye(0);
+                        }
+                    }
+                    if done {
+                        // Always leave one final dashboard behind — short
+                        // runs can finish inside the first refresh period.
+                        if monitor {
+                            let text = state
+                                .lock()
+                                .expect("collector state")
+                                .monitor_text(rec.now());
+                            eprintln!("{text}");
+                        }
+                        return;
+                    }
+                    if monitor && last_monitor.elapsed() >= MONITOR_INTERVAL {
+                        last_monitor = Instant::now();
+                        let text = state
+                            .lock()
+                            .expect("collector state")
+                            .monitor_text(rec.now());
+                        eprintln!("{text}");
+                    }
+                    std::thread::sleep(PUMP_INTERVAL);
+                }
+            })
+            .expect("spawn telemetry pump");
+        LocalPump {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn finish(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Rank 0 post-run: waits for every rank's final flush, merges, writes
+/// artifacts, and enforces the coverage + causal-consistency gates.
+fn finalize_telemetry(args: &Args, world: usize, server: TelemetryServer) -> Result<(), String> {
+    let state = server.state();
+    let deadline = Instant::now() + DRAIN_TIMEOUT;
+    while Instant::now() < deadline {
+        if state.lock().expect("collector state").all_done() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (merged, max_unc, remote_dropped, evicted, all_done) = {
+        let st = state.lock().expect("collector state");
+        (
+            st.merged_spans(),
+            st.max_uncertainty(),
+            st.remote_dropped(),
+            st.evicted(),
+            st.all_done(),
+        )
+    };
+    server.shutdown();
+    if !all_done {
+        eprintln!("telemetry warning: some ranks never sent Bye; the merged trace may be partial");
+    }
+    if merged.is_empty() {
+        return Err("telemetry produced no spans to merge".into());
+    }
+
+    let map = RankMap::trainer(world);
+    let report = CriticalReport::from_spans(&merged, map.clone());
+    let coverage = if report.wall() > 0.0 {
+        report.path_total() / report.wall()
+    } else {
+        0.0
+    };
+    // Rebasing error bounds are per rank; a cross-rank comparison can be
+    // off by both ends' bounds, plus a floor for scheduling noise.
+    let tol = (2.0 * max_unc).max(EDGE_TOL_FLOOR);
+    let violations = comm_edge_violations(&merged, &map, tol);
+    eprintln!(
+        "telemetry: merged {} spans across {world} ranks, critical-path coverage {:.1}%, \
+         clock tolerance {:.0}us, remote drops {remote_dropped}, window evictions {evicted}",
+        merged.len(),
+        100.0 * coverage,
+        tol * 1e6,
+    );
+
+    if let Some(dir) = &args.trace_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+        let write = |name: &str, body: String| -> Result<(), String> {
+            let path = format!("{dir}/{name}");
+            std::fs::write(&path, body).map_err(|e| format!("write {path}: {e}"))
+        };
+        let layout = TrackLayout::trainer(world);
+        write(
+            "merged_trace.json",
+            report.highlighted_trace(&merged, &layout),
+        )?;
+        write("critical_path.json", report.to_json())?;
+        write("critical_path.txt", report.render_text())?;
+        eprintln!("telemetry: artifacts written to {dir}/");
+    }
+
+    if !violations.is_empty() {
+        for v in violations.iter().take(5) {
+            eprintln!("telemetry: causal violation: {v}");
+        }
+        return Err(format!(
+            "{} cross-rank comm edge(s) inconsistent after clock rebasing",
+            violations.len()
+        ));
+    }
+    if coverage < COVERAGE_MIN {
+        return Err(format!(
+            "merged critical-path coverage {:.1}% is below the {:.0}% gate",
+            100.0 * coverage,
+            100.0 * COVERAGE_MIN
+        ));
+    }
+    Ok(())
+}
+
 /// Joins the TCP group as one rank and runs the training loop.
 fn run_rank(args: &Args) -> Result<RunResult, String> {
     let world = args.world;
     if world == 0 || args.rendezvous.is_empty() {
         usage();
+    }
+    let telemetry_on = args.trace_dir.is_some() || args.monitor;
+    if telemetry_on && args.rank.is_none() {
+        return Err(
+            "--trace-dir/--monitor require an explicit --rank (rank 0 hosts the collector)".into(),
+        );
     }
     let mut tcp = TcpConfig::new(args.rendezvous.clone());
     if let Some(rank) = args.rank {
@@ -132,13 +341,53 @@ fn run_rank(args: &Args) -> Result<RunResult, String> {
     if args.external_rendezvous {
         tcp.host_rendezvous = false;
     }
-    let comm = CommGroup::builder()
+
+    // The recorder's epoch is this process's telemetry clock; 2 * world
+    // tracks (compute r, comm world + r) — this rank uses only its own two,
+    // so the rank-0 merge is track-disjoint by construction.
+    let rec = telemetry_on.then(|| Arc::new(Recorder::new(2 * world)));
+    // Rank 0 binds the collector *before* joining so its address can ride
+    // the rendezvous aux table.
+    let mut server = None;
+    if let (Some(rec), Some(0)) = (&rec, args.rank) {
+        let bind_ip = tcp.bind_ip.clone();
+        let srv = TelemetryServer::spawn(&bind_ip, world, Arc::clone(rec))
+            .map_err(|e| format!("bind telemetry collector: {e}"))?;
+        tcp.aux_addr = Some(srv.local_addr().to_string());
+        server = Some(srv);
+    }
+
+    let group = CommGroup::builder()
         .world_size(world)
         .backend(Backend::Tcp(tcp))
         .build()
-        .map_err(|e| format!("failed to join TCP group: {e}"))?
-        .into_single();
+        .map_err(|e| format!("failed to join TCP group: {e}"))?;
+    let aux_addrs = group.aux_addrs().to_vec();
+    let comm = group.into_single();
     let rank = comm.rank();
+
+    let mut streamer = None;
+    let mut pump = None;
+    if let Some(rec) = &rec {
+        if rank == 0 {
+            let srv = server.as_ref().expect("rank 0 binds the collector");
+            pump = Some(LocalPump::spawn(Arc::clone(rec), srv.state(), args.monitor));
+        } else {
+            let collector = aux_addrs.first().cloned().unwrap_or_default();
+            if collector.is_empty() {
+                return Err(
+                    "telemetry requested but rank 0 advertised no collector address \
+                     (pass --trace-dir/--monitor to every rank)"
+                        .into(),
+                );
+            }
+            streamer = Some(
+                SpanStreamer::spawn(&collector, rank, world, Arc::clone(rec))
+                    .map_err(|e| format!("connect telemetry collector {collector}: {e}"))?,
+            );
+        }
+    }
+
     let (cfg, data) = workload(world);
     let result = train_worker(
         &cfg,
@@ -147,8 +396,19 @@ fn run_rank(args: &Args) -> Result<RunResult, String> {
         args.iters,
         args.batch,
         comm,
-        None,
+        rec.clone(),
     );
+
+    if let Some(s) = streamer {
+        s.finish()
+            .map_err(|e| format!("telemetry stream shutdown: {e}"))?;
+    }
+    if let Some(p) = pump {
+        p.finish();
+    }
+    if let Some(srv) = server {
+        finalize_telemetry(args, world, srv)?;
+    }
     eprintln!(
         "rank {rank}/{world}: {} iterations done, final loss {:.6}",
         args.iters,
@@ -195,6 +455,12 @@ fn spawn_local(args: &Args, world: usize) -> Result<Vec<f64>, String> {
             .arg(args.iters.to_string())
             .arg("--batch")
             .arg(args.batch.to_string());
+        if let Some(dir) = &args.trace_dir {
+            cmd.arg("--trace-dir").arg(dir);
+        }
+        if args.monitor {
+            cmd.arg("--monitor");
+        }
         if rank == 0 {
             cmd.arg("--out").arg(&out_str);
         }
@@ -218,6 +484,62 @@ fn spawn_local(args: &Args, world: usize) -> Result<Vec<f64>, String> {
     Ok(losses)
 }
 
+/// Parent-side validation of the rank-0 telemetry artifacts: both JSON
+/// files parse, the critical-path report carries the expected schema and
+/// every rank, and the coverage gate holds here too (belt and braces —
+/// rank 0 already enforced it).
+fn check_artifacts(dir: &str, world: usize) -> Result<(), String> {
+    let read = |name: &str| -> Result<String, String> {
+        std::fs::read_to_string(format!("{dir}/{name}"))
+            .map_err(|e| format!("telemetry artifact {dir}/{name}: {e}"))
+    };
+    let trace = read("merged_trace.json")?;
+    parse_json(&trace).map_err(|e| format!("merged_trace.json is not valid JSON: {e}"))?;
+
+    let crit = read("critical_path.json")?;
+    let crit = parse_json(&crit).map_err(|e| format!("critical_path.json: {e}"))?;
+    let JsonValue::Object(fields) = &crit else {
+        return Err("critical_path.json: not an object".into());
+    };
+    let get = |k: &str| -> Result<&JsonValue, String> {
+        fields
+            .iter()
+            .find(|(name, _)| name == k)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("critical_path.json: missing {k:?}"))
+    };
+    match get("schema")? {
+        JsonValue::String(s) if s == "spdkfac-critical-path-v1" => {}
+        other => return Err(format!("critical_path.json: bad schema {other:?}")),
+    }
+    let (JsonValue::Number(wall), JsonValue::Number(path)) = (get("wall_s")?, get("path_s")?)
+    else {
+        return Err("critical_path.json: wall_s/path_s not numbers".into());
+    };
+    if *wall <= 0.0 || path / wall < COVERAGE_MIN {
+        return Err(format!(
+            "critical_path.json: coverage {:.1}% below {:.0}%",
+            100.0 * path / wall.max(f64::MIN_POSITIVE),
+            100.0 * COVERAGE_MIN
+        ));
+    }
+    let JsonValue::Array(ranks) = get("ranks")? else {
+        return Err("critical_path.json: ranks not an array".into());
+    };
+    if ranks.len() != world {
+        return Err(format!(
+            "critical_path.json: {} rank attributions, expected {world}",
+            ranks.len()
+        ));
+    }
+    println!(
+        "telemetry artifacts OK: merged trace + critical path cover all {world} ranks \
+         (coverage {:.1}%)",
+        100.0 * path / wall
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
 
@@ -235,6 +557,12 @@ fn main() -> ExitCode {
         println!("{:>5} {:>22}", "iter", "loss (TCP, P procs)");
         for (i, l) in tcp_losses.iter().enumerate() {
             println!("{i:>5} {l:>22.15}");
+        }
+        if let Some(dir) = &args.trace_dir {
+            if let Err(e) = check_artifacts(dir, world) {
+                eprintln!("FAIL: {e}");
+                return ExitCode::FAILURE;
+            }
         }
         if !args.smoke {
             return ExitCode::SUCCESS;

@@ -528,15 +528,20 @@ impl CommGroupBuilder {
                     .enumerate()
                     .map(|(rank, t)| spawn_comm(rank, world, Box::new(t), Arc::clone(&stats)))
                     .collect();
-                Ok(CommGroup { world, endpoints })
+                Ok(CommGroup {
+                    world,
+                    endpoints,
+                    aux_addrs: vec![String::new(); world],
+                })
             }
             Backend::Tcp(cfg) => {
-                let (rank, transport) = tcp::connect(&cfg, world)?;
+                let join = tcp::connect(&cfg, world)?;
                 let stats = Arc::new(TrafficStats::new());
-                let comm = spawn_comm(rank, world, transport, stats);
+                let comm = spawn_comm(join.rank, world, join.transport, stats);
                 Ok(CommGroup {
                     world,
                     endpoints: vec![comm],
+                    aux_addrs: join.aux_addrs,
                 })
             }
         }
@@ -552,6 +557,7 @@ impl CommGroupBuilder {
 pub struct CommGroup {
     world: usize,
     endpoints: Vec<WorkerComm>,
+    aux_addrs: Vec<String>,
 }
 
 impl CommGroup {
@@ -568,6 +574,14 @@ impl CommGroup {
     /// number of endpoints this process holds).
     pub fn world_size(&self) -> usize {
         self.world
+    }
+
+    /// The rendezvous-distributed auxiliary address table (rank-indexed;
+    /// empty string = nothing advertised). On the TCP backend this is how
+    /// every rank learns rank 0's telemetry collector address; the local
+    /// backend has no rendezvous, so all entries are empty.
+    pub fn aux_addrs(&self) -> &[String] {
+        &self.aux_addrs
     }
 
     /// Consumes the group, yielding the endpoints this process holds in
@@ -707,10 +721,13 @@ impl CommTelemetry {
     }
 }
 
-/// Runs one collective on the ring, replying to the submitter with its
-/// result; returns the error too when the transport failed (so the comm
-/// thread can poison itself).
-fn execute(ring: &mut RingEndpoint, op: CollOp) -> Result<(), CommError> {
+/// Runs one collective on the ring, returning the submitter's reply
+/// channel and the un-sent result. The caller sends the reply *after*
+/// recording the telemetry span — a waiter resumed by the reply may
+/// immediately flush the recorder (e.g. a final telemetry flush right
+/// after a barrier), and the span of the op that woke it must already be
+/// there.
+fn execute(ring: &mut RingEndpoint, op: CollOp) -> (Sender<OpResult>, OpResult) {
     let rank = ring.rank;
     let (reply, out) = match op {
         CollOp::AllReduceSum { mut data, reply } => {
@@ -774,16 +791,15 @@ fn execute(ring: &mut RingEndpoint, op: CollOp) -> Result<(), CommError> {
             )
         }
     };
-    let failure = out.as_ref().err().cloned();
-    let _ = reply.send(out);
-    match failure {
-        Some(e) => Err(e),
-        None => Ok(()),
-    }
+    (reply, out)
 }
 
 fn comm_thread_main(mut ring: RingEndpoint, req_rx: Receiver<Request>) {
     let mut telemetry: Option<CommTelemetry> = None;
+    // Straggler fault injection (SPDKFAC_INJECT_DELAY): stretches this
+    // rank's matching collectives so peers — and the telemetry pipeline —
+    // observe a genuinely late completion.
+    let inject = crate::transport::DelayInjection::from_env();
     // First transport failure observed; once set, the ring is broken and
     // every further op fails fast without touching the transport.
     let mut poison: Option<CommError> = None;
@@ -803,19 +819,35 @@ fn comm_thread_main(mut ring: RingEndpoint, req_rx: Receiver<Request>) {
                 let kind = op.kind();
                 let elements = op.elements();
                 let edge = op.edge();
-                let outcome = match &mut telemetry {
+                let mult = inject
+                    .as_ref()
+                    .map(|d| d.multiplier(ring.rank, kind))
+                    .unwrap_or(1.0);
+                let stretch = |busy: f64| {
+                    if mult > 1.0 && busy > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(busy * (mult - 1.0)));
+                    }
+                };
+                let (reply, out) = match &mut telemetry {
                     Some(t) => {
                         let start = t.rec.now();
-                        let outcome = execute(&mut ring, op);
+                        let (reply, out) = execute(&mut ring, op);
+                        stretch(t.rec.now() - start);
                         let end = t.rec.now();
                         t.record(kind, elements, edge, phase, generation, start, end);
-                        outcome
+                        (reply, out)
                     }
-                    None => execute(&mut ring, op),
+                    None => {
+                        let start = std::time::Instant::now();
+                        let (reply, out) = execute(&mut ring, op);
+                        stretch(start.elapsed().as_secs_f64());
+                        (reply, out)
+                    }
                 };
-                if let Err(e) = outcome {
-                    poison = Some(e);
+                if let Some(e) = out.as_ref().err() {
+                    poison = Some(e.clone());
                 }
+                let _ = reply.send(out);
             }
             Request::SetRecorder { rec, track } => {
                 telemetry = Some(CommTelemetry::new(rec, track));

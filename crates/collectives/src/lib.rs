@@ -71,6 +71,7 @@ pub mod group;
 pub mod ring;
 pub mod stats;
 pub mod tcp;
+pub mod telemetry;
 pub mod transport;
 
 #[allow(deprecated)]
@@ -79,5 +80,6 @@ pub use group::{Backend, CommGroup, CommGroupBuilder, OpOutput, OpResult, Pendin
 
 pub use error::CommError;
 pub use stats::{OpKind, TrafficStats};
-pub use tcp::TcpConfig;
-pub use transport::Transport;
+pub use tcp::{TcpConfig, TcpJoin};
+pub use telemetry::{SpanStreamer, TelemetryClient, TelemetryServer};
+pub use transport::{DelayInjection, Transport};

@@ -28,13 +28,16 @@
 //!
 //! 1. client → server: `HELLO_MAGIC: u64`, `proposed_rank: i64` (`-1` =
 //!    assign for me), `addr_len: u32`, `addr_len` UTF-8 bytes of the
-//!    client's ring listener address (`ip:port`).
+//!    client's ring listener address (`ip:port`), then one more
+//!    length-prefixed string: the client's **auxiliary service address**
+//!    (empty = none; rank 0 advertises its telemetry collector here).
 //! 2. Server waits until exactly `world` clients registered, assigns ranks
 //!    (explicit claims win, duplicates are an error; unclaimed slots fill
 //!    in arrival order), then answers every client:
 //!    server → client: `ASSIGN_MAGIC: u64`, `rank: u32`, `world: u32`,
 //!    then `world` × (`addr_len: u32` + bytes) — the ring listener
-//!    addresses in rank order.
+//!    addresses in rank order — then `world` × length-prefixed strings:
+//!    the auxiliary addresses in rank order.
 //! 3. Each rank dials its **right** neighbour's listener (connect retried
 //!    with exponential backoff — peers may still be starting), writes an
 //!    8-byte rank handshake, and accepts exactly one connection from its
@@ -83,6 +86,10 @@ pub struct TcpConfig {
     pub read_timeout: Option<Duration>,
     /// Socket write timeout for ring frames; `None` blocks forever.
     pub write_timeout: Option<Duration>,
+    /// Auxiliary service address advertised through the rendezvous (e.g.
+    /// rank 0's telemetry collector). Every member learns the whole aux
+    /// table from the assignment reply ([`TcpJoin::aux_addrs`]).
+    pub aux_addr: Option<String>,
 }
 
 impl TcpConfig {
@@ -100,6 +107,7 @@ impl TcpConfig {
             handshake_timeout: Duration::from_secs(30),
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
+            aux_addr: None,
         }
     }
 
@@ -212,7 +220,8 @@ impl RendezvousServer {
     /// per-client timeout.
     pub fn serve(self) -> Result<Vec<String>, CommError> {
         let world = self.world;
-        let mut clients: Vec<(TcpStream, Option<usize>, String)> = Vec::with_capacity(world);
+        let mut clients: Vec<(TcpStream, Option<usize>, String, String)> =
+            Vec::with_capacity(world);
         for _ in 0..world {
             let (stream, peer) = self
                 .listener
@@ -231,6 +240,7 @@ impl RendezvousServer {
             }
             let proposed = read_u64(&mut stream).map_err(|e| CommError::from_io(&ctx, e))? as i64;
             let addr = read_str(&mut stream).map_err(|e| CommError::from_io(&ctx, e))?;
+            let aux = read_str(&mut stream).map_err(|e| CommError::from_io(&ctx, e))?;
             let claim = if proposed < 0 {
                 None
             } else if (proposed as usize) < world {
@@ -240,13 +250,13 @@ impl RendezvousServer {
                     "{ctx}: rank {proposed} out of range for world {world}"
                 )));
             };
-            clients.push((stream, claim, addr));
+            clients.push((stream, claim, addr, aux));
         }
         // Assign ranks: explicit claims first, then fill free slots in
         // arrival order.
         let mut taken = vec![false; world];
         let mut ranks = vec![usize::MAX; world]; // client index -> rank
-        for (i, (_, claim, _)) in clients.iter().enumerate() {
+        for (i, (_, claim, _, _)) in clients.iter().enumerate() {
             if let Some(r) = claim {
                 if taken[*r] {
                     return Err(CommError::Rendezvous(format!(
@@ -258,22 +268,27 @@ impl RendezvousServer {
             }
         }
         let mut free = (0..world).filter(|&r| !taken[r]);
-        for (i, (_, claim, _)) in clients.iter().enumerate() {
+        for (i, (_, claim, _, _)) in clients.iter().enumerate() {
             if claim.is_none() {
                 ranks[i] = free.next().expect("free slot per unclaimed member");
             }
         }
         let mut peers = vec![String::new(); world];
-        for (i, (_, _, addr)) in clients.iter().enumerate() {
+        let mut auxes = vec![String::new(); world];
+        for (i, (_, _, addr, aux)) in clients.iter().enumerate() {
             peers[ranks[i]] = addr.clone();
+            auxes[ranks[i]] = aux.clone();
         }
-        for (i, (stream, _, _)) in clients.iter_mut().enumerate() {
+        for (i, (stream, _, _, _)) in clients.iter_mut().enumerate() {
             let ctx = "rendezvous assignment reply";
             write_u64(stream, ASSIGN_MAGIC).map_err(|e| CommError::from_io(ctx, e))?;
             write_u32(stream, ranks[i] as u32).map_err(|e| CommError::from_io(ctx, e))?;
             write_u32(stream, world as u32).map_err(|e| CommError::from_io(ctx, e))?;
             for p in &peers {
                 write_str(stream, p).map_err(|e| CommError::from_io(ctx, e))?;
+            }
+            for a in &auxes {
+                write_str(stream, a).map_err(|e| CommError::from_io(ctx, e))?;
             }
             stream.flush().map_err(|e| CommError::from_io(ctx, e))?;
         }
@@ -389,17 +404,32 @@ impl Transport for TcpTransport {
     }
 }
 
+/// The result of joining a TCP group: the assigned rank, the connected
+/// ring transport, and the rendezvous-distributed auxiliary address table
+/// (rank-indexed; empty string = that rank advertised nothing).
+#[derive(Debug)]
+pub struct TcpJoin {
+    /// The rank the rendezvous assigned (or confirmed).
+    pub rank: usize,
+    /// The connected ring transport.
+    pub transport: Box<dyn Transport>,
+    /// Per-rank auxiliary service addresses ([`TcpConfig::aux_addr`]);
+    /// `aux_addrs[0]` is where rank 0's telemetry collector listens.
+    pub aux_addrs: Vec<String>,
+}
+
 /// Joins a `world`-rank TCP group: hosts/dials the rendezvous, exchanges
 /// listener addresses, and wires up the ring neighbours. Returns the
-/// assigned rank and the connected transport (`world == 1` short-circuits
-/// to a loopback with no sockets).
-pub fn connect(cfg: &TcpConfig, world: usize) -> Result<(usize, Box<dyn Transport>), CommError> {
+/// assigned rank, the connected transport, and the aux-address table
+/// (`world == 1` short-circuits to a loopback with no sockets).
+pub fn connect(cfg: &TcpConfig, world: usize) -> Result<TcpJoin, CommError> {
     assert!(world > 0, "tcp::connect: zero-rank group");
     if world == 1 {
-        return Ok((
-            cfg.rank.unwrap_or(0),
-            Box::new(crate::transport::LoopbackTransport::default()),
-        ));
+        return Ok(TcpJoin {
+            rank: cfg.rank.unwrap_or(0),
+            transport: Box::new(crate::transport::LoopbackTransport::default()),
+            aux_addrs: vec![cfg.aux_addr.clone().unwrap_or_default()],
+        });
     }
     let deadline = Instant::now() + cfg.handshake_timeout;
     if cfg.host_rendezvous {
@@ -423,6 +453,8 @@ pub fn connect(cfg: &TcpConfig, world: usize) -> Result<(usize, Box<dyn Transpor
     let proposed = cfg.rank.map(|r| r as i64).unwrap_or(-1);
     write_u64(&mut rdv, proposed as u64).map_err(|e| CommError::from_io(reg, e))?;
     write_str(&mut rdv, &my_addr).map_err(|e| CommError::from_io(reg, e))?;
+    write_str(&mut rdv, cfg.aux_addr.as_deref().unwrap_or(""))
+        .map_err(|e| CommError::from_io(reg, e))?;
     rdv.flush().map_err(|e| CommError::from_io(reg, e))?;
     let asn = "rendezvous assignment";
     let magic = read_u64(&mut rdv).map_err(|e| CommError::from_io(asn, e))?;
@@ -449,6 +481,10 @@ pub fn connect(cfg: &TcpConfig, world: usize) -> Result<(usize, Box<dyn Transpor
     for _ in 0..world {
         peers.push(read_str(&mut rdv).map_err(|e| CommError::from_io(asn, e))?);
     }
+    let mut aux_addrs = Vec::with_capacity(world);
+    for _ in 0..world {
+        aux_addrs.push(read_str(&mut rdv).map_err(|e| CommError::from_io(asn, e))?);
+    }
     drop(rdv);
 
     // Dial right, accept left, exchange 8-byte rank handshakes.
@@ -474,13 +510,14 @@ pub fn connect(cfg: &TcpConfig, world: usize) -> Result<(usize, Box<dyn Transpor
         .map_err(|e| CommError::from_io("set write timeout", e))?;
     left.set_read_timeout(cfg.read_timeout)
         .map_err(|e| CommError::from_io("set read timeout", e))?;
-    Ok((
+    Ok(TcpJoin {
         rank,
-        Box::new(TcpTransport {
+        transport: Box::new(TcpTransport {
             to_right: BufWriter::new(right),
             from_left: BufReader::new(left),
         }),
-    ))
+        aux_addrs,
+    })
 }
 
 #[cfg(test)]
@@ -542,33 +579,41 @@ mod tests {
         // Register sequentially (the server reads each registration as it
         // accepts, so arrival order is the connect order), then read the
         // replies — the server only replies once the whole group is present.
-        let register = |proposed: i64, my: &str| -> TcpStream {
+        let register = |proposed: i64, my: &str, aux: &str| -> TcpStream {
             let mut s = TcpStream::connect(addr).unwrap();
             write_u64(&mut s, HELLO_MAGIC).unwrap();
             write_u64(&mut s, proposed as u64).unwrap();
             write_str(&mut s, my).unwrap();
+            write_str(&mut s, aux).unwrap();
             s.flush().unwrap();
             s
         };
-        let assignment = |mut s: TcpStream| -> (usize, Vec<String>) {
+        let assignment = |mut s: TcpStream| -> (usize, Vec<String>, Vec<String>) {
             assert_eq!(read_u64(&mut s).unwrap(), ASSIGN_MAGIC);
             let rank = read_u32(&mut s).unwrap() as usize;
             let world = read_u32(&mut s).unwrap() as usize;
             let peers = (0..world).map(|_| read_str(&mut s).unwrap()).collect();
-            (rank, peers)
+            let auxes = (0..world).map(|_| read_str(&mut s).unwrap()).collect();
+            (rank, peers, auxes)
         };
         // Claim rank 2 explicitly; the other two auto-assign to 0 and 1 in
-        // arrival order.
-        let sc = register(2, "c:2");
-        let sa = register(-1, "a:1");
-        let sb = register(-1, "b:1");
-        let (r2, _) = assignment(sc);
+        // arrival order. The first arrival (assigned rank 0) advertises a
+        // telemetry address; everyone must see it at slot 0.
+        let sc = register(2, "c:2", "");
+        let sa = register(-1, "a:1", "telemetry:9");
+        let sb = register(-1, "b:1", "");
+        let (r2, _, aux2) = assignment(sc);
         assert_eq!(r2, 2);
-        let (ra, _) = assignment(sa);
+        assert_eq!(
+            aux2,
+            vec!["telemetry:9".to_string(), String::new(), String::new()]
+        );
+        let (ra, _, _) = assignment(sa);
         assert_eq!(ra, 0);
-        let (rb, peers) = assignment(sb);
+        let (rb, peers, auxes) = assignment(sb);
         assert_eq!(rb, 1);
         assert_eq!(peers, vec!["a:1".to_string(), "b:1".into(), "c:2".into()]);
+        assert_eq!(auxes[0], "telemetry:9");
         let served = serve.join().unwrap().unwrap();
         assert_eq!(served.len(), 3);
     }
@@ -581,7 +626,8 @@ mod tests {
         let addr1 = addr.clone();
         let peer = std::thread::spawn(move || {
             let cfg = TcpConfig::new(addr1);
-            let (rank, mut t) = connect(&cfg, 2).unwrap();
+            let join = connect(&cfg, 2).unwrap();
+            let (rank, mut t) = (join.rank, join.transport);
             // Echo service: receive one frame, send one frame.
             let got = t.recv().unwrap();
             t.send(RingMsg {
@@ -591,8 +637,13 @@ mod tests {
             .unwrap();
             rank
         });
-        let cfg = TcpConfig::new(addr);
-        let (rank, mut t) = connect(&cfg, 2).unwrap();
+        let mut cfg = TcpConfig::new(addr);
+        cfg.aux_addr = Some("me:1234".into());
+        let join = connect(&cfg, 2).unwrap();
+        let (rank, mut t) = (join.rank, join.transport);
+        // The aux table is rank-indexed and carries this member's entry.
+        assert_eq!(join.aux_addrs.len(), 2);
+        assert_eq!(join.aux_addrs[rank], "me:1234");
         t.send(RingMsg {
             origin: rank,
             data: vec![1.0, 2.0],
@@ -608,8 +659,9 @@ mod tests {
     #[test]
     fn world_one_needs_no_sockets() {
         let cfg = TcpConfig::new("127.0.0.1:1"); // never dialled
-        let (rank, t) = connect(&cfg, 1).unwrap();
-        assert_eq!(rank, 0);
-        assert_eq!(t.kind(), "loopback");
+        let join = connect(&cfg, 1).unwrap();
+        assert_eq!(join.rank, 0);
+        assert_eq!(join.transport.kind(), "loopback");
+        assert_eq!(join.aux_addrs, vec![String::new()]);
     }
 }

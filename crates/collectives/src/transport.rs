@@ -21,6 +21,7 @@
 
 use crate::error::CommError;
 use crate::ring::RingMsg;
+use crate::stats::OpKind;
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 
@@ -131,6 +132,115 @@ impl Transport for LoopbackTransport {
     }
 }
 
+/// Environment variable holding a [`DelayInjection`] spec.
+pub const INJECT_DELAY_ENV: &str = "SPDKFAC_INJECT_DELAY";
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct DelayRule {
+    /// `None` = any rank (`*`).
+    rank: Option<usize>,
+    /// `None` = any op kind (`*`).
+    op: Option<OpKind>,
+    mult: f64,
+}
+
+/// Fault-injection knob for straggler experiments: slows selected ranks'
+/// collectives by a multiplier, so a real multi-rank run can demonstrate
+/// straggler detection (live-monitor drift/exposed flags) and OnDrift
+/// re-planning end-to-end.
+///
+/// Spec grammar (env `SPDKFAC_INJECT_DELAY` or [`DelayInjection::parse`]):
+/// comma-separated `rank:op:multiplier` rules, `*` wildcards for rank and
+/// op, op names as in [`OpKind::name`] (`allreduce`, `broadcast`,
+/// `reducescatter`, `allgather`, `reduce`, `gather`). The **last**
+/// matching rule wins, so broad defaults can precede narrow overrides:
+///
+/// ```text
+/// SPDKFAC_INJECT_DELAY="*:*:1.0,2:allreduce:3.0"   # rank 2's all-reduces 3× slower
+/// SPDKFAC_INJECT_DELAY="1:*:2.5"                   # rank 1 slow on everything
+/// ```
+///
+/// The delay is applied on the communication thread *after* the collective
+/// executes (the measured busy time is stretched by `mult − 1`), so peers
+/// observe the straggler through genuinely later completion and the
+/// straggler's own spans show the stretched duration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DelayInjection {
+    rules: Vec<DelayRule>,
+}
+
+impl DelayInjection {
+    /// Reads the spec from `SPDKFAC_INJECT_DELAY`. `None` when unset or
+    /// empty; a malformed spec panics (fail fast — a silently ignored
+    /// injection would invalidate the experiment).
+    pub fn from_env() -> Option<DelayInjection> {
+        let spec = std::env::var(INJECT_DELAY_ENV).ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        match DelayInjection::parse(&spec) {
+            Ok(d) => Some(d),
+            Err(e) => panic!("invalid {INJECT_DELAY_ENV} spec {spec:?}: {e}"),
+        }
+    }
+
+    /// Parses a spec string (see the type docs for the grammar).
+    pub fn parse(spec: &str) -> Result<DelayInjection, String> {
+        let mut rules = Vec::new();
+        for rule in spec.split(',') {
+            let rule = rule.trim();
+            if rule.is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = rule.split(':').collect();
+            let [rank, op, mult] = parts[..] else {
+                return Err(format!("rule {rule:?} is not rank:op:multiplier"));
+            };
+            let rank = match rank {
+                "*" => None,
+                r => Some(r.parse::<usize>().map_err(|e| format!("rank {r:?}: {e}"))?),
+            };
+            let op = match op {
+                "*" => None,
+                name => Some(
+                    OpKind::ALL
+                        .iter()
+                        .copied()
+                        .find(|k| k.name() == name)
+                        .ok_or_else(|| format!("unknown op kind {name:?}"))?,
+                ),
+            };
+            let mult = mult
+                .parse::<f64>()
+                .map_err(|e| format!("multiplier {mult:?}: {e}"))?;
+            if !mult.is_finite() || mult < 1.0 {
+                return Err(format!("multiplier {mult} must be finite and >= 1"));
+            }
+            rules.push(DelayRule { rank, op, mult });
+        }
+        if rules.is_empty() {
+            return Err("empty spec".into());
+        }
+        Ok(DelayInjection { rules })
+    }
+
+    /// The slowdown for `rank` executing `op` (last matching rule wins;
+    /// 1.0 = no delay).
+    pub fn multiplier(&self, rank: usize, op: OpKind) -> f64 {
+        self.rules
+            .iter()
+            .rev()
+            .find(|r| r.rank.is_none_or(|rr| rr == rank) && r.op.is_none_or(|ro| ro == op))
+            .map(|r| r.mult)
+            .unwrap_or(1.0)
+    }
+
+    /// `true` when some op kind on `rank` is slowed.
+    pub fn affects(&self, rank: usize) -> bool {
+        OpKind::ALL.iter().any(|&k| self.multiplier(rank, k) > 1.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +282,28 @@ mod tests {
             Err(CommError::Disconnected(_))
         ));
         assert!(matches!(t0.recv(), Err(CommError::Disconnected(_))));
+    }
+
+    #[test]
+    fn delay_spec_parses_with_wildcards_and_last_match_wins() {
+        let d = DelayInjection::parse("*:*:1.0, 2:allreduce:3.0, 2:broadcast:2.0").unwrap();
+        assert_eq!(d.multiplier(2, OpKind::AllReduce), 3.0);
+        assert_eq!(d.multiplier(2, OpKind::Broadcast), 2.0);
+        assert_eq!(d.multiplier(2, OpKind::Gather), 1.0);
+        assert_eq!(d.multiplier(0, OpKind::AllReduce), 1.0);
+        assert!(d.affects(2));
+        assert!(!d.affects(0));
+
+        // Narrow rule first, broad override after: the broad one wins.
+        let d = DelayInjection::parse("1:allreduce:4.0,1:*:1.5").unwrap();
+        assert_eq!(d.multiplier(1, OpKind::AllReduce), 1.5);
+
+        assert!(DelayInjection::parse("").is_err());
+        assert!(DelayInjection::parse("1:allreduce").is_err());
+        assert!(DelayInjection::parse("x:*:2.0").is_err());
+        assert!(DelayInjection::parse("1:frobnicate:2.0").is_err());
+        assert!(DelayInjection::parse("1:*:0.5").is_err());
+        assert!(DelayInjection::parse("1:*:inf").is_err());
     }
 
     #[test]

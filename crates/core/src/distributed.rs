@@ -240,6 +240,15 @@ impl WorkerObs {
         self.span(phase).map(|g| g.sized(size))
     }
 
+    /// As [`WorkerObs::span`], with a display label. The per-iteration
+    /// update spans are labeled `iter<N>` so the live telemetry monitor
+    /// and merged traces have explicit iteration boundaries.
+    fn labeled_span(&self, phase: Phase, label: String) -> Option<SpanGuard<'_>> {
+        self.rec
+            .as_deref()
+            .map(|r| r.span_labeled(self.track, phase, label))
+    }
+
     /// Records one realized fused-message flush (satellite of §IV-A): the
     /// planned bucket counts are published as gauges once, but the bytes
     /// actually moved per flush are only known here. `pass` is `"a"` or
@@ -683,7 +692,7 @@ pub fn train_worker(
         }
 
         // ---------- Update -------------------------------------------------
-        let update_span = obs.span(Phase::Update);
+        let update_span = obs.labeled_span(Phase::Update, format!("iter{iter}"));
         if capture {
             let (mut directions, raw) = if cfg.algorithm == Algorithm::EkfacSpd {
                 build_ekfac_directions(

@@ -208,6 +208,12 @@ impl CausalGraph {
         self.groups.len()
     }
 
+    /// Iterates the matched collective groups as
+    /// `((generation, seq), member span indices)`, in key order.
+    pub fn groups(&self) -> impl Iterator<Item = ((u64, u64), &[usize])> {
+        self.groups.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+
     /// Member span indices of the collective group with plan generation
     /// `generation` and sequence `seq` (unstamped spans live in
     /// generation 0).

@@ -41,6 +41,7 @@
 
 pub mod breakdown;
 pub mod causal;
+pub mod collect;
 pub mod critical;
 pub mod json;
 pub mod metrics;
@@ -52,10 +53,14 @@ pub mod trace;
 
 pub use breakdown::{attribute, IterationBreakdown};
 pub use causal::{CausalGraph, RankMap};
+pub use collect::{
+    comm_edge_violations, read_frame, write_frame, Batch, ClockEstimator, ClockModel, ClockSample,
+    CollectorState, Frame,
+};
 pub use critical::{CriticalReport, RankAttribution};
 pub use json::{escape_json, escape_json_into, parse_json, validate_json, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use phase::Phase;
-pub use recorder::{CollEdge, Recorder, Span, SpanGuard, SpanMeta};
+pub use recorder::{CollEdge, FlushCursor, Recorder, Span, SpanGuard, SpanMeta};
 pub use table::Table;
 pub use trace::{chrome_trace, chrome_trace_with_flows, FlowArrow, TrackKind, TrackLayout};

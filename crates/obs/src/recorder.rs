@@ -252,6 +252,56 @@ impl Recorder {
         out
     }
 
+    /// Creates a flush cursor positioned at "nothing flushed yet".
+    ///
+    /// Pair with [`Recorder::flush_since`] for incremental, non-destructive
+    /// reads: telemetry streamers poll new spans without clearing the rings
+    /// (other consumers — the online calibrator, end-of-run exporters — keep
+    /// seeing the full window).
+    pub fn flush_cursor(&self) -> FlushCursor {
+        FlushCursor {
+            per_track: vec![f64::NEG_INFINITY; self.lanes.len()],
+        }
+    }
+
+    /// Returns every span that completed since the cursor's last flush and
+    /// advances the cursor, in the same `(track, start)` order as
+    /// [`Recorder::spans`].
+    ///
+    /// Each track is cut at its own watermark — the maximum *end* time
+    /// already flushed. Within a lane spans are recorded at their end time
+    /// by a single writer thread, so end times are non-decreasing in ring
+    /// order and the per-track watermark yields every span exactly once
+    /// (a global timestamp cut could miss a span whose recording was
+    /// delayed past the cut). Spans evicted by ring overflow between
+    /// flushes are simply absent; see [`Recorder::dropped`].
+    pub fn flush_since(&self, cursor: &mut FlushCursor) -> Vec<Span> {
+        let mut out = Vec::new();
+        for (track, lane) in self.lanes.iter().enumerate() {
+            let mark = cursor
+                .per_track
+                .get(track)
+                .copied()
+                .unwrap_or(f64::NEG_INFINITY);
+            let mut new_mark = mark;
+            for span in lane.lock().expect("recorder lane poisoned").ordered() {
+                if span.end > mark {
+                    new_mark = new_mark.max(span.end);
+                    out.push(span);
+                }
+            }
+            if let Some(m) = cursor.per_track.get_mut(track) {
+                *m = new_mark;
+            }
+        }
+        out.sort_by(|a, b| {
+            a.track
+                .cmp(&b.track)
+                .then_with(|| a.start.total_cmp(&b.start))
+        });
+        out
+    }
+
     /// Total spans dropped by ring overflow, across all tracks.
     pub fn dropped(&self) -> u64 {
         self.lanes
@@ -270,6 +320,13 @@ impl Recorder {
             l.dropped = 0;
         }
     }
+}
+
+/// Per-track high-water marks for incremental span flushing; see
+/// [`Recorder::flush_cursor`] / [`Recorder::flush_since`].
+#[derive(Debug, Clone)]
+pub struct FlushCursor {
+    per_track: Vec<f64>,
 }
 
 /// RAII timer: records a [`Span`] from construction to drop.
@@ -448,6 +505,55 @@ mod tests {
         rec.clear();
         assert_eq!(rec.spans().len(), 0);
         assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn flush_since_yields_each_span_exactly_once() {
+        let rec = Recorder::new(2);
+        let mut cur = rec.flush_cursor();
+        rec.record(raw(0, 0.0, 1.0));
+        rec.record(raw(1, 0.5, 1.5));
+        let first = rec.flush_since(&mut cur);
+        assert_eq!(first.len(), 2);
+        // No new spans: a second flush is empty.
+        assert!(rec.flush_since(&mut cur).is_empty());
+        // New spans after the watermark are picked up; old ones are not
+        // re-delivered even though spans() still holds them.
+        rec.record(raw(0, 2.0, 3.0));
+        let second = rec.flush_since(&mut cur);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].start, 2.0);
+        assert_eq!(rec.spans().len(), 3);
+    }
+
+    #[test]
+    fn flush_cursor_is_per_track() {
+        // A late span on track 1 with an earlier end than track 0's
+        // watermark must still be delivered (per-track cut, not global).
+        let rec = Recorder::new(2);
+        let mut cur = rec.flush_cursor();
+        rec.record(raw(0, 0.0, 10.0));
+        assert_eq!(rec.flush_since(&mut cur).len(), 1);
+        rec.record(raw(1, 0.0, 1.0));
+        let got = rec.flush_since(&mut cur);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].track, 1);
+    }
+
+    #[test]
+    fn flush_survives_ring_wraparound() {
+        let rec = Recorder::with_capacity(1, 4);
+        let mut cur = rec.flush_cursor();
+        rec.record(raw(0, 0.0, 1.0));
+        assert_eq!(rec.flush_since(&mut cur).len(), 1);
+        for i in 1..10 {
+            rec.record(raw(0, i as f64, i as f64 + 0.5));
+        }
+        // Only the surviving ring contents past the watermark arrive.
+        let got = rec.flush_since(&mut cur);
+        assert_eq!(got.len(), 4);
+        assert!(got.iter().all(|s| s.end > 1.0));
+        assert_eq!(rec.dropped(), 6);
     }
 
     #[test]

@@ -137,11 +137,15 @@ pub fn render_summary(rec: &Recorder, num_compute: usize) -> String {
 
 /// The phase table as CSV (raw seconds), sharing rows and per-rank columns
 /// with [`render_summary`]; pairs with `CriticalReport::rank_csv` for the
-/// `--csv` paths of the observability bins.
+/// `--csv` paths of the observability bins. A trailing `dropped_spans` row
+/// carries the recorder's ring-overflow count so downstream tooling can
+/// tell a complete export from a truncated one.
 pub fn render_summary_csv(rec: &Recorder, num_compute: usize) -> String {
     let spans = rec.spans();
     let breakdown = attribute(&spans, num_compute);
-    phase_table(&spans, &breakdown, rec.num_tracks(), num_compute, true).render_csv()
+    let mut t = phase_table(&spans, &breakdown, rec.num_tracks(), num_compute, true);
+    t.push_row(["dropped_spans".to_string(), rec.dropped().to_string()]);
+    t.render_csv()
 }
 
 /// Busy (union) seconds of communication activity, per the whole run —
@@ -281,6 +285,23 @@ mod tests {
         // rank0 attributed 1s of FF&BP, rank1 2s.
         assert!((cells[3].parse::<f64>().expect("num") - 1.0).abs() < 1e-9);
         assert!((cells[4].parse::<f64>().expect("num") - 2.0).abs() < 1e-9);
+        // Nothing dropped here — the counter row still surfaces the zero.
+        assert_eq!(
+            csv.lines().last().expect("dropped row"),
+            "dropped_spans,0,,,"
+        );
+    }
+
+    #[test]
+    fn csv_surfaces_nonzero_drop_counts() {
+        let rec = Recorder::with_capacity(2, 2);
+        for i in 0..5 {
+            rec.record(sp(0, Phase::FfBp, i as f64, i as f64 + 0.5));
+        }
+        assert!(rec.dropped() > 0);
+        let csv = render_summary_csv(&rec, 1);
+        let last = csv.lines().last().expect("dropped row");
+        assert_eq!(last, format!("dropped_spans,{},", rec.dropped()));
     }
 
     #[test]
