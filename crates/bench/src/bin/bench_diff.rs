@@ -16,6 +16,15 @@
 //! dimension grids are disjoint) passes instead of failing — the point of
 //! that mode is "the artifact is still the shape the tooling expects".
 //!
+//! Wire-format benchmarks are auto-detected: when either input carries the
+//! `spdkfac-bench-wire-v1` schema (as written by `bench_wire`), rows are
+//! joined on `(format|mode, world)` and the gated quantity is the mean
+//! per-rank per-iteration communication time `comm_s`, under the same
+//! ratio threshold. Here `--check` validates both files and skips the
+//! timing gate entirely: a smoke candidate shares every key with the
+//! committed full run but measures far fewer iterations over a noisy
+//! loopback, so its times are only schema-, not trend-, comparable.
+//!
 //! `--critical` switches to critical-path mode: both inputs must be
 //! `spdkfac-critical-path-v1` reports (as written by
 //! `obs_critical_path --json`). Per-rank compute / overlapped-comm /
@@ -46,6 +55,9 @@ const SCHEMA: &str = "spdkfac-bench-kernels-v1";
 
 /// Expected `schema` field of both inputs (`--critical` mode).
 const CRIT_SCHEMA: &str = "spdkfac-critical-path-v1";
+
+/// Auto-detected `schema` of `bench_wire` artifacts.
+const WIRE_SCHEMA: &str = "spdkfac-bench-wire-v1";
 
 /// Default regression threshold: candidate slower than `1.25 x` baseline.
 const DEFAULT_THRESHOLD: f64 = 1.25;
@@ -172,6 +184,55 @@ fn extract(doc: &JsonValue, name: &str) -> Result<KernelTimes, String> {
     Ok(out)
 }
 
+/// Validates the wire-bench schema and extracts
+/// `(format|mode, world) -> comm_s` into the kernel-times shape, so the
+/// generic ratio diff applies unchanged.
+fn extract_wire(doc: &JsonValue, name: &str) -> Result<KernelTimes, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("{name}: missing schema field"))?;
+    if schema != WIRE_SCHEMA {
+        return Err(format!(
+            "{name}: schema {schema:?}, expected {WIRE_SCHEMA:?}"
+        ));
+    }
+    let world = doc
+        .get("world")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("{name}: missing world field"))?;
+    let rows = doc
+        .get("rows")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{name}: missing rows array"))?;
+    let mut out = KernelTimes::new();
+    for (i, row) in rows.iter().enumerate() {
+        let format = row
+            .get("format")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{name}: rows[{i}] missing format"))?;
+        let mode = row
+            .get("mode")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{name}: rows[{i}] missing mode"))?;
+        let comm = row
+            .get("comm_s")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{name}: rows[{i}] missing comm_s"))?;
+        if !(comm.is_finite() && comm > 0.0) {
+            return Err(format!("{name}: rows[{i}] comm_s must be positive"));
+        }
+        // Wire bytes are part of the shape contract even though the gate
+        // is on time: a row that stops reporting them breaks downstream
+        // tooling, so `--check` should catch it here.
+        row.get("wire_bytes")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{name}: rows[{i}] missing wire_bytes"))?;
+        out.insert((format!("{format}|{mode}"), world as usize), comm);
+    }
+    Ok(out)
+}
+
 /// Per-rank share of wall time spent in each category, in category order
 /// `compute, overlapped, exposed, idle` (unitless fractions).
 type RankShares = BTreeMap<usize, [f64; 4]>;
@@ -233,10 +294,6 @@ fn load_doc(path: &str) -> Result<JsonValue, String> {
     parse_json(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn load(path: &str) -> Result<KernelTimes, String> {
-    extract(&load_doc(path)?, path)
-}
-
 fn load_critical(path: &str) -> Result<RankShares, String> {
     extract_critical(&load_doc(path)?, path)
 }
@@ -270,14 +327,25 @@ fn diff(baseline: &KernelTimes, candidate: &KernelTimes) -> Vec<DiffRow> {
         .collect()
 }
 
-/// Renders the diff table and returns the regressed rows.
-fn report(rows: &[DiffRow], threshold: f64) -> Vec<String> {
-    let mut t = Table::new(["kernel", "dim", "baseline", "candidate", "ratio", "status"]);
+/// Renders the diff table and returns the regressed rows. `labels` names
+/// the key columns: `["kernel", "dim"]` or `["row", "world"]`.
+fn report(rows: &[DiffRow], threshold: f64, labels: [&str; 2]) -> Vec<String> {
+    let mut t = Table::new([
+        labels[0],
+        labels[1],
+        "baseline",
+        "candidate",
+        "ratio",
+        "status",
+    ]);
     let mut regressed = Vec::new();
     for r in rows {
         let ratio = r.ratio();
         let status = if ratio > threshold {
-            regressed.push(format!("{} d={} ({:.2}x)", r.kernel, r.dim, ratio));
+            regressed.push(format!(
+                "{} {}={} ({:.2}x)",
+                r.kernel, labels[1], r.dim, ratio
+            ));
             "REGRESSED"
         } else if ratio < 1.0 / threshold {
             "improved"
@@ -542,12 +610,22 @@ fn run_critical(args: &Args) -> Result<ExitCode, String> {
     }
 }
 
+/// True when the parsed document carries the `bench_wire` schema.
+fn is_wire(doc: &JsonValue) -> bool {
+    doc.get("schema").and_then(JsonValue::as_str) == Some(WIRE_SCHEMA)
+}
+
 fn run(args: &Args) -> Result<ExitCode, String> {
     if args.critical {
         return run_critical(args);
     }
-    let baseline = load(args.baseline())?;
-    let candidate = load(args.candidate())?;
+    let base_doc = load_doc(args.baseline())?;
+    let cand_doc = load_doc(args.candidate())?;
+    if is_wire(&base_doc) || is_wire(&cand_doc) {
+        return run_wire(args, &base_doc, &cand_doc);
+    }
+    let baseline = extract(&base_doc, args.baseline())?;
+    let candidate = extract(&cand_doc, args.candidate())?;
     let rows = diff(&baseline, &candidate);
     if rows.is_empty() {
         if args.check {
@@ -562,9 +640,48 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             args.candidate()
         ));
     }
-    let regressed = report(&rows, args.threshold);
+    let regressed = report(&rows, args.threshold, ["kernel", "dim"]);
     println!(
         "{} row(s) compared, threshold {:.2}x, {} regression(s)",
+        rows.len(),
+        args.threshold,
+        regressed.len()
+    );
+    if regressed.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for r in &regressed {
+            eprintln!("regression: {r}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Wire-bench mode: both inputs must carry [`WIRE_SCHEMA`]. Under
+/// `--check` the files are validated and the timing gate is skipped (see
+/// the module doc for why smoke-vs-full times are not comparable).
+fn run_wire(args: &Args, base_doc: &JsonValue, cand_doc: &JsonValue) -> Result<ExitCode, String> {
+    let baseline = extract_wire(base_doc, args.baseline())?;
+    let candidate = extract_wire(cand_doc, args.candidate())?;
+    if args.check {
+        println!(
+            "bench_diff --check: wire schemas ok ({} baseline / {} candidate rows)",
+            baseline.len(),
+            candidate.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let rows = diff(&baseline, &candidate);
+    if rows.is_empty() {
+        return Err(format!(
+            "no overlapping (format|mode, world) rows between {} and {}",
+            args.baseline(),
+            args.candidate()
+        ));
+    }
+    let regressed = report(&rows, args.threshold, ["row", "world"]);
+    println!(
+        "{} wire row(s) compared on comm_s, threshold {:.2}x, {} regression(s)",
         rows.len(),
         args.threshold,
         regressed.len()
@@ -645,20 +762,20 @@ mod tests {
         let rows = diff(&times(1.0), &times(2.0));
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|r| (r.ratio() - 2.0).abs() < 1e-9));
-        let regressed = report(&rows, DEFAULT_THRESHOLD);
+        let regressed = report(&rows, DEFAULT_THRESHOLD, ["kernel", "dim"]);
         assert_eq!(regressed.len(), 3);
     }
 
     #[test]
     fn equal_snapshots_pass() {
         let rows = diff(&times(1.0), &times(1.0));
-        assert!(report(&rows, DEFAULT_THRESHOLD).is_empty());
+        assert!(report(&rows, DEFAULT_THRESHOLD, ["kernel", "dim"]).is_empty());
     }
 
     #[test]
     fn improvement_is_not_a_regression() {
         let rows = diff(&times(1.0), &times(0.4));
-        assert!(report(&rows, DEFAULT_THRESHOLD).is_empty());
+        assert!(report(&rows, DEFAULT_THRESHOLD, ["kernel", "dim"]).is_empty());
     }
 
     #[test]
@@ -817,5 +934,96 @@ mod tests {
         // the gate: 1.5 s -> 1.2 s is a 3pp idle rise).
         let better: Vec<RankShares> = [1.5, 1.35, 1.2].map(crit_shares).into_iter().collect();
         assert!(report_trend(&trend_critical(&better), DEFAULT_CRIT_THRESHOLD_PP).is_empty());
+    }
+
+    /// A minimal `bench_wire` artifact with every row's `comm_s` scaled.
+    fn wire_fixture(scale: f64) -> String {
+        let rows: Vec<String> = [("f64", 10e-3), ("f16", 4e-3)]
+            .iter()
+            .flat_map(|&(f, s)| {
+                ["raw", "paced"].map(|m| {
+                    format!(
+                        "{{\"format\": \"{f}\", \"mode\": \"{m}\", \"comm_s\": {:.9}, \
+                         \"total_s_per_iter\": 0.05, \"wire_bytes\": 1000, \
+                         \"logical_bytes\": 8000, \"final_loss\": 0.01, \
+                         \"loss_delta_vs_f64\": 0.0, \"speedup_vs_f64\": 1.0}}",
+                        s * scale
+                    )
+                })
+            })
+            .collect();
+        format!(
+            "{{\"schema\": \"{WIRE_SCHEMA}\", \"smoke\": true, \"world\": 4, \
+             \"iters\": 6, \"pace_gbps\": 0.2, \"rows\": [{}]}}",
+            rows.join(", ")
+        )
+    }
+
+    fn wire_times(scale: f64) -> KernelTimes {
+        extract_wire(
+            &parse_json(&wire_fixture(scale)).expect("fixture parses"),
+            "fixture",
+        )
+        .expect("fixture extracts")
+    }
+
+    #[test]
+    fn extract_wire_reads_rows_and_rejects_kernel_schema() {
+        let t = wire_times(1.0);
+        assert_eq!(t.len(), 4);
+        assert!((t[&("f16|paced".to_string(), 4)] - 4e-3).abs() < 1e-12);
+        // Kernel-schema files must not slip through the wire extractor
+        // (and the wire schema is what routes run() into wire mode).
+        let kernel = parse_json(&fixture(1.0)).expect("parses");
+        assert!(extract_wire(&kernel, "kernel").is_err());
+        assert!(!is_wire(&kernel));
+        assert!(is_wire(&parse_json(&wire_fixture(1.0)).expect("parses")));
+        // A row dropping wire_bytes breaks the shape contract.
+        let truncated = wire_fixture(1.0).replace("\"wire_bytes\": 1000, ", "");
+        assert!(extract_wire(&parse_json(&truncated).expect("parses"), "t").is_err());
+    }
+
+    #[test]
+    fn wire_comm_regression_trips_the_same_ratio_gate() {
+        let rows = diff(&wire_times(1.0), &wire_times(2.0));
+        assert_eq!(rows.len(), 4);
+        let regressed = report(&rows, DEFAULT_THRESHOLD, ["row", "world"]);
+        assert_eq!(regressed.len(), 4);
+        assert!(report(
+            &diff(&wire_times(1.0), &wire_times(1.0)),
+            DEFAULT_THRESHOLD,
+            ["row", "world"]
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn wire_check_skips_the_timing_gate() {
+        // Full-vs-smoke wire artifacts share every (format|mode, world)
+        // key, so unlike kernel mode the overlap is never empty — --check
+        // must pass on wildly different times and fail on schema damage.
+        let dir = std::env::temp_dir();
+        let base = dir.join("bench_diff_wire_check_base.json");
+        let cand = dir.join("bench_diff_wire_check_cand.json");
+        std::fs::write(&base, wire_fixture(1.0)).expect("write base");
+        std::fs::write(&cand, wire_fixture(10.0)).expect("write cand");
+        let argv = |check: bool| {
+            let mut v = vec![
+                base.to_string_lossy().into_owned(),
+                cand.to_string_lossy().into_owned(),
+            ];
+            if check {
+                v.push("--check".into());
+            }
+            parse_args(&v).expect("valid args")
+        };
+        assert_eq!(run(&argv(true)).expect("check runs"), ExitCode::SUCCESS);
+        // Without --check the 10x slowdown gates.
+        assert_eq!(run(&argv(false)).expect("diff runs"), ExitCode::FAILURE);
+        // Schema damage fails even under --check.
+        std::fs::write(&cand, wire_fixture(1.0).replace(WIRE_SCHEMA, "bogus")).expect("write");
+        assert!(run(&argv(true)).is_err());
+        let _ = std::fs::remove_file(&base);
+        let _ = std::fs::remove_file(&cand);
     }
 }

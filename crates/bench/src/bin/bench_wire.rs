@@ -1,0 +1,366 @@
+//! `bench_wire` — measured wire-format comparison on a real 4-rank TCP
+//! ring, producing `BENCH_wire.json` (schema `spdkfac-bench-wire-v1`).
+//!
+//! For each wire policy (`f64`, `f32`, `f16`, and a mixed
+//! top-k + f16 row) the full SPD-KFAC trainer runs over the TCP loopback
+//! backend (4 ranks as threads of this process, each holding its own
+//! socket pair — the exact wire path a 4-process run uses), once **raw**
+//! and once **paced**:
+//!
+//! - *raw*: loopback as-is. Codec CPU cost and syscall overhead dominate;
+//!   compression may or may not win.
+//! - *paced*: `SPDKFAC_PACE_GBPS` throttles every rank's sends to a
+//!   configurable line rate (default 1 Gbit/s), emulating a network where
+//!   bytes cost wall time. Here the measured per-iteration communication
+//!   time must scale with the *encoded* bytes — the acceptance gate
+//!   demands f16 beat f64 by at least [`SPEEDUP_GATE`]x.
+//!
+//! Per row the harness records the mean per-rank per-iteration
+//! communication wall time (summed comm-thread span durations off each
+//! rank's recorder, pacing sleeps and codec time included), the actual
+//! post-encoding wire bytes vs. the logical f64 bytes, and rank 0's loss
+//! trajectory. Lossy rows are gated against the same-mode f64 row's
+//! losses within [`LOSS_TOL`] ("matched loss"); the top-k row is recorded
+//! but not loss-gated (error feedback needs longer horizons than a bench
+//! run to amortize).
+//!
+//! ```text
+//! cargo run --release -p spdkfac-bench --bin bench_wire             # full, writes BENCH_wire.json
+//! cargo run --release -p spdkfac-bench --bin bench_wire -- --smoke  # quick CI artifact
+//! ```
+//!
+//! `--smoke` shrinks the run and skips the speedup/loss gates (loopback
+//! timing in CI is too noisy to gate) but still writes a schema-complete
+//! artifact for `bench_diff --check`. Exit codes: 0 ok, 1 gate failed.
+
+use spdkfac_bench::{header, note};
+use spdkfac_collectives::tcp::RendezvousServer;
+use spdkfac_collectives::{Backend, CommGroup, TcpConfig, WirePolicy, PACE_ENV};
+use spdkfac_core::distributed::{train_worker, Algorithm, DistributedConfig};
+use spdkfac_nn::data::{gaussian_blobs, Dataset};
+use spdkfac_nn::models::deep_mlp;
+use spdkfac_nn::Sequential;
+use spdkfac_obs::{Recorder, Table};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::thread;
+
+const WORLD: usize = 4;
+
+/// Full-mode iteration count (smoke uses [`SMOKE_ITERS`]).
+const FULL_ITERS: usize = 30;
+const SMOKE_ITERS: usize = 6;
+
+/// Default paced line rate in Gbit/s. 0.2 Gbit/s (a congested-cluster
+/// per-rank share) makes this workload's per-iteration traffic cost tens
+/// of milliseconds — wire bytes dominate the software-f16 codec cost, so
+/// the measured speedup reflects the 4x byte shrink rather than loopback
+/// noise, while keeping the bench under a minute.
+const DEFAULT_PACE_GBPS: f64 = 0.2;
+
+/// Full-mode acceptance gate: paced f16 must beat paced f64 at least this
+/// much on per-iteration comm time (ISSUE: >= 1.5x at matched loss).
+const SPEEDUP_GATE: f64 = 1.5;
+
+/// "Matched loss" bound for the gated lossy rows: absolute difference of
+/// the *final* loss vs. the same-mode f64 row — same bound the
+/// `spdkfac_node --smoke` lossy gate documents. (Mid-trajectory losses are
+/// not compared: this workload's loss curve has a non-monotone transient
+/// whose exact position shifts under ulp-level perturbation, so pointwise
+/// deltas there measure bump alignment, not convergence quality.)
+const LOSS_TOL: f64 = 5e-2;
+
+/// The benchmarked wire policies: (row name, policy spec, loss-gated).
+const FORMATS: [(&str, &str, bool); 4] = [
+    ("f64", "f64", false),
+    ("f32", "f32", true),
+    ("f16", "f16", true),
+    // Ratio 0.25 keeps 8 bytes/element-kept on the wire (u32 index + f32
+    // value), matching f16's 4x shrink while exercising the sparse path;
+    // 0.1 is too aggressive for this small workload (diverges).
+    ("topk", "grad=topk:0.25,factor=f16", false),
+];
+
+struct Row {
+    format: &'static str,
+    mode: &'static str,
+    /// Mean per-rank per-iteration communication wall time (seconds).
+    comm_s: f64,
+    /// Wall time of the whole section divided by iterations.
+    total_s_per_iter: f64,
+    /// Post-encoding bytes actually sent, summed over ranks.
+    wire_bytes: u64,
+    /// Logical f64 bytes (8 x elements), summed over ranks.
+    logical_bytes: u64,
+    /// Rank 0's per-iteration losses.
+    losses: Vec<f64>,
+}
+
+fn workload() -> (DistributedConfig, Dataset) {
+    let mut cfg = DistributedConfig::new(WORLD, Algorithm::SpdKfac);
+    cfg.kfac.damping = 0.1;
+    cfg.kfac.lr = 0.05;
+    cfg.kfac.momentum = 0.0;
+    let data = gaussian_blobs(3, 8, 8 * WORLD, 0.3, 42);
+    (cfg, data)
+}
+
+fn build_model() -> Sequential {
+    // Wider than the parity workload so per-iteration traffic is
+    // substantial enough for pacing to dominate loopback noise.
+    deep_mlp(8, 64, 8, 3, 5)
+}
+
+/// Runs the 4-rank TCP trainer under `policy` and measures one row.
+fn run_trainer(format: &'static str, mode: &'static str, spec: &str, iters: usize) -> Row {
+    let policy = WirePolicy::parse(spec).expect("benchmark wire policy parses");
+    let (cfg, data) = {
+        let (mut cfg, data) = workload();
+        cfg.wire = policy;
+        (cfg, data)
+    };
+    let addr = RendezvousServer::spawn("127.0.0.1:0", WORLD).expect("rendezvous bind");
+    let t0 = std::time::Instant::now();
+    let mut comm_s = 0.0;
+    let mut wire_bytes = 0;
+    let mut logical_bytes = 0;
+    let mut losses = Vec::new();
+    thread::scope(|s| {
+        let mut handles = Vec::new();
+        for rank in 0..WORLD {
+            let addr = addr.to_string();
+            let (cfg, data) = (&cfg, &data);
+            handles.push(s.spawn(move || {
+                let mut tcp = TcpConfig::new(addr).with_rank(rank);
+                tcp.host_rendezvous = false;
+                let comm = CommGroup::builder()
+                    .world_size(WORLD)
+                    .wire_policy(cfg.wire)
+                    .backend(Backend::Tcp(tcp))
+                    .build()
+                    .expect("TCP group forms")
+                    .into_single();
+                let rec = Arc::new(Recorder::new(2 * WORLD));
+                let result = train_worker(
+                    cfg,
+                    &build_model,
+                    data,
+                    iters,
+                    4,
+                    comm,
+                    Some(Arc::clone(&rec)),
+                );
+                // This rank's comm thread records on track WORLD + rank;
+                // span durations include codec time and pacing sleeps.
+                let busy: f64 = rec
+                    .spans()
+                    .iter()
+                    .filter(|sp| sp.track == WORLD + rank)
+                    .map(|sp| sp.end - sp.start)
+                    .sum();
+                (rank, busy, result)
+            }));
+        }
+        for h in handles {
+            let (rank, busy, result) = h.join().expect("trainer rank panicked");
+            comm_s += busy;
+            wire_bytes += result.traffic_wire_bytes;
+            logical_bytes += result.traffic_elements * 8;
+            if rank == 0 {
+                losses = result.losses;
+            }
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    Row {
+        format,
+        mode,
+        comm_s: comm_s / (WORLD * iters) as f64,
+        total_s_per_iter: wall / iters as f64,
+        wire_bytes,
+        logical_bytes,
+        losses,
+    }
+}
+
+/// Runs every format once in `mode`. Pacing rides the environment because
+/// the ring endpoints read it at group formation; the sections run
+/// strictly one after another, so setting it per section is race-free.
+fn run_mode(mode: &'static str, pace_gbps: Option<f64>, iters: usize) -> Vec<Row> {
+    match pace_gbps {
+        Some(g) => std::env::set_var(PACE_ENV, format!("{g}")),
+        None => std::env::remove_var(PACE_ENV),
+    }
+    let rows = FORMATS
+        .iter()
+        .map(|(format, spec, _)| {
+            note(&format!(
+                "{mode}/{format}: {iters} iterations x {WORLD} ranks"
+            ));
+            run_trainer(format, mode, spec, iters)
+        })
+        .collect();
+    std::env::remove_var(PACE_ENV);
+    rows
+}
+
+fn f64_row<'a>(rows: &'a [Row], mode: &str) -> &'a Row {
+    rows.iter()
+        .find(|r| r.format == "f64" && r.mode == mode)
+        .expect("f64 row present")
+}
+
+/// |final loss - final f64 loss| against the same-mode f64 row.
+fn loss_delta(rows: &[Row], r: &Row) -> f64 {
+    let base = f64_row(rows, r.mode);
+    match (r.losses.last(), base.losses.last()) {
+        (Some(a), Some(b)) => (a - b).abs(),
+        _ => f64::NAN,
+    }
+}
+
+fn render_json(rows: &[Row], smoke: bool, iters: usize, pace_gbps: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"spdkfac-bench-wire-v1\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"world\": {WORLD},\n"));
+    out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str(&format!("  \"pace_gbps\": {pace_gbps},\n"));
+    out.push_str("  \"rows\": [\n");
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let base = f64_row(rows, r.mode);
+            format!(
+                "    {{\"format\": \"{}\", \"mode\": \"{}\", \"comm_s\": {:.9}, \
+                 \"total_s_per_iter\": {:.9}, \"wire_bytes\": {}, \"logical_bytes\": {}, \
+                 \"final_loss\": {:.9}, \"loss_delta_vs_f64\": {:.9}, \
+                 \"speedup_vs_f64\": {:.6}}}",
+                r.format,
+                r.mode,
+                r.comm_s,
+                r.total_s_per_iter,
+                r.wire_bytes,
+                r.logical_bytes,
+                r.losses.last().copied().unwrap_or(f64::NAN),
+                loss_delta(rows, r),
+                base.comm_s / r.comm_s,
+            )
+        })
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_wire.json".to_string());
+    let pace_gbps = args
+        .iter()
+        .position(|a| a == "--pace")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<f64>().expect("--pace takes Gbit/s"))
+        .unwrap_or(DEFAULT_PACE_GBPS);
+    let iters = if smoke { SMOKE_ITERS } else { FULL_ITERS };
+
+    header(&format!(
+        "bench_wire: wire formats on a {WORLD}-rank TCP ring ({} mode)",
+        if smoke { "smoke" } else { "full" }
+    ));
+    let mut rows = run_mode("raw", None, iters);
+    rows.extend(run_mode("paced", Some(pace_gbps), iters));
+
+    let mut table = Table::new([
+        "format", "mode", "comm_ms", "iter_ms", "wire_MB", "ratio", "speedup", "dloss",
+    ]);
+    for r in &rows {
+        let base = f64_row(&rows, r.mode);
+        table.push_row([
+            r.format.to_string(),
+            r.mode.to_string(),
+            format!("{:.3}", r.comm_s * 1e3),
+            format!("{:.3}", r.total_s_per_iter * 1e3),
+            format!("{:.2}", r.wire_bytes as f64 / 1e6),
+            format!("{:.3}", r.wire_bytes as f64 / r.logical_bytes as f64),
+            format!("{:.2}x", base.comm_s / r.comm_s),
+            format!("{:.2e}", loss_delta(&rows, r)),
+        ]);
+    }
+    print!("{}", table.render_text());
+
+    let json = render_json(&rows, smoke, iters, pace_gbps);
+    std::fs::write(&out_path, &json).expect("failed to write BENCH_wire.json");
+    note(&format!("wrote {out_path}"));
+
+    // Structural sanity (both modes): encoded bytes must shrink with the
+    // format, and the f64 passthrough must put exactly the logical bytes
+    // on the wire.
+    for mode in ["raw", "paced"] {
+        let by = |f: &str| {
+            rows.iter()
+                .find(|r| r.format == f && r.mode == mode)
+                .expect("row present")
+        };
+        let (w64, w32, w16) = (by("f64"), by("f32"), by("f16"));
+        if w64.wire_bytes != w64.logical_bytes
+            || w32.wire_bytes >= w64.wire_bytes
+            || w16.wire_bytes >= w32.wire_bytes
+        {
+            eprintln!(
+                "FAIL: {mode} wire bytes not ordered: f64 {} (logical {}), f32 {}, f16 {}",
+                w64.wire_bytes, w64.logical_bytes, w32.wire_bytes, w16.wire_bytes
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if smoke {
+        note("smoke mode: speedup/loss gates skipped");
+        return ExitCode::SUCCESS;
+    }
+
+    // Full-mode gates: paced f16 speedup and matched loss on lossy rows.
+    let mut failed = false;
+    for r in rows
+        .iter()
+        .filter(|r| FORMATS.iter().any(|(f, _, gated)| *gated && *f == r.format))
+    {
+        let d = loss_delta(&rows, r);
+        if d >= LOSS_TOL {
+            eprintln!(
+                "FAIL: {}/{} final |dloss| vs f64 = {d:.3e} >= {LOSS_TOL:.0e}",
+                r.format, r.mode
+            );
+            failed = true;
+        }
+    }
+    let (f64p, f16p) = (f64_row(&rows, "paced"), {
+        rows.iter()
+            .find(|r| r.format == "f16" && r.mode == "paced")
+            .expect("paced f16 row")
+    });
+    let speedup = f64p.comm_s / f16p.comm_s;
+    if speedup < SPEEDUP_GATE {
+        eprintln!(
+            "FAIL: paced f16 comm speedup {speedup:.2}x < {SPEEDUP_GATE}x \
+             (f64 {:.3}ms vs f16 {:.3}ms per iteration)",
+            f64p.comm_s * 1e3,
+            f16p.comm_s * 1e3
+        );
+        failed = true;
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "OK: paced f16 cuts per-iteration comm {speedup:.2}x at matched loss \
+         (gate {SPEEDUP_GATE}x, loss tolerance {LOSS_TOL:.0e})"
+    );
+    ExitCode::SUCCESS
+}

@@ -43,12 +43,14 @@
 //! recorder's metrics registry.
 
 use crate::error::CommError;
-use crate::ring::RingEndpoint;
+use crate::ring::{OpCodecStats, RingEndpoint};
 use crate::stats::{OpKind, TrafficStats};
 use crate::tcp::{self, TcpConfig};
 use crate::transport::{channel_ring, Transport};
+use crate::wire::{self, WireFormat, WirePolicy};
 use spdkfac_obs::{CollEdge, Phase, Recorder, Span, SpanMeta};
 use std::borrow::Cow;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
@@ -169,6 +171,18 @@ impl CollOp {
             | CollOp::AllGather { data, .. }
             | CollOp::ReduceSum { data, .. }
             | CollOp::Gather { data, .. } => data.len(),
+        }
+    }
+
+    fn data_mut(&mut self) -> &mut Vec<f64> {
+        match self {
+            CollOp::AllReduceSum { data, .. }
+            | CollOp::AllReduceAvg { data, .. }
+            | CollOp::Broadcast { data, .. }
+            | CollOp::ReduceScatterAvg { data, .. }
+            | CollOp::AllGather { data, .. }
+            | CollOp::ReduceSum { data, .. }
+            | CollOp::Gather { data, .. } => data,
         }
     }
 
@@ -457,12 +471,13 @@ fn spawn_comm(
     world: usize,
     transport: Box<dyn Transport>,
     stats: Arc<TrafficStats>,
+    policy: WirePolicy,
 ) -> WorkerComm {
     let ring = RingEndpoint::new(rank, world, transport, Arc::clone(&stats));
     let (req_tx, req_rx) = channel::<Request>();
     let comm_thread = std::thread::Builder::new()
         .name(format!("spdkfac-comm-{rank}"))
-        .spawn(move || comm_thread_main(ring, req_rx))
+        .spawn(move || comm_thread_main(ring, req_rx, policy))
         .expect("failed to spawn communication thread");
     WorkerComm {
         rank,
@@ -493,6 +508,7 @@ pub enum Backend {
 pub struct CommGroupBuilder {
     world: usize,
     backend: Backend,
+    wire_policy: WirePolicy,
 }
 
 impl CommGroupBuilder {
@@ -508,6 +524,15 @@ impl CommGroupBuilder {
         self
     }
 
+    /// Per-op-kind wire formats (default: bit-exact f64 everywhere). Every
+    /// rank of a group must be built with the same policy — formats are
+    /// resolved from the submission phase, which the SPMD contract already
+    /// keeps identical across ranks.
+    pub fn wire_policy(mut self, policy: WirePolicy) -> Self {
+        self.wire_policy = policy;
+        self
+    }
+
     /// Constructs the group: spawns communication threads (and, for
     /// [`Backend::Tcp`], performs rendezvous and neighbour handshakes).
     ///
@@ -520,13 +545,16 @@ impl CommGroupBuilder {
     pub fn build(self) -> Result<CommGroup, CommError> {
         assert!(self.world > 0, "CommGroup requires at least one rank");
         let world = self.world;
+        let policy = self.wire_policy;
         match self.backend {
             Backend::Local => {
                 let stats = Arc::new(TrafficStats::new());
                 let endpoints = channel_ring(world)
                     .into_iter()
                     .enumerate()
-                    .map(|(rank, t)| spawn_comm(rank, world, Box::new(t), Arc::clone(&stats)))
+                    .map(|(rank, t)| {
+                        spawn_comm(rank, world, Box::new(t), Arc::clone(&stats), policy)
+                    })
                     .collect();
                 Ok(CommGroup {
                     world,
@@ -537,7 +565,7 @@ impl CommGroupBuilder {
             Backend::Tcp(cfg) => {
                 let join = tcp::connect(&cfg, world)?;
                 let stats = Arc::new(TrafficStats::new());
-                let comm = spawn_comm(join.rank, world, join.transport, stats);
+                let comm = spawn_comm(join.rank, world, join.transport, stats, policy);
                 Ok(CommGroup {
                     world,
                     endpoints: vec![comm],
@@ -567,6 +595,7 @@ impl CommGroup {
         CommGroupBuilder {
             world: 1,
             backend: Backend::Local,
+            wire_policy: WirePolicy::default(),
         }
     }
 
@@ -608,46 +637,6 @@ impl CommGroup {
     }
 }
 
-/// A group of `P` in-process ranks connected in a ring.
-#[deprecated(
-    since = "0.2.0",
-    note = "use CommGroup::builder().world_size(n).backend(Backend::Local).build()"
-)]
-#[derive(Debug)]
-pub struct LocalGroup {
-    inner: CommGroup,
-}
-
-#[allow(deprecated)]
-impl LocalGroup {
-    /// Creates a group of `world` ranks (≥ 1), spawning one communication
-    /// thread per rank.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `world == 0`.
-    pub fn new(world: usize) -> Self {
-        LocalGroup {
-            inner: CommGroup::builder()
-                .world_size(world)
-                .backend(Backend::Local)
-                .build()
-                .expect("local backend is infallible"),
-        }
-    }
-
-    /// Number of ranks.
-    pub fn world_size(&self) -> usize {
-        self.inner.world_size()
-    }
-
-    /// Consumes the group, yielding one endpoint per rank (in rank order) to
-    /// move into worker threads.
-    pub fn into_endpoints(self) -> Vec<WorkerComm> {
-        self.inner.into_endpoints()
-    }
-}
-
 /// Telemetry state held by one communication thread once a recorder is
 /// attached: cached per-op-kind metric handles plus the span track.
 struct CommTelemetry {
@@ -661,6 +650,10 @@ struct CommTelemetry {
     hists: Vec<Arc<spdkfac_obs::Histogram>>,
     op_counts: Vec<Arc<spdkfac_obs::Counter>>,
     elem_counts: Vec<Arc<spdkfac_obs::Counter>>,
+    wire_byte_counts: Vec<Arc<spdkfac_obs::Counter>>,
+    codec_secs_hist: Arc<spdkfac_obs::Histogram>,
+    max_abs_err_hist: Arc<spdkfac_obs::Histogram>,
+    max_rel_err_hist: Arc<spdkfac_obs::Histogram>,
 }
 
 impl CommTelemetry {
@@ -678,6 +671,13 @@ impl CommTelemetry {
             .iter()
             .map(|k| m.counter(&format!("coll/{}/elements", k.name())))
             .collect();
+        let wire_byte_counts = OpKind::ALL
+            .iter()
+            .map(|k| m.counter(&format!("coll/{}/wire_bytes", k.name())))
+            .collect();
+        let codec_secs_hist = m.histogram("wire/codec_secs");
+        let max_abs_err_hist = m.histogram("wire/max_abs_err");
+        let max_rel_err_hist = m.histogram("wire/max_rel_err");
         CommTelemetry {
             rec,
             track,
@@ -685,6 +685,10 @@ impl CommTelemetry {
             hists,
             op_counts,
             elem_counts,
+            wire_byte_counts,
+            codec_secs_hist,
+            max_abs_err_hist,
+            max_rel_err_hist,
         }
     }
 
@@ -698,6 +702,8 @@ impl CommTelemetry {
         generation: u64,
         start: f64,
         end: f64,
+        codec: OpCodecStats,
+        lossless: bool,
     ) {
         let seq = self.seq;
         self.seq += 1;
@@ -712,12 +718,23 @@ impl CommTelemetry {
                 seq: Some(seq),
                 size: Some(elements),
                 generation: Some(generation),
+                wire_bytes: Some(codec.wire_bytes),
+                codec_secs: Some(codec.codec_secs),
             },
         });
         let i = kind.index();
         self.hists[i].observe(end - start);
         self.op_counts[i].inc();
         self.elem_counts[i].add(elements as u64);
+        self.wire_byte_counts[i].add(codec.wire_bytes);
+        // Codec cost and rounding error are only meaningful (and non-zero)
+        // for compressed formats; keep the f64 fast path out of the
+        // distributions so they describe the codec, not the mix.
+        if !lossless {
+            self.codec_secs_hist.observe(codec.codec_secs);
+            self.max_abs_err_hist.observe(codec.max_abs_err);
+            self.max_rel_err_hist.observe(codec.max_rel_err);
+        }
     }
 }
 
@@ -794,7 +811,7 @@ fn execute(ring: &mut RingEndpoint, op: CollOp) -> (Sender<OpResult>, OpResult) 
     (reply, out)
 }
 
-fn comm_thread_main(mut ring: RingEndpoint, req_rx: Receiver<Request>) {
+fn comm_thread_main(mut ring: RingEndpoint, req_rx: Receiver<Request>, policy: WirePolicy) {
     let mut telemetry: Option<CommTelemetry> = None;
     // Straggler fault injection (SPDKFAC_INJECT_DELAY): stretches this
     // rank's matching collectives so peers — and the telemetry pipeline —
@@ -803,10 +820,22 @@ fn comm_thread_main(mut ring: RingEndpoint, req_rx: Receiver<Request>) {
     // First transport failure observed; once set, the ring is broken and
     // every further op fails fast without touching the transport.
     let mut poison: Option<CommError> = None;
+    // Collectives executed so far — the clock `@afterN` delay rules and
+    // the top-k residual round-robin both key off deterministic, SPMD-
+    // identical submission order.
+    let mut executed: u64 = 0;
+    // Top-k error-feedback state: residuals carried to the next collective
+    // of the same (phase, length) shape, in round-robin submission order
+    // (the SPMD contract makes the k-th same-shape op line up across
+    // iterations). Cleared on plan-generation changes: a re-plan changes
+    // the op sequence, so carried residuals would pair with the wrong
+    // buffers.
+    let mut residuals: HashMap<(u8, usize), VecDeque<Vec<f64>>> = HashMap::new();
+    let mut last_generation: u64 = 0;
     while let Ok(req) = req_rx.recv() {
         match req {
             Request::Op {
-                op,
+                mut op,
                 phase,
                 generation,
             } => {
@@ -816,12 +845,34 @@ fn comm_thread_main(mut ring: RingEndpoint, req_rx: Receiver<Request>) {
                     )));
                     continue;
                 }
+                if generation != last_generation {
+                    residuals.clear();
+                    last_generation = generation;
+                }
                 let kind = op.kind();
                 let elements = op.elements();
                 let edge = op.edge();
+                let mut fmt = policy.format_for(phase, kind);
+                if let WireFormat::TopK { ratio } = fmt {
+                    if kind == OpKind::AllReduce {
+                        // Error feedback: fold in the residual carried from
+                        // the previous same-shape all-reduce, keep the top-k
+                        // of the sum, carry the rest forward.
+                        let key = (phase.index() as u8, elements);
+                        let queue = residuals.entry(key).or_default();
+                        let mut residual = queue.pop_front().unwrap_or_default();
+                        wire::sparsify_with_residual(op.data_mut(), ratio, &mut residual);
+                        residuals.entry(key).or_default().push_back(residual);
+                    } else {
+                        // Sparsification only composes with the summing
+                        // ring; everything else degrades to dense f32.
+                        fmt = WireFormat::F32;
+                    }
+                }
+                ring.set_wire_format(fmt);
                 let mult = inject
                     .as_ref()
-                    .map(|d| d.multiplier(ring.rank, kind))
+                    .map(|d| d.multiplier(ring.rank, kind, executed))
                     .unwrap_or(1.0);
                 let stretch = |busy: f64| {
                     if mult > 1.0 && busy > 0.0 {
@@ -834,16 +885,29 @@ fn comm_thread_main(mut ring: RingEndpoint, req_rx: Receiver<Request>) {
                         let (reply, out) = execute(&mut ring, op);
                         stretch(t.rec.now() - start);
                         let end = t.rec.now();
-                        t.record(kind, elements, edge, phase, generation, start, end);
+                        let codec = ring.take_codec();
+                        t.record(
+                            kind,
+                            elements,
+                            edge,
+                            phase,
+                            generation,
+                            start,
+                            end,
+                            codec,
+                            fmt.is_lossless(),
+                        );
                         (reply, out)
                     }
                     None => {
                         let start = std::time::Instant::now();
                         let (reply, out) = execute(&mut ring, op);
                         stretch(start.elapsed().as_secs_f64());
+                        let _ = ring.take_codec();
                         (reply, out)
                     }
                 };
+                executed += 1;
                 if let Some(e) = out.as_ref().err() {
                     poison = Some(e.clone());
                 }
@@ -1092,8 +1156,133 @@ mod tests {
         assert_eq!(stats.elements_sent_by(OpKind::AllReduce), sent);
         assert_eq!(stats.ops_executed_by(OpKind::AllReduce), world as u64);
         assert_eq!(stats.elements_sent_by(OpKind::Broadcast), 0);
-        assert_eq!(stats.wire_bytes_sent(), sent * 4);
+        // Default policy is the f64 pass-through: wire bytes == logical.
+        assert_eq!(stats.wire_bytes_sent(), sent * 8);
+        assert_eq!(stats.wire_bytes_sent_by(OpKind::AllReduce), sent * 8);
         drop(endpoints);
+    }
+
+    fn policy_endpoints(world: usize, policy: WirePolicy) -> Vec<WorkerComm> {
+        CommGroup::builder()
+            .world_size(world)
+            .backend(Backend::Local)
+            .wire_policy(policy)
+            .build()
+            .expect("local build")
+            .into_endpoints()
+    }
+
+    /// Like [`run_spmd`] but with an explicit wire policy on the group.
+    fn run_spmd_policy<T: Send>(
+        world: usize,
+        policy: WirePolicy,
+        f: impl Fn(&WorkerComm) -> T + Sync,
+    ) -> Vec<T> {
+        let endpoints = policy_endpoints(world, policy);
+        let mut out: Vec<Option<T>> = (0..world).map(|_| None).collect();
+        thread::scope(|s| {
+            let mut handles = Vec::new();
+            for comm in &endpoints {
+                let f = &f;
+                handles.push(s.spawn(move || f(comm)));
+            }
+            for (i, h) in handles.into_iter().enumerate() {
+                out[i] = Some(h.join().expect("worker panicked"));
+            }
+        });
+        out.into_iter().map(|v| v.unwrap()).collect()
+    }
+
+    #[test]
+    fn f16_policy_is_rank_identical_and_close_to_f64() {
+        let world = 4;
+        let len = 33;
+        let results = run_spmd_policy(world, WirePolicy::uniform(WireFormat::F16), |comm| {
+            comm.set_phase(Phase::GradComm);
+            let mut buf: Vec<f64> = (0..len)
+                .map(|i| (i as f64 * 0.37 - 3.0) * (comm.rank() as f64 + 1.0))
+                .collect();
+            comm.allreduce_sum(&mut buf);
+            buf
+        });
+        // SPMD parity: every rank holds the bit-identical result even
+        // though the wire was lossy.
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        // And the lossy result stays within f16 relative tolerance of the
+        // exact sum (1 + 2 + 3 + 4 = 10 x the base vector).
+        for (i, v) in results[0].iter().enumerate() {
+            let exact = (i as f64 * 0.37 - 3.0) * 10.0;
+            let tol = 1e-2 * exact.abs().max(1.0);
+            assert!((v - exact).abs() < tol, "i={i} got {v} want {exact}");
+        }
+    }
+
+    #[test]
+    fn f16_policy_halves_wire_bytes_quarter_actually() {
+        // f16 packs 2 bytes per element vs 8 logical.
+        let world = 2;
+        let len = 64;
+        let endpoints = policy_endpoints(world, WirePolicy::uniform(WireFormat::F16));
+        let stats = Arc::clone(&endpoints[0].stats);
+        thread::scope(|s| {
+            for comm in &endpoints {
+                s.spawn(move || {
+                    comm.set_phase(Phase::GradComm);
+                    let mut buf = vec![1.0; len];
+                    comm.allreduce_sum(&mut buf);
+                });
+            }
+        });
+        let sent = stats.elements_sent();
+        assert!(sent > 0);
+        assert_eq!(stats.wire_bytes_sent(), sent * 2, "f16 is 2 B/element");
+        drop(endpoints);
+    }
+
+    #[test]
+    fn topk_policy_conserves_mass_via_residual_feedback() {
+        // grad = topk:0.25 on a 4-element buffer keeps exactly one element
+        // per round and carries the rest in the comm-thread residual. Four
+        // rounds (three of them fed zeros) must drain the full sum.
+        let world = 2;
+        let policy = WirePolicy::parse("grad=topk:0.25").expect("policy");
+        let totals = run_spmd_policy(world, policy, |comm| {
+            comm.set_phase(Phase::GradComm);
+            let mut total = 0.0;
+            for round in 0..4 {
+                let mut buf = if round == 0 {
+                    vec![4.0, 3.0, 2.0, 1.0]
+                } else {
+                    vec![0.0; 4]
+                };
+                comm.allreduce_sum(&mut buf);
+                total += buf.iter().sum::<f64>();
+            }
+            total
+        });
+        // Each rank contributed 10.0; the drained allreduce totals must
+        // recover world x 10 exactly (top-k moves values bit-exactly).
+        for t in totals {
+            assert!((t - 20.0).abs() < 1e-12, "drained total {t}");
+        }
+    }
+
+    #[test]
+    fn control_phase_ops_stay_exact_under_lossy_policy() {
+        // Inverse-phase collectives route through the control format (f64
+        // pass-through) even when gradients and factors are compressed, so
+        // they are bit-identical to a run under the default policy.
+        let spmd = |comm: &WorkerComm| {
+            comm.set_phase(Phase::InverseComm);
+            let mut buf = vec![comm.rank() as f64 + 0.123456789012345; 7];
+            comm.allreduce_sum(&mut buf);
+            buf
+        };
+        let lossy = run_spmd_policy(3, WirePolicy::uniform(WireFormat::F16), spmd);
+        let exact = run_spmd(3, spmd);
+        assert_eq!(lossy, exact, "control ops must be bit-exact");
     }
 
     #[test]
@@ -1177,25 +1366,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_local_group_still_works() {
-        // Back-compat shim: LocalGroup::new(n).into_endpoints() delegates to
-        // the builder and behaves identically.
-        let g = LocalGroup::new(2);
-        assert_eq!(g.world_size(), 2);
-        let eps = g.into_endpoints();
-        thread::scope(|s| {
-            for comm in &eps {
-                s.spawn(move || {
-                    let mut buf = vec![comm.rank() as f64; 4];
-                    comm.allreduce_sum(&mut buf);
-                    assert_eq!(buf, vec![1.0; 4]);
-                });
-            }
-        });
-    }
-
-    #[test]
     fn poisoned_ring_fails_queued_ops_without_deadlock() {
         // Build a 2-rank group, then kill rank 1's endpoint (dropping it
         // sends Quit; its comm thread exits and its channels close). Rank
@@ -1253,6 +1423,10 @@ mod tests {
             assert_eq!(track_spans[0].meta.edge, Some(CollEdge::Join));
             assert_eq!(track_spans[0].meta.size, Some(256));
             assert_eq!(track_spans[0].meta.generation, Some(0));
+            // Default f64 pass-through: wire bytes == 8 B x elements this
+            // rank put on the wire (2(P-1)/P x 256 = 256 for P = 2).
+            assert_eq!(track_spans[0].meta.wire_bytes, Some(256 * 8));
+            assert!(track_spans[0].meta.codec_secs.is_some());
             assert_eq!(track_spans[1].meta.seq, Some(1));
             assert_eq!(track_spans[1].meta.edge, Some(CollEdge::FanOut { root: 0 }));
             assert_eq!(track_spans[1].meta.size, Some(64));

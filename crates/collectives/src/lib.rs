@@ -19,6 +19,11 @@
 //!   right neighbour, receive one from the left — so the exact same
 //!   algorithm code produces **bit-identical** results over channels or
 //!   sockets.
+//! - A wire-format layer ([`wire`]) sits between the ring algorithms and
+//!   the transport: payloads can travel as raw f64, f32, software f16, or
+//!   residual-compensated top-k sparsified frames, selected per operation
+//!   kind via [`CommGroupBuilder::wire_policy`]. All ranks stay
+//!   bit-identical under lossy formats (encode-once-at-origin relays).
 //! - Each endpoint owns a background **communication thread**. Asynchronous
 //!   operations are queued to it and executed strictly in submission order —
 //!   the same single-queue serialisation Horovod applies, which is also how
@@ -73,13 +78,14 @@ pub mod stats;
 pub mod tcp;
 pub mod telemetry;
 pub mod transport;
+pub mod wire;
 
-#[allow(deprecated)]
-pub use group::LocalGroup;
 pub use group::{Backend, CommGroup, CommGroupBuilder, OpOutput, OpResult, PendingOp, WorkerComm};
 
 pub use error::CommError;
+pub use ring::{OpCodecStats, PACE_ENV};
 pub use stats::{OpKind, TrafficStats};
 pub use tcp::{TcpConfig, TcpJoin};
 pub use telemetry::{SpanStreamer, TelemetryClient, TelemetryServer};
 pub use transport::{DelayInjection, Transport};
+pub use wire::{WireFormat, WirePayload, WirePolicy};

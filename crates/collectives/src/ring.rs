@@ -16,21 +16,77 @@
 //! backend bit-identical to the in-process one. Transport failures
 //! (timeouts, hangups) propagate as [`CommError`] instead of panicking, so
 //! the asynchronous-handle layer can surface them to the submitting worker.
+//!
+//! Payloads pass through the [`wire`](crate::wire) codec on their way to
+//! the transport. Under the default [`WireFormat::F64`] every hop is the
+//! historical bit-exact pass-through; under lossy formats the endpoint
+//! keeps the collectives SPMD-consistent by construction:
+//!
+//! - Hops that *accumulate* (reduce-scatter phase, reduce relay)
+//!   re-encode at every hop — unavoidable, the payload changes.
+//! - Hops that *replicate* (broadcast, all-gather, the all-gather phase
+//!   of all-reduce) encode once at the origin and forward the encoded
+//!   payload verbatim; the origin overwrites its own copy with its own
+//!   decoded bytes. Every rank then materialises the same values
+//!   bit-for-bit, lossy or not.
+//!
+//! The endpoint accumulates per-operation codec cost and rounding error
+//! ([`OpCodecStats`]) which the comm thread drains after each collective
+//! for telemetry, metrics, and α-β calibration.
 
 use crate::error::CommError;
 use crate::stats::{OpKind, TrafficStats};
 use crate::transport::Transport;
+use crate::wire::{self, CodecStats, WireFormat, WirePayload};
 use std::sync::Arc;
 
-/// A point-to-point ring message: payload plus the rank that originated it
-/// (used by all-gather to place variable-length shards).
+/// A point-to-point ring message: encoded payload plus the rank that
+/// originated it (used by all-gather to place variable-length shards).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RingMsg {
     /// Rank whose data this message carries.
     pub origin: usize,
-    /// Payload elements.
-    pub data: Vec<f64>,
+    /// Encoded payload.
+    pub payload: WirePayload,
 }
+
+impl RingMsg {
+    /// A bit-exact f64 message (the historical constructor).
+    pub fn f64(origin: usize, data: Vec<f64>) -> Self {
+        RingMsg {
+            origin,
+            payload: WirePayload::F64(data),
+        }
+    }
+}
+
+/// Wire/codec accounting for the collective(s) since the last
+/// [`RingEndpoint::take_codec`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpCodecStats {
+    /// Actual encoded bytes this endpoint put on the wire.
+    pub wire_bytes: u64,
+    /// CPU seconds spent encoding + decoding.
+    pub codec_secs: f64,
+    /// Max absolute rounding error introduced by encoding.
+    pub max_abs_err: f64,
+    /// Max relative rounding error over non-zero inputs.
+    pub max_rel_err: f64,
+}
+
+impl OpCodecStats {
+    fn absorb_encode(&mut self, cs: CodecStats) {
+        self.codec_secs += cs.secs;
+        self.max_abs_err = self.max_abs_err.max(cs.max_abs_err);
+        self.max_rel_err = self.max_rel_err.max(cs.max_rel_err);
+    }
+}
+
+/// Environment variable naming an emulated NIC rate in Gb/s. When set,
+/// every transport send sleeps for `wire_bytes / rate` so loopback
+/// benchmarks become bandwidth-bound like the paper's testbed — the knob
+/// `bench_wire` uses for its paced sections.
+pub const PACE_ENV: &str = "SPDKFAC_PACE_GBPS";
 
 /// One rank's view of the ring: its identity, its transport to the
 /// neighbours, and the shared traffic counters.
@@ -44,10 +100,17 @@ pub struct RingEndpoint {
     transport: Box<dyn Transport>,
     /// Shared traffic counters.
     pub stats: Arc<TrafficStats>,
+    /// Wire format applied to payloads this endpoint originates.
+    fmt: WireFormat,
+    /// Codec accounting since the last `take_codec`.
+    codec: OpCodecStats,
+    /// Seconds per wire byte of emulated NIC pacing (0 = off).
+    pace_s_per_byte: f64,
 }
 
 impl RingEndpoint {
-    /// Assembles an endpoint from its parts.
+    /// Assembles an endpoint from its parts (wire format defaults to the
+    /// bit-exact f64 pass-through).
     pub fn new(
         rank: usize,
         world: usize,
@@ -55,11 +118,20 @@ impl RingEndpoint {
         stats: Arc<TrafficStats>,
     ) -> Self {
         assert!(rank < world, "rank {rank} out of range for world {world}");
+        let pace_s_per_byte = std::env::var(PACE_ENV)
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|g| *g > 0.0)
+            .map(|gbps| 8.0 / (gbps * 1e9))
+            .unwrap_or(0.0);
         RingEndpoint {
             rank,
             world,
             transport,
             stats,
+            fmt: WireFormat::F64,
+            codec: OpCodecStats::default(),
+            pace_s_per_byte,
         }
     }
 
@@ -68,19 +140,82 @@ impl RingEndpoint {
         self.transport.kind()
     }
 
-    fn send(&mut self, kind: OpKind, msg: RingMsg) -> Result<(), CommError> {
-        self.stats.record_message_kind(kind, msg.data.len());
-        self.transport.send(msg)
+    /// Sets the wire format for subsequently originated payloads.
+    pub fn set_wire_format(&mut self, fmt: WireFormat) {
+        self.fmt = fmt;
+    }
+
+    /// Drains the wire/codec accounting accumulated since the last call.
+    pub fn take_codec(&mut self) -> OpCodecStats {
+        std::mem::take(&mut self.codec)
+    }
+
+    /// Sends an already-encoded message (relay paths), counting its real
+    /// wire bytes.
+    fn send_payload(&mut self, kind: OpKind, msg: RingMsg) -> Result<(), CommError> {
+        let elems = msg.payload.elems();
+        let bytes = msg.payload.wire_bytes();
+        self.stats.record_message_kind(kind, elems, bytes as u64);
+        self.codec.wire_bytes += bytes as u64;
+        self.transport.send(msg)?;
+        if self.pace_s_per_byte > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(
+                bytes as f64 * self.pace_s_per_byte,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Encodes `data` in this endpoint's wire format and sends it.
+    fn send_data(&mut self, kind: OpKind, data: Vec<f64>) -> Result<(), CommError> {
+        let (payload, cs) = wire::encode(self.fmt, data);
+        self.codec.absorb_encode(cs);
+        self.send_payload(
+            kind,
+            RingMsg {
+                origin: self.rank,
+                payload,
+            },
+        )
     }
 
     fn recv(&mut self) -> Result<RingMsg, CommError> {
         self.transport.recv()
     }
 
+    /// Receives and decodes into doubles (consuming the payload).
+    fn recv_data(&mut self) -> Result<(usize, Vec<f64>), CommError> {
+        let msg = self.recv()?;
+        let (vals, secs) = wire::decode(msg.payload);
+        self.codec.codec_secs += secs;
+        Ok((msg.origin, vals))
+    }
+
+    /// Decodes a borrowed payload, charging codec time.
+    fn decode_ref(&mut self, payload: &WirePayload) -> Vec<f64> {
+        let (vals, secs) = wire::decode_ref(payload);
+        self.codec.codec_secs += secs;
+        vals
+    }
+
+    /// Encodes `data`, immediately decodes it back (so the local copy
+    /// matches what every receiver will see), and returns the payload for
+    /// sending/relaying.
+    fn encode_replicated(&mut self, data: Vec<f64>, out: &mut [f64]) -> WirePayload {
+        let (payload, cs) = wire::encode(self.fmt, data);
+        self.codec.absorb_encode(cs);
+        let vals = self.decode_ref(&payload);
+        out.copy_from_slice(&vals);
+        payload
+    }
+
     /// In-place ring all-reduce (sum) over `buf`.
     ///
     /// After the call every rank holds the element-wise sum of all ranks'
-    /// buffers. All ranks must pass buffers of identical length.
+    /// buffers — bit-identical across ranks even under lossy wire formats
+    /// (each fully-reduced chunk is encoded once by its owner and the
+    /// encoded bytes are what every rank, owner included, decodes).
+    /// All ranks must pass buffers of identical length.
     pub fn allreduce_sum(&mut self, buf: &mut [f64]) -> Result<(), CommError> {
         let p = self.world;
         if p == 1 {
@@ -90,40 +225,49 @@ impl RingEndpoint {
         let ranges = chunk_ranges(buf.len(), p);
         // Phase 1: reduce-scatter. After step s, chunk (rank - s) has been
         // forwarded; at the end, chunk (rank + 1) % p is fully reduced here.
+        // Partial sums change at every hop, so each hop re-encodes.
         for step in 0..p - 1 {
             let send_idx = (self.rank + p - step) % p;
             let recv_idx = (self.rank + p - step - 1) % p;
-            let send_data = buf[ranges[send_idx].clone()].to_vec();
-            self.send(
-                OpKind::AllReduce,
-                RingMsg {
-                    origin: self.rank,
-                    data: send_data,
-                },
-            )?;
-            let msg = self.recv()?;
+            self.send_data(OpKind::AllReduce, buf[ranges[send_idx].clone()].to_vec())?;
+            let (_, vals) = self.recv_data()?;
             let dst = &mut buf[ranges[recv_idx].clone()];
-            debug_assert_eq!(msg.data.len(), dst.len(), "ring chunk length mismatch");
-            for (d, s) in dst.iter_mut().zip(msg.data.iter()) {
+            debug_assert_eq!(vals.len(), dst.len(), "ring chunk length mismatch");
+            for (d, s) in dst.iter_mut().zip(vals.iter()) {
                 *d += s;
             }
         }
-        // Phase 2: all-gather the fully-reduced chunks.
+        // Phase 2: all-gather the fully-reduced chunks. Each chunk is
+        // encoded exactly once (by the rank that completed it) and the
+        // encoded payload is relayed verbatim around the ring.
+        let mut carry: Option<WirePayload> = None;
         for step in 0..p - 1 {
             let send_idx = (self.rank + 1 + p - step) % p;
             let recv_idx = (self.rank + p - step) % p;
-            let send_data = buf[ranges[send_idx].clone()].to_vec();
-            self.send(
+            let outgoing = match carry.take() {
+                // Steps > 0 forward the chunk received at the previous step.
+                Some(payload) => payload,
+                // Step 0 originates our own fully-reduced chunk; overwrite
+                // the local copy with its own decode for cross-rank parity.
+                None => {
+                    let send_range = ranges[send_idx].clone();
+                    let data = buf[send_range.clone()].to_vec();
+                    self.encode_replicated(data, &mut buf[send_range])
+                }
+            };
+            self.send_payload(
                 OpKind::AllReduce,
                 RingMsg {
                     origin: self.rank,
-                    data: send_data,
+                    payload: outgoing,
                 },
             )?;
             let msg = self.recv()?;
+            let vals = self.decode_ref(&msg.payload);
             let dst = &mut buf[ranges[recv_idx].clone()];
-            debug_assert_eq!(msg.data.len(), dst.len(), "ring chunk length mismatch");
-            dst.copy_from_slice(&msg.data);
+            debug_assert_eq!(vals.len(), dst.len(), "ring chunk length mismatch");
+            dst.copy_from_slice(&vals);
+            carry = Some(msg.payload);
         }
         self.stats.record_op_kind(OpKind::AllReduce);
         Ok(())
@@ -141,7 +285,9 @@ impl RingEndpoint {
 
     /// Pipelined broadcast of `buf` from `root` to every rank.
     ///
-    /// Non-root ranks overwrite `buf` with the root's data.
+    /// Non-root ranks overwrite `buf` with the root's data. Under lossy
+    /// formats the root encodes once, adopts its own decode, and the
+    /// payload is relayed verbatim — all ranks end bit-identical.
     ///
     /// # Panics
     ///
@@ -155,19 +301,21 @@ impl RingEndpoint {
         }
         let right = (self.rank + 1) % p;
         if self.rank == root {
-            self.send(
+            let payload = self.encode_replicated(buf.to_vec(), buf);
+            self.send_payload(
                 OpKind::Broadcast,
                 RingMsg {
                     origin: root,
-                    data: buf.to_vec(),
+                    payload,
                 },
             )?;
         } else {
             let msg = self.recv()?;
-            debug_assert_eq!(msg.data.len(), buf.len(), "broadcast length mismatch");
-            buf.copy_from_slice(&msg.data);
+            let vals = self.decode_ref(&msg.payload);
+            debug_assert_eq!(vals.len(), buf.len(), "broadcast length mismatch");
+            buf.copy_from_slice(&vals);
             if right != root {
-                self.send(OpKind::Broadcast, msg)?;
+                self.send_payload(OpKind::Broadcast, msg)?;
             }
         }
         self.stats.record_op_kind(OpKind::Broadcast);
@@ -190,17 +338,13 @@ impl RingEndpoint {
         for step in 0..p - 1 {
             let send_idx = (self.rank + p - step) % p;
             let recv_idx = (self.rank + p - step - 1) % p;
-            let send_data = work[ranges[send_idx].clone()].to_vec();
-            self.send(
+            self.send_data(
                 OpKind::ReduceScatter,
-                RingMsg {
-                    origin: self.rank,
-                    data: send_data,
-                },
+                work[ranges[send_idx].clone()].to_vec(),
             )?;
-            let msg = self.recv()?;
+            let (_, vals) = self.recv_data()?;
             let dst = &mut work[ranges[recv_idx].clone()];
-            for (d, s) in dst.iter_mut().zip(msg.data.iter()) {
+            for (d, s) in dst.iter_mut().zip(vals.iter()) {
                 *d += s;
             }
         }
@@ -214,7 +358,7 @@ impl RingEndpoint {
     /// Ring reduce to `root`: after the call `root`'s buffer holds the
     /// element-wise sum; other ranks' buffers are unchanged. Implemented as
     /// a relay around the ring ending at the root (each hop adds its local
-    /// contribution).
+    /// contribution, so each hop re-encodes).
     ///
     /// # Panics
     ///
@@ -230,22 +374,16 @@ impl RingEndpoint {
         // around the ring until it reaches the root.
         let start = (root + 1) % p;
         if self.rank == start {
-            self.send(
-                OpKind::Reduce,
-                RingMsg {
-                    origin: self.rank,
-                    data: buf.to_vec(),
-                },
-            )?;
+            self.send_data(OpKind::Reduce, buf.to_vec())?;
         } else {
-            let mut msg = self.recv()?;
-            for (acc, v) in msg.data.iter_mut().zip(buf.iter()) {
-                *acc += v;
+            let (_, mut acc) = self.recv_data()?;
+            for (a, v) in acc.iter_mut().zip(buf.iter()) {
+                *a += v;
             }
             if self.rank == root {
-                buf.copy_from_slice(&msg.data);
+                buf.copy_from_slice(&acc);
             } else {
-                self.send(OpKind::Reduce, msg)?;
+                self.send_data(OpKind::Reduce, acc)?;
             }
         }
         self.stats.record_op_kind(OpKind::Reduce);
@@ -253,7 +391,8 @@ impl RingEndpoint {
     }
 
     /// Ring gather to `root`: returns `Some(concatenation of all ranks'
-    /// shards in rank order)` on the root, `None` elsewhere.
+    /// shards in rank order)` on the root, `None` elsewhere. Relays
+    /// forward encoded shards verbatim (no mid-ring decode).
     ///
     /// # Panics
     ///
@@ -273,8 +412,8 @@ impl RingEndpoint {
             let mut by_origin: Vec<Option<Vec<f64>>> = vec![None; p];
             by_origin[root] = Some(shard.to_vec());
             for _ in 0..p - 1 {
-                let msg = self.recv()?;
-                by_origin[msg.origin] = Some(msg.data);
+                let (origin, vals) = self.recv_data()?;
+                by_origin[origin] = Some(vals);
             }
             self.stats.record_op_kind(OpKind::Gather);
             Ok(Some(
@@ -285,17 +424,11 @@ impl RingEndpoint {
             ))
         } else {
             // Send own shard, then relay (p - 1 - dist) incoming shards.
-            self.send(
-                OpKind::Gather,
-                RingMsg {
-                    origin: self.rank,
-                    data: shard.to_vec(),
-                },
-            )?;
+            self.send_data(OpKind::Gather, shard.to_vec())?;
             let relays = p - 1 - dist_to_root;
             for _ in 0..relays {
                 let msg = self.recv()?;
-                self.send(OpKind::Gather, msg)?;
+                self.send_payload(OpKind::Gather, msg)?;
             }
             self.stats.record_op_kind(OpKind::Gather);
             Ok(None)
@@ -304,7 +437,10 @@ impl RingEndpoint {
 
     /// Ring all-gather of variable-length shards.
     ///
-    /// Returns the concatenation of all ranks' shards in rank order.
+    /// Returns the concatenation of all ranks' shards in rank order. Each
+    /// shard is encoded once at its origin and relayed verbatim, and the
+    /// origin adopts its own decode, so the result is bit-identical on
+    /// every rank.
     pub fn allgather(&mut self, shard: &[f64]) -> Result<Vec<f64>, CommError> {
         let p = self.world;
         if p == 1 {
@@ -312,17 +448,19 @@ impl RingEndpoint {
             return Ok(shard.to_vec());
         }
         let mut by_origin: Vec<Option<Vec<f64>>> = vec![None; p];
-        by_origin[self.rank] = Some(shard.to_vec());
+        let mut own = shard.to_vec();
+        let payload = self.encode_replicated(shard.to_vec(), &mut own);
+        by_origin[self.rank] = Some(own);
         // Pass shards around the ring; at step s we forward what we received
         // at step s-1 (starting with our own shard).
         let mut outgoing = RingMsg {
             origin: self.rank,
-            data: shard.to_vec(),
+            payload,
         };
         for _ in 0..p - 1 {
-            self.send(OpKind::AllGather, outgoing)?;
+            self.send_payload(OpKind::AllGather, outgoing)?;
             let msg = self.recv()?;
-            by_origin[msg.origin] = Some(msg.data.clone());
+            by_origin[msg.origin] = Some(self.decode_ref(&msg.payload));
             outgoing = msg;
         }
         self.stats.record_op_kind(OpKind::AllGather);
@@ -337,8 +475,8 @@ impl RingEndpoint {
 ///
 /// This is the single chunking rule of the crate: the ring algorithms, the
 /// fusion planner's traffic model, and the tests all derive shard layouts
-/// from it. (An equivalent method on `RingEndpoint` was folded into this
-/// free function — one partition, one definition.)
+/// from it. Ranges are in *elements*, not bytes — wire encoding happens
+/// after chunking, so chunk boundaries are format-independent.
 pub fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     assert!(parts > 0, "chunk_ranges: zero parts");
     let base = len / parts;
@@ -390,5 +528,85 @@ mod tests {
         let mut buf = vec![1.0; 8];
         let err = ep.allreduce_sum(&mut buf).unwrap_err();
         assert!(matches!(err, CommError::Disconnected(_)), "{err}");
+    }
+
+    /// Runs `body` on every rank of a `world`-sized channel ring.
+    fn spmd<T: Send>(
+        world: usize,
+        fmt: WireFormat,
+        body: impl Fn(&mut RingEndpoint) -> T + Sync,
+    ) -> Vec<T> {
+        let transports = crate::transport::channel_ring(world);
+        let mut out: Vec<Option<T>> = (0..world).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (rank, (t, slot)) in transports.into_iter().zip(out.iter_mut()).enumerate() {
+                let body = &body;
+                scope.spawn(move || {
+                    let stats = Arc::new(TrafficStats::new());
+                    let mut ep = RingEndpoint::new(rank, world, Box::new(t), stats);
+                    ep.set_wire_format(fmt);
+                    *slot = Some(body(&mut ep));
+                });
+            }
+        });
+        out.into_iter().map(|v| v.expect("rank result")).collect()
+    }
+
+    #[test]
+    fn lossy_allreduce_is_bit_identical_across_ranks() {
+        for fmt in [WireFormat::F32, WireFormat::F16] {
+            let results = spmd(4, fmt, |ep| {
+                let mut buf: Vec<f64> = (0..23)
+                    .map(|i| (i as f64 + 1.3) * (ep.rank as f64 - 1.1))
+                    .collect();
+                ep.allreduce_sum(&mut buf).expect("allreduce");
+                buf
+            });
+            for r in &results[1..] {
+                assert_eq!(r, &results[0], "ranks disagree under {fmt}");
+            }
+            // And close to the exact sum.
+            let exact: Vec<f64> = (0..23)
+                .map(|i| (0..4).map(|r| (i as f64 + 1.3) * (r as f64 - 1.1)).sum())
+                .collect();
+            let tol = if fmt == WireFormat::F16 { 0.2 } else { 1e-4 };
+            for (got, want) in results[0].iter().zip(exact.iter()) {
+                assert!((got - want).abs() <= tol, "{got} vs {want} under {fmt}");
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_broadcast_and_allgather_agree_across_ranks() {
+        let results = spmd(3, WireFormat::F16, |ep| {
+            let mut b: Vec<f64> = (0..17).map(|i| i as f64 * 0.31 - 2.0).collect();
+            ep.broadcast(&mut b, 1).expect("broadcast");
+            let shard = vec![ep.rank as f64 + 0.123; 5];
+            let g = ep.allgather(&shard).expect("allgather");
+            (b, g)
+        });
+        for r in &results[1..] {
+            assert_eq!(r, &results[0], "ranks disagree");
+        }
+    }
+
+    #[test]
+    fn codec_accounting_tracks_wire_bytes() {
+        let results = spmd(2, WireFormat::F16, |ep| {
+            let mut buf = vec![1.0; 16];
+            ep.allreduce_sum(&mut buf).expect("allreduce");
+            let codec = ep.take_codec();
+            let wire = ep.stats.wire_bytes_sent();
+            let logical = ep.stats.bytes_sent();
+            (codec, wire, logical)
+        });
+        for (codec, wire, logical) in results {
+            // 2 messages of 8 elements at 2 bytes/elem.
+            assert_eq!(wire, 32);
+            assert_eq!(logical, 128);
+            assert_eq!(codec.wire_bytes, 32);
+            assert!(codec.codec_secs >= 0.0);
+            assert!(codec.max_rel_err <= 1.0 / 2048.0);
+        }
     }
 }

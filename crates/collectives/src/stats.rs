@@ -73,14 +73,23 @@ const NUM_KINDS: usize = OpKind::ALL.len();
 /// costs (`2(P-1)/P · n` elements per rank for an all-reduce) and let the
 /// experiment harness report measured traffic alongside modelled traffic,
 /// totalled and broken down per [`OpKind`].
+///
+/// Two byte views exist: *logical* bytes ([`TrafficStats::bytes_sent`],
+/// 8 bytes per `f64` element, independent of encoding) and *wire* bytes
+/// ([`TrafficStats::wire_bytes_sent`], the actual post-encoding payload
+/// size recorded by the ring endpoint — equal to logical bytes under the
+/// f64 pass-through, half/quarter under f32/f16, data-dependent under
+/// top-k).
 #[derive(Debug, Default)]
 pub struct TrafficStats {
     elements_sent: AtomicU64,
     messages_sent: AtomicU64,
     ops_executed: AtomicU64,
+    wire_bytes_sent: AtomicU64,
     elements_by_kind: [AtomicU64; NUM_KINDS],
     messages_by_kind: [AtomicU64; NUM_KINDS],
     ops_by_kind: [AtomicU64; NUM_KINDS],
+    wire_bytes_by_kind: [AtomicU64; NUM_KINDS],
 }
 
 impl TrafficStats {
@@ -89,20 +98,24 @@ impl TrafficStats {
         Self::default()
     }
 
-    /// Records one point-to-point message of `elements` `f64`s, with no
-    /// per-kind attribution (totals only).
-    pub fn record_message(&self, elements: usize) {
+    /// Records one point-to-point message of `elements` logical `f64`s that
+    /// occupied `wire_bytes` encoded bytes, with no per-kind attribution
+    /// (totals only).
+    pub fn record_message(&self, elements: usize, wire_bytes: u64) {
         self.elements_sent
             .fetch_add(elements as u64, Ordering::Relaxed);
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.wire_bytes_sent
+            .fetch_add(wire_bytes, Ordering::Relaxed);
     }
 
     /// Records one point-to-point message sent as part of a `kind`
     /// collective.
-    pub fn record_message_kind(&self, kind: OpKind, elements: usize) {
-        self.record_message(elements);
+    pub fn record_message_kind(&self, kind: OpKind, elements: usize, wire_bytes: u64) {
+        self.record_message(elements, wire_bytes);
         self.elements_by_kind[kind.index()].fetch_add(elements as u64, Ordering::Relaxed);
         self.messages_by_kind[kind.index()].fetch_add(1, Ordering::Relaxed);
+        self.wire_bytes_by_kind[kind.index()].fetch_add(wire_bytes, Ordering::Relaxed);
     }
 
     /// Records completion of one collective operation on one rank, with no
@@ -147,23 +160,21 @@ impl TrafficStats {
         self.ops_by_kind[kind.index()].load(Ordering::Relaxed)
     }
 
-    /// Total bytes sent, assuming 8-byte elements (the in-memory `f64`
-    /// representation the ring actually moves).
+    /// Total *logical* bytes sent: 8 bytes per element (the in-memory `f64`
+    /// representation the ring moves), regardless of wire encoding.
     pub fn bytes_sent(&self) -> u64 {
         self.elements_sent() * 8
     }
 
-    /// Total bytes a real fp32 deployment would put on the wire (4 bytes
-    /// per element — the same convention as the simulator's
-    /// `SimConfig::wire_bytes`, so measured and modelled traffic compare
-    /// directly).
+    /// Total *wire* bytes actually sent after encoding (8 B/element under
+    /// the default f64 pass-through, less under compressed formats).
     pub fn wire_bytes_sent(&self) -> u64 {
-        self.elements_sent() * 4
+        self.wire_bytes_sent.load(Ordering::Relaxed)
     }
 
-    /// Wire bytes (4 B/element) sent by `kind` collectives.
+    /// Wire bytes sent by `kind` collectives.
     pub fn wire_bytes_sent_by(&self, kind: OpKind) -> u64 {
-        self.elements_sent_by(kind) * 4
+        self.wire_bytes_by_kind[kind.index()].load(Ordering::Relaxed)
     }
 
     /// Zeroes every counter (totals and per-kind); use between measured
@@ -172,10 +183,12 @@ impl TrafficStats {
         self.elements_sent.store(0, Ordering::Relaxed);
         self.messages_sent.store(0, Ordering::Relaxed);
         self.ops_executed.store(0, Ordering::Relaxed);
+        self.wire_bytes_sent.store(0, Ordering::Relaxed);
         for i in 0..NUM_KINDS {
             self.elements_by_kind[i].store(0, Ordering::Relaxed);
             self.messages_by_kind[i].store(0, Ordering::Relaxed);
             self.ops_by_kind[i].store(0, Ordering::Relaxed);
+            self.wire_bytes_by_kind[i].store(0, Ordering::Relaxed);
         }
     }
 }
@@ -187,13 +200,14 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let s = TrafficStats::new();
-        s.record_message(10);
-        s.record_message(5);
+        s.record_message(10, 80);
+        s.record_message(5, 40);
         s.record_op();
         assert_eq!(s.elements_sent(), 15);
         assert_eq!(s.messages_sent(), 2);
         assert_eq!(s.ops_executed(), 1);
         assert_eq!(s.bytes_sent(), 120);
+        assert_eq!(s.wire_bytes_sent(), 120);
     }
 
     #[test]
@@ -202,13 +216,14 @@ mod tests {
         assert_eq!(s.elements_sent(), 0);
         assert_eq!(s.messages_sent(), 0);
         assert_eq!(s.ops_executed(), 0);
+        assert_eq!(s.wire_bytes_sent(), 0);
     }
 
     #[test]
     fn per_kind_breakdown_sums_into_totals() {
         let s = TrafficStats::new();
-        s.record_message_kind(OpKind::AllReduce, 100);
-        s.record_message_kind(OpKind::Broadcast, 50);
+        s.record_message_kind(OpKind::AllReduce, 100, 800);
+        s.record_message_kind(OpKind::Broadcast, 50, 400);
         s.record_op_kind(OpKind::AllReduce);
         s.record_op_kind(OpKind::Broadcast);
         assert_eq!(s.elements_sent(), 150);
@@ -221,24 +236,28 @@ mod tests {
     }
 
     #[test]
-    fn wire_bytes_use_fp32_convention() {
+    fn wire_bytes_track_actual_encoding() {
         let s = TrafficStats::new();
-        s.record_message_kind(OpKind::AllGather, 10);
-        assert_eq!(s.bytes_sent(), 80); // f64 in memory
-        assert_eq!(s.wire_bytes_sent(), 40); // fp32 on the modelled wire
-        assert_eq!(s.wire_bytes_sent_by(OpKind::AllGather), 40);
+        // 10 elements sent as f16: 20 wire bytes vs 80 logical.
+        s.record_message_kind(OpKind::AllGather, 10, 20);
+        assert_eq!(s.bytes_sent(), 80); // logical: f64 in memory
+        assert_eq!(s.wire_bytes_sent(), 20); // actual encoded payload
+        assert_eq!(s.wire_bytes_sent_by(OpKind::AllGather), 20);
+        assert_eq!(s.wire_bytes_sent_by(OpKind::AllReduce), 0);
     }
 
     #[test]
     fn reset_zeroes_everything() {
         let s = TrafficStats::new();
-        s.record_message_kind(OpKind::Reduce, 7);
+        s.record_message_kind(OpKind::Reduce, 7, 56);
         s.record_op_kind(OpKind::Reduce);
         s.reset();
         assert_eq!(s.elements_sent(), 0);
         assert_eq!(s.messages_sent(), 0);
         assert_eq!(s.ops_executed(), 0);
+        assert_eq!(s.wire_bytes_sent(), 0);
         assert_eq!(s.elements_sent_by(OpKind::Reduce), 0);
+        assert_eq!(s.wire_bytes_sent_by(OpKind::Reduce), 0);
         assert_eq!(s.ops_executed_by(OpKind::Reduce), 0);
     }
 

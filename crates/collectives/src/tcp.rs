@@ -8,12 +8,16 @@
 //!
 //! ## Wire framing
 //!
-//! Each [`RingMsg`] is one length-prefixed frame, all little-endian:
+//! Each [`RingMsg`] is one length-prefixed frame, all little-endian. The
+//! body is the encoded [`WirePayload`](crate::wire::WirePayload) and the
+//! tag names its format (0 = f64, 1 = f32, 2 = f16, 3 = sparse), so a
+//! receiver never needs out-of-band format agreement and relays can
+//! forward frames verbatim:
 //!
 //! ```text
-//! +---------------+---------------+--------------------------+
-//! | origin: u64   | count: u64    | count × f64 payload      |
-//! +---------------+---------------+--------------------------+
+//! +---------------+----------+---------------+------------------------+
+//! | origin: u64   | tag: u8  | nbytes: u64   | nbytes encoded payload |
+//! +---------------+----------+---------------+------------------------+
 //! ```
 //!
 //! Frames are written through a `BufWriter` and flushed once per message
@@ -51,6 +55,7 @@
 use crate::error::CommError;
 use crate::ring::RingMsg;
 use crate::transport::Transport;
+use crate::wire::WirePayload;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -126,28 +131,52 @@ impl TcpConfig {
 // ---------------------------------------------------------------------------
 
 fn write_frame(w: &mut impl Write, msg: &RingMsg) -> std::io::Result<()> {
-    let mut buf = Vec::with_capacity(16 + 8 * msg.data.len());
+    let body_len = msg.payload.wire_bytes();
+    let mut buf = Vec::with_capacity(17 + body_len);
     buf.extend_from_slice(&(msg.origin as u64).to_le_bytes());
-    buf.extend_from_slice(&(msg.data.len() as u64).to_le_bytes());
-    for v in &msg.data {
-        buf.extend_from_slice(&v.to_le_bytes());
+    buf.push(msg.payload.tag());
+    buf.extend_from_slice(&(body_len as u64).to_le_bytes());
+    match &msg.payload {
+        WirePayload::F64(v) => {
+            for x in v {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        WirePayload::F32(b) | WirePayload::F16(b) | WirePayload::Sparse(b) => {
+            buf.extend_from_slice(b);
+        }
     }
     w.write_all(&buf)?;
     w.flush()
 }
 
 fn read_frame(r: &mut impl Read) -> std::io::Result<RingMsg> {
-    let mut hdr = [0u8; 16];
+    let mut hdr = [0u8; 17];
     r.read_exact(&mut hdr)?;
     let origin = u64::from_le_bytes(hdr[..8].try_into().expect("8 bytes")) as usize;
-    let count = u64::from_le_bytes(hdr[8..].try_into().expect("8 bytes")) as usize;
-    let mut bytes = vec![0u8; 8 * count];
+    let tag = hdr[8];
+    let nbytes = u64::from_le_bytes(hdr[9..].try_into().expect("8 bytes")) as usize;
+    let mut bytes = vec![0u8; nbytes];
     r.read_exact(&mut bytes)?;
-    let data = bytes
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
-        .collect();
-    Ok(RingMsg { origin, data })
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let payload = match tag {
+        0 => {
+            if !nbytes.is_multiple_of(8) {
+                return Err(bad(format!("f64 frame body of {nbytes} bytes")));
+            }
+            WirePayload::F64(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect(),
+            )
+        }
+        1 => WirePayload::F32(bytes),
+        2 => WirePayload::F16(bytes),
+        3 => WirePayload::Sparse(bytes),
+        t => return Err(bad(format!("unknown wire payload tag {t}"))),
+    };
+    Ok(RingMsg { origin, payload })
 }
 
 fn write_u32(w: &mut impl Write, v: u32) -> std::io::Result<()> {
@@ -526,36 +555,47 @@ mod tests {
 
     #[test]
     fn frames_round_trip() {
-        let msg = RingMsg {
-            origin: 3,
-            data: vec![1.5, -2.25, f64::MIN_POSITIVE, 0.0],
-        };
+        let msg = RingMsg::f64(3, vec![1.5, -2.25, f64::MIN_POSITIVE, 0.0]);
         let mut buf = Vec::new();
         write_frame(&mut buf, &msg).unwrap();
-        assert_eq!(buf.len(), 16 + 8 * 4);
+        assert_eq!(buf.len(), 17 + 8 * 4);
         let got = read_frame(&mut &buf[..]).unwrap();
         assert_eq!(got.origin, 3);
-        assert_eq!(got.data, msg.data);
+        assert_eq!(got.payload, msg.payload);
+    }
+
+    #[test]
+    fn encoded_frames_round_trip_verbatim() {
+        // Non-f64 payloads travel as opaque bytes with their format tag.
+        let (payload, _) = crate::wire::encode(
+            crate::wire::WireFormat::F16,
+            vec![1.0, -2.0, 0.5, 1024.0, -0.25],
+        );
+        let msg = RingMsg { origin: 2, payload };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        assert_eq!(buf.len(), 17 + 2 * 5);
+        let got = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(got, msg);
+
+        // Unknown tags are rejected, not misread.
+        buf[8] = 9;
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]
     fn empty_frame_round_trips() {
-        let msg = RingMsg {
-            origin: 0,
-            data: vec![],
-        };
+        let msg = RingMsg::f64(0, vec![]);
         let mut buf = Vec::new();
         write_frame(&mut buf, &msg).unwrap();
         let got = read_frame(&mut &buf[..]).unwrap();
-        assert!(got.data.is_empty());
+        assert_eq!(got.payload.elems(), 0);
     }
 
     #[test]
     fn truncated_frame_is_unexpected_eof() {
-        let msg = RingMsg {
-            origin: 1,
-            data: vec![4.0, 5.0],
-        };
+        let msg = RingMsg::f64(1, vec![4.0, 5.0]);
         let mut buf = Vec::new();
         write_frame(&mut buf, &msg).unwrap();
         buf.truncate(buf.len() - 3);
@@ -630,11 +670,9 @@ mod tests {
             let (rank, mut t) = (join.rank, join.transport);
             // Echo service: receive one frame, send one frame.
             let got = t.recv().unwrap();
-            t.send(RingMsg {
-                origin: rank,
-                data: got.data.iter().map(|v| v * 2.0).collect(),
-            })
-            .unwrap();
+            let (vals, _) = crate::wire::decode(got.payload);
+            t.send(RingMsg::f64(rank, vals.iter().map(|v| v * 2.0).collect()))
+                .unwrap();
             rank
         });
         let mut cfg = TcpConfig::new(addr);
@@ -644,13 +682,9 @@ mod tests {
         // The aux table is rank-indexed and carries this member's entry.
         assert_eq!(join.aux_addrs.len(), 2);
         assert_eq!(join.aux_addrs[rank], "me:1234");
-        t.send(RingMsg {
-            origin: rank,
-            data: vec![1.0, 2.0],
-        })
-        .unwrap();
+        t.send(RingMsg::f64(rank, vec![1.0, 2.0])).unwrap();
         let back = t.recv().unwrap();
-        assert_eq!(back.data, vec![2.0, 4.0]);
+        assert_eq!(back.payload, WirePayload::F64(vec![2.0, 4.0]));
         let peer_rank = peer.join().unwrap();
         assert_ne!(rank, peer_rank);
         assert_eq!(t.kind(), "tcp");

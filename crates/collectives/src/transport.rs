@@ -1,9 +1,11 @@
 //! The point-to-point transport abstraction beneath the ring algorithms.
 //!
 //! Every collective in [`crate::ring`] is written against two primitives —
-//! *send one framed chunk of `f64`s to my right neighbour* and *receive one
-//! from my left neighbour* — so the entire algorithm layer is generic over
-//! where those bytes actually go. Two implementations ship:
+//! *send one framed, wire-encoded payload to my right neighbour* and
+//! *receive one from my left neighbour* — so the entire algorithm layer is
+//! generic over where those bytes actually go. Transports carry
+//! [`RingMsg`]s opaquely (the [`crate::wire`] codec runs above them, in
+//! the ring endpoint). Two implementations ship:
 //!
 //! - [`ChannelTransport`]: the original in-process backend. Neighbour ranks
 //!   live on threads of the same process and messages move through
@@ -142,6 +144,9 @@ struct DelayRule {
     /// `None` = any op kind (`*`).
     op: Option<OpKind>,
     mult: f64,
+    /// The rule only applies once the rank has executed at least this many
+    /// collectives (0 = from the start).
+    after: u64,
 }
 
 /// Fault-injection knob for straggler experiments: slows selected ranks'
@@ -152,12 +157,17 @@ struct DelayRule {
 /// Spec grammar (env `SPDKFAC_INJECT_DELAY` or [`DelayInjection::parse`]):
 /// comma-separated `rank:op:multiplier` rules, `*` wildcards for rank and
 /// op, op names as in [`OpKind::name`] (`allreduce`, `broadcast`,
-/// `reducescatter`, `allgather`, `reduce`, `gather`). The **last**
-/// matching rule wins, so broad defaults can precede narrow overrides:
+/// `reduce_scatter`, `allgather`, `reduce`, `gather`). The multiplier may
+/// carry an `@afterN` suffix: the rule only activates once the rank has
+/// executed `N` collectives, which lets one static spec describe a
+/// *mid-run* perturbation (and, paired with a later `@after` rule that
+/// resets to 1.0, a bounded delay window). The **last** matching *active*
+/// rule wins, so broad defaults can precede narrow overrides:
 ///
 /// ```text
 /// SPDKFAC_INJECT_DELAY="*:*:1.0,2:allreduce:3.0"   # rank 2's all-reduces 3× slower
 /// SPDKFAC_INJECT_DELAY="1:*:2.5"                   # rank 1 slow on everything
+/// SPDKFAC_INJECT_DELAY="1:*:4.0@after60,1:*:1.0@after200"  # slow window [60, 200)
 /// ```
 ///
 /// The delay is applied on the communication thread *after* the collective
@@ -210,13 +220,30 @@ impl DelayInjection {
                         .ok_or_else(|| format!("unknown op kind {name:?}"))?,
                 ),
             };
-            let mult = mult
+            let (mult_str, after) = match mult.split_once('@') {
+                None => (mult, 0u64),
+                Some((m, suffix)) => {
+                    let n = suffix
+                        .strip_prefix("after")
+                        .ok_or_else(|| format!("bad suffix {suffix:?} (expected afterN)"))?;
+                    let after = n
+                        .parse::<u64>()
+                        .map_err(|e| format!("after-count {n:?}: {e}"))?;
+                    (m, after)
+                }
+            };
+            let mult = mult_str
                 .parse::<f64>()
-                .map_err(|e| format!("multiplier {mult:?}: {e}"))?;
+                .map_err(|e| format!("multiplier {mult_str:?}: {e}"))?;
             if !mult.is_finite() || mult < 1.0 {
                 return Err(format!("multiplier {mult} must be finite and >= 1"));
             }
-            rules.push(DelayRule { rank, op, mult });
+            rules.push(DelayRule {
+                rank,
+                op,
+                mult,
+                after,
+            });
         }
         if rules.is_empty() {
             return Err("empty spec".into());
@@ -224,20 +251,26 @@ impl DelayInjection {
         Ok(DelayInjection { rules })
     }
 
-    /// The slowdown for `rank` executing `op` (last matching rule wins;
-    /// 1.0 = no delay).
-    pub fn multiplier(&self, rank: usize, op: OpKind) -> f64 {
+    /// The slowdown for `rank` executing `op` as its `executed`-th
+    /// collective (last matching active rule wins; 1.0 = no delay).
+    pub fn multiplier(&self, rank: usize, op: OpKind, executed: u64) -> f64 {
         self.rules
             .iter()
             .rev()
-            .find(|r| r.rank.is_none_or(|rr| rr == rank) && r.op.is_none_or(|ro| ro == op))
+            .find(|r| {
+                r.rank.is_none_or(|rr| rr == rank)
+                    && r.op.is_none_or(|ro| ro == op)
+                    && executed >= r.after
+            })
             .map(|r| r.mult)
             .unwrap_or(1.0)
     }
 
-    /// `true` when some op kind on `rank` is slowed.
+    /// `true` when some op kind on `rank` is slowed at some point.
     pub fn affects(&self, rank: usize) -> bool {
-        OpKind::ALL.iter().any(|&k| self.multiplier(rank, k) > 1.0)
+        self.rules
+            .iter()
+            .any(|r| r.rank.is_none_or(|rr| rr == rank) && r.mult > 1.0)
     }
 }
 
@@ -249,22 +282,12 @@ mod tests {
     fn channel_ring_routes_right() {
         let mut ring = channel_ring(3);
         // Rank 0 sends; rank 1 (its right neighbour) receives.
-        ring[0]
-            .send(RingMsg {
-                origin: 0,
-                data: vec![1.0, 2.0],
-            })
-            .unwrap();
+        ring[0].send(RingMsg::f64(0, vec![1.0, 2.0])).unwrap();
         let got = ring[1].recv().unwrap();
         assert_eq!(got.origin, 0);
-        assert_eq!(got.data, vec![1.0, 2.0]);
+        assert_eq!(got.payload, crate::wire::WirePayload::F64(vec![1.0, 2.0]));
         // Rank 2 sends; rank 0 receives (wrap-around edge).
-        ring[2]
-            .send(RingMsg {
-                origin: 2,
-                data: vec![7.0],
-            })
-            .unwrap();
+        ring[2].send(RingMsg::f64(2, vec![7.0])).unwrap();
         assert_eq!(ring[0].recv().unwrap().origin, 2);
     }
 
@@ -275,10 +298,7 @@ mod tests {
         drop(t1);
         let mut t0 = ring.pop().unwrap();
         assert!(matches!(
-            t0.send(RingMsg {
-                origin: 0,
-                data: vec![]
-            }),
+            t0.send(RingMsg::f64(0, vec![])),
             Err(CommError::Disconnected(_))
         ));
         assert!(matches!(t0.recv(), Err(CommError::Disconnected(_))));
@@ -287,16 +307,16 @@ mod tests {
     #[test]
     fn delay_spec_parses_with_wildcards_and_last_match_wins() {
         let d = DelayInjection::parse("*:*:1.0, 2:allreduce:3.0, 2:broadcast:2.0").unwrap();
-        assert_eq!(d.multiplier(2, OpKind::AllReduce), 3.0);
-        assert_eq!(d.multiplier(2, OpKind::Broadcast), 2.0);
-        assert_eq!(d.multiplier(2, OpKind::Gather), 1.0);
-        assert_eq!(d.multiplier(0, OpKind::AllReduce), 1.0);
+        assert_eq!(d.multiplier(2, OpKind::AllReduce, 0), 3.0);
+        assert_eq!(d.multiplier(2, OpKind::Broadcast, 0), 2.0);
+        assert_eq!(d.multiplier(2, OpKind::Gather, 0), 1.0);
+        assert_eq!(d.multiplier(0, OpKind::AllReduce, 0), 1.0);
         assert!(d.affects(2));
         assert!(!d.affects(0));
 
         // Narrow rule first, broad override after: the broad one wins.
         let d = DelayInjection::parse("1:allreduce:4.0,1:*:1.5").unwrap();
-        assert_eq!(d.multiplier(1, OpKind::AllReduce), 1.5);
+        assert_eq!(d.multiplier(1, OpKind::AllReduce, 0), 1.5);
 
         assert!(DelayInjection::parse("").is_err());
         assert!(DelayInjection::parse("1:allreduce").is_err());
@@ -307,14 +327,29 @@ mod tests {
     }
 
     #[test]
+    fn delay_windows_activate_after_a_count() {
+        // A slow window [60, 200) on rank 1's collectives.
+        let d = DelayInjection::parse("1:*:4.0@after60,1:*:1.0@after200").unwrap();
+        assert_eq!(d.multiplier(1, OpKind::AllReduce, 0), 1.0);
+        assert_eq!(d.multiplier(1, OpKind::AllReduce, 59), 1.0);
+        assert_eq!(d.multiplier(1, OpKind::AllReduce, 60), 4.0);
+        assert_eq!(d.multiplier(1, OpKind::AllReduce, 199), 4.0);
+        assert_eq!(d.multiplier(1, OpKind::AllReduce, 200), 1.0);
+        assert_eq!(d.multiplier(0, OpKind::AllReduce, 100), 1.0);
+        assert!(d.affects(1));
+
+        assert!(DelayInjection::parse("1:*:2.0@60").is_err());
+        assert!(DelayInjection::parse("1:*:2.0@afterx").is_err());
+    }
+
+    #[test]
     fn loopback_round_trips() {
         let mut t = LoopbackTransport::default();
-        t.send(RingMsg {
-            origin: 0,
-            data: vec![3.0],
-        })
-        .unwrap();
-        assert_eq!(t.recv().unwrap().data, vec![3.0]);
+        t.send(RingMsg::f64(0, vec![3.0])).unwrap();
+        assert_eq!(
+            t.recv().unwrap().payload,
+            crate::wire::WirePayload::F64(vec![3.0])
+        );
         assert!(t.recv().is_err());
         assert_eq!(t.kind(), "loopback");
     }

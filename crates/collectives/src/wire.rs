@@ -1,0 +1,679 @@
+//! Wire-format codecs for the ring collectives.
+//!
+//! Every payload a ring collective puts on the wire passes through this
+//! module: the comm thread picks a [`WireFormat`] per operation (via
+//! [`WirePolicy`]), the ring endpoint encodes outgoing chunks with
+//! [`encode`] and decodes incoming ones with [`decode`] /
+//! [`decode_ref`]. The default format is [`WireFormat::F64`], a bit-exact
+//! pass-through that moves the `Vec<f64>` without copying, so runs that
+//! never opt in pay nothing.
+//!
+//! Lossy formats are first-class citizens, not casts:
+//!
+//! - **f32 / f16** round every element (f16 with round-to-nearest-even via
+//!   a software converter — the container has no `half` crate and needs
+//!   none), and the encoder reports the max absolute/relative rounding
+//!   error it introduced so the comm thread can publish per-op error
+//!   metrics.
+//! - **top-k** ([`WireFormat::TopK`]) sends only the `ratio` fraction of
+//!   largest-magnitude elements. The dropped mass is *moved*, bit-exactly,
+//!   into a residual buffer ([`sparsify_with_residual`]) that the comm
+//!   thread carries to the next operation of the same shape — the
+//!   error-feedback scheme of gradient-sparsification practice. The sparse
+//!   payload self-describes (index/value pairs in f32) and falls back to a
+//!   dense f32 body whenever that is smaller.
+//!
+//! SPMD parity matters more than byte counts: whenever a collective's
+//! result must be identical on every rank (broadcast, all-gather, the
+//! all-gather phase of all-reduce), the *originating* rank encodes once,
+//! decodes its own bytes, and relays the encoded payload verbatim — every
+//! rank then derives its result from the same bytes, so ranks agree
+//! bit-for-bit even under lossy formats.
+
+use std::time::Instant;
+
+/// Element encoding used on the wire for one collective operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireFormat {
+    /// Bit-exact f64 pass-through (8 bytes/element, zero codec cost).
+    F64,
+    /// IEEE single precision (4 bytes/element).
+    F32,
+    /// IEEE half precision, software-converted with round-to-nearest-even
+    /// (2 bytes/element).
+    F16,
+    /// Residual-compensated top-k sparsification: keep the `ratio`
+    /// fraction of largest-|v| elements as (u32 index, f32 value) pairs,
+    /// carry the rest as residual into the next same-shape operation.
+    TopK {
+        /// Fraction of elements kept, in `(0, 1]`.
+        ratio: f64,
+    },
+}
+
+impl WireFormat {
+    /// Expected wire bytes per logical element (top-k is the asymptotic
+    /// index+value cost; the codec picks a dense fallback when cheaper).
+    pub fn bytes_per_elem(&self) -> f64 {
+        match self {
+            WireFormat::F64 => 8.0,
+            WireFormat::F32 => 4.0,
+            WireFormat::F16 => 2.0,
+            WireFormat::TopK { ratio } => (ratio * 8.0).min(4.0),
+        }
+    }
+
+    /// `true` when encode/decode reproduces the input bit-for-bit.
+    pub fn is_lossless(&self) -> bool {
+        matches!(self, WireFormat::F64)
+    }
+
+    /// Parses `"f64" | "f32" | "f16" | "topk:<ratio>"`.
+    pub fn parse(s: &str) -> Result<WireFormat, String> {
+        let t = s.trim().to_ascii_lowercase();
+        match t.as_str() {
+            "f64" | "fp64" => Ok(WireFormat::F64),
+            "f32" | "fp32" => Ok(WireFormat::F32),
+            "f16" | "fp16" => Ok(WireFormat::F16),
+            _ => {
+                if let Some(r) = t.strip_prefix("topk:") {
+                    let ratio: f64 = r
+                        .parse()
+                        .map_err(|_| format!("bad top-k ratio {r:?} in wire format {s:?}"))?;
+                    if !(ratio > 0.0 && ratio <= 1.0) {
+                        return Err(format!("top-k ratio {ratio} outside (0, 1]"));
+                    }
+                    Ok(WireFormat::TopK { ratio })
+                } else {
+                    Err(format!(
+                        "unknown wire format {s:?} (expected f64|f32|f16|topk:<ratio>)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for WireFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireFormat::F64 => f.write_str("f64"),
+            WireFormat::F32 => f.write_str("f32"),
+            WireFormat::F16 => f.write_str("f16"),
+            WireFormat::TopK { ratio } => write!(f, "topk:{ratio}"),
+        }
+    }
+}
+
+/// Per-operation wire-format policy, keyed by what the collective moves.
+///
+/// `control` covers everything that is not gradient, factor, or broadcast
+/// traffic — loss agreement all-reduces, re-plan barriers, calibration
+/// votes — and defaults to (and should stay) [`WireFormat::F64`]: those
+/// payloads are tiny and correctness-critical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WirePolicy {
+    /// Gradient all-reduce traffic ([`Phase::GradComm`](spdkfac_obs::Phase)).
+    pub grad: WireFormat,
+    /// Kronecker-factor all-reduce traffic (`Phase::FactorComm`).
+    pub factor: WireFormat,
+    /// Broadcast traffic (inverse-result fan-out), any phase.
+    pub broadcast: WireFormat,
+    /// Control-plane traffic (barriers, agreement reductions, loss).
+    pub control: WireFormat,
+}
+
+impl Default for WirePolicy {
+    fn default() -> Self {
+        WirePolicy {
+            grad: WireFormat::F64,
+            factor: WireFormat::F64,
+            broadcast: WireFormat::F64,
+            control: WireFormat::F64,
+        }
+    }
+}
+
+impl WirePolicy {
+    /// One format for gradients, factors, and broadcasts; control stays
+    /// f64. Top-k degrades to f32 for broadcasts (sparsifying an inverse
+    /// matrix fan-out makes no sense — the residual would never drain).
+    pub fn uniform(f: WireFormat) -> Self {
+        let broadcast = match f {
+            WireFormat::TopK { .. } => WireFormat::F32,
+            other => other,
+        };
+        WirePolicy {
+            grad: f,
+            factor: f,
+            broadcast,
+            control: WireFormat::F64,
+        }
+    }
+
+    /// Parses either a single format (`"f16"`, applied via [`uniform`]) or
+    /// a comma-separated key=value list, e.g.
+    /// `"grad=topk:0.1,factor=f16,broadcast=f32"`. Unmentioned keys keep
+    /// their defaults.
+    ///
+    /// [`uniform`]: WirePolicy::uniform
+    pub fn parse(s: &str) -> Result<WirePolicy, String> {
+        if !s.contains('=') {
+            return Ok(WirePolicy::uniform(WireFormat::parse(s)?));
+        }
+        let mut policy = WirePolicy::default();
+        for part in s.split(',') {
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad wire policy entry {part:?} (expected key=format)"))?;
+            let fmt = WireFormat::parse(val)?;
+            match key.trim() {
+                "grad" => policy.grad = fmt,
+                "factor" => policy.factor = fmt,
+                "broadcast" | "bcast" => policy.broadcast = fmt,
+                "control" => policy.control = fmt,
+                other => {
+                    return Err(format!(
+                        "unknown wire policy key {other:?} (grad|factor|broadcast|control)"
+                    ))
+                }
+            }
+        }
+        Ok(policy)
+    }
+
+    /// `true` when every op class is bit-exact f64.
+    pub fn is_lossless(&self) -> bool {
+        self.grad.is_lossless()
+            && self.factor.is_lossless()
+            && self.broadcast.is_lossless()
+            && self.control.is_lossless()
+    }
+
+    /// The format for a collective of `kind` submitted under `phase`.
+    pub fn format_for(&self, phase: spdkfac_obs::Phase, kind: crate::stats::OpKind) -> WireFormat {
+        use crate::stats::OpKind;
+        use spdkfac_obs::Phase;
+        match kind {
+            OpKind::Broadcast => self.broadcast,
+            _ => match phase {
+                Phase::GradComm => self.grad,
+                Phase::FactorComm => self.factor,
+                _ => self.control,
+            },
+        }
+    }
+}
+
+/// An encoded payload as it travels between ring neighbours.
+///
+/// The variant tag is part of the frame on the TCP backend, so a receiver
+/// decodes without out-of-band format agreement — which also lets relays
+/// forward payloads verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WirePayload {
+    /// Bit-exact doubles (the pass-through fast path keeps the `Vec`).
+    F64(Vec<f64>),
+    /// Little-endian f32 bytes.
+    F32(Vec<u8>),
+    /// Little-endian f16 bytes.
+    F16(Vec<u8>),
+    /// Self-describing sparse/dense-f32 body (see module docs).
+    Sparse(Vec<u8>),
+}
+
+impl WirePayload {
+    /// Logical element count carried by this payload.
+    pub fn elems(&self) -> usize {
+        match self {
+            WirePayload::F64(v) => v.len(),
+            WirePayload::F32(b) => b.len() / 4,
+            WirePayload::F16(b) => b.len() / 2,
+            WirePayload::Sparse(b) => sparse_logical_len(b),
+        }
+    }
+
+    /// Actual bytes this payload occupies on the wire (body only).
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            WirePayload::F64(v) => v.len() * 8,
+            WirePayload::F32(b) | WirePayload::F16(b) | WirePayload::Sparse(b) => b.len(),
+        }
+    }
+
+    /// Frame tag used by the TCP backend (0=f64, 1=f32, 2=f16, 3=sparse).
+    pub fn tag(&self) -> u8 {
+        match self {
+            WirePayload::F64(_) => 0,
+            WirePayload::F32(_) => 1,
+            WirePayload::F16(_) => 2,
+            WirePayload::Sparse(_) => 3,
+        }
+    }
+}
+
+/// Codec-side cost and error of one [`encode`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CodecStats {
+    /// CPU seconds spent converting (0 for the f64 pass-through).
+    pub secs: f64,
+    /// Max absolute error vs. the input introduced by this encode.
+    pub max_abs_err: f64,
+    /// Max relative error (|err| / |input|) over non-zero inputs.
+    pub max_rel_err: f64,
+}
+
+impl CodecStats {
+    fn observe(&mut self, input: f64, encoded: f64) {
+        let abs = (input - encoded).abs();
+        if abs > self.max_abs_err {
+            self.max_abs_err = abs;
+        }
+        if input != 0.0 {
+            let rel = abs / input.abs();
+            if rel > self.max_rel_err {
+                self.max_rel_err = rel;
+            }
+        }
+    }
+}
+
+/// Encodes `data` in `fmt`, reporting codec time and rounding error.
+///
+/// The f64 path moves the vector (zero cost, zero error). The top-k path
+/// assumes sparsification already happened upstream (the comm thread owns
+/// the residual state) and simply serialises whatever zeros/non-zeros it
+/// is handed, picking the sparse body only when it is smaller than a
+/// dense f32 one.
+pub fn encode(fmt: WireFormat, data: Vec<f64>) -> (WirePayload, CodecStats) {
+    let mut cs = CodecStats::default();
+    match fmt {
+        WireFormat::F64 => (WirePayload::F64(data), cs),
+        WireFormat::F32 => {
+            let t0 = Instant::now();
+            let mut bytes = Vec::with_capacity(data.len() * 4);
+            for &x in &data {
+                let f = x as f32;
+                cs.observe(x, f as f64);
+                bytes.extend_from_slice(&f.to_le_bytes());
+            }
+            cs.secs = t0.elapsed().as_secs_f64();
+            (WirePayload::F32(bytes), cs)
+        }
+        WireFormat::F16 => {
+            let t0 = Instant::now();
+            let mut bytes = Vec::with_capacity(data.len() * 2);
+            for &x in &data {
+                let h = f32_to_f16_bits(x as f32);
+                cs.observe(x, f16_bits_to_f32(h) as f64);
+                bytes.extend_from_slice(&h.to_le_bytes());
+            }
+            cs.secs = t0.elapsed().as_secs_f64();
+            (WirePayload::F16(bytes), cs)
+        }
+        WireFormat::TopK { .. } => {
+            let t0 = Instant::now();
+            let len = data.len();
+            let nnz = data.iter().filter(|v| **v != 0.0).count();
+            // Sparse body: 8 bytes/non-zero vs. 4 bytes/element dense.
+            let mut bytes;
+            if 8 * nnz < 4 * len {
+                bytes = Vec::with_capacity(9 + 8 * nnz);
+                bytes.push(1u8);
+                bytes.extend_from_slice(&(len as u32).to_le_bytes());
+                bytes.extend_from_slice(&(nnz as u32).to_le_bytes());
+                for (i, &x) in data.iter().enumerate() {
+                    if x != 0.0 {
+                        let f = x as f32;
+                        cs.observe(x, f as f64);
+                        bytes.extend_from_slice(&(i as u32).to_le_bytes());
+                        bytes.extend_from_slice(&f.to_le_bytes());
+                    }
+                }
+            } else {
+                bytes = Vec::with_capacity(6 + 4 * len);
+                bytes.push(0u8);
+                bytes.extend_from_slice(&(len as u32).to_le_bytes());
+                for &x in &data {
+                    let f = x as f32;
+                    cs.observe(x, f as f64);
+                    bytes.extend_from_slice(&f.to_le_bytes());
+                }
+            }
+            cs.secs = t0.elapsed().as_secs_f64();
+            (WirePayload::Sparse(bytes), cs)
+        }
+    }
+}
+
+/// Decodes an owned payload into doubles; returns the codec seconds spent.
+///
+/// The f64 variant moves the vector back out — the lossless round trip is
+/// allocation-free in both directions.
+pub fn decode(payload: WirePayload) -> (Vec<f64>, f64) {
+    match payload {
+        WirePayload::F64(v) => (v, 0.0),
+        other => decode_ref(&other),
+    }
+}
+
+/// Decodes a borrowed payload (for relay paths that also forward it).
+pub fn decode_ref(payload: &WirePayload) -> (Vec<f64>, f64) {
+    match payload {
+        WirePayload::F64(v) => (v.clone(), 0.0),
+        WirePayload::F32(b) => {
+            let t0 = Instant::now();
+            let out: Vec<f64> = b
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")) as f64)
+                .collect();
+            (out, t0.elapsed().as_secs_f64())
+        }
+        WirePayload::F16(b) => {
+            let t0 = Instant::now();
+            let out: Vec<f64> = b
+                .chunks_exact(2)
+                .map(|c| {
+                    f16_bits_to_f32(u16::from_le_bytes(c.try_into().expect("2-byte chunk"))) as f64
+                })
+                .collect();
+            (out, t0.elapsed().as_secs_f64())
+        }
+        WirePayload::Sparse(b) => {
+            let t0 = Instant::now();
+            let out = decode_sparse(b);
+            (out, t0.elapsed().as_secs_f64())
+        }
+    }
+}
+
+fn sparse_logical_len(b: &[u8]) -> usize {
+    assert!(b.len() >= 5, "sparse payload shorter than its header");
+    u32::from_le_bytes(b[1..5].try_into().expect("4-byte len")) as usize
+}
+
+fn decode_sparse(b: &[u8]) -> Vec<f64> {
+    let len = sparse_logical_len(b);
+    match b[0] {
+        0 => {
+            let body = &b[5..];
+            assert_eq!(body.len(), 4 * len, "dense sparse-fallback body mismatch");
+            body.chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")) as f64)
+                .collect()
+        }
+        1 => {
+            let nnz = u32::from_le_bytes(b[5..9].try_into().expect("4-byte nnz")) as usize;
+            let body = &b[9..];
+            assert_eq!(body.len(), 8 * nnz, "sparse body mismatch");
+            let mut out = vec![0.0f64; len];
+            for pair in body.chunks_exact(8) {
+                let idx = u32::from_le_bytes(pair[0..4].try_into().expect("idx")) as usize;
+                let val = f32::from_le_bytes(pair[4..8].try_into().expect("val"));
+                assert!(idx < len, "sparse index {idx} out of range {len}");
+                out[idx] = val as f64;
+            }
+            out
+        }
+        t => panic!("unknown sparse payload tag {t}"),
+    }
+}
+
+/// Moves all but the top `ratio` fraction (by |value|) of `data + residual`
+/// into `residual`, leaving the kept values (bit-exact sums) in `data`.
+///
+/// Conservation is exact by construction: each element ends up wholly in
+/// `data` or wholly in `residual`, so `data[i] + residual[i]` equals the
+/// pre-call `input[i] + residual[i]` bit-for-bit. Returns the number of
+/// elements kept.
+pub fn sparsify_with_residual(data: &mut [f64], ratio: f64, residual: &mut Vec<f64>) -> usize {
+    let len = data.len();
+    if residual.len() != len {
+        residual.clear();
+        residual.resize(len, 0.0);
+    }
+    for (d, r) in data.iter_mut().zip(residual.iter()) {
+        *d += *r;
+    }
+    let k = ((ratio * len as f64).ceil() as usize).clamp(1, len);
+    if k == len {
+        residual.iter_mut().for_each(|r| *r = 0.0);
+        return k;
+    }
+    let mut order: Vec<usize> = (0..len).collect();
+    order.select_nth_unstable_by(k - 1, |&a, &b| {
+        data[b]
+            .abs()
+            .partial_cmp(&data[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut keep = vec![false; len];
+    for &i in &order[..k] {
+        keep[i] = true;
+    }
+    for i in 0..len {
+        if keep[i] {
+            residual[i] = 0.0;
+        } else {
+            residual[i] = data[i];
+            data[i] = 0.0;
+        }
+    }
+    k
+}
+
+/// Converts an f32 to IEEE binary16 bits with round-to-nearest-even.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Inf / NaN (keep NaN payload non-zero).
+        let payload = if man != 0 {
+            ((man >> 13) as u16) | 1
+        } else {
+            0
+        };
+        return sign | 0x7c00 | payload;
+    }
+    let e = exp - 112; // re-bias: 127 -> 15
+    if e >= 0x1f {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if e <= 0 {
+        // Subnormal half (or zero): shift the full significand (with its
+        // implicit bit) into the 10-bit field, rounding to nearest even.
+        if e < -10 {
+            return sign; // underflows to zero even after rounding
+        }
+        let full = man | 0x0080_0000;
+        let shift = (14 - e) as u32;
+        let mut h = full >> shift;
+        let rem = full & ((1u32 << shift) - 1);
+        let half_ulp = 1u32 << (shift - 1);
+        if rem > half_ulp || (rem == half_ulp && h & 1 == 1) {
+            h += 1;
+        }
+        return sign | h as u16;
+    }
+    // Normal half. The rounding increment may carry through the mantissa
+    // into the exponent (and to infinity) — doing the arithmetic in u32
+    // before narrowing makes that carry correct by construction.
+    let mut h = ((e as u32) << 10) | (man >> 13);
+    let rem = man & 0x1fff;
+    if rem > 0x1000 || (rem == 0x1000 && h & 1 == 1) {
+        h += 1;
+    }
+    sign | h as u16
+}
+
+/// Converts IEEE binary16 bits to an f32 (exact — every half is an f32).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let man = (h & 0x03ff) as u32;
+    if exp == 0 {
+        // Zero or subnormal: value is man * 2^-24.
+        let mag = man as f32 * (1.0 / 16_777_216.0);
+        return if sign != 0 { -mag } else { mag };
+    }
+    if exp == 0x1f {
+        let bits = sign | 0x7f80_0000 | (man << 13);
+        return f32::from_bits(bits);
+    }
+    f32::from_bits(sign | ((exp + 112) << 23) | (man << 13))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trip_is_bit_exact_and_free() {
+        let data = vec![1.0, -2.5, 3.7e-300, f64::MAX, 0.0];
+        let (payload, cs) = encode(WireFormat::F64, data.clone());
+        assert_eq!(cs.max_abs_err, 0.0);
+        assert_eq!(payload.wire_bytes(), data.len() * 8);
+        assert_eq!(payload.elems(), data.len());
+        let (back, _) = decode(payload);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn f32_round_trip_matches_hardware_cast() {
+        let data = vec![1.0, -0.333_333_333_333, 1e20, 1e-20, 0.125];
+        let (payload, cs) = encode(WireFormat::F32, data.clone());
+        assert_eq!(payload.wire_bytes(), data.len() * 4);
+        let (back, _) = decode(payload);
+        for (x, y) in data.iter().zip(back.iter()) {
+            assert_eq!(*y, (*x as f32) as f64);
+        }
+        assert!(cs.max_rel_err < 1e-6, "f32 rel err {}", cs.max_rel_err);
+    }
+
+    #[test]
+    fn f16_conversion_handles_edge_cases() {
+        // Exact small values survive.
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, -0.25] {
+            let h = f32_to_f16_bits(v);
+            assert_eq!(f16_bits_to_f32(h), v, "value {v}");
+        }
+        // Overflow saturates to infinity.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e9)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e9)), f32::NEG_INFINITY);
+        // Tiny values flush to (signed) zero.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e-12)), 0.0);
+        // Subnormal halves round-trip: 2^-24 is the smallest positive half.
+        let tiny = 1.0 / 16_777_216.0;
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(tiny)), tiny);
+        // NaN stays NaN.
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+        // Round-to-nearest-even at the mantissa boundary: 2049 is exactly
+        // between 2048 and 2050 in f16 and must round to the even 2048.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(2049.0)), 2048.0);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(2051.0)), 2052.0);
+    }
+
+    #[test]
+    fn f16_relative_error_is_bounded() {
+        // Max RNE relative error for normal halves is 2^-11.
+        let data: Vec<f64> = (1..200).map(|i| (i as f64) * 0.137 - 13.0).collect();
+        let (payload, cs) = encode(WireFormat::F16, data.clone());
+        assert_eq!(payload.wire_bytes(), data.len() * 2);
+        assert!(cs.max_rel_err <= 1.0 / 2048.0, "rel {}", cs.max_rel_err);
+        let (back, _) = decode(payload);
+        for (x, y) in data.iter().zip(back.iter()) {
+            assert!((x - y).abs() <= x.abs() / 2048.0, "{x} -> {y}");
+        }
+    }
+
+    #[test]
+    fn sparsify_conserves_mass_bit_exactly() {
+        let input = vec![0.5, -3.0, 0.125, 2.0, -0.0625, 1.0, 0.25, -4.0];
+        let mut data = input.clone();
+        let mut residual = vec![0.0; input.len()];
+        let kept = sparsify_with_residual(&mut data, 0.25, &mut residual);
+        assert_eq!(kept, 2);
+        assert_eq!(data.iter().filter(|v| **v != 0.0).count(), 2);
+        // Largest magnitudes kept: -4.0 and -3.0.
+        assert_eq!(data[7], -4.0);
+        assert_eq!(data[1], -3.0);
+        for i in 0..input.len() {
+            assert_eq!(data[i] + residual[i], input[i], "slot {i}");
+        }
+        // Second round: residual folds back in.
+        let round2 = vec![0.0; input.len()];
+        let mut data2 = round2.clone();
+        let kept2 = sparsify_with_residual(&mut data2, 0.25, &mut residual);
+        assert_eq!(kept2, 2);
+        for i in 0..input.len() {
+            let drained = data2[i] != 0.0;
+            if drained {
+                assert_eq!(residual[i], 0.0);
+            }
+        }
+        // 2.0 and 1.0 are now the largest remaining.
+        assert_eq!(data2[3], 2.0);
+        assert_eq!(data2[5], 1.0);
+    }
+
+    #[test]
+    fn sparse_payload_round_trips_and_degrades_to_dense() {
+        // Mostly-zero vector: sparse body.
+        let mut sparse_vec = vec![0.0f64; 64];
+        sparse_vec[3] = 1.5;
+        sparse_vec[60] = -2.25;
+        let (payload, _) = encode(WireFormat::TopK { ratio: 0.05 }, sparse_vec.clone());
+        assert!(payload.wire_bytes() < 64 * 4, "sparse should beat dense");
+        assert_eq!(payload.elems(), 64);
+        let (back, _) = decode(payload);
+        assert_eq!(back, sparse_vec);
+        // Dense vector: codec must fall back to the dense f32 body.
+        let dense_vec: Vec<f64> = (0..64).map(|i| i as f64 + 0.5).collect();
+        let (payload, _) = encode(WireFormat::TopK { ratio: 0.05 }, dense_vec.clone());
+        assert_eq!(payload.wire_bytes(), 5 + 64 * 4);
+        let (back, _) = decode(payload);
+        for (x, y) in dense_vec.iter().zip(back.iter()) {
+            assert_eq!(*y, (*x as f32) as f64);
+        }
+    }
+
+    #[test]
+    fn policy_parsing_and_selection() {
+        use crate::stats::OpKind;
+        use spdkfac_obs::Phase;
+        let p = WirePolicy::parse("f16").expect("uniform");
+        assert_eq!(p.grad, WireFormat::F16);
+        assert_eq!(p.factor, WireFormat::F16);
+        assert_eq!(p.broadcast, WireFormat::F16);
+        assert_eq!(p.control, WireFormat::F64);
+        assert_eq!(
+            p.format_for(Phase::GradComm, OpKind::AllReduce),
+            WireFormat::F16
+        );
+        assert_eq!(
+            p.format_for(Phase::Update, OpKind::AllReduce),
+            WireFormat::F64
+        );
+        assert_eq!(
+            p.format_for(Phase::InverseComm, OpKind::Broadcast),
+            WireFormat::F16
+        );
+
+        let p = WirePolicy::parse("grad=topk:0.1,factor=f32").expect("kv");
+        assert_eq!(p.grad, WireFormat::TopK { ratio: 0.1 });
+        assert_eq!(p.factor, WireFormat::F32);
+        assert_eq!(p.broadcast, WireFormat::F64);
+
+        // Top-k uniform policies keep broadcasts dense.
+        let p = WirePolicy::uniform(WireFormat::TopK { ratio: 0.01 });
+        assert_eq!(p.broadcast, WireFormat::F32);
+        assert!(!p.is_lossless());
+        assert!(WirePolicy::default().is_lossless());
+
+        assert!(WireFormat::parse("f8").is_err());
+        assert!(WireFormat::parse("topk:1.5").is_err());
+        assert!(WirePolicy::parse("grads=f16").is_err());
+    }
+}

@@ -1,17 +1,28 @@
 //! Property tests: the ring collectives agree with sequential references for
-//! arbitrary world sizes, buffer lengths and payloads.
+//! arbitrary world sizes, buffer lengths and payloads, and the wire codecs
+//! respect their documented error bounds.
 
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
-use spdkfac_collectives::{Backend, CommGroup};
+use spdkfac_collectives::wire::{decode, encode, sparsify_with_residual};
+use spdkfac_collectives::{Backend, CommGroup, WireFormat, WirePolicy};
 use std::thread;
 
 fn run_spmd<T: Send>(
     world: usize,
     f: impl Fn(&spdkfac_collectives::WorkerComm) -> T + Sync,
 ) -> Vec<T> {
+    run_spmd_wire(world, WirePolicy::default(), f)
+}
+
+fn run_spmd_wire<T: Send>(
+    world: usize,
+    wire: WirePolicy,
+    f: impl Fn(&spdkfac_collectives::WorkerComm) -> T + Sync,
+) -> Vec<T> {
     let endpoints = CommGroup::builder()
         .world_size(world)
+        .wire_policy(wire)
         .backend(Backend::Local)
         .build()
         .expect("local backend is infallible")
@@ -120,6 +131,132 @@ proptest! {
             prop_assert_eq!(idx, gathered.len());
             for (a, b) in rebuilt.iter().zip(direct.iter()) {
                 prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn f64_wire_round_trip_is_bit_exact(
+        data in pvec((0u64..u64::MAX).prop_map(f64::from_bits), 0..64),
+    ) {
+        // The passthrough format must preserve every bit pattern,
+        // including NaNs, infinities and signed zeros — it is the
+        // correctness baseline everything else is measured against.
+        let (payload, stats) = encode(WireFormat::F64, data.clone());
+        prop_assert_eq!(payload.wire_bytes(), data.len() * 8);
+        prop_assert_eq!(stats.max_abs_err, 0.0);
+        let (back, _) = decode(payload);
+        prop_assert_eq!(back.len(), data.len());
+        for (a, b) in back.iter().zip(data.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_wire_round_trip_is_within_half_ulp(data in pvec(-1e30f64..1e30, 0..64)) {
+        let (payload, _) = encode(WireFormat::F32, data.clone());
+        prop_assert_eq!(payload.wire_bytes(), data.len() * 4);
+        let (back, _) = decode(payload);
+        for (a, b) in back.iter().zip(data.iter()) {
+            // Round-to-nearest f64 -> f32: relative error <= 2^-24.
+            prop_assert!((a - b).abs() <= b.abs() * 2f64.powi(-24));
+        }
+    }
+
+    #[test]
+    fn f16_wire_round_trip_is_within_documented_bound(data in pvec(-6e4f64..6e4, 0..64)) {
+        let (payload, _) = encode(WireFormat::F16, data.clone());
+        prop_assert_eq!(payload.wire_bytes(), data.len() * 2);
+        let (back, _) = decode(payload);
+        for (a, b) in back.iter().zip(data.iter()) {
+            // f64 -> f32 -> f16 double rounding: relative error <= 2^-11
+            // in the normal range plus 2^-25 absolute for subnormals,
+            // with a hair of slack for the intermediate f32 step.
+            let bound = b.abs() * 1.01 * 2f64.powi(-11) + 2f64.powi(-24);
+            prop_assert!(
+                (a - b).abs() <= bound,
+                "f16({}) -> {} err {} > bound {}", b, a, (a - b).abs(), bound
+            );
+        }
+    }
+
+    #[test]
+    fn topk_sparsify_conserves_mass_bit_exactly(
+        data in pvec(-1e3f64..1e3, 0..64),
+        carried in pvec(-1e-1f64..1e-1, 0..64),
+        ratio in 0.05f64..1.0,
+    ) {
+        // Error feedback invariant: every input coordinate ends up wholly
+        // on the wire or wholly in the residual, so sent + carried equals
+        // input + prior residual bit-for-bit — nothing is ever lost.
+        let mut residual: Vec<f64> = carried.iter().take(data.len()).copied().collect();
+        residual.resize(data.len(), 0.0);
+        let folded: Vec<f64> = data
+            .iter()
+            .zip(residual.iter())
+            .map(|(d, r)| d + r)
+            .collect();
+        let mut sent = data.clone();
+        let kept = sparsify_with_residual(&mut sent, ratio, &mut residual);
+        prop_assert!(kept <= data.len());
+        for i in 0..data.len() {
+            prop_assert!(sent[i] == 0.0 || residual[i] == 0.0);
+            prop_assert_eq!((sent[i] + residual[i]).to_bits(), folded[i].to_bits());
+        }
+        // The sparse payload then carries each kept value at f32
+        // precision and zeros exactly.
+        let (payload, _) = encode(WireFormat::TopK { ratio }, sent.clone());
+        let (back, _) = decode(payload);
+        for (a, b) in back.iter().zip(sent.iter()) {
+            prop_assert_eq!(a.to_bits(), ((*b as f32) as f64).to_bits());
+        }
+    }
+
+    #[test]
+    fn f16_policy_allreduce_stays_within_accumulated_bound(
+        world in 1usize..5,
+        per_rank in pvec(pvec(-100.0f64..100.0, 0..40), 5),
+    ) {
+        let len = per_rank.iter().take(world).map(|v| v.len()).min().unwrap_or(0);
+        let inputs: Vec<Vec<f64>> = (0..world).map(|r| per_rank[r][..len].to_vec()).collect();
+        let expected: Vec<f64> = (0..len)
+            .map(|i| inputs.iter().map(|v| v[i]).sum())
+            .collect();
+        // Worst-case magnitude any partial sum can reach per coordinate.
+        let abs_sum: Vec<f64> = (0..len)
+            .map(|i| inputs.iter().map(|v| v[i].abs()).sum())
+            .collect();
+
+        let inputs_ref = &inputs;
+        let results = run_spmd_wire(
+            world,
+            WirePolicy::uniform(WireFormat::F16),
+            move |comm| {
+                let mut buf = inputs_ref[comm.rank()].clone();
+                comm.allreduce_sum(&mut buf);
+                buf
+            },
+        );
+        // Every hop of the reduce-scatter re-encodes a partial sum, and
+        // the allgather re-encodes once more: <= world + 1 roundings of
+        // magnitude <= abs_sum each, 2^-11 relative per rounding.
+        let first = &results[0];
+        for r in &results {
+            for ((a, b), m) in r.iter().zip(expected.iter()).zip(abs_sum.iter()) {
+                let bound = (world as f64 + 1.0) * 1.01 * 2f64.powi(-11) * m + 1e-9;
+                prop_assert!(
+                    (a - b).abs() <= bound,
+                    "allreduce f16 err {} > bound {}", (a - b).abs(), bound
+                );
+            }
+            // All ranks must still agree bit-for-bit: lossy encoding
+            // happens once per chunk at its origin, never per receiver.
+            for (a, f) in r.iter().zip(first.iter()) {
+                prop_assert_eq!(a.to_bits(), f.to_bits());
             }
         }
     }

@@ -35,15 +35,34 @@ pub enum SampleKind {
     Broadcast,
     /// Matrix inversions / eigendecompositions: `(dimension, seconds)`.
     Inverse,
+    /// All-reduces sized in *post-encoding wire bytes*: `(bytes, seconds)`.
+    /// Under a compressed wire format the per-element fit conflates codec
+    /// choice with link speed; the per-byte fit stays format-independent.
+    AllReduceWire,
+    /// Wire codec CPU cost: `(elements, codec seconds)`. Zero-duration
+    /// samples (the f64 pass-through) are rejected like all others, so this
+    /// window only fills under compressed formats.
+    Encode,
 }
 
 impl SampleKind {
+    /// Every kind, in display order.
+    pub const ALL: [SampleKind; 5] = [
+        SampleKind::AllReduce,
+        SampleKind::Broadcast,
+        SampleKind::Inverse,
+        SampleKind::AllReduceWire,
+        SampleKind::Encode,
+    ];
+
     /// Metric-name component (`calib/<name>/...`).
     pub fn name(self) -> &'static str {
         match self {
             SampleKind::AllReduce => "allreduce",
             SampleKind::Broadcast => "broadcast",
             SampleKind::Inverse => "inverse",
+            SampleKind::AllReduceWire => "allreduce_wire",
+            SampleKind::Encode => "encode",
         }
     }
 }
@@ -104,6 +123,33 @@ pub struct RefitModels {
     pub inverse: Option<ExpInverseModel>,
     /// Cubic inversion model over tensor dimensions (the O(d³) sanity fit).
     pub inverse_cubic: Option<CubicCostModel>,
+    /// All-reduce α-β line over post-encoding *wire bytes* (β in s/byte).
+    pub allreduce_wire: Option<AlphaBetaModel>,
+    /// Codec α-β line over element counts (β in s/element of encode+decode
+    /// CPU time). Only fits under lossy/compressed wire formats.
+    pub encode: Option<AlphaBetaModel>,
+}
+
+impl RefitModels {
+    /// Composes the wire-byte fit and the codec fit into an *effective
+    /// per-element* all-reduce model for a format moving `bytes_per_elem`
+    /// bytes per `f64`: `β_elem = β_byte · bytes_per_elem + β_encode` and
+    /// `α = α_wire + α_encode`. This is what Eq. 15 fusion and LBP should
+    /// plan with when the wire is compressed — the plain per-element refit
+    /// would bake the current format's compression ratio into β and
+    /// mispredict any op using a different format. Returns `None` without a
+    /// wire-byte fit; a missing codec fit contributes zero cost.
+    pub fn wire_effective_allreduce(&self, bytes_per_elem: f64) -> Option<AlphaBetaModel> {
+        let wire = self.allreduce_wire.as_ref()?;
+        let (enc_alpha, enc_beta) = match &self.encode {
+            Some(e) => (e.alpha, e.beta),
+            None => (0.0, 0.0),
+        };
+        Some(AlphaBetaModel::new(
+            wire.alpha + enc_alpha,
+            wire.beta * bytes_per_elem + enc_beta,
+        ))
+    }
 }
 
 /// One decision flip found by the counterfactual re-plan.
@@ -214,6 +260,8 @@ pub struct Calibrator {
     allreduce: SampleWindow,
     broadcast: SampleWindow,
     inverse: SampleWindow,
+    allreduce_wire: SampleWindow,
+    encode: SampleWindow,
     refit: RefitModels,
 }
 
@@ -239,6 +287,8 @@ impl Calibrator {
             allreduce: SampleWindow::new(window),
             broadcast: SampleWindow::new(window),
             inverse: SampleWindow::new(window),
+            allreduce_wire: SampleWindow::new(window),
+            encode: SampleWindow::new(window),
             refit: RefitModels::default(),
         }
     }
@@ -249,6 +299,8 @@ impl Calibrator {
             SampleKind::AllReduce => self.allreduce.push(size, secs),
             SampleKind::Broadcast => self.broadcast.push(size, secs),
             SampleKind::Inverse => self.inverse.push(size, secs),
+            SampleKind::AllReduceWire => self.allreduce_wire.push(size, secs),
+            SampleKind::Encode => self.encode.push(size, secs),
         }
     }
 
@@ -258,18 +310,14 @@ impl Calibrator {
             SampleKind::AllReduce => self.allreduce.samples.len(),
             SampleKind::Broadcast => self.broadcast.samples.len(),
             SampleKind::Inverse => self.inverse.samples.len(),
+            SampleKind::AllReduceWire => self.allreduce_wire.samples.len(),
+            SampleKind::Encode => self.encode.samples.len(),
         }
     }
 
     /// `true` when no samples have been ingested at all.
     pub fn is_empty(&self) -> bool {
-        [
-            SampleKind::AllReduce,
-            SampleKind::Broadcast,
-            SampleKind::Inverse,
-        ]
-        .iter()
-        .all(|&k| self.len(k) == 0)
+        SampleKind::ALL.iter().all(|&k| self.len(k) == 0)
     }
 
     /// Streams every sized span in `spans` into the matching window and
@@ -294,6 +342,23 @@ impl Calibrator {
                 if secs.is_finite() && secs > 0.0 {
                     self.push(k, size, secs);
                     n += 1;
+                }
+                // Wire-aware side channels: all-reduce spans re-sampled in
+                // post-encoding bytes, and the codec CPU cost in elements.
+                // Both come from the comm thread's `OpCodecStats` via the
+                // span meta; the f64 pass-through yields zero codec seconds,
+                // which the window rejects at the door.
+                if k == SampleKind::AllReduce && secs.is_finite() && secs > 0.0 {
+                    if let Some(wb) = s.meta.wire_bytes {
+                        self.push(SampleKind::AllReduceWire, wb as usize, secs);
+                        n += 1;
+                    }
+                    if let Some(cs) = s.meta.codec_secs {
+                        if cs.is_finite() && cs > 0.0 {
+                            self.push(SampleKind::Encode, size, cs);
+                            n += 1;
+                        }
+                    }
                 }
             }
         }
@@ -331,6 +396,12 @@ impl Calibrator {
             self.refit.inverse = Some(ExpInverseModel::fit(&self.inverse.samples));
             self.refit.inverse_cubic = Some(CubicCostModel::fit(&self.inverse.samples));
         }
+        if self.allreduce_wire.fittable() {
+            self.refit.allreduce_wire = Some(AlphaBetaModel::fit(&self.allreduce_wire.samples));
+        }
+        if self.encode.fittable() {
+            self.refit.encode = Some(AlphaBetaModel::fit(&self.encode.samples));
+        }
         &self.refit
     }
 
@@ -362,39 +433,59 @@ impl Calibrator {
             (SampleKind::AllReduce, &self.allreduce),
             (SampleKind::Broadcast, &self.broadcast),
             (SampleKind::Inverse, &self.inverse),
+            (SampleKind::AllReduceWire, &self.allreduce_wire),
+            (SampleKind::Encode, &self.encode),
         ];
         for (kind, win) in kinds {
             let name = kind.name();
             m.gauge(&format!("calib/{name}/samples"))
                 .set(win.samples.len() as f64);
-            let baseline_pred = |size: usize| match kind {
-                SampleKind::AllReduce => self.baseline_comm.time(size),
-                SampleKind::Broadcast => self.baseline_comm.time(size),
-                SampleKind::Inverse => self.baseline_comp.time(size),
+            // The baseline comm model is per *element*; wire samples are in
+            // bytes (8 B/element under the baseline's f64 assumption), and
+            // codec cost has no baseline at all (the baseline plans as if
+            // encoding were free).
+            let baseline_pred = |size: usize| -> Option<f64> {
+                match kind {
+                    SampleKind::AllReduce => Some(self.baseline_comm.time(size)),
+                    SampleKind::Broadcast => Some(self.baseline_comm.time(size)),
+                    SampleKind::Inverse => Some(self.baseline_comp.time(size)),
+                    SampleKind::AllReduceWire => Some(self.baseline_comm.time(size / 8)),
+                    SampleKind::Encode => None,
+                }
             };
             let refit_pred = |size: usize| -> Option<f64> {
                 match kind {
                     SampleKind::AllReduce => self.refit.allreduce.as_ref().map(|f| f.time(size)),
                     SampleKind::Broadcast => self.refit.broadcast.as_ref().map(|f| f.time(size)),
                     SampleKind::Inverse => self.refit.inverse.as_ref().map(|f| f.time(size)),
+                    SampleKind::AllReduceWire => {
+                        self.refit.allreduce_wire.as_ref().map(|f| f.time(size))
+                    }
+                    SampleKind::Encode => self.refit.encode.as_ref().map(|f| f.time(size)),
                 }
             };
             if !win.samples.is_empty() {
                 let drift_hist = m.histogram(&format!("calib/{name}/drift"));
                 let mut base_sum = 0.0;
+                let mut base_n = 0usize;
                 let mut refit_sum = 0.0;
                 let mut refit_n = 0usize;
                 for &(size, secs) in &win.samples {
-                    let rel = (baseline_pred(size) - secs).abs() / secs;
-                    base_sum += rel;
-                    drift_hist.observe(rel);
+                    if let Some(p) = baseline_pred(size) {
+                        let rel = (p - secs).abs() / secs;
+                        base_sum += rel;
+                        base_n += 1;
+                        drift_hist.observe(rel);
+                    }
                     if let Some(p) = refit_pred(size) {
                         refit_sum += (p - secs).abs() / secs;
                         refit_n += 1;
                     }
                 }
-                m.gauge(&format!("calib/{name}/residual"))
-                    .set(base_sum / win.samples.len() as f64);
+                if base_n > 0 {
+                    m.gauge(&format!("calib/{name}/residual"))
+                        .set(base_sum / base_n as f64);
+                }
                 if refit_n > 0 {
                     m.gauge(&format!("calib/{name}/residual_refit"))
                         .set(refit_sum / refit_n as f64);
@@ -688,6 +779,62 @@ mod tests {
         assert!(report.any());
         let text = report.render_text();
         assert!(text.contains("NCT -> CT"), "text was:\n{text}");
+    }
+
+    fn wire_span(size: usize, wire_bytes: u64, codec_secs: f64, start: f64, end: f64) -> Span {
+        Span {
+            track: 0,
+            phase: Phase::GradComm,
+            label: Cow::Borrowed(""),
+            start,
+            end,
+            meta: SpanMeta {
+                edge: Some(CollEdge::Join),
+                size: Some(size),
+                wire_bytes: Some(wire_bytes),
+                codec_secs: Some(codec_secs),
+                ..SpanMeta::default()
+            },
+        }
+    }
+
+    #[test]
+    fn wire_meta_feeds_byte_and_codec_windows() {
+        let mut c = Calibrator::new(comp(), comm());
+        // f16 wire: 2 bytes/element, codec cost 1 ns/element.
+        for (i, elems) in [1000usize, 4000, 16000].iter().enumerate() {
+            let t = 0.1 * i as f64;
+            c.ingest_spans(&[wire_span(
+                *elems,
+                2 * *elems as u64,
+                1e-9 * *elems as f64,
+                t,
+                t + 1e-4 + 2e-9 * 2.0 * *elems as f64,
+            )]);
+        }
+        assert_eq!(c.len(SampleKind::AllReduce), 3);
+        assert_eq!(c.len(SampleKind::AllReduceWire), 3);
+        assert_eq!(c.len(SampleKind::Encode), 3);
+        let models = c.refit();
+        // The wire fit is per byte: β recovers 2e-9 s/B exactly.
+        let wire = models.allreduce_wire.as_ref().expect("wire fit");
+        assert!((wire.beta - 2e-9).abs() / 2e-9 < 1e-6, "beta {}", wire.beta);
+        let enc = models.encode.as_ref().expect("encode fit");
+        assert!((enc.beta - 1e-9).abs() / 1e-9 < 1e-6, "beta {}", enc.beta);
+        // Effective per-element model at 2 B/element folds codec cost in.
+        let eff = models.wire_effective_allreduce(2.0).expect("effective");
+        assert!((eff.beta - (2e-9 * 2.0 + 1e-9)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn f64_passthrough_leaves_codec_window_empty() {
+        let mut c = Calibrator::new(comp(), comm());
+        // f64 wire: 8 B/element, zero codec seconds (rejected at the door).
+        c.ingest_spans(&[wire_span(1000, 8000, 0.0, 0.0, 0.01)]);
+        assert_eq!(c.len(SampleKind::AllReduce), 1);
+        assert_eq!(c.len(SampleKind::AllReduceWire), 1);
+        assert_eq!(c.len(SampleKind::Encode), 0);
+        assert!(c.models().wire_effective_allreduce(8.0).is_none());
     }
 
     #[test]

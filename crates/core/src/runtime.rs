@@ -159,16 +159,17 @@ impl ReplanPolicy {
     }
 }
 
-/// Number of `f64`s in the model-agreement vector: three models ×
+/// Number of `f64`s in the model-agreement vector: five models ×
 /// `(count, α, β)`.
-pub const AGREEMENT_LEN: usize = 9;
+pub const AGREEMENT_LEN: usize = 15;
 
 /// Flattens a rank's refit models into the agreement vector.
 ///
-/// Layout per model (all-reduce α-β, broadcast α-β, inverse exp):
-/// `[has, α·has, β·has]`. Ranks lacking a fit contribute zeros, so after an
-/// *averaging* all-reduce the group mean of each coefficient over the ranks
-/// that do have a fit is `avg(α·has) / avg(has)` — see [`decode_models`].
+/// Layout per model (all-reduce α-β, broadcast α-β, inverse exp, wire-byte
+/// all-reduce α-β, codec α-β): `[has, α·has, β·has]`. Ranks lacking a fit
+/// contribute zeros, so after an *averaging* all-reduce the group mean of
+/// each coefficient over the ranks that do have a fit is
+/// `avg(α·has) / avg(has)` — see [`decode_models`].
 pub fn encode_models(models: &RefitModels) -> [f64; AGREEMENT_LEN] {
     let mut v = [0.0f64; AGREEMENT_LEN];
     if let Some(ar) = &models.allreduce {
@@ -186,25 +187,66 @@ pub fn encode_models(models: &RefitModels) -> [f64; AGREEMENT_LEN] {
         v[7] = inv.alpha;
         v[8] = inv.beta;
     }
+    if let Some(w) = &models.allreduce_wire {
+        v[9] = 1.0;
+        v[10] = w.alpha;
+        v[11] = w.beta;
+    }
+    if let Some(e) = &models.encode {
+        v[12] = 1.0;
+        v[13] = e.alpha;
+        v[14] = e.beta;
+    }
     v
 }
 
 /// The rank-identical models a re-plan decides from.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AgreedModels {
-    /// Agreed all-reduce α-β line (fusion planning).
+    /// Agreed all-reduce α-β line (fusion planning), per element.
     pub allreduce: AlphaBetaModel,
     /// Agreed broadcast α-β line (NCT test / placement).
     pub broadcast: AlphaBetaModel,
     /// Agreed exponential inversion model (NCT test / placement).
     pub inverse: ExpInverseModel,
+    /// Agreed all-reduce line over *wire bytes* (β in s/byte); `None` when
+    /// no rank fit one (cold start, or spans carried no wire meta).
+    pub allreduce_wire: Option<AlphaBetaModel>,
+    /// Agreed wire-codec line over elements (encode+decode CPU s/element);
+    /// `None` under the f64 pass-through, whose codec cost is zero.
+    pub encode: Option<AlphaBetaModel>,
+}
+
+impl AgreedModels {
+    /// The per-element all-reduce model the planners should use for a wire
+    /// format moving `bytes_per_elem` bytes per `f64`:
+    /// `β_elem = β_byte · bytes_per_elem + β_encode`, α terms summed. Falls
+    /// back to the plain per-element line when no wire-byte fit was agreed,
+    /// so f64 runs and cold starts plan exactly as before.
+    pub fn effective_allreduce(&self, bytes_per_elem: f64) -> AlphaBetaModel {
+        match &self.allreduce_wire {
+            Some(wire) => {
+                let (enc_alpha, enc_beta) = match &self.encode {
+                    Some(e) => (e.alpha, e.beta),
+                    None => (0.0, 0.0),
+                };
+                AlphaBetaModel::new(
+                    wire.alpha + enc_alpha,
+                    wire.beta * bytes_per_elem + enc_beta,
+                )
+            }
+            None => self.allreduce,
+        }
+    }
 }
 
 /// Reconstructs the agreed models from the *averaged* agreement vector.
 ///
 /// Models no rank could fit fall back to the trainer's baselines, so a
 /// cold-start group re-plans from the same models it planned with — a
-/// fixed point, not a churn.
+/// fixed point, not a churn. The wire-byte and codec lines have no
+/// baseline: they decode to `None` instead, and
+/// [`AgreedModels::effective_allreduce`] degrades to the per-element line.
 pub fn decode_models(
     avg: &[f64],
     baseline_comp: &ExpInverseModel,
@@ -218,6 +260,10 @@ pub fn decode_models(
             fallback
         }
     };
+    let opt_line = |base: usize| -> Option<AlphaBetaModel> {
+        (avg[base] > 0.0)
+            .then(|| AlphaBetaModel::new(avg[base + 1] / avg[base], avg[base + 2] / avg[base]))
+    };
     let allreduce = line(0, *baseline_comm);
     let broadcast = line(3, *baseline_comm);
     let inverse = if avg[6] > 0.0 {
@@ -229,6 +275,8 @@ pub fn decode_models(
         allreduce,
         broadcast,
         inverse,
+        allreduce_wire: opt_line(9),
+        encode: opt_line(12),
     }
 }
 
@@ -412,6 +460,8 @@ mod tests {
             allreduce: comm(),
             broadcast: comm(),
             inverse: comp(),
+            allreduce_wire: None,
+            encode: None,
         }
     }
 
@@ -429,12 +479,48 @@ mod tests {
             broadcast_is_prior: false,
             inverse: Some(ExpInverseModel::new(3e-4, 1.5e-3)),
             inverse_cubic: None,
+            allreduce_wire: Some(AlphaBetaModel::new(9e-4, 6e-9)),
+            encode: Some(AlphaBetaModel::new(1e-6, 1.2e-9)),
         };
         let v = encode_models(&models);
         let agreed = decode_models(&v, &comp(), &comm());
         assert!((agreed.allreduce.alpha - 1e-3).abs() < 1e-15);
         assert!((agreed.broadcast.beta - 7e-8).abs() < 1e-20);
         assert!((agreed.inverse.alpha - 3e-4).abs() < 1e-15);
+        let wire = agreed.allreduce_wire.expect("wire line agreed");
+        assert!((wire.beta - 6e-9).abs() < 1e-20);
+        let enc = agreed.encode.expect("codec line agreed");
+        assert!((enc.beta - 1.2e-9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn effective_allreduce_composes_wire_and_codec() {
+        let mut agreed = agreed_from_baselines();
+        // Without a wire fit the plain per-element line is returned as-is.
+        assert_eq!(agreed.effective_allreduce(2.0), agreed.allreduce);
+        agreed.allreduce_wire = Some(AlphaBetaModel::new(1e-4, 3e-9));
+        agreed.encode = Some(AlphaBetaModel::new(2e-5, 1e-9));
+        // f16 (2 B/element): β_elem = 3e-9·2 + 1e-9, α terms summed.
+        let eff = agreed.effective_allreduce(2.0);
+        assert!((eff.alpha - 1.2e-4).abs() < 1e-15);
+        assert!((eff.beta - 7e-9).abs() < 1e-20);
+        // Codec-free wire fit still composes.
+        agreed.encode = None;
+        let eff = agreed.effective_allreduce(8.0);
+        assert!((eff.beta - 24e-9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn wireless_ranks_decode_to_no_wire_line() {
+        // No rank fit wire/codec lines: agreement must decode them to None,
+        // not to a zero-coefficient model that would predict free comm.
+        let v = encode_models(&RefitModels {
+            allreduce: Some(AlphaBetaModel::new(1e-3, 5e-8)),
+            ..RefitModels::default()
+        });
+        let agreed = decode_models(&v, &comp(), &comm());
+        assert!(agreed.allreduce_wire.is_none());
+        assert!(agreed.encode.is_none());
     }
 
     #[test]

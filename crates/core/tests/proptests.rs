@@ -265,6 +265,8 @@ proptest! {
             allreduce: AlphaBetaModel::new(comm_alpha, comm_beta),
             broadcast: AlphaBetaModel::new(comm_alpha * bcast_scale, comm_beta),
             inverse: ExpInverseModel::new(inv_alpha, inv_beta),
+            allreduce_wire: None,
+            encode: None,
         };
         let strategy = PlacementStrategy::Lbp { weight: LbpWeight::ModeledTime };
         let (p0, a0, g0) = runtime::replan(

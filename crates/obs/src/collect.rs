@@ -328,6 +328,12 @@ fn encode_span(buf: &mut Vec<u8>, s: &Span) {
     if s.meta.generation.is_some() {
         flags |= 4;
     }
+    if s.meta.wire_bytes.is_some() {
+        flags |= 8;
+    }
+    if s.meta.codec_secs.is_some() {
+        flags |= 16;
+    }
     buf.push(flags);
     if let Some(v) = s.meta.seq {
         put_u64(buf, v);
@@ -337,6 +343,12 @@ fn encode_span(buf: &mut Vec<u8>, s: &Span) {
     }
     if let Some(v) = s.meta.generation {
         put_u64(buf, v);
+    }
+    if let Some(v) = s.meta.wire_bytes {
+        put_u64(buf, v);
+    }
+    if let Some(v) = s.meta.codec_secs {
+        put_f64(buf, v);
     }
     let label = s.label.as_bytes();
     let take = label.len().min(MAX_LABEL_BYTES);
@@ -457,6 +469,8 @@ fn decode_span(c: &mut Cursor<'_>) -> IoResult<Span> {
         .transpose()?
         .map(|v| v as usize);
     let generation = (flags & 4 != 0).then(|| c.u64()).transpose()?;
+    let wire_bytes = (flags & 8 != 0).then(|| c.u64()).transpose()?;
+    let codec_secs = (flags & 16 != 0).then(|| c.f64()).transpose()?;
     let label_len = c.u16()? as usize;
     if label_len > MAX_LABEL_BYTES {
         return Err(bad(format!("span label of {label_len} bytes")));
@@ -474,6 +488,8 @@ fn decode_span(c: &mut Cursor<'_>) -> IoResult<Span> {
             seq,
             size,
             generation,
+            wire_bytes,
+            codec_secs,
         },
     })
 }
@@ -1014,6 +1030,8 @@ mod tests {
                 seq: Some(seq),
                 size: Some(64),
                 generation: Some(0),
+                wire_bytes: Some(64 * 8),
+                codec_secs: None,
             },
         }
     }

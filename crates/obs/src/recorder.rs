@@ -54,6 +54,13 @@ pub struct SpanMeta {
     /// order of collectives, making a global `seq` ambiguous across the
     /// swap. `None` is treated as generation 0 (static-plan runs).
     pub generation: Option<u64>,
+    /// Actual post-encoding bytes this rank sent for the operation
+    /// (`size * 8` under the f64 pass-through wire format, less under
+    /// compressed formats). Consumed by wire-aware cost-model calibration.
+    pub wire_bytes: Option<u64>,
+    /// CPU seconds this rank spent encoding/decoding wire payloads for the
+    /// operation. Zero-cost under the f64 pass-through.
+    pub codec_secs: Option<f64>,
 }
 
 impl SpanMeta {

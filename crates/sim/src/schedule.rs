@@ -19,7 +19,7 @@ fn coll_meta(edge: CollEdge, seq: &mut u64, size: usize) -> SpanMeta {
         edge: Some(edge),
         seq: Some(*seq),
         size: Some(size),
-        generation: None,
+        ..SpanMeta::default()
     };
     *seq += 1;
     m
@@ -111,6 +111,11 @@ pub struct SimConfig {
     /// 2 = fp16 wire compression as used by later systems like KAISA).
     /// Scales the bandwidth term of both collective models.
     pub wire_bytes: f64,
+    /// Wire-codec CPU cost in seconds per element (encode + decode), added
+    /// to the bandwidth term of both collective models. 0 for the f64/fp32
+    /// pass-through; calibrate from the real stack's `calib/encode` fit
+    /// when simulating compressed formats.
+    pub codec_s_per_elem: f64,
 }
 
 impl SimConfig {
@@ -127,6 +132,7 @@ impl SimConfig {
             placement: None,
             network: NetworkModel::default(),
             wire_bytes: 4.0,
+            codec_s_per_elem: 0.0,
         }
     }
 }
@@ -158,10 +164,11 @@ pub fn simulate_iteration_planned(
         } else {
             profile.clone()
         };
-        // Wire precision: β terms are calibrated for 4-byte elements.
+        // Wire precision: β terms are calibrated for 4-byte elements, and
+        // a compressed format adds its codec CPU cost per element.
         let wire = cfg.wire_bytes / 4.0;
-        h.allreduce.beta *= wire;
-        h.bcast.beta *= wire;
+        h.allreduce.beta = h.allreduce.beta * wire + cfg.codec_s_per_elem;
+        h.bcast.beta = h.bcast.beta * wire + cfg.codec_s_per_elem;
         h
     };
     let hw = adjust(&cfg.hw);
@@ -611,7 +618,7 @@ pub fn simulate_inverse_phase(
     };
     let mut g = TaskGraph::new(world + 1 + extra_links);
     let mut hw = cfg.hw.clone();
-    hw.bcast.beta *= cfg.wire_bytes / 4.0;
+    hw.bcast.beta = hw.bcast.beta * (cfg.wire_bytes / 4.0) + cfg.codec_s_per_elem;
     let plc = placement::place(dims, world, &hw.inverse, &hw.bcast, strategy);
     let mut comp_id_of_tensor: Vec<Vec<(usize, usize)>> = vec![Vec::new(); world];
     for (p, ids) in comp_id_of_tensor.iter_mut().enumerate() {
@@ -923,6 +930,22 @@ mod tests {
         // while the α term stays, so the saving is a bit under 2x.
         assert!(d16.breakdown.factor_comm < d32.breakdown.factor_comm * 0.7);
         assert!(d16.breakdown.factor_comm > d32.breakdown.factor_comm * 0.4);
+    }
+
+    #[test]
+    fn codec_cost_erodes_the_compression_win() {
+        // fp16 wire with a free codec beats fp32; the same wire with an
+        // absurdly expensive codec is worse than not compressing at all.
+        let m = resnet50();
+        let d32 = simulate_iteration(&m, &cfg(), Algo::DKfac);
+        let mut free = cfg();
+        free.wire_bytes = 2.0;
+        let d16 = simulate_iteration(&m, &free, Algo::DKfac);
+        assert!(d16.breakdown.factor_comm < d32.breakdown.factor_comm);
+        let mut costly = free.clone();
+        costly.codec_s_per_elem = cfg().hw.allreduce.beta * 10.0;
+        let slow = simulate_iteration(&m, &costly, Algo::DKfac);
+        assert!(slow.breakdown.factor_comm > d32.breakdown.factor_comm);
     }
 
     #[test]
