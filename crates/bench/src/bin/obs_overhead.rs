@@ -7,6 +7,12 @@
 //! and one uncontended mutex push per span, so the overhead should stay
 //! within a few percent (the acceptance bar is 5%).
 //!
+//! The **flight recorder** (`spdkfac_obs::flight`, always-on in
+//! production) is part of the instrumented arm: the bare baseline runs
+//! with it explicitly disabled, the instrumented arm with it enabled, so
+//! the measured overhead covers spans + metrics + the flight ring
+//! together and the 5% gate holds for the full default telemetry load.
+//!
 //! ```text
 //! cargo run --release -p spdkfac-bench --bin obs_overhead
 //! ```
@@ -32,21 +38,25 @@ fn main() {
 
     header("Observability: recorder overhead on real SPD-KFAC training");
 
+    let flight = spdkfac_obs::flight::global();
     let mut bare = Vec::with_capacity(reps);
     let mut instrumented = Vec::with_capacity(reps);
     let mut dropped = 0u64;
     // Interleave the two variants so thermal / scheduler drift hits both.
     for _ in 0..reps {
+        flight.set_enabled(false);
         let t = Instant::now();
         let _ = train(&cfg, &build, &data, iters, 4);
         bare.push(t.elapsed().as_secs_f64());
 
+        flight.set_enabled(true);
         let rec = Arc::new(Recorder::new(2 * world));
         let t = Instant::now();
         let _ = train_with_recorder(&cfg, &build, &data, iters, 4, &rec);
         instrumented.push(t.elapsed().as_secs_f64());
         dropped += rec.dropped();
     }
+    let flight_events = flight.events().len();
     bare.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     instrumented.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let bare_med = bare[reps / 2];
@@ -60,6 +70,15 @@ fn main() {
     note(&format!("instrumented: median {:.4}s", inst_med));
     note(&format!("overhead: {overhead:+.2}% (acceptance bar: 5%)"));
     note(&format!("dropped spans: {dropped} (acceptance bar: 0)"));
+    note(&format!(
+        "flight recorder: enabled during instrumented arm, {flight_events} events in the window"
+    ));
+    if flight_events == 0 {
+        note(
+            "WARNING: flight recorder captured nothing — the instrumented arm did not exercise it",
+        );
+        std::process::exit(1);
+    }
     if dropped > 0 {
         // A timing comparison against a recorder that silently lost spans
         // measures less work than it claims — treat drops as a failure.

@@ -81,7 +81,7 @@
 
 use spdkfac_bench::{header, note};
 use spdkfac_collectives::tcp::RendezvousServer;
-use spdkfac_collectives::telemetry::{SpanStreamer, TelemetryServer};
+use spdkfac_collectives::telemetry::{feed_op_durations, SpanStreamer, TelemetryServer};
 use spdkfac_collectives::transport::INJECT_DELAY_ENV;
 use spdkfac_collectives::{Backend, CommGroup, TcpConfig, WirePolicy};
 use spdkfac_core::distributed::{train, train_worker, Algorithm, DistributedConfig, RunResult};
@@ -90,6 +90,7 @@ use spdkfac_nn::data::{gaussian_blobs, Dataset};
 use spdkfac_nn::models::deep_mlp;
 use spdkfac_nn::Sequential;
 use spdkfac_obs::collect::{comm_edge_violations, ClockModel, CollectorState};
+use spdkfac_obs::export::{render_health_json, render_prometheus, HealthRegistry, HttpExporter};
 use spdkfac_obs::{parse_json, CriticalReport, JsonValue, Phase, RankMap, Recorder, TrackLayout};
 use std::process::{Command, ExitCode};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -175,15 +176,16 @@ struct Args {
     monitor: bool,
     wire: Option<String>,
     drift_demo: bool,
+    metrics_addr: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: spdkfac_node --rank R --world P --rendezvous HOST:PORT \
          [--external-rendezvous] [--iters N] [--batch B] [--out FILE] \
-         [--wire POLICY] [--trace-dir DIR] [--monitor]\n\
+         [--wire POLICY] [--trace-dir DIR] [--monitor] [--metrics-addr IP:PORT]\n\
          \x20      spdkfac_node --spawn-local P [--iters N] [--batch B] [--smoke] \
-         [--wire POLICY] [--trace-dir DIR] [--monitor]\n\
+         [--wire POLICY] [--trace-dir DIR] [--monitor] [--metrics-addr IP:PORT]\n\
          \x20      spdkfac_node --drift-demo [--trace-dir DIR] [--monitor]"
     );
     std::process::exit(2)
@@ -204,6 +206,7 @@ fn parse_args() -> Args {
         monitor: false,
         wire: None,
         drift_demo: false,
+        metrics_addr: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -228,6 +231,7 @@ fn parse_args() -> Args {
             "--monitor" => args.monitor = true,
             "--wire" => args.wire = Some(value(&mut i)),
             "--drift-demo" => args.drift_demo = true,
+            "--metrics-addr" => args.metrics_addr = Some(value(&mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -355,7 +359,12 @@ struct LocalPump {
 }
 
 impl LocalPump {
-    fn spawn(rec: Arc<Recorder>, state: Arc<Mutex<CollectorState>>, monitor: bool) -> LocalPump {
+    fn spawn(
+        rec: Arc<Recorder>,
+        state: Arc<Mutex<CollectorState>>,
+        health: Arc<Mutex<HealthRegistry>>,
+        monitor: bool,
+    ) -> LocalPump {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
@@ -367,6 +376,23 @@ impl LocalPump {
                     let done = stop2.load(Ordering::SeqCst);
                     let spans = rec.flush_since(&mut cursor);
                     let now = rec.now();
+                    // Rank 0 has no streamer, so its heartbeat and comm-op
+                    // durations are fed to the health registry here — the
+                    // same feed the reader threads do for remote ranks.
+                    {
+                        let hb = spdkfac_obs::flight::global().heartbeat();
+                        let mut h = health.lock().expect("health registry");
+                        feed_op_durations(&mut h, 0, &spans);
+                        h.record_heartbeat(
+                            0,
+                            hb.iteration,
+                            hb.loss,
+                            hb.phase_idx,
+                            hb.generation,
+                            hb.rss_bytes,
+                            now,
+                        );
+                    }
                     {
                         let mut st = state.lock().expect("collector state");
                         st.hello(0);
@@ -502,12 +528,23 @@ fn run_rank(args: &Args) -> Result<RunResult, String> {
     if world == 0 || args.rendezvous.is_empty() {
         usage();
     }
-    let telemetry_on = args.trace_dir.is_some() || args.monitor;
+    let telemetry_on = args.trace_dir.is_some() || args.monitor || args.metrics_addr.is_some();
     if telemetry_on && args.rank.is_none() {
         return Err(
-            "--trace-dir/--monitor require an explicit --rank (rank 0 hosts the collector)".into(),
+            "--trace-dir/--monitor/--metrics-addr require an explicit --rank (rank 0 hosts \
+             the collector)"
+                .into(),
         );
     }
+
+    // Post-mortem forensics: configure the always-on flight recorder and
+    // arm the panic hook before anything that can fail, so even a panic
+    // during group formation leaves a dump behind.
+    let flight = spdkfac_obs::flight::global();
+    if let Some(rank) = args.rank {
+        flight.configure(rank, world, args.trace_dir.as_deref());
+    }
+    spdkfac_obs::flight::install_panic_hook();
     let mut tcp = TcpConfig::new(args.rendezvous.clone());
     if let Some(rank) = args.rank {
         tcp = tcp.with_rank(rank);
@@ -543,13 +580,45 @@ fn run_rank(args: &Args) -> Result<RunResult, String> {
     let aux_addrs = group.aux_addrs().to_vec();
     let comm = group.into_single();
     let rank = comm.rank();
+    // Re-configure with the joined rank: covers manual mode without an
+    // explicit --rank, where the rendezvous assigned one.
+    flight.configure(rank, world, args.trace_dir.as_deref());
 
     let mut streamer = None;
     let mut pump = None;
+    let mut exporter = None;
     if let Some(rec) = &rec {
+        flight.set_recorder(Arc::clone(rec));
         if rank == 0 {
             let srv = server.as_ref().expect("rank 0 binds the collector");
-            pump = Some(LocalPump::spawn(Arc::clone(rec), srv.state(), args.monitor));
+            pump = Some(LocalPump::spawn(
+                Arc::clone(rec),
+                srv.state(),
+                srv.health(),
+                args.monitor,
+            ));
+            if let Some(addr) = &args.metrics_addr {
+                let health = srv.health();
+                let mrec = Arc::clone(rec);
+                let handler: spdkfac_obs::export::HttpHandler = Arc::new(move |path| {
+                    let hs = health.lock().expect("health registry").snapshot(mrec.now());
+                    match path {
+                        "/metrics" => Some((
+                            "text/plain; version=0.0.4",
+                            render_prometheus(Some(&mrec.metrics().snapshot()), Some(&hs)),
+                        )),
+                        "/health" => Some(("application/json", render_health_json(&hs))),
+                        _ => None,
+                    }
+                });
+                let exp = HttpExporter::spawn(addr, handler)
+                    .map_err(|e| format!("bind metrics endpoint {addr}: {e}"))?;
+                eprintln!(
+                    "metrics: serving Prometheus text at http://{}/metrics (health at /health)",
+                    exp.local_addr()
+                );
+                exporter = Some(exp);
+            }
         } else {
             let collector = aux_addrs.first().cloned().unwrap_or_default();
             if collector.is_empty() {
@@ -588,6 +657,7 @@ fn run_rank(args: &Args) -> Result<RunResult, String> {
     if let Some(p) = pump {
         p.finish();
     }
+    drop(exporter);
     if let Some(srv) = server {
         finalize_telemetry(args, world, srv)?;
     }
@@ -658,6 +728,11 @@ fn spawn_local(args: &Args, world: usize) -> Result<Vec<f64>, String> {
             // selects the OnDrift policy and the rank-0 assertions.
             cmd.arg("--drift-demo");
             cmd.env(INJECT_DELAY_ENV, DRIFT_SPEC);
+        }
+        // Every rank needs the flag (it turns telemetry on, so heartbeats
+        // flow to the health registry); only rank 0 binds the endpoint.
+        if let Some(addr) = &args.metrics_addr {
+            cmd.arg("--metrics-addr").arg(addr);
         }
         if rank == 0 {
             cmd.arg("--out").arg(&out_str);
@@ -866,6 +941,9 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("{e}");
+            // Non-panic failures (rendezvous errors, telemetry shutdown
+            // failures after a peer died) still leave a post-mortem dump.
+            let _ = spdkfac_obs::flight::global().dump(&format!("run failed: {e}"));
             ExitCode::FAILURE
         }
     }

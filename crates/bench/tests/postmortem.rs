@@ -1,0 +1,226 @@
+//! End-to-end failure forensics: kill one rank of a real 4-process
+//! spawn-local run, assert every survivor leaves a flight-recorder dump,
+//! and assert `spdkfac_postmortem` merges them into a timeline that names
+//! the killed rank and the first failing collective. Plus the live-health
+//! side: a run with `--metrics-addr` must serve Prometheus text with
+//! heartbeat-staleness and straggler gauges while training is in flight.
+//!
+//! These tests spawn the actual release-path binaries
+//! (`CARGO_BIN_EXE_*`), so every byte crosses real process boundaries and
+//! real loopback sockets — the same path CI's kill-a-rank smoke exercises.
+
+use spdkfac_obs::{parse_json, JsonValue};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+
+/// Kill rank 2 before its 30th collective: mid-run for the 20-iteration
+/// workload (the drift demo counts 60+ collectives well before iteration
+/// 20), so every surviving rank is deep in steady state when the ring
+/// breaks.
+const KILL_SPEC: &str = "2:after30";
+
+fn temp_dir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("spdkfac_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp trace dir");
+    dir.to_string_lossy().into_owned()
+}
+
+fn get_str<'a>(v: &'a JsonValue, key: &str) -> Option<&'a str> {
+    v.get(key).and_then(|x| x.as_str())
+}
+
+fn get_f64(v: &JsonValue, key: &str) -> Option<f64> {
+    v.get(key).and_then(|x| x.as_f64())
+}
+
+#[test]
+fn killed_rank_is_identified_by_the_merged_postmortem() {
+    let world = 4;
+    let dir = temp_dir("postmortem");
+    let status = Command::new(env!("CARGO_BIN_EXE_spdkfac_node"))
+        .args(["--spawn-local", "4", "--iters", "20", "--trace-dir", &dir])
+        .env("SPDKFAC_KILL", KILL_SPEC)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("launch spdkfac_node");
+    assert!(
+        !status.success(),
+        "a run with a killed rank must fail, but exited {status}"
+    );
+
+    // Survivors dump; the killed rank cannot.
+    for rank in [0usize, 1, 3] {
+        let path = format!("{dir}/postmortem.rank{rank}.json");
+        let body = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("surviving rank {rank} left no dump at {path}: {e}"));
+        let doc = parse_json(&body).expect("dump is valid JSON");
+        assert_eq!(get_str(&doc, "schema"), Some("spdkfac-postmortem-v1"));
+        assert_eq!(get_f64(&doc, "rank"), Some(rank as f64));
+    }
+    assert!(
+        !std::path::Path::new(&format!("{dir}/postmortem.rank2.json")).exists(),
+        "the killed rank must not have written a dump"
+    );
+
+    let status = Command::new(env!("CARGO_BIN_EXE_spdkfac_postmortem"))
+        .arg(&dir)
+        .status()
+        .expect("launch spdkfac_postmortem");
+    assert!(status.success(), "postmortem merge failed: {status}");
+
+    let timeline = std::fs::read_to_string(format!("{dir}/postmortem_timeline.json"))
+        .expect("merged timeline written");
+    let timeline = parse_json(&timeline).expect("timeline is valid JSON");
+    assert_eq!(
+        get_str(&timeline, "schema"),
+        Some("spdkfac-postmortem-timeline-v1")
+    );
+    let Some(JsonValue::Array(killed)) = timeline.get("killed") else {
+        panic!("timeline missing killed array");
+    };
+    let killed: Vec<f64> = killed.iter().filter_map(|v| v.as_f64()).collect();
+    assert_eq!(killed, vec![2.0], "timeline must name rank 2 as killed");
+
+    // The first failing collective is identified by kind + generation + seq.
+    let first = timeline
+        .get("first_failure")
+        .expect("timeline missing first_failure");
+    assert!(
+        !matches!(first, JsonValue::Null),
+        "a broken ring must pin a first failure"
+    );
+    let op = get_str(first, "op").expect("first_failure.op");
+    let known = [
+        "allreduce",
+        "broadcast",
+        "reduce_scatter",
+        "allgather",
+        "reduce",
+        "gather",
+        "barrier",
+    ];
+    assert!(
+        known
+            .iter()
+            .any(|k| op.contains(k) || k.contains(op) || op.eq_ignore_ascii_case(k)),
+        "first_failure.op {op:?} is not a collective kind"
+    );
+    assert!(get_f64(first, "seq").is_some(), "first_failure.seq missing");
+    assert!(
+        get_f64(first, "generation").is_some(),
+        "first_failure.generation missing"
+    );
+    let observer = get_f64(first, "rank").expect("first_failure.rank") as usize;
+    assert!(
+        observer != 2 && observer < world,
+        "the failure observer must be a survivor, got rank {observer}"
+    );
+
+    // The merged Chrome trace of the final window parses.
+    let trace = std::fs::read_to_string(format!("{dir}/postmortem_trace.json"))
+        .expect("merged postmortem trace written");
+    parse_json(&trace).expect("postmortem trace is valid JSON");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Issues one `GET path` and returns (status line, body).
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics endpoint");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status = raw.lines().next().unwrap_or("").to_string();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn live_run_serves_prometheus_health_over_http() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_spdkfac_node"))
+        .args([
+            "--spawn-local",
+            "2",
+            "--iters",
+            "400",
+            "--metrics-addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("launch spdkfac_node with --metrics-addr");
+
+    // Rank 0 prints the bound ephemeral address before training starts;
+    // the children share the parent's (piped) stderr, so it shows up here.
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut reader = BufReader::new(stderr);
+    let mut addr = None;
+    let mut line = String::new();
+    while reader.read_line(&mut line).expect("read child stderr") > 0 {
+        if let Some(rest) = line
+            .trim()
+            .strip_prefix("metrics: serving Prometheus text at http://")
+        {
+            addr = rest.split('/').next().map(str::to_string);
+            break;
+        }
+        line.clear();
+    }
+    let addr = addr.unwrap_or_else(|| {
+        let _ = child.kill();
+        panic!("rank 0 never announced the metrics endpoint");
+    });
+
+    let (status, metrics) = http_get(&addr, "/metrics");
+    let (hstatus, health) = http_get(&addr, "/health");
+    let (missing_status, _) = http_get(&addr, "/nope");
+
+    // Drain the remaining stderr so the children never block on a full
+    // pipe, then let the run finish.
+    std::thread::spawn(move || {
+        let mut rest = String::new();
+        let _ = reader.read_to_string(&mut rest);
+    });
+    let status_code = child.wait().expect("wait for spdkfac_node");
+    assert!(status_code.success(), "live run failed: {status_code}");
+
+    assert!(status.contains("200"), "GET /metrics: {status}");
+    assert!(hstatus.contains("200"), "GET /health: {hstatus}");
+    assert!(
+        missing_status.contains("404"),
+        "GET /nope: {missing_status}"
+    );
+
+    // Prometheus text: health gauges for both ranks, with TYPE metadata.
+    for needle in [
+        "# TYPE spdkfac_heartbeat_staleness_seconds gauge",
+        "spdkfac_heartbeat_staleness_seconds{rank=\"0\"}",
+        "spdkfac_heartbeat_staleness_seconds{rank=\"1\"}",
+        "spdkfac_straggler_zscore{rank=\"0\"}",
+        "spdkfac_straggler_zscore{rank=\"1\"}",
+        "spdkfac_rank_iteration{rank=\"0\"}",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "missing {needle:?} in:\n{metrics}"
+        );
+    }
+
+    // JSON health: valid, one entry per rank.
+    let health = parse_json(&health).expect("health JSON parses");
+    let Some(JsonValue::Array(ranks)) = health.get("ranks") else {
+        panic!("health JSON missing ranks array");
+    };
+    assert_eq!(ranks.len(), 2, "health must report every rank");
+}

@@ -45,6 +45,21 @@ impl CommError {
         matches!(self, CommError::Timeout(_))
     }
 
+    /// Returns the same variant with `detail` prepended to the context
+    /// message. Used to stamp identifying context — the failing op kind,
+    /// the peer rank of the broken ring edge — onto a transport error as
+    /// it bubbles up, so a poisoning log line alone names the broken edge
+    /// without needing a trace.
+    pub fn annotate(self, detail: &str) -> CommError {
+        let wrap = |m: String| format!("{detail}: {m}");
+        match self {
+            CommError::Timeout(m) => CommError::Timeout(wrap(m)),
+            CommError::Disconnected(m) => CommError::Disconnected(wrap(m)),
+            CommError::Io(m) => CommError::Io(wrap(m)),
+            CommError::Rendezvous(m) => CommError::Rendezvous(wrap(m)),
+        }
+    }
+
     /// Maps an [`std::io::Error`] raised while `context` to the matching
     /// variant: timeouts stay timeouts, hangups become `Disconnected`, the
     /// rest is `Io`.
@@ -98,5 +113,23 @@ mod tests {
         let e = CommError::Timeout("recv from left neighbour: deadline".into());
         assert!(e.to_string().contains("recv from left neighbour"));
         assert_eq!(e.message(), "recv from left neighbour: deadline");
+    }
+
+    #[test]
+    fn annotate_preserves_variant_and_prepends_detail() {
+        let e = CommError::Disconnected("recv from left neighbour (rank 1): reset".into())
+            .annotate("allreduce seq 40 gen 2");
+        assert!(matches!(e, CommError::Disconnected(_)));
+        assert_eq!(
+            e.message(),
+            "allreduce seq 40 gen 2: recv from left neighbour (rank 1): reset"
+        );
+        assert!(e
+            .to_string()
+            .starts_with("transport disconnected: allreduce"));
+
+        let t = CommError::Timeout("deadline".into()).annotate("gather");
+        assert!(t.is_timeout());
+        assert_eq!(t.message(), "gather: deadline");
     }
 }

@@ -74,8 +74,11 @@ pub type OpResult = Result<OpOutput, CommError>;
 ///
 /// Dropping the handle without calling [`PendingOp::wait`] detaches the
 /// operation; it still completes on the communication thread (all ranks must
-/// run it for the group to stay in lock-step).
+/// run it for the group to stay in lock-step) — but its transport error, if
+/// any, is silently lost, hence the `must_use` (detach explicitly with
+/// `drop(..)` or `let _ = ..` when that is really intended).
 #[derive(Debug)]
+#[must_use = "dropping a PendingOp silently discards the collective's transport error"]
 pub struct PendingOp {
     reply: Receiver<OpResult>,
 }
@@ -86,6 +89,7 @@ impl PendingOp {
     /// Transport failures — including a communication thread that died
     /// before completing the operation — surface as `Err`, never as a
     /// panic.
+    #[must_use = "a dropped OpResult hides a possible transport failure"]
     pub fn wait(self) -> OpResult {
         self.reply.recv().unwrap_or_else(|_| {
             Err(CommError::Disconnected(
@@ -103,6 +107,7 @@ impl PendingOp {
 
     /// Non-blocking completion check; returns the op's result when ready
     /// (which may itself be a transport error) or the handle to retry.
+    #[must_use = "dropping the poll result loses both the handle and any transport error"]
     pub fn try_wait(self) -> Result<OpResult, PendingOp> {
         match self.reply.try_recv() {
             Ok(r) => Ok(r),
@@ -277,6 +282,9 @@ impl WorkerComm {
     pub fn set_phase(&self, phase: Phase) {
         self.comm_phase
             .store(phase.index() as u8, Ordering::Relaxed);
+        // Mirror into the flight recorder so heartbeats and post-mortem
+        // dumps report the phase this rank last entered.
+        spdkfac_obs::flight::global().set_phase(phase);
     }
 
     /// The phase currently attached to new submissions.
@@ -294,6 +302,9 @@ impl WorkerComm {
     /// changed the global submission order.
     pub fn set_generation(&self, generation: u64) {
         self.plan_generation.store(generation, Ordering::Relaxed);
+        // Mirror into the flight recorder so post-mortem dumps and health
+        // heartbeats report the generation the rank last ran under.
+        spdkfac_obs::flight::global().set_generation(generation);
     }
 
     /// The plan generation currently attached to new submissions.
@@ -817,6 +828,13 @@ fn comm_thread_main(mut ring: RingEndpoint, req_rx: Receiver<Request>, policy: W
     // rank's matching collectives so peers — and the telemetry pipeline —
     // observe a genuinely late completion.
     let inject = crate::transport::DelayInjection::from_env();
+    // Kill injection (SPDKFAC_KILL): hard process death before a chosen
+    // collective, for post-mortem forensics experiments.
+    let kill = crate::transport::KillInjection::from_env();
+    // The always-on flight recorder: every executed collective leaves a
+    // bounded-window comm event, and the first failure is pinned as the
+    // post-mortem anchor.
+    let flight = spdkfac_obs::flight::global();
     // First transport failure observed; once set, the ring is broken and
     // every further op fails fast without touching the transport.
     let mut poison: Option<CommError> = None;
@@ -844,6 +862,15 @@ fn comm_thread_main(mut ring: RingEndpoint, req_rx: Receiver<Request>, policy: W
                         "collective skipped: ring transport failed earlier ({first})"
                     )));
                     continue;
+                }
+                if let Some(k) = &kill {
+                    if k.fires(ring.rank, executed) {
+                        eprintln!(
+                            "rank {}: SPDKFAC_KILL firing before collective {} — dying now",
+                            ring.rank, executed
+                        );
+                        std::process::exit(crate::transport::KILL_EXIT_CODE);
+                    }
                 }
                 if generation != last_generation {
                     residuals.clear();
@@ -879,6 +906,7 @@ fn comm_thread_main(mut ring: RingEndpoint, req_rx: Receiver<Request>, policy: W
                         std::thread::sleep(std::time::Duration::from_secs_f64(busy * (mult - 1.0)));
                     }
                 };
+                let flight_start = flight.now();
                 let (reply, out) = match &mut telemetry {
                     Some(t) => {
                         let start = t.rec.now();
@@ -907,9 +935,49 @@ fn comm_thread_main(mut ring: RingEndpoint, req_rx: Receiver<Request>, policy: W
                         (reply, out)
                     }
                 };
+                let seq = executed;
                 executed += 1;
-                if let Some(e) = out.as_ref().err() {
-                    poison = Some(e.clone());
+                // Stamp the failing collective's identity onto the error:
+                // the poisoning log line (and every queued op failed after
+                // it) then names the broken edge without a trace.
+                let out = out.map_err(|e| {
+                    e.annotate(&format!(
+                        "rank {} {} seq {seq} gen {generation}",
+                        ring.rank,
+                        kind.name()
+                    ))
+                });
+                match out.as_ref().err() {
+                    Some(e) => {
+                        eprintln!(
+                            "rank {}: collective failed, poisoning comm thread: {e}",
+                            ring.rank
+                        );
+                        flight.note_comm_failure(
+                            kind.name(),
+                            seq,
+                            generation,
+                            phase,
+                            &e.to_string(),
+                        );
+                        // Dump the post-mortem right here: the worker may
+                        // panic (wait_sync) or hang on a later barrier, and
+                        // the first-wins guard makes a later panic-hook dump
+                        // a no-op anyway.
+                        let _ = flight.dump(&format!("comm thread poisoned: {e}"));
+                        poison = Some(e.clone());
+                    }
+                    None => {
+                        flight.record_comm(
+                            kind.name(),
+                            seq,
+                            generation,
+                            phase,
+                            elements,
+                            flight_start,
+                            flight.now(),
+                        );
+                    }
                 }
                 let _ = reply.send(out);
             }

@@ -87,5 +87,5 @@ pub use ring::{OpCodecStats, PACE_ENV};
 pub use stats::{OpKind, TrafficStats};
 pub use tcp::{TcpConfig, TcpJoin};
 pub use telemetry::{SpanStreamer, TelemetryClient, TelemetryServer};
-pub use transport::{DelayInjection, Transport};
+pub use transport::{DelayInjection, KillInjection, Transport, KILL_EXIT_CODE};
 pub use wire::{WireFormat, WirePayload, WirePolicy};

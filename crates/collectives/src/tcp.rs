@@ -410,22 +410,24 @@ fn accept_deadline(
 }
 
 /// The fully-connected TCP transport of one rank: a framed writer to the
-/// right neighbour and a framed reader from the left neighbour.
+/// right neighbour and a framed reader from the left neighbour. Error
+/// contexts carry the peer *rank*, precomputed at connect time, so a
+/// poisoning log line names the broken ring edge without a trace.
 #[derive(Debug)]
 pub struct TcpTransport {
     to_right: BufWriter<TcpStream>,
     from_left: BufReader<TcpStream>,
+    send_ctx: String,
+    recv_ctx: String,
 }
 
 impl Transport for TcpTransport {
     fn send(&mut self, msg: RingMsg) -> Result<(), CommError> {
-        write_frame(&mut self.to_right, &msg)
-            .map_err(|e| CommError::from_io("send to right neighbour", e))
+        write_frame(&mut self.to_right, &msg).map_err(|e| CommError::from_io(&self.send_ctx, e))
     }
 
     fn recv(&mut self) -> Result<RingMsg, CommError> {
-        read_frame(&mut self.from_left)
-            .map_err(|e| CommError::from_io("recv from left neighbour", e))
+        read_frame(&mut self.from_left).map_err(|e| CommError::from_io(&self.recv_ctx, e))
     }
 
     fn kind(&self) -> &'static str {
@@ -544,6 +546,8 @@ pub fn connect(cfg: &TcpConfig, world: usize) -> Result<TcpJoin, CommError> {
         transport: Box::new(TcpTransport {
             to_right: BufWriter::new(right),
             from_left: BufReader::new(left),
+            send_ctx: format!("send to right neighbour (rank {right_rank})"),
+            recv_ctx: format!("recv from left neighbour (rank {left_rank})"),
         }),
         aux_addrs,
     })

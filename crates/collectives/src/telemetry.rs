@@ -26,7 +26,10 @@
 
 use spdkfac_obs::collect::{
     read_frame, write_frame, Batch, ClockEstimator, ClockModel, ClockSample, CollectorState, Frame,
+    Heartbeat,
 };
+use spdkfac_obs::export::HealthRegistry;
+use spdkfac_obs::flight::HeartbeatState;
 use spdkfac_obs::Recorder;
 use std::io::{BufReader, BufWriter, ErrorKind, Result as IoResult, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -68,6 +71,7 @@ fn is_poll_timeout(e: &std::io::Error) -> bool {
 pub struct TelemetryServer {
     addr: SocketAddr,
     state: Arc<Mutex<CollectorState>>,
+    health: Arc<Mutex<HealthRegistry>>,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
 }
@@ -81,17 +85,20 @@ impl TelemetryServer {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let state = Arc::new(Mutex::new(CollectorState::new(world, 0)));
+        let health = Arc::new(Mutex::new(HealthRegistry::new(world)));
         let stop = Arc::new(AtomicBool::new(false));
         let accept = {
             let state = Arc::clone(&state);
+            let health = Arc::clone(&health);
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("spdkfac-telemetry-accept".into())
-                .spawn(move || accept_loop(listener, state, clock, stop))?
+                .spawn(move || accept_loop(listener, state, health, clock, stop))?
         };
         Ok(TelemetryServer {
             addr,
             state,
+            health,
             stop,
             accept: Some(accept),
         })
@@ -105,6 +112,12 @@ impl TelemetryServer {
     /// The shared collector state (lock briefly; readers hold the merge).
     pub fn state(&self) -> Arc<Mutex<CollectorState>> {
         Arc::clone(&self.state)
+    }
+
+    /// The shared health registry (heartbeats + per-op straggler state),
+    /// fed by the reader threads and served by the metrics endpoint.
+    pub fn health(&self) -> Arc<Mutex<HealthRegistry>> {
+        Arc::clone(&self.health)
     }
 
     /// Stops the accept loop and joins every reader thread. Connected
@@ -130,6 +143,7 @@ impl Drop for TelemetryServer {
 fn accept_loop(
     listener: TcpListener,
     state: Arc<Mutex<CollectorState>>,
+    health: Arc<Mutex<HealthRegistry>>,
     clock: Arc<Recorder>,
     stop: Arc<AtomicBool>,
 ) {
@@ -140,11 +154,12 @@ fn accept_loop(
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(POLL_TIMEOUT));
                 let state = Arc::clone(&state);
+                let health = Arc::clone(&health);
                 let clock = Arc::clone(&clock);
                 let stop = Arc::clone(&stop);
                 if let Ok(h) = std::thread::Builder::new()
                     .name("spdkfac-telemetry-reader".into())
-                    .spawn(move || reader_loop(stream, state, clock, stop))
+                    .spawn(move || reader_loop(stream, state, health, clock, stop))
                 {
                     readers.push(h);
                 }
@@ -158,9 +173,21 @@ fn accept_loop(
     }
 }
 
+/// Feeds the comm-op spans of a batch into the health registry's rolling
+/// per-op durations (durations are offset-invariant, so the sender-clock
+/// stamps are fine as-is).
+pub fn feed_op_durations(health: &mut HealthRegistry, rank: usize, spans: &[spdkfac_obs::Span]) {
+    for s in spans {
+        if s.phase.is_comm() && s.meta.seq.is_some() {
+            health.record_op_duration(rank, &s.label, s.end - s.start);
+        }
+    }
+}
+
 fn reader_loop(
     stream: TcpStream,
     state: Arc<Mutex<CollectorState>>,
+    health: Arc<Mutex<HealthRegistry>>,
     clock: Arc<Recorder>,
     stop: Arc<AtomicBool>,
 ) {
@@ -198,6 +225,11 @@ fn reader_loop(
             }
             Frame::Batch(b) => {
                 let now = clock.now();
+                feed_op_durations(
+                    &mut health.lock().expect("health registry"),
+                    b.rank as usize,
+                    &b.spans,
+                );
                 state.lock().expect("collector state").ingest(
                     b.rank as usize,
                     b.model,
@@ -208,6 +240,18 @@ fn reader_loop(
             }
             Frame::Bye { rank } => {
                 state.lock().expect("collector state").bye(rank as usize);
+            }
+            Frame::Heartbeat(hb) => {
+                let now = clock.now();
+                health.lock().expect("health registry").record_heartbeat(
+                    hb.rank as usize,
+                    hb.iteration,
+                    hb.loss,
+                    hb.phase as usize,
+                    hb.generation,
+                    hb.rss_bytes,
+                    now,
+                );
             }
             Frame::Pong { .. } => return, // protocol violation
         }
@@ -302,6 +346,22 @@ impl TelemetryClient {
         self.writer.flush()
     }
 
+    /// Sends one liveness heartbeat built from the flight recorder's
+    /// lock-free state, stamped with the local send time.
+    pub fn send_heartbeat(&mut self, hb: HeartbeatState) -> IoResult<()> {
+        let frame = Frame::Heartbeat(Heartbeat {
+            rank: self.rank as u32,
+            iteration: hb.iteration,
+            generation: hb.generation,
+            phase: hb.phase_idx as u8,
+            loss: hb.loss,
+            rss_bytes: hb.rss_bytes,
+            sent_at: self.rec.now(),
+        });
+        write_frame(&mut self.writer, &frame)?;
+        self.writer.flush()
+    }
+
     /// Sends the end-of-stream marker.
     pub fn bye(&mut self) -> IoResult<()> {
         write_frame(
@@ -336,6 +396,10 @@ impl SpanStreamer {
         rec: Arc<Recorder>,
     ) -> IoResult<SpanStreamer> {
         let mut client = TelemetryClient::connect(addr, rank, world, Arc::clone(&rec))?;
+        // Publish the synchronized clock model to the flight recorder so a
+        // post-mortem dump can be rebased onto the collector clock even
+        // though the merge pipeline never ran.
+        spdkfac_obs::flight::global().set_clock_model(client.model());
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
@@ -349,6 +413,10 @@ impl SpanStreamer {
                     if !spans.is_empty() || done {
                         client.send_batch(spans, rec.dropped())?;
                     }
+                    // Heartbeat piggybacks on every tick — cheaper than a
+                    // span batch and the collector's staleness detector
+                    // keys off its arrival cadence.
+                    client.send_heartbeat(spdkfac_obs::flight::global().heartbeat())?;
                     if done {
                         client.bye()?;
                         return Ok(());
@@ -356,6 +424,7 @@ impl SpanStreamer {
                     if since_sync >= RESYNC_INTERVAL {
                         since_sync = Duration::ZERO;
                         client.ping_burst(PING_BURST)?;
+                        spdkfac_obs::flight::global().set_clock_model(client.model());
                     }
                     std::thread::sleep(STREAM_INTERVAL);
                     since_sync += STREAM_INTERVAL;
@@ -445,6 +514,71 @@ mod tests {
         assert!((merged[0].start - rebased).abs() < 1e-12);
         drop(st);
         drop(server);
+    }
+
+    #[test]
+    fn heartbeats_reach_the_health_registry() {
+        let server_rec = Arc::new(Recorder::new(1));
+        let server = TelemetryServer::spawn("127.0.0.1", 2, Arc::clone(&server_rec)).unwrap();
+        let addr = server.local_addr().to_string();
+        let client_rec = Arc::new(Recorder::new(2));
+        let mut client = TelemetryClient::connect(&addr, 1, 2, client_rec).unwrap();
+        client
+            .send_heartbeat(HeartbeatState {
+                iteration: 9,
+                loss: 0.25,
+                phase_idx: 3,
+                generation: 2,
+                rss_bytes: 1 << 20,
+            })
+            .unwrap();
+
+        let health = server.health();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = health.lock().unwrap().snapshot(server_rec.now());
+            if snap.ranks[1].heartbeats > 0 {
+                assert_eq!(snap.ranks[1].iteration, 9);
+                assert_eq!(snap.ranks[1].loss, 0.25);
+                assert_eq!(snap.ranks[1].phase_idx, 3);
+                assert_eq!(snap.ranks[1].generation, 2);
+                assert_eq!(snap.ranks[1].rss_bytes, 1 << 20);
+                assert!(!snap.ranks[1].is_stale());
+                // Rank 0 never sent one.
+                assert_eq!(snap.ranks[0].staleness, None);
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "heartbeat never arrived"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_comm_spans_feed_straggler_state() {
+        let mut health = HealthRegistry::new(2);
+        let mk = |start: f64, end: f64| spdkfac_obs::Span {
+            track: 2,
+            phase: Phase::GradComm,
+            label: std::borrow::Cow::Borrowed("allreduce"),
+            start,
+            end,
+            meta: spdkfac_obs::SpanMeta {
+                seq: Some(0),
+                ..Default::default()
+            },
+        };
+        feed_op_durations(&mut health, 0, &[mk(0.0, 0.01)]);
+        feed_op_durations(&mut health, 1, &[mk(0.0, 0.50)]);
+        // A span without a seq (not a collective op span) is ignored.
+        let mut plain = mk(0.0, 9.0);
+        plain.meta.seq = None;
+        feed_op_durations(&mut health, 0, &[plain]);
+        let snap = health.snapshot(1.0);
+        assert!(snap.ranks[1].straggler_z > snap.ranks[0].straggler_z);
     }
 
     #[test]

@@ -274,6 +274,74 @@ impl DelayInjection {
     }
 }
 
+/// Environment variable holding a [`KillInjection`] spec.
+pub const INJECT_KILL_ENV: &str = "SPDKFAC_KILL";
+
+/// Exit code a kill-injected process dies with (distinguishable from
+/// panics and clean failures in the launcher's failure report).
+pub const KILL_EXIT_CODE: i32 = 113;
+
+/// Fault-injection knob for failure-forensics experiments: hard-kills one
+/// rank's process mid-run, as if the machine died. The communication
+/// thread checks the trigger before each collective and calls
+/// `process::exit` — no dump, no goodbye, sockets reset — so the surviving
+/// ranks exercise the real poisoning + post-mortem path.
+///
+/// Spec grammar (env `SPDKFAC_KILL` or [`KillInjection::parse`]):
+/// `rank:afterN` — rank `rank` dies just before executing its `N`-th
+/// collective (0-based count of executed ops):
+///
+/// ```text
+/// SPDKFAC_KILL="2:after40"   # rank 2 dies before its 40th collective
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillInjection {
+    /// The rank to kill.
+    pub rank: usize,
+    /// Die just before executing this many-th collective.
+    pub after: u64,
+}
+
+impl KillInjection {
+    /// Reads the spec from `SPDKFAC_KILL`. `None` when unset or empty; a
+    /// malformed spec panics (fail fast — a silently ignored injection
+    /// would invalidate the experiment).
+    pub fn from_env() -> Option<KillInjection> {
+        let spec = std::env::var(INJECT_KILL_ENV).ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        match KillInjection::parse(&spec) {
+            Ok(k) => Some(k),
+            Err(e) => panic!("invalid {INJECT_KILL_ENV} spec {spec:?}: {e}"),
+        }
+    }
+
+    /// Parses a `rank:afterN` spec.
+    pub fn parse(spec: &str) -> Result<KillInjection, String> {
+        let (rank, suffix) = spec
+            .trim()
+            .split_once(':')
+            .ok_or_else(|| format!("spec {spec:?} is not rank:afterN"))?;
+        let rank = rank
+            .parse::<usize>()
+            .map_err(|e| format!("rank {rank:?}: {e}"))?;
+        let n = suffix
+            .strip_prefix("after")
+            .ok_or_else(|| format!("bad suffix {suffix:?} (expected afterN)"))?;
+        let after = n
+            .parse::<u64>()
+            .map_err(|e| format!("after-count {n:?}: {e}"))?;
+        Ok(KillInjection { rank, after })
+    }
+
+    /// True when `rank` should die before executing its `executed`-th
+    /// collective.
+    pub fn fires(&self, rank: usize, executed: u64) -> bool {
+        rank == self.rank && executed >= self.after
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +408,25 @@ mod tests {
 
         assert!(DelayInjection::parse("1:*:2.0@60").is_err());
         assert!(DelayInjection::parse("1:*:2.0@afterx").is_err());
+    }
+
+    #[test]
+    fn kill_spec_parses_and_fires_at_the_count() {
+        let k = KillInjection::parse("2:after40").unwrap();
+        assert_eq!(k, KillInjection { rank: 2, after: 40 });
+        assert!(!k.fires(2, 39));
+        assert!(k.fires(2, 40));
+        assert!(k.fires(2, 41));
+        assert!(!k.fires(1, 100));
+        // Immediate kill.
+        let now = KillInjection::parse("0:after0").unwrap();
+        assert!(now.fires(0, 0));
+
+        assert!(KillInjection::parse("").is_err());
+        assert!(KillInjection::parse("2").is_err());
+        assert!(KillInjection::parse("x:after3").is_err());
+        assert!(KillInjection::parse("2:40").is_err());
+        assert!(KillInjection::parse("2:afterx").is_err());
     }
 
     #[test]

@@ -374,7 +374,9 @@ pub fn train_worker(
     let mut ekfac_bases: Vec<Option<(Matrix, Vec<f64>)>> = vec![None; 2 * nlayers];
     let mut ekfac_scales: Vec<Option<Matrix>> = vec![None; nlayers];
 
+    let flight = spdkfac_obs::flight::global();
     for iter in 0..iters {
+        let flight_iter_start = flight.now();
         let start = (iter * batch) % (shard.len() - batch + 1);
         let (x, y) = shard.batch(start, batch);
         let capture = cfg.algorithm != Algorithm::SSgd;
@@ -734,6 +736,17 @@ pub fn train_worker(
         let mut loss_buf = [local_loss];
         comm.allreduce_avg(&mut loss_buf);
         losses.push(loss_buf[0]);
+        // Flight-recorder iteration boundary: the heartbeat picks up the
+        // new (iteration, loss) pair and the bounded window keeps one span
+        // per completed iteration on this rank's compute track.
+        flight.record_iteration(iter as u64 + 1, loss_buf[0]);
+        flight.record_span(
+            rank,
+            Phase::Update,
+            &format!("iter{iter}"),
+            flight_iter_start,
+            flight.now(),
+        );
 
         // ---------- Agree on SPD fusion plans after the first iteration ----
         if pipelined && iter == 0 && nlayers > 0 {

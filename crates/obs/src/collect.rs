@@ -287,6 +287,29 @@ pub enum Frame {
         /// Departing rank.
         rank: u32,
     },
+    /// A liveness heartbeat (piggybacked on the span stream at the
+    /// streaming cadence; feeds the rank-0 health registry).
+    Heartbeat(Heartbeat),
+}
+
+/// Per-rank liveness sample carried by [`Frame::Heartbeat`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heartbeat {
+    /// Sending rank.
+    pub rank: u32,
+    /// Last completed training iteration.
+    pub iteration: u64,
+    /// Current plan generation.
+    pub generation: u64,
+    /// Current pipeline phase ([`Phase::index`]).
+    pub phase: u8,
+    /// Last recorded loss (NaN until the first iteration completes).
+    pub loss: f64,
+    /// Resident set size in bytes (0 where unsupported).
+    pub rss_bytes: u64,
+    /// Send time on the sender's clock (diagnostic only; the collector
+    /// stamps arrival on its own clock).
+    pub sent_at: f64,
 }
 
 fn put_u16(buf: &mut Vec<u8>, v: u16) {
@@ -391,6 +414,16 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Bye { rank } => {
             body.push(5);
             put_u32(&mut body, *rank);
+        }
+        Frame::Heartbeat(hb) => {
+            body.push(6);
+            put_u32(&mut body, hb.rank);
+            put_u64(&mut body, hb.iteration);
+            put_u64(&mut body, hb.generation);
+            body.push(hb.phase);
+            put_f64(&mut body, hb.loss);
+            put_u64(&mut body, hb.rss_bytes);
+            put_f64(&mut body, hb.sent_at);
         }
     }
     let mut out = Vec::with_capacity(4 + body.len());
@@ -539,6 +572,15 @@ pub fn read_frame(r: &mut impl Read) -> IoResult<Frame> {
             })
         }
         5 => Frame::Bye { rank: c.u32()? },
+        6 => Frame::Heartbeat(Heartbeat {
+            rank: c.u32()?,
+            iteration: c.u64()?,
+            generation: c.u64()?,
+            phase: c.u8()?,
+            loss: c.f64()?,
+            rss_bytes: c.u64()?,
+            sent_at: c.f64()?,
+        }),
         k => return Err(bad(format!("unknown telemetry frame kind {k}"))),
     };
     if c.pos != body.len() {
@@ -1191,6 +1233,15 @@ mod tests {
                 ],
             }),
             Frame::Bye { rank: 2 },
+            Frame::Heartbeat(Heartbeat {
+                rank: 1,
+                iteration: 42,
+                generation: 3,
+                phase: 4,
+                loss: 0.125,
+                rss_bytes: 7 << 20,
+                sent_at: 12.5,
+            }),
         ];
         let mut wire = Vec::new();
         for f in &frames {
@@ -1267,5 +1318,51 @@ mod tests {
 
         let empty = CollectorState::new(1, 0).monitor_text(0.0);
         assert!(empty.contains("waiting for span batches"));
+    }
+
+    #[test]
+    fn monitor_flags_missing_and_stale_ranks() {
+        let mut state = CollectorState::new(3, 0);
+        // Rank 0 streams normally; rank 1 streamed once, long ago; rank 2
+        // never connected at all.
+        state.hello(0);
+        state.hello(1);
+        state.ingest(
+            0,
+            ClockModel::identity(),
+            0,
+            vec![compute_span(0, 9.5, 9.9)],
+            10.0,
+        );
+        state.ingest(
+            1,
+            ClockModel::identity(),
+            0,
+            vec![compute_span(1, 0.0, 0.5)],
+            1.0,
+        );
+        let text = state.monitor_text(10.0);
+        assert!(text.contains("2/3 ranks connected"), "{text}");
+        // Rank 1's last batch is 9 s old (> the 5 s staleness threshold).
+        let rank1 = text
+            .lines()
+            .find(|l| l.trim_start().starts_with('1'))
+            .unwrap();
+        assert!(rank1.contains("stale"), "rank 1 row: {rank1}");
+        // Rank 2 never said hello: still waiting.
+        let rank2 = text
+            .lines()
+            .find(|l| l.trim_start().starts_with('2'))
+            .unwrap();
+        assert!(rank2.contains("waiting"), "rank 2 row: {rank2}");
+        // The healthy rank carries neither flag.
+        let rank0 = text
+            .lines()
+            .find(|l| l.trim_start().starts_with('0'))
+            .unwrap();
+        assert!(
+            !rank0.contains("stale") && !rank0.contains("waiting"),
+            "rank 0 row: {rank0}"
+        );
     }
 }

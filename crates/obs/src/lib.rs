@@ -43,6 +43,8 @@ pub mod breakdown;
 pub mod causal;
 pub mod collect;
 pub mod critical;
+pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod phase;
@@ -55,9 +57,14 @@ pub use breakdown::{attribute, IterationBreakdown};
 pub use causal::{CausalGraph, RankMap};
 pub use collect::{
     comm_edge_violations, read_frame, write_frame, Batch, ClockEstimator, ClockModel, ClockSample,
-    CollectorState, Frame,
+    CollectorState, Frame, Heartbeat,
 };
 pub use critical::{CriticalReport, RankAttribution};
+pub use export::{
+    render_health_json, render_prometheus, HealthRegistry, HealthSnapshot, HttpExporter,
+    RankHealthSnapshot,
+};
+pub use flight::{FailureInfo, FlightEvent, FlightRecorder, HeartbeatState};
 pub use json::{escape_json, escape_json_into, parse_json, validate_json, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use phase::Phase;

@@ -366,6 +366,41 @@ mod tests {
     }
 
     #[test]
+    fn empty_snapshot_quantiles_are_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.p99(), 0.0);
+        assert_eq!(s.quantile(1.0), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_dominates_every_quantile() {
+        let h = Histogram::default();
+        h.observe(3e-3);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        // With one observation every quantile, p99 included, resolves to the
+        // upper bound of the bucket holding it: within [3ms, 6ms].
+        let expected = Histogram::bucket_upper(Histogram::bucket_index(3e-3));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), expected, "q={q}");
+        }
+        assert!((3e-3..=6e-3).contains(&s.p99()), "p99={}", s.p99());
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_q() {
+        let h = Histogram::default();
+        h.observe(1e-3);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(-1.0), s.quantile(0.0));
+        assert_eq!(s.quantile(2.0), s.quantile(1.0));
+    }
+
+    #[test]
     fn registry_returns_same_handle() {
         let reg = MetricsRegistry::new();
         let a = reg.histogram("h");
