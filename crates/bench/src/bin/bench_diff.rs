@@ -25,6 +25,14 @@
 //! committed full run but measures far fewer iterations over a noisy
 //! loopback, so its times are only schema-, not trend-, comparable.
 //!
+//! Scaling benchmarks are auto-detected the same way: when either input
+//! carries the `spdkfac-bench-scale-v1` schema (as written by
+//! `bench_scale`), rows are joined on `(model|topology|policy, world)` and
+//! the gated quantity is the simulated iteration time `total_s`. Because
+//! the simulator is deterministic, the gate applies even under `--check`
+//! whenever the files overlap: a smoke candidate disagreeing with the
+//! committed full sweep is a real behaviour change, not noise.
+//!
 //! `--critical` switches to critical-path mode: both inputs must be
 //! `spdkfac-critical-path-v1` reports (as written by
 //! `obs_critical_path --json`). Per-rank compute / overlapped-comm /
@@ -58,6 +66,9 @@ const CRIT_SCHEMA: &str = "spdkfac-critical-path-v1";
 
 /// Auto-detected `schema` of `bench_wire` artifacts.
 const WIRE_SCHEMA: &str = "spdkfac-bench-wire-v1";
+
+/// Auto-detected `schema` of `bench_scale` artifacts.
+const SCALE_SCHEMA: &str = "spdkfac-bench-scale-v1";
 
 /// Default regression threshold: candidate slower than `1.25 x` baseline.
 const DEFAULT_THRESHOLD: f64 = 1.25;
@@ -229,6 +240,60 @@ fn extract_wire(doc: &JsonValue, name: &str) -> Result<KernelTimes, String> {
             .and_then(JsonValue::as_f64)
             .ok_or_else(|| format!("{name}: rows[{i}] missing wire_bytes"))?;
         out.insert((format!("{format}|{mode}"), world as usize), comm);
+    }
+    Ok(out)
+}
+
+/// Validates the scale-bench schema and extracts
+/// `(model|topology|policy, world) -> total_s` into the kernel-times
+/// shape. The simulator is deterministic, so unlike the measured wire
+/// bench, overlapping rows of a smoke candidate and a committed full run
+/// must agree exactly — the plain ratio gate applies.
+fn extract_scale(doc: &JsonValue, name: &str) -> Result<KernelTimes, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("{name}: missing schema field"))?;
+    if schema != SCALE_SCHEMA {
+        return Err(format!(
+            "{name}: schema {schema:?}, expected {SCALE_SCHEMA:?}"
+        ));
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{name}: missing rows array"))?;
+    let mut out = KernelTimes::new();
+    for (i, row) in rows.iter().enumerate() {
+        let field = |key: &str| {
+            row.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{name}: rows[{i}] missing {key}"))
+        };
+        let model = field("model")?;
+        let topology = field("topology")?;
+        let policy = field("policy")?;
+        let world = row
+            .get("world")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{name}: rows[{i}] missing world"))?;
+        let total = row
+            .get("total_s")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{name}: rows[{i}] missing total_s"))?;
+        if !(total.is_finite() && total > 0.0) {
+            return Err(format!("{name}: rows[{i}] total_s must be positive"));
+        }
+        // The divergence column is part of the shape contract: the CI
+        // scaling gate reads it, so a row dropping it must fail --check.
+        row.get("divergence_vs_lbp")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{name}: rows[{i}] missing divergence_vs_lbp"))?;
+        out.insert(
+            (format!("{model}|{topology}|{policy}"), world as usize),
+            total,
+        );
     }
     Ok(out)
 }
@@ -615,6 +680,11 @@ fn is_wire(doc: &JsonValue) -> bool {
     doc.get("schema").and_then(JsonValue::as_str) == Some(WIRE_SCHEMA)
 }
 
+/// True when the parsed document carries the `bench_scale` schema.
+fn is_scale(doc: &JsonValue) -> bool {
+    doc.get("schema").and_then(JsonValue::as_str) == Some(SCALE_SCHEMA)
+}
+
 fn run(args: &Args) -> Result<ExitCode, String> {
     if args.critical {
         return run_critical(args);
@@ -623,6 +693,9 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     let cand_doc = load_doc(args.candidate())?;
     if is_wire(&base_doc) || is_wire(&cand_doc) {
         return run_wire(args, &base_doc, &cand_doc);
+    }
+    if is_scale(&base_doc) || is_scale(&cand_doc) {
+        return run_scale(args, &base_doc, &cand_doc);
     }
     let baseline = extract(&base_doc, args.baseline())?;
     let candidate = extract(&cand_doc, args.candidate())?;
@@ -682,6 +755,44 @@ fn run_wire(args: &Args, base_doc: &JsonValue, cand_doc: &JsonValue) -> Result<E
     let regressed = report(&rows, args.threshold, ["row", "world"]);
     println!(
         "{} wire row(s) compared on comm_s, threshold {:.2}x, {} regression(s)",
+        rows.len(),
+        args.threshold,
+        regressed.len()
+    );
+    if regressed.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for r in &regressed {
+            eprintln!("regression: {r}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Scale-bench mode: both inputs must carry [`SCALE_SCHEMA`]. The rows are
+/// deterministic simulation outputs, so even under `--check` the
+/// overlapping `(model|topology|policy, world)` rows are gated — a smoke
+/// candidate that disagrees with the committed full sweep means the
+/// simulator's scaling behaviour moved, which is exactly what the CI gate
+/// exists to catch.
+fn run_scale(args: &Args, base_doc: &JsonValue, cand_doc: &JsonValue) -> Result<ExitCode, String> {
+    let baseline = extract_scale(base_doc, args.baseline())?;
+    let candidate = extract_scale(cand_doc, args.candidate())?;
+    let rows = diff(&baseline, &candidate);
+    if rows.is_empty() {
+        if args.check {
+            println!("bench_diff --check: scale schemas ok, no overlapping rows to compare");
+            return Ok(ExitCode::SUCCESS);
+        }
+        return Err(format!(
+            "no overlapping (model|topology|policy, world) rows between {} and {}",
+            args.baseline(),
+            args.candidate()
+        ));
+    }
+    let regressed = report(&rows, args.threshold, ["row", "world"]);
+    println!(
+        "{} scale row(s) compared on total_s, threshold {:.2}x, {} regression(s)",
         rows.len(),
         args.threshold,
         regressed.len()
@@ -995,6 +1106,79 @@ mod tests {
             ["row", "world"]
         )
         .is_empty());
+    }
+
+    /// A minimal `bench_scale` artifact with every row's `total_s` scaled.
+    fn scale_fixture(scale: f64) -> String {
+        let rows: Vec<String> = [("flat", "lbp", 0.6), ("hier4", "heft", 0.5)]
+            .iter()
+            .flat_map(|&(topo, policy, s)| {
+                [64usize, 1024].map(|world| {
+                    format!(
+                        "{{\"model\": \"ResNet-50\", \"world\": {world}, \
+                         \"topology\": \"{topo}\", \"policy\": \"{policy}\", \
+                         \"total_s\": {:.9}, \"inverse_s\": 0.1, \
+                         \"divergence_vs_lbp\": 0.05}}",
+                        s * scale
+                    )
+                })
+            })
+            .collect();
+        format!(
+            "{{\"schema\": \"{SCALE_SCHEMA}\", \"smoke\": false, \
+             \"gpus_per_node\": 4, \"rows\": [{}]}}",
+            rows.join(", ")
+        )
+    }
+
+    fn scale_times(scale: f64) -> KernelTimes {
+        extract_scale(
+            &parse_json(&scale_fixture(scale)).expect("fixture parses"),
+            "fixture",
+        )
+        .expect("fixture extracts")
+    }
+
+    #[test]
+    fn extract_scale_reads_rows_and_rejects_other_schemas() {
+        let t = scale_times(1.0);
+        assert_eq!(t.len(), 4);
+        assert!((t[&("ResNet-50|hier4|heft".to_string(), 1024)] - 0.5).abs() < 1e-12);
+        let kernel = parse_json(&fixture(1.0)).expect("parses");
+        assert!(extract_scale(&kernel, "kernel").is_err());
+        assert!(!is_scale(&kernel));
+        assert!(is_scale(&parse_json(&scale_fixture(1.0)).expect("parses")));
+        // The divergence column is load-bearing for the CI gate.
+        let truncated = scale_fixture(1.0).replace("\"divergence_vs_lbp\": 0.05", "\"x\": 0");
+        assert!(extract_scale(&parse_json(&truncated).expect("parses"), "t").is_err());
+    }
+
+    #[test]
+    fn scale_rows_gate_even_under_check() {
+        let dir = std::env::temp_dir();
+        let base = dir.join("bench_diff_scale_base.json");
+        let cand = dir.join("bench_diff_scale_cand.json");
+        std::fs::write(&base, scale_fixture(1.0)).expect("write base");
+        std::fs::write(&cand, scale_fixture(1.0)).expect("write cand");
+        let argv = |check: bool| {
+            let mut v = vec![
+                base.to_string_lossy().into_owned(),
+                cand.to_string_lossy().into_owned(),
+            ];
+            if check {
+                v.push("--check".into());
+            }
+            parse_args(&v).expect("valid args")
+        };
+        // Identical deterministic sweeps pass in both modes.
+        assert_eq!(run(&argv(true)).expect("check runs"), ExitCode::SUCCESS);
+        assert_eq!(run(&argv(false)).expect("diff runs"), ExitCode::SUCCESS);
+        // A 2x drift gates even under --check: simulation is deterministic,
+        // so any overlap disagreement is a real behaviour change.
+        std::fs::write(&cand, scale_fixture(2.0)).expect("write cand");
+        assert_eq!(run(&argv(true)).expect("check runs"), ExitCode::FAILURE);
+        let _ = std::fs::remove_file(&base);
+        let _ = std::fs::remove_file(&cand);
     }
 
     #[test]

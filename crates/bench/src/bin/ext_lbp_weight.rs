@@ -17,7 +17,7 @@ fn main() {
     for m in paper_models() {
         let dims = m.all_factor_dims();
         let run = |weight: LbpWeight| {
-            simulate_inverse_phase(&dims, &cfg, PlacementStrategy::Lbp { weight }).total
+            simulate_inverse_phase(&dims, &cfg, &PlacementStrategy::Lbp { weight }).total
         };
         println!(
             "{:<14} {:>10.4} {:>10.4} {:>12.4}",

@@ -9,7 +9,7 @@
 use spdkfac_bench::{header, note};
 use spdkfac_core::placement::PlacementStrategy;
 use spdkfac_models::paper_models;
-use spdkfac_sim::{simulate_inverse_phase, NetworkModel, SimConfig};
+use spdkfac_sim::{simulate_inverse_phase, NetTopology, SimConfig};
 
 fn main() {
     header("Extension: inverse phase under serialized vs per-root-parallel networks");
@@ -23,20 +23,20 @@ fn main() {
     );
     for m in paper_models() {
         let dims = m.all_factor_dims();
-        let run = |network: NetworkModel, strategy: PlacementStrategy| {
+        let run = |topology: NetTopology, strategy: PlacementStrategy| {
             let mut cfg = SimConfig::paper_testbed(64);
-            cfg.network = network;
-            simulate_inverse_phase(&dims, &cfg, strategy).total
+            cfg.topology = topology;
+            simulate_inverse_phase(&dims, &cfg, &strategy).total
         };
-        let row = |network: NetworkModel| {
+        let row = |topology: NetTopology| {
             (
-                run(network, PlacementStrategy::NonDist),
-                run(network, PlacementStrategy::SeqDist),
-                run(network, PlacementStrategy::default()),
+                run(topology, PlacementStrategy::NonDist),
+                run(topology, PlacementStrategy::SeqDist),
+                run(topology, PlacementStrategy::default()),
             )
         };
-        let (sn, ss, sl) = row(NetworkModel::Serialized);
-        let (pn, ps, pl) = row(NetworkModel::PerRootParallel);
+        let (sn, ss, sl) = row(NetTopology::serialized());
+        let (pn, ps, pl) = row(NetTopology::per_root_parallel());
         println!(
             "{:<14} {:>8.4}{:>8.4}{:>8.4} {:>8.4}{:>8.4}{:>8.4}",
             m.name(),

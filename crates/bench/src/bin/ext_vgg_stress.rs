@@ -52,7 +52,7 @@ fn main() {
         PlacementStrategy::SeqDist,
         PlacementStrategy::default(),
     ] {
-        let r = simulate_inverse_phase(&dims, &cfg, s);
+        let r = simulate_inverse_phase(&dims, &cfg, &s);
         println!(
             "  {s:?}: inverse phase = {:.2} s (exponential model)",
             r.total

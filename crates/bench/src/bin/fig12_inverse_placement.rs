@@ -15,9 +15,9 @@ fn main() {
     );
     for m in paper_models() {
         let dims = m.all_factor_dims();
-        let non = simulate_inverse_phase(&dims, &cfg, PlacementStrategy::NonDist).total;
-        let seq = simulate_inverse_phase(&dims, &cfg, PlacementStrategy::SeqDist).total;
-        let lbp = simulate_inverse_phase(&dims, &cfg, PlacementStrategy::default()).total;
+        let non = simulate_inverse_phase(&dims, &cfg, &PlacementStrategy::NonDist).total;
+        let seq = simulate_inverse_phase(&dims, &cfg, &PlacementStrategy::SeqDist).total;
+        let lbp = simulate_inverse_phase(&dims, &cfg, &PlacementStrategy::default()).total;
         let gain = 1.0 - lbp / non.min(seq);
         println!(
             "{:<14} {:>10.4} {:>10.4} {:>10.4} {:>11.0}%",

@@ -23,11 +23,14 @@ fn main() {
             } else {
                 FactorCommMode::Bulk
             });
-            c.placement = Some(if lbp {
-                PlacementStrategy::default()
-            } else {
-                PlacementStrategy::NonDist
-            });
+            c.placement = Some(
+                if lbp {
+                    PlacementStrategy::default()
+                } else {
+                    PlacementStrategy::NonDist
+                }
+                .into(),
+            );
             simulate_iteration(&m, &c, Algo::SpdKfac).total
         };
         let t00 = run(false, false);

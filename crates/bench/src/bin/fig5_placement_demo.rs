@@ -26,7 +26,7 @@ fn main() {
     ] {
         let p = place(&dims, 2, &comp, &comm, strategy);
         let modeled = p.modeled_time(&dims, &comp, &comm);
-        let sim = simulate_inverse_phase(&dims, &cfg, strategy);
+        let sim = simulate_inverse_phase(&dims, &cfg, &strategy);
         print!("{name:<24} assignment = [");
         for (i, a) in p.assignments().iter().enumerate() {
             if i > 0 {

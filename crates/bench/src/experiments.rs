@@ -149,9 +149,9 @@ pub fn fig12(cfg: &SimConfig) -> Vec<Fig12Row> {
             let dims = m.all_factor_dims();
             Fig12Row {
                 model: m.name().to_string(),
-                non_dist: simulate_inverse_phase(&dims, cfg, PlacementStrategy::NonDist).total,
-                seq_dist: simulate_inverse_phase(&dims, cfg, PlacementStrategy::SeqDist).total,
-                lbp: simulate_inverse_phase(&dims, cfg, PlacementStrategy::default()).total,
+                non_dist: simulate_inverse_phase(&dims, cfg, &PlacementStrategy::NonDist).total,
+                seq_dist: simulate_inverse_phase(&dims, cfg, &PlacementStrategy::SeqDist).total,
+                lbp: simulate_inverse_phase(&dims, cfg, &PlacementStrategy::default()).total,
             }
         })
         .collect()
@@ -181,11 +181,14 @@ pub fn fig13(cfg: &SimConfig) -> Vec<Fig13Row> {
         } else {
             FactorCommMode::Bulk
         });
-        c.placement = Some(if lbp {
-            PlacementStrategy::default()
-        } else {
-            PlacementStrategy::NonDist
-        });
+        c.placement = Some(
+            if lbp {
+                PlacementStrategy::default()
+            } else {
+                PlacementStrategy::NonDist
+            }
+            .into(),
+        );
         simulate_iteration(m, &c, Algo::SpdKfac).total
     };
     paper_models()

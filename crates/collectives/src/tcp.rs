@@ -142,7 +142,10 @@ fn write_frame(w: &mut impl Write, msg: &RingMsg) -> std::io::Result<()> {
                 buf.extend_from_slice(&x.to_le_bytes());
             }
         }
-        WirePayload::F32(b) | WirePayload::F16(b) | WirePayload::Sparse(b) => {
+        WirePayload::F32(b)
+        | WirePayload::F16(b)
+        | WirePayload::Sparse(b)
+        | WirePayload::PackedSym(b) => {
             buf.extend_from_slice(b);
         }
     }
@@ -174,6 +177,7 @@ fn read_frame(r: &mut impl Read) -> std::io::Result<RingMsg> {
         1 => WirePayload::F32(bytes),
         2 => WirePayload::F16(bytes),
         3 => WirePayload::Sparse(bytes),
+        4 => WirePayload::PackedSym(bytes),
         t => return Err(bad(format!("unknown wire payload tag {t}"))),
     };
     Ok(RingMsg { origin, payload })

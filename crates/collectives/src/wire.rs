@@ -49,6 +49,14 @@ pub enum WireFormat {
         /// Fraction of elements kept, in `(0, 1]`.
         ratio: f64,
     },
+    /// §V-B packed-triangular symmetry composed with f16: a payload that
+    /// is a full `d × d` matrix and *exactly* symmetric ships only its
+    /// upper triangle (`d(d+1)/2` halves ≈ 1 byte per logical element);
+    /// anything else — asymmetric buffers, ring-chunk slices — falls back
+    /// to dense f16. The codec never symmetrizes: packing happens only
+    /// when the mirror elements already agree bit-for-bit, so the only
+    /// loss is f16 rounding.
+    PackedSymF16,
 }
 
 impl WireFormat {
@@ -60,6 +68,8 @@ impl WireFormat {
             WireFormat::F32 => 4.0,
             WireFormat::F16 => 2.0,
             WireFormat::TopK { ratio } => (ratio * 8.0).min(4.0),
+            // 2 bytes × d(d+1)/2 halves over d² logical elements → ~1.
+            WireFormat::PackedSymF16 => 1.0,
         }
     }
 
@@ -75,6 +85,7 @@ impl WireFormat {
             "f64" | "fp64" => Ok(WireFormat::F64),
             "f32" | "fp32" => Ok(WireFormat::F32),
             "f16" | "fp16" => Ok(WireFormat::F16),
+            "packed-f16" | "packedsym-f16" => Ok(WireFormat::PackedSymF16),
             _ => {
                 if let Some(r) = t.strip_prefix("topk:") {
                     let ratio: f64 = r
@@ -86,7 +97,7 @@ impl WireFormat {
                     Ok(WireFormat::TopK { ratio })
                 } else {
                     Err(format!(
-                        "unknown wire format {s:?} (expected f64|f32|f16|topk:<ratio>)"
+                        "unknown wire format {s:?} (expected f64|f32|f16|packed-f16|topk:<ratio>)"
                     ))
                 }
             }
@@ -101,6 +112,7 @@ impl std::fmt::Display for WireFormat {
             WireFormat::F32 => f.write_str("f32"),
             WireFormat::F16 => f.write_str("f16"),
             WireFormat::TopK { ratio } => write!(f, "topk:{ratio}"),
+            WireFormat::PackedSymF16 => f.write_str("packed-f16"),
         }
     }
 }
@@ -220,6 +232,10 @@ pub enum WirePayload {
     F16(Vec<u8>),
     /// Self-describing sparse/dense-f32 body (see module docs).
     Sparse(Vec<u8>),
+    /// Self-describing packed-symmetric/dense-f16 body: kind byte 1 = u32
+    /// dimension + upper-triangle halves, kind byte 0 = u32 length + dense
+    /// halves.
+    PackedSym(Vec<u8>),
 }
 
 impl WirePayload {
@@ -230,6 +246,7 @@ impl WirePayload {
             WirePayload::F32(b) => b.len() / 4,
             WirePayload::F16(b) => b.len() / 2,
             WirePayload::Sparse(b) => sparse_logical_len(b),
+            WirePayload::PackedSym(b) => packed_sym_logical_len(b),
         }
     }
 
@@ -237,17 +254,22 @@ impl WirePayload {
     pub fn wire_bytes(&self) -> usize {
         match self {
             WirePayload::F64(v) => v.len() * 8,
-            WirePayload::F32(b) | WirePayload::F16(b) | WirePayload::Sparse(b) => b.len(),
+            WirePayload::F32(b)
+            | WirePayload::F16(b)
+            | WirePayload::Sparse(b)
+            | WirePayload::PackedSym(b) => b.len(),
         }
     }
 
-    /// Frame tag used by the TCP backend (0=f64, 1=f32, 2=f16, 3=sparse).
+    /// Frame tag used by the TCP backend (0=f64, 1=f32, 2=f16, 3=sparse,
+    /// 4=packed-sym).
     pub fn tag(&self) -> u8 {
         match self {
             WirePayload::F64(_) => 0,
             WirePayload::F32(_) => 1,
             WirePayload::F16(_) => 2,
             WirePayload::Sparse(_) => 3,
+            WirePayload::PackedSym(_) => 4,
         }
     }
 }
@@ -343,6 +365,49 @@ pub fn encode(fmt: WireFormat, data: Vec<f64>) -> (WirePayload, CodecStats) {
             cs.secs = t0.elapsed().as_secs_f64();
             (WirePayload::Sparse(bytes), cs)
         }
+        WireFormat::PackedSymF16 => {
+            let t0 = Instant::now();
+            let len = data.len();
+            let d = (len as f64).sqrt().round() as usize;
+            let symmetric_square = d > 0 && d * d == len && {
+                let mut sym = true;
+                'rows: for r in 0..d {
+                    for c in (r + 1)..d {
+                        if data[r * d + c] != data[c * d + r] {
+                            sym = false;
+                            break 'rows;
+                        }
+                    }
+                }
+                sym
+            };
+            let mut bytes;
+            if symmetric_square {
+                let tri = d * (d + 1) / 2;
+                bytes = Vec::with_capacity(5 + 2 * tri);
+                bytes.push(1u8);
+                bytes.extend_from_slice(&(d as u32).to_le_bytes());
+                for r in 0..d {
+                    for c in r..d {
+                        let x = data[r * d + c];
+                        let h = f32_to_f16_bits(x as f32);
+                        cs.observe(x, f16_bits_to_f32(h) as f64);
+                        bytes.extend_from_slice(&h.to_le_bytes());
+                    }
+                }
+            } else {
+                bytes = Vec::with_capacity(5 + 2 * len);
+                bytes.push(0u8);
+                bytes.extend_from_slice(&(len as u32).to_le_bytes());
+                for &x in &data {
+                    let h = f32_to_f16_bits(x as f32);
+                    cs.observe(x, f16_bits_to_f32(h) as f64);
+                    bytes.extend_from_slice(&h.to_le_bytes());
+                }
+            }
+            cs.secs = t0.elapsed().as_secs_f64();
+            (WirePayload::PackedSym(bytes), cs)
+        }
     }
 }
 
@@ -384,6 +449,11 @@ pub fn decode_ref(payload: &WirePayload) -> (Vec<f64>, f64) {
             let out = decode_sparse(b);
             (out, t0.elapsed().as_secs_f64())
         }
+        WirePayload::PackedSym(b) => {
+            let t0 = Instant::now();
+            let out = decode_packed_sym(b);
+            (out, t0.elapsed().as_secs_f64())
+        }
     }
 }
 
@@ -417,6 +487,85 @@ fn decode_sparse(b: &[u8]) -> Vec<f64> {
         }
         t => panic!("unknown sparse payload tag {t}"),
     }
+}
+
+fn packed_sym_logical_len(b: &[u8]) -> usize {
+    assert!(b.len() >= 5, "packed-sym payload shorter than its header");
+    let n = u32::from_le_bytes(b[1..5].try_into().expect("4-byte len")) as usize;
+    match b[0] {
+        1 => n * n,
+        0 => n,
+        t => panic!("unknown packed-sym payload kind {t}"),
+    }
+}
+
+fn decode_packed_sym(b: &[u8]) -> Vec<f64> {
+    let n = u32::from_le_bytes(b[1..5].try_into().expect("4-byte len")) as usize;
+    let body = &b[5..];
+    match b[0] {
+        1 => {
+            let d = n;
+            let tri = d * (d + 1) / 2;
+            assert_eq!(body.len(), 2 * tri, "packed-sym triangle body mismatch");
+            let mut out = vec![0.0f64; d * d];
+            let mut it = body.chunks_exact(2);
+            for r in 0..d {
+                for c in r..d {
+                    let h = u16::from_le_bytes(
+                        it.next().expect("triangle element").try_into().expect("2B"),
+                    );
+                    let v = f16_bits_to_f32(h) as f64;
+                    out[r * d + c] = v;
+                    out[c * d + r] = v;
+                }
+            }
+            out
+        }
+        0 => {
+            assert_eq!(body.len(), 2 * n, "packed-sym dense body mismatch");
+            body.chunks_exact(2)
+                .map(|c| f16_bits_to_f32(u16::from_le_bytes(c.try_into().expect("2B"))) as f64)
+                .collect()
+        }
+        t => panic!("unknown packed-sym payload kind {t}"),
+    }
+}
+
+/// Packs the upper triangle (row-major, diagonal included) of a symmetric
+/// `d × d` matrix into `d(d+1)/2` elements.
+///
+/// # Panics
+///
+/// Panics if `full.len() != d * d`.
+pub fn pack_sym_upper(full: &[f64], d: usize) -> Vec<f64> {
+    assert_eq!(full.len(), d * d, "matrix length mismatch");
+    let mut out = Vec::with_capacity(d * (d + 1) / 2);
+    for r in 0..d {
+        for c in r..d {
+            out.push(full[r * d + c]);
+        }
+    }
+    out
+}
+
+/// Expands a packed upper triangle back into the full symmetric `d × d`
+/// matrix (the inverse of [`pack_sym_upper`]).
+///
+/// # Panics
+///
+/// Panics if `packed.len() != d * (d + 1) / 2`.
+pub fn unpack_sym_upper(packed: &[f64], d: usize) -> Vec<f64> {
+    assert_eq!(packed.len(), d * (d + 1) / 2, "triangle length mismatch");
+    let mut out = vec![0.0f64; d * d];
+    let mut k = 0;
+    for r in 0..d {
+        for c in r..d {
+            out[r * d + c] = packed[k];
+            out[c * d + r] = packed[k];
+            k += 1;
+        }
+    }
+    out
 }
 
 /// Moves all but the top `ratio` fraction (by |value|) of `data + residual`
@@ -637,6 +786,102 @@ mod tests {
         for (x, y) in dense_vec.iter().zip(back.iter()) {
             assert_eq!(*y, (*x as f32) as f64);
         }
+    }
+
+    #[test]
+    fn packed_sym_round_trips_symmetric_matrix_within_f16_bounds() {
+        // A genuine KFAC-style factor: symmetric d×d, moderate magnitudes.
+        let d = 7usize;
+        let mut m = vec![0.0f64; d * d];
+        for r in 0..d {
+            for c in r..d {
+                let v = ((r * 13 + c * 7) as f64).mul_add(0.037, -1.5);
+                m[r * d + c] = v;
+                m[c * d + r] = v;
+            }
+        }
+        let (payload, cs) = encode(WireFormat::PackedSymF16, m.clone());
+        // Header (kind byte + u32 dim) + one f16 per upper-triangle slot.
+        let tri = d * (d + 1) / 2;
+        assert_eq!(payload.wire_bytes(), 5 + tri * 2);
+        assert_eq!(payload.elems(), d * d);
+        assert_eq!(payload.tag(), 4);
+        assert!(cs.max_rel_err <= 1.0 / 2048.0, "rel {}", cs.max_rel_err);
+        let (back, _) = decode(payload);
+        assert_eq!(back.len(), d * d);
+        for r in 0..d {
+            for c in 0..d {
+                // Reconstruction is exactly symmetric (mirrored slots share
+                // one wire value) and within the f16 bound of the input.
+                assert_eq!(back[r * d + c].to_bits(), back[c * d + r].to_bits());
+                let (x, y) = (m[r * d + c], back[r * d + c]);
+                assert!((x - y).abs() <= x.abs() / 2048.0, "({r},{c}) {x} -> {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_sym_falls_back_to_dense_for_asymmetric_or_nonsquare() {
+        // Asymmetric square: must ship the full body, never symmetrize.
+        let d = 4usize;
+        let mut m: Vec<f64> = (0..d * d).map(|i| i as f64).collect();
+        m[1] = 100.0; // m[0][1] != m[1][0]
+        let (payload, _) = encode(WireFormat::PackedSymF16, m.clone());
+        assert_eq!(payload.wire_bytes(), 5 + d * d * 2);
+        let (back, _) = decode(payload);
+        for (x, y) in m.iter().zip(back.iter()) {
+            assert_eq!(*y, (f16_bits_to_f32(f32_to_f16_bits(*x as f32))) as f64);
+        }
+        // Non-square length (a fused chunk): dense fallback too.
+        let chunk = vec![1.0f64; 10];
+        let (payload, _) = encode(WireFormat::PackedSymF16, chunk.clone());
+        assert_eq!(payload.wire_bytes(), 5 + 10 * 2);
+        assert_eq!(payload.elems(), 10);
+        let (back, _) = decode(payload);
+        assert_eq!(back, chunk);
+        // An off-diagonal NaN compares unequal to its mirror (even to
+        // another NaN), so the probe calls the matrix asymmetric and the
+        // codec falls back dense instead of inventing symmetry.
+        let mut nan_m = vec![0.0f64; 4];
+        nan_m[1] = f64::NAN;
+        nan_m[2] = f64::NAN;
+        let (payload, _) = encode(WireFormat::PackedSymF16, nan_m);
+        assert_eq!(payload.wire_bytes(), 5 + 4 * 2);
+    }
+
+    #[test]
+    fn pack_and_unpack_sym_upper_are_inverses() {
+        let d = 5usize;
+        let mut m = vec![0.0f64; d * d];
+        for r in 0..d {
+            for c in r..d {
+                let v = (r * d + c) as f64 * 0.25;
+                m[r * d + c] = v;
+                m[c * d + r] = v;
+            }
+        }
+        let packed = pack_sym_upper(&m, d);
+        assert_eq!(packed.len(), d * (d + 1) / 2);
+        let full = unpack_sym_upper(&packed, d);
+        assert_eq!(full, m);
+    }
+
+    #[test]
+    fn packed_sym_format_parses_and_displays() {
+        assert_eq!(
+            WireFormat::parse("packed-f16").unwrap(),
+            WireFormat::PackedSymF16
+        );
+        assert_eq!(
+            WireFormat::parse("packedsym-f16").unwrap(),
+            WireFormat::PackedSymF16
+        );
+        assert_eq!(WireFormat::PackedSymF16.to_string(), "packed-f16");
+        assert!(!WireFormat::PackedSymF16.is_lossless());
+        assert_eq!(WireFormat::PackedSymF16.bytes_per_elem(), 1.0);
+        // Round-trip through the policy parser.
+        let p = WirePolicy::parse("factor=packed-f16").unwrap();
+        assert_eq!(p.factor, WireFormat::PackedSymF16);
     }
 
     #[test]

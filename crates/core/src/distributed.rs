@@ -806,11 +806,15 @@ pub fn train_worker(
             // through the agreed per-byte line plus the codec line. Under
             // f64 (or before any wire fit exists) this is the identity.
             agreed.allreduce = agreed.effective_allreduce(cfg.wire.factor.bytes_per_elem());
+            // The standing placement prices migration: a CT only moves if
+            // the rebalancing win exceeds one broadcast of its state.
+            let prev = store.current().placement.clone();
             let (placement, a_f, g_f) = runtime::replan(
                 &agreed,
                 &inv_dims,
                 world,
                 cfg.effective_placement(),
+                Some(&prev),
                 a_pipeline.as_ref(),
                 g_pipeline.as_ref(),
                 cfg.fusion,

@@ -130,6 +130,94 @@ impl Placement {
     }
 }
 
+/// Everything a [`PlacementPolicy`] may consult when assigning tensors.
+///
+/// `dims` are the tensor dimensions in tensor order; `comp`/`comm` are the
+/// agreed inversion / broadcast cost models (Eq. 26 / Eq. 27). `prev`
+/// carries the standing assignments when a policy runs at a re-plan
+/// barrier, so it can price ownership migration instead of thrashing;
+/// `gpus_per_node` is the topology hint (1 = flat cluster) that
+/// topology-aware policies use to reason about NVLink/PCIe islands.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementContext<'a> {
+    /// Tensor dimensions, in tensor order.
+    pub dims: &'a [usize],
+    /// Number of GPUs.
+    pub world: usize,
+    /// Inversion cost model (Eq. 26).
+    pub comp: &'a ExpInverseModel,
+    /// Broadcast cost model (Eq. 27).
+    pub comm: &'a AlphaBetaModel,
+    /// Standing assignments from the previous plan generation, if any.
+    pub prev: Option<&'a [TensorAssignment]>,
+    /// GPUs per node (1 when the topology is flat / unknown).
+    pub gpus_per_node: usize,
+}
+
+impl<'a> PlacementContext<'a> {
+    /// A flat-topology context with no standing plan.
+    pub fn new(
+        dims: &'a [usize],
+        world: usize,
+        comp: &'a ExpInverseModel,
+        comm: &'a AlphaBetaModel,
+    ) -> Self {
+        PlacementContext {
+            dims,
+            world,
+            comp,
+            comm,
+            prev: None,
+            gpus_per_node: 1,
+        }
+    }
+
+    /// Attaches the previous generation's assignments.
+    pub fn with_prev(mut self, prev: Option<&'a [TensorAssignment]>) -> Self {
+        self.prev = prev;
+        self
+    }
+
+    /// Sets the GPUs-per-node topology hint.
+    pub fn with_gpus_per_node(mut self, gpus_per_node: usize) -> Self {
+        self.gpus_per_node = gpus_per_node.max(1);
+        self
+    }
+}
+
+/// A pluggable inverse-placement policy: the extraction of Algorithm 1's
+/// role into a trait so LBP competes head-to-head against HEFT-style,
+/// memory-aware, and topology-aware schedulers (the `sim::sched` impls).
+///
+/// Implementations must be **pure**: the same context (same dims in the
+/// same order, same models, same `prev`) must yield the same placement on
+/// every rank — placements are part of the SPMD-agreed state.
+pub trait PlacementPolicy: Send + Sync {
+    /// Stable identifier for reports and benchmark rows.
+    fn name(&self) -> String;
+
+    /// Computes the placement for `ctx`.
+    fn place(&self, ctx: &PlacementContext<'_>) -> Placement;
+}
+
+impl PlacementPolicy for PlacementStrategy {
+    fn name(&self) -> String {
+        match self {
+            PlacementStrategy::NonDist => "non-dist".into(),
+            PlacementStrategy::SeqDist => "seq-dist".into(),
+            PlacementStrategy::Lbp { weight } => match weight {
+                LbpWeight::Dim => "lbp-dim".into(),
+                LbpWeight::DimSquared => "lbp".into(),
+                LbpWeight::ModeledTime => "lbp-time".into(),
+            },
+        }
+    }
+
+    fn place(&self, ctx: &PlacementContext<'_>) -> Placement {
+        place_with_prev(ctx.dims, ctx.world, ctx.comp, ctx.comm, *self, ctx.prev)
+    }
+}
+
 /// The workload weight LBP balances (DESIGN.md §4 discusses the pseudocode
 /// vs Eq. 25 discrepancy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -177,6 +265,22 @@ pub fn place(
     comm: &AlphaBetaModel,
     strategy: PlacementStrategy,
 ) -> Placement {
+    place_with_prev(dims, world, comp, comm, strategy, None)
+}
+
+/// As [`place`], but with the previous generation's assignments available:
+/// LBP then charges a broadcast-priced migration cost for moving a CT away
+/// from its standing owner, so re-plans on marginally drifted models keep
+/// assignments sticky instead of thrashing ownership (and the factor state
+/// that lives with it).
+pub fn place_with_prev(
+    dims: &[usize],
+    world: usize,
+    comp: &ExpInverseModel,
+    comm: &AlphaBetaModel,
+    strategy: PlacementStrategy,
+    prev: Option<&[TensorAssignment]>,
+) -> Placement {
     assert!(world > 0, "place requires at least one GPU");
     match strategy {
         PlacementStrategy::NonDist => {
@@ -188,7 +292,7 @@ pub fn place(
                 .collect(),
             world,
         ),
-        PlacementStrategy::Lbp { weight } => lbp(dims, world, comp, comm, weight),
+        PlacementStrategy::Lbp { weight } => lbp_with_prev(dims, world, comp, comm, weight, prev),
     }
 }
 
@@ -201,11 +305,36 @@ pub fn lbp(
     comm: &AlphaBetaModel,
     weight: LbpWeight,
 ) -> Placement {
+    lbp_with_prev(dims, world, comp, comm, weight, None)
+}
+
+/// As [`lbp`], optionally migration-aware.
+///
+/// Without `prev` this is Algorithm 1 verbatim. With `prev`, the CT
+/// bucket choice runs in modelled-seconds space (whatever `weight` says —
+/// migration is priced in seconds, so the comparison must be too) and each
+/// candidate GPU that is not the tensor's standing owner is surcharged one
+/// packed broadcast of the tensor: moving ownership costs exactly one
+/// fan-out of the factor state the new owner does not have.
+pub fn lbp_with_prev(
+    dims: &[usize],
+    world: usize,
+    comp: &ExpInverseModel,
+    comm: &AlphaBetaModel,
+    weight: LbpWeight,
+    prev: Option<&[TensorAssignment]>,
+) -> Placement {
     // Line 3: indices sorted by dimension, descending (ties by index for
     // determinism).
     let mut order: Vec<usize> = (0..dims.len()).collect();
     order.sort_by(|&a, &b| dims[b].cmp(&dims[a]).then(a.cmp(&b)));
 
+    // Migration-aware selection compares seconds against seconds.
+    let weight = if prev.is_some() {
+        LbpWeight::ModeledTime
+    } else {
+        weight
+    };
     let w = |d: usize, ct: bool| -> f64 {
         match weight {
             LbpWeight::Dim => d as f64,
@@ -228,10 +357,22 @@ pub fn lbp(
                 *b += wv;
             }
         } else {
-            // Lines 11-13: CT — least-loaded GPU (line 5).
+            // Lines 11-13: CT — least-loaded GPU (line 5), surcharged by
+            // the migration broadcast when a standing owner exists.
+            let owner = prev.and_then(|p| match p.get(i) {
+                Some(TensorAssignment::Gpu(q)) => Some(*q),
+                _ => None,
+            });
             let p = buckets
                 .iter()
                 .enumerate()
+                .map(|(p, &b)| {
+                    let migrate = match owner {
+                        Some(q) if q != p => comm.time_packed(d),
+                        _ => 0.0,
+                    };
+                    (p, b + migrate)
+                })
                 .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite weights"))
                 .map(|(p, _)| p)
                 .expect("world > 0");
@@ -418,6 +559,76 @@ mod tests {
         let (comp, comm) = toy_models();
         let p = place(&[100, 200], 1, &comp, &comm, PlacementStrategy::default());
         assert_eq!(p.set_for_gpu(0), vec![0, 1]);
+    }
+
+    #[test]
+    fn migration_cost_keeps_marginal_replans_sticky() {
+        // A small model drift must not flip ownership: re-planning with
+        // `prev` under slightly different models keeps every CT where it
+        // was, because moving it costs a full broadcast.
+        let (comp, comm) = toy_models();
+        let dims = vec![3000, 2900, 2800, 2700, 300, 400];
+        let first = place(&dims, 4, &comp, &comm, PlacementStrategy::default());
+        let drifted = AlphaBetaModel::new(comm.alpha * 1.05, comm.beta * 0.97);
+        let second = place_with_prev(
+            &dims,
+            4,
+            &comp,
+            &drifted,
+            PlacementStrategy::default(),
+            Some(first.assignments()),
+        );
+        for (i, (a, b)) in first
+            .assignments()
+            .iter()
+            .zip(second.assignments())
+            .enumerate()
+        {
+            if let (TensorAssignment::Gpu(p), TensorAssignment::Gpu(q)) = (a, b) {
+                assert_eq!(p, q, "tensor {i} migrated {p} -> {q} on a marginal drift");
+            }
+        }
+    }
+
+    #[test]
+    fn migration_still_moves_under_gross_imbalance() {
+        // The surcharge is one broadcast, not a veto: if the standing plan
+        // is grossly imbalanced (everything on GPU 0), re-planning with
+        // `prev` still spreads the load.
+        let (comp, comm) = toy_models();
+        let dims = vec![3000, 3000, 3000, 3000];
+        let skewed = Placement::new(vec![TensorAssignment::Gpu(0); 4], 4);
+        let rebal = place_with_prev(
+            &dims,
+            4,
+            &comp,
+            &comm,
+            PlacementStrategy::default(),
+            Some(skewed.assignments()),
+        );
+        let moved = rebal
+            .assignments()
+            .iter()
+            .filter(|a| !matches!(a, TensorAssignment::Gpu(0)))
+            .count();
+        assert!(moved >= 2, "only {moved} tensors left the overloaded GPU");
+        assert!(rebal.modeled_time(&dims, &comp, &comm) < skewed.modeled_time(&dims, &comp, &comm));
+    }
+
+    #[test]
+    fn policy_trait_matches_free_function() {
+        let (comp, comm) = toy_models();
+        let dims = vec![8, 16, 2000, 3000, 450];
+        for strategy in [
+            PlacementStrategy::NonDist,
+            PlacementStrategy::SeqDist,
+            PlacementStrategy::default(),
+        ] {
+            let ctx = PlacementContext::new(&dims, 4, &comp, &comm);
+            let via_trait = PlacementPolicy::place(&strategy, &ctx);
+            let direct = place(&dims, 4, &comp, &comm, strategy);
+            assert_eq!(via_trait, direct, "{}", PlacementPolicy::name(&strategy));
+        }
     }
 
     #[test]

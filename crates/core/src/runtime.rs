@@ -284,22 +284,28 @@ pub fn decode_models(
 ///
 /// Pure function of its arguments: identical inputs on every rank yield the
 /// identical candidate plan (LBP and the Eq. 15 planner both break ties
-/// deterministically).
+/// deterministically). `prev` is the standing placement (identical on every
+/// rank — it is part of the agreed epoch): with it, LBP charges a
+/// broadcast-priced migration cost before moving tensor ownership, so
+/// marginal model refits keep assignments sticky.
+#[allow(clippy::too_many_arguments)]
 pub fn replan(
     agreed: &AgreedModels,
     inv_dims: &[usize],
     world: usize,
     placement_strategy: PlacementStrategy,
+    prev: Option<&Placement>,
     a_pipeline: Option<&FactorPipeline>,
     g_pipeline: Option<&FactorPipeline>,
     fusion_strategy: FusionStrategy,
 ) -> (Placement, Option<FusionPlan>, Option<FusionPlan>) {
-    let placement = placement::place(
+    let placement = placement::place_with_prev(
         inv_dims,
         world,
         &agreed.inverse,
         &agreed.broadcast,
         placement_strategy,
+        prev.map(|p| p.assignments()),
     );
     let a_fusion = a_pipeline.map(|p| fusion::plan(p, &agreed.allreduce, fusion_strategy));
     let g_fusion = g_pipeline.map(|p| fusion::plan(p, &agreed.allreduce, fusion_strategy));
@@ -562,6 +568,7 @@ mod tests {
             strategy(),
             None,
             None,
+            None,
             FusionStrategy::Optimal,
         );
         let mut store = PlanStore::new(p0.clone(), None, None);
@@ -572,6 +579,7 @@ mod tests {
                 &dims,
                 4,
                 strategy(),
+                None,
                 None,
                 None,
                 FusionStrategy::Optimal,
@@ -594,6 +602,7 @@ mod tests {
             strategy(),
             None,
             None,
+            None,
             FusionStrategy::Optimal,
         );
         let mut store = PlanStore::new(p0, None, None);
@@ -609,6 +618,7 @@ mod tests {
             &dims,
             4,
             strategy(),
+            None,
             None,
             None,
             FusionStrategy::Optimal,
@@ -631,6 +641,7 @@ mod tests {
             strategy(),
             None,
             None,
+            None,
             FusionStrategy::Optimal,
         );
         let mut store = PlanStore::new(p0, None, None);
@@ -650,6 +661,7 @@ mod tests {
                 strategy(),
                 None,
                 None,
+                None,
                 FusionStrategy::Optimal,
             );
             let out = ctl.consider(&mut store, p, a, g);
@@ -663,6 +675,7 @@ mod tests {
             strategy(),
             None,
             None,
+            None,
             FusionStrategy::Optimal,
         );
         assert!(!ctl.consider(&mut store, p, a, g).swapped);
@@ -672,6 +685,7 @@ mod tests {
                 &dims,
                 2,
                 strategy(),
+                None,
                 None,
                 None,
                 FusionStrategy::Optimal,
@@ -709,6 +723,7 @@ mod tests {
             &dims,
             2,
             strategy(),
+            None,
             None,
             None,
             FusionStrategy::Optimal,

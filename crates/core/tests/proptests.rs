@@ -270,13 +270,17 @@ proptest! {
         };
         let strategy = PlacementStrategy::Lbp { weight: LbpWeight::ModeledTime };
         let (p0, a0, g0) = runtime::replan(
-            &agreed, &dims, world, strategy, Some(&p), Some(&p), FusionStrategy::Optimal,
+            &agreed, &dims, world, strategy, None, Some(&p), Some(&p), FusionStrategy::Optimal,
         );
         let mut store = PlanStore::new(p0.clone(), a0, g0);
         let mut ctl = ReplanController::new(ReplanPolicy::EveryN(1));
         for round in 0..3 {
+            // Re-planning with the standing placement as `prev` must also be
+            // a fixed point: migration pricing only ever reinforces it.
+            let standing = store.current().placement.clone();
             let (pl, a, g) = runtime::replan(
-                &agreed, &dims, world, strategy, Some(&p), Some(&p), FusionStrategy::Optimal,
+                &agreed, &dims, world, strategy, Some(&standing), Some(&p), Some(&p),
+                FusionStrategy::Optimal,
             );
             let out = ctl.consider(&mut store, pl, a, g);
             prop_assert!(!out.swapped, "round {round}: identical models swapped the epoch");

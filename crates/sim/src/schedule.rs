@@ -3,9 +3,13 @@
 
 use crate::graph::{Tag, TaskGraph, TaskSpan};
 use crate::hardware::HardwareProfile;
+use crate::net::{self, NetTopology};
 use crate::report::{attribute, SimReport};
+use crate::sched::PolicyHandle;
 use spdkfac_core::fusion::{self, FactorPipeline, FusionStrategy};
-use spdkfac_core::placement::{self, PlacementStrategy, TensorAssignment};
+use spdkfac_core::placement::{
+    PlacementContext, PlacementPolicy, PlacementStrategy, TensorAssignment,
+};
 use spdkfac_models::ModelProfile;
 use spdkfac_obs::{CollEdge, SpanMeta};
 
@@ -74,19 +78,6 @@ pub enum GradFusionMode {
     Optimal,
 }
 
-/// How the network executes collectives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum NetworkModel {
-    /// One shared queue: collectives never overlap each other (Horovod's
-    /// single background thread — the default, see DESIGN.md §4).
-    #[default]
-    Serialized,
-    /// Broadcasts from distinct roots may overlap each other (the implicit
-    /// assumption of the paper's Eq. 21 objective); global collectives
-    /// (all-reduces) still serialize.
-    PerRootParallel,
-}
-
 /// Simulator configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -101,12 +92,12 @@ pub struct SimConfig {
     /// pipelining ablation).
     pub factor_mode: Option<FactorCommMode>,
     /// Override the algorithm's inverse placement (for the Fig. 12/13
-    /// ablations).
-    pub placement: Option<PlacementStrategy>,
+    /// ablations and the scaling study's alternative policies).
+    pub placement: Option<PolicyHandle>,
     /// Gradient fusion policy for the WFBP aggregation.
     pub grad_fusion: GradFusionMode,
-    /// Network execution model (robustness knob for the Eq. 21 assumption).
-    pub network: NetworkModel,
+    /// Network topology / execution model (see [`crate::net`]).
+    pub topology: NetTopology,
     /// Bytes per communicated element (4 = fp32, the paper's setting;
     /// 2 = fp16 wire compression as used by later systems like KAISA).
     /// Scales the bandwidth term of both collective models.
@@ -130,7 +121,7 @@ impl SimConfig {
             grad_fusion: GradFusionMode::default(),
             factor_mode: None,
             placement: None,
-            network: NetworkModel::default(),
+            topology: NetTopology::default(),
             wire_bytes: 4.0,
             codec_s_per_elem: 0.0,
         }
@@ -185,25 +176,34 @@ pub fn simulate_iteration_planned(
             _ => FactorCommMode::LocalOnly,
         }
     };
-    let placement_strategy = if !precond || single {
-        PlacementStrategy::NonDist
+    let policy: PolicyHandle = if !precond || single {
+        PlacementStrategy::NonDist.into()
     } else {
         match algo {
-            Algo::DKfac => cfg.placement.unwrap_or(PlacementStrategy::NonDist),
-            Algo::MpdKfac => cfg.placement.unwrap_or(PlacementStrategy::SeqDist),
-            Algo::SpdKfac => cfg.placement.unwrap_or_default(),
-            _ => PlacementStrategy::NonDist,
+            Algo::DKfac => cfg
+                .placement
+                .clone()
+                .unwrap_or_else(|| PlacementStrategy::NonDist.into()),
+            Algo::MpdKfac => cfg
+                .placement
+                .clone()
+                .unwrap_or_else(|| PlacementStrategy::SeqDist.into()),
+            Algo::SpdKfac => cfg
+                .placement
+                .clone()
+                .unwrap_or_else(|| PlacementStrategy::default().into()),
+            _ => PlacementStrategy::NonDist.into(),
         }
     };
 
-    // Resource ids: 0..world = GPU streams, world = shared network; under
-    // the per-root-parallel model, world+1+p = GPU p's private egress link.
-    let network = world;
-    let extra_links = match cfg.network {
-        NetworkModel::Serialized => 0,
-        NetworkModel::PerRootParallel => world,
-    };
-    let mut g = TaskGraph::new(world + 1 + extra_links);
+    // The network model owns resource layout and collective timing:
+    // resources 0..world are the GPU streams, the rest belong to the model
+    // (shared queue, per-root links, or the hierarchical fluid links).
+    // `exec_net` executes with reality's models; `plan_net` prices
+    // collectives with the planner's (possibly stale) beliefs.
+    let mut exec_net = net::build(&cfg.topology, &hw, world);
+    let plan_net = net::build(&cfg.topology, &phw, world);
+    let mut g = TaskGraph::new(exec_net.num_resources());
     let batch = model.batch_size();
     let layers = model.layers();
     let nl = layers.len();
@@ -222,14 +222,12 @@ pub fn simulate_iteration_planned(
         }
         cursor += hw.ff_time(l, batch);
     }
-    // Fusion plans are computed against the *contended* communication cost
-    // (the paper fits its models from measurements taken during training,
-    // which include compute contention) — from the *planning* profile,
-    // which may lag reality in the drifting-hardware replay.
-    let plan_comm = spdkfac_core::perf::AlphaBetaModel::new(
-        phw.allreduce.alpha * (1.0 + phw.overlap_penalty),
-        phw.allreduce.beta * (1.0 + phw.overlap_penalty),
-    );
+    // Fusion plans are computed against the planning network's all-reduce
+    // model: for the flat queue that is the *contended* cost (the paper
+    // fits its models from measurements taken during training, which
+    // include compute contention); for hierarchical topologies it is the
+    // closed-form effective model, since contention is simulated directly.
+    let plan_comm = plan_net.plan_allreduce();
     // Running k-th-collective index of the network queue.
     let mut coll_seq: u64 = 0;
     let a_plan = match factor_mode {
@@ -257,9 +255,9 @@ pub fn simulate_iteration_planned(
                             plan.buckets()[bucket_idx].iter().map(|&i| a_sizes[i]).sum();
                         let dep = a_comp_ids[*plan.buckets()[bucket_idx].last().expect("bucket")];
                         let meta = coll_meta(CollEdge::Join, &mut coll_seq, elems);
-                        factor_comm_ids.push(g.push_meta(
-                            network,
-                            hw.allreduce.time(elems),
+                        factor_comm_ids.push(exec_net.push_allreduce(
+                            &mut g,
+                            elems,
                             &[dep],
                             Tag::FactorComm,
                             meta,
@@ -276,13 +274,7 @@ pub fn simulate_iteration_planned(
         let elems: usize = a_sizes.iter().sum();
         let dep = *a_comp_ids.last().expect("layers non-empty");
         let meta = coll_meta(CollEdge::Join, &mut coll_seq, elems);
-        factor_comm_ids.push(g.push_meta(
-            network,
-            hw.allreduce.time(elems),
-            &[dep],
-            Tag::FactorComm,
-            meta,
-        ));
+        factor_comm_ids.push(exec_net.push_allreduce(&mut g, elems, &[dep], Tag::FactorComm, meta));
     }
 
     // ---------------- Backward pass (+ G factors + WFBP gradients) --------
@@ -342,9 +334,9 @@ pub fn simulate_iteration_planned(
                             .sum();
                         let dep = g_comp_ids[*plan.buckets()[bucket_idx].last().expect("bucket")];
                         let meta = coll_meta(CollEdge::Join, &mut coll_seq, elems);
-                        factor_comm_ids.push(g.push_meta(
-                            network,
-                            hw.allreduce.time(elems),
+                        factor_comm_ids.push(exec_net.push_allreduce(
+                            &mut g,
+                            elems,
                             &[dep],
                             Tag::FactorComm,
                             meta,
@@ -363,9 +355,9 @@ pub fn simulate_iteration_planned(
                         grad_in_bucket += 1;
                         if grad_in_bucket == plan.buckets()[grad_bucket_idx].len() {
                             let meta = coll_meta(CollEdge::Join, &mut coll_seq, grad_acc);
-                            g.push_meta(
-                                network,
-                                hw.allreduce.time(grad_acc),
+                            exec_net.push_allreduce(
+                                &mut g,
+                                grad_acc,
                                 &[bp_id],
                                 Tag::GradComm,
                                 meta,
@@ -381,9 +373,9 @@ pub fn simulate_iteration_planned(
                         grad_acc += l.params();
                         if grad_acc >= cfg.grad_fusion_elems {
                             let meta = coll_meta(CollEdge::Join, &mut coll_seq, grad_acc);
-                            g.push_meta(
-                                network,
-                                hw.allreduce.time(grad_acc),
+                            exec_net.push_allreduce(
+                                &mut g,
+                                grad_acc,
                                 &[bp_id],
                                 Tag::GradComm,
                                 meta,
@@ -396,13 +388,7 @@ pub fn simulate_iteration_planned(
         }
         if !single && grad_acc > 0 {
             let meta = coll_meta(CollEdge::Join, &mut coll_seq, grad_acc);
-            g.push_meta(
-                network,
-                hw.allreduce.time(grad_acc),
-                &[last_bwd_id],
-                Tag::GradComm,
-                meta,
-            );
+            exec_net.push_allreduce(&mut g, grad_acc, &[last_bwd_id], Tag::GradComm, meta);
         }
     }
     match factor_mode {
@@ -410,9 +396,9 @@ pub fn simulate_iteration_planned(
             let elems: usize = a_sizes.iter().sum::<usize>() + g_sizes_rev.iter().sum::<usize>();
             let dep = *g_comp_ids.last().expect("layers non-empty");
             let meta = coll_meta(CollEdge::Join, &mut coll_seq, elems);
-            factor_comm_ids.push(g.push_meta(
-                network,
-                hw.allreduce.time(elems),
+            factor_comm_ids.push(exec_net.push_allreduce(
+                &mut g,
+                elems,
                 &[dep],
                 Tag::FactorComm,
                 meta,
@@ -422,9 +408,9 @@ pub fn simulate_iteration_planned(
             let elems: usize = g_sizes_rev.iter().sum();
             let dep = *g_comp_ids.last().expect("layers non-empty");
             let meta = coll_meta(CollEdge::Join, &mut coll_seq, elems);
-            factor_comm_ids.push(g.push_meta(
-                network,
-                hw.allreduce.time(elems),
+            factor_comm_ids.push(exec_net.push_allreduce(
+                &mut g,
+                elems,
                 &[dep],
                 Tag::FactorComm,
                 meta,
@@ -436,13 +422,10 @@ pub fn simulate_iteration_planned(
     // ---------------- Inverse phase ---------------------------------------
     if precond {
         let inv_dims = model.all_factor_dims();
-        let plc = placement::place(
-            &inv_dims,
-            world,
-            &phw.inverse,
-            &phw.bcast,
-            placement_strategy,
-        );
+        let plan_bcast = plan_net.plan_bcast();
+        let ctx = PlacementContext::new(&inv_dims, world, &phw.inverse, &plan_bcast)
+            .with_gpus_per_node(plan_net.gpus_per_node());
+        let plc = policy.place(&ctx);
         // Barrier: all factors aggregated (and backward finished).
         let mut barrier = factor_comm_ids.clone();
         barrier.push(last_bwd_id);
@@ -473,19 +456,16 @@ pub fn simulate_iteration_planned(
                 if let Some(&(t, comp_id)) = ids.get(k) {
                     if let TensorAssignment::Gpu(owner) = plc.assignments()[t] {
                         debug_assert_eq!(owner, p);
-                        let link = match cfg.network {
-                            NetworkModel::Serialized => network,
-                            NetworkModel::PerRootParallel => network + 1 + owner,
-                        };
                         let d = inv_dims[t];
                         let meta = coll_meta(
                             CollEdge::FanOut { root: owner },
                             &mut coll_seq,
                             d * (d + 1) / 2,
                         );
-                        bcast_ids.push(g.push_meta(
-                            link,
-                            hw.bcast.time_packed(d),
+                        bcast_ids.push(exec_net.push_bcast(
+                            &mut g,
+                            d,
+                            owner,
                             &[comp_id],
                             Tag::InverseComm,
                             meta,
@@ -507,63 +487,8 @@ pub fn simulate_iteration_planned(
         g.push(0, hw.kernel_overhead, &[], Tag::Other);
     }
 
-    let spans = simulate_with_contention(&mut g, hw.overlap_penalty, network);
+    let spans = exec_net.execute(&mut g);
     attribute(spans, world)
-}
-
-/// Simulates the graph under communication–computation contention: a
-/// collective that overlaps busy compute streams for a fraction `f` of its
-/// lifetime is stretched to `base · (1 + penalty · f)`. Solved by a short
-/// fixed-point iteration (stretching comm moves it, which changes `f`).
-fn simulate_with_contention(
-    g: &mut TaskGraph,
-    penalty: f64,
-    network: usize,
-) -> Vec<crate::graph::TaskSpan> {
-    let base: Vec<f64> = g.tasks().iter().map(|t| t.duration).collect();
-    let comm_ids: Vec<usize> = g
-        .tasks()
-        .iter()
-        .enumerate()
-        .filter(|(_, t)| t.resource >= network)
-        .map(|(i, _)| i)
-        .collect();
-    if penalty <= 0.0 || comm_ids.is_empty() {
-        return g.simulate();
-    }
-    let mut spans = g.simulate();
-    for _ in 0..4 {
-        // Merged busy intervals of all compute streams.
-        let mut busy: Vec<(f64, f64)> = spans
-            .iter()
-            .filter(|s| s.resource < network && s.end > s.start)
-            .map(|s| (s.start, s.end))
-            .collect();
-        busy.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(busy.len());
-        for (s, e) in busy {
-            match merged.last_mut() {
-                Some(last) if s <= last.1 => last.1 = last.1.max(e),
-                _ => merged.push((s, e)),
-            }
-        }
-        for &id in &comm_ids {
-            let s = &spans[id];
-            let len = s.end - s.start;
-            let frac = if len > 0.0 {
-                let ov: f64 = merged
-                    .iter()
-                    .map(|&(bs, be)| (s.end.min(be) - s.start.max(bs)).max(0.0))
-                    .sum();
-                (ov / len).clamp(0.0, 1.0)
-            } else {
-                0.0
-            };
-            g.set_duration(id, base[id] * (1.0 + penalty * frac));
-        }
-        spans = g.simulate();
-    }
-    spans
 }
 
 /// Simulates the *average* iteration time when K-FAC's second-order work
@@ -603,23 +528,22 @@ pub fn simulate_amortized_iteration(
 }
 
 /// Simulates only the inverse phase (Fig. 12): inversion + broadcasting of
-/// `dims` under `strategy`, starting from idle at t = 0. Returns the phase
+/// `dims` under `policy`, starting from idle at t = 0. Returns the phase
 /// report (its `total` is the Fig. 12 bar).
 pub fn simulate_inverse_phase(
     dims: &[usize],
     cfg: &SimConfig,
-    strategy: PlacementStrategy,
+    policy: &dyn PlacementPolicy,
 ) -> SimReport {
     let world = cfg.world.max(1);
-    let network = world;
-    let extra_links = match cfg.network {
-        NetworkModel::Serialized => 0,
-        NetworkModel::PerRootParallel => world,
-    };
-    let mut g = TaskGraph::new(world + 1 + extra_links);
     let mut hw = cfg.hw.clone();
     hw.bcast.beta = hw.bcast.beta * (cfg.wire_bytes / 4.0) + cfg.codec_s_per_elem;
-    let plc = placement::place(dims, world, &hw.inverse, &hw.bcast, strategy);
+    let mut exec_net = net::build(&cfg.topology, &hw, world);
+    let mut g = TaskGraph::new(exec_net.num_resources());
+    let plan_bcast = exec_net.plan_bcast();
+    let ctx = PlacementContext::new(dims, world, &hw.inverse, &plan_bcast)
+        .with_gpus_per_node(exec_net.gpus_per_node());
+    let plc = policy.place(&ctx);
     let mut comp_id_of_tensor: Vec<Vec<(usize, usize)>> = vec![Vec::new(); world];
     for (p, ids) in comp_id_of_tensor.iter_mut().enumerate() {
         let mut mine = plc.set_for_gpu(p);
@@ -640,28 +564,18 @@ pub fn simulate_inverse_phase(
         for ids in comp_id_of_tensor.iter() {
             if let Some(&(t, comp_id)) = ids.get(k) {
                 if let TensorAssignment::Gpu(owner) = plc.assignments()[t] {
-                    let link = match cfg.network {
-                        NetworkModel::Serialized => network,
-                        NetworkModel::PerRootParallel => network + 1 + owner,
-                    };
                     let d = dims[t];
                     let meta = coll_meta(
                         CollEdge::FanOut { root: owner },
                         &mut coll_seq,
                         d * (d + 1) / 2,
                     );
-                    g.push_meta(
-                        link,
-                        hw.bcast.time_packed(d),
-                        &[comp_id],
-                        Tag::InverseComm,
-                        meta,
-                    );
+                    exec_net.push_bcast(&mut g, d, owner, &[comp_id], Tag::InverseComm, meta);
                 }
             }
         }
     }
-    let spans = simulate_with_contention(&mut g, hw.overlap_penalty, network);
+    let spans = exec_net.execute(&mut g);
     attribute(spans, world)
 }
 
@@ -820,9 +734,9 @@ mod tests {
         // Fig. 12 orderings on all four models.
         for m in paper_models() {
             let dims = m.all_factor_dims();
-            let non = simulate_inverse_phase(&dims, &cfg(), PlacementStrategy::NonDist).total;
-            let seq = simulate_inverse_phase(&dims, &cfg(), PlacementStrategy::SeqDist).total;
-            let lbp = simulate_inverse_phase(&dims, &cfg(), PlacementStrategy::default()).total;
+            let non = simulate_inverse_phase(&dims, &cfg(), &PlacementStrategy::NonDist).total;
+            let seq = simulate_inverse_phase(&dims, &cfg(), &PlacementStrategy::SeqDist).total;
+            let lbp = simulate_inverse_phase(&dims, &cfg(), &PlacementStrategy::default()).total;
             assert!(
                 lbp <= non * 1.001,
                 "{}: LBP {lbp:.4} vs Non-Dist {non:.4}",
@@ -841,8 +755,8 @@ mod tests {
         // Fig. 12: Seq-Dist loses to Non-Dist on DenseNet-201.
         let m = densenet201();
         let dims = m.all_factor_dims();
-        let non = simulate_inverse_phase(&dims, &cfg(), PlacementStrategy::NonDist).total;
-        let seq = simulate_inverse_phase(&dims, &cfg(), PlacementStrategy::SeqDist).total;
+        let non = simulate_inverse_phase(&dims, &cfg(), &PlacementStrategy::NonDist).total;
+        let seq = simulate_inverse_phase(&dims, &cfg(), &PlacementStrategy::SeqDist).total;
         assert!(
             seq > non,
             "DenseNet-201: Seq-Dist {seq:.4} !> Non-Dist {non:.4}"
@@ -909,10 +823,10 @@ mod tests {
         for m in paper_models() {
             let dims = m.all_factor_dims();
             for strategy in [PlacementStrategy::SeqDist, PlacementStrategy::default()] {
-                let ser = simulate_inverse_phase(&dims, &cfg(), strategy).total;
+                let ser = simulate_inverse_phase(&dims, &cfg(), &strategy).total;
                 let mut pcfg = cfg();
-                pcfg.network = NetworkModel::PerRootParallel;
-                let par = simulate_inverse_phase(&dims, &pcfg, strategy).total;
+                pcfg.topology = NetTopology::per_root_parallel();
+                let par = simulate_inverse_phase(&dims, &pcfg, &strategy).total;
                 assert!(par <= ser + 1e-9, "{}: {par} > {ser}", m.name());
             }
         }

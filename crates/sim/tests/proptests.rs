@@ -3,9 +3,10 @@
 
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
+use spdkfac_core::placement::{PlacementContext, TensorAssignment};
 use spdkfac_models::resnet50;
 use spdkfac_sim::graph::{Tag, TaskGraph};
-use spdkfac_sim::{simulate_iteration, Algo, SimConfig};
+use spdkfac_sim::{policy_registry, simulate_iteration, Algo, SimConfig};
 
 /// Strategy: a random but causally-valid task graph.
 fn graph_strategy() -> impl Strategy<Value = TaskGraph> {
@@ -84,6 +85,63 @@ proptest! {
         let ts = simulate_iteration(&m, &slow, algo).total;
         let tf = simulate_iteration(&m, &fast, algo).total;
         prop_assert!(tf <= ts + 1e-9, "{algo:?}: {tf} > {ts}");
+    }
+
+    #[test]
+    fn placement_policies_are_pure_over_shuffled_tensor_orderings(
+        n in 1usize..24,
+        world in 1usize..17,
+        seed in pvec(0usize..1000, 24),
+    ) {
+        // Distinct dims: cost-sorted policies then have no index tie-breaks,
+        // so the dim → assignment map must be exactly permutation-invariant.
+        let mut dims = Vec::with_capacity(n);
+        let mut d = 16usize;
+        for i in 0..n {
+            d += 1 + seed[i % seed.len()] % 50;
+            dims.push(d);
+        }
+        // Seeded Fisher–Yates permutation of the tensor order.
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            perm.swap(i, seed[i % seed.len()] % (i + 1));
+        }
+        let shuffled: Vec<usize> = perm.iter().map(|&i| dims[i]).collect();
+
+        let hw = SimConfig::paper_testbed(world.max(2)).hw;
+        let ctx = PlacementContext::new(&dims, world, &hw.inverse, &hw.bcast)
+            .with_gpus_per_node(4);
+        let ctx_s = PlacementContext::new(&shuffled, world, &hw.inverse, &hw.bcast)
+            .with_gpus_per_node(4);
+        for policy in policy_registry() {
+            let name = policy.name();
+            // Purity: the same context yields the same placement twice.
+            let a = policy.place(&ctx);
+            prop_assert_eq!(&a, &policy.place(&ctx), "{} is impure", &name);
+            // Validity on both orderings.
+            let s = policy.place(&ctx_s);
+            for plc in [&a, &s] {
+                prop_assert_eq!(plc.assignments().len(), n);
+                for t in plc.assignments() {
+                    if let TensorAssignment::Gpu(p) = t {
+                        prop_assert!(*p < world, "{}: gpu {} >= world {}", &name, p, world);
+                    }
+                }
+            }
+            // seq-dist round-robins by position and topo pairs neighbours
+            // by position, so only their validity is order-independent; every
+            // cost-sorted policy must give each dim the identical assignment
+            // no matter where it sits in the input.
+            if name != "seq-dist" && name != "topo" {
+                for (j, &i) in perm.iter().enumerate() {
+                    prop_assert_eq!(
+                        s.assignments()[j],
+                        a.assignments()[i],
+                        "{}: dim {} moved", &name, shuffled[j]
+                    );
+                }
+            }
+        }
     }
 
     #[test]
