@@ -4,7 +4,7 @@
 //! inverse phases are visible even at this size).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spdkfac_core::distributed::{train, Algorithm, DistributedConfig};
+use spdkfac_core::distributed::{Algorithm, DistributedConfig, TrainSession};
 use spdkfac_nn::data::gaussian_blobs;
 use spdkfac_nn::models::deep_mlp;
 use std::hint::black_box;
@@ -26,7 +26,11 @@ fn bench_trainers(c: &mut Criterion) {
                 let mut cfg = DistributedConfig::new(world, algo);
                 cfg.kfac.damping = 0.1;
                 cfg.kfac.momentum = 0.0;
-                black_box(train(&cfg, &|| deep_mlp(8, 16, 4, 3, 7), &data, 2, 4))
+                black_box(
+                    TrainSession::builder(cfg)
+                        .run(&|| deep_mlp(8, 16, 4, 3, 7), &data, 2, 4)
+                        .expect("local run"),
+                )
             })
         });
     }

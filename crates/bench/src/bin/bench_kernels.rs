@@ -14,7 +14,7 @@
 //! ```
 
 use spdkfac_bench::{header, note};
-use spdkfac_core::distributed::{train, Algorithm, DistributedConfig};
+use spdkfac_core::distributed::{Algorithm, DistributedConfig, TrainSession};
 use spdkfac_nn::data::gaussian_blobs;
 use spdkfac_nn::models::deep_mlp;
 use spdkfac_tensor::rng::MatrixRng;
@@ -121,7 +121,11 @@ fn trainer_seconds_per_iter(world: usize, hidden: usize, depth: usize, iters: us
     let data = gaussian_blobs(4, d_in, 16 * world, 0.3, 42);
     let build = move || deep_mlp(d_in, hidden, depth, 4, 5);
     let t = Instant::now();
-    let _ = black_box(train(&cfg, &build, &data, iters, 16));
+    let _ = black_box(
+        TrainSession::builder(cfg)
+            .run(&build, &data, iters, 16)
+            .expect("local run"),
+    );
     t.elapsed().as_secs_f64() / iters as f64
 }
 

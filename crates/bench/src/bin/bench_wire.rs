@@ -36,7 +36,7 @@
 use spdkfac_bench::{header, note};
 use spdkfac_collectives::tcp::RendezvousServer;
 use spdkfac_collectives::{Backend, CommGroup, TcpConfig, WirePolicy, PACE_ENV};
-use spdkfac_core::distributed::{train_worker, Algorithm, DistributedConfig};
+use spdkfac_core::distributed::{Algorithm, DistributedConfig, TrainSession};
 use spdkfac_nn::data::{gaussian_blobs, Dataset};
 use spdkfac_nn::models::deep_mlp;
 use spdkfac_nn::Sequential;
@@ -141,15 +141,11 @@ fn run_trainer(format: &'static str, mode: &'static str, spec: &str, iters: usiz
                     .expect("TCP group forms")
                     .into_single();
                 let rec = Arc::new(Recorder::new(2 * WORLD));
-                let result = train_worker(
-                    cfg,
-                    &build_model,
-                    data,
-                    iters,
-                    4,
-                    comm,
-                    Some(Arc::clone(&rec)),
-                );
+                let result = TrainSession::builder(cfg.clone())
+                    .endpoint(comm)
+                    .recorder(Arc::clone(&rec))
+                    .run(&build_model, data, iters, 4)
+                    .expect("trainer rank failed");
                 // This rank's comm thread records on track WORLD + rank;
                 // span durations include codec time and pacing sleeps.
                 let busy: f64 = rec

@@ -23,7 +23,7 @@
 //! highlighted track.
 
 use spdkfac_bench::{header, note};
-use spdkfac_core::distributed::{train_with_recorder, Algorithm, DistributedConfig};
+use spdkfac_core::distributed::{Algorithm, DistributedConfig, TrainSession};
 use spdkfac_models::resnet50;
 use spdkfac_nn::data::gaussian_blobs;
 use spdkfac_nn::models::deep_mlp;
@@ -61,7 +61,10 @@ fn main() {
     cfg.kfac.lr = 0.05;
     cfg.kfac.momentum = 0.0;
     let data = gaussian_blobs(3, 8, 8 * world, 0.3, 42);
-    let _ = train_with_recorder(&cfg, &|| deep_mlp(8, 24, 8, 3, 5), &data, iters, 4, &rec);
+    let _ = TrainSession::builder(cfg)
+        .recorder(Arc::clone(&rec))
+        .run(&|| deep_mlp(8, 24, 8, 3, 5), &data, iters, 4)
+        .expect("local run");
 
     let spans = rec.spans();
     let real = CriticalReport::from_spans(&spans, RankMap::trainer(world));

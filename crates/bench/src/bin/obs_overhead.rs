@@ -1,8 +1,8 @@
 //! Observability: instrumentation overhead of the recorder on the real
 //! trainers.
 //!
-//! Runs the same SPD-KFAC training twice — bare [`train`] vs
-//! [`train_with_recorder`] — several times each, and reports the median
+//! Runs the same SPD-KFAC training twice — a bare `TrainSession` vs one
+//! with a recorder attached — several times each, and reports the median
 //! wall-clock per iteration. The span path is a handful of `Instant` reads
 //! and one uncontended mutex push per span, so the overhead should stay
 //! within a few percent (the acceptance bar is 5%).
@@ -18,7 +18,7 @@
 //! ```
 
 use spdkfac_bench::{header, note};
-use spdkfac_core::distributed::{train, train_with_recorder, Algorithm, DistributedConfig};
+use spdkfac_core::distributed::{Algorithm, DistributedConfig, TrainSession};
 use spdkfac_nn::data::gaussian_blobs;
 use spdkfac_nn::models::deep_mlp;
 use spdkfac_obs::Recorder;
@@ -46,13 +46,18 @@ fn main() {
     for _ in 0..reps {
         flight.set_enabled(false);
         let t = Instant::now();
-        let _ = train(&cfg, &build, &data, iters, 4);
+        let _ = TrainSession::builder(cfg.clone())
+            .run(&build, &data, iters, 4)
+            .expect("local run");
         bare.push(t.elapsed().as_secs_f64());
 
         flight.set_enabled(true);
         let rec = Arc::new(Recorder::new(2 * world));
         let t = Instant::now();
-        let _ = train_with_recorder(&cfg, &build, &data, iters, 4, &rec);
+        let _ = TrainSession::builder(cfg.clone())
+            .recorder(Arc::clone(&rec))
+            .run(&build, &data, iters, 4)
+            .expect("local run");
         instrumented.push(t.elapsed().as_secs_f64());
         dropped += rec.dropped();
     }

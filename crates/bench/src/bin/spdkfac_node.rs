@@ -2,26 +2,61 @@
 //! backend.
 //!
 //! Each invocation is one rank of the group: it joins the rendezvous, forms
-//! the TCP ring, and runs the *same* per-rank training loop
-//! (`spdkfac_core::distributed::train_worker`) the in-process trainer runs
-//! on threads. Because every collective goes through the transport-abstracted
-//! `WorkerComm` surface, a P-process run produces bit-identical losses to a
-//! P-thread run.
+//! the TCP ring, and runs the *same* per-rank training loop (an
+//! endpoint-mode `spdkfac_core::distributed::TrainSession`) the in-process
+//! trainer runs on threads. Because every collective goes through the
+//! transport-abstracted `WorkerComm` surface, a P-process run produces
+//! bit-identical losses to a P-thread run.
 //!
-//! Modes:
+//! Subcommands (the legacy `--flag` spellings remain valid aliases, so
+//! existing invocations keep working unchanged):
 //!
-//! - **Manual** (one process per rank, possibly on different hosts):
-//!   `spdkfac_node --rank R --world P --rendezvous HOST:PORT`
+//! - **`run`** — one rank, possibly on a different host per process:
+//!   `spdkfac_node run --rank R --world P --rendezvous HOST:PORT`
 //!   Rank 0 hosts the rendezvous server on the given address by default;
 //!   pass `--external-rendezvous` if something else (e.g. the spawn-local
-//!   parent) hosts it.
-//! - **Spawn-local** (single command, P child processes on this machine):
-//!   `spdkfac_node --spawn-local P [--smoke]`
-//!   The parent hosts a rendezvous on an ephemeral 127.0.0.1 port, forks P
-//!   children of itself, and aggregates rank 0's losses. With `--smoke` it
-//!   additionally runs the identical workload on the in-process backend and
-//!   fails (exit 1) unless every per-iteration loss matches to < 1e-12 —
-//!   the CI acceptance gate for the transport abstraction.
+//!   parent) hosts it. With `--elastic` the rank joins an elastic
+//!   rendezvous instead and survives membership resizes (see below).
+//! - **`spawn-local P`** (alias `--spawn-local P`) — single command, P
+//!   child processes on this machine: the parent hosts a rendezvous on an
+//!   ephemeral 127.0.0.1 port, forks P children of itself, and aggregates
+//!   rank 0's losses.
+//! - **`smoke [P]`** (alias `--spawn-local P --smoke`; P defaults to 4) —
+//!   spawn-local plus the parity gate: the identical workload re-runs on
+//!   the in-process backend and the command fails (exit 1) unless every
+//!   per-iteration loss matches to < 1e-12 — the CI acceptance gate for
+//!   the transport abstraction.
+//! - **`drift-demo`** (alias `--drift-demo`) — the straggler re-planning
+//!   story (see below).
+//!
+//! ## Elastic membership (`--elastic`)
+//!
+//! `spawn-local P --elastic` hosts an *elastic* rendezvous instead of the
+//! fixed-world one, and the children train through
+//! `TrainSession::builder(cfg).elastic(..)`. When a rank dies mid-run the
+//! survivors' collectives fail, every survivor re-registers with its old
+//! (epoch, rank), and the rendezvous commits membership epoch e+1: the
+//! survivors re-ranked densely, a fresh fusion/placement plan derived for
+//! the smaller world, and the new rank 0 broadcasting its full training
+//! checkpoint (parameters, momentum, factors, inverses, loss history) so
+//! every member resumes from identical state. The parent supervises the
+//! children: one dying with the kill-injection exit code (113,
+//! `SPDKFAC_KILL`) is replaced — only after the shrunk epoch has
+//! committed, so the contraction is observable — by a fresh joiner, which
+//! rank 0's per-iteration rendezvous poll detects and absorbs at the next
+//! epoch, growing the world back with the handed-off state.
+//!
+//! The epoch-0 rank-0 child records spans across *all* its epochs and,
+//! with `--trace-dir DIR`, writes `DIR/merged_trace.json` (one Chrome
+//! trace covering every epoch, with `handoff-e<N>` spans marking the
+//! transitions) and `DIR/resize_timeline.json`
+//! (`spdkfac-resize-timeline-v1`: one entry per membership epoch with its
+//! world size and starting iteration). After a kill the parent fails the
+//! run unless the timeline shows exactly the expected shrink → regrow and
+//! the merged trace spans both epochs; with `--smoke` it additionally
+//! requires the final loss within [`LOSSY_LOSS_TOL`] of a never-resized
+//! in-process baseline (a resize re-shards the batch, so bit-parity is
+//! not defined across one).
 //!
 //! ## Wire formats (`--wire POLICY`)
 //!
@@ -80,19 +115,22 @@
 //! Gaussian blobs, SPD-KFAC), so runs are reproducible across modes.
 
 use spdkfac_bench::{header, note};
-use spdkfac_collectives::tcp::RendezvousServer;
+use spdkfac_collectives::tcp::{ElasticRendezvous, RendezvousServer};
 use spdkfac_collectives::telemetry::{feed_op_durations, SpanStreamer, TelemetryServer};
-use spdkfac_collectives::transport::INJECT_DELAY_ENV;
+use spdkfac_collectives::transport::{INJECT_DELAY_ENV, INJECT_KILL_ENV, KILL_EXIT_CODE};
 use spdkfac_collectives::{Backend, CommGroup, TcpConfig, WirePolicy};
-use spdkfac_core::distributed::{train, train_worker, Algorithm, DistributedConfig, RunResult};
+use spdkfac_core::distributed::{Algorithm, DistributedConfig, RunResult, TrainSession};
+use spdkfac_core::elastic::{ElasticPolicy, MembershipSpan};
 use spdkfac_core::runtime::ReplanPolicy;
 use spdkfac_nn::data::{gaussian_blobs, Dataset};
 use spdkfac_nn::models::deep_mlp;
 use spdkfac_nn::Sequential;
 use spdkfac_obs::collect::{comm_edge_violations, ClockModel, CollectorState};
 use spdkfac_obs::export::{render_health_json, render_prometheus, HealthRegistry, HttpExporter};
-use spdkfac_obs::{parse_json, CriticalReport, JsonValue, Phase, RankMap, Recorder, TrackLayout};
-use std::process::{Command, ExitCode};
+use spdkfac_obs::{
+    chrome_trace, parse_json, CriticalReport, JsonValue, Phase, RankMap, Recorder, TrackLayout,
+};
+use std::process::{Child, Command, ExitCode};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -162,13 +200,26 @@ const MONITOR_INTERVAL: Duration = Duration::from_millis(500);
 /// final telemetry flushes.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(15);
 
+/// Elastic rendezvous rejoin window: long enough for every survivor of a
+/// loopback kill to re-register, short enough to keep the smoke fast.
+const ELASTIC_REJOIN_WINDOW: Duration = Duration::from_secs(2);
+
+/// How long the elastic parent waits for a membership epoch to commit
+/// (shrink after a kill) before declaring the resize stuck.
+const ELASTIC_EPOCH_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Default iteration count of the elastic smoke: enough headroom after the
+/// kill for the shrunk epoch to be detected, the replacement to register,
+/// and a long world-regrown tail to converge in.
+const ELASTIC_ITERS: usize = 60;
+
 struct Args {
     rank: Option<usize>,
     world: usize,
     rendezvous: String,
     external_rendezvous: bool,
     spawn_local: Option<usize>,
-    iters: usize,
+    iters: Option<usize>,
     batch: usize,
     smoke: bool,
     out: Option<String>,
@@ -177,16 +228,28 @@ struct Args {
     wire: Option<String>,
     drift_demo: bool,
     metrics_addr: Option<String>,
+    elastic: bool,
+}
+
+impl Args {
+    /// Effective iteration count: an explicit `--iters` wins, elastic runs
+    /// default to [`ELASTIC_ITERS`], everything else to 5.
+    fn iters(&self) -> usize {
+        self.iters
+            .unwrap_or(if self.elastic { ELASTIC_ITERS } else { 5 })
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: spdkfac_node --rank R --world P --rendezvous HOST:PORT \
-         [--external-rendezvous] [--iters N] [--batch B] [--out FILE] \
+        "usage: spdkfac_node run --rank R --world P --rendezvous HOST:PORT \
+         [--external-rendezvous] [--elastic] [--iters N] [--batch B] [--out FILE] \
          [--wire POLICY] [--trace-dir DIR] [--monitor] [--metrics-addr IP:PORT]\n\
-         \x20      spdkfac_node --spawn-local P [--iters N] [--batch B] [--smoke] \
+         \x20      spdkfac_node spawn-local P [--iters N] [--batch B] [--smoke] [--elastic] \
          [--wire POLICY] [--trace-dir DIR] [--monitor] [--metrics-addr IP:PORT]\n\
-         \x20      spdkfac_node --drift-demo [--trace-dir DIR] [--monitor]"
+         \x20      spdkfac_node smoke [P] [same options as spawn-local]\n\
+         \x20      spdkfac_node drift-demo [--trace-dir DIR] [--monitor]\n\
+         (legacy spellings --spawn-local P / --smoke / --drift-demo remain aliases)"
     );
     std::process::exit(2)
 }
@@ -198,7 +261,7 @@ fn parse_args() -> Args {
         rendezvous: String::new(),
         external_rendezvous: false,
         spawn_local: None,
-        iters: 5,
+        iters: None,
         batch: 4,
         smoke: false,
         out: None,
@@ -207,9 +270,39 @@ fn parse_args() -> Args {
         wire: None,
         drift_demo: false,
         metrics_addr: None,
+        elastic: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
+    // Subcommand prefix: the first token, when it is not a flag, selects
+    // the mode; the shared flag soup below applies to every subcommand.
+    if let Some(first) = argv.first() {
+        if !first.starts_with('-') {
+            let positional_world = |i: &mut usize| -> Option<usize> {
+                let w = argv.get(*i + 1).and_then(|v| v.parse().ok());
+                if w.is_some() {
+                    *i += 1;
+                }
+                w
+            };
+            match first.as_str() {
+                "run" => {}
+                "spawn-local" => {
+                    args.spawn_local = Some(positional_world(&mut i).unwrap_or_else(|| usage()));
+                }
+                "smoke" => {
+                    args.spawn_local = Some(positional_world(&mut i).unwrap_or(4));
+                    args.smoke = true;
+                }
+                "drift-demo" => args.drift_demo = true,
+                other => {
+                    eprintln!("unknown subcommand: {other}");
+                    usage()
+                }
+            }
+            i += 1;
+        }
+    }
     let value = |i: &mut usize| -> String {
         *i += 1;
         argv.get(*i).cloned().unwrap_or_else(|| usage())
@@ -223,7 +316,7 @@ fn parse_args() -> Args {
             "--spawn-local" => {
                 args.spawn_local = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
             }
-            "--iters" => args.iters = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--iters" => args.iters = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--batch" => args.batch = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--smoke" => args.smoke = true,
             "--out" => args.out = Some(value(&mut i)),
@@ -232,6 +325,7 @@ fn parse_args() -> Args {
             "--wire" => args.wire = Some(value(&mut i)),
             "--drift-demo" => args.drift_demo = true,
             "--metrics-addr" => args.metrics_addr = Some(value(&mut i)),
+            "--elastic" => args.elastic = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -389,6 +483,7 @@ impl LocalPump {
                             hb.loss,
                             hb.phase_idx,
                             hb.generation,
+                            hb.epoch,
                             hb.rss_bytes,
                             now,
                         );
@@ -640,15 +735,17 @@ fn run_rank(args: &Args) -> Result<RunResult, String> {
     } else {
         &build_model
     };
-    let result = train_worker(
-        &cfg,
-        build,
-        &data,
-        args.iters,
-        args.batch,
-        comm,
-        rec.clone(),
-    );
+    let mut session = TrainSession::builder(cfg).endpoint(comm);
+    if let Some(r) = &rec {
+        session = session.recorder(Arc::clone(r));
+    }
+    let result = match session.run(build, &data, args.iters(), args.batch) {
+        Ok(r) => r,
+        // Return straight away: a broken ring means the peers are gone, so
+        // draining telemetry would only time out. main() leaves the
+        // post-mortem dump for this failure.
+        Err(e) => return Err(format!("rank {rank}: training failed: {e}")),
+    };
 
     if let Some(s) = streamer {
         s.finish()
@@ -665,11 +762,11 @@ fn run_rank(args: &Args) -> Result<RunResult, String> {
         let rec = rec
             .as_ref()
             .ok_or("drift demo requires telemetry (--trace-dir)")?;
-        check_drift_demo(rec, args.iters, result.collective_ops)?;
+        check_drift_demo(rec, args.iters(), result.collective_ops)?;
     }
     eprintln!(
         "rank {rank}/{world}: {} iterations done, final loss {:.6}",
-        args.iters,
+        args.iters(),
         result.losses.last().copied().unwrap_or(f64::NAN)
     );
     Ok(result)
@@ -710,7 +807,7 @@ fn spawn_local(args: &Args, world: usize) -> Result<Vec<f64>, String> {
             .arg(addr.to_string())
             .arg("--external-rendezvous")
             .arg("--iters")
-            .arg(args.iters.to_string())
+            .arg(args.iters().to_string())
             .arg("--batch")
             .arg(args.batch.to_string());
         if let Some(dir) = &args.trace_dir {
@@ -755,6 +852,210 @@ fn spawn_local(args: &Args, world: usize) -> Result<Vec<f64>, String> {
     let losses = read_losses(&out_str)?;
     let _ = std::fs::remove_file(&out);
     Ok(losses)
+}
+
+/// One elastic member: joins the elastic rendezvous and trains across
+/// membership epochs through `TrainSession::builder(cfg).elastic(..)`.
+/// The epoch-0 rank-0 claimant records spans across every epoch it lives
+/// through and leaves the resize timeline + merged trace behind.
+fn run_elastic_rank(args: &Args) -> Result<RunResult, String> {
+    let world = args.world;
+    if world == 0 || args.rendezvous.is_empty() {
+        usage();
+    }
+    let flight = spdkfac_obs::flight::global();
+    if let Some(claim) = args.rank {
+        flight.configure(claim, world, args.trace_dir.as_deref());
+    }
+    spdkfac_obs::flight::install_panic_hook();
+
+    let (mut cfg, data) = workload(world);
+    apply_overrides(&mut cfg, args)?;
+    let mut policy = ElasticPolicy::new(TcpConfig::new(args.rendezvous.clone()));
+    policy.claim = args.rank;
+    // The recorder outlives every epoch; per-epoch track registration
+    // happens inside the trainer. 4x the initial world leaves headroom for
+    // the comm tracks of epochs that grow past the founding size.
+    let rec = (args.trace_dir.is_some() && args.rank == Some(0))
+        .then(|| Arc::new(Recorder::new(4 * world)));
+    if let Some(r) = &rec {
+        flight.set_recorder(Arc::clone(r));
+    }
+    let mut session = TrainSession::builder(cfg).elastic(policy);
+    if let Some(r) = &rec {
+        session = session.recorder(Arc::clone(r));
+    }
+    let result = session
+        .run(&build_model, &data, args.iters(), args.batch)
+        .map_err(|e| format!("elastic member failed: {e}"))?;
+
+    for span in &result.membership {
+        eprintln!(
+            "elastic member: epoch {} at world {} from iteration {}",
+            span.epoch, span.world, span.from_iter
+        );
+    }
+    if let (Some(dir), Some(rec)) = (&args.trace_dir, &rec) {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+        let trace = chrome_trace(&rec.spans(), &TrackLayout::trainer(world));
+        let path = format!("{dir}/merged_trace.json");
+        std::fs::write(&path, trace).map_err(|e| format!("write {path}: {e}"))?;
+        let path = format!("{dir}/resize_timeline.json");
+        std::fs::write(&path, render_timeline(&result.membership))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("elastic member: rank-0 trace + resize timeline written to {dir}/");
+    }
+    Ok(result)
+}
+
+/// The `spdkfac-resize-timeline-v1` document: one entry per membership
+/// epoch this member lived through.
+fn render_timeline(spans: &[MembershipSpan]) -> String {
+    let mut body = String::from("{\"schema\":\"spdkfac-resize-timeline-v1\",\"spans\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"epoch\":{},\"world\":{},\"from_iter\":{}}}",
+            s.epoch, s.world, s.from_iter
+        ));
+    }
+    body.push_str("]}");
+    body
+}
+
+fn read_timeline(dir: &str) -> Result<Vec<MembershipSpan>, String> {
+    let path = format!("{dir}/resize_timeline.json");
+    let body = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = parse_json(&body).map_err(|e| format!("{path}: {e}"))?;
+    let Some(JsonValue::Array(spans)) = doc.get("spans") else {
+        return Err(format!("{path}: missing spans array"));
+    };
+    spans
+        .iter()
+        .map(|s| {
+            let field = |k: &str| {
+                s.get(k)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("{path}: span missing {k:?}"))
+            };
+            Ok(MembershipSpan {
+                epoch: field("epoch")? as u64,
+                world: field("world")? as usize,
+                from_iter: field("from_iter")? as usize,
+            })
+        })
+        .collect()
+}
+
+/// Elastic spawn-local: hosts an [`ElasticRendezvous`], forks one elastic
+/// member per founding rank, and supervises membership. A child dying with
+/// the kill-injection exit code ([`KILL_EXIT_CODE`]) is replaced by a
+/// fresh joiner — only once the shrunk epoch has committed, so the world
+/// visibly contracts before it regrows. Returns rank 0's losses and how
+/// many kills were absorbed.
+fn spawn_local_elastic(args: &Args, world: usize) -> Result<(Vec<f64>, usize), String> {
+    let handle = ElasticRendezvous::bind("127.0.0.1:0", world)
+        .map_err(|e| format!("elastic rendezvous bind: {e}"))?
+        .with_rejoin_window(ELASTIC_REJOIN_WINDOW)
+        .spawn()
+        .map_err(|e| format!("elastic rendezvous spawn: {e}"))?;
+    let addr = handle.addr().to_string();
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let out =
+        std::env::temp_dir().join(format!("spdkfac_elastic_losses_{}.txt", std::process::id()));
+    let out_str = out.to_string_lossy().into_owned();
+
+    let spawn_member = |claim: Option<usize>, strip_kill: bool| -> Result<Child, String> {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("run")
+            .arg("--elastic")
+            .arg("--world")
+            .arg(world.to_string())
+            .arg("--rendezvous")
+            .arg(&addr)
+            .arg("--iters")
+            .arg(args.iters().to_string())
+            .arg("--batch")
+            .arg(args.batch.to_string());
+        if let Some(wire) = &args.wire {
+            cmd.arg("--wire").arg(wire);
+        }
+        if let Some(c) = claim {
+            cmd.arg("--rank").arg(c.to_string());
+            if c == 0 {
+                cmd.arg("--out").arg(&out_str);
+                if let Some(dir) = &args.trace_dir {
+                    cmd.arg("--trace-dir").arg(dir);
+                }
+            }
+        }
+        if strip_kill {
+            // The replacement must not inherit the kill spec: after the
+            // shrink it may be assigned the victim's old rank.
+            cmd.env_remove(INJECT_KILL_ENV);
+        }
+        cmd.spawn()
+            .map_err(|e| format!("spawn elastic member: {e}"))
+    };
+
+    let mut children: Vec<(String, Child)> = Vec::new();
+    for rank in 0..world {
+        children.push((format!("rank {rank}"), spawn_member(Some(rank), false)?));
+    }
+    let mut killed = 0usize;
+    let mut failures = Vec::new();
+    while !children.is_empty() {
+        std::thread::sleep(Duration::from_millis(30));
+        let mut i = 0;
+        while i < children.len() {
+            let status = children[i]
+                .1
+                .try_wait()
+                .map_err(|e| format!("wait {}: {e}", children[i].0))?;
+            let Some(status) = status else {
+                i += 1;
+                continue;
+            };
+            let (label, _) = children.remove(i);
+            if status.success() {
+                continue;
+            }
+            if status.code() == Some(KILL_EXIT_CODE) {
+                killed += 1;
+                let target = handle.status().epoch + 1;
+                eprintln!(
+                    "elastic: {label} was hard-killed (exit {KILL_EXIT_CODE}); waiting for \
+                     epoch {target} to commit the shrink"
+                );
+                let deadline = Instant::now() + ELASTIC_EPOCH_TIMEOUT;
+                while handle.status().epoch < target {
+                    if Instant::now() >= deadline {
+                        return Err(format!(
+                            "elastic: epoch {target} never committed after the kill"
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                let st = handle.status();
+                eprintln!(
+                    "elastic: epoch {} committed at world {}; spawning a replacement joiner",
+                    st.epoch, st.world
+                );
+                children.push(("replacement".into(), spawn_member(None, true)?));
+            } else {
+                failures.push(format!("{label} exited with {status}"));
+            }
+        }
+    }
+    handle.stop();
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    let losses = read_losses(&out_str)?;
+    let _ = std::fs::remove_file(&out);
+    Ok((losses, killed))
 }
 
 /// Parent-side validation of the rank-0 telemetry artifacts: both JSON
@@ -813,6 +1114,109 @@ fn check_artifacts(dir: &str, world: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Elastic spawn-local parent: supervise the run, then assert the resize
+/// story — the timeline shrank and regrew around every kill, the rank-0
+/// trace spans the epochs, and (with `--smoke`) the final loss lands
+/// within [`LOSSY_LOSS_TOL`] of a never-resized in-process baseline.
+fn main_elastic(args: &Args, world: usize) -> ExitCode {
+    header(&format!(
+        "spdkfac_node: {world}-process *elastic* SPD-KFAC over TCP loopback"
+    ));
+    let (losses, killed) = match spawn_local_elastic(args, world) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("elastic spawn-local run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dir = args
+        .trace_dir
+        .as_deref()
+        .expect("elastic parent sets a trace dir");
+    let timeline = match read_timeline(dir) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("membership timeline (rank 0):");
+    println!("{:>6} {:>6} {:>10}", "epoch", "world", "from_iter");
+    for s in &timeline {
+        println!("{:>6} {:>6} {:>10}", s.epoch, s.world, s.from_iter);
+    }
+    if killed > 0 {
+        let worlds: Vec<usize> = timeline.iter().map(|s| s.world).collect();
+        let expected: Vec<usize> = std::iter::once(world)
+            .chain((0..killed).flat_map(|_| [world - 1, world]))
+            .collect();
+        if worlds != expected {
+            eprintln!(
+                "FAIL: membership worlds {worlds:?} after {killed} kill(s); expected \
+                 {expected:?} (shrink then regrow around each kill)"
+            );
+            return ExitCode::FAILURE;
+        }
+        let trace = match std::fs::read_to_string(format!("{dir}/merged_trace.json")) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL: rank-0 merged trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = parse_json(&trace) {
+            eprintln!("FAIL: merged_trace.json is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !trace.contains("handoff-e") {
+            eprintln!("FAIL: merged trace has no state-handoff span — it does not cover the resized epochs");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "resize OK: world {world} -> {} -> {world} around {killed} kill(s); rank-0 trace \
+             covers all {} epochs (state handoffs marked)",
+            world - 1,
+            timeline.len()
+        );
+    }
+    if args.smoke {
+        note("comparing against the never-resized in-process baseline");
+        let (mut cfg, data) = workload(world);
+        if let Err(e) = apply_overrides(&mut cfg, args) {
+            eprintln!("FAIL: {e}");
+            return ExitCode::FAILURE;
+        }
+        let baseline = TrainSession::builder(cfg)
+            .run(&build_model, &data, args.iters(), args.batch)
+            .expect("in-process baseline");
+        if losses.len() != baseline.losses.len() {
+            eprintln!(
+                "FAIL: {} elastic losses vs {} baseline losses",
+                losses.len(),
+                baseline.losses.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        let last = losses.last().copied().unwrap_or(f64::NAN);
+        let base = baseline.losses.last().copied().unwrap_or(f64::NAN);
+        let d = (last - base).abs();
+        // A resize re-shards the batch, so mid-run trajectories diverge by
+        // design; the contract is end-state parity. NaN deltas must fail.
+        if d.is_nan() || d >= LOSSY_LOSS_TOL {
+            eprintln!(
+                "FAIL: final elastic loss {last:.6} drifted {d:.3e} from the never-resized \
+                 baseline {base:.6} (tolerance {LOSSY_LOSS_TOL:.0e})"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "elastic smoke OK: final loss {last:.6} within {LOSSY_LOSS_TOL:.0e} of the \
+             never-resized baseline {base:.6} (|Δ| = {d:.3e})"
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args = parse_args();
 
@@ -821,15 +1225,24 @@ fn main() -> ExitCode {
     // the merged trace is the demo's artifact).
     if args.drift_demo && args.rank.is_none() {
         args.spawn_local = args.spawn_local.or(Some(DRIFT_WORLD));
-        args.iters = args.iters.max(DRIFT_ITERS);
+        args.iters = Some(args.iters().max(DRIFT_ITERS));
         if args.trace_dir.is_none() {
             let dir = std::env::temp_dir().join(format!("spdkfac_drift_{}", std::process::id()));
             args.trace_dir = Some(dir.to_string_lossy().into_owned());
         }
     }
+    // Elastic parent: the resize assertions read the rank-0 timeline, so
+    // telemetry artifacts are always on.
+    if args.elastic && args.spawn_local.is_some() && args.trace_dir.is_none() {
+        let dir = std::env::temp_dir().join(format!("spdkfac_elastic_{}", std::process::id()));
+        args.trace_dir = Some(dir.to_string_lossy().into_owned());
+    }
     let args = args;
 
     if let Some(world) = args.spawn_local {
+        if args.elastic {
+            return main_elastic(&args, world);
+        }
         header(&format!(
             "spdkfac_node: {world}-process SPD-KFAC over TCP loopback"
         ));
@@ -874,7 +1287,9 @@ fn main() -> ExitCode {
         }
         if cfg.wire.is_lossless() {
             note("re-running the identical workload on the in-process backend");
-            let local = train(&cfg, &build_model, &data, args.iters, args.batch);
+            let local = TrainSession::builder(cfg)
+                .run(&build_model, &data, args.iters(), args.batch)
+                .expect("in-process baseline");
             if local.losses.len() != tcp_losses.len() {
                 eprintln!(
                     "FAIL: {} TCP losses vs {} in-process losses",
@@ -899,7 +1314,9 @@ fn main() -> ExitCode {
         } else {
             note("comparing against the in-process f64 baseline (lossy wire gate)");
             let (f64_cfg, data) = workload(world);
-            let baseline = train(&f64_cfg, &build_model, &data, args.iters, args.batch);
+            let baseline = TrainSession::builder(f64_cfg)
+                .run(&build_model, &data, args.iters(), args.batch)
+                .expect("in-process baseline");
             if baseline.losses.len() != tcp_losses.len() {
                 eprintln!(
                     "FAIL: {} TCP losses vs {} baseline losses",
@@ -929,7 +1346,12 @@ fn main() -> ExitCode {
     }
 
     // Single-rank mode.
-    match run_rank(&args) {
+    let outcome = if args.elastic {
+        run_elastic_rank(&args)
+    } else {
+        run_rank(&args)
+    };
+    match outcome {
         Ok(result) => {
             if let Some(path) = &args.out {
                 if let Err(e) = write_losses(path, &result.losses) {

@@ -501,6 +501,51 @@ fn spawn_comm(
     }
 }
 
+/// One membership epoch's endpoint of an elastic TCP group: the worker
+/// communicator plus the epoch metadata the trainer needs to decide whether
+/// (and from whom) to receive a state handoff.
+///
+/// Produced by [`connect_elastic`]. On a resize trigger the owner drops the
+/// endpoint — tearing down the comm thread and its sockets, which is what
+/// propagates the failure cascade to any peer still blocked in a collective
+/// — and calls [`connect_elastic`] again with
+/// [`JoinIntent::Rejoin`](crate::tcp::JoinIntent) to enter the next epoch.
+#[derive(Debug)]
+pub struct ElasticEndpoint {
+    /// This epoch's communicator (rank/world are epoch-local).
+    pub comm: WorkerComm,
+    /// The membership epoch this endpoint belongs to.
+    pub epoch: u64,
+    /// The rank broadcasting authoritative training state this epoch;
+    /// `None` only on a fresh epoch-0 start.
+    pub state_source: Option<usize>,
+    /// Per-rank auxiliary service addresses for this epoch.
+    pub aux_addrs: Vec<String>,
+}
+
+/// Joins (or rejoins) an elastic TCP group (see
+/// [`crate::tcp::ElasticRendezvous`]) and spawns the epoch's communication
+/// thread. The world size is decided by the rendezvous, not the caller.
+///
+/// Unlike the poison-forever model of a fixed group (DESIGN §2.10), an
+/// elastic trainer treats a failed collective as a resize signal: drop the
+/// endpoint, rejoin, and resume from broadcast state in the next epoch.
+pub fn connect_elastic(
+    cfg: &TcpConfig,
+    intent: &tcp::JoinIntent,
+    policy: WirePolicy,
+) -> Result<ElasticEndpoint, CommError> {
+    let join = tcp::elastic_connect(cfg, intent)?;
+    let stats = Arc::new(TrafficStats::new());
+    let comm = spawn_comm(join.rank, join.world, join.transport, stats, policy);
+    Ok(ElasticEndpoint {
+        comm,
+        epoch: join.epoch,
+        state_source: join.state_source,
+        aux_addrs: join.aux_addrs,
+    })
+}
+
 /// Which transport a [`CommGroup`] runs over.
 #[derive(Debug, Clone)]
 pub enum Backend {
@@ -829,8 +874,13 @@ fn comm_thread_main(mut ring: RingEndpoint, req_rx: Receiver<Request>, policy: W
     // observe a genuinely late completion.
     let inject = crate::transport::DelayInjection::from_env();
     // Kill injection (SPDKFAC_KILL): hard process death before a chosen
-    // collective, for post-mortem forensics experiments.
-    let kill = crate::transport::KillInjection::from_env();
+    // collective, for post-mortem forensics experiments. The spec arms only
+    // the first ring this process forms: an elastic worker builds a fresh
+    // ring per membership epoch with re-assigned ranks, and re-arming would
+    // kill whichever survivor inherits the victim's rank after the shrink.
+    static KILL_ARMED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    let kill = crate::transport::KillInjection::from_env()
+        .filter(|_| !KILL_ARMED.swap(true, std::sync::atomic::Ordering::SeqCst));
     // The always-on flight recorder: every executed collective leaves a
     // bounded-window comm event, and the first failure is pinned as the
     // post-mortem anchor.

@@ -80,12 +80,18 @@ pub mod telemetry;
 pub mod transport;
 pub mod wire;
 
-pub use group::{Backend, CommGroup, CommGroupBuilder, OpOutput, OpResult, PendingOp, WorkerComm};
+pub use group::{
+    connect_elastic, Backend, CommGroup, CommGroupBuilder, ElasticEndpoint, OpOutput, OpResult,
+    PendingOp, WorkerComm,
+};
 
 pub use error::CommError;
 pub use ring::{OpCodecStats, PACE_ENV};
 pub use stats::{OpKind, TrafficStats};
-pub use tcp::{TcpConfig, TcpJoin};
+pub use tcp::{
+    elastic_poll, env_token, ElasticHandle, ElasticRendezvous, ElasticStatus, JoinIntent,
+    TcpConfig, TcpJoin, TOKEN_ENV,
+};
 pub use telemetry::{SpanStreamer, TelemetryClient, TelemetryServer};
 pub use transport::{DelayInjection, KillInjection, Transport, KILL_EXIT_CODE};
 pub use wire::{WireFormat, WirePayload, WirePolicy};

@@ -249,6 +249,7 @@ fn reader_loop(
                     hb.loss,
                     hb.phase as usize,
                     hb.generation,
+                    hb.epoch,
                     hb.rss_bytes,
                     now,
                 );
@@ -353,6 +354,7 @@ impl TelemetryClient {
             rank: self.rank as u32,
             iteration: hb.iteration,
             generation: hb.generation,
+            epoch: hb.epoch,
             phase: hb.phase_idx as u8,
             loss: hb.loss,
             rss_bytes: hb.rss_bytes,
@@ -529,6 +531,7 @@ mod tests {
                 loss: 0.25,
                 phase_idx: 3,
                 generation: 2,
+                epoch: 1,
                 rss_bytes: 1 << 20,
             })
             .unwrap();
@@ -542,6 +545,7 @@ mod tests {
                 assert_eq!(snap.ranks[1].loss, 0.25);
                 assert_eq!(snap.ranks[1].phase_idx, 3);
                 assert_eq!(snap.ranks[1].generation, 2);
+                assert_eq!(snap.ranks[1].epoch, 1);
                 assert_eq!(snap.ranks[1].rss_bytes, 1 << 20);
                 assert!(!snap.ranks[1].is_stale());
                 // Rank 0 never sent one.

@@ -19,6 +19,7 @@
 
 use crate::calibrate::Calibrator;
 use crate::ekfac::precondition_ekfac;
+use crate::elastic::{ElasticPolicy, FactorCheckpoint, MembershipSpan, TrainCheckpoint};
 use crate::factors::{local_factor_a, local_factor_g, FactorState};
 use crate::fusion::{self, FactorPipeline, FusionStrategy};
 use crate::optimizer::KfacConfig;
@@ -26,7 +27,10 @@ use crate::perf::{AlphaBetaModel, ExpInverseModel};
 use crate::placement::{self, PlacementStrategy, TensorAssignment};
 use crate::precond::{apply_kl_clip, build_directions};
 use crate::runtime::{self, ReplanController, ReplanPolicy};
-use spdkfac_collectives::{Backend, CommGroup, PendingOp, WirePolicy, WorkerComm};
+use spdkfac_collectives::{
+    connect_elastic, elastic_poll, Backend, CommError, CommGroup, JoinIntent, PendingOp, TcpConfig,
+    WirePolicy, WorkerComm,
+};
 use spdkfac_nn::data::Dataset;
 use spdkfac_nn::loss::softmax_cross_entropy;
 use spdkfac_nn::optim::Sgd;
@@ -148,6 +152,154 @@ pub struct RunResult {
     pub traffic_wire_bytes: u64,
     /// Collective operations executed (per-rank executions summed).
     pub collective_ops: u64,
+    /// Stable-membership intervals the run passed through. Non-elastic runs
+    /// report a single epoch-0 span; elastic runs append one span per
+    /// membership epoch they participated in (the resize timeline).
+    pub membership: Vec<MembershipSpan>,
+}
+
+/// The unified entry point to every trainer mode — local in-process groups,
+/// a single rank of an external (TCP) group, and the elastic fault-tolerant
+/// runtime — configured fluently:
+///
+/// ```
+/// use spdkfac_core::distributed::{Algorithm, DistributedConfig, TrainSession};
+/// use spdkfac_nn::data::gaussian_blobs;
+/// use spdkfac_nn::models::mlp;
+///
+/// let mut cfg = DistributedConfig::new(2, Algorithm::SpdKfac);
+/// cfg.kfac.damping = 0.1;
+/// cfg.kfac.momentum = 0.0;
+/// let data = gaussian_blobs(3, 6, 16, 0.3, 17);
+/// let r = TrainSession::builder(cfg)
+///     .run(&|| mlp(&[6, 12, 3], 3), &data, 4, 4)
+///     .expect("local run");
+/// assert_eq!(r.losses.len(), 4);
+/// ```
+///
+/// Modes (chosen by which builder methods were called):
+///
+/// - **Local** (default): spawns `config.world` worker threads over the
+///   in-process backend — the replacement for the deprecated [`train`] /
+///   [`train_with_recorder`].
+/// - **Endpoint** ([`TrainSession::endpoint`]): runs this process as one
+///   rank of an already-connected group — the replacement for the
+///   deprecated [`train_worker`]. Peer failures surface as `Err` instead
+///   of a panic.
+/// - **Elastic** ([`TrainSession::elastic`]): joins an
+///   [`spdkfac_collectives::ElasticRendezvous`] and survives membership
+///   changes — rank death shrinks the world at the next barrier, joiners
+///   are absorbed with a full state handoff (see [`crate::elastic`] and
+///   DESIGN §2.15).
+///
+/// `build` must be deterministic so all replicas start identical.
+#[derive(Debug)]
+pub struct TrainSession {
+    config: DistributedConfig,
+    recorder: Option<Arc<Recorder>>,
+    endpoint: Option<WorkerComm>,
+    elastic: Option<ElasticPolicy>,
+}
+
+impl TrainSession {
+    /// Starts configuring a session running `config`.
+    pub fn builder(config: DistributedConfig) -> TrainSession {
+        TrainSession {
+            config,
+            recorder: None,
+            endpoint: None,
+            elastic: None,
+        }
+    }
+
+    /// Attaches a recorder: every worker records phase-tagged spans and
+    /// metrics into `rec`, laid out as [`spdkfac_obs::TrackLayout::trainer`]
+    /// — rank `r`'s compute thread on track `r`, its communication thread on
+    /// track `world + r` (spans on out-of-range tracks are dropped, so a
+    /// recorder sized for the initial world stays safe across elastic
+    /// resizes). After the run,
+    /// `IterationBreakdown::from_recorder(&rec, world)` yields the measured
+    /// counterpart of the simulator's breakdown.
+    pub fn recorder(mut self, rec: Arc<Recorder>) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Runs this process as one rank of an externally-connected group
+    /// (e.g. a [`Backend::Tcp`] endpoint from a multi-process launcher)
+    /// instead of spawning local worker threads. Mutually exclusive with
+    /// [`TrainSession::elastic`].
+    pub fn endpoint(mut self, comm: WorkerComm) -> Self {
+        self.endpoint = Some(comm);
+        self
+    }
+
+    /// Joins an elastic rendezvous instead of a fixed-membership group; the
+    /// run then survives rank deaths (world shrinks at the next barrier)
+    /// and absorbs joiners (world grows, with checkpointed state handoff).
+    /// `config.world` is ignored — the rendezvous dictates the world size
+    /// of each membership epoch. Mutually exclusive with
+    /// [`TrainSession::endpoint`].
+    pub fn elastic(mut self, policy: ElasticPolicy) -> Self {
+        self.elastic = Some(policy);
+        self
+    }
+
+    /// Trains `iters` iterations of `config.algorithm` on `dataset` with
+    /// `batch` samples per rank per iteration, and returns rank-valid
+    /// results (losses are globally averaged, so all ranks report the same
+    /// values).
+    ///
+    /// # Errors
+    ///
+    /// Communication failures in endpoint mode, and unrecoverable elastic
+    /// failures (world below `min_world`, epoch budget exhausted, corrupt
+    /// state handoff) in elastic mode. Local mode is infallible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rank's data shard is smaller than `batch`, or if a
+    /// damped factor fails to invert (raise `config.kfac.damping`) — the
+    /// numerics stay fail-fast in every mode.
+    pub fn run(
+        self,
+        build: &(dyn Fn() -> Sequential + Sync),
+        dataset: &Dataset,
+        iters: usize,
+        batch: usize,
+    ) -> Result<RunResult, CommError> {
+        match (self.endpoint, self.elastic) {
+            (Some(_), Some(_)) => Err(CommError::Rendezvous(
+                "TrainSession: endpoint and elastic modes are mutually exclusive".into(),
+            )),
+            (None, Some(policy)) => run_elastic(
+                &self.config,
+                &policy,
+                build,
+                dataset,
+                iters,
+                batch,
+                self.recorder,
+            ),
+            (Some(comm), None) => worker_impl(
+                &self.config,
+                build,
+                dataset,
+                iters,
+                batch,
+                comm,
+                self.recorder,
+            ),
+            (None, None) => Ok(local_train_impl(
+                &self.config,
+                build,
+                dataset,
+                iters,
+                batch,
+                self.recorder.as_ref(),
+            )),
+        }
+    }
 }
 
 /// Trains `iters` iterations of `cfg.algorithm` on `dataset` with one model
@@ -158,6 +310,7 @@ pub struct RunResult {
 ///
 /// Panics if any rank's data shard is smaller than `batch`, or if a damped
 /// factor fails to invert (raise `cfg.kfac.damping`).
+#[deprecated(note = "use TrainSession::builder(cfg).run(...)")]
 pub fn train(
     cfg: &DistributedConfig,
     build: &(dyn Fn() -> Sequential + Sync),
@@ -165,23 +318,16 @@ pub fn train(
     iters: usize,
     batch: usize,
 ) -> RunResult {
-    train_impl(cfg, build, dataset, iters, batch, None)
+    local_train_impl(cfg, build, dataset, iters, batch, None)
 }
 
 /// [`train`], instrumented: every worker records phase-tagged spans and
-/// metrics into `rec`.
-///
-/// `rec` must have at least `2 * cfg.world` tracks, laid out as
-/// [`spdkfac_obs::TrackLayout::trainer`]: rank `r`'s compute thread records
-/// on track `r` and its communication thread on track `cfg.world + r`.
-/// After the run, `IterationBreakdown::from_recorder(&rec, cfg.world)`
-/// yields the measured counterpart of the simulator's breakdown, and
-/// `chrome_trace(&rec.spans(), &TrackLayout::trainer(cfg.world))` the
-/// Perfetto timeline.
+/// metrics into `rec` (see [`TrainSession::recorder`] for the layout).
 ///
 /// # Panics
 ///
 /// As [`train`].
+#[deprecated(note = "use TrainSession::builder(cfg).recorder(rec).run(...)")]
 pub fn train_with_recorder(
     cfg: &DistributedConfig,
     build: &(dyn Fn() -> Sequential + Sync),
@@ -190,10 +336,10 @@ pub fn train_with_recorder(
     batch: usize,
     rec: &Arc<Recorder>,
 ) -> RunResult {
-    train_impl(cfg, build, dataset, iters, batch, Some(rec))
+    local_train_impl(cfg, build, dataset, iters, batch, Some(rec))
 }
 
-fn train_impl(
+fn local_train_impl(
     cfg: &DistributedConfig,
     build: &(dyn Fn() -> Sequential + Sync),
     dataset: &Dataset,
@@ -214,8 +360,11 @@ fn train_impl(
         for comm in endpoints {
             let cfg = cfg.clone();
             let rec = rec.map(Arc::clone);
-            handles
-                .push(s.spawn(move || train_worker(&cfg, build, dataset, iters, batch, comm, rec)));
+            handles.push(s.spawn(move || {
+                let rank = comm.rank();
+                worker_impl(&cfg, build, dataset, iters, batch, comm, rec)
+                    .unwrap_or_else(|e| panic!("rank {rank}: {e}"))
+            }));
         }
         for (rank, h) in handles.into_iter().enumerate() {
             let r = h.join().expect("worker panicked");
@@ -279,17 +428,14 @@ impl WorkerObs {
 }
 
 /// Runs one rank's full training loop over an already-connected communicator
-/// endpoint — the backend-agnostic entry point beneath [`train`].
+/// endpoint — the backend-agnostic entry point beneath the local trainer.
 ///
-/// [`train`] builds a local (in-process) group and calls this on one thread
-/// per rank; a multi-process launcher (`spdkfac_node`) builds a
-/// [`Backend::Tcp`] group instead and calls it with the process's single
-/// endpoint. Because every collective the loop issues goes through the
-/// transport-abstracted `WorkerComm` surface, the two modes produce
-/// bit-identical iterates.
+/// # Panics
 ///
-/// The returned [`RunResult`] is valid on every rank; losses are globally
-/// averaged, so all ranks report identical values.
+/// Panics on any communication failure (the historical behavior). The
+/// replacement — `TrainSession::builder(cfg).endpoint(comm)` — surfaces
+/// those as `Err` instead.
+#[deprecated(note = "use TrainSession::builder(cfg).endpoint(comm).run(...)")]
 pub fn train_worker(
     cfg: &DistributedConfig,
     build: &(dyn Fn() -> Sequential + Sync),
@@ -300,6 +446,21 @@ pub fn train_worker(
     rec: Option<Arc<Recorder>>,
 ) -> RunResult {
     let rank = comm.rank();
+    worker_impl(cfg, build, dataset, iters, batch, comm, rec)
+        .unwrap_or_else(|e| panic!("rank {rank}: {e}"))
+}
+
+/// One rank over an already-connected endpoint: fresh state, one segment.
+fn worker_impl(
+    cfg: &DistributedConfig,
+    build: &(dyn Fn() -> Sequential + Sync),
+    dataset: &Dataset,
+    iters: usize,
+    batch: usize,
+    comm: WorkerComm,
+    rec: Option<Arc<Recorder>>,
+) -> Result<RunResult, CommError> {
+    let rank = comm.rank();
     let world = comm.world_size();
     // Communication threads record on tracks `world..2*world`
     // (TrackLayout::trainer); the phase of each collective is captured at
@@ -308,7 +469,133 @@ pub fn train_worker(
         comm.set_recorder(Arc::clone(r), world + rank);
     }
     let obs = WorkerObs { rec, track: rank };
-    let mut net = build();
+    let mut ws = WorkerState::fresh(cfg, build);
+    train_segment(cfg, &mut ws, dataset, iters, batch, &comm, &obs, None)?;
+    let stats = comm.stats();
+    Ok(RunResult {
+        losses: ws.losses,
+        final_params: ws.net.flat_params(),
+        traffic_elements: stats.elements_sent(),
+        traffic_wire_bytes: stats.wire_bytes_sent(),
+        collective_ops: stats.ops_executed(),
+        membership: vec![MembershipSpan {
+            epoch: 0,
+            world,
+            from_iter: 0,
+        }],
+    })
+}
+
+/// A rank's complete mutable training state, detached from any communicator
+/// — the unit that survives an elastic membership change. Everything else
+/// the loop needs (shards, placement, fusion plans, calibration) is derived
+/// per segment from this state plus the current world size.
+struct WorkerState {
+    net: Sequential,
+    sgd: Sgd,
+    states: Vec<FactorState>,
+    ekfac_bases: Vec<Option<(Matrix, Vec<f64>)>>,
+    ekfac_scales: Vec<Option<Matrix>>,
+    losses: Vec<f64>,
+    /// Next iteration to execute; prior iterations are complete.
+    next_iter: usize,
+}
+
+impl WorkerState {
+    fn fresh(cfg: &DistributedConfig, build: &(dyn Fn() -> Sequential + Sync)) -> WorkerState {
+        let net = build();
+        let pre = net.preconditionable();
+        let nlayers = pre.len();
+        WorkerState {
+            sgd: Sgd::new(cfg.kfac.lr, cfg.kfac.momentum, cfg.kfac.weight_decay),
+            states: pre.iter().map(|&li| FactorState::new(li)).collect(),
+            ekfac_bases: vec![None; 2 * nlayers],
+            ekfac_scales: vec![None; nlayers],
+            losses: Vec::new(),
+            next_iter: 0,
+            net,
+        }
+    }
+
+    fn checkpoint(&self) -> TrainCheckpoint {
+        TrainCheckpoint::capture(
+            self.next_iter,
+            &self.losses,
+            &self.net,
+            &self.sgd,
+            &self.states,
+            &self.ekfac_bases,
+            &self.ekfac_scales,
+        )
+    }
+
+    fn restore(&mut self, ckpt: &TrainCheckpoint) {
+        self.net.set_flat_params(&ckpt.params);
+        self.sgd.set_velocity(ckpt.velocity.clone());
+        self.states = ckpt.factors.iter().map(FactorCheckpoint::restore).collect();
+        self.ekfac_bases = ckpt.ekfac_bases.clone();
+        self.ekfac_scales = ckpt.ekfac_scales.clone();
+        self.losses = ckpt.losses.clone();
+        self.next_iter = ckpt.iter;
+    }
+}
+
+/// How a [`train_segment`] call ended (when it didn't fail).
+enum SegmentEnd {
+    /// All requested iterations are complete.
+    Done,
+    /// The group agreed (via the loss all-reduce's piggybacked flag) to
+    /// pause at this barrier and re-form with pending joiners.
+    ResizeRequested,
+    /// This rank's `leave_after` budget is spent; the caller should drop
+    /// the endpoint without rejoining.
+    Leave,
+}
+
+/// Elastic context of one segment; `None` runs the loop in classic
+/// fixed-membership mode (bit-identical to the historical trainer).
+struct SegmentElastic {
+    tcp: TcpConfig,
+    poll_every: usize,
+    leave_after: Option<usize>,
+}
+
+/// Fallible sync all-reduce: the async op plus an error-propagating wait
+/// (the `WorkerComm` sync wrappers panic instead, which elastic segments
+/// must not).
+fn allreduce_avg_checked(comm: &WorkerComm, buf: &mut [f64]) -> Result<(), CommError> {
+    let out = comm.allreduce_avg_async(buf.to_vec()).wait()?;
+    buf.copy_from_slice(&out.data);
+    Ok(())
+}
+
+/// Runs iterations `ws.next_iter..iters` of one rank's training loop over
+/// `comm`, mutating `ws` in place so the caller can hand the state to a
+/// successor group on membership changes. Communication failures surface as
+/// `Err` with `ws` left at the last completed iteration boundary; numeric
+/// failures stay panics in every mode.
+#[allow(clippy::too_many_arguments)]
+fn train_segment(
+    cfg: &DistributedConfig,
+    ws: &mut WorkerState,
+    dataset: &Dataset,
+    iters: usize,
+    batch: usize,
+    comm: &WorkerComm,
+    obs: &WorkerObs,
+    elastic: Option<&SegmentElastic>,
+) -> Result<SegmentEnd, CommError> {
+    let rank = comm.rank();
+    let world = comm.world_size();
+    let WorkerState {
+        net,
+        sgd,
+        states,
+        ekfac_bases,
+        ekfac_scales,
+        losses,
+        next_iter,
+    } = ws;
     let shard = dataset.shard(world, rank);
     assert!(
         shard.len() >= batch,
@@ -316,14 +603,15 @@ pub fn train_worker(
         shard.len()
     );
 
-    // Preconditionable-layer bookkeeping.
+    // Preconditionable-layer bookkeeping. The factor states live in `ws`
+    // (they survive segments); only the index map is rebuilt here.
     let pre = net.preconditionable();
     let nlayers = pre.len();
     let mut state_of_layer = vec![None; net.len()];
-    let mut states: Vec<FactorState> = Vec::with_capacity(nlayers);
+    assert_eq!(states.len(), nlayers, "factor state count mismatch");
     for (si, &li) in pre.iter().enumerate() {
         state_of_layer[li] = Some(si);
-        states.push(FactorState::new(li));
+        assert_eq!(states[si].layer(), li, "factor state layer mismatch");
     }
     let dims = net.kfac_dims(); // (a_dim, g_dim) per state
     let a_sizes: Vec<usize> = dims.iter().map(|&(a, _)| a * (a + 1) / 2).collect();
@@ -366,16 +654,20 @@ pub fn train_worker(
     let mut a_pipeline: Option<FactorPipeline> = None;
     let mut g_pipeline: Option<FactorPipeline> = None;
 
-    let mut sgd = Sgd::new(cfg.kfac.lr, cfg.kfac.momentum, cfg.kfac.weight_decay);
-    let mut losses = Vec::with_capacity(iters);
-
-    // EKFAC extension state: per-tensor eigenbases (Q, λ) indexed like the
-    // inversion tensors, and per-layer eigenbasis second-moment scales.
-    let mut ekfac_bases: Vec<Option<(Matrix, Vec<f64>)>> = vec![None; 2 * nlayers];
-    let mut ekfac_scales: Vec<Option<Matrix>> = vec![None; nlayers];
+    // EKFAC extension state (per-tensor eigenbases and per-layer scales)
+    // lives in `ws` alongside the optimizer; assert shapes after a restore.
+    assert_eq!(ekfac_bases.len(), 2 * nlayers, "eigenbasis count mismatch");
+    assert_eq!(ekfac_scales.len(), nlayers, "eigenscale count mismatch");
 
     let flight = spdkfac_obs::flight::global();
-    for iter in 0..iters {
+    let seg_start = *next_iter;
+    // A mid-iteration abort records the interrupted iteration's loss (it is
+    // pushed before the factor/inverse ops that may fail) without advancing
+    // the resume point; the retry re-records it, so drop any tail past the
+    // last completed iteration. SPMD-safe: every rank resumes from the same
+    // handed-off state.
+    losses.truncate(seg_start);
+    for iter in seg_start..iters {
         let flight_iter_start = flight.now();
         let start = (iter * batch) % (shard.len() - batch + 1);
         let (x, y) = shard.batch(start, batch);
@@ -538,7 +830,7 @@ pub fn train_worker(
 
         // ---------- Install averaged gradients ---------------------------
         for (segments, handle) in grad_pending.drain(..) {
-            let data = handle.wait_expect().data;
+            let data = handle.wait()?.data;
             let mut off = 0usize;
             let layers = net.layers_mut();
             for (li, pi, len) in segments {
@@ -558,7 +850,7 @@ pub fn train_worker(
                 let _ = net.take_captures();
             }
             for (members, sizes, handle) in pending.drain(..) {
-                let data = handle.wait_expect().data;
+                let data = handle.wait()?.data;
                 let mut off = 0usize;
                 for ((pos_or_state, side), sz) in members.into_iter().zip(sizes) {
                     let packed_slice = &data[off..off + sz];
@@ -629,7 +921,7 @@ pub fn train_worker(
                     }
                     for (t, h) in bcasts {
                         let d = inv_dims[t];
-                        let data = h.wait_expect().data;
+                        let data = h.wait()?.data;
                         let q = Matrix::from_vec(d, d, data[..d * d].to_vec());
                         let v = data[d * d..].to_vec();
                         computed[t] = Some((q, v));
@@ -688,7 +980,7 @@ pub fn train_worker(
                     }
                 }
                 for (t, h) in bcasts {
-                    let data = h.wait_expect().data;
+                    let data = h.wait()?.data;
                     computed[t] = Some(SymPacked::from_vec(inv_dims[t], data));
                 }
                 // Install all inverses.
@@ -712,15 +1004,15 @@ pub fn train_worker(
         if capture {
             let (mut directions, raw) = if cfg.algorithm == Algorithm::EkfacSpd {
                 build_ekfac_directions(
-                    &net,
+                    net,
                     &state_of_layer,
-                    &ekfac_bases,
-                    &mut ekfac_scales,
+                    ekfac_bases,
+                    ekfac_scales,
                     cfg.kfac.stat_decay,
                     cfg.kfac.damping,
                 )
             } else {
-                build_directions(&net, &state_of_layer, &states)
+                build_directions(net, &state_of_layer, states)
             };
             if let Some(clip) = cfg.kfac.kl_clip {
                 apply_kl_clip(&mut directions, &raw, cfg.kfac.lr, clip);
@@ -732,14 +1024,36 @@ pub fn train_worker(
         drop(update_span);
 
         // ---------- Loss reporting ----------------------------------------
+        // Elastic mode piggybacks a resize flag on the loss all-reduce:
+        // rank 0 polls the rendezvous for pending joiners and sets element
+        // 1, so every rank reaches the same verdict at the same barrier
+        // with zero extra collectives. Non-elastic mode keeps the 1-element
+        // reduce bit-exactly as before.
         comm.set_phase(Phase::Update);
-        let mut loss_buf = [local_loss];
-        comm.allreduce_avg(&mut loss_buf);
-        losses.push(loss_buf[0]);
+        let mut resize_requested = false;
+        let loss = if let Some(el) = elastic {
+            let mut flag = 0.0;
+            if rank == 0 && el.poll_every > 0 && (iter + 1) % el.poll_every == 0 {
+                if let Ok(status) = elastic_poll(&el.tcp) {
+                    if status.pending > 0 {
+                        flag = 1.0;
+                    }
+                }
+            }
+            let mut loss_buf = [local_loss, flag];
+            allreduce_avg_checked(comm, &mut loss_buf)?;
+            resize_requested = loss_buf[1] > 0.0;
+            loss_buf[0]
+        } else {
+            let mut loss_buf = [local_loss];
+            allreduce_avg_checked(comm, &mut loss_buf)?;
+            loss_buf[0]
+        };
+        losses.push(loss);
         // Flight-recorder iteration boundary: the heartbeat picks up the
         // new (iteration, loss) pair and the bounded window keeps one span
         // per completed iteration on this rank's compute track.
-        flight.record_iteration(iter as u64 + 1, loss_buf[0]);
+        flight.record_iteration(iter as u64 + 1, loss);
         flight.record_span(
             rank,
             Phase::Update,
@@ -749,9 +1063,12 @@ pub fn train_worker(
         );
 
         // ---------- Agree on SPD fusion plans after the first iteration ----
-        if pipelined && iter == 0 && nlayers > 0 {
+        // "First" is per segment: fusion plans are derived from measured
+        // ready-times under the *current* world size, so each membership
+        // epoch re-agrees from its own first iteration.
+        if pipelined && iter == seg_start && nlayers > 0 {
             let mut times: Vec<f64> = a_ready.iter().chain(g_ready.iter()).copied().collect();
-            comm.allreduce_avg(&mut times);
+            allreduce_avg_checked(comm, &mut times)?;
             let (a_avg, g_avg) = times.split_at(nlayers);
             let a_pipe =
                 FactorPipeline::new(monotonize(a_avg), a_sizes.clone()).expect("A pipeline valid");
@@ -799,7 +1116,7 @@ pub fn train_worker(
             }
             let mut agree = runtime::encode_models(calibrator.refit()).to_vec();
             comm.set_phase(Phase::Update);
-            comm.allreduce_avg(&mut agree);
+            allreduce_avg_checked(comm, &mut agree)?;
             let mut agreed = runtime::decode_models(&agree, &cfg.comp_model, &cfg.comm_model);
             // Plan fusion with the model for what the factor all-reduces
             // actually cost on this wire format: β re-expressed per element
@@ -841,14 +1158,168 @@ pub fn train_worker(
                 r.metrics().counter("train/iterations").inc();
             }
         }
+
+        // The iteration is complete on every rank (the loss all-reduce was
+        // the barrier); advance the resume point before acting on any
+        // membership decision.
+        *next_iter = iter + 1;
+        if let Some(el) = elastic {
+            if el.leave_after.is_some_and(|n| iter + 1 >= n) {
+                return Ok(SegmentEnd::Leave);
+            }
+            if resize_requested && iter + 1 < iters {
+                return Ok(SegmentEnd::ResizeRequested);
+            }
+        }
     }
 
-    RunResult {
-        losses,
-        final_params: net.flat_params(),
-        traffic_elements: comm.stats().elements_sent(),
-        traffic_wire_bytes: comm.stats().wire_bytes_sent(),
-        collective_ops: comm.stats().ops_executed(),
+    Ok(SegmentEnd::Done)
+}
+
+/// The elastic driver: joins the rendezvous, hands off / receives state at
+/// each membership epoch, and runs segments until the iteration budget is
+/// spent (see `TrainSession::elastic`).
+///
+/// Recovery flow on any segment exit short of `Done`:
+/// 1. drop the endpoint (closing ring sockets — peers blocked on a dead
+///    rank's collective fail over to the same path),
+/// 2. re-dial the rendezvous with `Rejoin { epoch, old_rank }`,
+/// 3. on the new epoch, every rank restores from the checkpoint broadcast
+///    by the new rank 0 (K-FAC state is replicated, so any survivor is an
+///    authoritative source; bit-identical replicas are re-established by
+///    construction, which keeps the next epoch SPMD-safe),
+/// 4. run the next segment from the checkpoint's iteration.
+#[allow(clippy::too_many_arguments)]
+fn run_elastic(
+    cfg: &DistributedConfig,
+    policy: &ElasticPolicy,
+    build: &(dyn Fn() -> Sequential + Sync),
+    dataset: &Dataset,
+    iters: usize,
+    batch: usize,
+    rec: Option<Arc<Recorder>>,
+) -> Result<RunResult, CommError> {
+    let flight = spdkfac_obs::flight::global();
+    let mut ws: Option<WorkerState> = None;
+    let mut membership: Vec<MembershipSpan> = Vec::new();
+    let mut traffic_elements = 0u64;
+    let mut traffic_wire_bytes = 0u64;
+    let mut collective_ops = 0u64;
+    let mut intent = JoinIntent::Fresh {
+        claim: policy.claim,
+    };
+    let mut epochs_joined = 0u64;
+    loop {
+        epochs_joined += 1;
+        if epochs_joined > policy.max_epochs {
+            return Err(CommError::Rendezvous(format!(
+                "elastic run exceeded its budget of {} membership epochs",
+                policy.max_epochs
+            )));
+        }
+        let ep = connect_elastic(&policy.tcp, &intent, cfg.wire)?;
+        let comm = ep.comm;
+        let rank = comm.rank();
+        let world = comm.world_size();
+        if world < policy.min_world {
+            return Err(CommError::Rendezvous(format!(
+                "epoch {}: world shrank to {world}, below min_world {}",
+                ep.epoch, policy.min_world
+            )));
+        }
+        if let Some(r) = &rec {
+            comm.set_recorder(Arc::clone(r), world + rank);
+        }
+        let obs = WorkerObs {
+            rec: rec.clone(),
+            track: rank,
+        };
+        flight.set_member_epoch(ep.epoch);
+
+        let mut state = ws.take().unwrap_or_else(|| WorkerState::fresh(cfg, build));
+        // ---------- State handoff -----------------------------------------
+        // After any transition with survivors, the new rank 0 broadcasts its
+        // full checkpoint (length first — joiners cannot size the payload)
+        // and everyone restores from it.
+        if ep.epoch > 0 {
+            if let Some(src) = ep.state_source {
+                let _handoff = obs.labeled_span(Phase::Update, format!("handoff-e{}", ep.epoch));
+                comm.set_phase(Phase::Update);
+                let packed = if rank == src {
+                    state.checkpoint().pack()
+                } else {
+                    Vec::new()
+                };
+                let len_buf = vec![packed.len() as f64];
+                let len = comm.broadcast_async(len_buf, src).wait()?.data[0] as usize;
+                let payload = if rank == src { packed } else { vec![0.0; len] };
+                let data = comm.broadcast_async(payload, src).wait()?.data;
+                if rank != src {
+                    let ckpt = TrainCheckpoint::unpack(&data).map_err(|e| {
+                        CommError::Io(format!("epoch {}: state handoff corrupt: {e}", ep.epoch))
+                    })?;
+                    state.restore(&ckpt);
+                }
+            }
+        }
+        membership.push(MembershipSpan {
+            epoch: ep.epoch,
+            world,
+            from_iter: state.next_iter,
+        });
+
+        let seg_cfg = SegmentElastic {
+            tcp: policy.tcp.clone(),
+            poll_every: policy.poll_every,
+            leave_after: policy.leave_after,
+        };
+        let end = train_segment(
+            cfg,
+            &mut state,
+            dataset,
+            iters,
+            batch,
+            &comm,
+            &obs,
+            Some(&seg_cfg),
+        );
+        let stats = comm.stats();
+        traffic_elements += stats.elements_sent();
+        traffic_wire_bytes += stats.wire_bytes_sent();
+        collective_ops += stats.ops_executed();
+        match end {
+            Ok(SegmentEnd::Done) | Ok(SegmentEnd::Leave) => {
+                drop(comm);
+                return Ok(RunResult {
+                    final_params: state.net.flat_params(),
+                    losses: state.losses,
+                    traffic_elements,
+                    traffic_wire_bytes,
+                    collective_ops,
+                    membership,
+                });
+            }
+            Ok(SegmentEnd::ResizeRequested) => {
+                intent = JoinIntent::Rejoin {
+                    epoch: ep.epoch,
+                    old_rank: rank,
+                };
+                ws = Some(state);
+                drop(comm);
+            }
+            Err(e) => {
+                eprintln!(
+                    "[spdkfac] epoch {} rank {rank}: peer failure ({e}); rejoining rendezvous",
+                    ep.epoch
+                );
+                intent = JoinIntent::Rejoin {
+                    epoch: ep.epoch,
+                    old_rank: rank,
+                };
+                ws = Some(state);
+                drop(comm);
+            }
+        }
     }
 }
 
@@ -931,7 +1402,9 @@ mod tests {
         cfg.kfac.lr = 0.05;
         cfg.kfac.momentum = 0.0;
         let data = gaussian_blobs(3, 6, 8 * world.max(2), 0.3, 17);
-        train(&cfg, &|| mlp(&[6, 12, 3], 3), &data, iters, 4)
+        TrainSession::builder(cfg)
+            .run(&|| mlp(&[6, 12, 3], 3), &data, iters, 4)
+            .expect("local run")
     }
 
     #[test]
@@ -940,6 +1413,33 @@ mod tests {
         assert_eq!(r.losses.len(), 10);
         assert!(r.losses.last().unwrap() < &r.losses[0]);
         assert!(r.traffic_elements > 0);
+        // Non-elastic runs report a single epoch-0 membership span.
+        assert_eq!(
+            r.membership,
+            vec![MembershipSpan {
+                epoch: 0,
+                world: 3,
+                from_iter: 0
+            }]
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_train_session() {
+        // The legacy entry points are thin wrappers over the same impl and
+        // must stay bit-identical until removed.
+        let mut cfg = DistributedConfig::new(2, Algorithm::DKfac);
+        cfg.kfac.damping = 0.1;
+        cfg.kfac.momentum = 0.0;
+        let data = gaussian_blobs(3, 6, 16, 0.3, 17);
+        let build = || mlp(&[6, 12, 3], 3);
+        let old = train(&cfg, &build, &data, 4, 4);
+        let new = TrainSession::builder(cfg)
+            .run(&build, &data, 4, 4)
+            .expect("local run");
+        assert_eq!(old.final_params, new.final_params);
+        assert_eq!(old.losses, new.losses);
     }
 
     #[test]
@@ -971,7 +1471,9 @@ mod tests {
         cfg.kfac.damping = 0.2;
         cfg.kfac.momentum = 0.0;
         let data = gaussian_blobs(3, 8, 24, 0.3, 21);
-        let r = train(&cfg, &|| deep_mlp(8, 10, 6, 3, 5), &data, 5, 4);
+        let r = TrainSession::builder(cfg)
+            .run(&|| deep_mlp(8, 10, 6, 3, 5), &data, 5, 4)
+            .expect("local run");
         assert_eq!(r.losses.len(), 5);
         assert!(r.losses.iter().all(|l| l.is_finite()));
     }
@@ -997,7 +1499,9 @@ mod tests {
         cfg.kfac.damping = 0.1;
         cfg.kfac.lr = 0.05;
         cfg.kfac.momentum = 0.0;
-        let dist = train(&cfg, &build, &data, iters, batch);
+        let dist = TrainSession::builder(cfg)
+            .run(&build, &data, iters, batch)
+            .expect("local run");
 
         let mut net = build();
         let mut opt = EkfacOptimizer::new(
@@ -1035,8 +1539,12 @@ mod tests {
         big.kfac.momentum = 0.0;
         let mut small = big.clone();
         small.grad_fusion_elems = 8; // flush almost every layer
-        let r_big = train(&big, &build, &data, 5, 4);
-        let r_small = train(&small, &build, &data, 5, 4);
+        let r_big = TrainSession::builder(big)
+            .run(&build, &data, 5, 4)
+            .expect("local run");
+        let r_small = TrainSession::builder(small)
+            .run(&build, &data, 5, 4)
+            .expect("local run");
         assert!(
             max_diff(&r_big.final_params, &r_small.final_params) < 1e-9,
             "bucketing changed results"
@@ -1076,7 +1584,9 @@ mod tests {
         cfg.kfac.momentum = 0.0;
         cfg.wire = WirePolicy::parse(wire).expect("wire policy");
         let data = gaussian_blobs(3, 6, 16, 0.3, 17);
-        train(&cfg, &|| mlp(&[6, 12, 3], 3), &data, iters, 4)
+        TrainSession::builder(cfg)
+            .run(&|| mlp(&[6, 12, 3], 3), &data, iters, 4)
+            .expect("local run")
     }
 
     #[test]
@@ -1127,7 +1637,10 @@ mod tests {
         cfg.kfac.lr = 0.05;
         cfg.kfac.momentum = 0.0;
         let data = gaussian_blobs(3, 6, 16, 0.3, 17);
-        let r = train_with_recorder(&cfg, &|| mlp(&[6, 12, 3], 3), &data, iters, 4, &rec);
+        let r = TrainSession::builder(cfg)
+            .recorder(Arc::clone(&rec))
+            .run(&|| mlp(&[6, 12, 3], 3), &data, iters, 4)
+            .expect("local run");
         assert_eq!(r.losses.len(), iters);
 
         let spans = rec.spans();
@@ -1194,7 +1707,10 @@ mod tests {
         cfg.kfac.damping = 0.1;
         cfg.kfac.momentum = 0.0;
         let data = gaussian_blobs(3, 6, 16, 0.3, 17);
-        let _ = train_with_recorder(&cfg, &|| mlp(&[6, 12, 3], 3), &data, 2, 4, &rec);
+        let _ = TrainSession::builder(cfg)
+            .recorder(Arc::clone(&rec))
+            .run(&|| mlp(&[6, 12, 3], 3), &data, 2, 4)
+            .expect("local run");
         assert!(rec
             .spans()
             .iter()

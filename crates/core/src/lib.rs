@@ -54,6 +54,7 @@
 pub mod calibrate;
 pub mod distributed;
 pub mod ekfac;
+pub mod elastic;
 pub mod error;
 pub mod factors;
 pub mod fusion;

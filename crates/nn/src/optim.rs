@@ -51,6 +51,21 @@ impl Sgd {
         self.lr = lr;
     }
 
+    /// The momentum buffers, positionally matching the parameter list of
+    /// the last [`Sgd::step`] call; empty before the first step. Exposed
+    /// for checkpointing (elastic state handoff).
+    pub fn velocity(&self) -> &[Matrix] {
+        &self.velocity
+    }
+
+    /// Restores momentum buffers from a checkpoint. An empty `velocity`
+    /// resets to the pre-first-step state (buffers re-zero lazily);
+    /// otherwise shapes must match the parameters of the next `step`, which
+    /// the step's own assertions enforce positionally.
+    pub fn set_velocity(&mut self, velocity: Vec<Matrix>) {
+        self.velocity = velocity;
+    }
+
     /// Applies one update to `params` using their `grad` fields.
     ///
     /// The parameter list must be identical (same order and shapes) on every

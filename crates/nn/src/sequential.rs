@@ -176,6 +176,28 @@ impl Sequential {
             .flat_map(|p| p.value.as_slice().iter().copied())
             .collect()
     }
+
+    /// Overwrites all parameter values from a [`Sequential::flat_params`]
+    /// vector (layer order) — the restore half of a checkpoint round-trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` differs from [`Sequential::num_params`].
+    pub fn set_flat_params(&mut self, flat: &[f64]) {
+        let mut off = 0;
+        for p in self.parameters_mut() {
+            let n = p.numel();
+            assert!(
+                off + n <= flat.len(),
+                "set_flat_params: vector too short ({} < {})",
+                flat.len(),
+                off + n
+            );
+            p.value.as_mut_slice().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        }
+        assert_eq!(off, flat.len(), "set_flat_params: vector too long");
+    }
 }
 
 #[cfg(test)]

@@ -301,6 +301,8 @@ pub struct Heartbeat {
     pub iteration: u64,
     /// Current plan generation.
     pub generation: u64,
+    /// Elastic membership epoch (0 on fixed-world runs).
+    pub epoch: u64,
     /// Current pipeline phase ([`Phase::index`]).
     pub phase: u8,
     /// Last recorded loss (NaN until the first iteration completes).
@@ -420,6 +422,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             put_u32(&mut body, hb.rank);
             put_u64(&mut body, hb.iteration);
             put_u64(&mut body, hb.generation);
+            put_u64(&mut body, hb.epoch);
             body.push(hb.phase);
             put_f64(&mut body, hb.loss);
             put_u64(&mut body, hb.rss_bytes);
@@ -576,6 +579,7 @@ pub fn read_frame(r: &mut impl Read) -> IoResult<Frame> {
             rank: c.u32()?,
             iteration: c.u64()?,
             generation: c.u64()?,
+            epoch: c.u64()?,
             phase: c.u8()?,
             loss: c.f64()?,
             rss_bytes: c.u64()?,
@@ -1237,6 +1241,7 @@ mod tests {
                 rank: 1,
                 iteration: 42,
                 generation: 3,
+                epoch: 2,
                 phase: 4,
                 loss: 0.125,
                 rss_bytes: 7 << 20,

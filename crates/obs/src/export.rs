@@ -43,6 +43,7 @@ struct RankHealth {
     loss: f64,
     phase_idx: usize,
     generation: u64,
+    epoch: u64,
     rss_bytes: u64,
     /// Collector-clock time of the last heartbeat; `None` = never seen.
     last_heartbeat: Option<f64>,
@@ -83,6 +84,7 @@ impl HealthRegistry {
         loss: f64,
         phase_idx: usize,
         generation: u64,
+        epoch: u64,
         rss_bytes: u64,
         now: f64,
     ) {
@@ -93,6 +95,7 @@ impl HealthRegistry {
         r.loss = loss;
         r.phase_idx = phase_idx;
         r.generation = generation;
+        r.epoch = epoch;
         r.rss_bytes = rss_bytes;
         r.last_heartbeat = Some(now);
         r.heartbeats += 1;
@@ -157,6 +160,7 @@ impl HealthRegistry {
                     loss: r.loss,
                     phase_idx: r.phase_idx,
                     generation: r.generation,
+                    epoch: r.epoch,
                     rss_bytes: r.rss_bytes,
                     staleness: r.last_heartbeat.map(|t| (now - t).max(0.0)),
                     heartbeats: r.heartbeats,
@@ -185,6 +189,8 @@ pub struct RankHealthSnapshot {
     pub phase_idx: usize,
     /// Last reported plan generation.
     pub generation: u64,
+    /// Last reported elastic membership epoch (0 on fixed-world runs).
+    pub epoch: u64,
     /// Last reported resident set size, bytes.
     pub rss_bytes: u64,
     /// Seconds since the last heartbeat; `None` = never heard from.
@@ -316,6 +322,13 @@ pub fn render_prometheus(
                 r.rank, r.generation
             ));
         }
+        out.push_str("# TYPE spdkfac_rank_epoch gauge\n");
+        for r in &h.ranks {
+            out.push_str(&format!(
+                "spdkfac_rank_epoch{{rank=\"{}\"}} {}\n",
+                r.rank, r.epoch
+            ));
+        }
         out.push_str("# TYPE spdkfac_rank_phase gauge\n");
         for r in &h.ranks {
             out.push_str(&format!(
@@ -367,6 +380,8 @@ pub fn render_health_json(h: &HealthSnapshot) -> String {
         escape_json_into(&mut out, name);
         out.push_str("\",\"generation\":");
         out.push_str(&r.generation.to_string());
+        out.push_str(",\"epoch\":");
+        out.push_str(&r.epoch.to_string());
         out.push_str(",\"rss_bytes\":");
         out.push_str(&r.rss_bytes.to_string());
         out.push_str(",\"staleness\":");
@@ -509,7 +524,7 @@ mod tests {
     fn filled_registry() -> HealthRegistry {
         let mut reg = HealthRegistry::new(4);
         for rank in 0..4 {
-            reg.record_heartbeat(rank, 10 + rank as u64, 0.5, 1, 2, 1 << 20, 100.0);
+            reg.record_heartbeat(rank, 10 + rank as u64, 0.5, 1, 2, 1, 1 << 20, 100.0);
             // Rank 2 is consistently 10x slower on allreduce.
             let d = if rank == 2 { 0.10 } else { 0.01 };
             for _ in 0..20 {
@@ -536,7 +551,7 @@ mod tests {
     #[test]
     fn missing_rank_is_stale_with_no_staleness_value() {
         let mut reg = HealthRegistry::new(3);
-        reg.record_heartbeat(0, 1, 0.9, 0, 0, 0, 10.0);
+        reg.record_heartbeat(0, 1, 0.9, 0, 0, 0, 0, 10.0);
         let snap = reg.snapshot(20.0);
         assert_eq!(snap.ranks[1].staleness, None);
         assert!(snap.ranks[1].is_stale());
@@ -561,6 +576,7 @@ mod tests {
         assert!(text.contains("spdkfac_comm_allreduce_secs{quantile=\"0.99\"}"));
         assert!(text.contains("spdkfac_comm_allreduce_secs_count 1"));
         assert!(text.contains("spdkfac_heartbeat_staleness_seconds{rank=\"2\"}"));
+        assert!(text.contains("spdkfac_rank_epoch{rank=\"1\"} 1"));
         assert!(text.contains("spdkfac_straggler_zscore{rank=\"2\"}"));
         assert!(text.contains("spdkfac_rank_iteration{rank=\"3\"} 13"));
         // Every non-comment line is `name[{labels}] value`.

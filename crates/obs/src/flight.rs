@@ -130,6 +130,8 @@ pub struct HeartbeatState {
     pub phase_idx: usize,
     /// Current plan generation.
     pub generation: u64,
+    /// Membership epoch of the elastic runtime (0 on fixed-world runs).
+    pub epoch: u64,
     /// Resident set size in bytes (0 where unsupported).
     pub rss_bytes: u64,
 }
@@ -184,6 +186,9 @@ pub struct FlightRecorder {
     world: AtomicUsize,
     trace_dir: Mutex<Option<String>>,
     generation: AtomicU64,
+    /// Elastic membership epoch (distinct from `epoch: Instant`, the
+    /// recorder's *time* origin).
+    member_epoch: AtomicU64,
     iteration: AtomicU64,
     loss_bits: AtomicU64,
     phase_idx: AtomicUsize,
@@ -205,6 +210,7 @@ impl FlightRecorder {
             world: AtomicUsize::new(0),
             trace_dir: Mutex::new(None),
             generation: AtomicU64::new(0),
+            member_epoch: AtomicU64::new(0),
             iteration: AtomicU64::new(0),
             loss_bits: AtomicU64::new(f64::NAN.to_bits()),
             phase_idx: AtomicUsize::new(Phase::Update.index()),
@@ -270,6 +276,17 @@ impl FlightRecorder {
     /// The current plan generation.
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Updates the elastic membership epoch (heartbeat + dump field;
+    /// stays 0 on fixed-world runs).
+    pub fn set_member_epoch(&self, epoch: u64) {
+        self.member_epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// The current elastic membership epoch.
+    pub fn member_epoch(&self) -> u64 {
+        self.member_epoch.load(Ordering::Relaxed)
     }
 
     /// Updates the current pipeline phase (heartbeat field; atomics only).
@@ -398,6 +415,7 @@ impl FlightRecorder {
             loss: f64::from_bits(self.loss_bits.load(Ordering::Relaxed)),
             phase_idx: self.phase_idx.load(Ordering::Relaxed),
             generation: self.generation.load(Ordering::Relaxed),
+            epoch: self.member_epoch.load(Ordering::Relaxed),
             rss_bytes: rss_bytes(),
         }
     }
@@ -453,6 +471,8 @@ impl FlightRecorder {
         json_str(&mut out, phase_name);
         out.push_str(",\"generation\":");
         out.push_str(&hb.generation.to_string());
+        out.push_str(",\"epoch\":");
+        out.push_str(&hb.epoch.to_string());
         out.push_str(",\"rss_bytes\":");
         out.push_str(&hb.rss_bytes.to_string());
         out.push_str("},\"clock\":");

@@ -1,7 +1,7 @@
 //! The one Chrome-trace serializer.
 //!
 //! Both the simulator (`spdkfac_sim::trace::to_chrome_trace`) and the real
-//! trainers (`spdkfac_core::distributed::train_with_recorder` +
+//! trainers (`spdkfac_core::distributed::TrainSession` +
 //! [`TrackLayout::trainer`]) funnel their spans through [`chrome_trace`],
 //! so the JSON shape — metadata `thread_name` rows, `"X"` complete slices
 //! with microsecond `ts`/`dur` — exists in exactly one place. Load the

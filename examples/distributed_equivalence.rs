@@ -12,7 +12,7 @@
 //! (the paper's premise for comparing them on wall-clock only), while the
 //! traffic counters show *how* the algorithms differ.
 
-use spdkfac::core::distributed::{train, Algorithm, DistributedConfig};
+use spdkfac::core::distributed::{Algorithm, DistributedConfig, TrainSession};
 use spdkfac::nn::data::gaussian_blobs;
 use spdkfac::nn::models::deep_mlp;
 
@@ -28,7 +28,9 @@ fn main() {
         cfg.kfac.damping = 0.1;
         cfg.kfac.lr = 0.05;
         cfg.kfac.momentum = 0.0;
-        let r = train(&cfg, &build, &data, iters, 4);
+        let r = TrainSession::builder(cfg)
+            .run(&build, &data, iters, 4)
+            .expect("local run");
         println!(
             "{algo:?}: final loss {:.6}, ring traffic {:.2} M elements, {} collective ops",
             r.losses.last().expect("nonempty"),

@@ -6,7 +6,7 @@
 //! baseline to floating-point noise. The causal analyzer must keep
 //! attributing ≥95% of wall time across the generation boundary.
 
-use spdkfac::core::distributed::{train_with_recorder, Algorithm, DistributedConfig};
+use spdkfac::core::distributed::{Algorithm, DistributedConfig, TrainSession};
 use spdkfac::core::perf::ExpInverseModel;
 use spdkfac::core::runtime::ReplanPolicy;
 use spdkfac::nn::data::gaussian_blobs;
@@ -32,7 +32,10 @@ fn miscalibrated_cfg(world: usize, replan: ReplanPolicy) -> DistributedConfig {
 fn run(cfg: &DistributedConfig, iters: usize) -> (Arc<Recorder>, Vec<f64>, Vec<f64>) {
     let rec = Arc::new(Recorder::new(2 * cfg.world));
     let data = gaussian_blobs(3, 8, 8 * cfg.world, 0.3, 42);
-    let out = train_with_recorder(cfg, &|| deep_mlp(8, 24, 8, 3, 5), &data, iters, 4, &rec);
+    let out = TrainSession::builder(cfg.clone())
+        .recorder(Arc::clone(&rec))
+        .run(&|| deep_mlp(8, 24, 8, 3, 5), &data, iters, 4)
+        .expect("local run");
     (rec, out.losses, out.final_params)
 }
 

@@ -2,7 +2,7 @@
 //! K-FAC beats SGD in iterations-to-target on ill-conditioned problems, and
 //! distributed training converges.
 
-use spdkfac::core::distributed::{train, Algorithm, DistributedConfig};
+use spdkfac::core::distributed::{Algorithm, DistributedConfig, TrainSession};
 use spdkfac::core::optimizer::{KfacConfig, KfacOptimizer};
 use spdkfac::nn::data::{gaussian_blobs, ill_conditioned_blobs, synthetic_images};
 use spdkfac::nn::loss::{accuracy, softmax_cross_entropy};
@@ -115,7 +115,9 @@ fn distributed_spd_kfac_converges() {
     cfg.kfac.lr = 0.05;
     cfg.kfac.momentum = 0.0;
     cfg.kfac.damping = 0.1;
-    let r = train(&cfg, &|| mlp(&[6, 16, 3], 4), &data, 25, 6);
+    let r = TrainSession::builder(cfg)
+        .run(&|| mlp(&[6, 16, 3], 4), &data, 25, 6)
+        .expect("local run");
     let first = r.losses[0];
     let last = *r.losses.last().expect("nonempty");
     assert!(
@@ -131,7 +133,9 @@ fn distributed_ssgd_converges() {
     let mut cfg = DistributedConfig::new(world, Algorithm::SSgd);
     cfg.kfac.lr = 0.1;
     cfg.kfac.momentum = 0.9;
-    let r = train(&cfg, &|| mlp(&[6, 16, 3], 6), &data, 25, 6);
+    let r = TrainSession::builder(cfg)
+        .run(&|| mlp(&[6, 16, 3], 6), &data, 25, 6)
+        .expect("local run");
     let first = r.losses[0];
     let last = *r.losses.last().expect("nonempty");
     assert!(

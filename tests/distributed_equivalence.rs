@@ -2,7 +2,7 @@
 //! numerically equivalent to each other and to single-process K-FAC — over
 //! MLPs and CNNs, multiple world sizes, and with inverse-update intervals.
 
-use spdkfac::core::distributed::{train, Algorithm, DistributedConfig, RunResult};
+use spdkfac::core::distributed::{Algorithm, DistributedConfig, RunResult, TrainSession};
 use spdkfac::core::optimizer::{KfacConfig, KfacOptimizer};
 use spdkfac::nn::data::{gaussian_blobs, synthetic_images, Dataset};
 use spdkfac::nn::loss::softmax_cross_entropy;
@@ -28,7 +28,9 @@ fn run(
     cfg.kfac.damping = 0.1;
     cfg.kfac.lr = 0.05;
     cfg.kfac.momentum = 0.0;
-    train(&cfg, build, data, iters, batch)
+    TrainSession::builder(cfg)
+        .run(build, data, iters, batch)
+        .expect("local run")
 }
 
 #[test]
@@ -123,7 +125,9 @@ fn inverse_update_interval_preserves_equivalence() {
         cfg.kfac.damping = 0.1;
         cfg.kfac.momentum = 0.0;
         cfg.kfac.inv_update_freq = 3;
-        let r = train(&cfg, &build, &data, 7, 4);
+        let r = TrainSession::builder(cfg)
+            .run(&build, &data, 7, 4)
+            .expect("local run");
         assert!(r.losses.iter().all(|l| l.is_finite()), "{algo:?} diverged");
     }
 }

@@ -5,7 +5,7 @@
 //! per rank plus one per phase category.
 
 use spdkfac::core::calibrate::Calibrator;
-use spdkfac::core::distributed::{train_with_recorder, Algorithm, DistributedConfig};
+use spdkfac::core::distributed::{Algorithm, DistributedConfig, TrainSession};
 use spdkfac::core::perf::ExpInverseModel;
 use spdkfac::nn::data::gaussian_blobs;
 use spdkfac::nn::models::deep_mlp;
@@ -28,7 +28,10 @@ fn run_with_recorder(
     cfg.kfac.momentum = 0.0;
     let data = gaussian_blobs(3, 8, 8 * world, 0.3, 42);
     let t = Instant::now();
-    let _ = train_with_recorder(&cfg, &|| deep_mlp(8, 24, 8, 3, 5), &data, iters, 4, &rec);
+    let _ = TrainSession::builder(cfg)
+        .recorder(Arc::clone(&rec))
+        .run(&|| deep_mlp(8, 24, 8, 3, 5), &data, iters, 4)
+        .expect("local run");
     let wall = t.elapsed().as_secs_f64();
     let b = IterationBreakdown::from_recorder(&rec, world);
     (rec, b, wall)

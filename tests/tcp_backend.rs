@@ -4,13 +4,13 @@
 //! observability pipeline — spans, causal matching, critical-path
 //! attribution — works unchanged on the TCP run's spans.
 //!
-//! Each rank runs `train_worker` on its own thread over its own socket
+//! Each rank runs an endpoint-mode `TrainSession` on its own thread over its own socket
 //! pair, which is exactly the code path `spdkfac_node` executes per
 //! process; only the rendezvous host differs (the test, not rank 0).
 
 use spdkfac::collectives::tcp::RendezvousServer;
 use spdkfac::collectives::{Backend, CommGroup, TcpConfig};
-use spdkfac::core::distributed::{train, train_worker, Algorithm, DistributedConfig, RunResult};
+use spdkfac::core::distributed::{Algorithm, DistributedConfig, RunResult, TrainSession};
 use spdkfac::nn::data::{gaussian_blobs, Dataset};
 use spdkfac::nn::models::deep_mlp;
 use spdkfac::obs::{CriticalReport, RankMap, Recorder};
@@ -57,15 +57,13 @@ fn train_over_tcp(world: usize, rec: Option<&Arc<Recorder>>) -> (RunResult, f64)
                     .build()
                     .unwrap_or_else(|e| panic!("rank {rank} failed to join: {e}"))
                     .into_single();
-                train_worker(
-                    &cfg,
-                    &|| deep_mlp(8, 24, 8, 3, 5),
-                    data,
-                    ITERS,
-                    BATCH,
-                    comm,
-                    rec,
-                )
+                let mut session = TrainSession::builder(cfg.clone()).endpoint(comm);
+                if let Some(r) = rec {
+                    session = session.recorder(r);
+                }
+                session
+                    .run(&|| deep_mlp(8, 24, 8, 3, 5), data, ITERS, BATCH)
+                    .unwrap_or_else(|e| panic!("rank {rank}: {e}"))
             }));
         }
         for (rank, h) in handles.into_iter().enumerate() {
@@ -88,7 +86,9 @@ fn tcp_run_matches_in_process_losses() {
     let world = 4;
     let (tcp_result, _) = train_over_tcp(world, None);
     let (cfg, data) = workload(world);
-    let local = train(&cfg, &|| deep_mlp(8, 24, 8, 3, 5), &data, ITERS, BATCH);
+    let local = TrainSession::builder(cfg)
+        .run(&|| deep_mlp(8, 24, 8, 3, 5), &data, ITERS, BATCH)
+        .expect("local run");
     assert_eq!(tcp_result.losses.len(), local.losses.len());
     for (i, (t, l)) in tcp_result.losses.iter().zip(&local.losses).enumerate() {
         assert!(
